@@ -1,0 +1,54 @@
+//! The functional decoupled engine: threaded work-item pipelines vs the
+//! scalar reference, and the two buffer-combining strategies.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dwi_core::{run_decoupled, Combining, PaperConfig, Workload};
+use dwi_rng::GammaKernel;
+
+fn workload() -> Workload {
+    Workload {
+        num_scenarios: 49_152,
+        num_sectors: 2,
+        sector_variance: 1.39,
+    }
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let w = workload();
+    let cfg = PaperConfig::config1();
+    let total = w.scenarios_per_workitem(cfg.fpga_workitems) as u64
+        * w.num_sectors as u64
+        * cfg.fpga_workitems as u64;
+    let mut g = c.benchmark_group("decoupled_engine");
+    g.throughput(Throughput::Elements(total));
+    g.bench_function("decoupled_6wi_device_combining", |b| {
+        b.iter(|| {
+            let run = run_decoupled(&cfg, &w, 1, Combining::DeviceLevel);
+            black_box(run.host_buffer.len())
+        })
+    });
+    g.bench_function("decoupled_6wi_host_combining", |b| {
+        b.iter(|| {
+            let run = run_decoupled(&cfg, &w, 1, Combining::HostLevel);
+            black_box(run.host_buffer.len())
+        })
+    });
+    g.bench_function("scalar_reference_6_kernels", |b| {
+        let kcfg = cfg.kernel_config(&w, 1);
+        b.iter(|| {
+            let mut out = Vec::new();
+            for wid in 0..cfg.fpga_workitems {
+                GammaKernel::new(&kcfg, wid).run_all(&mut out);
+            }
+            black_box(out.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_engine
+}
+criterion_main!(benches);

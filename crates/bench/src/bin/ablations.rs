@@ -1,0 +1,74 @@
+//! Modeled hardware ablations for the design choices the paper motivates:
+//! what each technique buys on the simulated FPGA and fixed platforms.
+
+use dwi_bench::render::{f, TextTable};
+use dwi_core::{eq1_runtime_s, Workload};
+use dwi_hls::memory::BurstChannel;
+use dwi_hls::pipeline::PipelineModel;
+use dwi_ocl::simt::divergence_factor;
+
+fn main() {
+    let w = Workload::paper();
+
+    // --- Ablation 1: the delayed loop-exit counter (Listing 2) ---
+    println!("Ablation 1 — delayed loop-exit counter (breakId workaround):\n");
+    let mut t = TextTable::new(&["counter delay", "forced II", "Config1 compute bound [ms]"]);
+    // The counter result is available ~2 cycles into the body.
+    let result_latency = 2;
+    for delay in [0u64, 1, 2] {
+        let ii = PipelineModel::ii_for_exit_dependency(result_latency, delay);
+        let ms = eq1_runtime_s(w.num_scenarios, w.num_sectors, 6, 200e6 / ii as f64, 0.303) * 1e3;
+        t.row(&[
+            format!("{delay} (breakId {})", delay as i64 - 1),
+            ii.to_string(),
+            f(ms, 0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Without the workaround II doubles and so does the compute bound.\n");
+
+    // --- Ablation 2: decoupled vs lockstep-coupled work-items ---
+    println!("Ablation 2 — decoupling vs lockstep coupling (the paper's core claim):\n");
+    let mut t = TextTable::new(&["coupling width", "iters/output (q=0.233)", "relative cost"]);
+    for width in [1u32, 2, 4, 8, 16, 32, 64] {
+        let d = divergence_factor(0.233, width);
+        let label = if width == 1 {
+            "decoupled (FPGA)".to_string()
+        } else {
+            format!("{width} lanes lockstep")
+        };
+        t.row(&[label, f(d, 3), format!("{:.2}x", d / divergence_factor(0.233, 1))]);
+    }
+    println!("{}", t.render());
+
+    // --- Ablation 3: burst packing width ---
+    println!("Ablation 3 — memory interface packing width (Section III-D):\n");
+    let ch = BurstChannel::config34();
+    let mut t = TextTable::new(&["pack width", "effective bandwidth [GB/s]", "transfer bound [ms]"]);
+    for (label, lanes) in [("32 bit (1 f32)", 1u64), ("128 bit", 4), ("256 bit", 8), ("512 bit", 16)] {
+        // Narrower packing multiplies the beats per burst.
+        let scaled = BurstChannel {
+            cycles_per_beat: ch.cycles_per_beat * (16 / lanes),
+            ..ch
+        };
+        let bw = scaled.effective_bandwidth(256, 8);
+        let bound = scaled.transfer_bound_s(w.total_bytes(), 256, 8) * 1e3;
+        t.row(&[label.into(), f(bw / 1e9, 2), f(bound, 0)]);
+    }
+    println!("{}", t.render());
+    println!("Only the full 512-bit interface keeps the transfer bound near the");
+    println!("paper's 642 ms; at 32-bit packing the kernel would be ~16x slower.\n");
+
+    // --- Ablation 4: burst length (LTRANSF) ---
+    println!("Ablation 4 — burst length (Listing 4's LTRANSF):\n");
+    let mut t = TextTable::new(&["burst [RNs]", "bandwidth [GB/s]", "transfer bound [ms]"]);
+    for burst in [16u64, 64, 256, 1024] {
+        let bw = ch.effective_bandwidth(burst, 8);
+        t.row(&[
+            burst.to_string(),
+            f(bw / 1e9, 2),
+            f(w.total_bytes() as f64 / bw * 1e3, 0),
+        ]);
+    }
+    println!("{}", t.render());
+}

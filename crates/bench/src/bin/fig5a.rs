@@ -1,0 +1,23 @@
+//! Fig. 5a: measured runtime vs localSize for CPU, GPU and Xeon Phi.
+
+use dwi_bench::figures::fig5a_data;
+use dwi_bench::render::{f, TextTable};
+
+fn main() {
+    println!("Fig. 5a: runtime [ms] vs localSize (globalSize 65536)\n");
+    for (dev, config, series) in fig5a_data() {
+        let mut t = TextTable::new(&["localSize", "runtime [ms]"]);
+        let best = series
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        for (l, ms) in &series {
+            let marker = if *l == best { " <- optimum" } else { "" };
+            t.row(&[format!("{l}{marker}"), f(*ms, 1)]);
+        }
+        println!("{dev} — {config}:");
+        println!("{}", t.render());
+    }
+    println!("paper optima: localSize_CPU = 8, localSize_GPU = 64, localSize_PHI = 16");
+}

@@ -1,0 +1,22 @@
+//! Fig. 5b: runtime vs globalSize at the optimal localSize per platform.
+
+use dwi_bench::figures::fig5b_data;
+use dwi_bench::render::{f, TextTable};
+
+fn main() {
+    println!("Fig. 5b: runtime [ms] vs globalSize (Config1, optimal localSizes)\n");
+    let data = fig5b_data();
+    let mut t = TextTable::new(&["globalSize", data[0].0, data[1].0, data[2].0]);
+    let n = data[0].1.len();
+    for i in 0..n {
+        let g = data[0].1[i].0;
+        t.row(&[
+            g.to_string(),
+            f(data[0].1[i].1, 0),
+            f(data[1].1[i].1, 0),
+            f(data[2].1[i].1, 0),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("The curves flatten at/before 65536 — confirming the paper's choice.");
+}

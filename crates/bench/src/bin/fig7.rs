@@ -1,0 +1,49 @@
+//! Fig. 7: transfers-only runtime vs burst length and work-item count,
+//! analytic model cross-checked by the cycle-level simulator.
+
+use dwi_bench::figures::fig7_data;
+use dwi_bench::render::{f, TextTable};
+use dwi_hls::memory::BurstChannel;
+use dwi_hls::sim::{run, SimConfig};
+
+fn main() {
+    for (label, channel) in [
+        ("Config1,2 bitstream (6-WI P&R)", BurstChannel::config12()),
+        ("Config3,4 bitstream (8-WI P&R)", BurstChannel::config34()),
+    ] {
+        println!("Fig. 7 — {label}: transfers-only runtime [ms] for 629.1M RNs\n");
+        let mut t = TextTable::new(&["burst RNs", "1 WI", "2 WI", "4 WI", "6 WI", "8 WI"]);
+        for (burst, row) in fig7_data(&channel) {
+            let mut cells = vec![burst.to_string()];
+            cells.extend(row.iter().map(|(_, ms, _)| f(*ms, 0)));
+            t.row(&cells);
+        }
+        println!("{}", t.render());
+    }
+
+    // Cycle-level cross-check at the paper's operating point.
+    println!("cycle-simulator cross-check (transfers-only, burst 256):");
+    for (n, ch, paper_bw) in [
+        (6u64, BurstChannel::config12(), 3.58),
+        (8, BurstChannel::config34(), 3.94),
+    ] {
+        let cfg = SimConfig {
+            n_workitems: n as usize,
+            rns_per_workitem: 262_144,
+            compute_enabled: false,
+            reject_prob: 0.0,
+            burst_rns: 256,
+            channel: ch,
+            seed: 1,
+            trace: false,
+            fifo_depth: 64,
+        };
+        let r = run(&cfg);
+        let bytes = (cfg.rns_per_workitem * n * 4) as f64;
+        let bw = bytes * ch.freq_hz / r.cycles as f64 / 1e9;
+        println!(
+            "  {n} WI: simulated {bw:.2} GB/s, analytic {:.2} GB/s, paper {paper_bw} GB/s",
+            ch.effective_bandwidth(256, n) / 1e9
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Fig. 8: system power consumption trace for a Config1 measurement
+//! session (1 Hz wall-plug sampling with markers).
+
+use dwi_energy::profiles::FPGA_POWER;
+use dwi_energy::trace::{PowerTrace, TraceConfig};
+
+fn main() {
+    // Config1 on the FPGA: 701 ms per invocation, 40 W dynamic.
+    let cfg = TraceConfig::paper_session(FPGA_POWER.dynamic_w(true), 0.701);
+    let trace = PowerTrace::synthesize(&cfg);
+    println!("Fig. 8: power consumption (Config1, FPGA), 1 Hz samples");
+    println!("markers: trigger / integration-window start / end\n");
+    print!("{}", trace.render(100));
+    let e = trace.dynamic_energy_per_invocation_j();
+    println!("\nintegrated dynamic energy per kernel invocation: {e:.1} J");
+    println!("(idle floor {:.0} W as in the paper's Fig. 8)", cfg.idle_w);
+
+    // For comparison, a CPU session (70 W dynamic, 3.825 s / invocation).
+    let cpu = TraceConfig::paper_session(70.0, 3.825);
+    let cpu_trace = PowerTrace::synthesize(&cpu);
+    println!(
+        "\nCPU session for contrast: {:.1} J per invocation ({:.1}x the FPGA)",
+        cpu_trace.dynamic_energy_per_invocation_j(),
+        cpu_trace.dynamic_energy_per_invocation_j() / e
+    );
+}

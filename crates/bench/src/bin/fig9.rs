@@ -1,0 +1,30 @@
+//! Fig. 9: derived system-level dynamic energy per kernel invocation.
+
+use dwi_bench::figures::fig9_data;
+use dwi_bench::render::{f, TextTable};
+
+fn main() {
+    println!("Fig. 9: dynamic energy per kernel invocation [J] (modeled)\n");
+    let data = fig9_data(100_000);
+    let mut t = TextTable::new(&["Config", "CPU", "GPU", "PHI", "FPGA"]);
+    let mut ratios = TextTable::new(&["Config", "vs CPU", "vs GPU", "vs PHI"]);
+    for (config, rows) in &data {
+        t.row(&[
+            config.clone(),
+            f(rows[0].1, 1),
+            f(rows[1].1, 1),
+            f(rows[2].1, 1),
+            f(rows[3].1, 1),
+        ]);
+        ratios.row(&[
+            config.clone(),
+            format!("{:.1}x", rows[0].2),
+            format!("{:.1}x", rows[1].2),
+            format!("{:.1}x", rows[2].2),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("FPGA efficiency advantage:");
+    println!("{}", ratios.render());
+    println!("paper anchors: max 9.5x/7.9x/4.1x (Config1), min ~2.2x vs GPU/PHI (Config4)");
+}

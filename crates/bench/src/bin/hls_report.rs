@@ -1,0 +1,53 @@
+//! Vivado-HLS-style synthesis reports for all four configurations: the
+//! console artifact an SDAccel user would read before place-and-route.
+
+use dwi_core::experiment::measure_rejection_overhead;
+use dwi_core::{PaperConfig, Workload};
+use dwi_hls::report::SynthesisReport;
+use dwi_hls::resources::Block;
+
+fn main() {
+    let w = Workload::paper();
+    for cfg in PaperConfig::all() {
+        let r = measure_rejection_overhead(cfg.normal_fpga, cfg.mt, w.sector_variance, 50_000);
+        let quota = w.scenarios_per_workitem(cfg.fpga_workitems) as u64 * w.num_sectors as u64;
+        let main_trips = (quota as f64 * (1.0 + r)) as u64;
+        let mut report = SynthesisReport::new(200e6);
+        let (transform_block, mts) = if cfg.is_bray() {
+            (Block::MarsagliaBray, 4u32)
+        } else {
+            (Block::IcdfFpga, 3)
+        };
+        let mt_block = if cfg.mt.n == 624 {
+            Block::Mt19937
+        } else {
+            Block::Mt521
+        };
+        for wid in 0..cfg.fpga_workitems {
+            let compute_cost = transform_block
+                .cost()
+                .add(Block::GammaCore.cost())
+                .add(Block::CorrectionCore.cost())
+                .add(mt_block.cost().times(mts as f64));
+            report.module(
+                &format!("GammaRNG_wi{wid}"),
+                1,
+                60,
+                main_trips,
+                compute_cost,
+            );
+            report.module(
+                &format!("Transfer_wi{wid}"),
+                1,
+                8,
+                quota / 16, // one firing per 512-bit word
+                Block::TransferEngine.cost(),
+            );
+        }
+        report.module("static_region", 1, 1, 1, Block::StaticRegion.cost());
+        println!("### {} (r = {r:.4}) ###", cfg.name());
+        println!("{}", report.render());
+    }
+    println!("note: dataflow latency is the compute bound; the memory channel");
+    println!("bound (Fig. 7) is what actually limits the full-size run.");
+}

@@ -1,0 +1,28 @@
+//! Regenerate Table III: runtime of the four configurations on all four
+//! platforms, with the ICDF-style split.
+
+use dwi_core::experiment::table3;
+use dwi_core::Workload;
+use dwi_ocl::profiles::DeviceKind;
+
+fn main() {
+    let w = Workload::paper();
+    let t = table3(&w, 100_000);
+    println!("Table III: Runtime [ms] (modeled; paper values in parentheses)\n");
+    println!("{}", t.render());
+    println!("paper:");
+    println!("  Config1                      3825     2479      996      701");
+    println!("  Config2                      3883     1011      696      701");
+    println!("  Config3: ICDF CUDA-style      807     1177      555      642");
+    println!("  Config3: ICDF FPGA-style     2794     1181     2435      642");
+    println!("  Config4: ICDF CUDA-style      839      522      460      642");
+    println!("  Config4: ICDF FPGA-style     2776      521     2294      642");
+    println!();
+    let c1 = &t.rows[0];
+    println!(
+        "Config1 FPGA speedups: {:.1}x CPU / {:.1}x GPU / {:.1}x PHI (paper 5.5/3.5/1.4)",
+        c1.fpga_speedup_vs(DeviceKind::Cpu).unwrap(),
+        c1.fpga_speedup_vs(DeviceKind::Gpu).unwrap(),
+        c1.fpga_speedup_vs(DeviceKind::Phi).unwrap()
+    );
+}

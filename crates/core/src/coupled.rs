@@ -1,0 +1,172 @@
+//! The counterfactual: *coupled* (lockstep) work-items on the FPGA.
+//!
+//! If the FPGA design naively vectorized W work-items into one pipeline —
+//! the structure a fixed architecture is stuck with (Fig. 2b) — every
+//! iteration would have to wait for all W lanes of the current output round,
+//! and rejected lanes would idle. This module executes that counterfactual
+//! functionally (producing the *same* outputs, since the algorithm is
+//! unchanged) and counts the lockstep iterations, quantifying exactly what
+//! the paper's decoupling (Fig. 2c) saves on the same device.
+
+use crate::config::{PaperConfig, Workload};
+use dwi_rng::GammaKernel;
+
+/// Result of a coupled (lockstep) counterfactual run.
+#[derive(Debug)]
+pub struct CoupledRun {
+    /// Lockstep iterations the shared pipeline executed.
+    pub lockstep_iterations: u64,
+    /// Useful iterations summed over lanes (what the decoupled design pays,
+    /// spread over W independent pipelines).
+    pub lane_iterations: u64,
+    /// Outputs produced (all lanes).
+    pub outputs: u64,
+    /// Lanes (work-items) coupled together.
+    pub width: u32,
+}
+
+impl CoupledRun {
+    /// Modeled runtime of the coupled design at `freq_hz`: one pipeline,
+    /// `lockstep_iterations · W` lane-slots issued but only the round
+    /// maximum advances — i.e. the pipeline needs `lockstep_iterations`
+    /// cycles per lane, times the serialization of W lanes through one
+    /// pipeline... in the fair comparison both designs get W pipelines'
+    /// worth of area, so the coupled runtime is simply
+    /// `lockstep_iterations / freq`.
+    pub fn runtime_s(&self, freq_hz: f64) -> f64 {
+        self.lockstep_iterations as f64 / freq_hz
+    }
+
+    /// The decoupled runtime on the same area (W independent pipelines,
+    /// slowest lane binds).
+    pub fn decoupled_runtime_s(&self, freq_hz: f64, max_lane_iterations: u64) -> f64 {
+        max_lane_iterations as f64 / freq_hz
+    }
+
+    /// Cycles wasted by coupling, as a fraction of the coupled runtime.
+    pub fn coupling_overhead(&self) -> f64 {
+        let per_lane_avg = self.lane_iterations as f64 / self.width as f64;
+        1.0 - per_lane_avg / self.lockstep_iterations as f64
+    }
+}
+
+/// Execute W work-items in lockstep per output round: every round runs until
+/// *all* lanes have produced their next output (rejected lanes retry while
+/// accepted lanes idle). Returns the run plus the per-lane iteration counts.
+pub fn run_coupled(
+    cfg: &PaperConfig,
+    workload: &Workload,
+    seed: u64,
+    width: u32,
+) -> (CoupledRun, Vec<u64>) {
+    assert!(width >= 1);
+    let kcfg = cfg.kernel_config(workload, seed);
+    let mut kernels: Vec<GammaKernel> =
+        (0..width).map(|wid| GammaKernel::new(&kcfg, wid)).collect();
+    let quota = kcfg.limit_main as u64 * kcfg.limit_sec as u64;
+    let mut lane_iters = vec![0u64; width as usize];
+    let mut lockstep = 0u64;
+    let mut outputs = 0u64;
+    for _round in 0..quota {
+        let mut round_max = 0u64;
+        for (lane, k) in kernels.iter_mut().enumerate() {
+            // Lane retries until it produces this round's output.
+            let mut attempts = 0u64;
+            loop {
+                attempts += 1;
+                let (out, _) = k.step();
+                if out.is_some() {
+                    break;
+                }
+                assert!(attempts < 1_000_000, "runaway rejection loop");
+            }
+            lane_iters[lane] += attempts;
+            round_max = round_max.max(attempts);
+            outputs += 1;
+        }
+        lockstep += round_max;
+    }
+    (
+        CoupledRun {
+            lockstep_iterations: lockstep,
+            lane_iterations: lane_iters.iter().sum(),
+            outputs,
+            width,
+        },
+        lane_iters,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwi_ocl::simt::divergence_factor;
+
+    fn workload() -> Workload {
+        Workload {
+            num_scenarios: 8192,
+            num_sectors: 1,
+            sector_variance: 1.39,
+        }
+    }
+
+    #[test]
+    fn coupled_costs_match_divergence_factor() {
+        // The functional lockstep run must land on the closed-form D(q, W).
+        let cfg = PaperConfig::config1();
+        let w = workload();
+        let (run, _) = run_coupled(&cfg, &w, 3, 8);
+        let per_output = run.lockstep_iterations as f64 / (run.outputs as f64 / 8.0);
+        let d = divergence_factor(0.2334, 8);
+        assert!(
+            (per_output - d).abs() / d < 0.05,
+            "lockstep {per_output} vs D {d}"
+        );
+    }
+
+    #[test]
+    fn decoupling_saves_what_the_paper_claims() {
+        // At W = 8 and the Marsaglia-Bray chain, coupling costs ~1.8× the
+        // decoupled design on the same area.
+        let cfg = PaperConfig::config1();
+        let w = workload();
+        let (run, lanes) = run_coupled(&cfg, &w, 7, 8);
+        let coupled = run.runtime_s(200e6);
+        let decoupled = run.decoupled_runtime_s(200e6, lanes.iter().copied().max().unwrap());
+        let gain = coupled / decoupled;
+        assert!(
+            (1.5..2.2).contains(&gain),
+            "decoupling gain {gain} out of expected band"
+        );
+    }
+
+    #[test]
+    fn icdf_chain_couples_almost_freely() {
+        // Low rejection ⇒ little divergence ⇒ decoupling buys little — the
+        // Config3/4 crossover of Table III in miniature.
+        let cfg = PaperConfig::config3();
+        let w = workload();
+        let (run, lanes) = run_coupled(&cfg, &w, 5, 8);
+        let gain =
+            run.runtime_s(200e6) / run.decoupled_runtime_s(200e6, lanes.iter().copied().max().unwrap());
+        assert!(gain < 1.2, "ICDF coupling gain should be small, got {gain}");
+    }
+
+    #[test]
+    fn overhead_grows_with_width() {
+        let cfg = PaperConfig::config1();
+        let w = workload();
+        let (r2, _) = run_coupled(&cfg, &w, 1, 2);
+        let (r16, _) = run_coupled(&cfg, &w, 1, 16);
+        assert!(r16.coupling_overhead() > r2.coupling_overhead());
+    }
+
+    #[test]
+    fn outputs_complete_regardless_of_coupling() {
+        let cfg = PaperConfig::config2();
+        let w = workload();
+        let (run, _) = run_coupled(&cfg, &w, 2, 4);
+        let quota = cfg.kernel_config(&w, 2).limit_main as u64;
+        assert_eq!(run.outputs, 4 * quota);
+    }
+}

@@ -1,0 +1,267 @@
+//! `DecoupledWorkItems` (Listing 1): N independent GammaRNG → stream →
+//! Transfer pipelines.
+//!
+//! The `DATAFLOW` pragma schedules all 2·N processes concurrently, each
+//! compute/transfer pair coupled by a blocking `hls::stream`. The functional
+//! simulation does literally that: each process is an OS thread, each
+//! stream a bounded blocking FIFO (`dwi-hls::stream`), each work-item owns
+//! an exclusive region of [`crate::DeviceMemory`] addressed by its `wid`
+//! (device-level combining, Section III-E-2). No work-item ever waits on
+//! another's data-dependent branches — the paper's decoupling, executed.
+
+use crate::config::{PaperConfig, Workload};
+use crate::device_memory::DeviceMemory;
+use crate::transfer::{transfer, TransferStats};
+use dwi_hls::stream::Stream;
+use dwi_rng::{GammaKernel, RejectionStats};
+
+/// How the host combines per-work-item output buffers (Section III-E).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combining {
+    /// One device buffer, per-work-item offsets, a single read request —
+    /// the paper's chosen strategy (III-E-2).
+    DeviceLevel,
+    /// N device buffers, N read requests, merged into one host buffer at
+    /// per-work-item offsets (III-E-1).
+    HostLevel,
+}
+
+/// Result of a functional decoupled run.
+#[derive(Debug)]
+pub struct DecoupledRun {
+    /// The host buffer: all work-items' outputs at their `wid`-derived
+    /// offsets (padded scenarios included, see
+    /// [`Workload::scenarios_per_workitem`]).
+    pub host_buffer: Vec<f32>,
+    /// Combined rejection statistics across work-items (Section IV-E).
+    pub rejection: RejectionStats,
+    /// Main-loop iterations executed per work-item.
+    pub iterations: Vec<u64>,
+    /// Transfer statistics per work-item.
+    pub transfers: Vec<TransferStats>,
+    /// Stream depth high-water marks per work-item.
+    pub stream_high_water: Vec<usize>,
+    /// Valid outputs per work-item (quota × sectors).
+    pub outputs_per_workitem: u64,
+}
+
+impl DecoupledRun {
+    /// Total valid RNs generated.
+    pub fn total_outputs(&self) -> u64 {
+        self.outputs_per_workitem * self.iterations.len() as u64
+    }
+
+    /// The combined-overhead `r` of Eq. 1.
+    pub fn rejection_overhead(&self) -> f64 {
+        self.rejection.overhead()
+    }
+}
+
+/// Depth of the compute→transfer stream (hls::stream) used by the engine.
+const STREAM_DEPTH: usize = 64;
+
+/// Run the decoupled design functionally: `cfg.fpga_workitems` independent
+/// work-item pipelines, each a compute thread + transfer thread.
+pub fn run_decoupled(
+    cfg: &PaperConfig,
+    workload: &Workload,
+    seed: u64,
+    combining: Combining,
+) -> DecoupledRun {
+    let n = cfg.fpga_workitems as usize;
+    let quota = workload.scenarios_per_workitem(cfg.fpga_workitems) as u64;
+    let outputs_per_wi = quota * workload.num_sectors as u64;
+    let words_per_wi = (outputs_per_wi as usize).div_ceil(16);
+    let base_kcfg = cfg.kernel_config(workload, seed);
+
+    let mut memory = DeviceMemory::new(n, words_per_wi);
+    let mut rejection = RejectionStats::new();
+    let mut iterations = vec![0u64; n];
+    let mut transfers = vec![TransferStats::default(); n];
+    let mut high_water = vec![0usize; n];
+
+    {
+        let regions = memory.split_regions();
+        crossbeam::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (wid, region) in regions.into_iter().enumerate() {
+                let kcfg = base_kcfg;
+                // Listing 1: each work-item gets its unique id at design
+                // time and its own stream + transfer function.
+                let (tx, rx) = Stream::<f32>::with_depth(STREAM_DEPTH);
+                let compute = scope.spawn(move |_| {
+                    let mut kernel = GammaKernel::new(&kcfg, wid as u32);
+                    let mut iters = 0u64;
+                    for _ in 0..kcfg.limit_sec {
+                        let run = kernel.run_sector(|g| tx.write(g));
+                        assert!(!run.truncated, "limitMax bound hit in sector run");
+                        iters += run.iterations;
+                    }
+                    let stats = *kernel.combined_stats();
+                    drop(tx); // close the stream: transfer drains and exits
+                    (iters, stats)
+                });
+                let burst_words = (cfg.burst_rns as usize) / 16;
+                let xfer = scope.spawn(move |_| {
+                    let stats = transfer(&rx, region, burst_words);
+                    (stats, rx.high_water())
+                });
+                handles.push((wid, compute, xfer));
+            }
+            for (wid, compute, xfer) in handles {
+                let (iters, stats) = compute.join().expect("compute thread panicked");
+                let (tstats, hw) = xfer.join().expect("transfer thread panicked");
+                iterations[wid] = iters;
+                rejection.merge(&stats);
+                transfers[wid] = tstats;
+                high_water[wid] = hw;
+            }
+        })
+        .expect("dataflow scope panicked");
+    }
+
+    let host_buffer = match combining {
+        // One device buffer, one read request.
+        Combining::DeviceLevel => memory.read_to_host(),
+        // N buffers read back one by one into one host buffer at offsets
+        // wid · L/N — byte-identical layout by construction (tested).
+        Combining::HostLevel => {
+            let mut host = vec![0f32; memory.len_f32()];
+            let region_len = words_per_wi * 16;
+            for wid in 0..n {
+                let part = memory.read_region(wid);
+                host[wid * region_len..(wid + 1) * region_len].copy_from_slice(&part);
+            }
+            host
+        }
+    };
+
+    DecoupledRun {
+        host_buffer,
+        rejection,
+        iterations,
+        transfers,
+        stream_high_water: high_water,
+        outputs_per_workitem: outputs_per_wi,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwi_rng::GammaKernel;
+
+    fn small_workload() -> Workload {
+        Workload {
+            num_scenarios: 4096,
+            num_sectors: 3,
+            sector_variance: 1.39,
+        }
+    }
+
+    #[test]
+    fn decoupled_run_matches_reference_kernels_exactly() {
+        // The whole point of the functional engine: each work-item's region
+        // must equal the scalar reference kernel's stream sample-for-sample.
+        let cfg = PaperConfig::config1();
+        let w = small_workload();
+        let run = run_decoupled(&cfg, &w, 7, Combining::DeviceLevel);
+        let kcfg = cfg.kernel_config(&w, 7);
+        let region_f32 = run.host_buffer.len() / cfg.fpga_workitems as usize;
+        for wid in 0..cfg.fpga_workitems {
+            let mut reference = Vec::new();
+            GammaKernel::new(&kcfg, wid).run_all(&mut reference);
+            let region = &run.host_buffer
+                [wid as usize * region_f32..wid as usize * region_f32 + reference.len()];
+            assert_eq!(region, &reference[..], "work-item {wid} diverged");
+        }
+    }
+
+    #[test]
+    fn all_configs_produce_full_quota() {
+        let w = Workload {
+            num_scenarios: 1024,
+            num_sectors: 2,
+            sector_variance: 1.39,
+        };
+        for cfg in PaperConfig::all() {
+            let run = run_decoupled(&cfg, &w, 1, Combining::DeviceLevel);
+            let quota = w.scenarios_per_workitem(cfg.fpga_workitems) as u64;
+            assert_eq!(run.outputs_per_workitem, quota * 2);
+            assert_eq!(
+                run.transfers.iter().map(|t| t.rns).sum::<u64>(),
+                run.total_outputs(),
+                "{}: transfer engines must see every RN",
+                cfg.name()
+            );
+        }
+    }
+
+    #[test]
+    fn combining_strategies_are_byte_identical() {
+        // Section III-E: both strategies must produce the same host buffer.
+        let cfg = PaperConfig::config3();
+        let w = small_workload();
+        let dev = run_decoupled(&cfg, &w, 3, Combining::DeviceLevel);
+        let host = run_decoupled(&cfg, &w, 3, Combining::HostLevel);
+        assert_eq!(dev.host_buffer, host.host_buffer);
+    }
+
+    #[test]
+    fn rejection_overhead_in_paper_band() {
+        let w = Workload {
+            num_scenarios: 16_384,
+            num_sectors: 2,
+            sector_variance: 1.39,
+        };
+        let bray = run_decoupled(&PaperConfig::config1(), &w, 5, Combining::DeviceLevel);
+        assert!(
+            (0.27..0.34).contains(&bray.rejection_overhead()),
+            "M-Bray overhead {}",
+            bray.rejection_overhead()
+        );
+        let icdf = run_decoupled(&PaperConfig::config3(), &w, 5, Combining::DeviceLevel);
+        assert!(
+            icdf.rejection_overhead() < 0.09,
+            "ICDF overhead {}",
+            icdf.rejection_overhead()
+        );
+    }
+
+    #[test]
+    fn work_items_progress_independently() {
+        // Iteration counts differ across work-items (independent rejection
+        // streams) — none of them is quantized to the slowest.
+        let run = run_decoupled(
+            &PaperConfig::config1(),
+            &small_workload(),
+            11,
+            Combining::DeviceLevel,
+        );
+        let min = run.iterations.iter().min().unwrap();
+        let max = run.iterations.iter().max().unwrap();
+        assert!(max > min, "independent streams should differ: {:?}", run.iterations);
+    }
+
+    #[test]
+    fn outputs_are_gamma_distributed() {
+        let run = run_decoupled(
+            &PaperConfig::config2(),
+            &Workload {
+                num_scenarios: 16_384,
+                num_sectors: 1,
+                sector_variance: 1.39,
+            },
+            13,
+            Combining::DeviceLevel,
+        );
+        // Use only the valid outputs of WI 0's region.
+        let valid: Vec<f64> = run.host_buffer[..run.outputs_per_workitem as usize]
+            .iter()
+            .map(|&x| x as f64)
+            .collect();
+        let dist = dwi_stats::Gamma::from_sector_variance(1.39);
+        let r = dwi_stats::ks_test(&valid, |x| dist.cdf(x));
+        assert!(r.accepts(1e-4), "KS p = {}", r.p_value);
+    }
+}

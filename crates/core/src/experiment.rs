@@ -1,0 +1,330 @@
+//! Cross-platform experiment driver: regenerates Table III.
+//!
+//! For each configuration the driver (1) *measures* the combined rejection
+//! overhead by running the real kernel on a calibration sample, (2) feeds it
+//! into the FPGA model (Eq. 1 + transfer bound) and the fixed-architecture
+//! cost models, and (3) assembles the Table III rows, including the
+//! ICDF-style split the paper reports for Config3/4.
+
+use crate::config::{IcdfStyle, PaperConfig, Workload};
+use crate::model::FpgaRuntimeModel;
+use dwi_ocl::profiles::{DeviceKind, DeviceProfile, CPU, GPU, PHI};
+use dwi_rng::{GammaKernel, KernelConfig, NormalMethod};
+
+/// Runtime of one platform for one configuration cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PlatformRuntime {
+    /// Runtime in milliseconds.
+    pub ms: f64,
+    /// Measured combined rejection overhead used by the model.
+    pub rejection_overhead: f64,
+}
+
+/// One Table III row.
+#[derive(Debug, Clone)]
+pub struct Table3Row {
+    /// Row label (e.g. "Config1" or "Config3: ICDF CUDA-style").
+    pub label: String,
+    /// CPU / GPU / PHI / FPGA runtimes (FPGA is `None` for the style split
+    /// rows that only apply to fixed platforms — the FPGA always runs the
+    /// bit-level ICDF).
+    pub cpu: PlatformRuntime,
+    /// GPU runtime.
+    pub gpu: PlatformRuntime,
+    /// Xeon Phi runtime.
+    pub phi: PlatformRuntime,
+    /// FPGA runtime (shared between the two ICDF-style rows).
+    pub fpga: Option<PlatformRuntime>,
+}
+
+impl Table3Row {
+    /// FPGA speedup vs a platform (>1 means the FPGA wins).
+    pub fn fpga_speedup_vs(&self, kind: DeviceKind) -> Option<f64> {
+        let fpga = self.fpga?;
+        let other = match kind {
+            DeviceKind::Cpu => self.cpu.ms,
+            DeviceKind::Gpu => self.gpu.ms,
+            DeviceKind::Phi => self.phi.ms,
+        };
+        Some(other / fpga.ms)
+    }
+}
+
+/// The whole Table III.
+#[derive(Debug, Clone)]
+pub struct Table3 {
+    /// Rows in the paper's order: Config1, Config2, Config3 (CUDA/FPGA
+    /// style), Config4 (CUDA/FPGA style).
+    pub rows: Vec<Table3Row>,
+    /// The workload the table was computed for.
+    pub workload: Workload,
+}
+
+impl Table3 {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<28} {:>8} {:>8} {:>8} {:>8}\n",
+            "Setup", "CPU", "GPU", "PHI", "FPGA"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<28} {:>8.0} {:>8.0} {:>8.0} {:>8}\n",
+                r.label,
+                r.cpu.ms,
+                r.gpu.ms,
+                r.phi.ms,
+                r.fpga
+                    .map(|f| format!("{:.0}", f.ms))
+                    .unwrap_or_else(|| "-".into()),
+            ));
+        }
+        out
+    }
+}
+
+/// Measure the combined rejection overhead of a kernel variant on a
+/// calibration sample (`samples` accepted outputs).
+pub fn measure_rejection_overhead(
+    normal: NormalMethod,
+    mt: dwi_rng::MtParams,
+    sector_variance: f32,
+    samples: u32,
+) -> f64 {
+    let cfg = KernelConfig {
+        normal,
+        mt,
+        sector_variance,
+        limit_sec: 1,
+        limit_main: samples,
+        limit_max_factor: 8,
+        seed: 0xCA11_B12A_7E5E_ED00,
+        break_id: 0,
+    };
+    let mut k = GammaKernel::new(&cfg, 0);
+    let mut sink = Vec::new();
+    k.run_all(&mut sink);
+    k.combined_stats().overhead()
+}
+
+/// Runtime of one fixed platform for a configuration (at the paper's
+/// NDRange: globalSize 65536, platform-optimal localSize).
+pub fn fixed_platform_runtime(
+    dev: &DeviceProfile,
+    cfg: &PaperConfig,
+    style: IcdfStyle,
+    workload: &Workload,
+    rejection_overhead: f64,
+) -> PlatformRuntime {
+    // D(q, W) consumes the per-attempt rejection probability, not the
+    // overhead: q = r / (1 + r).
+    let q = rejection_overhead / (1.0 + rejection_overhead);
+    let cell = cfg.ocl_cell(style, q);
+    let local = match dev.kind {
+        DeviceKind::Cpu => 8,
+        DeviceKind::Gpu => 64,
+        DeviceKind::Phi => 16,
+    };
+    let t = dev.kernel_runtime_s(&cell, workload.total_outputs(), 65_536, local);
+    PlatformRuntime {
+        ms: t * 1e3,
+        rejection_overhead,
+    }
+}
+
+/// FPGA runtime for a configuration.
+pub fn fpga_runtime(
+    cfg: &PaperConfig,
+    workload: &Workload,
+    rejection_overhead: f64,
+) -> PlatformRuntime {
+    let model = FpgaRuntimeModel::for_config(cfg, rejection_overhead);
+    PlatformRuntime {
+        ms: model.runtime_s(workload) * 1e3,
+        rejection_overhead,
+    }
+}
+
+/// Build the full Table III for a workload. `calibration_samples` controls
+/// how many outputs the rejection measurement generates per variant.
+pub fn table3(workload: &Workload, calibration_samples: u32) -> Table3 {
+    let mut rows = Vec::new();
+    for cfg in PaperConfig::all() {
+        if cfg.is_bray() {
+            let r = measure_rejection_overhead(
+                NormalMethod::MarsagliaBray,
+                cfg.mt,
+                workload.sector_variance,
+                calibration_samples,
+            );
+            rows.push(Table3Row {
+                label: cfg.name(),
+                cpu: fixed_platform_runtime(&CPU, &cfg, IcdfStyle::Cuda, workload, r),
+                gpu: fixed_platform_runtime(&GPU, &cfg, IcdfStyle::Cuda, workload, r),
+                phi: fixed_platform_runtime(&PHI, &cfg, IcdfStyle::Cuda, workload, r),
+                fpga: Some(fpga_runtime(&cfg, workload, r)),
+            });
+        } else {
+            // The ICDF rows split by style on the fixed platforms; the FPGA
+            // always runs the bit-level version.
+            let r_fpga = measure_rejection_overhead(
+                NormalMethod::IcdfFpga,
+                cfg.mt,
+                workload.sector_variance,
+                calibration_samples,
+            );
+            let r_cuda = measure_rejection_overhead(
+                NormalMethod::IcdfCuda,
+                cfg.mt,
+                workload.sector_variance,
+                calibration_samples,
+            );
+            let fpga = Some(fpga_runtime(&cfg, workload, r_fpga));
+            rows.push(Table3Row {
+                label: format!("{}: ICDF CUDA-style", cfg.name()),
+                cpu: fixed_platform_runtime(&CPU, &cfg, IcdfStyle::Cuda, workload, r_cuda),
+                gpu: fixed_platform_runtime(&GPU, &cfg, IcdfStyle::Cuda, workload, r_cuda),
+                phi: fixed_platform_runtime(&PHI, &cfg, IcdfStyle::Cuda, workload, r_cuda),
+                fpga,
+            });
+            rows.push(Table3Row {
+                label: format!("{}: ICDF FPGA-style", cfg.name()),
+                cpu: fixed_platform_runtime(&CPU, &cfg, IcdfStyle::Fpga, workload, r_fpga),
+                gpu: fixed_platform_runtime(&GPU, &cfg, IcdfStyle::Fpga, workload, r_fpga),
+                phi: fixed_platform_runtime(&PHI, &cfg, IcdfStyle::Fpga, workload, r_fpga),
+                fpga,
+            });
+        }
+    }
+    Table3 {
+        rows,
+        workload: *workload,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_table() -> Table3 {
+        table3(&Workload::paper(), 30_000)
+    }
+
+    #[test]
+    fn table3_shape_config1_fpga_wins_everywhere() {
+        let t = paper_table();
+        let c1 = &t.rows[0];
+        // Paper: 5.5×/3.5×/1.4× vs CPU/GPU/PHI.
+        let s_cpu = c1.fpga_speedup_vs(DeviceKind::Cpu).unwrap();
+        let s_gpu = c1.fpga_speedup_vs(DeviceKind::Gpu).unwrap();
+        let s_phi = c1.fpga_speedup_vs(DeviceKind::Phi).unwrap();
+        assert!((4.5..6.5).contains(&s_cpu), "CPU speedup {s_cpu}");
+        assert!((2.8..4.2).contains(&s_gpu), "GPU speedup {s_gpu}");
+        assert!((1.1..1.8).contains(&s_phi), "PHI speedup {s_phi}");
+    }
+
+    #[test]
+    fn table3_shape_config2_fpga_comparable_to_phi() {
+        let t = paper_table();
+        let c2 = &t.rows[1];
+        let s_phi = c2.fpga_speedup_vs(DeviceKind::Phi).unwrap();
+        // Paper: "comparable runtime to PHI under Config2" (696 vs 701 ms).
+        assert!((0.8..1.2).contains(&s_phi), "PHI ratio {s_phi}");
+        // And still well ahead of the CPU.
+        assert!(c2.fpga_speedup_vs(DeviceKind::Cpu).unwrap() > 4.0);
+    }
+
+    #[test]
+    fn table3_shape_config34_crossover() {
+        let t = paper_table();
+        // Row 2 = Config3 CUDA-style, row 4 = Config4 CUDA-style.
+        let c3 = &t.rows[2];
+        let c4 = &t.rows[4];
+        // Paper: FPGA ~2× faster than CPU but 0.9×/0.7× vs PHI — i.e. the
+        // fixed platforms *win* once rejection (divergence) is low and the
+        // FPGA is transfer-bound. The crossover must reproduce.
+        assert!(c3.fpga_speedup_vs(DeviceKind::Cpu).unwrap() > 1.2);
+        assert!(
+            c3.fpga_speedup_vs(DeviceKind::Phi).unwrap() < 1.05,
+            "PHI should be at least on par for Config3"
+        );
+        assert!(
+            c4.fpga_speedup_vs(DeviceKind::Gpu).unwrap() < 1.0,
+            "GPU should win Config4 (paper: 522 vs 642 ms)"
+        );
+        assert!(
+            c4.fpga_speedup_vs(DeviceKind::Phi).unwrap() < 1.0,
+            "PHI should win Config4 (paper: 460 vs 642 ms)"
+        );
+    }
+
+    #[test]
+    fn table3_fpga_style_icdf_slow_on_cpu_and_phi() {
+        let t = paper_table();
+        let cuda = &t.rows[2]; // Config3 CUDA-style
+        let fpga_style = &t.rows[3]; // Config3 FPGA-style
+        assert!(
+            fpga_style.cpu.ms > 2.5 * cuda.cpu.ms,
+            "CPU: FPGA-style {} vs CUDA-style {}",
+            fpga_style.cpu.ms,
+            cuda.cpu.ms
+        );
+        assert!(fpga_style.phi.ms > 3.0 * cuda.phi.ms);
+        // GPU indifferent (paper: 1181 ≈ 1177).
+        let gpu_ratio = fpga_style.gpu.ms / cuda.gpu.ms;
+        assert!((0.9..1.15).contains(&gpu_ratio), "GPU ratio {gpu_ratio}");
+    }
+
+    #[test]
+    fn table3_absolute_values_within_band() {
+        // ±20% on every cell of the paper's Table III (documented deviation
+        // for the ICDF rejection rate difference notwithstanding — the
+        // runtime effect is small).
+        let t = paper_table();
+        let paper: [(usize, [f64; 3], Option<f64>); 6] = [
+            (0, [3825.0, 2479.0, 996.0], Some(701.0)),
+            (1, [3883.0, 1011.0, 696.0], Some(701.0)),
+            (2, [807.0, 1177.0, 555.0], Some(642.0)),
+            (3, [2794.0, 1181.0, 2435.0], Some(642.0)),
+            (4, [839.0, 522.0, 460.0], Some(642.0)),
+            (5, [2776.0, 521.0, 2294.0], Some(642.0)),
+        ];
+        for (idx, [cpu, gpu, phi], fpga) in paper {
+            let row = &t.rows[idx];
+            for (got, want, name) in [
+                (row.cpu.ms, cpu, "CPU"),
+                (row.gpu.ms, gpu, "GPU"),
+                (row.phi.ms, phi, "PHI"),
+            ] {
+                assert!(
+                    (got - want).abs() / want < 0.20,
+                    "row {idx} {name}: {got:.0} vs paper {want}"
+                );
+            }
+            if let Some(want) = fpga {
+                let got = row.fpga.unwrap().ms;
+                assert!(
+                    (got - want).abs() / want < 0.20,
+                    "row {idx} FPGA: {got:.0} vs paper {want}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn measured_overheads_feed_the_models() {
+        let t = paper_table();
+        assert!((0.27..0.34).contains(&t.rows[0].fpga.unwrap().rejection_overhead));
+        assert!(t.rows[2].fpga.unwrap().rejection_overhead < 0.09);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let t = paper_table();
+        let s = t.render();
+        assert_eq!(s.lines().count(), 7); // header + 6 rows
+        assert!(s.contains("Config1"));
+        assert!(s.contains("ICDF FPGA-style"));
+    }
+}

@@ -1,0 +1,141 @@
+//! The bit-level ICDF re-expressed on the `ap_fixed`-style [`Fixed`] type.
+//!
+//! `dwi-rng`'s FPGA-style ICDF uses hand-rolled integer Q-format arithmetic
+//! (the way the paper ports it to fixed architectures); an HLS kernel would
+//! instead write it against `ap_fixed`. This module is that formulation —
+//! leading-zero segmentation, per-sub-segment quadratic in `Fixed<48,16>` —
+//! and the tests cross-check it against both the integer implementation and
+//! the double-precision reference, closing the loop between the substrate
+//! (`dwi-hls::fixed`) and the application.
+
+use dwi_hls::fixed::Fixed;
+
+/// Q31.16-in-48-bits: plenty of headroom for |z| ≤ 6.5 with 2⁻³² ≈ …
+/// (FRAC = 32) resolution.
+type F = Fixed<48, 16>;
+
+/// Octave/sub-segment geometry shared with `dwi_rng::transforms::icdf_fpga`.
+const OCTAVES: usize = 28;
+const SUBSEGS: usize = 16;
+
+/// The Fixed-typed bit-level ICDF.
+pub struct IcdfFixed {
+    coeff: Vec<[(F, F, F); SUBSEGS]>,
+}
+
+impl Default for IcdfFixed {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl IcdfFixed {
+    /// Build the coefficient tables from the double-precision quantile.
+    pub fn new() -> Self {
+        let normal = dwi_stats::Normal::new(0.0, 1.0);
+        let mut coeff = Vec::with_capacity(OCTAVES);
+        for k in 0..OCTAVES {
+            let base = 2f64.powi(-(k as i32) - 2);
+            let width = base / SUBSEGS as f64;
+            let mut row = [(F::zero(), F::zero(), F::zero()); SUBSEGS];
+            for (s, cell) in row.iter_mut().enumerate() {
+                let u0 = base + s as f64 * width;
+                let z0 = normal.quantile(u0);
+                let zh = normal.quantile(u0 + 0.5 * width);
+                let z1 = normal.quantile(u0 + width);
+                *cell = (
+                    F::from_f64(z0),
+                    F::from_f64(-3.0 * z0 + 4.0 * zh - z1),
+                    F::from_f64(2.0 * z0 - 4.0 * zh + 2.0 * z1),
+                );
+            }
+            coeff.push(row);
+        }
+        Self { coeff }
+    }
+
+    /// One attempt from a raw 32-bit uniform; mirrors
+    /// `dwi_rng::transforms::IcdfFpga::attempt_pure` bit for bit in the
+    /// segmentation, with the polynomial evaluated in [`Fixed`] arithmetic.
+    pub fn attempt(&self, u: u32) -> (f32, bool) {
+        let sign = u & 0x8000_0000 != 0;
+        let h = u & 0x7FFF_FFFF;
+        if h == 0 {
+            return (0.0, false);
+        }
+        let lz = h.leading_zeros() - 1;
+        let k = (lz as usize).min(OCTAVES - 1);
+        let pos = 30 - lz;
+        let rest = h & ((1u32 << pos) - 1);
+        let (sub, t) = if pos >= 4 {
+            let frac_bits = pos - 4;
+            let sub = (rest >> frac_bits) as usize;
+            let frac = rest & ((1u32 << frac_bits) - 1);
+            // t in [0,1): raw fixed with FRAC=32 fractional bits.
+            (sub, F::from_raw((frac as i64) << (32 - frac_bits)))
+        } else {
+            ((rest << (4 - pos)) as usize, F::zero())
+        };
+        let (c0, c1, c2) = self.coeff[k][sub & (SUBSEGS - 1)];
+        let z = c0.add(c1.mul(t)).add(c2.mul(t).mul(t));
+        let zf = z.to_f32();
+        (if sign { -zf } else { zf }, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwi_rng::transforms::IcdfFpga;
+
+    #[test]
+    fn matches_integer_implementation_closely() {
+        // Same tables, same segmentation, different arithmetic substrate:
+        // agreement to the coarser format's epsilon.
+        let fixed = IcdfFixed::new();
+        let int = IcdfFpga::new();
+        let mut max_err = 0.0f64;
+        for i in 1..20_000u32 {
+            let u = i.wrapping_mul(214_748); // sweep
+            let (a, ok_a) = fixed.attempt(u);
+            let (b, ok_b) = int.attempt_pure(u);
+            assert_eq!(ok_a, ok_b, "validity must agree at {u:#X}");
+            if ok_a {
+                max_err = max_err.max((a as f64 - b as f64).abs());
+            }
+        }
+        assert!(max_err < 1e-6, "substrates diverge: {max_err}");
+    }
+
+    #[test]
+    fn matches_reference_quantile() {
+        let fixed = IcdfFixed::new();
+        let normal = dwi_stats::Normal::new(0.0, 1.0);
+        let mut max_err = 0.0f64;
+        for i in 1..4096u32 {
+            let u = i << 19;
+            let (z, ok) = fixed.attempt(u);
+            assert!(ok);
+            let uu = (u & 0x7FFF_FFFF) as f64 / 4_294_967_296.0;
+            max_err = max_err.max((z as f64 - normal.quantile(uu)).abs());
+        }
+        assert!(max_err < 2e-3, "max error {max_err}");
+    }
+
+    #[test]
+    fn symmetry_holds_in_fixed_arithmetic() {
+        let fixed = IcdfFixed::new();
+        for &h in &[1u32, 0x1234_5678 & 0x7FFF_FFFF, 0x7FFF_FFFF] {
+            let (neg, _) = fixed.attempt(h);
+            let (pos, _) = fixed.attempt(h | 0x8000_0000);
+            assert_eq!(neg, -pos);
+        }
+    }
+
+    #[test]
+    fn invalid_inputs_agree() {
+        let fixed = IcdfFixed::new();
+        assert!(!fixed.attempt(0).1);
+        assert!(!fixed.attempt(0x8000_0000).1);
+    }
+}

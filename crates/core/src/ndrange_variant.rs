@@ -1,0 +1,162 @@
+//! The `.cl` NDRange variant of the decoupled design (Section III-A).
+//!
+//! In a `.cl` NDRange kernel SDAccel maps each *work-group* to one pipeline;
+//! the paper's `Task`-level formulation instead instantiates the work-items
+//! manually inside one kernel, which pins `localSize` to 1 but gives
+//! low-level control (`ap_fixed`, HLS pragmas). The paper's guideline: in
+//! either case "what directly affects the overall runtime is the number of
+//! pipelines (work-groups) instantiated in parallel".
+//!
+//! This module implements the NDRange formulation — `groups` pipelines,
+//! each serving `localSize` work-items by time-multiplexing its single
+//! pipeline — and demonstrates the guideline: with the same number of
+//! pipelines the two formulations deliver identical throughput and, at
+//! `localSize = 1`, identical output streams.
+
+use crate::config::{PaperConfig, Workload};
+use dwi_rng::GammaKernel;
+use dwi_rng::RejectionStats;
+
+/// Result of an NDRange-style functional run.
+#[derive(Debug)]
+pub struct NdRangeRun {
+    /// Outputs per work-group, concatenated in group order; within a group
+    /// the work-items' outputs are round-robin interleaved per sector (the
+    /// single pipeline serves its work-items in turn).
+    pub outputs: Vec<f32>,
+    /// Combined rejection statistics.
+    pub rejection: RejectionStats,
+    /// Total pipeline iterations per group (the runtime-determining count).
+    pub group_iterations: Vec<u64>,
+}
+
+/// Run the NDRange formulation: `groups` pipelines × `local_size`
+/// work-items each. Total work-items = `groups · local_size`; each
+/// work-item produces `workload.scenarios_per_workitem(total)` scenarios
+/// per sector, exactly like the Task formulation with that many work-items.
+pub fn run_ndrange(
+    cfg: &PaperConfig,
+    workload: &Workload,
+    seed: u64,
+    groups: u32,
+    local_size: u32,
+) -> NdRangeRun {
+    assert!(groups >= 1 && local_size >= 1);
+    let total_wi = groups * local_size;
+    let mut kcfg = cfg.kernel_config(workload, seed);
+    // Re-derive the per-work-item quota for the NDRange geometry.
+    kcfg.limit_main = workload.scenarios_per_workitem(total_wi);
+    let mut outputs = Vec::new();
+    let mut rejection = RejectionStats::new();
+    let mut group_iterations = Vec::with_capacity(groups as usize);
+
+    for g in 0..groups {
+        // One pipeline: its work-items execute as nested loops (the
+        // SDAccel mapping), i.e. sequentially multiplexed.
+        let mut kernels: Vec<GammaKernel> = (0..local_size)
+            .map(|l| GammaKernel::new(&kcfg, g * local_size + l))
+            .collect();
+        let mut iters = 0u64;
+        for _sector in 0..workload.num_sectors {
+            for k in kernels.iter_mut() {
+                let run = k.run_sector(|v| outputs.push(v));
+                iters += run.iterations;
+            }
+        }
+        for k in &kernels {
+            rejection.merge(k.combined_stats());
+        }
+        group_iterations.push(iters);
+    }
+    NdRangeRun {
+        outputs,
+        rejection,
+        group_iterations,
+    }
+}
+
+/// Modeled runtime of the NDRange formulation: pipelines run in parallel,
+/// so the runtime is the slowest group's iteration count at II = 1.
+pub fn ndrange_runtime_s(run: &NdRangeRun, freq_hz: f64) -> f64 {
+    let max = run.group_iterations.iter().copied().max().unwrap_or(0);
+    max as f64 / freq_hz
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decoupled::{run_decoupled, Combining};
+
+    fn workload() -> Workload {
+        Workload {
+            num_scenarios: 2048,
+            num_sectors: 2,
+            sector_variance: 1.39,
+        }
+    }
+
+    #[test]
+    fn localsize_one_matches_task_formulation() {
+        // groups = paper work-items, localSize = 1 → identical streams to
+        // the Task-level decoupled engine (same wids, same quotas).
+        let cfg = PaperConfig::config1();
+        let w = workload();
+        let nd = run_ndrange(&cfg, &w, 9, cfg.fpga_workitems, 1);
+        let task = run_decoupled(&cfg, &w, 9, Combining::DeviceLevel);
+        // The task engine pads regions to whole 512-bit words; compare the
+        // valid prefix of each work-item region.
+        let quota = w.scenarios_per_workitem(cfg.fpga_workitems) as usize * 2;
+        let region = task.host_buffer.len() / cfg.fpga_workitems as usize;
+        for wid in 0..cfg.fpga_workitems as usize {
+            let a = &nd.outputs[wid * quota..(wid + 1) * quota];
+            // NDRange emits per group: group wid's outputs are its two
+            // sectors back to back — same as the task work-item stream.
+            let b = &task.host_buffer[wid * region..wid * region + quota];
+            assert_eq!(a, b, "work-item {wid}");
+        }
+    }
+
+    #[test]
+    fn throughput_depends_on_pipelines_not_grouping() {
+        // 6 pipelines × 1 WI vs 3 pipelines × 2 WIs: same total work-items,
+        // but half the pipelines → ~double the runtime (paper Section III-A).
+        let cfg = PaperConfig::config1();
+        let w = workload();
+        let six = run_ndrange(&cfg, &w, 4, 6, 1);
+        let three = run_ndrange(&cfg, &w, 4, 3, 2);
+        let t6 = ndrange_runtime_s(&six, 200e6);
+        let t3 = ndrange_runtime_s(&three, 200e6);
+        let ratio = t3 / t6;
+        assert!(
+            (1.7..2.3).contains(&ratio),
+            "halving pipelines should ~double runtime, got {ratio}"
+        );
+        // Same amount of data either way.
+        assert_eq!(six.outputs.len(), three.outputs.len());
+    }
+
+    #[test]
+    fn all_outputs_are_valid_gammas() {
+        let cfg = PaperConfig::config3();
+        let run = run_ndrange(&cfg, &workload(), 2, 2, 4);
+        assert!(run.outputs.iter().all(|&g| g >= 0.0 && g.is_finite()));
+        let mut s = dwi_stats::Summary::new();
+        s.extend_f32(&run.outputs);
+        assert!((s.mean() - 1.0).abs() < 0.05, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn rejection_stats_aggregate_all_workitems() {
+        let cfg = PaperConfig::config1();
+        let w = workload();
+        let run = run_ndrange(&cfg, &w, 1, 2, 3);
+        let quota = w.scenarios_per_workitem(6) as u64;
+        // The delayed loop-exit counter can accept (but not write) up to one
+        // extra output per sector run, so `accepted` may slightly exceed the
+        // written quota.
+        let written = 6 * quota * 2;
+        assert!(run.rejection.accepted >= written);
+        assert!(run.rejection.accepted <= written + 6 * 2 * 2);
+        assert_eq!(run.outputs.len() as u64, written);
+    }
+}

@@ -1,0 +1,138 @@
+//! The `Transfer` block (Listing 4): stream → 512-bit packing → fixed-length
+//! bursts into the work-item's device-memory region.
+
+use dwi_hls::stream::Consumer;
+use dwi_hls::wide::{Packer, Wide512};
+
+/// Statistics of one transfer engine's run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// RNs consumed from the stream.
+    pub rns: u64,
+    /// Complete 512-bit words written.
+    pub words: u64,
+    /// Bursts issued (`memcpy` calls).
+    pub bursts: u64,
+    /// Words in the final, possibly short, burst (0 if exact).
+    pub tail_words: u64,
+}
+
+/// Drain `stream` into `region`, packing 16 RNs per word and bursting
+/// `burst_words` words at a time (Listing 4's `transfBuf[LTRANSF]` +
+/// `memcpy`). Returns the stats; panics if the region is too small —
+/// the hardware would silently corrupt memory, the simulation refuses.
+pub fn transfer(
+    stream: &Consumer<f32>,
+    region: &mut [Wide512],
+    burst_words: usize,
+) -> TransferStats {
+    assert!(burst_words > 0, "burst must be at least one word");
+    let mut packer = Packer::new();
+    let mut burst_buf: Vec<Wide512> = Vec::with_capacity(burst_words);
+    let mut offset = 0usize; // within the region (Listing 4's `offset`)
+    let mut stats = TransferStats::default();
+
+    let mut flush_burst = |buf: &mut Vec<Wide512>, offset: &mut usize, stats: &mut TransferStats| {
+        if buf.is_empty() {
+            return;
+        }
+        let end = *offset + buf.len();
+        assert!(
+            end <= region.len(),
+            "transfer overruns the work-item region ({} > {})",
+            end,
+            region.len()
+        );
+        region[*offset..end].copy_from_slice(buf);
+        *offset = end;
+        stats.bursts += 1;
+        if buf.len() < burst_words {
+            stats.tail_words = buf.len() as u64;
+        }
+        buf.clear();
+    };
+
+    while let Some(v) = stream.read() {
+        stats.rns += 1;
+        if let Some(word) = packer.push(v) {
+            burst_buf.push(word);
+            stats.words += 1;
+            if burst_buf.len() == burst_words {
+                flush_burst(&mut burst_buf, &mut offset, &mut stats);
+            }
+        }
+    }
+    // Stream closed: flush the partial word (zero-padded) and the last burst.
+    if let Some(word) = packer.flush() {
+        burst_buf.push(word);
+        stats.words += 1;
+    }
+    flush_burst(&mut burst_buf, &mut offset, &mut stats);
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwi_hls::stream::Stream;
+
+    fn run_transfer(values: Vec<f32>, region_words: usize, burst_words: usize) -> (Vec<f32>, TransferStats) {
+        let (tx, rx) = Stream::with_depth(64);
+        let mut region = vec![Wide512::zero(); region_words];
+        let producer = std::thread::spawn(move || {
+            for v in values {
+                tx.write(v);
+            }
+        });
+        let stats = transfer(&rx, &mut region, burst_words);
+        producer.join().unwrap();
+        let mut out = Vec::new();
+        dwi_hls::wide::unpack_words(&region, &mut out);
+        (out, stats)
+    }
+
+    #[test]
+    fn exact_multiple_of_burst() {
+        let data: Vec<f32> = (0..512).map(|i| i as f32).collect();
+        let (out, stats) = run_transfer(data.clone(), 32, 16);
+        assert_eq!(&out[..512], &data[..]);
+        assert_eq!(stats.rns, 512);
+        assert_eq!(stats.words, 32);
+        assert_eq!(stats.bursts, 2);
+        assert_eq!(stats.tail_words, 0);
+    }
+
+    #[test]
+    fn partial_word_zero_padded() {
+        let data: Vec<f32> = (0..20).map(|i| i as f32 + 1.0).collect();
+        let (out, stats) = run_transfer(data.clone(), 2, 16);
+        assert_eq!(&out[..20], &data[..]);
+        assert_eq!(out[20], 0.0, "tail lanes zero-padded");
+        assert_eq!(stats.words, 2);
+        assert_eq!(stats.bursts, 1);
+        assert_eq!(stats.tail_words, 2);
+    }
+
+    #[test]
+    fn short_final_burst() {
+        // 3 words with 2-word bursts → one full + one tail burst.
+        let data: Vec<f32> = (0..48).map(|i| i as f32).collect();
+        let (_, stats) = run_transfer(data, 3, 2);
+        assert_eq!(stats.bursts, 2);
+        assert_eq!(stats.tail_words, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "overruns the work-item region")]
+    fn region_overflow_panics() {
+        let data: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let _ = run_transfer(data, 1, 1);
+    }
+
+    #[test]
+    fn empty_stream_is_a_noop() {
+        let (out, stats) = run_transfer(Vec::new(), 2, 2);
+        assert!(out.iter().all(|&v| v == 0.0));
+        assert_eq!(stats, TransferStats::default());
+    }
+}

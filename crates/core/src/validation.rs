@@ -1,0 +1,152 @@
+//! Distribution validation machinery (the Fig. 6 methodology as a library).
+//!
+//! The paper validates visually against Matlab's `gamrnd`; this module
+//! packages the reproduction's stronger check — moments, KS, Anderson-
+//! Darling and a histogram against the analytic Gamma(1/v, v) — into one
+//! report over a decoupled run's output buffer.
+
+use crate::decoupled::DecoupledRun;
+use dwi_stats::{ad_test, ks_test, AdResult, Gamma, Histogram, KsResult, Summary};
+
+/// Validation report of one generated gamma sequence.
+#[derive(Debug)]
+pub struct ValidationReport {
+    /// Sector variance validated against.
+    pub sector_variance: f64,
+    /// Sample moments.
+    pub summary: Summary,
+    /// Kolmogorov-Smirnov result.
+    pub ks: KsResult,
+    /// Anderson-Darling result (tail-weighted).
+    pub ad: AdResult,
+    /// Histogram over [0, q_{0.999}).
+    pub histogram: Histogram,
+    /// Samples validated.
+    pub n: usize,
+}
+
+impl ValidationReport {
+    /// Overall verdict at significance `alpha` for each test: moments
+    /// within 3σ-ish bands, KS and AD not rejecting.
+    pub fn passes(&self, alpha: f64) -> bool {
+        let v = self.sector_variance;
+        let n = self.n as f64;
+        let mean_tol = 4.0 * (v / n).sqrt();
+        self.ks.accepts(alpha)
+            && self.ad.accepts(alpha)
+            && (self.summary.mean() - 1.0).abs() < mean_tol.max(0.02)
+            && (self.summary.variance() - v).abs() / v < 0.15
+    }
+
+    /// One-line summary for reports.
+    pub fn render(&self) -> String {
+        format!(
+            "n={} mean={:.4} var={:.4} KS(D={:.4}, p={:.3}) AD(A2={:.3}, p={:.3})",
+            self.n,
+            self.summary.mean(),
+            self.summary.variance(),
+            self.ks.statistic,
+            self.ks.p_value,
+            self.ad.statistic,
+            self.ad.p_value
+        )
+    }
+}
+
+/// Validate a decoupled run's buffer against Gamma(1/v, v), using up to
+/// `max_samples` values (valid regions of every work-item).
+pub fn validate_run(
+    run: &DecoupledRun,
+    workitems: u32,
+    sector_variance: f64,
+    max_samples: usize,
+) -> ValidationReport {
+    let region = run.host_buffer.len() / workitems as usize;
+    let valid = run.outputs_per_workitem as usize;
+    let mut sample: Vec<f64> = Vec::new();
+    for wid in 0..workitems as usize {
+        sample.extend(
+            run.host_buffer[wid * region..wid * region + valid]
+                .iter()
+                .map(|&x| x as f64),
+        );
+        if sample.len() >= max_samples {
+            sample.truncate(max_samples);
+            break;
+        }
+    }
+    assert!(sample.len() >= 64, "not enough samples to validate");
+    let dist = Gamma::from_sector_variance(sector_variance);
+    let mut summary = Summary::new();
+    summary.extend(&sample);
+    let hi = dist.quantile(0.999);
+    let mut histogram = Histogram::new(0.0, hi, 60);
+    histogram.extend(&sample);
+    let ks = ks_test(&sample, |x| dist.cdf(x));
+    let ad = ad_test(&sample, |x| dist.cdf(x));
+    ValidationReport {
+        sector_variance,
+        summary,
+        ks,
+        ad,
+        histogram,
+        n: sample.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{PaperConfig, Workload};
+    use crate::decoupled::{run_decoupled, Combining};
+
+    fn run(v: f32, scenarios: u64) -> (DecoupledRun, PaperConfig) {
+        let cfg = PaperConfig::config1();
+        let w = Workload {
+            num_scenarios: scenarios,
+            num_sectors: 1,
+            sector_variance: v,
+        };
+        (run_decoupled(&cfg, &w, 31, Combining::DeviceLevel), cfg)
+    }
+
+    #[test]
+    fn valid_sequences_pass_all_tests() {
+        for v in [1.39f32, 13.9] {
+            let (r, cfg) = run(v, 24_576);
+            let report = validate_run(&r, cfg.fpga_workitems, v as f64, 30_000);
+            assert!(
+                report.passes(1e-4),
+                "v={v}: {}",
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupted_buffer_fails_validation() {
+        let (mut r, cfg) = run(1.39, 8192);
+        // Corrupt: scale the first work-item's region.
+        let region = r.host_buffer.len() / cfg.fpga_workitems as usize;
+        for x in r.host_buffer[..region].iter_mut() {
+            *x *= 2.0;
+        }
+        let report = validate_run(&r, cfg.fpga_workitems, 1.39, 20_000);
+        assert!(!report.passes(1e-4), "corruption must be detected");
+    }
+
+    #[test]
+    fn wrong_variance_hypothesis_rejected() {
+        let (r, cfg) = run(1.39, 8192);
+        let report = validate_run(&r, cfg.fpga_workitems, 5.0, 20_000);
+        assert!(!report.passes(1e-4));
+    }
+
+    #[test]
+    fn render_contains_key_stats() {
+        let (r, cfg) = run(1.39, 4096);
+        let report = validate_run(&r, cfg.fpga_workitems, 1.39, 10_000);
+        let s = report.render();
+        assert!(s.contains("KS(") && s.contains("AD(") && s.contains("mean="));
+    }
+}

@@ -1,0 +1,157 @@
+//! CreditRisk+ driven by an accelerator-generated sector buffer — the full
+//! paper pipeline.
+//!
+//! Section IV-B: "the four accelerators send the gamma RNs back to the
+//! host". The host buffer holds `numScenarios × numSectors` gamma draws;
+//! this module consumes such a buffer (scenario-major) and computes the
+//! portfolio loss distribution — closing the loop from the decoupled FPGA
+//! work-items to the financial result the RNs exist for.
+
+use crate::portfolio::Portfolio;
+use dwi_rng::mt::MT19937;
+use dwi_rng::uniform::uint2float;
+use dwi_rng::BlockMt;
+
+/// Interpret `buffer` as `scenarios` rows of `n_sectors` gamma draws and
+/// run the conditional-Poisson loss model. The default-count randomness
+/// comes from a host-side generator seeded with `seed` (in the paper the
+/// accelerator only produces the sector variables — the cheap Poisson
+/// mixing stays on the host).
+///
+/// Returns per-scenario losses in loss units.
+pub fn losses_from_sector_buffer(
+    portfolio: &Portfolio,
+    buffer: &[f32],
+    scenarios: u64,
+    seed: u64,
+) -> Vec<u64> {
+    portfolio.validate().expect("invalid portfolio");
+    let n_sectors = portfolio.sectors.len();
+    assert!(n_sectors > 0, "need at least one sector");
+    assert!(
+        buffer.len() as u64 >= scenarios * n_sectors as u64,
+        "buffer holds {} draws, need {}",
+        buffer.len(),
+        scenarios * n_sectors as u64
+    );
+    let mut mt = BlockMt::new(MT19937, (seed ^ 0x0B5E_55ED) as u32);
+    let mut losses = Vec::with_capacity(scenarios as usize);
+    for s in 0..scenarios as usize {
+        let row = &buffer[s * n_sectors..(s + 1) * n_sectors];
+        let mut loss = 0u64;
+        for o in &portfolio.obligors {
+            let mut scale = o.specific_weight;
+            for &(k, w) in &o.sector_weights {
+                scale += w * row[k] as f64;
+            }
+            let lambda = o.pd * scale;
+            loss += poisson(lambda, &mut mt) as u64 * o.exposure as u64;
+        }
+        losses.push(loss);
+    }
+    losses
+}
+
+fn poisson(lambda: f64, mt: &mut BlockMt) -> u32 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    let l = (-lambda).exp();
+    let mut k = 0u32;
+    let mut prod = 1.0f64;
+    loop {
+        prod *= uint2float(mt.next_u32()) as f64;
+        if prod <= l {
+            return k;
+        }
+        k += 1;
+        debug_assert!(k < 10_000);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::moments::{loss_mean, loss_variance};
+    use crate::portfolio::{Obligor, Sector};
+
+    /// A buffer of genuine Gamma(1/v, v) draws via the paper's own stack.
+    fn gamma_buffer(v: f32, scenarios: usize, sectors: usize, seed: u32) -> Vec<f32> {
+        use dwi_rng::transforms::NormalTransform;
+        let mut mt = BlockMt::new(MT19937, seed);
+        let mut bray = dwi_rng::MarsagliaBray::new();
+        let mut g = dwi_rng::MarsagliaTsang::from_sector_variance(v);
+        let mut out = Vec::with_capacity(scenarios * sectors);
+        while out.len() < scenarios * sectors {
+            let (n0, ok) = bray.attempt(mt.next_u32(), mt.next_u32());
+            if !ok {
+                continue;
+            }
+            let u1 = uint2float(mt.next_u32());
+            let u2 = uint2float(mt.next_u32());
+            if let Some(x) = g.attempt(n0, u1, u2) {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn buffer_driven_losses_match_closed_moments() {
+        let p = Portfolio::synthetic(120, 4, 1.39);
+        let scenarios = 30_000usize;
+        let buffer = gamma_buffer(1.39, scenarios, 4, 9);
+        let losses = losses_from_sector_buffer(&p, &buffer, scenarios as u64, 7);
+        let mean = losses.iter().map(|&l| l as f64).sum::<f64>() / scenarios as f64;
+        let want = loss_mean(&p);
+        assert!((mean - want).abs() / want < 0.05, "mean {mean} vs {want}");
+        let var = losses
+            .iter()
+            .map(|&l| (l as f64 - mean).powi(2))
+            .sum::<f64>()
+            / (scenarios as f64 - 1.0);
+        let want_var = loss_variance(&p);
+        assert!(
+            (var.sqrt() - want_var.sqrt()).abs() / want_var.sqrt() < 0.1,
+            "std {} vs {}",
+            var.sqrt(),
+            want_var.sqrt()
+        );
+    }
+
+    #[test]
+    fn larger_sector_draws_mean_worse_scenarios() {
+        // "The larger the simulated gamma variable is, the worse is this
+        // financial sector in the current simulation run" (Section II-D4).
+        let p = Portfolio {
+            sectors: vec![Sector { variance: 1.39 }],
+            obligors: (0..200)
+                .map(|_| Obligor {
+                    pd: 0.05,
+                    exposure: 1,
+                    specific_weight: 0.0,
+                    sector_weights: vec![(0, 1.0)],
+                })
+                .collect(),
+        };
+        // Two synthetic single-sector buffers: calm (0.5) vs stressed (3.0).
+        let calm = vec![0.5f32; 2000];
+        let stressed = vec![3.0f32; 2000];
+        let l_calm = losses_from_sector_buffer(&p, &calm, 2000, 1);
+        let l_stress = losses_from_sector_buffer(&p, &stressed, 2000, 1);
+        let m_calm = l_calm.iter().sum::<u64>() as f64 / 2000.0;
+        let m_stress = l_stress.iter().sum::<u64>() as f64 / 2000.0;
+        assert!(
+            m_stress > 4.0 * m_calm,
+            "stressed sectors must multiply losses: {m_calm} vs {m_stress}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer holds")]
+    fn short_buffer_panics() {
+        let p = Portfolio::synthetic(10, 2, 1.0);
+        let buffer = vec![1.0f32; 10];
+        losses_from_sector_buffer(&p, &buffer, 100, 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Closed-form loss moments of the CreditRisk+ model.
+//!
+//! `E[L] = Σ_i p_i ν_i` and
+//! `Var[L] = Σ_i p_i ν_i² + Σ_k v_k (Σ_i w_ik p_i ν_i)²`
+//! (Poisson variance plus the gamma-mixing inflation per sector). Used to
+//! cross-check both the Monte-Carlo engine and the analytic pmf without any
+//! sampling error.
+
+use crate::portfolio::Portfolio;
+
+/// Exact mean of the loss distribution, in loss units.
+pub fn loss_mean(p: &Portfolio) -> f64 {
+    p.expected_loss()
+}
+
+/// Exact variance of the loss distribution, in loss units squared.
+pub fn loss_variance(p: &Portfolio) -> f64 {
+    let poisson: f64 = p
+        .obligors
+        .iter()
+        .map(|o| o.pd * (o.exposure as f64).powi(2))
+        .sum();
+    let mixing: f64 = p
+        .sectors
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            let mu_nu: f64 = p
+                .obligors
+                .iter()
+                .map(|o| {
+                    o.sector_weights
+                        .iter()
+                        .filter(|&&(ks, _)| ks == k)
+                        .map(|&(_, w)| w * o.pd * o.exposure as f64)
+                        .sum::<f64>()
+                })
+                .sum();
+            s.variance * mu_nu * mu_nu
+        })
+        .sum();
+    poisson + mixing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::montecarlo::MonteCarloEngine;
+    use crate::panjer::loss_distribution;
+    use crate::portfolio::{Obligor, Portfolio, Sector};
+
+    #[test]
+    fn single_obligor_closed_form() {
+        // One obligor fully in one sector: Var = pν² + v(pν)².
+        let p = Portfolio {
+            sectors: vec![Sector { variance: 1.39 }],
+            obligors: vec![Obligor {
+                pd: 0.2,
+                exposure: 3,
+                specific_weight: 0.0,
+                sector_weights: vec![(0, 1.0)],
+            }],
+        };
+        assert!((loss_mean(&p) - 0.6).abs() < 1e-15);
+        let want = 0.2 * 9.0 + 1.39 * 0.36;
+        assert!((loss_variance(&p) - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_idiosyncratic_is_poisson_variance() {
+        let p = Portfolio {
+            sectors: vec![],
+            obligors: vec![Obligor {
+                pd: 0.1,
+                exposure: 2,
+                specific_weight: 1.0,
+                sector_weights: vec![],
+            }],
+        };
+        assert!((loss_variance(&p) - 0.1 * 4.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn panjer_pmf_reproduces_closed_moments() {
+        let p = Portfolio::synthetic(80, 4, 1.39);
+        let pmf = loss_distribution(&p, 600);
+        let mass: f64 = pmf.iter().sum();
+        assert!(mass > 1.0 - 1e-9, "truncation must capture the mass");
+        let mean: f64 = pmf.iter().enumerate().map(|(i, q)| i as f64 * q).sum();
+        let ex2: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i as f64) * (i as f64) * q)
+            .sum();
+        assert!((mean - loss_mean(&p)).abs() < 1e-6);
+        assert!(
+            (ex2 - mean * mean - loss_variance(&p)).abs() / loss_variance(&p) < 1e-6,
+            "variance mismatch"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_reproduces_closed_moments() {
+        let p = Portfolio::synthetic(100, 3, 1.39);
+        let mean = loss_mean(&p);
+        let var = loss_variance(&p);
+        let r = MonteCarloEngine::new(p, 31).run(60_000);
+        assert!((r.mean() - mean).abs() / mean < 0.05, "mean {}", r.mean());
+        let sd = var.sqrt();
+        assert!(
+            (r.std_dev() - sd).abs() / sd < 0.08,
+            "std {} vs {sd}",
+            r.std_dev()
+        );
+    }
+
+    #[test]
+    fn mixing_term_scales_with_sector_variance() {
+        let mk = |v: f64| Portfolio::synthetic(50, 2, v);
+        let lo = loss_variance(&mk(0.1));
+        let hi = loss_variance(&mk(10.0));
+        assert!(hi > lo * 2.0);
+        // Means unaffected by v.
+        assert!((loss_mean(&mk(0.1)) - loss_mean(&mk(10.0))).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,103 @@
+//! Risk measures: Value-at-Risk and Expected Shortfall.
+
+/// Value-at-Risk at confidence `level` from a loss pmf (index = loss in
+/// units): the smallest loss `x` with `P(L ≤ x) ≥ level`.
+pub fn value_at_risk(pmf: &[f64], level: f64) -> usize {
+    assert!((0.0..1.0).contains(&level), "level must be in [0,1)");
+    assert!(!pmf.is_empty());
+    let mut cdf = 0.0;
+    for (x, &p) in pmf.iter().enumerate() {
+        cdf += p;
+        if cdf >= level {
+            return x;
+        }
+    }
+    pmf.len() - 1 // truncated tail: report the truncation point
+}
+
+/// Expected Shortfall (conditional tail expectation) at confidence `level`:
+/// `E[L | L ≥ VaR]`, computed from the pmf.
+pub fn expected_shortfall(pmf: &[f64], level: f64) -> f64 {
+    let var = value_at_risk(pmf, level);
+    let tail_mass: f64 = pmf[var..].iter().sum();
+    if tail_mass <= 0.0 {
+        return var as f64;
+    }
+    let tail_mean: f64 = pmf[var..]
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| (var + i) as f64 * p)
+        .sum();
+    tail_mean / tail_mass
+}
+
+/// Empirical VaR from raw Monte-Carlo losses.
+pub fn empirical_var(losses: &[u64], level: f64) -> u64 {
+    assert!(!losses.is_empty());
+    assert!((0.0..1.0).contains(&level));
+    let mut sorted = losses.to_vec();
+    sorted.sort_unstable();
+    let idx = ((level * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_on_simple_pmf() {
+        // P(0)=0.9, P(10)... pmf indexed by loss: losses 0,1,2 with mass.
+        let mut pmf = vec![0.0; 11];
+        pmf[0] = 0.90;
+        pmf[5] = 0.07;
+        pmf[10] = 0.03;
+        assert_eq!(value_at_risk(&pmf, 0.5), 0);
+        assert_eq!(value_at_risk(&pmf, 0.95), 5);
+        assert_eq!(value_at_risk(&pmf, 0.99), 10);
+    }
+
+    #[test]
+    fn es_at_least_var() {
+        let mut pmf = vec![0.0; 21];
+        pmf[0] = 0.8;
+        pmf[10] = 0.15;
+        pmf[20] = 0.05;
+        let var = value_at_risk(&pmf, 0.9) as f64;
+        let es = expected_shortfall(&pmf, 0.9);
+        assert!(es >= var, "ES {es} < VaR {var}");
+        // ES at 0.9: tail is losses {10, 20} with masses .15/.05 → 12.5.
+        assert!((es - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empirical_var_matches_quantile() {
+        let losses: Vec<u64> = (1..=100).collect();
+        assert_eq!(empirical_var(&losses, 0.95), 95);
+        assert_eq!(empirical_var(&losses, 0.0), 1);
+    }
+
+    #[test]
+    fn var_monotone_in_level() {
+        let mut pmf = vec![0.0; 50];
+        for (i, v) in pmf.iter_mut().enumerate() {
+            *v = ((50 - i) as f64).powi(2);
+        }
+        let total: f64 = pmf.iter().sum();
+        for v in pmf.iter_mut() {
+            *v /= total;
+        }
+        let mut prev = 0;
+        for l in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            let v = value_at_risk(&pmf, l);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level must be in")]
+    fn bad_level_panics() {
+        value_at_risk(&[1.0], 1.0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Dynamic energy per invocation and efficiency ratios (Fig. 9).
+
+use crate::profiles::DevicePower;
+
+/// Dynamic energy of one kernel invocation: system-level dynamic draw ×
+/// kernel runtime (the quantity Fig. 9 plots, derived from the measured
+/// trace in `trace::PowerTrace::dynamic_energy_per_invocation_j`; this is
+/// the closed form the trace integration converges to).
+pub fn dynamic_energy_per_invocation_j(
+    device: &DevicePower,
+    big_state: bool,
+    runtime_s: f64,
+) -> f64 {
+    assert!(runtime_s > 0.0, "runtime must be positive");
+    device.dynamic_w(big_state) * runtime_s
+}
+
+/// Energy-efficiency ratio of `baseline` over `candidate` (> 1 means the
+/// candidate is more efficient) — the paper's "FPGA is 9.5× more efficient
+/// than CPU" style numbers.
+pub fn efficiency_ratio(baseline_j: f64, candidate_j: f64) -> f64 {
+    assert!(baseline_j > 0.0 && candidate_j > 0.0);
+    baseline_j / candidate_j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::{CPU_POWER, FPGA_POWER, GPU_POWER, PHI_POWER};
+
+    /// Paper Table III runtimes (seconds) used as the Fig. 9 inputs.
+    const T_CONFIG1: [(f64, &DevicePower, bool); 4] = [
+        (3.825, &CPU_POWER, true),
+        (2.479, &GPU_POWER, true),
+        (0.996, &PHI_POWER, true),
+        (0.701, &FPGA_POWER, true),
+    ];
+
+    #[test]
+    fn config1_ratios_match_fig9_anchors() {
+        // Paper: 9.5× / 7.9× / 4.1× vs CPU / GPU / PHI under Config1.
+        let e: Vec<f64> = T_CONFIG1
+            .iter()
+            .map(|&(t, d, big)| dynamic_energy_per_invocation_j(d, big, t))
+            .collect();
+        let fpga = e[3];
+        let cpu_ratio = efficiency_ratio(e[0], fpga);
+        let gpu_ratio = efficiency_ratio(e[1], fpga);
+        let phi_ratio = efficiency_ratio(e[2], fpga);
+        assert!((cpu_ratio - 9.5).abs() < 0.8, "CPU ratio {cpu_ratio}");
+        assert!((gpu_ratio - 7.9).abs() < 0.7, "GPU ratio {gpu_ratio}");
+        assert!((phi_ratio - 4.1).abs() < 0.4, "PHI ratio {phi_ratio}");
+    }
+
+    #[test]
+    fn config4_ratios_shrink_to_two_ish() {
+        // Paper: minimum ≈ 2.2× vs GPU and PHI under Config4.
+        let fpga = dynamic_energy_per_invocation_j(&FPGA_POWER, false, 0.642);
+        let gpu = dynamic_energy_per_invocation_j(&GPU_POWER, false, 0.522);
+        let phi = dynamic_energy_per_invocation_j(&PHI_POWER, false, 0.460);
+        let g = efficiency_ratio(gpu, fpga);
+        let p = efficiency_ratio(phi, fpga);
+        assert!((1.8..2.6).contains(&g), "GPU ratio {g}");
+        assert!((1.8..2.6).contains(&p), "PHI ratio {p}");
+    }
+
+    #[test]
+    fn fpga_most_efficient_in_all_configs() {
+        // Fig. 9: "The FPGA solution shows the best energy efficiency in all
+        // cases."
+        let table3: [(&str, f64, f64, f64, f64, bool); 4] = [
+            ("Config1", 3.825, 2.479, 0.996, 0.701, true),
+            ("Config2", 3.883, 1.011, 0.696, 0.701, false),
+            ("Config3", 0.807, 1.177, 0.555, 0.642, true),
+            ("Config4", 0.839, 0.522, 0.460, 0.642, false),
+        ];
+        for (name, cpu, gpu, phi, fpga, big) in table3 {
+            let e_fpga = dynamic_energy_per_invocation_j(&FPGA_POWER, big, fpga);
+            for (d, t) in [(&CPU_POWER, cpu), (&GPU_POWER, gpu), (&PHI_POWER, phi)] {
+                let e = dynamic_energy_per_invocation_j(d, big, t);
+                assert!(
+                    e > e_fpga,
+                    "{name}: {} ({e:.1} J) beat the FPGA ({e_fpga:.1} J)",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closed_form_matches_trace_integration() {
+        // The trace pipeline and the closed form agree within ripple error.
+        let cfgs = [(40.0, 0.701, true), (108.0, 0.522, false)];
+        for (w, t, big) in cfgs {
+            let trace = crate::trace::PowerTrace::synthesize(
+                &crate::trace::TraceConfig::paper_session(w, t),
+            );
+            let from_trace = trace.dynamic_energy_per_invocation_j();
+            let dev = DevicePower {
+                name: "x",
+                dynamic_w_big_state: w,
+                dynamic_w_small_state: w,
+            };
+            let closed = dynamic_energy_per_invocation_j(&dev, big, t);
+            assert!(
+                (from_trace - closed).abs() / closed < 0.03,
+                "trace {from_trace} vs closed {closed}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime must be positive")]
+    fn zero_runtime_panics() {
+        dynamic_energy_per_invocation_j(&FPGA_POWER, true, 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # dwi-energy — system-level power and dynamic-energy model
+//!
+//! The paper measures power **at the wall plug** with a 1 Hz digital
+//! multimeter (Voltcraft VC870), integrates the samples over a 100-second
+//! steady-state window between markers, subtracts the static (idle ≈ 204 W)
+//! energy, and divides by the (fractional) number of kernel invocations in
+//! the window (Section IV-F, Figs. 8 and 9). This crate reproduces that
+//! pipeline:
+//!
+//! * [`profiles`] — calibrated per-device *system-level dynamic* power draws
+//!   (device + host assist + PSU losses + workload-adaptive cooling),
+//! * [`trace`] — synthesis of the 1 Hz wall-plug trace of Fig. 8 and the
+//!   marker-delimited trapezoidal integration,
+//! * [`energy`] — dynamic energy per kernel invocation and the Fig. 9
+//!   efficiency ratios.
+
+pub mod energy;
+pub mod profiles;
+pub mod session;
+pub mod trace;
+
+pub use energy::{dynamic_energy_per_invocation_j, efficiency_ratio};
+pub use session::{duty_cycle, trace_from_intervals};
+pub use profiles::{DevicePower, SYSTEM_IDLE_W};
+pub use trace::{PowerTrace, TraceConfig};

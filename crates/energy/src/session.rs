@@ -1,0 +1,142 @@
+//! Power traces driven by real command timelines.
+//!
+//! [`crate::trace`] synthesizes an idealized measurement session; this
+//! module instead consumes the *actual* busy intervals of a simulated
+//! command queue (`dwi-ocl`'s event timestamps, kept as plain
+//! `(start_s, end_s)` pairs so this crate stays dependency-free) and
+//! renders the wall-plug power the meter would have seen — including the
+//! gaps between enqueues, which is how the paper's asynchronous-enqueue
+//! methodology keeps the device saturated.
+
+use crate::trace::{PowerTrace, TraceConfig};
+
+/// Build a 1 Hz power trace from device busy intervals.
+///
+/// `busy` must be non-overlapping and sorted (an in-order queue guarantees
+/// both). Power is `idle_w` plus `dynamic_w` whenever the device is busy at
+/// the sample instant; markers delimit the last `window_s` seconds of the
+/// busy span.
+pub fn trace_from_intervals(
+    busy: &[(f64, f64)],
+    idle_w: f64,
+    dynamic_w: f64,
+    window_s: f64,
+    tail_s: f64,
+) -> PowerTrace {
+    assert!(!busy.is_empty(), "need at least one busy interval");
+    for pair in busy.windows(2) {
+        assert!(
+            pair[0].1 <= pair[1].0,
+            "busy intervals must be sorted and non-overlapping"
+        );
+    }
+    let span_end = busy.last().expect("non-empty").1;
+    assert!(
+        span_end >= window_s,
+        "busy span {span_end:.1}s shorter than the {window_s:.1}s window"
+    );
+    let total = span_end + tail_s;
+    let n = total.ceil() as usize + 1;
+    let mut samples = Vec::with_capacity(n);
+    let mut k = 0usize;
+    for i in 0..n {
+        let t = i as f64;
+        while k < busy.len() && busy[k].1 <= t {
+            k += 1;
+        }
+        let is_busy = k < busy.len() && busy[k].0 <= t && t < busy[k].1;
+        samples.push((t, idle_w + if is_busy { dynamic_w } else { 0.0 }));
+    }
+    let kernel_s = busy[0].1 - busy[0].0;
+    PowerTrace {
+        samples,
+        markers: [busy[0].0, span_end - window_s, span_end],
+        config: TraceConfig {
+            idle_w,
+            dynamic_w,
+            kernel_runtime_s: kernel_s,
+            lead_in_s: busy[0].0,
+            loaded_s: span_end - busy[0].0,
+            tail_s,
+            sample_period_s: 1.0,
+            spike_w: 0.0,
+            spike_tau_s: 1.0,
+            ripple_w: 0.0,
+        },
+    }
+}
+
+/// Device duty cycle over the marker window: busy time / window. An
+/// asynchronous enqueue loop should keep this ≈ 1 (the paper's idle host
+/// waiting on cl_events while the device stays saturated).
+pub fn duty_cycle(busy: &[(f64, f64)], window: (f64, f64)) -> f64 {
+    let (w0, w1) = window;
+    assert!(w1 > w0);
+    let mut on = 0.0;
+    for &(a, b) in busy {
+        let lo = a.max(w0);
+        let hi = b.min(w1);
+        if hi > lo {
+            on += hi - lo;
+        }
+    }
+    on / (w1 - w0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Back-to-back kernels of 2 s each for 120 s, starting at t = 10 s.
+    fn saturated() -> Vec<(f64, f64)> {
+        (0..60)
+            .map(|i| (10.0 + 2.0 * i as f64, 10.0 + 2.0 * (i + 1) as f64))
+            .collect()
+    }
+
+    #[test]
+    fn saturated_session_integrates_to_power_times_window() {
+        let t = trace_from_intervals(&saturated(), 204.0, 40.0, 100.0, 10.0);
+        let e = t.dynamic_energy_per_invocation_j();
+        // 100% duty: E/invocation = 40 W × 2 s.
+        assert!((e - 80.0).abs() < 2.0, "E = {e}");
+    }
+
+    #[test]
+    fn gaps_reduce_duty_cycle_and_energy() {
+        // 2 s kernels with 1 s host gaps: duty 2/3.
+        let gappy: Vec<(f64, f64)> = (0..60)
+            .map(|i| (10.0 + 3.0 * i as f64, 10.0 + 3.0 * i as f64 + 2.0))
+            .collect();
+        let window = (gappy.last().unwrap().1 - 100.0, gappy.last().unwrap().1);
+        let d = duty_cycle(&gappy, window);
+        assert!((d - 2.0 / 3.0).abs() < 0.02, "duty {d}");
+        let t = trace_from_intervals(&gappy, 204.0, 60.0, 100.0, 5.0);
+        // Integrated dynamic energy over the window ≈ 60 W × duty × window.
+        let [_, w0, w1] = t.markers;
+        let dynamic = t.integrate_j(w0, w1) - 204.0 * (w1 - w0);
+        assert!(
+            (dynamic - 60.0 * d * 100.0).abs() / (60.0 * d * 100.0) < 0.05,
+            "dynamic {dynamic}"
+        );
+    }
+
+    #[test]
+    fn duty_cycle_of_saturated_window_is_one() {
+        let busy = saturated();
+        let window = (30.0, 130.0);
+        assert!((duty_cycle(&busy, window) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted and non-overlapping")]
+    fn overlapping_intervals_panic() {
+        trace_from_intervals(&[(0.0, 5.0), (4.0, 8.0)], 204.0, 40.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than")]
+    fn short_span_panics() {
+        trace_from_intervals(&[(0.0, 5.0)], 204.0, 40.0, 100.0, 1.0);
+    }
+}

@@ -1,0 +1,269 @@
+//! Wall-plug power-trace synthesis and integration (Fig. 8).
+//!
+//! The measurement procedure of Section IV-F: the host enqueues the kernel
+//! repeatedly for > 150 s; the first marker is the kernel trigger, the last
+//! two markers delimit a 100 s steady-state window; the 1 Hz samples are
+//! integrated (trapezoid) over that window and the static energy
+//! (idle power × window) is subtracted. The trace synthesizer reproduces
+//! the qualitative features of Fig. 8: the idle floor, the trigger spike
+//! (host burst + cooling ramp in *optimal* mode), the loaded plateau with a
+//! small deterministic ripple, and the return to idle.
+
+/// Configuration of a synthetic measurement session.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceConfig {
+    /// Idle system draw (W).
+    pub idle_w: f64,
+    /// Dynamic draw of the device under test (W).
+    pub dynamic_w: f64,
+    /// One kernel invocation's runtime (s).
+    pub kernel_runtime_s: f64,
+    /// Seconds of idle lead-in before the trigger.
+    pub lead_in_s: f64,
+    /// Loaded duration (host keeps re-enqueuing), ≥ the integration window.
+    pub loaded_s: f64,
+    /// Idle tail after the last kernel completes.
+    pub tail_s: f64,
+    /// Sampling period (the VC870 samples at 1 Hz).
+    pub sample_period_s: f64,
+    /// Extra spike power at the trigger (host burst + cooling ramp).
+    pub spike_w: f64,
+    /// Spike decay time constant (s).
+    pub spike_tau_s: f64,
+    /// Peak-to-peak deterministic ripple on the plateau (regulator +
+    /// workload beat), makes the trace look like a real measurement while
+    /// staying exactly reproducible.
+    pub ripple_w: f64,
+}
+
+impl TraceConfig {
+    /// The paper's session shape for a given device draw and kernel runtime.
+    pub fn paper_session(dynamic_w: f64, kernel_runtime_s: f64) -> Self {
+        Self {
+            idle_w: crate::profiles::SYSTEM_IDLE_W,
+            dynamic_w,
+            kernel_runtime_s,
+            lead_in_s: 20.0,
+            loaded_s: 160.0,
+            tail_s: 20.0,
+            sample_period_s: 1.0,
+            spike_w: 35.0,
+            spike_tau_s: 6.0,
+            ripple_w: 4.0,
+        }
+    }
+}
+
+/// A sampled power trace with markers.
+///
+/// ```
+/// use dwi_energy::trace::{PowerTrace, TraceConfig};
+/// // An FPGA Config1 session: 40 W dynamic, 701 ms per invocation.
+/// let t = PowerTrace::synthesize(&TraceConfig::paper_session(40.0, 0.701));
+/// let e = t.dynamic_energy_per_invocation_j();
+/// assert!((e - 28.0).abs() < 1.5); // the Fig. 9 FPGA bar
+/// ```
+#[derive(Debug, Clone)]
+pub struct PowerTrace {
+    /// (time s, power W) samples.
+    pub samples: Vec<(f64, f64)>,
+    /// Marker times: trigger, window start, window end.
+    pub markers: [f64; 3],
+    /// The configuration that generated it.
+    pub config: TraceConfig,
+}
+
+impl PowerTrace {
+    /// Synthesize a session trace.
+    pub fn synthesize(cfg: &TraceConfig) -> Self {
+        assert!(cfg.sample_period_s > 0.0);
+        assert!(cfg.loaded_s >= 110.0, "need >100 s of steady state");
+        let total = cfg.lead_in_s + cfg.loaded_s + cfg.tail_s;
+        let n = (total / cfg.sample_period_s).ceil() as usize + 1;
+        let trigger = cfg.lead_in_s;
+        let load_end = cfg.lead_in_s + cfg.loaded_s;
+        let mut samples = Vec::with_capacity(n);
+        for i in 0..n {
+            let t = i as f64 * cfg.sample_period_s;
+            let mut p = cfg.idle_w;
+            if t >= trigger && t < load_end {
+                let since = t - trigger;
+                p += cfg.dynamic_w;
+                // Trigger spike decaying exponentially.
+                p += cfg.spike_w * (-since / cfg.spike_tau_s).exp();
+                // Deterministic plateau ripple.
+                p += 0.5
+                    * cfg.ripple_w
+                    * ((since * 0.7).sin() + 0.4 * (since * 2.3).cos());
+            }
+            samples.push((t, p));
+        }
+        // Integration window: the *last* 100 s of the loaded interval, where
+        // the spike has fully decayed (the paper's "last two markers").
+        let win_end = load_end;
+        let win_start = load_end - 100.0;
+        Self {
+            samples,
+            markers: [trigger, win_start, win_end],
+            config: *cfg,
+        }
+    }
+
+    /// Trapezoidal integral of power over `[t0, t1]`, in joules.
+    pub fn integrate_j(&self, t0: f64, t1: f64) -> f64 {
+        assert!(t1 > t0, "empty window");
+        let mut e = 0.0;
+        for pair in self.samples.windows(2) {
+            let (ta, pa) = pair[0];
+            let (tb, pb) = pair[1];
+            let lo = ta.max(t0);
+            let hi = tb.min(t1);
+            if hi <= lo {
+                continue;
+            }
+            // Linear interpolation within the sample interval.
+            let f = |t: f64| pa + (pb - pa) * (t - ta) / (tb - ta);
+            e += 0.5 * (f(lo) + f(hi)) * (hi - lo);
+        }
+        e
+    }
+
+    /// The paper's derived quantity: dynamic energy per kernel invocation —
+    /// integrate the marker window, subtract static energy, divide by the
+    /// fractional number of invocations ("no longer an integer value").
+    pub fn dynamic_energy_per_invocation_j(&self) -> f64 {
+        let [_, t0, t1] = self.markers;
+        let window = t1 - t0;
+        let total = self.integrate_j(t0, t1);
+        let dynamic = total - self.config.idle_w * window;
+        let invocations = window / self.config.kernel_runtime_s;
+        dynamic / invocations
+    }
+
+    /// Render as an ASCII strip chart (`width` columns), marking the
+    /// integration window — the Fig. 8 picture.
+    pub fn render(&self, width: usize) -> String {
+        assert!(width >= 10);
+        let (pmin, pmax) = self.samples.iter().fold(
+            (f64::INFINITY, f64::NEG_INFINITY),
+            |(lo, hi), &(_, p)| (lo.min(p), hi.max(p)),
+        );
+        let t_end = self.samples.last().expect("non-empty").0;
+        let rows = 12usize;
+        let mut grid = vec![vec![' '; width]; rows];
+        for &(t, p) in &self.samples {
+            let x = ((t / t_end) * (width - 1) as f64) as usize;
+            let y = (((p - pmin) / (pmax - pmin).max(1e-9)) * (rows - 1) as f64) as usize;
+            grid[rows - 1 - y][x] = '*';
+        }
+        let mut out = String::new();
+        for (i, row) in grid.iter().enumerate() {
+            let label = if i == 0 {
+                format!("{pmax:6.0}W ")
+            } else if i == rows - 1 {
+                format!("{pmin:6.0}W ")
+            } else {
+                "        ".into()
+            };
+            out.push_str(&label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        let mut marks = vec![' '; width];
+        for &m in &self.markers {
+            let x = ((m / t_end) * (width - 1) as f64) as usize;
+            marks[x] = '|';
+        }
+        out.push_str("        ");
+        out.extend(marks);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TraceConfig {
+        TraceConfig::paper_session(40.0, 0.701)
+    }
+
+    #[test]
+    fn trace_has_idle_floor_and_plateau() {
+        let t = PowerTrace::synthesize(&cfg());
+        let first = t.samples[3].1;
+        assert!((first - 204.0).abs() < 1e-9, "lead-in must be idle");
+        // Mid-plateau sample ≈ idle + dynamic (ripple aside).
+        let mid = t
+            .samples
+            .iter()
+            .find(|&&(time, _)| time > 100.0)
+            .unwrap()
+            .1;
+        assert!((mid - 244.0).abs() < 5.0, "plateau {mid}");
+        let last = t.samples.last().unwrap().1;
+        assert!((last - 204.0).abs() < 1e-9, "tail must be idle");
+    }
+
+    #[test]
+    fn spike_visible_at_trigger() {
+        let t = PowerTrace::synthesize(&cfg());
+        let at_trigger = t
+            .samples
+            .iter()
+            .find(|&&(time, _)| time >= t.markers[0])
+            .unwrap()
+            .1;
+        assert!(at_trigger > 204.0 + 40.0 + 20.0, "spike missing: {at_trigger}");
+    }
+
+    #[test]
+    fn integration_window_is_100s_and_spike_free() {
+        let t = PowerTrace::synthesize(&cfg());
+        let [trigger, w0, w1] = t.markers;
+        assert!((w1 - w0 - 100.0).abs() < 1e-9);
+        assert!(w0 > trigger + 5.0 * cfg().spike_tau_s, "spike must have decayed");
+    }
+
+    #[test]
+    fn per_invocation_energy_matches_power_times_runtime() {
+        // With the spike excluded and ripple averaging out, E/invocation ≈
+        // dynamic_w × kernel_runtime.
+        let t = PowerTrace::synthesize(&cfg());
+        let e = t.dynamic_energy_per_invocation_j();
+        let expect = 40.0 * 0.701;
+        assert!(
+            (e - expect).abs() / expect < 0.03,
+            "E/invocation {e} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn integrate_constant_power() {
+        let mut c = cfg();
+        c.ripple_w = 0.0;
+        c.spike_w = 0.0;
+        let t = PowerTrace::synthesize(&c);
+        // Fully idle window before the trigger: 10 s × 204 W.
+        let e = t.integrate_j(2.0, 12.0);
+        assert!((e - 2040.0).abs() < 1e-6, "idle integral {e}");
+    }
+
+    #[test]
+    fn render_shows_window_markers() {
+        let t = PowerTrace::synthesize(&cfg());
+        let s = t.render(80);
+        assert!(s.contains('|'));
+        assert!(s.contains('*'));
+        assert!(s.lines().count() >= 13);
+    }
+
+    #[test]
+    #[should_panic(expected = "steady state")]
+    fn short_session_panics() {
+        let mut c = cfg();
+        c.loaded_s = 50.0;
+        PowerTrace::synthesize(&c);
+    }
+}

@@ -1,0 +1,340 @@
+//! An `ap_fixed<W, I>`-style signed fixed-point type.
+//!
+//! Vivado HLS kernels (the paper works at `.c` level precisely to get
+//! `ap_fixed.h`, Section II-A) use arbitrary-precision fixed point for
+//! datapaths like the bit-level ICDF. `Fixed<W, I>` models a signed
+//! fixed-point number with `W` total bits and `I` integer bits (including
+//! sign), backed by an `i64` — wide enough for every datapath in this
+//! project. Arithmetic truncates toward negative infinity and saturates on
+//! overflow (`AP_TRN` / `AP_SAT` in Vivado terms), the settings hardware
+//! RNG datapaths typically use.
+
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Signed fixed-point with `W` total bits, `I` integer bits (incl. sign).
+///
+/// The fractional width is `W - I`. `W` must be ≤ 63 so products fit i128.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fixed<const W: u32, const I: u32> {
+    raw: i64,
+    _m: PhantomData<()>,
+}
+
+impl<const W: u32, const I: u32> Fixed<W, I> {
+    /// Fractional bit count.
+    pub const FRAC: u32 = W - I;
+    /// Largest representable raw value.
+    pub const MAX_RAW: i64 = (1i64 << (W - 1)) - 1;
+    /// Smallest representable raw value.
+    pub const MIN_RAW: i64 = -(1i64 << (W - 1));
+
+    const fn assert_params() {
+        assert!(W >= 2 && W <= 63, "W must be in 2..=63");
+        assert!(I >= 1 && I <= W, "I must be in 1..=W");
+    }
+
+    /// Zero.
+    pub fn zero() -> Self {
+        Self::assert_params();
+        Self {
+            raw: 0,
+            _m: PhantomData,
+        }
+    }
+
+    /// From a raw (already scaled) integer, saturating into range.
+    pub fn from_raw(raw: i64) -> Self {
+        Self::assert_params();
+        Self {
+            raw: raw.clamp(Self::MIN_RAW, Self::MAX_RAW),
+            _m: PhantomData,
+        }
+    }
+
+    /// From an `f64`, rounding to nearest and saturating.
+    pub fn from_f64(x: f64) -> Self {
+        Self::assert_params();
+        let scaled = x * (1u64 << Self::FRAC) as f64;
+        if scaled >= Self::MAX_RAW as f64 {
+            Self::from_raw(Self::MAX_RAW)
+        } else if scaled <= Self::MIN_RAW as f64 {
+            Self::from_raw(Self::MIN_RAW)
+        } else {
+            Self::from_raw(scaled.round() as i64)
+        }
+    }
+
+    /// Raw scaled integer value.
+    pub fn raw(&self) -> i64 {
+        self.raw
+    }
+
+    /// Convert to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.raw as f64 / (1u64 << Self::FRAC) as f64
+    }
+
+    /// Convert to `f32` (the kernels' output precision).
+    pub fn to_f32(&self) -> f32 {
+        self.to_f64() as f32
+    }
+
+    /// Saturating addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Self) -> Self {
+        Self::from_raw(self.raw.saturating_add(other.raw))
+    }
+
+    /// Saturating subtraction.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, other: Self) -> Self {
+        Self::from_raw(self.raw.saturating_sub(other.raw))
+    }
+
+    /// Saturating multiplication with truncation toward −∞ (AP_TRN).
+    #[allow(clippy::should_implement_trait)]
+    pub fn mul(self, other: Self) -> Self {
+        let wide = self.raw as i128 * other.raw as i128;
+        let shifted = wide >> Self::FRAC;
+        let clamped = shifted.clamp(Self::MIN_RAW as i128, Self::MAX_RAW as i128);
+        Self::from_raw(clamped as i64)
+    }
+
+    /// Arithmetic shift left (saturating) — hardware `<<`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn shl(self, k: u32) -> Self {
+        let wide = (self.raw as i128) << k;
+        Self::from_raw(wide.clamp(Self::MIN_RAW as i128, Self::MAX_RAW as i128) as i64)
+    }
+
+    /// Arithmetic shift right — hardware `>>` (truncates toward −∞).
+    #[allow(clippy::should_implement_trait)]
+    pub fn shr(self, k: u32) -> Self {
+        Self::from_raw(self.raw >> k)
+    }
+
+    /// Negation (saturating at the asymmetric minimum).
+    #[allow(clippy::should_implement_trait)]
+    pub fn neg(self) -> Self {
+        Self::from_raw(self.raw.checked_neg().unwrap_or(Self::MAX_RAW))
+    }
+
+    /// Machine epsilon of the format (one LSB).
+    pub fn epsilon() -> f64 {
+        1.0 / (1u64 << Self::FRAC) as f64
+    }
+
+    /// Fixed-point division (truncating, saturating). Panics on a zero
+    /// divisor, like the HLS divider's assertion in C simulation.
+    #[allow(clippy::should_implement_trait)]
+    pub fn div(self, other: Self) -> Self {
+        assert!(other.raw != 0, "fixed-point division by zero");
+        let num = (self.raw as i128) << Self::FRAC;
+        let q = num / other.raw as i128;
+        Self::from_raw(q.clamp(Self::MIN_RAW as i128, Self::MAX_RAW as i128) as i64)
+    }
+
+    /// Fixed-point square root via the non-restoring integer algorithm on
+    /// the scaled value (the structure HLS maps to an iterative or
+    /// pipelined array) — exact floor of the true root in this format.
+    /// Panics on negative input.
+    pub fn sqrt(self) -> Self {
+        assert!(self.raw >= 0, "sqrt of negative fixed-point value");
+        // sqrt(raw / 2^F) = sqrt(raw << F) / 2^F — integer sqrt of a u128.
+        let scaled = (self.raw as u128) << Self::FRAC;
+        Self::from_raw(isqrt_u128(scaled) as i64)
+    }
+}
+
+/// Integer square root (floor) of a u128 by binary search on bits.
+fn isqrt_u128(v: u128) -> u128 {
+    if v == 0 {
+        return 0;
+    }
+    let mut res: u128 = 0;
+    // Highest power of 4 <= v.
+    let mut bit = 1u128 << ((127 - v.leading_zeros()) & !1);
+    let mut v = v;
+    while bit != 0 {
+        if v >= res + bit {
+            v -= res + bit;
+            res = (res >> 1) + bit;
+        } else {
+            res >>= 1;
+        }
+        bit >>= 2;
+    }
+    res
+}
+
+impl<const W: u32, const I: u32> fmt::Debug for Fixed<W, I> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fixed<{W},{I}>({})", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q16_16 = Fixed<32, 16>;
+    type Q8_24 = Fixed<32, 8>;
+    type Q4_4 = Fixed<8, 4>;
+
+    #[test]
+    fn round_trip_exact_values() {
+        for &x in &[0.0, 1.0, -1.0, 0.5, -0.25, 123.0625, -42.5] {
+            let v = Q16_16::from_f64(x);
+            assert_eq!(v.to_f64(), x, "exactly representable value");
+        }
+    }
+
+    #[test]
+    fn rounding_to_nearest() {
+        // Q4.4: resolution 1/16. 0.03 rounds to 0.0625? no: 0.03·16=0.48 → 0.
+        let v = Q4_4::from_f64(0.03);
+        assert_eq!(v.to_f64(), 0.0);
+        let v = Q4_4::from_f64(0.04);
+        assert_eq!(v.to_f64(), 0.0625);
+    }
+
+    #[test]
+    fn saturation_on_overflow() {
+        let v = Q4_4::from_f64(100.0);
+        assert_eq!(v.raw(), Q4_4::MAX_RAW);
+        assert!((v.to_f64() - 7.9375).abs() < 1e-12);
+        let v = Q4_4::from_f64(-100.0);
+        assert_eq!(v.raw(), Q4_4::MIN_RAW);
+        assert_eq!(v.to_f64(), -8.0);
+    }
+
+    #[test]
+    fn saturating_add() {
+        let a = Q4_4::from_f64(7.0);
+        let b = Q4_4::from_f64(5.0);
+        assert_eq!(a.add(b).raw(), Q4_4::MAX_RAW);
+        let c = Q4_4::from_f64(-7.0);
+        assert_eq!(c.add(c).raw(), Q4_4::MIN_RAW);
+    }
+
+    #[test]
+    fn multiplication_basic() {
+        let a = Q16_16::from_f64(1.5);
+        let b = Q16_16::from_f64(-2.0);
+        assert_eq!(a.mul(b).to_f64(), -3.0);
+        let half = Q8_24::from_f64(0.5);
+        assert_eq!(half.mul(half).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn multiplication_truncates_toward_neg_infinity() {
+        // (−eps/2)² would be +eps²/4 → truncates to 0; but (−small)·(+small)
+        // negative products truncate down one LSB.
+        let a = Q4_4::from_raw(1); // 1/16
+        let b = Q4_4::from_raw(-1); // -1/16
+        // product = -1/256 → raw shift: (-1) >> 4 = -1 (floor) → -1/16
+        assert_eq!(a.mul(b).raw(), -1);
+        // positive tiny product truncates to zero
+        assert_eq!(a.mul(a).raw(), 0);
+    }
+
+    #[test]
+    fn shifts() {
+        let a = Q16_16::from_f64(1.25);
+        assert_eq!(a.shl(2).to_f64(), 5.0);
+        assert_eq!(a.shr(1).to_f64(), 0.625);
+        // shift left saturates
+        let big = Q4_4::from_f64(4.0);
+        assert_eq!(big.shl(4).raw(), Q4_4::MAX_RAW);
+    }
+
+    #[test]
+    fn neg_saturates_at_min() {
+        let m = Q4_4::from_raw(Q4_4::MIN_RAW);
+        assert_eq!(m.neg().raw(), Q4_4::MAX_RAW);
+        let one = Q4_4::from_f64(1.0);
+        assert_eq!(one.neg().to_f64(), -1.0);
+    }
+
+    #[test]
+    fn epsilon_matches_frac_width() {
+        assert_eq!(Q16_16::epsilon(), 1.0 / 65536.0);
+        assert_eq!(Q4_4::epsilon(), 1.0 / 16.0);
+    }
+
+    #[test]
+    fn division_basic() {
+        let a = Q16_16::from_f64(3.0);
+        let b = Q16_16::from_f64(2.0);
+        assert_eq!(a.div(b).to_f64(), 1.5);
+        assert_eq!(b.div(a).to_f64(), (2.0f64 / 3.0 * 65536.0).floor() / 65536.0);
+        let neg = Q16_16::from_f64(-1.0);
+        assert_eq!(a.div(neg).to_f64(), -3.0);
+    }
+
+    #[test]
+    fn division_saturates() {
+        let big = Q4_4::from_f64(7.0);
+        let tiny = Q4_4::from_raw(1); // 1/16
+        assert_eq!(big.div(tiny).raw(), Q4_4::MAX_RAW);
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn division_by_zero_panics() {
+        let _ = Q16_16::from_f64(1.0).div(Q16_16::zero());
+    }
+
+    #[test]
+    fn sqrt_exact_squares() {
+        for &x in &[0.0, 1.0, 4.0, 9.0, 2.25, 0.25] {
+            let v = Q16_16::from_f64(x).sqrt().to_f64();
+            assert!(
+                (v - x.sqrt()).abs() <= Q16_16::epsilon(),
+                "sqrt({x}) = {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_f64_within_lsb() {
+        for i in 1..200 {
+            let x = i as f64 * 0.37;
+            let v = Q16_16::from_f64(x).sqrt().to_f64();
+            assert!(
+                (v - x.sqrt()).abs() <= 2.0 * Q16_16::epsilon() * (1.0 + x.sqrt()),
+                "sqrt({x}) = {v} vs {}",
+                x.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sqrt of negative")]
+    fn sqrt_negative_panics() {
+        let _ = Q16_16::from_f64(-1.0).sqrt();
+    }
+
+    #[test]
+    fn polynomial_eval_accuracy() {
+        // Evaluate a quadratic in Q8.24 and compare against f64 — the same
+        // structure the FPGA-style ICDF datapath uses.
+        let c0 = -1.1503493803760079;
+        let c1 = 0.6787570473443539;
+        let c2 = -0.07449091988597606;
+        for i in 0..=16 {
+            let t = i as f64 / 16.0;
+            let want = c0 + c1 * t + c2 * t * t;
+            let ft = Q8_24::from_f64(t);
+            let got = Q8_24::from_f64(c0)
+                .add(Q8_24::from_f64(c1).mul(ft))
+                .add(Q8_24::from_f64(c2).mul(ft).mul(ft))
+                .to_f64();
+            assert!(
+                (got - want).abs() < 4.0 * Q8_24::epsilon(),
+                "t={t}: {got} vs {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Pipeline cycle math and the delayed loop-exit counter.
+//!
+//! `#pragma HLS pipeline II=1` turns a loop body into a pipeline that accepts
+//! a new iteration every `II` cycles after a fill latency of `depth` cycles.
+//! The central performance claim of the paper rests on keeping II = 1 despite
+//! the data-dependent loop-exit condition; [`DelayedCounter`] is the
+//! workaround (Listing 2's `prevCounter[breakId]`) and
+//! [`PipelineModel::ii_for_exit_dependency`] quantifies what happens
+//! without it (the ablation bench exercises both).
+
+/// Cycle model of a pipelined loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineModel {
+    /// Initiation interval: cycles between consecutive iteration starts.
+    pub ii: u64,
+    /// Pipeline depth (fill latency in cycles).
+    pub depth: u64,
+}
+
+impl PipelineModel {
+    /// A model with the given II and depth.
+    pub fn new(ii: u64, depth: u64) -> Self {
+        assert!(ii >= 1, "II must be at least 1");
+        assert!(depth >= 1, "depth must be at least 1");
+        Self { ii, depth }
+    }
+
+    /// Total cycles to run `trips` iterations: `depth + (trips − 1)·II`
+    /// (zero trips cost nothing).
+    pub fn cycles(&self, trips: u64) -> u64 {
+        if trips == 0 {
+            0
+        } else {
+            self.depth + (trips - 1) * self.ii
+        }
+    }
+
+    /// Throughput in iterations per cycle, asymptotically `1/II`.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.ii as f64
+    }
+
+    /// The II forced by a loop-exit condition that reads a value produced
+    /// `result_latency` cycles into the body, when the exit test is delayed
+    /// by `delay` iterations (the `breakId + 1` of Listing 2).
+    ///
+    /// Without delay (`delay = 0`) the next iteration cannot issue until the
+    /// counter update is known: II = `result_latency`. Each iteration of
+    /// delay tolerates one II of slack, so
+    /// `II = max(1, result_latency − delay)`.
+    pub fn ii_for_exit_dependency(result_latency: u64, delay: u64) -> u64 {
+        result_latency.saturating_sub(delay).max(1)
+    }
+
+    /// Runtime in seconds at clock frequency `freq_hz`.
+    pub fn runtime_s(&self, trips: u64, freq_hz: f64) -> f64 {
+        assert!(freq_hz > 0.0);
+        self.cycles(trips) as f64 / freq_hz
+    }
+}
+
+/// The Listing 2 `prevCounter[breakId]` shift register: exposes the counter
+/// value as it was `delay` updates ago, breaking the loop-carried dependency
+/// between the counter increment (late in the pipeline) and the loop-exit
+/// comparison (at issue).
+#[derive(Debug, Clone)]
+pub struct DelayedCounter {
+    ring: Vec<u64>,
+    head: usize,
+    value: u64,
+}
+
+impl DelayedCounter {
+    /// A counter whose observable value lags `delay ≥ 1` updates behind
+    /// (`delay = breakId + 1`).
+    pub fn new(delay: usize) -> Self {
+        assert!(delay >= 1, "delay must be at least 1");
+        Self {
+            ring: vec![0; delay],
+            head: 0,
+            value: 0,
+        }
+    }
+
+    /// One pipeline cycle: publish the current value into the delay line
+    /// (the `UpdateRegUI` call), then optionally increment.
+    #[inline]
+    pub fn update(&mut self, increment: bool) {
+        self.ring[self.head] = self.value;
+        self.head = (self.head + 1) % self.ring.len();
+        if increment {
+            self.value += 1;
+        }
+    }
+
+    /// The *delayed* value — what the loop-exit comparison sees.
+    #[inline]
+    pub fn delayed(&self) -> u64 {
+        // head now points at the oldest entry.
+        self.ring[self.head]
+    }
+
+    /// The true (undelayed) value — what gates the output write.
+    #[inline]
+    pub fn current(&self) -> u64 {
+        self.value
+    }
+
+    /// The configured delay.
+    pub fn delay(&self) -> usize {
+        self.ring.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_formula() {
+        let p = PipelineModel::new(1, 10);
+        assert_eq!(p.cycles(0), 0);
+        assert_eq!(p.cycles(1), 10);
+        assert_eq!(p.cycles(100), 109);
+        let p2 = PipelineModel::new(3, 10);
+        assert_eq!(p2.cycles(100), 10 + 99 * 3);
+    }
+
+    #[test]
+    fn throughput_asymptote() {
+        assert_eq!(PipelineModel::new(1, 5).throughput(), 1.0);
+        assert_eq!(PipelineModel::new(4, 5).throughput(), 0.25);
+    }
+
+    #[test]
+    fn exit_dependency_ii() {
+        // Counter available 2 cycles into the body, no delay ⇒ II = 2.
+        assert_eq!(PipelineModel::ii_for_exit_dependency(2, 0), 2);
+        // breakId = 0 ⇒ delay 1 ⇒ II = 1 — the paper's workaround.
+        assert_eq!(PipelineModel::ii_for_exit_dependency(2, 1), 1);
+        // Deeper counters need more delay.
+        assert_eq!(PipelineModel::ii_for_exit_dependency(5, 1), 4);
+        assert_eq!(PipelineModel::ii_for_exit_dependency(5, 4), 1);
+        // Delay can't push II below 1.
+        assert_eq!(PipelineModel::ii_for_exit_dependency(1, 7), 1);
+    }
+
+    #[test]
+    fn runtime_at_200mhz() {
+        // One pipelined loop of 629,145,600 trips at II=1, 200 MHz ≈ 3.15 s —
+        // the single-work-item version of Eq. 1's numerator.
+        let p = PipelineModel::new(1, 50);
+        let t = p.runtime_s(629_145_600, 200e6);
+        assert!((t - 3.1457).abs() < 0.001, "t = {t}");
+    }
+
+    #[test]
+    fn delayed_counter_lags_by_delay() {
+        let mut c = DelayedCounter::new(1);
+        assert_eq!(c.delayed(), 0);
+        c.update(true); // value 0 published, then ++ → 1
+        assert_eq!(c.current(), 1);
+        assert_eq!(c.delayed(), 0, "sees the pre-increment value");
+        c.update(true);
+        assert_eq!(c.current(), 2);
+        assert_eq!(c.delayed(), 1);
+    }
+
+    #[test]
+    fn delayed_counter_with_gaps() {
+        let mut c = DelayedCounter::new(2);
+        let pattern = [true, false, true, true, false];
+        let mut history = vec![0u64]; // value before each update
+        for &inc in &pattern {
+            c.update(inc);
+            history.push(c.current());
+        }
+        // After k updates, delayed() = value as of (k - 2) updates.
+        assert_eq!(c.current(), 3);
+        assert_eq!(c.delayed(), history[pattern.len() - 2]);
+    }
+
+    #[test]
+    fn loop_exit_equivalence() {
+        // A loop gated on the delayed counter produces the same number of
+        // outputs as one gated on the true counter, with ≤ delay extra trips.
+        let limit = 100u64;
+        for delay in 1..=4usize {
+            let mut c = DelayedCounter::new(delay);
+            let mut trips = 0u64;
+            let mut outputs = 0u64;
+            // accept every 3rd iteration
+            let mut k = 0u64;
+            while c.delayed() < limit {
+                let accept = k.is_multiple_of(3);
+                c.update(accept && c.current() < limit);
+                if accept && outputs < limit {
+                    outputs += 1;
+                }
+                k += 1;
+                trips += 1;
+                assert!(trips < 10_000, "runaway loop");
+            }
+            assert_eq!(outputs, limit);
+            // Baseline trips: last accepted at iteration where count hits 100.
+            let baseline = 3 * (limit - 1) + 1;
+            assert!(trips >= baseline);
+            assert!(
+                trips - baseline <= 3 * delay as u64 + 3,
+                "delay {delay}: {trips} vs {baseline}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be at least 1")]
+    fn zero_delay_panics() {
+        let _ = DelayedCounter::new(0);
+    }
+}

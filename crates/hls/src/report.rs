@@ -1,0 +1,186 @@
+//! Vivado-HLS-style synthesis reports.
+//!
+//! HLS users live off the console report: per-module latency, initiation
+//! interval, trip counts and resource estimates. This module renders the
+//! same artifact for a simulated design, pulling cycle numbers from
+//! [`crate::pipeline`] and resource numbers from [`crate::resources`].
+
+use crate::pipeline::PipelineModel;
+use crate::resources::ResourceCost;
+use std::fmt::Write as _;
+
+/// One module row of a synthesis report.
+#[derive(Debug, Clone)]
+pub struct ModuleReport {
+    /// Instance name (e.g. "GammaRNG_wi0").
+    pub name: String,
+    /// Pipeline model of the module's main loop.
+    pub pipeline: PipelineModel,
+    /// Expected trip count of that loop.
+    pub trips: u64,
+    /// Resource estimate.
+    pub resources: ResourceCost,
+}
+
+impl ModuleReport {
+    /// Latency in cycles for the expected trip count.
+    pub fn latency(&self) -> u64 {
+        self.pipeline.cycles(self.trips)
+    }
+}
+
+/// A whole-design synthesis report.
+#[derive(Debug, Clone, Default)]
+pub struct SynthesisReport {
+    /// Module rows.
+    pub modules: Vec<ModuleReport>,
+    /// Target clock (Hz).
+    pub clock_hz: f64,
+}
+
+impl SynthesisReport {
+    /// New report targeting `clock_hz`.
+    pub fn new(clock_hz: f64) -> Self {
+        assert!(clock_hz > 0.0);
+        Self {
+            modules: Vec::new(),
+            clock_hz,
+        }
+    }
+
+    /// Add a module.
+    pub fn module(
+        &mut self,
+        name: &str,
+        ii: u64,
+        depth: u64,
+        trips: u64,
+        resources: ResourceCost,
+    ) -> &mut Self {
+        self.modules.push(ModuleReport {
+            name: name.to_string(),
+            pipeline: PipelineModel::new(ii, depth),
+            trips,
+            resources,
+        });
+        self
+    }
+
+    /// Design latency: concurrent dataflow modules ⇒ the slowest one binds.
+    pub fn dataflow_latency(&self) -> u64 {
+        self.modules.iter().map(|m| m.latency()).max().unwrap_or(0)
+    }
+
+    /// Total resources.
+    pub fn total_resources(&self) -> ResourceCost {
+        self.modules
+            .iter()
+            .fold(ResourceCost::default(), |acc, m| acc.add(m.resources))
+    }
+
+    /// Render the console-style report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "== Synthesis report (target clock {:.0} MHz) ==",
+            self.clock_hz / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>4} {:>6} {:>12} {:>12} {:>8} {:>6} {:>6}",
+            "Module", "II", "Depth", "Trips", "Latency", "Slices", "DSP", "BRAM"
+        );
+        for m in &self.modules {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>4} {:>6} {:>12} {:>12} {:>8.0} {:>6.0} {:>6.0}",
+                m.name,
+                m.pipeline.ii,
+                m.pipeline.depth,
+                m.trips,
+                m.latency(),
+                m.resources.slices,
+                m.resources.dsp,
+                m.resources.bram
+            );
+        }
+        let total = self.total_resources();
+        let _ = writeln!(
+            out,
+            "{:<22} {:>4} {:>6} {:>12} {:>12} {:>8.0} {:>6.0} {:>6.0}",
+            "TOTAL (dataflow)",
+            "-",
+            "-",
+            "-",
+            self.dataflow_latency(),
+            total.slices,
+            total.dsp,
+            total.bram
+        );
+        let _ = writeln!(
+            out,
+            "estimated kernel time: {:.3} ms",
+            self.dataflow_latency() as f64 / self.clock_hz * 1e3
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::Block;
+
+    fn demo() -> SynthesisReport {
+        let mut r = SynthesisReport::new(200e6);
+        r.module(
+            "GammaRNG_wi0",
+            1,
+            60,
+            1_000_000,
+            Block::GammaCore.cost().add(Block::MarsagliaBray.cost()),
+        );
+        r.module("Transfer_wi0", 1, 8, 62_500, Block::TransferEngine.cost());
+        r
+    }
+
+    #[test]
+    fn latency_math() {
+        let r = demo();
+        assert_eq!(r.modules[0].latency(), 60 + 999_999);
+        assert_eq!(r.dataflow_latency(), 1_000_059);
+    }
+
+    #[test]
+    fn totals_sum_resources() {
+        let r = demo();
+        let t = r.total_resources();
+        assert!(t.slices > 0.0 && t.dsp > 0.0);
+        assert_eq!(
+            t.slices,
+            Block::GammaCore.cost().slices
+                + Block::MarsagliaBray.cost().slices
+                + Block::TransferEngine.cost().slices
+        );
+    }
+
+    #[test]
+    fn render_includes_all_modules_and_total() {
+        let r = demo();
+        let s = r.render();
+        assert!(s.contains("GammaRNG_wi0"));
+        assert!(s.contains("Transfer_wi0"));
+        assert!(s.contains("TOTAL (dataflow)"));
+        assert!(s.contains("estimated kernel time"));
+        // 1,000,060 cycles at 200 MHz ≈ 5.000 ms
+        assert!(s.contains("5.000 ms"), "{s}");
+    }
+
+    #[test]
+    fn empty_report_is_safe() {
+        let r = SynthesisReport::new(100e6);
+        assert_eq!(r.dataflow_latency(), 0);
+        assert!(r.render().contains("TOTAL"));
+    }
+}

@@ -1,0 +1,368 @@
+//! Additive FPGA resource model (Table II).
+//!
+//! Place-and-route reports are sums of per-block costs plus the static
+//! (PCIe/DMA) region. The per-component constants below are calibrated so
+//! the model reproduces the paper's Table II utilization for all four
+//! configurations within a few tenths of a percent, and — more importantly —
+//! so the *fitting loop* ("we have iteratively increased the number of
+//! parallel work-items in steps of one, as far as the place-and-route
+//! process allowed") lands on the paper's work-item counts: 6 for
+//! Config1/2, 8 for Config3/4, with slices as the binding resource.
+//!
+//! Notes mirrored from the paper:
+//! * each slice contains 4 LUTs and 8 FFs (footnote 3),
+//! * the reconfigurable OCL region is ≈ 2/3 of the device, so ~53 % total
+//!   slice utilization corresponds to ≈ 80 % of the usable region —
+//!   effectively full,
+//! * Vivado HLS maps arrays to BRAM by default, which is why the 17-word
+//!   MT521 state costs the same BRAM as the 624-word MT19937 state and
+//!   Table II's BRAM column is identical across MT choices.
+
+/// Resource vector: slices, DSP48 blocks, BRAM36 blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceCost {
+    /// Logic slices (4 LUTs + 8 FFs each on Virtex-7).
+    pub slices: f64,
+    /// DSP48E1 blocks.
+    pub dsp: f64,
+    /// 36 Kb block RAMs.
+    pub bram: f64,
+}
+
+impl ResourceCost {
+    /// Component-wise sum.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, other: Self) -> Self {
+        Self {
+            slices: self.slices + other.slices,
+            dsp: self.dsp + other.dsp,
+            bram: self.bram + other.bram,
+        }
+    }
+
+    /// Scale by an instance count.
+    pub fn times(self, n: f64) -> Self {
+        Self {
+            slices: self.slices * n,
+            dsp: self.dsp * n,
+            bram: self.bram * n,
+        }
+    }
+}
+
+/// Synthesizable blocks of the decoupled-work-item design.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Block {
+    /// SDAccel static region: PCIe endpoint, DMA, clocking.
+    StaticRegion,
+    /// Per-work-item transfer engine: packer, burst buffer, AXI master,
+    /// coupling FIFO, loop control.
+    TransferEngine,
+    /// Marsaglia-Bray core: ln, sqrt, divide, multipliers.
+    MarsagliaBray,
+    /// Bit-level ICDF core: LZ counter, coefficient ROM address logic, two
+    /// fixed-point multipliers.
+    IcdfFpga,
+    /// Marsaglia-Tsang gamma core: cube, squeeze compare, ln path.
+    GammaCore,
+    /// α ≤ 1 correction: `u^(1/α)` via exp/ln.
+    CorrectionCore,
+    /// One Mersenne-Twister with a 624-word state (MT19937).
+    Mt19937,
+    /// One Mersenne-Twister with a 17-word state (MT521).
+    Mt521,
+}
+
+impl Block {
+    /// Calibrated P&R cost of one instance.
+    pub fn cost(self) -> ResourceCost {
+        match self {
+            Block::StaticRegion => ResourceCost {
+                slices: 3000.0,
+                dsp: 24.0,
+                bram: 130.0,
+            },
+            Block::TransferEngine => ResourceCost {
+                slices: 1500.0,
+                dsp: 0.0,
+                bram: 24.0,
+            },
+            Block::MarsagliaBray => ResourceCost {
+                slices: 2464.0,
+                dsp: 68.0,
+                bram: 0.0,
+            },
+            Block::IcdfFpga => ResourceCost {
+                slices: 330.0,
+                dsp: 24.0,
+                bram: 1.0,
+            },
+            Block::GammaCore => ResourceCost {
+                slices: 2500.0,
+                dsp: 40.0,
+                bram: 0.0,
+            },
+            Block::CorrectionCore => ResourceCost {
+                slices: 1800.0,
+                dsp: 30.0,
+                bram: 0.0,
+            },
+            Block::Mt19937 => ResourceCost {
+                slices: 200.0,
+                dsp: 0.0,
+                bram: 1.0,
+            },
+            Block::Mt521 => ResourceCost {
+                slices: 170.0,
+                dsp: 0.0,
+                bram: 1.0,
+            },
+        }
+    }
+}
+
+/// A target device's available resources.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Device {
+    /// Device name for reports.
+    pub name: &'static str,
+    /// Available slices.
+    pub slices: u64,
+    /// Available DSP blocks.
+    pub dsp: u64,
+    /// Available BRAM36 blocks.
+    pub bram: u64,
+    /// Routable slice ceiling: P&R fails above this (the paper's designs
+    /// stop at ~53.4 % total ≈ 80 % of the 2/3-sized OCL region).
+    pub slice_fit_limit: u64,
+}
+
+/// The paper's board: Alpha Data ADM-PCIE-7V3, Virtex-7 XC7VX690T-2.
+pub const XC7VX690T: Device = Device {
+    name: "Xilinx Virtex-7 XC7VX690T-2 (ADM-PCIE-7V3)",
+    slices: 107_400,
+    dsp: 3_600,
+    bram: 1_470,
+    slice_fit_limit: 57_400,
+};
+
+/// Resource report for a full design instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceReport {
+    /// Total consumed resources (static + all work-items).
+    pub used: ResourceCost,
+    /// The device measured against.
+    pub device: Device,
+    /// Number of work-items instantiated.
+    pub workitems: u32,
+}
+
+impl ResourceReport {
+    /// Utilization percentages (slices, DSP, BRAM) — the Table II rows.
+    pub fn utilization(&self) -> (f64, f64, f64) {
+        (
+            100.0 * self.used.slices / self.device.slices as f64,
+            100.0 * self.used.dsp / self.device.dsp as f64,
+            100.0 * self.used.bram / self.device.bram as f64,
+        )
+    }
+
+    /// Slice utilization corrected to the ≈2/3-sized OCL region (the
+    /// paper's footnote 2: "the corrected utilization for slices is
+    /// estimated at 80 %").
+    pub fn corrected_slice_utilization(&self) -> f64 {
+        100.0 * self.used.slices / (self.device.slices as f64 * 2.0 / 3.0)
+    }
+
+    /// The resource with the highest utilization (the paper: "in all cases
+    /// the design is limited by the number of slices").
+    pub fn binding_resource(&self) -> &'static str {
+        let (s, d, b) = self.utilization();
+        if s >= d && s >= b {
+            "slices"
+        } else if d >= b {
+            "DSP"
+        } else {
+            "BRAM"
+        }
+    }
+}
+
+/// The per-work-item block list of a kernel configuration.
+#[derive(Debug, Clone)]
+pub struct WorkItemBlocks {
+    /// Blocks instantiated once per work-item (with multiplicity).
+    pub blocks: Vec<(Block, u32)>,
+}
+
+impl WorkItemBlocks {
+    /// Cost of one work-item.
+    pub fn cost(&self) -> ResourceCost {
+        self.blocks
+            .iter()
+            .fold(ResourceCost::default(), |acc, &(b, n)| {
+                acc.add(b.cost().times(n as f64))
+            })
+    }
+}
+
+/// Total design cost with `n` work-items.
+pub fn design_cost(wi: &WorkItemBlocks, n: u32) -> ResourceCost {
+    Block::StaticRegion.cost().add(wi.cost().times(n as f64))
+}
+
+/// The paper's fitting loop: raise the work-item count one at a time until
+/// place-and-route (the slice ceiling, or any hard resource limit) refuses.
+pub fn max_workitems(wi: &WorkItemBlocks, device: &Device) -> u32 {
+    let mut n = 0u32;
+    loop {
+        let c = design_cost(wi, n + 1);
+        if c.slices > device.slice_fit_limit as f64
+            || c.dsp > device.dsp as f64
+            || c.bram > device.bram as f64
+        {
+            return n;
+        }
+        n += 1;
+        assert!(n < 10_000, "runaway fit loop");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mbray_wi(mt: Block) -> WorkItemBlocks {
+        WorkItemBlocks {
+            blocks: vec![
+                (Block::TransferEngine, 1),
+                (Block::MarsagliaBray, 1),
+                (Block::GammaCore, 1),
+                (Block::CorrectionCore, 1),
+                (mt, 4), // two for M-Bray, one rejection, one correction
+            ],
+        }
+    }
+
+    fn icdf_wi(mt: Block) -> WorkItemBlocks {
+        WorkItemBlocks {
+            blocks: vec![
+                (Block::TransferEngine, 1),
+                (Block::IcdfFpga, 1),
+                (Block::GammaCore, 1),
+                (Block::CorrectionCore, 1),
+                (mt, 3), // one ICDF input, one rejection, one correction
+            ],
+        }
+    }
+
+    #[test]
+    fn fit_reaches_paper_workitem_counts() {
+        assert_eq!(max_workitems(&mbray_wi(Block::Mt19937), &XC7VX690T), 6);
+        assert_eq!(max_workitems(&mbray_wi(Block::Mt521), &XC7VX690T), 6);
+        assert_eq!(max_workitems(&icdf_wi(Block::Mt19937), &XC7VX690T), 8);
+        assert_eq!(max_workitems(&icdf_wi(Block::Mt521), &XC7VX690T), 8);
+    }
+
+    #[test]
+    fn table2_utilization_config1() {
+        let report = ResourceReport {
+            used: design_cost(&mbray_wi(Block::Mt19937), 6),
+            device: XC7VX690T,
+            workitems: 6,
+        };
+        let (s, d, b) = report.utilization();
+        assert!((s - 53.43).abs() < 0.5, "slices {s} vs 53.43");
+        assert!((d - 23.67).abs() < 0.5, "DSP {d} vs 23.67");
+        assert!((b - 20.31).abs() < 0.5, "BRAM {b} vs 20.31");
+    }
+
+    #[test]
+    fn table2_utilization_config2() {
+        let report = ResourceReport {
+            used: design_cost(&mbray_wi(Block::Mt521), 6),
+            device: XC7VX690T,
+            workitems: 6,
+        };
+        let (s, d, b) = report.utilization();
+        assert!((s - 52.75).abs() < 0.5, "slices {s} vs 52.75");
+        assert!((d - 23.67).abs() < 0.5, "DSP {d} vs 23.67");
+        assert!((b - 20.31).abs() < 0.5, "BRAM {b} vs 20.31");
+    }
+
+    #[test]
+    fn table2_utilization_config3() {
+        let report = ResourceReport {
+            used: design_cost(&icdf_wi(Block::Mt19937), 8),
+            device: XC7VX690T,
+            workitems: 8,
+        };
+        let (s, d, b) = report.utilization();
+        assert!((s - 52.92).abs() < 0.5, "slices {s} vs 52.92");
+        assert!((d - 21.56).abs() < 0.5, "DSP {d} vs 21.56");
+        assert!((b - 24.05).abs() < 0.5, "BRAM {b} vs 24.05");
+    }
+
+    #[test]
+    fn table2_utilization_config4() {
+        let report = ResourceReport {
+            used: design_cost(&icdf_wi(Block::Mt521), 8),
+            device: XC7VX690T,
+            workitems: 8,
+        };
+        let (s, d, b) = report.utilization();
+        assert!((s - 52.72).abs() < 0.6, "slices {s} vs 52.72");
+        assert!((d - 21.56).abs() < 0.5, "DSP {d} vs 21.56");
+        assert!((b - 24.05).abs() < 0.5, "BRAM {b} vs 24.05");
+    }
+
+    #[test]
+    fn slices_are_the_binding_resource() {
+        for (wi, n) in [
+            (mbray_wi(Block::Mt19937), 6u32),
+            (mbray_wi(Block::Mt521), 6),
+            (icdf_wi(Block::Mt19937), 8),
+            (icdf_wi(Block::Mt521), 8),
+        ] {
+            let report = ResourceReport {
+                used: design_cost(&wi, n),
+                device: XC7VX690T,
+                workitems: n,
+            };
+            assert_eq!(report.binding_resource(), "slices");
+        }
+    }
+
+    #[test]
+    fn corrected_slice_utilization_near_80_percent() {
+        // The paper estimates ≈ 80 % of the OCL region.
+        let report = ResourceReport {
+            used: design_cost(&mbray_wi(Block::Mt19937), 6),
+            device: XC7VX690T,
+            workitems: 6,
+        };
+        let c = report.corrected_slice_utilization();
+        assert!((c - 80.0).abs() < 2.0, "corrected utilization {c}");
+    }
+
+    #[test]
+    fn cost_arithmetic() {
+        let a = ResourceCost {
+            slices: 1.0,
+            dsp: 2.0,
+            bram: 3.0,
+        };
+        let b = a.times(2.0).add(a);
+        assert_eq!(b.slices, 3.0);
+        assert_eq!(b.dsp, 6.0);
+        assert_eq!(b.bram, 9.0);
+    }
+
+    #[test]
+    fn mbray_workitem_is_bigger_than_icdf_workitem() {
+        // The whole reason Config3/4 fit 8 work-items while Config1/2 fit 6.
+        let mb = mbray_wi(Block::Mt19937).cost();
+        let ic = icdf_wi(Block::Mt19937).cost();
+        assert!(mb.slices > ic.slices);
+    }
+}

@@ -1,0 +1,431 @@
+//! Cycle-level discrete simulation of the decoupled dataflow (Fig. 3).
+//!
+//! Each work-item is a pair of processes — a pipelined *compute* stage
+//! producing (at most) one RN per cycle, and a *transfer* engine that drains
+//! the coupling FIFO, packs 512-bit words, and ships fixed-length bursts
+//! over the single shared memory channel. The channel is granted
+//! round-robin; while a work-item is bursting it does not drain its FIFO
+//! (`LOOP_FLATTEN off` ⇒ sequential within the work-item), so back-pressure
+//! propagates exactly as in the hardware and the work-items *shift in time*
+//! until compute and transfer fully overlap — the behaviour Fig. 3 sketches
+//! and this engine lets us observe cycle by cycle.
+
+use crate::memory::{BurstChannel, RNS_PER_BEAT};
+
+/// What to simulate.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of decoupled work-items.
+    pub n_workitems: usize,
+    /// Valid RNs each work-item must deliver.
+    pub rns_per_workitem: u64,
+    /// Probability an iteration produces no output (rejection), in [0, 1).
+    pub reject_prob: f64,
+    /// Depth of the compute→transfer FIFO (hls::stream depth).
+    pub fifo_depth: usize,
+    /// RNs per burst (LTRANSF × 16).
+    pub burst_rns: u64,
+    /// The shared memory channel.
+    pub channel: BurstChannel,
+    /// When false, compute is bypassed and the transfer engines stream dummy
+    /// data back-to-back — the paper's transfers-only experiment (Fig. 7).
+    pub compute_enabled: bool,
+    /// Deterministic seed for the rejection pattern.
+    pub seed: u64,
+    /// Record per-burst events (cheap; per-cycle detail is derived).
+    pub trace: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            n_workitems: 6,
+            rns_per_workitem: 4096,
+            reject_prob: 0.233,
+            fifo_depth: 64,
+            burst_rns: 256,
+            channel: BurstChannel::config12(),
+            compute_enabled: true,
+            seed: 1,
+            trace: false,
+        }
+    }
+}
+
+/// A burst transfer event (for schedule rendering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BurstEvent {
+    /// Issuing work-item.
+    pub wid: usize,
+    /// Cycle the channel grant was issued.
+    pub start: u64,
+    /// Cycle the burst released the channel.
+    pub end: u64,
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    /// Total cycles until every work-item delivered its data.
+    pub cycles: u64,
+    /// Completion cycle of each work-item's last burst.
+    pub per_wi_done: Vec<u64>,
+    /// Cycles the channel spent occupied.
+    pub channel_busy: u64,
+    /// Cycles each compute stage spent stalled on a full FIFO.
+    pub compute_stalls: Vec<u64>,
+    /// Peak FIFO occupancy per work-item.
+    pub fifo_high_water: Vec<usize>,
+    /// Burst schedule (empty unless `trace`).
+    pub bursts: Vec<BurstEvent>,
+}
+
+impl SimResult {
+    /// Wall-clock seconds at the channel clock.
+    pub fn runtime_s(&self, freq_hz: f64) -> f64 {
+        self.cycles as f64 / freq_hz
+    }
+
+    /// Channel utilization in [0, 1].
+    pub fn channel_utilization(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.channel_busy as f64 / self.cycles as f64
+        }
+    }
+}
+
+struct WorkItem {
+    produced: u64,       // RNs emitted by compute
+    delivered: u64,      // RNs shipped to memory
+    fifo: u64,           // current FIFO occupancy
+    fifo_peak: u64,
+    buffered: u64,       // RNs in the buffer currently being filled
+    ready: Option<u64>,  // a full buffer waiting for a channel grant
+    in_flight: Option<(u64, u64)>, // (end_cycle, rns) burst on the channel
+    stalls: u64,
+    lcg: u64,
+    done_at: u64,
+    done: bool,
+}
+
+impl WorkItem {
+    fn remaining_to_buffer(&self, total: u64) -> u64 {
+        total
+            - self.delivered
+            - self.in_flight.map_or(0, |(_, r)| r)
+            - self.ready.unwrap_or(0)
+            - self.buffered
+    }
+}
+
+/// Run the cycle-level simulation.
+pub fn run(cfg: &SimConfig) -> SimResult {
+    assert!(cfg.n_workitems > 0, "need at least one work-item");
+    assert!(
+        cfg.burst_rns > 0 && cfg.burst_rns.is_multiple_of(RNS_PER_BEAT),
+        "burst must be a whole number of 512-bit words"
+    );
+    assert!((0.0..1.0).contains(&cfg.reject_prob));
+    let mut wis: Vec<WorkItem> = (0..cfg.n_workitems)
+        .map(|i| WorkItem {
+            produced: 0,
+            delivered: 0,
+            fifo: 0,
+            fifo_peak: 0,
+            buffered: 0,
+            ready: None,
+            in_flight: None,
+            stalls: 0,
+            lcg: (cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ ((i as u64) << 32)) | 1,
+            done_at: 0,
+            done: false,
+        })
+        .collect();
+    let reject_threshold = (cfg.reject_prob * (1u64 << 32) as f64) as u64;
+    let mut channel_free_at = 0u64;
+    let mut channel_busy = 0u64;
+    let mut rr = 0usize; // round-robin arbitration pointer
+    let mut bursts = Vec::new();
+    let mut cycle = 0u64;
+    let occ = cfg.channel.burst_occupancy(cfg.burst_rns);
+    let safety = 4096
+        + cfg.n_workitems as u64 * cfg.rns_per_workitem * (occ + cfg.burst_rns)
+            / cfg.burst_rns.max(1)
+            * 8;
+
+    while wis.iter().any(|w| !w.done) {
+        // --- complete in-flight bursts ---
+        for w in wis.iter_mut() {
+            if let Some((end, rns)) = w.in_flight {
+                if cycle >= end {
+                    w.delivered += rns;
+                    w.in_flight = None;
+                    if w.delivered >= cfg.rns_per_workitem && !w.done {
+                        w.done = true;
+                        w.done_at = cycle;
+                    }
+                }
+            }
+        }
+        // --- channel arbitration: one grant per free slot, round-robin ---
+        if cycle >= channel_free_at {
+            for k in 0..wis.len() {
+                let idx = (rr + k) % wis.len();
+                let can_go = wis[idx].ready.is_some() && wis[idx].in_flight.is_none();
+                if can_go {
+                    let rns = wis[idx].ready.take().expect("checked above");
+                    let end = cycle + occ;
+                    wis[idx].in_flight = Some((end, rns));
+                    channel_free_at = end;
+                    channel_busy += occ;
+                    if cfg.trace {
+                        bursts.push(BurstEvent {
+                            wid: idx,
+                            start: cycle,
+                            end,
+                        });
+                    }
+                    rr = (idx + 1) % wis.len();
+                    break;
+                }
+            }
+        }
+        // --- transfer engines: pack one RN per cycle into the fill buffer
+        //     (TLOOP at II = 1), double-buffered against the in-flight burst ---
+        for w in wis.iter_mut() {
+            if w.done {
+                continue;
+            }
+            let remaining = w.remaining_to_buffer(cfg.rns_per_workitem);
+            let target = cfg.burst_rns.min(remaining + w.buffered);
+            if w.buffered < target {
+                let avail = if cfg.compute_enabled { w.fifo } else { 1 };
+                if avail > 0 {
+                    if cfg.compute_enabled {
+                        w.fifo -= 1;
+                    }
+                    w.buffered += 1;
+                }
+            }
+            if w.buffered >= target && target > 0 && w.ready.is_none() {
+                // Swap the filled buffer into the ready slot; filling of the
+                // next buffer resumes immediately (DEPENDENCE false).
+                w.ready = Some(w.buffered);
+                w.buffered = 0;
+            }
+        }
+        // --- compute stages: one iteration per cycle (II = 1) ---
+        if cfg.compute_enabled {
+            for w in wis.iter_mut() {
+                if w.produced >= cfg.rns_per_workitem {
+                    continue;
+                }
+                if w.fifo >= cfg.fifo_depth as u64 {
+                    w.stalls += 1; // stream back-pressure stalls the pipeline
+                    continue;
+                }
+                // LCG-driven rejection.
+                w.lcg = w
+                    .lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let accept = (w.lcg >> 32) >= reject_threshold;
+                if accept {
+                    w.fifo += 1;
+                    w.fifo_peak = w.fifo_peak.max(w.fifo);
+                    w.produced += 1;
+                }
+            }
+        }
+        cycle += 1;
+        assert!(cycle < safety, "simulation failed to converge");
+    }
+
+    SimResult {
+        cycles: cycle,
+        per_wi_done: wis.iter().map(|w| w.done_at).collect(),
+        channel_busy,
+        compute_stalls: wis.iter().map(|w| w.stalls).collect(),
+        fifo_high_water: wis.iter().map(|w| w.fifo_peak as usize).collect(),
+        bursts,
+    }
+}
+
+/// Render the burst schedule as an ASCII timeline (one row per work-item),
+/// the Fig. 3 "C/T" picture. `scale` = cycles per character.
+pub fn render_schedule(result: &SimResult, n_workitems: usize, scale: u64) -> String {
+    assert!(scale > 0);
+    let width = (result.cycles / scale + 1) as usize;
+    let mut rows = vec![vec!['.'; width]; n_workitems];
+    for b in &result.bursts {
+        for c in (b.start / scale)..=(b.end.saturating_sub(1) / scale) {
+            if let Some(cell) = rows[b.wid].get_mut(c as usize) {
+                *cell = 'T';
+            }
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!("WI{i}: "));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SimConfig {
+        SimConfig {
+            n_workitems: 4,
+            rns_per_workitem: 2048,
+            reject_prob: 0.25,
+            fifo_depth: 64,
+            burst_rns: 256,
+            channel: BurstChannel::config34(),
+            compute_enabled: true,
+            seed: 42,
+            trace: true,
+        }
+    }
+
+    #[test]
+    fn delivers_all_data() {
+        let r = run(&small_cfg());
+        assert!(r.cycles > 0);
+        assert_eq!(r.per_wi_done.len(), 4);
+        // Every WI finished by the end.
+        assert!(r.per_wi_done.iter().all(|&d| d > 0 && d <= r.cycles));
+        // Total bursts = 4 WIs × 2048/256 bursts.
+        assert_eq!(r.bursts.len(), 4 * 8);
+    }
+
+    #[test]
+    fn bursts_never_overlap_on_the_single_channel() {
+        let r = run(&small_cfg());
+        let mut sorted = r.bursts.clone();
+        sorted.sort_by_key(|b| b.start);
+        for pair in sorted.windows(2) {
+            assert!(
+                pair[1].start >= pair[0].end,
+                "channel granted two bursts at once: {pair:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compute_bound_when_channel_is_fast() {
+        // One work-item, generous channel: runtime ≈ iterations needed
+        // = rns/(1-p) plus fill/drain slack.
+        let mut cfg = small_cfg();
+        cfg.n_workitems = 1;
+        cfg.reject_prob = 0.25;
+        let r = run(&cfg);
+        let ideal = (cfg.rns_per_workitem as f64 / 0.75) as u64;
+        assert!(r.cycles >= ideal);
+        assert!(
+            r.cycles < ideal + ideal / 3 + 512,
+            "cycles {} far above compute bound {ideal}",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn transfer_bound_when_many_workitems_share_channel() {
+        // 8 WIs with no rejection: channel saturates; runtime ≈ total bursts
+        // × occupancy.
+        let mut cfg = small_cfg();
+        cfg.n_workitems = 8;
+        cfg.reject_prob = 0.0;
+        let r = run(&cfg);
+        let total_bursts = 8 * (cfg.rns_per_workitem / cfg.burst_rns);
+        let occ = cfg.channel.burst_occupancy(cfg.burst_rns);
+        let bound = total_bursts * occ;
+        assert!(r.cycles >= bound);
+        assert!(
+            (r.cycles as f64) < bound as f64 * 1.15 + 1024.0,
+            "cycles {} vs transfer bound {bound}",
+            r.cycles
+        );
+        assert!(r.channel_utilization() > 0.85);
+    }
+
+    #[test]
+    fn transfers_only_mode_matches_analytic_bandwidth() {
+        // Fig. 7 cross-check: the cycle engine and the closed-form
+        // effective_bandwidth must agree within a few percent.
+        for n in [1u64, 2, 4, 8] {
+            let cfg = SimConfig {
+                n_workitems: n as usize,
+                rns_per_workitem: 65_536,
+                compute_enabled: false,
+                reject_prob: 0.0,
+                trace: false,
+                ..small_cfg()
+            };
+            let r = run(&cfg);
+            let total = cfg.rns_per_workitem * n;
+            let sim_bw = (total * 4) as f64 * cfg.channel.freq_hz / r.cycles as f64;
+            let analytic = cfg.channel.effective_bandwidth(cfg.burst_rns, n);
+            let err = (sim_bw - analytic).abs() / analytic;
+            assert!(
+                err < 0.06,
+                "n={n}: sim {sim_bw:.3e} vs analytic {analytic:.3e} ({err:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn workitems_shift_in_time() {
+        // Fig. 3: at steady state consecutive bursts come from different
+        // work-items (round-robin interleave).
+        let r = run(&small_cfg());
+        let mut sorted = r.bursts.clone();
+        sorted.sort_by_key(|b| b.start);
+        let mid = &sorted[sorted.len() / 2..sorted.len() / 2 + 4];
+        let wids: Vec<usize> = mid.iter().map(|b| b.wid).collect();
+        let distinct = {
+            let mut d = wids.clone();
+            d.sort();
+            d.dedup();
+            d.len()
+        };
+        assert!(distinct >= 3, "expected interleaved owners, got {wids:?}");
+    }
+
+    #[test]
+    fn rejection_raises_runtime() {
+        let mut cfg = small_cfg();
+        cfg.n_workitems = 1;
+        cfg.reject_prob = 0.0;
+        let fast = run(&cfg).cycles;
+        cfg.reject_prob = 0.303 / 1.303; // r = 0.303 overhead
+        cfg.seed = 9;
+        let slow = run(&cfg).cycles;
+        let ratio = slow as f64 / fast as f64;
+        assert!(
+            (1.2..1.45).contains(&ratio),
+            "rejection should cost ≈1.3×, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn schedule_renderer_produces_rows() {
+        let r = run(&small_cfg());
+        let s = render_schedule(&r, 4, 64);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.contains('T'));
+    }
+
+    #[test]
+    fn fifo_high_water_bounded_by_depth() {
+        let r = run(&small_cfg());
+        for &hw in &r.fifo_high_water {
+            assert!(hw <= 64);
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! `hls::stream`-style bounded blocking FIFOs.
+//!
+//! The `DATAFLOW` pragma requires every variable to have a single
+//! producer-consumer pair coupled through a stream (Section III-A); in the
+//! functional simulation each decoupled work-item's `GammaRNG` process and
+//! its `Transfer` process run as OS threads joined by one of these FIFOs.
+//! `write` blocks when the FIFO is full (hardware back-pressure), `read`
+//! blocks when it is empty — exactly the semantics that make the work-items
+//! shift in time and interleave their memory transfers (Fig. 3).
+//!
+//! Unlike hardware streams, a simulated producer terminates: dropping the
+//! last [`Producer`] closes the stream and drains readers with `None`.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+struct Inner<T> {
+    queue: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    producers: usize,
+    /// Peak occupancy (telemetry: FIFO sizing, like HLS stream depth reports).
+    high_water: usize,
+    /// Total writes that had to block on a full FIFO.
+    write_stalls: u64,
+    /// Total reads that had to block on an empty FIFO.
+    read_stalls: u64,
+}
+
+/// A bounded blocking stream (FIFO) of depth `capacity` — constructor-only
+/// namespace; the endpoints are [`Producer`] and [`Consumer`].
+///
+/// ```
+/// use dwi_hls::stream::Stream;
+/// let (tx, rx) = Stream::with_depth(4);
+/// tx.write(1.0f32);
+/// drop(tx); // close: readers drain, then get None
+/// assert_eq!(rx.read(), Some(1.0));
+/// assert_eq!(rx.read(), None);
+/// ```
+pub struct Stream<T>(std::marker::PhantomData<T>);
+
+/// Writing endpoint; the stream closes when all producers are dropped.
+pub struct Producer<T>(Arc<Inner<T>>);
+
+/// Reading endpoint.
+pub struct Consumer<T>(Arc<Inner<T>>);
+
+impl<T> Stream<T> {
+    /// Create a stream of the given depth, returning its two endpoints.
+    pub fn with_depth(capacity: usize) -> (Producer<T>, Consumer<T>) {
+        assert!(capacity > 0, "stream depth must be positive");
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(State {
+                buf: VecDeque::with_capacity(capacity),
+                producers: 1,
+                high_water: 0,
+                write_stalls: 0,
+                read_stalls: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (Producer(inner.clone()), Consumer(inner))
+    }
+}
+
+impl<T> Producer<T> {
+    /// Blocking write (back-pressure when full).
+    pub fn write(&self, value: T) {
+        let mut st = self.0.queue.lock();
+        if st.buf.len() >= self.0.capacity {
+            st.write_stalls += 1;
+            while st.buf.len() >= self.0.capacity {
+                self.0.not_full.wait(&mut st);
+            }
+        }
+        st.buf.push_back(value);
+        let len = st.buf.len();
+        st.high_water = st.high_water.max(len);
+        drop(st);
+        self.0.not_empty.notify_one();
+    }
+
+    /// Non-blocking write; `Err(value)` when the FIFO is full.
+    pub fn try_write(&self, value: T) -> Result<(), T> {
+        let mut st = self.0.queue.lock();
+        if st.buf.len() >= self.0.capacity {
+            return Err(value);
+        }
+        st.buf.push_back(value);
+        let len = st.buf.len();
+        st.high_water = st.high_water.max(len);
+        drop(st);
+        self.0.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Clone the producer (multiple writers keep the stream open).
+    pub fn clone_producer(&self) -> Producer<T> {
+        self.0.queue.lock().producers += 1;
+        Producer(self.0.clone())
+    }
+}
+
+impl<T> Drop for Producer<T> {
+    fn drop(&mut self) {
+        let mut st = self.0.queue.lock();
+        st.producers -= 1;
+        if st.producers == 0 {
+            drop(st);
+            self.0.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Consumer<T> {
+    /// Blocking read; `None` once the stream is closed *and* drained.
+    pub fn read(&self) -> Option<T> {
+        let mut st = self.0.queue.lock();
+        if st.buf.is_empty() && st.producers > 0 {
+            st.read_stalls += 1;
+        }
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Some(v);
+            }
+            if st.producers == 0 {
+                return None;
+            }
+            self.0.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking read.
+    pub fn try_read(&self) -> Option<T> {
+        let mut st = self.0.queue.lock();
+        let v = st.buf.pop_front();
+        if v.is_some() {
+            drop(st);
+            self.0.not_full.notify_one();
+        }
+        v
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.0.queue.lock().buf.len()
+    }
+
+    /// True when currently empty (racy, for tests/telemetry only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Peak occupancy since creation.
+    pub fn high_water(&self) -> usize {
+        self.0.queue.lock().high_water
+    }
+
+    /// (write stalls, read stalls) so far.
+    pub fn stalls(&self) -> (u64, u64) {
+        let st = self.0.queue.lock();
+        (st.write_stalls, st.read_stalls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let (tx, rx) = Stream::with_depth(8);
+        for i in 0..8 {
+            tx.write(i);
+        }
+        for i in 0..8 {
+            assert_eq!(rx.read(), Some(i));
+        }
+    }
+
+    #[test]
+    fn try_write_respects_capacity() {
+        let (tx, rx) = Stream::with_depth(2);
+        assert!(tx.try_write(1).is_ok());
+        assert!(tx.try_write(2).is_ok());
+        assert_eq!(tx.try_write(3), Err(3));
+        assert_eq!(rx.try_read(), Some(1));
+        assert!(tx.try_write(3).is_ok());
+    }
+
+    #[test]
+    fn read_after_close_drains_then_none() {
+        let (tx, rx) = Stream::with_depth(4);
+        tx.write(10);
+        tx.write(20);
+        drop(tx);
+        assert_eq!(rx.read(), Some(10));
+        assert_eq!(rx.read(), Some(20));
+        assert_eq!(rx.read(), None);
+        assert_eq!(rx.read(), None, "stays closed");
+    }
+
+    #[test]
+    fn blocking_write_applies_backpressure() {
+        let (tx, rx) = Stream::with_depth(1);
+        tx.write(1);
+        let h = thread::spawn(move || {
+            tx.write(2); // blocks until the reader drains
+            tx.write(3);
+        });
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.len(), 1, "writer must be blocked");
+        assert_eq!(rx.read(), Some(1));
+        assert_eq!(rx.read(), Some(2));
+        assert_eq!(rx.read(), Some(3));
+        h.join().unwrap();
+        let (wstalls, _) = rx.stalls();
+        assert!(wstalls >= 1, "the blocked write must be counted");
+    }
+
+    #[test]
+    fn blocking_read_waits_for_producer() {
+        let (tx, rx) = Stream::with_depth(4);
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx.write(99);
+        });
+        assert_eq!(rx.read(), Some(99)); // blocks until written
+        h.join().unwrap();
+        let (_, rstalls) = rx.stalls();
+        assert!(rstalls >= 1);
+    }
+
+    #[test]
+    fn producer_consumer_threads_move_bulk_data() {
+        let (tx, rx) = Stream::with_depth(16);
+        let n = 100_000u64;
+        let producer = thread::spawn(move || {
+            for i in 0..n {
+                tx.write(i);
+            }
+        });
+        let mut expected = 0u64;
+        while let Some(v) = rx.read() {
+            assert_eq!(v, expected);
+            expected += 1;
+        }
+        assert_eq!(expected, n);
+        producer.join().unwrap();
+    }
+
+    #[test]
+    fn multiple_producers_keep_stream_open() {
+        let (tx, rx) = Stream::with_depth(8);
+        let tx2 = tx.clone_producer();
+        drop(tx);
+        tx2.write(5);
+        drop(tx2);
+        assert_eq!(rx.read(), Some(5));
+        assert_eq!(rx.read(), None);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let (tx, rx) = Stream::with_depth(10);
+        for i in 0..7 {
+            tx.write(i);
+        }
+        for _ in 0..7 {
+            rx.read();
+        }
+        assert_eq!(rx.high_water(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "depth must be positive")]
+    fn zero_depth_panics() {
+        let _ = Stream::<u32>::with_depth(0);
+    }
+}

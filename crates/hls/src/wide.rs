@@ -1,0 +1,205 @@
+//! An `ap_uint<512>`-style word for the full-width memory interface.
+//!
+//! The board's memory interface is 512 bits — "equivalent to 16
+//! single-precision floating point values" (Section III-D). Gamma RNs are
+//! read one by one from the stream and packed into [`Wide512`] words (the
+//! paper's `g512` helper), then written to device global memory in bursts.
+
+/// Number of `f32` lanes in one 512-bit word.
+pub const LANES: usize = 16;
+
+/// A 512-bit word holding 16 packed single-precision floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Wide512 {
+    lanes: [u32; LANES],
+}
+
+impl Wide512 {
+    /// All-zero word.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Build from 16 floats.
+    pub fn from_f32(values: [f32; LANES]) -> Self {
+        let mut lanes = [0u32; LANES];
+        for (l, v) in lanes.iter_mut().zip(values) {
+            *l = v.to_bits();
+        }
+        Self { lanes }
+    }
+
+    /// Unpack into 16 floats.
+    pub fn to_f32(&self) -> [f32; LANES] {
+        let mut out = [0f32; LANES];
+        for (o, &l) in out.iter_mut().zip(&self.lanes) {
+            *o = f32::from_bits(l);
+        }
+        out
+    }
+
+    /// Set lane `i`.
+    pub fn set_lane(&mut self, i: usize, v: f32) {
+        self.lanes[i] = v.to_bits();
+    }
+
+    /// Get lane `i`.
+    pub fn lane(&self, i: usize) -> f32 {
+        f32::from_bits(self.lanes[i])
+    }
+
+    /// Raw 32-bit lanes.
+    pub fn raw(&self) -> &[u32; LANES] {
+        &self.lanes
+    }
+}
+
+/// The paper's `g512` packing helper: shifts `value` into an accumulating
+/// 512-bit word, lane by lane. Returns `true` (transfer flag) when the word
+/// just became full — the caller then stores it to the burst buffer and the
+/// packer restarts.
+#[derive(Debug, Clone, Default)]
+pub struct Packer {
+    word: Wide512,
+    fill: usize,
+    words_produced: u64,
+}
+
+impl Packer {
+    /// Fresh packer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one value; `Some(word)` when a full 512-bit word is ready.
+    #[inline]
+    pub fn push(&mut self, value: f32) -> Option<Wide512> {
+        self.word.set_lane(self.fill, value);
+        self.fill += 1;
+        if self.fill == LANES {
+            self.fill = 0;
+            self.words_produced += 1;
+            Some(std::mem::take(&mut self.word))
+        } else {
+            None
+        }
+    }
+
+    /// Lanes currently buffered (0..16).
+    pub fn pending(&self) -> usize {
+        self.fill
+    }
+
+    /// Flush a partially-filled word, zero-padding the tail. `None` if empty.
+    pub fn flush(&mut self) -> Option<Wide512> {
+        if self.fill == 0 {
+            return None;
+        }
+        for i in self.fill..LANES {
+            self.word.set_lane(i, 0.0);
+        }
+        self.fill = 0;
+        self.words_produced += 1;
+        Some(std::mem::take(&mut self.word))
+    }
+
+    /// Total complete words produced.
+    pub fn words_produced(&self) -> u64 {
+        self.words_produced
+    }
+}
+
+/// Unpack a sequence of 512-bit words back into a flat `f32` buffer
+/// (host-side view of the device buffer).
+pub fn unpack_words(words: &[Wide512], out: &mut Vec<f32>) {
+    for w in words {
+        out.extend_from_slice(&w.to_f32());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let vals: [f32; LANES] = std::array::from_fn(|i| i as f32 * 1.5 - 3.0);
+        let w = Wide512::from_f32(vals);
+        assert_eq!(w.to_f32(), vals);
+    }
+
+    #[test]
+    fn lane_access() {
+        let mut w = Wide512::zero();
+        w.set_lane(7, 42.5);
+        assert_eq!(w.lane(7), 42.5);
+        assert_eq!(w.lane(6), 0.0);
+    }
+
+    #[test]
+    fn bit_exact_preservation() {
+        // NaN payloads and -0.0 must survive packing (bit-level transport).
+        let mut w = Wide512::zero();
+        w.set_lane(0, -0.0);
+        assert_eq!(w.raw()[0], 0x8000_0000);
+        let nan = f32::from_bits(0x7FC0_1234);
+        w.set_lane(1, nan);
+        assert_eq!(w.raw()[1], 0x7FC0_1234);
+    }
+
+    #[test]
+    fn packer_emits_every_16() {
+        let mut p = Packer::new();
+        let mut words = Vec::new();
+        for i in 0..40 {
+            if let Some(w) = p.push(i as f32) {
+                words.push(w);
+            }
+        }
+        assert_eq!(words.len(), 2);
+        assert_eq!(p.pending(), 8);
+        assert_eq!(words[0].lane(0), 0.0);
+        assert_eq!(words[0].lane(15), 15.0);
+        assert_eq!(words[1].lane(0), 16.0);
+    }
+
+    #[test]
+    fn packer_flush_pads_with_zero() {
+        let mut p = Packer::new();
+        for i in 0..5 {
+            assert!(p.push(i as f32 + 1.0).is_none());
+        }
+        let w = p.flush().expect("pending lanes must flush");
+        assert_eq!(w.lane(4), 5.0);
+        assert_eq!(w.lane(5), 0.0);
+        assert!(p.flush().is_none(), "second flush is empty");
+        assert_eq!(p.words_produced(), 1);
+    }
+
+    #[test]
+    fn unpack_concatenates() {
+        let a = Wide512::from_f32(std::array::from_fn(|i| i as f32));
+        let b = Wide512::from_f32(std::array::from_fn(|i| (i + 16) as f32));
+        let mut out = Vec::new();
+        unpack_words(&[a, b], &mut out);
+        assert_eq!(out.len(), 32);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i as f32);
+        }
+    }
+
+    #[test]
+    fn packer_round_trips_stream() {
+        let mut p = Packer::new();
+        let data: Vec<f32> = (0..160).map(|i| (i as f32).sin()).collect();
+        let mut words = Vec::new();
+        for &v in &data {
+            if let Some(w) = p.push(v) {
+                words.push(w);
+            }
+        }
+        let mut out = Vec::new();
+        unpack_words(&words, &mut out);
+        assert_eq!(out, data);
+    }
+}

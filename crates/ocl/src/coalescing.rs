@@ -1,0 +1,119 @@
+//! Memory-access coalescing model (Section IV-B).
+//!
+//! The paper's fixed-platform kernels are "also optimized: memory accesses
+//! on GPU/PHI are coalesced, whereas each work-item on CPU writes to
+//! consecutive addresses". This module models the write-back cost of a
+//! partition's output stores under the two layouts:
+//!
+//! * **interleaved** (work-item i writes slot `base + i + W·k`): one
+//!   transaction per partition store on GPU/Phi (coalesced), but a
+//!   strided scatter on CPU;
+//! * **blocked** (work-item i writes `base + i·len + k`): consecutive per
+//!   work-item — ideal for CPU cache lines, but a W-way scatter on GPU/Phi.
+//!
+//! The paper's per-platform choice is exactly the one this model ranks
+//! best, and the runtime models charge the store cost accordingly.
+
+use crate::profiles::DeviceKind;
+
+/// Output buffer layout of a partition's stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Layout {
+    /// Lane-interleaved (coalesced on SIMT memory systems).
+    Interleaved,
+    /// Per-work-item contiguous blocks.
+    Blocked,
+}
+
+/// Memory transactions a partition of width `w` issues to store one output
+/// per lane (4-byte values, 64-byte transaction granularity).
+pub fn transactions_per_store(kind: DeviceKind, layout: Layout, w: u32) -> u32 {
+    let lanes_per_line = 16; // 64 B / 4 B
+    match (kind, layout) {
+        // SIMT coalescers merge lane-interleaved stores into whole lines.
+        (DeviceKind::Gpu | DeviceKind::Phi, Layout::Interleaved) => w.div_ceil(lanes_per_line),
+        // Blocked stores scatter one line per lane.
+        (DeviceKind::Gpu | DeviceKind::Phi, Layout::Blocked) => w,
+        // A CPU core executes the partition's lanes from one thread: blocked
+        // writes stream within a cache line...
+        (DeviceKind::Cpu, Layout::Blocked) => w.div_ceil(lanes_per_line),
+        // ...while interleaving across a wide stride misses per store once
+        // the working set outruns L1 (model: one line per store).
+        (DeviceKind::Cpu, Layout::Interleaved) => w,
+    }
+}
+
+/// The layout the platform prefers (fewest transactions) — the paper's
+/// stated optimization per platform.
+pub fn preferred_layout(kind: DeviceKind, w: u32) -> Layout {
+    if transactions_per_store(kind, Layout::Interleaved, w)
+        <= transactions_per_store(kind, Layout::Blocked, w)
+    {
+        Layout::Interleaved
+    } else {
+        Layout::Blocked
+    }
+}
+
+/// Relative slowdown of using the wrong layout: worst/best transactions.
+pub fn miscoalescing_penalty(kind: DeviceKind, w: u32) -> f64 {
+    let a = transactions_per_store(kind, Layout::Interleaved, w) as f64;
+    let b = transactions_per_store(kind, Layout::Blocked, w) as f64;
+    a.max(b) / a.min(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_choices_are_preferred() {
+        // "memory accesses on GPU/PHI are coalesced" → interleaved.
+        assert_eq!(preferred_layout(DeviceKind::Gpu, 32), Layout::Interleaved);
+        assert_eq!(preferred_layout(DeviceKind::Phi, 16), Layout::Interleaved);
+        // "each work-item on CPU writes to consecutive addresses" → blocked.
+        assert_eq!(preferred_layout(DeviceKind::Cpu, 8), Layout::Blocked);
+    }
+
+    #[test]
+    fn coalesced_warp_store_is_two_lines() {
+        // 32 lanes × 4 B = 128 B = 2 transactions.
+        assert_eq!(
+            transactions_per_store(DeviceKind::Gpu, Layout::Interleaved, 32),
+            2
+        );
+        assert_eq!(
+            transactions_per_store(DeviceKind::Gpu, Layout::Blocked, 32),
+            32
+        );
+    }
+
+    #[test]
+    fn penalty_grows_with_width() {
+        assert!(
+            miscoalescing_penalty(DeviceKind::Gpu, 32)
+                > miscoalescing_penalty(DeviceKind::Gpu, 8)
+        );
+        // GPU at warp width: 16× penalty for blocked stores.
+        assert_eq!(miscoalescing_penalty(DeviceKind::Gpu, 32), 16.0);
+    }
+
+    #[test]
+    fn cpu_blocked_is_cache_friendly() {
+        assert_eq!(
+            transactions_per_store(DeviceKind::Cpu, Layout::Blocked, 8),
+            1
+        );
+        assert_eq!(
+            transactions_per_store(DeviceKind::Cpu, Layout::Interleaved, 8),
+            8
+        );
+    }
+
+    #[test]
+    fn narrow_partitions_fit_one_line_either_way() {
+        for kind in [DeviceKind::Gpu, DeviceKind::Phi] {
+            assert_eq!(transactions_per_store(kind, Layout::Interleaved, 8), 1);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Masked multi-stage lockstep execution (Fig. 2b at instruction-block
+//! granularity).
+//!
+//! [`crate::simt`] accounts for divergence between whole *iterations*
+//! (rejection retries). Within one iteration the kernel also has predicated
+//! blocks — in Listing 2 the rejection uniform is gated on `n0_valid`, the
+//! correction on `gRN_ok` — and a lockstep machine must *issue* a predicated
+//! block whenever **any** active lane needs it, while the other lanes idle
+//! ("the work-items not executing the current side of the branch become
+//! idle", Section II-B). This module replays per-lane, per-iteration
+//! predicate masks through that issue rule and reports per-block utilization
+//! — the quantitative version of Fig. 2's red dots.
+
+/// A kernel body as a sequence of blocks with optional predicates.
+#[derive(Debug, Clone)]
+pub struct BlockSpec {
+    /// Display name.
+    pub name: &'static str,
+    /// Cost in cycles when issued.
+    pub cost: f64,
+    /// Index of the predicate gating this block (`None` = always executes).
+    pub predicate: Option<usize>,
+}
+
+/// One lane's predicate values for one iteration.
+pub type LaneMask = Vec<bool>;
+
+/// Result of a masked lockstep replay.
+#[derive(Debug, Clone)]
+pub struct MaskedResult {
+    /// Cycles the partition issued, total.
+    pub issued_cycles: f64,
+    /// Cycles of useful lane-work (Σ over lanes of executed block costs).
+    pub useful_lane_cycles: f64,
+    /// Per-block: (times issued, mean active-lane fraction when issued).
+    pub block_stats: Vec<(u64, f64)>,
+    /// Lanes in the partition.
+    pub width: usize,
+    /// Iterations replayed.
+    pub iterations: u64,
+}
+
+impl MaskedResult {
+    /// Lane utilization in \[0,1\]: useful work / (issued × width).
+    pub fn utilization(&self) -> f64 {
+        if self.issued_cycles == 0.0 {
+            return 1.0;
+        }
+        self.useful_lane_cycles / (self.issued_cycles * self.width as f64)
+    }
+
+    /// The red-dot fraction of Fig. 2b.
+    pub fn idle_fraction(&self) -> f64 {
+        1.0 - self.utilization()
+    }
+}
+
+/// Replay per-iteration lane masks through the lockstep issue rule.
+///
+/// `masks[it][lane][p]` is predicate `p`'s value for `lane` at iteration
+/// `it`. A block issues iff any lane's predicate holds (unpredicated blocks
+/// always issue); each issue costs `cost` cycles for the whole partition
+/// and `cost` useful cycles per active lane.
+pub fn run_masked(blocks: &[BlockSpec], masks: &[Vec<LaneMask>]) -> MaskedResult {
+    assert!(!blocks.is_empty(), "need at least one block");
+    assert!(!masks.is_empty(), "need at least one iteration");
+    let width = masks[0].len();
+    assert!(width >= 1, "need at least one lane");
+    let n_preds = masks[0].first().map_or(0, |m| m.len());
+    let mut issued = 0.0;
+    let mut useful = 0.0;
+    let mut stats = vec![(0u64, 0.0f64); blocks.len()];
+    for iter_masks in masks {
+        assert_eq!(iter_masks.len(), width, "ragged lane masks");
+        for (bi, b) in blocks.iter().enumerate() {
+            let active = match b.predicate {
+                None => width,
+                Some(p) => {
+                    assert!(p < n_preds, "predicate index out of range");
+                    iter_masks.iter().filter(|m| m[p]).count()
+                }
+            };
+            if active > 0 {
+                issued += b.cost;
+                useful += b.cost * active as f64;
+                stats[bi].0 += 1;
+                stats[bi].1 += active as f64 / width as f64;
+            }
+        }
+    }
+    for s in stats.iter_mut() {
+        if s.0 > 0 {
+            s.1 /= s.0 as f64;
+        }
+    }
+    MaskedResult {
+        issued_cycles: issued,
+        useful_lane_cycles: useful,
+        block_stats: stats,
+        width,
+        iterations: masks.len() as u64,
+    }
+}
+
+/// The Listing 2 kernel body as block specs, with predicate 0 = `n0_valid`
+/// and predicate 1 = `gRN_ok`. Costs are relative (one cost unit per
+/// logical block); platform cost tables scale them.
+pub fn listing2_blocks() -> Vec<BlockSpec> {
+    vec![
+        BlockSpec {
+            name: "MT0 + transform",
+            cost: 1.0,
+            predicate: None,
+        },
+        BlockSpec {
+            name: "MT1 + gamma test",
+            cost: 1.0,
+            predicate: Some(0), // useful only when n0_valid
+        },
+        BlockSpec {
+            name: "MT2 + correction",
+            cost: 1.0,
+            predicate: Some(1), // useful only when gRN_ok
+        },
+        BlockSpec {
+            name: "output write",
+            cost: 0.25,
+            predicate: Some(1),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mask(bits: &[(bool, bool)]) -> Vec<LaneMask> {
+        bits.iter().map(|&(a, b)| vec![a, b]).collect()
+    }
+
+    #[test]
+    fn all_lanes_active_is_fully_utilized() {
+        let blocks = listing2_blocks();
+        let masks = vec![mask(&[(true, true); 4]); 10];
+        let r = run_masked(&blocks, &masks);
+        assert_eq!(r.utilization(), 1.0);
+        assert_eq!(r.idle_fraction(), 0.0);
+        // Every block issued every iteration.
+        assert!(r.block_stats.iter().all(|&(n, f)| n == 10 && f == 1.0));
+    }
+
+    #[test]
+    fn single_diverging_lane_forces_issue() {
+        // One of four lanes has gRN_ok: correction still issues, 3/4 idle.
+        let blocks = listing2_blocks();
+        let masks = vec![mask(&[(true, true), (true, false), (true, false), (true, false)])];
+        let r = run_masked(&blocks, &masks);
+        let (issues, frac) = r.block_stats[2];
+        assert_eq!(issues, 1);
+        assert!((frac - 0.25).abs() < 1e-12);
+        assert!(r.idle_fraction() > 0.2);
+    }
+
+    #[test]
+    fn fully_rejected_iteration_skips_gated_blocks() {
+        let blocks = listing2_blocks();
+        let masks = vec![mask(&[(false, false); 8])];
+        let r = run_masked(&blocks, &masks);
+        // Only the unpredicated transform block issues.
+        assert_eq!(r.block_stats[0].0, 1);
+        assert_eq!(r.block_stats[1].0, 0);
+        assert_eq!(r.block_stats[2].0, 0);
+        assert_eq!(r.issued_cycles, 1.0);
+    }
+
+    #[test]
+    fn idle_fraction_matches_hand_computation() {
+        // 2 lanes, 2 iterations:
+        // it0: lane0 (T,T), lane1 (T,F) — blocks 0,1 full, 2,3 half.
+        // it1: lane0 (F,F), lane1 (T,T) — block 0 full, 1 half, 2,3 half.
+        let blocks = listing2_blocks();
+        let masks = vec![
+            mask(&[(true, true), (true, false)]),
+            mask(&[(false, false), (true, true)]),
+        ];
+        let r = run_masked(&blocks, &masks);
+        // issued: it0: 1+1+1+0.25; it1: 1+1+1+0.25 → 6.5
+        assert!((r.issued_cycles - 6.5).abs() < 1e-12);
+        // useful: it0: 2+2+1+0.25; it1: 2+1+1+0.25 → 9.5 lane-cycles
+        assert!((r.useful_lane_cycles - 9.5).abs() < 1e-12);
+        assert!((r.utilization() - 9.5 / 13.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn width_one_partition_never_idles_on_taken_blocks() {
+        // A decoupled work-item: every issued block is fully utilized.
+        let blocks = listing2_blocks();
+        let masks: Vec<Vec<LaneMask>> = (0..50)
+            .map(|i| mask(&[(i % 3 != 0, i % 4 != 0)]))
+            .collect();
+        let r = run_masked(&blocks, &masks);
+        assert_eq!(r.utilization(), 1.0, "width-1 partitions cannot idle");
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged lane masks")]
+    fn ragged_masks_panic() {
+        let blocks = listing2_blocks();
+        let masks = vec![mask(&[(true, true), (true, true)]), mask(&[(true, true)])];
+        let _ = run_masked(&blocks, &masks);
+    }
+}

@@ -1,0 +1,135 @@
+//! GPU occupancy: where the profile's scheduling constants come from.
+//!
+//! [`crate::profiles::GPU`] asserts that two warps per group are needed to
+//! hide latency and that ~4× oversubscription saturates the device; this
+//! module derives those numbers from the K80's resource limits the way an
+//! occupancy calculator does — resident warps are bounded by registers,
+//! work-group slots and the warp ceiling, and the achieved occupancy sets
+//! the latency-hiding capability.
+
+/// Per-SM resource limits of a GPU generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmLimits {
+    /// Maximum resident warps per SM.
+    pub max_warps: u32,
+    /// Register file size (32-bit registers).
+    pub registers: u32,
+    /// Maximum resident work-groups per SM.
+    pub max_groups: u32,
+    /// Shared memory per SM, bytes.
+    pub shared_bytes: u32,
+}
+
+/// Kepler GK210 (the K80's SM): 128K registers, 64 warps, 16 blocks.
+pub const GK210: SmLimits = SmLimits {
+    max_warps: 64,
+    registers: 131_072,
+    max_groups: 16,
+    shared_bytes: 114_688,
+};
+
+/// A kernel's per-work-item resource appetite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelFootprint {
+    /// Registers per work-item.
+    pub registers_per_wi: u32,
+    /// Shared/local memory per work-group, bytes.
+    pub shared_per_group: u32,
+}
+
+/// The paper's gamma kernel on Kepler: register-hungry (four MT states,
+/// transform temporaries) — the occupancy limiter.
+pub const GAMMA_KERNEL_FOOTPRINT: KernelFootprint = KernelFootprint {
+    registers_per_wi: 63, // Kepler per-thread ceiling; MT state spills
+    shared_per_group: 0,
+};
+
+/// Resident warps per SM for a work-group size, after all limits.
+pub fn resident_warps(limits: &SmLimits, fp: &KernelFootprint, local_size: u32) -> u32 {
+    assert!(local_size >= 1);
+    let warps_per_group = local_size.div_ceil(32);
+    // Register limit.
+    let regs_per_group = fp.registers_per_wi * warps_per_group * 32;
+    let groups_by_regs = if regs_per_group == 0 {
+        limits.max_groups
+    } else {
+        limits.registers / regs_per_group
+    };
+    // Shared-memory limit.
+    let groups_by_shared = if fp.shared_per_group == 0 {
+        limits.max_groups
+    } else {
+        limits.shared_bytes / fp.shared_per_group
+    };
+    let groups = groups_by_regs
+        .min(groups_by_shared)
+        .min(limits.max_groups);
+    (groups * warps_per_group).min(limits.max_warps)
+}
+
+/// Occupancy in [0, 1].
+pub fn occupancy(limits: &SmLimits, fp: &KernelFootprint, local_size: u32) -> f64 {
+    resident_warps(limits, fp, local_size) as f64 / limits.max_warps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gamma_kernel_occupancy_on_k80() {
+        // 63 regs/thread: 2016 regs/warp → 65 warps by registers, capped by
+        // group slots: at localSize 64 (2 warps/group), 16 groups = 32
+        // resident warps — half occupancy, enough to hide ALU latency, and
+        // the basis for the profile's oversubscription=4 saturation point.
+        let w = resident_warps(&GK210, &GAMMA_KERNEL_FOOTPRINT, 64);
+        assert_eq!(w, 32);
+        assert!((occupancy(&GK210, &GAMMA_KERNEL_FOOTPRINT, 64) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_groups_are_slot_limited() {
+        // localSize 32: 1 warp/group, 16 group slots → 16 warps = 25%.
+        // This is why a single warp per group exposes latency (the
+        // profile's latency_hiding_partitions = 2 at localSize 64).
+        let w32 = resident_warps(&GK210, &GAMMA_KERNEL_FOOTPRINT, 32);
+        let w64 = resident_warps(&GK210, &GAMMA_KERNEL_FOOTPRINT, 64);
+        assert!(w64 > w32, "64-wide groups must beat 32-wide: {w64} vs {w32}");
+    }
+
+    #[test]
+    fn register_pressure_limits_fat_kernels() {
+        let fat = KernelFootprint {
+            registers_per_wi: 255,
+            shared_per_group: 0,
+        };
+        let lean = KernelFootprint {
+            registers_per_wi: 32,
+            shared_per_group: 0,
+        };
+        assert!(
+            resident_warps(&GK210, &fat, 256) < resident_warps(&GK210, &lean, 256),
+            "register pressure must reduce occupancy"
+        );
+    }
+
+    #[test]
+    fn shared_memory_limit_applies() {
+        let heavy = KernelFootprint {
+            registers_per_wi: 16,
+            shared_per_group: 57_344, // half the SM's shared memory
+        };
+        let groups = resident_warps(&GK210, &heavy, 32);
+        assert_eq!(groups, 2, "only two groups fit by shared memory");
+    }
+
+    #[test]
+    fn warp_ceiling_binds_for_tiny_kernels() {
+        let tiny = KernelFootprint {
+            registers_per_wi: 8,
+            shared_per_group: 0,
+        };
+        let w = resident_warps(&GK210, &tiny, 1024);
+        assert_eq!(w, GK210.max_warps, "tiny kernels hit the warp ceiling");
+    }
+}

@@ -1,0 +1,257 @@
+//! Lockstep SIMT partition execution over rejection traces.
+//!
+//! On a fixed architecture, `W` work-items execute in lockstep. A rejection
+//! loop (`do { attempt } while (!accepted)`) reconverges only when *every*
+//! lane of the partition has accepted, so the partition pays
+//! `max_i attempts_i` iterations per output round while early-accepting
+//! lanes idle — the red dots of Fig. 2b. The expected cost per output is the
+//! **divergence factor**
+//!
+//! `D(q, W) = Σ_{k≥0} (1 − (1 − q^k)^W)`
+//!
+//! (the mean of the maximum of `W` geometric variables with failure
+//! probability `q`), compared to `D(q, 1) = 1/(1−q)` for an independent
+//! work-item — which is what the paper's decoupled FPGA work-items achieve.
+//!
+//! [`run_lockstep`] replays *actual* per-lane attempt traces (recorded from
+//! the real kernels) and is cross-validated against the closed form in the
+//! tests.
+
+/// Result of replaying one partition's traces in lockstep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LockstepResult {
+    /// Iterations the partition executed (`Σ_j max_i attempts_ij`).
+    pub lockstep_iterations: u64,
+    /// Iterations each lane actually needed (`Σ_j attempts_ij`).
+    pub lane_iterations: Vec<u64>,
+    /// Output rounds executed (length of the shortest lane trace).
+    pub rounds: u64,
+}
+
+impl LockstepResult {
+    /// Lockstep iterations per output round.
+    pub fn cost_per_output(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.lockstep_iterations as f64 / self.rounds as f64
+        }
+    }
+
+    /// Mean *useful* iterations per round over lanes (what a decoupled
+    /// work-item would pay).
+    pub fn decoupled_cost_per_output(&self) -> f64 {
+        if self.rounds == 0 || self.lane_iterations.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.lane_iterations.iter().sum();
+        total as f64 / (self.rounds as f64 * self.lane_iterations.len() as f64)
+    }
+
+    /// Fraction of lane-cycles spent idle waiting for slower lanes.
+    pub fn idle_fraction(&self) -> f64 {
+        let lanes = self.lane_iterations.len() as u64;
+        let capacity = self.lockstep_iterations * lanes;
+        if capacity == 0 {
+            return 0.0;
+        }
+        let useful: u64 = self.lane_iterations.iter().sum();
+        1.0 - useful as f64 / capacity as f64
+    }
+}
+
+/// Replay per-lane attempt traces in lockstep.
+///
+/// `traces[i][j]` is the number of attempts lane `i` needed for its `j`-th
+/// accepted output (≥ 1). The partition reconverges after every output
+/// round; trailing rounds beyond the shortest trace are ignored (a real
+/// kernel gives every lane the same quota).
+pub fn run_lockstep(traces: &[Vec<u32>]) -> LockstepResult {
+    assert!(!traces.is_empty(), "a partition needs at least one lane");
+    let rounds = traces.iter().map(|t| t.len()).min().expect("non-empty") as u64;
+    let mut lockstep = 0u64;
+    let mut lanes = vec![0u64; traces.len()];
+    for j in 0..rounds as usize {
+        let mut round_max = 0u32;
+        for (i, t) in traces.iter().enumerate() {
+            let a = t[j];
+            assert!(a >= 1, "an accepted output takes at least one attempt");
+            lanes[i] += a as u64;
+            round_max = round_max.max(a);
+        }
+        lockstep += round_max as u64;
+    }
+    LockstepResult {
+        lockstep_iterations: lockstep,
+        lane_iterations: lanes,
+        rounds,
+    }
+}
+
+/// Closed-form expected lockstep iterations per output for a partition of
+/// width `w` whose lanes reject independently with probability `q`:
+/// `E[max of w Geometric(1−q)] = Σ_{k≥0} (1 − (1 − q^k)^w)`.
+///
+/// `divergence_factor(q, 1)` is the decoupled (FPGA) cost `1/(1−q)` —
+/// exactly the `(1 + r)` factor of the paper's Eq. 1.
+///
+/// ```
+/// use dwi_ocl::simt::divergence_factor;
+/// // The Marsaglia-Bray chain on a 32-wide warp vs a decoupled work-item:
+/// let coupled = divergence_factor(0.233, 32);
+/// let decoupled = divergence_factor(0.233, 1);
+/// assert!(coupled / decoupled > 2.5);
+/// ```
+pub fn divergence_factor(q: f64, w: u32) -> f64 {
+    assert!((0.0..1.0).contains(&q), "rejection probability in [0,1)");
+    assert!(w >= 1, "partition width must be positive");
+    if q == 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut qk = 1.0f64; // q^0
+    for _ in 0..10_000 {
+        let term = 1.0 - (1.0 - qk).powi(w as i32);
+        sum += term;
+        if term < 1e-12 {
+            break;
+        }
+        qk *= q;
+    }
+    sum
+}
+
+/// Convenience: generate a deterministic geometric attempt trace (LCG-driven)
+/// for tests, demos and calibration — `outputs` accepted outputs at
+/// rejection probability `q`.
+pub fn synthetic_trace(q: f64, outputs: usize, seed: u64) -> Vec<u32> {
+    assert!((0.0..1.0).contains(&q));
+    let mut lcg = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let threshold = (q * (1u64 << 32) as f64) as u64;
+    let mut out = Vec::with_capacity(outputs);
+    let mut attempts = 1u32;
+    while out.len() < outputs {
+        lcg = lcg
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if (lcg >> 32) < threshold {
+            attempts += 1; // rejected, retry
+        } else {
+            out.push(attempts);
+            attempts = 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lockstep_takes_round_maxima() {
+        // lane0: [1,3], lane1: [2,1] → rounds cost max(1,2)+max(3,1) = 5.
+        let r = run_lockstep(&[vec![1, 3], vec![2, 1]]);
+        assert_eq!(r.lockstep_iterations, 5);
+        assert_eq!(r.lane_iterations, vec![4, 3]);
+        assert_eq!(r.rounds, 2);
+        assert_eq!(r.cost_per_output(), 2.5);
+    }
+
+    #[test]
+    fn single_lane_has_no_divergence() {
+        let t = synthetic_trace(0.3, 500, 7);
+        let r = run_lockstep(std::slice::from_ref(&t));
+        let serial: u64 = t.iter().map(|&a| a as u64).sum();
+        assert_eq!(r.lockstep_iterations, serial);
+        assert_eq!(r.idle_fraction(), 0.0);
+    }
+
+    #[test]
+    fn idle_fraction_grows_with_width() {
+        let q = 0.2334; // the Marsaglia-Bray chain rejection
+        let widths = [2usize, 8, 32];
+        let mut prev = 0.0;
+        for &w in &widths {
+            let traces: Vec<Vec<u32>> =
+                (0..w).map(|i| synthetic_trace(q, 2000, 100 + i as u64)).collect();
+            let r = run_lockstep(&traces);
+            let idle = r.idle_fraction();
+            assert!(idle > prev, "idle must grow with width: {idle} at w={w}");
+            prev = idle;
+        }
+    }
+
+    #[test]
+    fn empirical_matches_closed_form() {
+        // The replayed cost per output converges to divergence_factor(q, w).
+        for &(q, w) in &[(0.2334f64, 8u32), (0.2334, 32), (0.0227, 16)] {
+            let traces: Vec<Vec<u32>> = (0..w as usize)
+                .map(|i| synthetic_trace(q, 20_000, 55 + i as u64))
+                .collect();
+            let r = run_lockstep(&traces);
+            let analytic = divergence_factor(q, w);
+            let err = (r.cost_per_output() - analytic).abs() / analytic;
+            assert!(
+                err < 0.03,
+                "q={q} w={w}: empirical {} vs analytic {analytic}",
+                r.cost_per_output()
+            );
+        }
+    }
+
+    #[test]
+    fn divergence_factor_known_values() {
+        // w = 1: plain geometric mean 1/(1-q) — Eq. 1's (1+r).
+        assert!((divergence_factor(0.2334, 1) - 1.0 / 0.7666).abs() < 1e-9);
+        assert!((divergence_factor(0.0, 64) - 1.0).abs() < 1e-12);
+        // Monotone in both arguments.
+        assert!(divergence_factor(0.3, 8) > divergence_factor(0.2, 8));
+        assert!(divergence_factor(0.3, 32) > divergence_factor(0.3, 8));
+    }
+
+    #[test]
+    fn divergence_factor_paper_band() {
+        // The Marsaglia-Bray chain on a 32-wide warp pays ≈ 3.3 iterations
+        // per output vs 1.3 decoupled — a 2.5× architectural penalty. This
+        // is the quantitative core of Fig. 2.
+        let coupled = divergence_factor(0.2334, 32);
+        let decoupled = divergence_factor(0.2334, 1);
+        assert!((coupled - 3.29).abs() < 0.02, "coupled {coupled}");
+        assert!((coupled / decoupled - 2.52).abs() < 0.05);
+    }
+
+    #[test]
+    fn decoupled_cost_matches_lane_mean() {
+        let traces: Vec<Vec<u32>> = (0..8).map(|i| synthetic_trace(0.25, 5000, i)).collect();
+        let r = run_lockstep(&traces);
+        let mean: f64 = r
+            .lane_iterations
+            .iter()
+            .map(|&l| l as f64)
+            .sum::<f64>()
+            / (8.0 * r.rounds as f64);
+        assert!((r.decoupled_cost_per_output() - mean).abs() < 1e-12);
+        assert!(r.decoupled_cost_per_output() < r.cost_per_output());
+    }
+
+    #[test]
+    fn synthetic_trace_rate_is_calibrated() {
+        let t = synthetic_trace(0.3, 50_000, 3);
+        let total: u64 = t.iter().map(|&a| a as u64).sum();
+        let mean = total as f64 / t.len() as f64;
+        assert!((mean - 1.0 / 0.7).abs() < 0.02, "mean attempts {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one lane")]
+    fn empty_partition_panics() {
+        run_lockstep(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one attempt")]
+    fn zero_attempt_trace_panics() {
+        run_lockstep(&[vec![0]]);
+    }
+}

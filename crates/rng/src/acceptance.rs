@@ -1,0 +1,138 @@
+//! Theoretical acceptance probabilities of the rejection stages.
+//!
+//! Closed forms the measured rates must converge to; the tests in this
+//! module are the analytic anchor for the Section IV-E numbers:
+//!
+//! * Marsaglia-Bray accepts points inside the unit disc: `π/4 ≈ 0.7854`,
+//! * Marsaglia-Tsang accepts with probability
+//!   `∫ φ(x) · min(1, h(x)) dx` at shape `d + 1/3`; for the boosted shapes
+//!   used here (α_eff = α + 1 when α ≤ 1) the acceptance exceeds 95 %,
+//! * the combined chain overhead is `1/(P_normal · P_gamma) − 1`.
+
+use dwi_stats::Normal;
+
+/// Marsaglia-Bray acceptance probability (area of the unit disc inside the
+/// square): `π/4`.
+pub fn marsaglia_bray_acceptance() -> f64 {
+    std::f64::consts::FRAC_PI_4
+}
+
+/// Numerically exact Marsaglia-Tsang acceptance probability at effective
+/// shape `alpha_eff` (> 1/3): `E_x[min(1, exp(x²/2 + d − d·v + d·ln v))]`
+/// with `v = (1 + c x)³`, integrated against the standard normal on the
+/// region `v > 0`.
+pub fn marsaglia_tsang_acceptance(alpha_eff: f64) -> f64 {
+    assert!(alpha_eff > 1.0 / 3.0, "M-T needs d = α − 1/3 > 0");
+    let d = alpha_eff - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    let n = Normal::new(0.0, 1.0);
+    // Simpson integration over x ∈ (−1/c, 8): below −1/c, v ≤ 0 (reject).
+    let lo = -1.0 / c + 1e-12;
+    let hi = 8.0f64.min(lo + 40.0);
+    let steps = 20_000usize;
+    let h = (hi - lo) / steps as f64;
+    let f = |x: f64| {
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            return 0.0;
+        }
+        let v = t * t * t;
+        let log_acc = 0.5 * x * x + d * (1.0 - v + v.ln());
+        n.pdf(x) * log_acc.min(0.0).exp()
+    };
+    let mut sum = f(lo) + f(hi);
+    for i in 1..steps {
+        let x = lo + i as f64 * h;
+        sum += f(x) * if i % 2 == 1 { 4.0 } else { 2.0 };
+    }
+    sum * h / 3.0
+}
+
+/// Combined chain overhead `1/(p_normal · p_gamma) − 1` — the theoretical
+/// value of Eq. 1's `r`.
+pub fn chain_overhead(p_normal: f64, p_gamma: f64) -> f64 {
+    assert!(p_normal > 0.0 && p_gamma > 0.0);
+    1.0 / (p_normal * p_gamma) - 1.0
+}
+
+/// Theoretical `r` for the Marsaglia-Bray chain at sector variance `v`.
+pub fn bray_chain_overhead(v: f64) -> f64 {
+    let alpha = 1.0 / v;
+    let eff = if alpha <= 1.0 { alpha + 1.0 } else { alpha };
+    chain_overhead(marsaglia_bray_acceptance(), marsaglia_tsang_acceptance(eff))
+}
+
+/// Theoretical `r` for the (exact) ICDF chain at sector variance `v`.
+pub fn icdf_chain_overhead(v: f64) -> f64 {
+    let alpha = 1.0 / v;
+    let eff = if alpha <= 1.0 { alpha + 1.0 } else { alpha };
+    chain_overhead(1.0, marsaglia_tsang_acceptance(eff))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{GammaKernel, KernelConfig, NormalMethod};
+
+    #[test]
+    fn bray_acceptance_is_pi_over_4() {
+        assert!((marsaglia_bray_acceptance() - 0.785_398).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mt_acceptance_high_at_moderate_shape() {
+        // α_eff = 1.719 (the paper's v = 1.39 boosted shape).
+        let p = marsaglia_tsang_acceptance(1.0 / 1.39 + 1.0);
+        assert!((0.95..0.999).contains(&p), "acceptance {p}");
+        // Acceptance improves with shape (Marsaglia-Tsang's own table).
+        assert!(marsaglia_tsang_acceptance(10.0) > p);
+    }
+
+    #[test]
+    fn theory_matches_measured_bray_chain() {
+        // Theoretical r vs the r measured on 100k kernel outputs.
+        for v in [0.1f64, 1.39, 100.0] {
+            let theory = bray_chain_overhead(v);
+            let mut k = GammaKernel::new(
+                &KernelConfig {
+                    normal: NormalMethod::MarsagliaBray,
+                    sector_variance: v as f32,
+                    limit_main: 100_000,
+                    limit_sec: 1,
+                    ..KernelConfig::default()
+                },
+                0,
+            );
+            let mut out = Vec::new();
+            k.run_all(&mut out);
+            let measured = k.combined_stats().overhead();
+            assert!(
+                (measured - theory).abs() < 0.012,
+                "v={v}: measured {measured} vs theory {theory}"
+            );
+        }
+    }
+
+    #[test]
+    fn theory_matches_paper_section_4e() {
+        // The paper's 27.8% (v=0.1), 30.3% (v=1.39), 33.7% (v=100).
+        assert!((bray_chain_overhead(0.1) - 0.278).abs() < 0.005);
+        assert!((bray_chain_overhead(1.39) - 0.303).abs() < 0.005);
+        assert!((bray_chain_overhead(100.0) - 0.337).abs() < 0.005);
+    }
+
+    #[test]
+    fn icdf_chain_is_gamma_only() {
+        let r = icdf_chain_overhead(1.39);
+        let gamma_only =
+            1.0 / marsaglia_tsang_acceptance(1.0f64 / 1.39 + 1.0) - 1.0;
+        assert!((r - gamma_only).abs() < 1e-12);
+        assert!(r < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "d = α − 1/3 > 0")]
+    fn degenerate_shape_panics() {
+        marsaglia_tsang_acceptance(0.2);
+    }
+}

@@ -1,0 +1,201 @@
+//! A small classical RNG test battery (runs, gap, serial-pairs) in the
+//! spirit of Knuth vol. 2 — applied to the Mersenne-Twisters and, more
+//! interestingly, to the *committed* output stream of the enable-gated
+//! adapted generator, proving the paper's "no distortion" property
+//! (Section II-E) with standard statistical machinery.
+
+use dwi_stats::chi_square_cdf;
+
+/// Result of one battery test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TestResult {
+    /// The chi-square (or z²) statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub dof: usize,
+    /// Survival p-value.
+    pub p_value: f64,
+}
+
+impl TestResult {
+    fn from_chi2(statistic: f64, dof: usize) -> Self {
+        Self {
+            statistic,
+            dof,
+            p_value: 1.0 - chi_square_cdf(statistic, dof),
+        }
+    }
+
+    /// True when uniformity is *not* rejected at level `alpha`.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// Wald-Wolfowitz runs test on the median split of a uniform stream
+/// (Knuth's runs-above/below-the-mean, normal approximation squared into a
+/// 1-dof chi-square).
+pub fn runs_test(us: &[f64]) -> TestResult {
+    assert!(us.len() >= 100, "runs test needs a reasonable sample");
+    let n = us.len();
+    let above: Vec<bool> = us.iter().map(|&u| u >= 0.5).collect();
+    let n1 = above.iter().filter(|&&b| b).count() as f64;
+    let n2 = n as f64 - n1;
+    let mut runs = 1u64;
+    for pair in above.windows(2) {
+        if pair[0] != pair[1] {
+            runs += 1;
+        }
+    }
+    let mean = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
+    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2)
+        / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+    let z = (runs as f64 - mean) / var.sqrt();
+    TestResult::from_chi2(z * z, 1)
+}
+
+/// Gap test: lengths of gaps between visits to `[lo, hi)` must be geometric
+/// with p = hi − lo (Knuth 3.3.2.B). Gaps ≥ `t_max` pool into one cell.
+pub fn gap_test(us: &[f64], lo: f64, hi: f64, t_max: usize) -> TestResult {
+    assert!((0.0..1.0).contains(&lo) && lo < hi && hi <= 1.0);
+    assert!(t_max >= 2);
+    let p = hi - lo;
+    let mut counts = vec![0u64; t_max + 1];
+    let mut gap = 0usize;
+    let mut gaps_total = 0u64;
+    for &u in us {
+        if u >= lo && u < hi {
+            counts[gap.min(t_max)] += 1;
+            gaps_total += 1;
+            gap = 0;
+        } else {
+            gap += 1;
+        }
+    }
+    assert!(gaps_total >= 100, "too few gap events; widen the window");
+    let mut stat = 0.0;
+    for (t, &c) in counts.iter().enumerate() {
+        let prob = if t < t_max {
+            p * (1.0 - p).powi(t as i32)
+        } else {
+            (1.0 - p).powi(t_max as i32)
+        };
+        let expect = gaps_total as f64 * prob;
+        if expect > 0.0 {
+            let d = c as f64 - expect;
+            stat += d * d / expect;
+        }
+    }
+    TestResult::from_chi2(stat, t_max)
+}
+
+/// Serial-pairs test: consecutive non-overlapping pairs binned on a d×d
+/// grid must be uniform (Knuth 3.3.2.A).
+pub fn serial_pairs_test(us: &[f64], d: usize) -> TestResult {
+    assert!(d >= 2 && d * d <= 4096);
+    let pairs = us.len() / 2;
+    assert!(pairs as f64 >= 5.0 * (d * d) as f64, "need ≥5 pairs per cell");
+    let mut counts = vec![0u64; d * d];
+    for pair in us.chunks_exact(2) {
+        let i = ((pair[0] * d as f64) as usize).min(d - 1);
+        let j = ((pair[1] * d as f64) as usize).min(d - 1);
+        counts[i * d + j] += 1;
+    }
+    let expect = pairs as f64 / (d * d) as f64;
+    let stat = counts
+        .iter()
+        .map(|&c| {
+            let diff = c as f64 - expect;
+            diff * diff / expect
+        })
+        .sum();
+    TestResult::from_chi2(stat, d * d - 1)
+}
+
+/// Run the whole battery; returns (name, result) pairs.
+pub fn run_battery(us: &[f64]) -> Vec<(&'static str, TestResult)> {
+    vec![
+        ("runs", runs_test(us)),
+        ("gap[0.3,0.5)", gap_test(us, 0.3, 0.5, 12)),
+        ("serial-pairs 8x8", serial_pairs_test(us, 8)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::{AdaptedMt, BlockMt, MT19937, MT521};
+    use crate::uniform::uint2float;
+
+    fn stream(params: crate::mt::MtParams, seed: u32, n: usize) -> Vec<f64> {
+        let mut mt = BlockMt::new(params, seed);
+        (0..n).map(|_| uint2float(mt.next_u32()) as f64).collect()
+    }
+
+    #[test]
+    fn mt19937_passes_battery() {
+        let us = stream(MT19937, 2024, 100_000);
+        for (name, r) in run_battery(&us) {
+            assert!(r.accepts(1e-3), "{name}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn mt521_passes_battery() {
+        let us = stream(MT521, 77, 100_000);
+        for (name, r) in run_battery(&us) {
+            assert!(r.accepts(1e-3), "{name}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn gated_committed_stream_passes_battery() {
+        // The paper's Section II-E property, tested statistically: an
+        // arbitrary enable pattern must leave the committed stream clean.
+        let mut mt = AdaptedMt::new(MT19937, 5);
+        let mut lcg = 99u64;
+        let mut us = Vec::with_capacity(100_000);
+        while us.len() < 100_000 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let enable = (lcg >> 62) != 3; // ~75% enabled, pattern-correlated
+            let v = mt.next(enable);
+            if enable {
+                us.push(uint2float(v) as f64);
+            }
+        }
+        for (name, r) in run_battery(&us) {
+            assert!(r.accepts(1e-3), "gated {name}: p = {}", r.p_value);
+        }
+    }
+
+    #[test]
+    fn broken_generator_fails_battery() {
+        // A tiny-modulus LCG: only 64 distinct values, strong pair lattice.
+        let mut x = 1u64;
+        let us: Vec<f64> = (0..100_000)
+            .map(|_| {
+                x = (x * 5 + 1) % 64;
+                (x as f64 + 0.5) / 64.0
+            })
+            .collect();
+        let failures = run_battery(&us)
+            .iter()
+            .filter(|(_, r)| !r.accepts(1e-3))
+            .count();
+        assert!(failures >= 2, "a 6-bit LCG must fail the battery");
+    }
+
+    #[test]
+    fn alternating_sequence_fails_runs_test() {
+        let us: Vec<f64> = (0..10_000)
+            .map(|i| if i % 2 == 0 { 0.25 } else { 0.75 })
+            .collect();
+        assert!(!runs_test(&us).accepts(1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "reasonable sample")]
+    fn tiny_sample_panics() {
+        runs_test(&[0.5; 10]);
+    }
+}

@@ -1,0 +1,15 @@
+//! GF(2) linear algebra over polynomials.
+//!
+//! The Mersenne-Twister *Dynamic Creation* procedure (paper ref \[18\]) needs
+//! to certify that a candidate parameter set has the full period
+//! `2^p − 1`. When `2^p − 1` is a Mersenne prime (p = 521 and p = 19937 both
+//! are), the characteristic polynomial of the state transition is primitive
+//! iff it is irreducible; this module supplies the polynomial arithmetic,
+//! the Berlekamp-Massey minimal-polynomial recovery and the irreducibility
+//! test that the search in [`crate::mt::dynamic_creation`] builds on.
+
+pub mod berlekamp_massey;
+pub mod poly;
+
+pub use berlekamp_massey::minimal_polynomial;
+pub use poly::Gf2Poly;

@@ -1,0 +1,181 @@
+//! Dynamic Creation of Mersenne-Twister parameters (paper ref \[18\]).
+//!
+//! The paper's Config2/Config4 use a small MT with period 2^521 − 1 produced
+//! by Matsumoto-Nishimura's *Dynamic Creation* (DC) tool. DC searches for a
+//! twist coefficient `a` whose state-transition characteristic polynomial is
+//! **primitive** over GF(2). We reproduce the essential search:
+//!
+//! 1. run the candidate generator and collect one output bit per draw (any
+//!    output bit is a linear functional of the linear state),
+//! 2. recover the minimal polynomial of that bit sequence with
+//!    Berlekamp-Massey,
+//! 3. accept iff the polynomial has full degree `p` and is irreducible —
+//!    for Mersenne-prime `p` (521, 19937, 89, …) irreducible ⇒ primitive,
+//!    which is exactly why DC targets Mersenne exponents.
+//!
+//! The real DC also searches tempering parameters for equidistribution; the
+//! period certificate — the part that matters for correctness — is fully
+//! implemented here. Tempering does not affect the period, so we reuse the
+//! MT19937 tempering constants (documented in DESIGN.md).
+
+use crate::gf2::{minimal_polynomial, Gf2Poly};
+use crate::mt::params::MtParams;
+use crate::mt::BlockMt;
+
+/// Recover the characteristic polynomial of `params`' state transition from
+/// its output bit stream (LSB of each tempered output).
+///
+/// Returns the minimal polynomial of the sequence; when the candidate has
+/// full period this equals the degree-`p` characteristic polynomial.
+pub fn characteristic_polynomial(params: &MtParams, seed: u32) -> Gf2Poly {
+    let mut mt = BlockMt::new(*params, seed);
+    let p = params.state_bits() as usize;
+    // 2·p bits suffice for BM; a margin guards against an unlucky functional.
+    let bits: Vec<bool> = (0..2 * p + 64).map(|_| mt.next_u32() & 1 == 1).collect();
+    minimal_polynomial(&bits)
+}
+
+/// Certify that a parameter set achieves the full period 2^p − 1.
+///
+/// Requires `p` to be a Mersenne-prime exponent (the search below only
+/// targets those, like DC itself).
+pub fn certify_full_period(params: &MtParams) -> bool {
+    if params.validate().is_err() {
+        return false;
+    }
+    let p = params.state_bits() as usize;
+    let poly = characteristic_polynomial(params, 1);
+    poly.degree() == Some(p) && poly.is_irreducible_prime_degree()
+}
+
+/// Deterministic candidate stream for twist coefficients: DC-style, the MSB
+/// is forced high and the remaining bits walk a SplitMix64 sequence.
+fn candidate_a(k: u64) -> u32 {
+    let mut z = k.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) as u32 | 0x8000_0000
+}
+
+/// Search for a twist coefficient giving full period 2^p − 1 for the MT
+/// shape `(p, n, m, r)`; `skip` accepted candidates are discarded first so
+/// independent generators can be created (DC's "id" mechanism).
+///
+/// Returns the accepted coefficient and the number of candidates tried.
+pub fn find_twist_coefficient(
+    exponent: u32,
+    n: usize,
+    m: usize,
+    r: u32,
+    skip: usize,
+) -> Option<(u32, u64)> {
+    let mut remaining = skip;
+    for k in 0..200_000u64 {
+        let a = candidate_a(k);
+        let params = MtParams {
+            exponent,
+            n,
+            m,
+            r,
+            a,
+            ..crate::mt::params::MT19937
+        };
+        if params.validate().is_err() {
+            return None;
+        }
+        if certify_full_period(&params) {
+            if remaining == 0 {
+                return Some((a, k + 1));
+            }
+            remaining -= 1;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::params::{MtParams, MT19937, MT521};
+
+    /// p = 89 is a Mersenne prime; n = 3 words, r = 32·3 − 89 = 7.
+    fn mt89_shape() -> (u32, usize, usize, u32) {
+        (89, 3, 1, 7)
+    }
+
+    #[test]
+    fn dc_search_finds_mt89() {
+        let (p, n, m, r) = mt89_shape();
+        let (a, tried) = find_twist_coefficient(p, n, m, r, 0).expect("search must succeed");
+        assert!(tried >= 1);
+        let params = MtParams {
+            exponent: p,
+            n,
+            m,
+            r,
+            a,
+            ..MT19937
+        };
+        assert!(certify_full_period(&params));
+    }
+
+    #[test]
+    fn dc_skip_yields_distinct_generator() {
+        let (p, n, m, r) = mt89_shape();
+        let (a0, _) = find_twist_coefficient(p, n, m, r, 0).unwrap();
+        let (a1, _) = find_twist_coefficient(p, n, m, r, 1).unwrap();
+        assert_ne!(a0, a1, "skip must advance to a different coefficient");
+    }
+
+    #[test]
+    fn certify_rejects_broken_coefficient() {
+        // a = 0 collapses the twist to a pure shift — characteristic
+        // polynomial far from primitive.
+        let (p, n, m, r) = mt89_shape();
+        let params = MtParams {
+            exponent: p,
+            n,
+            m,
+            r,
+            a: 0,
+            ..MT19937
+        };
+        assert!(!certify_full_period(&params));
+    }
+
+    #[test]
+    fn mt521_parameters_are_primitive() {
+        // Re-certify the pinned Config2/Config4 parameter set end-to-end:
+        // BM over ~1106 output bits + 521 modular squarings.
+        assert!(
+            certify_full_period(&MT521),
+            "pinned MT521 twist coefficient must be primitive"
+        );
+    }
+
+    #[test]
+    fn mt521_char_poly_has_full_degree() {
+        let poly = characteristic_polynomial(&MT521, 99);
+        assert_eq!(poly.degree(), Some(521));
+    }
+
+    #[test]
+    fn char_poly_independent_of_seed() {
+        // The minimal polynomial is a property of the transition, not the
+        // seed (for irreducible characteristic polynomials every nonzero
+        // orbit has the same minimal polynomial).
+        let (p, n, m, r) = mt89_shape();
+        let (a, _) = find_twist_coefficient(p, n, m, r, 0).unwrap();
+        let params = MtParams {
+            exponent: p,
+            n,
+            m,
+            r,
+            a,
+            ..MT19937
+        };
+        let p1 = characteristic_polynomial(&params, 1);
+        let p2 = characteristic_polynomial(&params, 0xDEAD_BEEF);
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,117 @@
+//! Empirical equidistribution diagnostics for Mersenne-Twister outputs.
+//!
+//! Dynamic Creation certifies the *period*; the quality of a parameter set
+//! also rests on equidistribution. Full k-dimensional v-bit theoretical
+//! equidistribution analysis needs large GF(2) rank computations; these
+//! empirical diagnostics (bit balance, serial pair uniformity, v-bit
+//! k-tuple chi-square) catch gross defects and document the quality of the
+//! pinned MT521 set alongside MT19937.
+
+use crate::mt::{BlockMt, MtParams};
+
+/// Fraction of ones per output bit position over `n` draws (ideal: 0.5).
+pub fn bit_balance(params: MtParams, seed: u32, n: usize) -> [f64; 32] {
+    let mut mt = BlockMt::new(params, seed);
+    let mut counts = [0u64; 32];
+    for _ in 0..n {
+        let v = mt.next_u32();
+        for (b, c) in counts.iter_mut().enumerate() {
+            *c += (v >> b & 1) as u64;
+        }
+    }
+    let mut out = [0f64; 32];
+    for (o, c) in out.iter_mut().zip(counts) {
+        *o = c as f64 / n as f64;
+    }
+    out
+}
+
+/// Chi-square statistic of the `k`-tuple distribution of the top `v` bits
+/// over `n` tuples, together with the cell count. Under uniformity the
+/// statistic is ≈ chi-square with `2^(v·k) − 1` dof.
+pub fn tuple_chi_square(
+    params: MtParams,
+    seed: u32,
+    v: u32,
+    k: u32,
+    n: usize,
+) -> (f64, usize) {
+    assert!(v >= 1 && v * k <= 20, "cell space must stay small (v*k <= 20)");
+    let cells = 1usize << (v * k);
+    let mut counts = vec![0u64; cells];
+    let mut mt = BlockMt::new(params, seed);
+    for _ in 0..n {
+        let mut idx = 0usize;
+        for _ in 0..k {
+            let top = (mt.next_u32() >> (32 - v)) as usize;
+            idx = (idx << v) | top;
+        }
+        counts[idx] += 1;
+    }
+    let expect = n as f64 / cells as f64;
+    let stat = counts
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - expect;
+            d * d / expect
+        })
+        .sum();
+    (stat, cells)
+}
+
+/// p-value of the k-tuple test via the chi-square survival function.
+pub fn tuple_test_p(params: MtParams, seed: u32, v: u32, k: u32, n: usize) -> f64 {
+    let (stat, cells) = tuple_chi_square(params, seed, v, k, n);
+    1.0 - dwi_stats::chi_square_cdf(stat, cells - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::params::{MT19937, MT521};
+
+    #[test]
+    fn bit_balance_near_half_for_both_generators() {
+        for params in [MT19937, MT521] {
+            let balance = bit_balance(params, 123, 100_000);
+            for (b, &frac) in balance.iter().enumerate() {
+                assert!(
+                    (frac - 0.5).abs() < 0.01,
+                    "exponent {}: bit {b} balance {frac}",
+                    params.exponent
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pair_tuples_uniform() {
+        // 4-bit pairs → 256 cells, 200k tuples.
+        for params in [MT19937, MT521] {
+            let p = tuple_test_p(params, 7, 4, 2, 200_000);
+            assert!(p > 1e-4, "exponent {}: pair test p = {p}", params.exponent);
+        }
+    }
+
+    #[test]
+    fn triple_tuples_uniform() {
+        for params in [MT19937, MT521] {
+            let p = tuple_test_p(params, 3, 3, 3, 200_000);
+            assert!(p > 1e-4, "exponent {}: triple test p = {p}", params.exponent);
+        }
+    }
+
+    #[test]
+    fn broken_generator_fails_tuple_test() {
+        // Force a = 0: the twist degenerates and uniformity collapses.
+        let broken = MtParams { a: 0, ..MT521 };
+        let p = tuple_test_p(broken, 7, 4, 2, 100_000);
+        assert!(p < 1e-6, "broken generator must fail, p = {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell space")]
+    fn oversized_cell_space_panics() {
+        tuple_chi_square(MT521, 1, 8, 3, 1000);
+    }
+}

@@ -1,0 +1,235 @@
+//! Polynomial jump-ahead for Mersenne-Twisters.
+//!
+//! Dynamic Creation (one generator per work-item, paper ref \[18\]) is one
+//! way to get independent parallel streams; the other classic is
+//! *jump-ahead*: advance a single generator by `J` steps in
+//! O(p·n) time by evaluating `g(x) = x^J mod cp(x)` — `cp` the
+//! characteristic polynomial recovered in
+//! [`super::dynamic_creation`] — in the state-transition operator `T`:
+//!
+//! `s_{+J} = g(T) · s = Σ_{i : g_i = 1} T^i s`  (Horner over `T`).
+//!
+//! With jumps of `J = stream_len · wid`, `N` work-items get provably
+//! non-overlapping substreams of one generator — the reproduction uses this
+//! in tests/examples as a cross-check of the DC-based seeding, exactly the
+//! trade-off an FPGA designer faces (one big MT + jumps vs N small DC MTs).
+
+use crate::gf2::Gf2Poly;
+use crate::mt::dynamic_creation::characteristic_polynomial;
+use crate::mt::params::MtParams;
+use crate::mt::BlockMt;
+use std::collections::VecDeque;
+
+/// The characteristic polynomial of the *forward* transition operator `T` —
+/// the reciprocal of the Berlekamp-Massey connection polynomial returned by
+/// [`characteristic_polynomial`]. This is the modulus jump-ahead needs.
+pub fn transition_char_poly(params: &MtParams) -> Gf2Poly {
+    characteristic_polynomial(params, 1).reciprocal()
+}
+
+/// A canonical linear MT state: `n` words with the oldest word's low `r`
+/// bits zeroed (they are not part of the 2^p − 1 state space).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonicalState {
+    words: VecDeque<u32>,
+    params: MtParams,
+}
+
+impl CanonicalState {
+    /// Canonical state of a freshly seeded generator (the streaming view:
+    /// the window `s_0..s_{n-1}` of the raw recurrence, pre-twist). Its
+    /// output stream is exactly [`BlockMt`]'s from the first draw.
+    pub fn from_seed(params: MtParams, seed: u32) -> Self {
+        let mt = BlockMt::new(params, seed);
+        let mut words: VecDeque<u32> = mt.state().iter().copied().collect();
+        words[0] &= params.upper_mask();
+        Self { words, params }
+    }
+
+    /// The zero state (fixed point of the transition).
+    pub fn zero(params: MtParams) -> Self {
+        Self {
+            words: std::iter::repeat_n(0, params.n).collect(),
+            params,
+        }
+    }
+
+    /// One transition step `T`: drop the oldest word, append the twisted
+    /// new word (the incremental MT update).
+    pub fn step(&mut self) {
+        let p = self.params;
+        let n = p.n;
+        let y = (self.words[0] & p.upper_mask()) | (self.words[1] & p.lower_mask());
+        let mut next = self.words[p.m] ^ (y >> 1);
+        if y & 1 == 1 {
+            next ^= p.a;
+        }
+        self.words.pop_front();
+        self.words.push_back(next);
+        debug_assert_eq!(self.words.len(), n);
+        self.words[0] &= p.upper_mask();
+    }
+
+    /// XOR-accumulate another state (linearity of the transition).
+    pub fn xor_assign(&mut self, other: &Self) {
+        debug_assert_eq!(self.words.len(), other.words.len());
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
+        }
+    }
+
+    /// Tempered output of the *next* draw without advancing.
+    pub fn peek_output(&self) -> u32 {
+        let p = self.params;
+        let y = (self.words[0] & p.upper_mask()) | (self.words[1] & p.lower_mask());
+        let mut next = self.words[p.m] ^ (y >> 1);
+        if y & 1 == 1 {
+            next ^= p.a;
+        }
+        super::block::temper(next, &p)
+    }
+
+    /// Draw the next output (advances one step).
+    pub fn next_u32(&mut self) -> u32 {
+        let out = self.peek_output();
+        self.step();
+        out
+    }
+
+    /// Jump this state forward by `j` steps using the transition
+    /// characteristic polynomial `cp` (degree p, from
+    /// [`transition_char_poly`]).
+    pub fn jump(&mut self, j: u64, cp: &Gf2Poly) -> &mut Self {
+        let g = x_pow_mod(j, cp);
+        // Horner in the operator T: acc = T(acc) ⊕ (g_i ? s : 0).
+        let mut acc = Self::zero(self.params);
+        let deg = g.degree().unwrap_or(0);
+        for i in (0..=deg).rev() {
+            acc.step();
+            if g.coeff(i) {
+                acc.xor_assign(self);
+            }
+        }
+        if g.is_zero() {
+            // j ≡ 0 in the quotient ring only if cp | x^j, impossible for
+            // cp with nonzero constant term — keep identity for safety.
+            return self;
+        }
+        *self = acc;
+        self
+    }
+}
+
+/// `x^j mod cp` by square-and-multiply over GF(2)\[x\].
+pub fn x_pow_mod(j: u64, cp: &Gf2Poly) -> Gf2Poly {
+    assert!(!cp.is_zero(), "modulus must be nonzero");
+    if j == 0 {
+        return Gf2Poly::one().rem(cp);
+    }
+    let mut result = Gf2Poly::one();
+    let bits = 64 - j.leading_zeros();
+    for b in (0..bits).rev() {
+        result = result.square().rem(cp);
+        if j >> b & 1 == 1 {
+            result = result.shl(1).rem(cp);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::params::{MT19937, MT521};
+    
+
+    #[test]
+    fn x_pow_mod_small_cases() {
+        // mod x^2 + x + 1: x^2 ≡ x+1, x^3 ≡ 1, x^4 ≡ x.
+        let m = Gf2Poly::from_exponents([0, 1, 2]);
+        assert_eq!(x_pow_mod(1, &m), Gf2Poly::monomial(1));
+        assert_eq!(x_pow_mod(2, &m), Gf2Poly::from_exponents([0, 1]));
+        assert_eq!(x_pow_mod(3, &m), Gf2Poly::one());
+        assert_eq!(x_pow_mod(4, &m), Gf2Poly::monomial(1));
+        assert_eq!(x_pow_mod(0, &m), Gf2Poly::one());
+    }
+
+    #[test]
+    fn canonical_state_reproduces_generator_stream() {
+        // Stepping the canonical state must produce the BlockMt stream.
+        let mut mt = BlockMt::new(MT521, 42);
+        let mut st = CanonicalState::from_seed(MT521, 42);
+        for i in 0..200 {
+            assert_eq!(st.next_u32(), mt.next_u32(), "draw {i}");
+        }
+    }
+
+    #[test]
+    fn jump_equals_stepping_mt521() {
+        let cp = transition_char_poly(&MT521);
+        for &j in &[1u64, 2, 17, 100, 521, 1000, 12_345] {
+            let mut jumped = CanonicalState::from_seed(MT521, 7);
+            jumped.jump(j, &cp);
+            let mut stepped = CanonicalState::from_seed(MT521, 7);
+            for _ in 0..j {
+                stepped.step();
+            }
+            assert_eq!(jumped, stepped, "jump({j})");
+        }
+    }
+
+    #[test]
+    fn jump_composes() {
+        // jump(a) then jump(b) == jump(a+b).
+        let cp = transition_char_poly(&MT521);
+        let mut two_hops = CanonicalState::from_seed(MT521, 3);
+        two_hops.jump(1000, &cp);
+        two_hops.jump(2345, &cp);
+        let mut one_hop = CanonicalState::from_seed(MT521, 3);
+        one_hop.jump(3345, &cp);
+        assert_eq!(two_hops, one_hop);
+    }
+
+    #[test]
+    fn jumped_substreams_do_not_overlap() {
+        // Partition one MT521 into 4 substreams of 1000 draws by jumping;
+        // cross-check against the sequential stream.
+        let cp = transition_char_poly(&MT521);
+        let len = 1000u64;
+        let mut sequential = CanonicalState::from_seed(MT521, 11);
+        let seq: Vec<u32> = (0..4 * len).map(|_| sequential.next_u32()).collect();
+        for wid in 0..4u64 {
+            let mut s = CanonicalState::from_seed(MT521, 11);
+            s.jump(wid * len, &cp);
+            for i in 0..len {
+                assert_eq!(
+                    s.next_u32(),
+                    seq[(wid * len + i) as usize],
+                    "wid {wid} draw {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_state_is_fixed_point() {
+        let mut z = CanonicalState::zero(MT521);
+        let before = z.clone();
+        z.step();
+        assert_eq!(z, before);
+    }
+
+    #[test]
+    #[ignore = "expensive: squarings at degree 19937 (~seconds in debug)"]
+    fn jump_equals_stepping_mt19937() {
+        let cp = transition_char_poly(&MT19937);
+        let j = 10_000u64;
+        let mut jumped = CanonicalState::from_seed(MT19937, 9);
+        jumped.jump(j, &cp);
+        let mut stepped = CanonicalState::from_seed(MT19937, 9);
+        for _ in 0..j {
+            stepped.step();
+        }
+        assert_eq!(jumped, stepped);
+    }
+}

@@ -1,0 +1,175 @@
+//! Mersenne-Twister parameter sets.
+
+/// Full parameter set of a 32-bit Mersenne-Twister.
+///
+/// Field names follow Matsumoto-Nishimura 1998: state of `n` words, middle
+/// offset `m`, split position `r`, twist coefficient `a`, tempering
+/// parameters `(u, d, s, b, t, c, l)` and the initialization multiplier `f`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MtParams {
+    /// Mersenne exponent p: the period is 2^p − 1 and p = 32·n − r.
+    pub exponent: u32,
+    /// Number of 32-bit state words.
+    pub n: usize,
+    /// Middle word offset, 1 ≤ m < n.
+    pub m: usize,
+    /// Separation point between the upper (32−r) and lower (r) bits.
+    pub r: u32,
+    /// Twist matrix coefficient.
+    pub a: u32,
+    /// Tempering shift u (with mask d).
+    pub u: u32,
+    /// Tempering mask d.
+    pub d: u32,
+    /// Tempering shift s (with mask b).
+    pub s: u32,
+    /// Tempering mask b.
+    pub b: u32,
+    /// Tempering shift t (with mask c).
+    pub t: u32,
+    /// Tempering mask c.
+    pub c: u32,
+    /// Final tempering shift l.
+    pub l: u32,
+    /// Knuth-style initialization multiplier.
+    pub f: u32,
+}
+
+impl MtParams {
+    /// Mask selecting the upper `32 − r` bits.
+    pub const fn upper_mask(&self) -> u32 {
+        if self.r == 32 {
+            0
+        } else {
+            (!0u32) << self.r
+        }
+    }
+
+    /// Mask selecting the lower `r` bits.
+    pub const fn lower_mask(&self) -> u32 {
+        !self.upper_mask()
+    }
+
+    /// Effective state size in bits (32·n − r), i.e. the degree of the
+    /// characteristic polynomial at full period.
+    pub const fn state_bits(&self) -> u32 {
+        32 * self.n as u32 - self.r
+    }
+
+    /// Basic structural sanity checks (used by the dynamic-creation search
+    /// and by `debug_assert!`s in the generators).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n < 2 {
+            return Err(format!("n must be >= 2, got {}", self.n));
+        }
+        if !(1..self.n).contains(&self.m) {
+            return Err(format!("m must be in 1..n, got {}", self.m));
+        }
+        if self.r >= 32 {
+            return Err(format!("r must be < 32, got {}", self.r));
+        }
+        if self.state_bits() != self.exponent {
+            return Err(format!(
+                "exponent {} inconsistent with 32*n - r = {}",
+                self.exponent,
+                self.state_bits()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// The canonical MT19937 parameter set (period 2^19937 − 1, 624 state words) —
+/// the paper's Config1/Config3 Mersenne-Twister (Table I).
+pub const MT19937: MtParams = MtParams {
+    exponent: 19937,
+    n: 624,
+    m: 397,
+    r: 31,
+    a: 0x9908_B0DF,
+    u: 11,
+    d: 0xFFFF_FFFF,
+    s: 7,
+    b: 0x9D2C_5680,
+    t: 15,
+    c: 0xEFC6_0000,
+    l: 18,
+    f: 1_812_433_253,
+};
+
+/// A period-2^521−1 Mersenne-Twister (17 state words) — the paper's
+/// Config2/Config4 small generator (Table I), produced with the
+/// Dynamic Creation procedure in [`super::dynamic_creation`].
+///
+/// `32·17 − 23 = 521` and 2^521 − 1 is a Mersenne prime, so the twist
+/// coefficient `a` below was accepted by the search as soon as the
+/// characteristic polynomial (recovered via Berlekamp-Massey) was
+/// irreducible of degree 521. The value is pinned here and re-certified by
+/// the `mt521_parameters_are_primitive` test.
+pub const MT521: MtParams = MtParams {
+    exponent: 521,
+    n: 17,
+    m: 9,
+    r: 23,
+    a: MT521_A,
+    u: 11,
+    d: 0xFFFF_FFFF,
+    s: 7,
+    b: 0x9D2C_5680,
+    t: 15,
+    c: 0xEFC6_0000,
+    l: 18,
+    f: 1_812_433_253,
+};
+
+/// Twist coefficient found by the dynamic-creation search
+/// (`dynamic_creation::find_twist_coefficient(521, 17, 9, 23, 0)`).
+pub const MT521_A: u32 = 0x8845_4A0C;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mt19937_masks() {
+        assert_eq!(MT19937.upper_mask(), 0x8000_0000);
+        assert_eq!(MT19937.lower_mask(), 0x7FFF_FFFF);
+        assert_eq!(MT19937.state_bits(), 19937);
+        MT19937.validate().unwrap();
+    }
+
+    #[test]
+    fn mt521_structure() {
+        assert_eq!(MT521.state_bits(), 521);
+        assert_eq!(MT521.n, 17);
+        assert_eq!(MT521.upper_mask().count_ones(), 32 - 23);
+        MT521.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_m() {
+        let mut p = MT19937;
+        p.m = 0;
+        assert!(p.validate().is_err());
+        p.m = p.n;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_inconsistent_exponent() {
+        let mut p = MT521;
+        p.exponent = 520;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn table1_periods() {
+        // Table I: periods 2^(19937-1)... the paper's table prints the period
+        // as 2^(p-1); the actual MT period is 2^p - 1. We encode p itself.
+        assert_eq!(MT19937.exponent, 19937);
+        assert_eq!(MT521.exponent, 521);
+        // Table I states: 624 and 17
+        assert_eq!(MT19937.n, 624);
+        assert_eq!(MT521.n, 17);
+    }
+}

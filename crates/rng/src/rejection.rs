@@ -1,0 +1,111 @@
+//! Rejection-rate accounting.
+//!
+//! Section IV-E of the paper reports the *combined* rejection rate of the
+//! nested generator: 30.3 % for the Marsaglia-Bray configurations at sector
+//! variance v = 1.39 (27.8 % at v = 0.1 up to 33.7 % at v = 100), and 7.4 %
+//! for the ICDF configurations (5.3 % – 10.2 %). The rate feeds directly into
+//! the theoretical runtime model (Eq. 1): `t ≈ work / throughput · (1 + r)`.
+
+/// Counter pair tracking attempts vs accepted outputs of a rejection stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RejectionStats {
+    /// Loop iterations (attempts) executed.
+    pub attempts: u64,
+    /// Validated outputs produced.
+    pub accepted: u64,
+}
+
+impl RejectionStats {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one attempt, accepted or not.
+    #[inline]
+    pub fn record(&mut self, accepted: bool) {
+        self.attempts += 1;
+        self.accepted += accepted as u64;
+    }
+
+    /// Rejected attempts.
+    pub fn rejected(&self) -> u64 {
+        self.attempts - self.accepted
+    }
+
+    /// Fraction of attempts rejected, in [0, 1]. Zero when nothing ran.
+    pub fn rejection_rate(&self) -> f64 {
+        if self.attempts == 0 {
+            0.0
+        } else {
+            self.rejected() as f64 / self.attempts as f64
+        }
+    }
+
+    /// The `r` of Eq. 1: extra iterations per accepted output,
+    /// `attempts/accepted − 1`. This is the paper's "combined rejection
+    /// rate ... in absolute value" (e.g. 0.303 for Config1,2 at v = 1.39).
+    pub fn overhead(&self) -> f64 {
+        if self.accepted == 0 {
+            0.0
+        } else {
+            self.attempts as f64 / self.accepted as f64 - 1.0
+        }
+    }
+
+    /// Merge counters (parallel work-items each keep their own).
+    pub fn merge(&mut self, other: &Self) {
+        self.attempts += other.attempts;
+        self.accepted += other.accepted;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_from_counts() {
+        let mut s = RejectionStats::new();
+        for i in 0..100 {
+            s.record(i % 4 != 0); // 25% rejected
+        }
+        assert_eq!(s.attempts, 100);
+        assert_eq!(s.accepted, 75);
+        assert_eq!(s.rejected(), 25);
+        assert!((s.rejection_rate() - 0.25).abs() < 1e-12);
+        assert!((s.overhead() - (100.0 / 75.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RejectionStats::new();
+        assert_eq!(s.rejection_rate(), 0.0);
+        assert_eq!(s.overhead(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = RejectionStats {
+            attempts: 10,
+            accepted: 7,
+        };
+        let b = RejectionStats {
+            attempts: 20,
+            accepted: 13,
+        };
+        a.merge(&b);
+        assert_eq!(a.attempts, 30);
+        assert_eq!(a.accepted, 20);
+    }
+
+    #[test]
+    fn overhead_matches_eq1_usage() {
+        // 30.3% combined rate ⇒ each accepted output costs 1.303 iterations.
+        let s = RejectionStats {
+            attempts: 1303,
+            accepted: 1000,
+        };
+        assert!((s.overhead() - 0.303).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,198 @@
+//! Parallel-stream families: one generator per work-item.
+//!
+//! Two provably sound ways to give `N` decoupled work-items independent
+//! uniform streams, behind one API:
+//!
+//! * **Dynamic Creation** (paper ref \[18\], the paper's own choice): each
+//!   work-item gets its own twist coefficient from the DC search — distinct
+//!   characteristic polynomials, so the streams are structurally unrelated;
+//! * **Jump-ahead**: every work-item runs the *same* generator jumped to a
+//!   disjoint offset — a single parameter set, provably non-overlapping
+//!   substreams.
+//!
+//! Both are exercised by the tests against each other and against the
+//! adapted (enable-gated) per-work-item seeding the kernels use by default.
+
+use crate::gf2::Gf2Poly;
+use crate::mt::dynamic_creation::find_twist_coefficient;
+use crate::mt::jump::{transition_char_poly, CanonicalState};
+use crate::mt::{BlockMt, MtParams};
+
+/// Strategy for building a family of independent streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamStrategy {
+    /// Distinct dynamically-created parameter sets (distinct twist
+    /// coefficients), common shape.
+    DynamicCreation,
+    /// One parameter set, jump-ahead offsets of `substream_len` draws.
+    JumpAhead {
+        /// Draws reserved per work-item.
+        substream_len: u64,
+    },
+}
+
+/// A family of `N` independent uniform generators.
+pub struct StreamFamily {
+    members: Vec<FamilyMember>,
+}
+
+enum FamilyMember {
+    Dc(BlockMt),
+    Jump(CanonicalState),
+}
+
+impl StreamFamily {
+    /// Build a family over the MT *shape* of `base` (exponent, n, m, r are
+    /// kept; DC replaces the twist coefficient per member).
+    ///
+    /// DC mode runs the actual search, so it is only practical for small
+    /// exponents (p = 89, 521); jump mode works for any certified set.
+    pub fn new(base: MtParams, n: u32, seed: u32, strategy: StreamStrategy) -> Self {
+        assert!(n >= 1);
+        let members = match strategy {
+            StreamStrategy::DynamicCreation => (0..n)
+                .map(|id| {
+                    let (a, _) = find_twist_coefficient(
+                        base.exponent,
+                        base.n,
+                        base.m,
+                        base.r,
+                        id as usize,
+                    )
+                    .expect("DC search exhausted");
+                    FamilyMember::Dc(BlockMt::new(MtParams { a, ..base }, seed))
+                })
+                .collect(),
+            StreamStrategy::JumpAhead { substream_len } => {
+                let cp: Gf2Poly = transition_char_poly(&base);
+                (0..n)
+                    .map(|wid| {
+                        let mut s = CanonicalState::from_seed(base, seed);
+                        s.jump(wid as u64 * substream_len, &cp);
+                        FamilyMember::Jump(s)
+                    })
+                    .collect()
+            }
+        };
+        Self { members }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when empty (never: construction requires n ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Draw the next value from member `wid`.
+    pub fn next_u32(&mut self, wid: usize) -> u32 {
+        match &mut self.members[wid] {
+            FamilyMember::Dc(mt) => mt.next_u32(),
+            FamilyMember::Jump(s) => s.next_u32(),
+        }
+    }
+}
+
+/// Cross-correlation screen: fraction of equal draws between two streams
+/// (≈ 2⁻³² for independent generators; anything above `4/n` is suspicious).
+pub fn equal_draw_fraction(family: &mut StreamFamily, a: usize, b: usize, n: usize) -> f64 {
+    let mut same = 0usize;
+    for _ in 0..n {
+        if family.next_u32(a) == family.next_u32(b) {
+            same += 1;
+        }
+    }
+    same as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::params::{MT19937, MT521};
+
+    /// Small DC-friendly shape (p = 89).
+    fn mt89() -> MtParams {
+        MtParams {
+            exponent: 89,
+            n: 3,
+            m: 1,
+            r: 7,
+            ..MT19937
+        }
+    }
+
+    #[test]
+    fn dc_family_members_are_unrelated() {
+        let mut fam = StreamFamily::new(mt89(), 3, 42, StreamStrategy::DynamicCreation);
+        assert_eq!(fam.len(), 3);
+        for (a, b) in [(0, 1), (0, 2), (1, 2)] {
+            let frac = equal_draw_fraction(&mut fam, a, b, 5_000);
+            assert!(frac < 0.001, "streams {a},{b} correlate: {frac}");
+        }
+    }
+
+    #[test]
+    fn jump_family_members_are_disjoint_substreams() {
+        let len = 10_000u64;
+        let mut fam = StreamFamily::new(
+            MT521,
+            3,
+            7,
+            StreamStrategy::JumpAhead { substream_len: len },
+        );
+        // Member k's stream equals the base stream offset by k·len.
+        let mut base = CanonicalState::from_seed(MT521, 7);
+        let seq: Vec<u32> = (0..3 * len).map(|_| base.next_u32()).collect();
+        for wid in 0..3usize {
+            for i in 0..200u64 {
+                assert_eq!(
+                    fam.next_u32(wid),
+                    seq[(wid as u64 * len + i) as usize],
+                    "wid {wid} draw {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jump_members_do_not_collide() {
+        let mut fam = StreamFamily::new(
+            MT521,
+            2,
+            9,
+            StreamStrategy::JumpAhead {
+                substream_len: 1 << 20,
+            },
+        );
+        let frac = equal_draw_fraction(&mut fam, 0, 1, 5_000);
+        assert!(frac < 0.001, "jumped streams correlate: {frac}");
+    }
+
+    #[test]
+    fn both_strategies_yield_uniform_marginals() {
+        for strategy in [
+            StreamStrategy::DynamicCreation,
+            StreamStrategy::JumpAhead { substream_len: 1 << 16 },
+        ] {
+            let base = if strategy == StreamStrategy::DynamicCreation {
+                mt89()
+            } else {
+                MT521
+            };
+            let mut fam = StreamFamily::new(base, 2, 5, strategy);
+            let mut s = dwi_stats::Summary::new();
+            for _ in 0..50_000 {
+                s.add(fam.next_u32(0) as f64 / u32::MAX as f64);
+            }
+            assert!((s.mean() - 0.5).abs() < 0.01, "{strategy:?}: mean {}", s.mean());
+            assert!(
+                (s.variance() - 1.0 / 12.0).abs() < 0.005,
+                "{strategy:?}: var {}",
+                s.variance()
+            );
+        }
+    }
+}

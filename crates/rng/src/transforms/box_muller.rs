@@ -1,0 +1,122 @@
+//! Box-Muller transform — the baseline the paper's Section II-D2 contrasts
+//! Marsaglia-Bray against ("avoids the heavy trigonometric math operations
+//! used in the well-known Box-Muller method").
+//!
+//! Included as a rejection-free reference transform: it never diverges, so
+//! the SIMT lockstep cost model charges it no divergence factor — but its
+//! `sin`/`cos` pair is expensive on every platform and prohibitive in FPGA
+//! DSP budget, which is exactly why the paper does not use it. The ablation
+//! comparisons use it as the "no-rejection, heavy-math" corner.
+
+use super::NormalTransform;
+use crate::uniform::uint2float;
+
+/// Box-Muller transform (first output of the pair, matching the paper's
+/// one-output-per-attempt pipeline structure).
+#[derive(Debug, Clone, Default)]
+pub struct BoxMuller {
+    stats: crate::rejection::RejectionStats,
+}
+
+impl BoxMuller {
+    /// New transform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rejection statistics (only `u0 == 0` is invalid: `ln 0`).
+    pub fn stats(&self) -> &crate::rejection::RejectionStats {
+        &self.stats
+    }
+
+    /// Pure attempt from two raw uniforms.
+    #[inline]
+    pub fn attempt_pure(u0: u32, u1: u32) -> (f32, bool) {
+        let a = uint2float(u0);
+        if a == 0.0 {
+            return (0.0, false);
+        }
+        let b = uint2float(u1);
+        let r = (-2.0 * a.ln()).sqrt();
+        let n = r * (2.0 * std::f32::consts::PI * b).cos();
+        (n, true)
+    }
+}
+
+impl NormalTransform for BoxMuller {
+    #[inline]
+    fn attempt(&mut self, u0: u32, u1: u32) -> (f32, bool) {
+        let out = Self::attempt_pure(u0, u1);
+        self.stats.record(out.1);
+        out
+    }
+
+    fn uniforms_per_attempt(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "Box-Muller"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::{BlockMt, MT19937};
+
+    #[test]
+    fn outputs_are_standard_normal() {
+        let mut mt = BlockMt::new(MT19937, 55);
+        let mut t = BoxMuller::new();
+        let mut s = dwi_stats::Summary::new();
+        for _ in 0..100_000 {
+            let (n, ok) = t.attempt(mt.next_u32(), mt.next_u32());
+            if ok {
+                s.add(n as f64);
+            }
+        }
+        assert!(s.mean().abs() < 0.01, "mean {}", s.mean());
+        assert!((s.variance() - 1.0).abs() < 0.02, "var {}", s.variance());
+    }
+
+    #[test]
+    fn essentially_rejection_free() {
+        let mut mt = BlockMt::new(MT19937, 8);
+        let mut t = BoxMuller::new();
+        for _ in 0..100_000 {
+            let _ = t.attempt(mt.next_u32(), mt.next_u32());
+        }
+        assert!(t.stats().rejection_rate() < 1e-3);
+    }
+
+    #[test]
+    fn ks_against_normal() {
+        let mut mt = BlockMt::new(MT19937, 21);
+        let mut t = BoxMuller::new();
+        let mut sample = Vec::with_capacity(20_000);
+        while sample.len() < 20_000 {
+            let (n, ok) = t.attempt(mt.next_u32(), mt.next_u32());
+            if ok {
+                sample.push(n as f64);
+            }
+        }
+        let normal = dwi_stats::Normal::new(0.0, 1.0);
+        let r = dwi_stats::ks_test(&sample, |x| normal.cdf(x));
+        assert!(r.accepts(0.001), "KS p = {}", r.p_value);
+    }
+
+    #[test]
+    fn zero_uniform_invalid() {
+        assert!(!BoxMuller::attempt_pure(0, 123).1);
+        assert!(BoxMuller::attempt_pure(0x100, 123).1);
+    }
+
+    #[test]
+    fn extreme_output_bounded_by_resolution() {
+        // Smallest representable uniform 2^-24 bounds |n| ≤ sqrt(2·ln 2^24).
+        let (n, ok) = BoxMuller::attempt_pure(0x100, 0);
+        assert!(ok);
+        assert!(n.abs() <= (2.0f32 * 24.0 * 2f32.ln()).sqrt() + 1e-3);
+    }
+}

@@ -1,0 +1,213 @@
+//! CUDA-style ICDF transform (paper Section II-D3).
+//!
+//! The paper adapts Nvidia's `_curand_normal_icdf` for CPU/GPU/Xeon Phi by
+//! replacing `erfcinv` with Giles' branch-minimizing single-precision
+//! `erfinv` polynomial (ref \[20\]) via the identity
+//! `erfcinv(x) = erfinv(1 − x)`:
+//!
+//! `normal = −√2 · erfcinv(2u) = √2 · erfinv(2u − 1)`.
+//!
+//! Giles' approximation has a single data-dependent branch (central vs tail
+//! polynomial, on `w < 5`), which is what makes it SIMD-friendly — the
+//! reproduction's divergence model charges it accordingly.
+
+use super::NormalTransform;
+use crate::uniform::uint2float;
+
+/// The CUDA-style single-precision ICDF.
+#[derive(Debug, Clone, Default)]
+pub struct IcdfCuda {
+    stats: crate::rejection::RejectionStats,
+}
+
+impl IcdfCuda {
+    /// New transform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rejection statistics (only `u == 0` is invalid, so the rate is ~2^-24).
+    pub fn stats(&self) -> &crate::rejection::RejectionStats {
+        &self.stats
+    }
+
+    /// Pure attempt from a raw 32-bit uniform.
+    #[inline]
+    pub fn attempt_pure(u0: u32) -> (f32, bool) {
+        let u = uint2float(u0);
+        if u == 0.0 {
+            // 2u − 1 = −1 is outside erfinv's open domain.
+            return (0.0, false);
+        }
+        let n = std::f32::consts::SQRT_2 * erfinv_giles(2.0 * u - 1.0);
+        (n, true)
+    }
+}
+
+impl NormalTransform for IcdfCuda {
+    #[inline]
+    fn attempt(&mut self, u0: u32, _u1: u32) -> (f32, bool) {
+        let out = Self::attempt_pure(u0);
+        self.stats.record(out.1);
+        out
+    }
+
+    fn uniforms_per_attempt(&self) -> usize {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "ICDF (CUDA-style)"
+    }
+}
+
+/// Giles' single-precision `erfinv` ("Approximating the erfinv function",
+/// GPU Computing Gems Jade ch. 10): two polynomial branches selected on
+/// `w = −ln(1 − x²)`, maximum relative error ≈ 7e-7 over (−1, 1).
+#[inline]
+#[allow(clippy::excessive_precision)] // Giles' published coefficients
+pub fn erfinv_giles(x: f32) -> f32 {
+    let mut w = -((1.0 - x) * (1.0 + x)).ln();
+    let p;
+    if w < 5.0 {
+        w -= 2.5;
+        p = horner(
+            &[
+                1.501_409_4,
+                0.246_640_72,
+                -0.004_177_681_6,
+                -0.001_253_725,
+                0.000_218_580_87,
+                -4.391_506_5e-6,
+                -3.523_388e-6,
+                3.432_739_4e-7,
+                2.810_226_4e-8,
+            ],
+            w,
+        );
+    } else {
+        w = w.sqrt() - 3.0;
+        p = horner(
+            &[
+                2.832_976_8,
+                1.001_674_1,
+                0.009_438_87,
+                -0.007_622_461_3,
+                0.005_739_507_7,
+                -0.003_673_428_4,
+                0.001_349_343_2,
+                0.000_100_950_56,
+                -0.000_200_214_26,
+            ],
+            w,
+        );
+    }
+    p * x
+}
+
+/// Horner with ascending coefficients.
+#[inline]
+fn horner(c: &[f32], x: f32) -> f32 {
+    c.iter().rev().fold(0.0, |acc, &k| acc * x + k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::{BlockMt, MT19937};
+
+    #[test]
+    fn erfinv_matches_double_reference() {
+        for i in 1..200 {
+            let x = -0.995 + i as f64 * 0.00995;
+            let got = erfinv_giles(x as f32) as f64;
+            let want = dwi_stats::erfinv(x);
+            assert!(
+                (got - want).abs() <= 2e-5 * (1.0 + want.abs()),
+                "x={x}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfinv_tail_branch() {
+        // |x| close to 1 exercises the w >= 5 branch.
+        for &x in &[0.9995f64, 0.99995, -0.9999] {
+            let got = erfinv_giles(x as f32) as f64;
+            let want = dwi_stats::erfinv(x);
+            assert!(
+                (got - want).abs() <= 5e-4 * want.abs(),
+                "x={x}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfinv_is_odd() {
+        for &x in &[0.1f32, 0.5, 0.9, 0.999] {
+            assert_eq!(erfinv_giles(-x), -erfinv_giles(x));
+        }
+    }
+
+    #[test]
+    fn zero_uniform_is_invalid() {
+        let (_, ok) = IcdfCuda::attempt_pure(0);
+        assert!(!ok);
+        // 0x000000FF still maps to u = 0.0 (low 8 bits dropped) → invalid.
+        let (_, ok) = IcdfCuda::attempt_pure(0xFF);
+        assert!(!ok);
+        let (_, ok) = IcdfCuda::attempt_pure(0x100);
+        assert!(ok);
+    }
+
+    #[test]
+    fn median_maps_to_zero() {
+        let (n, ok) = IcdfCuda::attempt_pure(0x8000_0000);
+        assert!(ok);
+        assert!(n.abs() < 1e-6, "u=0.5 must map to ~0, got {n}");
+    }
+
+    #[test]
+    fn monotone_in_u() {
+        let mut prev = f32::NEG_INFINITY;
+        for k in 1..1000u32 {
+            let (n, ok) = IcdfCuda::attempt_pure(k * 4_294_967);
+            assert!(ok);
+            assert!(n >= prev, "ICDF must be monotone");
+            prev = n;
+        }
+    }
+
+    #[test]
+    fn outputs_are_standard_normal() {
+        let mut mt = BlockMt::new(MT19937, 31);
+        let mut t = IcdfCuda::new();
+        let mut s = dwi_stats::Summary::new();
+        for _ in 0..100_000 {
+            let (n, ok) = t.attempt(mt.next_u32(), 0);
+            if ok {
+                s.add(n as f64);
+            }
+        }
+        assert!(s.mean().abs() < 0.01, "mean {}", s.mean());
+        assert!((s.variance() - 1.0).abs() < 0.02, "var {}", s.variance());
+        // Acceptance is essentially total for ICDF.
+        assert!(t.stats().rejection_rate() < 1e-3);
+    }
+
+    #[test]
+    fn quantile_round_trip_against_reference() {
+        // Transform of u must equal Phi^-1(u) within single precision.
+        let norm = dwi_stats::Normal::new(0.0, 1.0);
+        for &u in &[0.01f64, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99] {
+            let raw = (u * 4_294_967_296.0) as u32;
+            let (n, ok) = IcdfCuda::attempt_pure(raw);
+            assert!(ok);
+            let want = norm.quantile(((raw >> 8) as f64) / 16_777_216.0);
+            assert!(
+                (n as f64 - want).abs() < 2e-4 * (1.0 + want.abs()),
+                "u={u}: got {n}, want {want}"
+            );
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Marsaglia-Bray polar method (paper ref \[17\]).
+//!
+//! Draws a point in the square [-1,1)², rejects it unless it falls strictly
+//! inside the unit disc (acceptance π/4 ≈ 78.5 %), and maps the accepted
+//! point through `x · sqrt(-2 ln s / s)`. Avoids the trigonometric calls of
+//! Box-Muller but still needs `log`, `sqrt` and a division — the "complex
+//! floating-point operations" the paper charges it with, and the reason its
+//! rejection rate stresses fixed SIMD architectures.
+//!
+//! The method canonically yields *two* normals per accepted point; following
+//! the paper ("it also needs two input uniform RNs to generate one output")
+//! only the first is used, which keeps every pipeline iteration structurally
+//! identical — the property the II=1 design depends on.
+
+use super::NormalTransform;
+use crate::uniform::uint2float_signed;
+
+/// Stateless Marsaglia-Bray transform with per-instance rejection telemetry.
+#[derive(Debug, Clone, Default)]
+pub struct MarsagliaBray {
+    stats: crate::rejection::RejectionStats,
+}
+
+impl MarsagliaBray {
+    /// New transform.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Rejection statistics of this instance.
+    pub fn stats(&self) -> &crate::rejection::RejectionStats {
+        &self.stats
+    }
+
+    /// Pure attempt (no telemetry) — used by trace replay and tests.
+    #[inline]
+    pub fn attempt_pure(u0: u32, u1: u32) -> (f32, bool) {
+        let x = uint2float_signed(u0);
+        let y = uint2float_signed(u1);
+        let s = x * x + y * y;
+        if s >= 1.0 || s == 0.0 {
+            return (0.0, false);
+        }
+        let n = x * (-2.0 * s.ln() / s).sqrt();
+        (n, true)
+    }
+}
+
+impl NormalTransform for MarsagliaBray {
+    #[inline]
+    fn attempt(&mut self, u0: u32, u1: u32) -> (f32, bool) {
+        let out = Self::attempt_pure(u0, u1);
+        self.stats.record(out.1);
+        out
+    }
+
+    fn uniforms_per_attempt(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &'static str {
+        "Marsaglia-Bray"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mt::{BlockMt, MT19937};
+
+    #[test]
+    fn acceptance_rate_is_pi_over_4() {
+        let mut mt = BlockMt::new(MT19937, 2024);
+        let mut t = MarsagliaBray::new();
+        for _ in 0..200_000 {
+            let _ = t.attempt(mt.next_u32(), mt.next_u32());
+        }
+        let acc = 1.0 - t.stats().rejection_rate();
+        let expect = std::f64::consts::FRAC_PI_4;
+        assert!(
+            (acc - expect).abs() < 0.005,
+            "acceptance {acc} vs π/4 = {expect}"
+        );
+    }
+
+    #[test]
+    fn outputs_are_standard_normal() {
+        let mut mt = BlockMt::new(MT19937, 7);
+        let mut t = MarsagliaBray::new();
+        let mut s = dwi_stats::Summary::new();
+        while s.count() < 100_000 {
+            let (n, ok) = t.attempt(mt.next_u32(), mt.next_u32());
+            if ok {
+                s.add(n as f64);
+            }
+        }
+        assert!(s.mean().abs() < 0.01, "mean {}", s.mean());
+        assert!((s.variance() - 1.0).abs() < 0.02, "var {}", s.variance());
+        assert!(s.skewness().abs() < 0.03, "skew {}", s.skewness());
+    }
+
+    #[test]
+    fn ks_test_against_normal_cdf() {
+        let mut mt = BlockMt::new(MT19937, 99);
+        let mut t = MarsagliaBray::new();
+        let mut sample = Vec::with_capacity(20_000);
+        while sample.len() < 20_000 {
+            let (n, ok) = t.attempt(mt.next_u32(), mt.next_u32());
+            if ok {
+                sample.push(n as f64);
+            }
+        }
+        let normal = dwi_stats::Normal::new(0.0, 1.0);
+        let r = dwi_stats::ks_test(&sample, |x| normal.cdf(x));
+        assert!(r.accepts(0.001), "KS p-value {}", r.p_value);
+    }
+
+    #[test]
+    fn rejects_outside_disc_and_origin() {
+        // (1, 1)-ish corner: both uniforms near max → s ≈ 2 → reject.
+        let (_, ok) = MarsagliaBray::attempt_pure(u32::MAX, u32::MAX);
+        assert!(!ok);
+        // Exact origin: s == 0 → reject (would divide by zero).
+        let mid = 0x8000_0000u32; // maps to 0.0 exactly
+        let (_, ok) = MarsagliaBray::attempt_pure(mid, mid);
+        assert!(!ok);
+    }
+
+    #[test]
+    fn accepts_interior_point() {
+        // u ≈ 0.75 → x = 0.5; s = 0.5 < 1 → accept with value 0.5·sqrt(-2 ln 0.5 / 0.5)
+        let u = 0xC000_0000u32; // signed → +0.5
+        let (n, ok) = MarsagliaBray::attempt_pure(u, u);
+        assert!(ok);
+        let expect = 0.5 * (-2.0f32 * 0.5f32.ln() / 0.5).sqrt();
+        assert!((n - expect).abs() < 1e-6, "got {n}, expected {expect}");
+    }
+
+    #[test]
+    fn deterministic_given_inputs() {
+        let a = MarsagliaBray::attempt_pure(123_456_789, 987_654_321);
+        let b = MarsagliaBray::attempt_pure(123_456_789, 987_654_321);
+        assert_eq!(a, b);
+    }
+}

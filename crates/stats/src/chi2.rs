@@ -1,0 +1,139 @@
+//! Chi-square goodness-of-fit test over binned data.
+
+use crate::special::upper_incomplete_gamma_regularized;
+
+/// Result of a chi-square goodness-of-fit test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The chi-square statistic Σ (O-E)²/E.
+    pub statistic: f64,
+    /// Degrees of freedom used for the p-value.
+    pub dof: usize,
+    /// Survival-function p-value.
+    pub p_value: f64,
+}
+
+impl Chi2Result {
+    /// True when the hypothesis is *not* rejected at level `alpha`.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// CDF of the chi-square distribution with `k` degrees of freedom.
+pub fn chi_square_cdf(x: f64, k: usize) -> f64 {
+    assert!(k > 0, "dof must be positive");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    1.0 - upper_incomplete_gamma_regularized(k as f64 / 2.0, x / 2.0)
+}
+
+/// Chi-square GoF test of observed counts against expected counts.
+///
+/// `constraints` is the number of model parameters fitted from the data plus
+/// one (for the total); `dof = bins - constraints`. Bins whose expected count
+/// is below `min_expected` (commonly 5) are pooled into their left neighbour
+/// to keep the asymptotic approximation valid.
+pub fn chi_square_gof(observed: &[u64], expected: &[f64], constraints: usize) -> Chi2Result {
+    assert_eq!(
+        observed.len(),
+        expected.len(),
+        "observed/expected length mismatch"
+    );
+    assert!(!observed.is_empty(), "need at least one bin");
+    let min_expected = 5.0;
+    // Pool small-expectation bins left-to-right.
+    let mut obs_p: Vec<f64> = Vec::with_capacity(observed.len());
+    let mut exp_p: Vec<f64> = Vec::with_capacity(expected.len());
+    let (mut acc_o, mut acc_e) = (0.0_f64, 0.0_f64);
+    for (&o, &e) in observed.iter().zip(expected) {
+        assert!(e >= 0.0, "expected counts must be non-negative");
+        acc_o += o as f64;
+        acc_e += e;
+        if acc_e >= min_expected {
+            obs_p.push(acc_o);
+            exp_p.push(acc_e);
+            acc_o = 0.0;
+            acc_e = 0.0;
+        }
+    }
+    if acc_e > 0.0 || acc_o > 0.0 {
+        if let (Some(o), Some(e)) = (obs_p.last_mut(), exp_p.last_mut()) {
+            *o += acc_o;
+            *e += acc_e;
+        } else {
+            obs_p.push(acc_o);
+            exp_p.push(acc_e.max(1e-12));
+        }
+    }
+    let statistic: f64 = obs_p
+        .iter()
+        .zip(&exp_p)
+        .map(|(&o, &e)| (o - e) * (o - e) / e)
+        .sum();
+    let dof = obs_p.len().saturating_sub(constraints).max(1);
+    let p_value = 1.0 - chi_square_cdf(statistic, dof);
+    Chi2Result {
+        statistic,
+        dof,
+        p_value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_known_values() {
+        // chi2(k=2) is Exponential(2): cdf(x) = 1 - e^{-x/2}
+        assert!((chi_square_cdf(2.0, 2) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+        // Median of chi2(1) ≈ 0.4549
+        assert!((chi_square_cdf(0.454_936, 1) - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_statistic() {
+        let obs = [10u64, 20, 30, 40];
+        let exp = [10.0, 20.0, 30.0, 40.0];
+        let r = chi_square_gof(&obs, &exp, 1);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gross_mismatch_rejected() {
+        let obs = [100u64, 0, 0, 0];
+        let exp = [25.0, 25.0, 25.0, 25.0];
+        let r = chi_square_gof(&obs, &exp, 1);
+        assert!(r.statistic > 100.0);
+        assert!(!r.accepts(0.001));
+    }
+
+    #[test]
+    fn small_bins_are_pooled() {
+        // Expected counts of 1 each: 10 bins pool into 2 groups of 5.
+        let obs = vec![1u64; 10];
+        let exp = vec![1.0; 10];
+        let r = chi_square_gof(&obs, &exp, 1);
+        assert_eq!(r.dof, 1); // 2 pooled bins - 1 constraint
+        assert_eq!(r.statistic, 0.0);
+    }
+
+    #[test]
+    fn leftover_tail_merges_into_last_bin() {
+        let obs = [10u64, 10, 1];
+        let exp = [10.0, 10.0, 1.0];
+        let r = chi_square_gof(&obs, &exp, 1);
+        // 3 bins → 2 pooled (last one absorbs the small tail), statistic 0.
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.dof, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = chi_square_gof(&[1], &[1.0, 2.0], 1);
+    }
+}

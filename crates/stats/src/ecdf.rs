@@ -1,0 +1,92 @@
+//! Empirical cumulative distribution function over a sample.
+
+/// An empirical CDF built from a sample (sorted on construction).
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from a sample; NaNs are rejected.
+    pub fn new(mut sample: Vec<f64>) -> Self {
+        assert!(!sample.is_empty(), "ECDF needs at least one sample");
+        assert!(
+            sample.iter().all(|x| !x.is_nan()),
+            "ECDF sample contains NaN"
+        );
+        sample.sort_by(|a, b| a.partial_cmp(b).expect("NaN rejected above"));
+        Self { sorted: sample }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Always false: construction rejects empty samples.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Fraction of samples `<= x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        // partition_point: count of elements <= x
+        let k = self.sorted.partition_point(|&v| v <= x);
+        k as f64 / self.sorted.len() as f64
+    }
+
+    /// Sorted sample values.
+    pub fn sorted(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Empirical quantile (type-1 / inverse-CDF definition).
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_function_values() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert!((e.eval(1.0) - 1.0 / 3.0).abs() < 1e-15);
+        assert!((e.eval(2.5) - 2.0 / 3.0).abs() < 1e-15);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn ties_counted_correctly() {
+        let e = Ecdf::new(vec![1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(e.eval(1.0), 0.75);
+    }
+
+    #[test]
+    fn quantiles() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(e.quantile(0.25), 10.0);
+        assert_eq!(e.quantile(0.5), 20.0);
+        assert_eq!(e.quantile(1.0), 40.0);
+        assert_eq!(e.quantile(0.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn empty_sample_panics() {
+        let _ = Ecdf::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "contains NaN")]
+    fn nan_sample_panics() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}

@@ -1,0 +1,212 @@
+//! Uniform-bin histogram with density normalization and simple text
+//! rendering, used for the Fig. 6 distribution plots.
+
+/// A histogram with `bins` uniform bins over `[lo, hi)`.
+///
+/// Samples outside the range are counted separately as underflow/overflow so
+/// no data silently disappears.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl Histogram {
+    /// Create a histogram over `[lo, hi)` with `bins` uniform bins.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(hi > lo, "hi ({hi}) must exceed lo ({lo})");
+        assert!(bins > 0, "need at least one bin");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of a single bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Add a single sample.
+    pub fn add(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let idx = ((x - self.lo) / self.bin_width()) as usize;
+            // Guard against floating rounding at the top edge.
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Add all samples from a slice.
+    pub fn extend(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.add(x);
+        }
+    }
+
+    /// Add all samples from an `f32` slice (the kernels output
+    /// single-precision values, as on the 512-bit FPGA interface).
+    pub fn extend_f32(&mut self, xs: &[f32]) {
+        for &x in xs {
+            self.add(x as f64);
+        }
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Samples below `lo` / at-or-above `hi`.
+    pub fn out_of_range(&self) -> (u64, u64) {
+        (self.underflow, self.overflow)
+    }
+
+    /// Total samples seen (including out-of-range).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        self.lo + (i as f64 + 0.5) * self.bin_width()
+    }
+
+    /// Density estimate per bin: `count / (total * bin_width)`, comparable to
+    /// a pdf. Returns an empty vec when no samples were added.
+    pub fn density(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return Vec::new();
+        }
+        let norm = 1.0 / (self.total as f64 * self.bin_width());
+        self.counts.iter().map(|&c| c as f64 * norm).collect()
+    }
+
+    /// Render a compact ASCII bar chart with an overlaid reference pdf
+    /// (marked `*` where the reference lands inside the bar, `|` beyond it).
+    /// Used by the Fig. 6 binary.
+    pub fn render_with_reference(&self, pdf: impl Fn(f64) -> f64, width: usize) -> String {
+        let dens = self.density();
+        let max = dens
+            .iter()
+            .cloned()
+            .fold(0.0_f64, f64::max)
+            .max(1e-12);
+        let mut out = String::new();
+        for (i, &d) in dens.iter().enumerate() {
+            let x = self.bin_center(i);
+            let bar = ((d / max) * width as f64).round() as usize;
+            let r = pdf(x).min(max);
+            let rmark = ((r / max) * width as f64).round() as usize;
+            let mut line: Vec<char> = vec![' '; width + 1];
+            for c in line.iter_mut().take(bar.min(width)) {
+                *c = '#';
+            }
+            let pos = rmark.min(width);
+            line[pos] = if pos <= bar { '*' } else { '|' };
+            out.push_str(&format!(
+                "{:8.3} {:9.5} {}\n",
+                x,
+                d,
+                line.into_iter().collect::<String>()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_land_in_right_bins() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(0.5);
+        h.add(9.99);
+        h.add(5.0);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.counts()[9], 1);
+        assert_eq!(h.counts()[5], 1);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn out_of_range_tracked() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.add(-0.1);
+        h.add(1.0); // hi is exclusive
+        h.add(0.5);
+        assert_eq!(h.out_of_range(), (1, 1));
+        assert_eq!(h.total(), 3);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn density_integrates_to_in_range_fraction() {
+        let mut h = Histogram::new(0.0, 1.0, 8);
+        for i in 0..1000 {
+            h.add(i as f64 / 1000.0);
+        }
+        let total: f64 = h.density().iter().sum::<f64>() * h.bin_width();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bin_center_positions() {
+        let h = Histogram::new(0.0, 4.0, 4);
+        assert_eq!(h.bin_center(0), 0.5);
+        assert_eq!(h.bin_center(3), 3.5);
+    }
+
+    #[test]
+    fn top_edge_rounding_is_clamped() {
+        // A value just below hi must not index out of bounds.
+        let mut h = Histogram::new(0.0, 0.3, 3);
+        h.add(0.3 - 1e-16);
+        assert_eq!(h.counts().iter().sum::<u64>(), 1);
+    }
+
+    #[test]
+    fn f32_extend_matches_f64() {
+        let mut a = Histogram::new(0.0, 1.0, 10);
+        let mut b = Histogram::new(0.0, 1.0, 10);
+        let xs32: Vec<f32> = (0..100).map(|i| i as f32 / 100.0).collect();
+        let xs64: Vec<f64> = xs32.iter().map(|&x| x as f64).collect();
+        a.extend_f32(&xs32);
+        b.extend(&xs64);
+        assert_eq!(a.counts(), b.counts());
+    }
+
+    #[test]
+    fn render_produces_one_line_per_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 5);
+        h.extend(&[0.1, 0.1, 0.5, 0.9]);
+        let s = h.render_with_reference(|_| 0.5, 20);
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must exceed")]
+    fn inverted_range_panics() {
+        let _ = Histogram::new(1.0, 0.0, 4);
+    }
+}

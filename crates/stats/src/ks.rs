@@ -1,0 +1,125 @@
+//! One-sample Kolmogorov-Smirnov goodness-of-fit test.
+//!
+//! Used by the reproduction of Fig. 6 to check that the simulated FPGA's
+//! gamma sequences match the analytic Gamma(1/v, v) distribution, replacing
+//! the paper's visual comparison against Matlab `gamrnd`.
+
+use crate::ecdf::Ecdf;
+
+/// Result of a one-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic D_n = sup_x |F_n(x) - F(x)|.
+    pub statistic: f64,
+    /// Asymptotic p-value from the Kolmogorov distribution.
+    pub p_value: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+impl KsResult {
+    /// True when the hypothesis "sample ~ F" is *not* rejected at level `alpha`.
+    pub fn accepts(&self, alpha: f64) -> bool {
+        self.p_value > alpha
+    }
+}
+
+/// The KS statistic of `sample` against the continuous CDF `cdf`.
+pub fn ks_statistic(sample: &[f64], cdf: impl Fn(f64) -> f64) -> f64 {
+    let e = Ecdf::new(sample.to_vec());
+    let n = e.len() as f64;
+    let mut d = 0.0_f64;
+    for (i, &x) in e.sorted().iter().enumerate() {
+        let f = cdf(x);
+        let lo = i as f64 / n; // F_n just below x
+        let hi = (i as f64 + 1.0) / n; // F_n at x
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    d
+}
+
+/// One-sample KS test with asymptotic p-value
+/// `p = Q_KS((sqrt(n) + 0.12 + 0.11/sqrt(n)) * D)` (Stephens' correction).
+pub fn ks_test(sample: &[f64], cdf: impl Fn(f64) -> f64) -> KsResult {
+    let d = ks_statistic(sample, &cdf);
+    let n = sample.len();
+    let sn = (n as f64).sqrt();
+    let lambda = (sn + 0.12 + 0.11 / sn) * d;
+    KsResult {
+        statistic: d,
+        p_value: kolmogorov_q(lambda),
+        n,
+    }
+}
+
+/// Kolmogorov distribution survival function
+/// `Q(λ) = 2 Σ_{k>=1} (-1)^{k-1} e^{-2 k² λ²}`.
+pub fn kolmogorov_q(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64) * (k as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic quasi-uniform sample (golden-ratio low-discrepancy).
+    fn quasi_uniform(n: usize) -> Vec<f64> {
+        let phi = 0.618_033_988_749_894_9_f64;
+        (1..=n).map(|i| (i as f64 * phi).fract()).collect()
+    }
+
+    #[test]
+    fn uniform_sample_accepted() {
+        let s = quasi_uniform(2000);
+        let r = ks_test(&s, |x| x.clamp(0.0, 1.0));
+        assert!(r.statistic < 0.05, "D = {}", r.statistic);
+        assert!(r.accepts(0.01), "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn wrong_distribution_rejected() {
+        // Uniform sample tested against N(0,1)-like cdf on [0,1] → mismatch.
+        let s = quasi_uniform(2000);
+        let r = ks_test(&s, |x| x * x); // cdf of sqrt-uniform, wrong
+        assert!(!r.accepts(0.01), "p = {} should reject", r.p_value);
+    }
+
+    #[test]
+    fn statistic_exact_small_case() {
+        // Sample {0.5}: F_n jumps 0→1 at 0.5; vs U(0,1) cdf the sup distance
+        // is max(|0.5-0|, |1-0.5|) = 0.5.
+        let d = ks_statistic(&[0.5], |x| x);
+        assert!((d - 0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn kolmogorov_q_limits() {
+        assert_eq!(kolmogorov_q(0.0), 1.0);
+        assert!(kolmogorov_q(5.0) < 1e-10);
+        // Known value: Q(1.0) ≈ 0.26999967...
+        assert!((kolmogorov_q(1.0) - 0.27).abs() < 1e-3);
+    }
+
+    #[test]
+    fn q_monotone_decreasing() {
+        let mut prev = 1.0;
+        for i in 1..40 {
+            let q = kolmogorov_q(i as f64 * 0.1);
+            assert!(q <= prev + 1e-15);
+            prev = q;
+        }
+    }
+}

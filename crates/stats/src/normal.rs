@@ -1,0 +1,167 @@
+//! Normal (Gaussian) distribution: pdf, cdf, quantile.
+//!
+//! The quantile seed is the A&S 26.2.23 rational approximation, which the
+//! reproduction also uses to build the per-segment polynomial tables of the
+//! FPGA-style fixed-point ICDF (paper ref \[19\]).
+
+use crate::special::erfc;
+
+/// A normal distribution with mean `mu` and standard deviation `sigma`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    /// Mean.
+    pub mu: f64,
+    /// Standard deviation (must be positive).
+    pub sigma: f64,
+}
+
+/// The standard normal distribution N(0, 1).
+pub const STANDARD: Normal = Normal {
+    mu: 0.0,
+    sigma: 1.0,
+};
+
+impl Normal {
+    /// Create a normal distribution; panics if `sigma <= 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "sigma must be positive, got {sigma}");
+        Self { mu, sigma }
+    }
+
+    /// Probability density function.
+    pub fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    /// Cumulative distribution function, via `erfc` for tail accuracy.
+    pub fn cdf(&self, x: f64) -> f64 {
+        let z = (x - self.mu) / (self.sigma * std::f64::consts::SQRT_2);
+        0.5 * erfc(-z)
+    }
+
+    /// Quantile (inverse CDF), Wichura AS241. Accurate to ~1e-15 relative.
+    ///
+    /// `p` must lie in (0, 1); the endpoints map to ∓∞.
+    pub fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * standard_quantile(p)
+    }
+}
+
+/// Quantile of the standard normal distribution.
+///
+/// Seed from the Abramowitz & Stegun 26.2.23 rational approximation
+/// (|error| < 4.5e-4), then Halley-iterated against the independent
+/// `erfc`-based CDF until convergence — full double accuracy over the whole
+/// open interval, including deep tails.
+pub fn standard_quantile(p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    let tail = p.min(1.0 - p);
+    // A&S 26.2.23 seed for the lower-tail probability `tail`.
+    let t = (-2.0 * tail.ln()).sqrt();
+    let num = 2.515517 + t * (0.802853 + t * 0.010328);
+    let den = 1.0 + t * (1.432788 + t * (0.189269 + t * 0.001308));
+    let mut x = -(t - num / den); // quantile of `tail` (negative side)
+    if p > 0.5 {
+        x = -x;
+    }
+    refine_quantile(x, p)
+}
+
+/// Halley iteration on `f(x) = Phi(x) - p` until the step stalls.
+fn refine_quantile(mut x: f64, p: f64) -> f64 {
+    let norm = 1.0 / (2.0 * std::f64::consts::PI).sqrt();
+    for _ in 0..20 {
+        let z = x / std::f64::consts::SQRT_2;
+        let f = 0.5 * erfc(-z) - p;
+        let df = norm * (-0.5 * x * x).exp();
+        if df <= 0.0 || !f.is_finite() {
+            break;
+        }
+        let u = f / df;
+        // Halley step (f''/f' = -x for the normal cdf).
+        let step = u / (1.0 - 0.5 * x * u).max(0.5);
+        x -= step;
+        if step.abs() <= 1e-16 * (1.0 + x.abs()) {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol * (1.0 + b.abs()),
+            "expected {b}, got {a}"
+        );
+    }
+
+    #[test]
+    fn pdf_peak_and_symmetry() {
+        let n = STANDARD;
+        assert_close(n.pdf(0.0), 1.0 / (2.0 * std::f64::consts::PI).sqrt(), 1e-15);
+        assert_close(n.pdf(1.3), n.pdf(-1.3), 1e-15);
+    }
+
+    #[test]
+    fn cdf_known_values() {
+        let n = STANDARD;
+        assert_close(n.cdf(0.0), 0.5, 1e-15);
+        assert_close(n.cdf(1.0), 0.841_344_746_068_542_9, 1e-13);
+        assert_close(n.cdf(-1.0), 0.158_655_253_931_457_07, 1e-13);
+        assert_close(n.cdf(1.96), 0.975_002_104_851_779_7, 1e-12);
+        assert_close(n.cdf(-3.0), 1.349_898_031_630_094_5e-3, 1e-11);
+    }
+
+    #[test]
+    fn quantile_known_values() {
+        assert_close(standard_quantile(0.5), 0.0, 1e-15);
+        assert_close(standard_quantile(0.975), 1.959_963_984_540_054, 1e-12);
+        assert_close(standard_quantile(0.841_344_746_068_542_9), 1.0, 1e-12);
+        assert_close(standard_quantile(0.99), 2.326_347_874_040_841, 1e-12);
+        assert_close(standard_quantile(1e-10), -6.361_340_902_404_056, 1e-9);
+    }
+
+    #[test]
+    fn quantile_cdf_round_trip() {
+        let n = STANDARD;
+        for i in 1..100 {
+            let p = i as f64 / 100.0;
+            assert_close(n.cdf(n.quantile(p)), p, 1e-12);
+        }
+        // deep tails
+        for &p in &[1e-8, 1e-5, 1.0 - 1e-5, 1.0 - 1e-8] {
+            assert_close(n.cdf(n.quantile(p)), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        assert_eq!(standard_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(standard_quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn scaled_normal() {
+        let n = Normal::new(5.0, 2.0);
+        assert_close(n.cdf(5.0), 0.5, 1e-15);
+        assert_close(n.quantile(0.5), 5.0, 1e-12);
+        assert_close(n.cdf(7.0), STANDARD.cdf(1.0), 1e-14);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma must be positive")]
+    fn zero_sigma_panics() {
+        let _ = Normal::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,215 @@
+//! P² streaming quantile estimation (Jain & Chlamtac, 1985).
+//!
+//! The paper's full run produces 2.6 M scenarios; risk quantiles (VaR) over
+//! streams that large shouldn't require storing them. The P² algorithm
+//! tracks a quantile with five markers and parabolic interpolation in O(1)
+//! memory — the host-side companion to the accelerator's bulk generation.
+
+/// Streaming estimator of the `p`-quantile.
+///
+/// ```
+/// use dwi_stats::P2Quantile;
+/// let mut est = P2Quantile::new(0.5);
+/// for i in 0..10_001 { est.add((i % 101) as f64); }
+/// assert!((est.quantile() - 50.0).abs() < 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based counts).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    count: u64,
+    /// Initial observations until five arrive.
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Track the `p`-quantile, `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..1.0).contains(&p) && p > 0.0, "p must be in (0,1)");
+        Self {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Observe one value.
+    pub fn add(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN observed"));
+                for (qi, &v) in self.q.iter_mut().zip(&self.init) {
+                    *qi = v;
+                }
+            }
+            return;
+        }
+        // Find the cell k with q[k] <= x < q[k+1]; adjust extremes.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.q[i] && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+        // Adjust interior markers with parabolic (fallback linear) moves.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let s = d.signum();
+                let qp = self.parabolic(i, s);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, s)
+                };
+                self.n[i] += s;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, s: f64) -> f64 {
+        let (qm, q0, qp) = (self.q[i - 1], self.q[i], self.q[i + 1]);
+        let (nm, n0, np) = (self.n[i - 1], self.n[i], self.n[i + 1]);
+        q0 + s / (np - nm)
+            * ((n0 - nm + s) * (qp - q0) / (np - n0) + (np - n0 - s) * (q0 - qm) / (n0 - nm))
+    }
+
+    fn linear(&self, i: usize, s: f64) -> f64 {
+        let j = (i as f64 + s) as usize;
+        self.q[i] + s * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current quantile estimate; exact for ≤ 5 observations.
+    pub fn quantile(&self) -> f64 {
+        if self.init.len() < 5 {
+            assert!(!self.init.is_empty(), "no observations yet");
+            let mut s = self.init.clone();
+            s.sort_by(|a, b| a.partial_cmp(b).expect("NaN"));
+            let idx = ((self.p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+            return s[idx];
+        }
+        self.q[2]
+    }
+
+    /// Observations seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quasi_uniform(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed | 1;
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut est = P2Quantile::new(0.5);
+        for x in quasi_uniform(100_000, 7) {
+            est.add(x);
+        }
+        assert!((est.quantile() - 0.5).abs() < 0.01, "median {}", est.quantile());
+    }
+
+    #[test]
+    fn deep_quantile_accuracy() {
+        // 99% quantile of uniform ≈ 0.99.
+        let mut est = P2Quantile::new(0.99);
+        for x in quasi_uniform(200_000, 3) {
+            est.add(x);
+        }
+        assert!(
+            (est.quantile() - 0.99).abs() < 0.005,
+            "q99 {}",
+            est.quantile()
+        );
+    }
+
+    #[test]
+    fn matches_exact_quantile_on_gamma_stream() {
+        // Compare against the exact empirical quantile on a skewed stream.
+        let g = crate::Gamma::from_sector_variance(1.39);
+        let us = quasi_uniform(50_000, 11);
+        let xs: Vec<f64> = us.iter().map(|&u| g.quantile(u.clamp(1e-9, 1.0 - 1e-9))).collect();
+        let mut est = P2Quantile::new(0.95);
+        for &x in &xs {
+            est.add(x);
+        }
+        let mut sorted = xs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = sorted[(0.95 * sorted.len() as f64) as usize];
+        assert!(
+            (est.quantile() - exact).abs() / exact < 0.02,
+            "P2 {} vs exact {exact}",
+            est.quantile()
+        );
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut est = P2Quantile::new(0.5);
+        est.add(3.0);
+        est.add(1.0);
+        est.add(2.0);
+        assert_eq!(est.quantile(), 2.0);
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn constant_stream_converges_to_constant() {
+        let mut est = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            est.add(42.0);
+        }
+        assert_eq!(est.quantile(), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations yet")]
+    fn empty_estimator_panics() {
+        P2Quantile::new(0.5).quantile();
+    }
+}

@@ -1,0 +1,52 @@
+//! CreditRisk+ end to end: Monte-Carlo loss distribution of a synthetic
+//! loan portfolio driven by the paper's gamma RNG stack, validated against
+//! the analytic Panjer/power-series oracle.
+//!
+//! ```text
+//! cargo run --release --example creditrisk_portfolio
+//! ```
+
+use decoupled_workitems::creditrisk::{
+    expected_shortfall, loss_distribution, value_at_risk, MonteCarloEngine, Portfolio,
+};
+
+fn main() {
+    // 240 sectors like the paper's setup; a synthetic book of 2000 loans.
+    let portfolio = Portfolio::synthetic(2000, 240, 1.39);
+    println!(
+        "portfolio: {} obligors, {} sectors (v = 1.39), expected loss = {:.2} units",
+        portfolio.obligors.len(),
+        portfolio.sectors.len(),
+        portfolio.expected_loss()
+    );
+
+    // Analytic loss distribution (the oracle).
+    let max_loss = 400;
+    let pmf = loss_distribution(&portfolio, max_loss);
+    let var99 = value_at_risk(&pmf, 0.99);
+    let es99 = expected_shortfall(&pmf, 0.99);
+    println!("analytic:   VaR(99%) = {var99} units, ES(99%) = {es99:.1} units");
+
+    // Monte-Carlo with the nested gamma generator.
+    let scenarios = 100_000;
+    let engine = MonteCarloEngine::new(portfolio, 4242);
+    let mc = engine.run(scenarios);
+    println!(
+        "monte-carlo ({} scenarios): mean = {:.2}, std = {:.2}",
+        scenarios,
+        mc.mean(),
+        mc.std_dev()
+    );
+    let mc_var = decoupled_workitems::creditrisk::risk::empirical_var(&mc.losses, 0.99);
+    println!("monte-carlo: VaR(99%) = {mc_var} units");
+
+    // Tail comparison.
+    println!("\nloss  analytic-P  mc-P");
+    for x in (0..=max_loss.min(mc.pmf.len().saturating_sub(1))).step_by(40) {
+        println!(
+            "{x:>4}  {:>10.6}  {:>10.6}",
+            pmf[x],
+            mc.pmf.get(x).copied().unwrap_or(0.0)
+        );
+    }
+}

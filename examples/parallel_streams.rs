@@ -1,0 +1,56 @@
+//! Two ways to give N decoupled work-items independent random streams:
+//! Dynamic Creation (the paper's ref [18], one generator per work-item) vs
+//! polynomial jump-ahead (one generator, provably disjoint substreams).
+
+use decoupled_workitems::rng::gf2::Gf2Poly;
+use decoupled_workitems::rng::mt::dynamic_creation::{
+    certify_full_period, find_twist_coefficient,
+};
+use decoupled_workitems::rng::mt::jump::{transition_char_poly, CanonicalState};
+use decoupled_workitems::rng::mt::{MtParams, MT19937, MT521};
+
+fn main() {
+    // --- Dynamic Creation: search independent MT89 generators live ---
+    println!("Dynamic Creation search (p = 89, n = 3, m = 1, r = 7):");
+    for id in 0..3 {
+        let (a, tried) =
+            find_twist_coefficient(89, 3, 1, 7, id).expect("search space large enough");
+        let params = MtParams {
+            exponent: 89,
+            n: 3,
+            m: 1,
+            r: 7,
+            a,
+            ..MT19937
+        };
+        println!(
+            "  id {id}: twist a = {a:#010X} after {tried} candidates, certified: {}",
+            certify_full_period(&params)
+        );
+    }
+
+    // --- The pinned MT521 of Config2/Config4 ---
+    println!("\nMT521 (Table I, Config2/4): a = {:#010X}", MT521.a);
+    println!("  re-certified primitive: {}", certify_full_period(&MT521));
+    let cp: Gf2Poly = transition_char_poly(&MT521);
+    println!("  characteristic polynomial degree: {:?}", cp.degree());
+
+    // --- Jump-ahead: split one MT521 into disjoint work-item substreams ---
+    let work_items = 6u64;
+    let substream = 1_000_000u64;
+    println!("\njump-ahead: {work_items} work-items x {substream} draws from one MT521");
+    let mut heads = Vec::new();
+    for wid in 0..work_items {
+        let mut s = CanonicalState::from_seed(MT521, 2024);
+        s.jump(wid * substream, &cp);
+        heads.push(s.next_u32());
+    }
+    println!("  first draw per work-item: {heads:08X?}");
+    // Verify wid 1 against brute-force stepping.
+    let mut brute = CanonicalState::from_seed(MT521, 2024);
+    for _ in 0..substream {
+        brute.step();
+    }
+    assert_eq!(brute.next_u32(), heads[1], "jump must equal stepping");
+    println!("  verified: jump({substream}) == {substream} sequential steps");
+}

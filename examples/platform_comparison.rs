@@ -1,0 +1,39 @@
+//! Cross-platform comparison: regenerate Table III and the headline
+//! speedups of the paper with the calibrated platform models.
+//!
+//! ```text
+//! cargo run --release --example platform_comparison
+//! ```
+
+use decoupled_workitems::core::{table3, Workload};
+use decoupled_workitems::ocl::profiles::DeviceKind;
+
+fn main() {
+    let workload = Workload::paper();
+    println!(
+        "workload: {} scenarios x {} sectors = {} gamma RNs (~{:.2} GB)",
+        workload.num_scenarios,
+        workload.num_sectors,
+        workload.total_outputs(),
+        workload.total_bytes() as f64 / 1e9
+    );
+    println!();
+
+    let table = table3(&workload, 50_000);
+    println!("Table III — runtime [ms] (modeled; paper values in EXPERIMENTS.md):");
+    println!("{}", table.render());
+
+    let c1 = &table.rows[0];
+    println!(
+        "Config1 FPGA speedups: {:.1}x vs CPU, {:.1}x vs GPU, {:.1}x vs PHI (paper: 5.5x/3.5x/1.4x)",
+        c1.fpga_speedup_vs(DeviceKind::Cpu).unwrap(),
+        c1.fpga_speedup_vs(DeviceKind::Gpu).unwrap(),
+        c1.fpga_speedup_vs(DeviceKind::Phi).unwrap(),
+    );
+    let c4 = &table.rows[4];
+    println!(
+        "Config4 (CUDA-style ICDF): FPGA {:.1}x vs GPU, {:.1}x vs PHI (paper: 0.8x/0.7x — fixed platforms win)",
+        c4.fpga_speedup_vs(DeviceKind::Gpu).unwrap(),
+        c4.fpga_speedup_vs(DeviceKind::Phi).unwrap(),
+    );
+}

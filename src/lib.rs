@@ -1,0 +1,41 @@
+//! # decoupled-workitems
+//!
+//! A full reproduction of *"Exploiting Decoupled OpenCL Work-Items with Data
+//! Dependencies on FPGAs: A Case Study"* (Varela, Wehn, Liang, Tang —
+//! IPDPS Workshops 2017) as a Rust workspace. The FPGA, the fixed
+//! SIMD/SIMT platforms and the wall-plug power meter are *simulated*; every
+//! algorithm — the Mersenne-Twisters (including a real Dynamic-Creation
+//! parameter search), the Marsaglia-Bray and ICDF normal transforms, the
+//! Marsaglia-Tsang gamma sampler, the CreditRisk+ portfolio model — is
+//! implemented for real.
+//!
+//! ## Crate map
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`stats`] | special functions, distributions, goodness-of-fit tests |
+//! | [`rng`] | GF(2) algebra, Mersenne-Twisters, normal transforms, gamma sampler, the nested kernel |
+//! | [`hls`] | HLS substrate: fixed point, 512-bit words, blocking streams, pipeline/memory/resource models, cycle simulator |
+//! | [`ocl`] | fixed-architecture platform model: SIMT divergence, device profiles, NDRange scheduling |
+//! | [`core`] | the paper's contribution: decoupled work-items, transfers, Eq. 1, Table III driver |
+//! | [`energy`] | wall-plug power traces and dynamic-energy integration |
+//! | [`creditrisk`] | CreditRisk+ Monte-Carlo engine and analytic Panjer oracle |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use decoupled_workitems::core::{run_decoupled, Combining, PaperConfig, Workload};
+//!
+//! let cfg = PaperConfig::config1();
+//! let workload = Workload { num_scenarios: 1024, num_sectors: 2, sector_variance: 1.39 };
+//! let run = run_decoupled(&cfg, &workload, 42, Combining::DeviceLevel);
+//! assert!(run.rejection_overhead() > 0.25); // the Marsaglia-Bray chain
+//! ```
+
+pub use dwi_core as core;
+pub use dwi_creditrisk as creditrisk;
+pub use dwi_energy as energy;
+pub use dwi_hls as hls;
+pub use dwi_ocl as ocl;
+pub use dwi_rng as rng;
+pub use dwi_stats as stats;

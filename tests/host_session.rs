@@ -1,0 +1,75 @@
+//! Integration: the simulated OpenCL host API driving the power-measurement
+//! pipeline (Section IV-F end to end), across crates.
+
+use decoupled_workitems::energy::profiles::{FPGA_POWER, SYSTEM_IDLE_W};
+use decoupled_workitems::energy::session::{duty_cycle, trace_from_intervals};
+use decoupled_workitems::ocl::host::CommandQueue;
+use decoupled_workitems::ocl::pcie::PcieLink;
+use decoupled_workitems::ocl::profiles::{KernelCell, Transform, GPU, PHI};
+
+fn config1_cell() -> KernelCell {
+    KernelCell {
+        transform: Transform::MarsagliaBray,
+        big_state: true,
+        reject_prob: 0.233,
+    }
+}
+
+const N: u64 = 2_621_440 * 240;
+
+#[test]
+fn asynchronous_session_keeps_device_saturated() {
+    let mut q = CommandQueue::new(GPU, PcieLink::gen3_x8());
+    let (events, _) = q.run_measurement_session(&config1_cell(), N, 65_536, 64, 150.0);
+    let busy: Vec<(f64, f64)> = events
+        .iter()
+        .map(|e| (e.start_ns as f64 / 1e9, e.end_ns as f64 / 1e9))
+        .collect();
+    let end = busy.last().unwrap().1;
+    let d = duty_cycle(&busy, (end - 100.0, end));
+    // The 10 µs enqueue overhead vs multi-second kernels: duty ≈ 1.
+    assert!(d > 0.999, "duty cycle {d}");
+}
+
+#[test]
+fn event_timeline_to_energy_matches_closed_form() {
+    let mut q = CommandQueue::new(PHI, PcieLink::gen3_x8());
+    let cell = config1_cell();
+    let (events, _) = q.run_measurement_session(&cell, N, 65_536, 16, 150.0);
+    let busy: Vec<(f64, f64)> = events
+        .iter()
+        .map(|e| (e.start_ns as f64 / 1e9, e.end_ns as f64 / 1e9))
+        .collect();
+    let kernel_s = events[0].duration_ns() as f64 / 1e9;
+    let trace = trace_from_intervals(&busy, SYSTEM_IDLE_W, 115.0, 100.0, 15.0);
+    let e = trace.dynamic_energy_per_invocation_j();
+    let closed = 115.0 * kernel_s;
+    assert!(
+        (e - closed).abs() / closed < 0.05,
+        "trace {e} vs closed {closed}"
+    );
+}
+
+#[test]
+fn fpga_session_reproduces_fig9_energy() {
+    // Config1 FPGA: 0.701 s kernels at 40 W → ≈ 28 J per invocation,
+    // derived through the full trace pipeline.
+    let busy: Vec<(f64, f64)> = (0..215)
+        .map(|i| (5.0 + 0.701 * i as f64, 5.0 + 0.701 * (i + 1) as f64))
+        .collect();
+    let trace = trace_from_intervals(&busy, SYSTEM_IDLE_W, FPGA_POWER.dynamic_w(true), 100.0, 10.0);
+    let e = trace.dynamic_energy_per_invocation_j();
+    assert!((e - 28.0).abs() < 1.5, "E = {e} J (Fig. 9 FPGA Config1 ≈ 28 J)");
+}
+
+#[test]
+fn read_back_strategies_rank_as_in_section_3e() {
+    let mut q = CommandQueue::new(GPU, PcieLink::gen3_x8());
+    let buf = q.create_buffer(N * 4);
+    let single = q.enqueue_read(&buf);
+    let splits = q.enqueue_read_split(&buf, 6);
+    let single_t = single.duration_ns();
+    let split_t: u64 = splits.iter().map(|e| e.duration_ns()).sum();
+    assert!(split_t > single_t);
+    assert!((split_t as f64 / single_t as f64) < 1.01, "<1% loss (paper)");
+}

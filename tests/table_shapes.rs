@@ -1,0 +1,87 @@
+//! Integration tests asserting the *shape* of every quantitative result
+//! the paper reports: who wins, by what factor, where crossovers fall.
+
+use decoupled_workitems::core::{table3, Workload};
+use decoupled_workitems::energy::energy::dynamic_energy_per_invocation_j;
+use decoupled_workitems::energy::profiles::{CPU_POWER, FPGA_POWER, GPU_POWER, PHI_POWER};
+use decoupled_workitems::hls::memory::BurstChannel;
+use decoupled_workitems::ocl::profiles::DeviceKind;
+
+#[test]
+fn table3_orderings_hold() {
+    let t = table3(&Workload::paper(), 40_000);
+    // Config1: FPGA < PHI < GPU < CPU (paper: 701 < 996 < 2479 < 3825).
+    let r = &t.rows[0];
+    let fpga = r.fpga.unwrap().ms;
+    assert!(fpga < r.phi.ms && r.phi.ms < r.gpu.ms && r.gpu.ms < r.cpu.ms);
+    // Config2: GPU gains massively from the small MT state.
+    let c1_gpu = t.rows[0].gpu.ms;
+    let c2_gpu = t.rows[1].gpu.ms;
+    assert!(c2_gpu < 0.6 * c1_gpu, "GPU must gain >40% from MT521");
+    // CPU barely moves between Config1 and Config2.
+    let cpu_gap = (t.rows[1].cpu.ms - t.rows[0].cpu.ms).abs() / t.rows[0].cpu.ms;
+    assert!(cpu_gap < 0.1, "CPU gap {cpu_gap}");
+    // Config4 CUDA-style: the fixed platforms overtake the FPGA.
+    let c4 = &t.rows[4];
+    assert!(c4.gpu.ms < c4.fpga.unwrap().ms);
+    assert!(c4.phi.ms < c4.fpga.unwrap().ms);
+    assert!(c4.cpu.ms > c4.fpga.unwrap().ms, "CPU still loses Config4");
+}
+
+#[test]
+fn headline_speedup_is_about_5_5x() {
+    let t = table3(&Workload::paper(), 40_000);
+    let s = t.rows[0].fpga_speedup_vs(DeviceKind::Cpu).unwrap();
+    assert!((4.8..6.2).contains(&s), "headline speedup {s}");
+}
+
+#[test]
+fn fpga_rows_are_transfer_bound_and_close_to_paper() {
+    let t = table3(&Workload::paper(), 40_000);
+    let f12 = t.rows[0].fpga.unwrap().ms;
+    let f34 = t.rows[2].fpga.unwrap().ms;
+    assert!((f12 - 701.0).abs() < 15.0, "Config1,2 FPGA {f12}");
+    assert!((f34 - 642.0).abs() < 15.0, "Config3,4 FPGA {f34}");
+    // Both ICDF rows share the same FPGA cell.
+    assert_eq!(t.rows[2].fpga.unwrap().ms, t.rows[3].fpga.unwrap().ms);
+}
+
+#[test]
+fn fig7_bandwidths_hit_paper_anchors() {
+    let bw12 = BurstChannel::config12().effective_bandwidth(256, 6) / 1e9;
+    let bw34 = BurstChannel::config34().effective_bandwidth(256, 8) / 1e9;
+    assert!((bw12 - 3.58).abs() < 0.06, "Config1,2 bandwidth {bw12}");
+    assert!((bw34 - 3.94).abs() < 0.06, "Config3,4 bandwidth {bw34}");
+}
+
+#[test]
+fn fig9_energy_envelope() {
+    // Build Fig. 9 from Table III runtimes and the power profiles; check
+    // the paper's envelope: FPGA best everywhere, 9.5x max, ~2.2x min.
+    let t = table3(&Workload::paper(), 40_000);
+    let rows = [
+        (&t.rows[0], true),
+        (&t.rows[1], false),
+        (&t.rows[2], true),
+        (&t.rows[4], false),
+    ];
+    let mut max_ratio: f64 = 0.0;
+    let mut min_ratio = f64::INFINITY;
+    for (row, big) in rows {
+        let e_fpga =
+            dynamic_energy_per_invocation_j(&FPGA_POWER, big, row.fpga.unwrap().ms / 1e3);
+        for (power, ms) in [
+            (&CPU_POWER, row.cpu.ms),
+            (&GPU_POWER, row.gpu.ms),
+            (&PHI_POWER, row.phi.ms),
+        ] {
+            let e = dynamic_energy_per_invocation_j(power, big, ms / 1e3);
+            let ratio = e / e_fpga;
+            assert!(ratio > 1.0, "FPGA must be most efficient everywhere");
+            max_ratio = max_ratio.max(ratio);
+            min_ratio = min_ratio.min(ratio);
+        }
+    }
+    assert!((8.0..11.0).contains(&max_ratio), "max ratio {max_ratio}");
+    assert!((1.7..2.8).contains(&min_ratio), "min ratio {min_ratio}");
+}
