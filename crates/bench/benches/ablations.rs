@@ -2,116 +2,104 @@
 //! DESIGN.md calls out, measured in software (the *modeled hardware* effect
 //! of each choice is printed by `cargo run -p dwi-bench --bin ablations`).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwi_bench::microbench::{black_box, Bench};
 use dwi_core::{run_decoupled, Combining, PaperConfig, Workload};
 use dwi_hls::pipeline::DelayedCounter;
 use dwi_hls::wide::Packer;
 use dwi_rng::{AdaptedMt, BlockMt, MT19937};
 
 /// Listing 3 ablation: the enable-gated streaming MT vs the block MT.
-fn bench_mt_enable(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_mt_enable");
-    g.bench_function("adapted_gated_75pct", |b| {
-        let mut mt = AdaptedMt::new(MT19937, 1);
-        let mut lcg = 1u64;
-        b.iter(|| {
-            let mut acc = 0u32;
-            for _ in 0..50_000 {
-                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
-                acc ^= mt.next(lcg >> 62 != 0);
-            }
-            black_box(acc)
-        })
+fn bench_mt_enable(b: &mut Bench) {
+    let mut mt = AdaptedMt::new(MT19937, 1);
+    let mut lcg = 1u64;
+    b.bench("ablation_mt_enable/adapted_gated_75pct", || {
+        let mut acc = 0u32;
+        for _ in 0..50_000 {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            acc ^= mt.next(lcg >> 62 != 0);
+        }
+        black_box(acc)
     });
-    g.bench_function("block_ungated", |b| {
-        let mut mt = BlockMt::new(MT19937, 1);
-        b.iter(|| {
-            let mut acc = 0u32;
-            for _ in 0..50_000 {
-                acc ^= mt.next_u32();
-            }
-            black_box(acc)
-        })
+    let mut mt = BlockMt::new(MT19937, 1);
+    b.bench("ablation_mt_enable/block_ungated", || {
+        let mut acc = 0u32;
+        for _ in 0..50_000 {
+            acc ^= mt.next_u32();
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
 /// Listing 2 ablation: delayed-counter bookkeeping vs a plain counter.
-fn bench_delayed_counter(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_delayed_counter");
+fn bench_delayed_counter(b: &mut Bench) {
     for delay in [1usize, 4] {
-        g.bench_with_input(BenchmarkId::new("delayed", delay), &delay, |b, &d| {
-            b.iter(|| {
-                let mut dc = DelayedCounter::new(d);
-                while dc.delayed() < 100_000 {
-                    dc.update(true);
-                }
-                black_box(dc.current())
-            })
+        b.bench(&format!("ablation_delayed_counter/delayed/{delay}"), || {
+            let mut dc = DelayedCounter::new(delay);
+            while dc.delayed() < 100_000 {
+                dc.update(true);
+            }
+            black_box(dc.current())
         });
     }
-    g.bench_function("plain_counter", |b| {
-        b.iter(|| {
-            let mut c = 0u64;
-            while black_box(c) < 100_000 {
-                c += 1;
-            }
-            black_box(c)
-        })
+    b.bench("ablation_delayed_counter/plain_counter", || {
+        let mut c = 0u64;
+        while black_box(c) < 100_000 {
+            c += 1;
+        }
+        black_box(c)
     });
-    g.finish();
 }
 
 /// Section III-D ablation: 512-bit packing vs per-value copies.
-fn bench_pack_width(c: &mut Criterion) {
+fn bench_pack_width(b: &mut Bench) {
     let data: Vec<f32> = (0..65_536).map(|i| i as f32).collect();
-    let mut g = c.benchmark_group("ablation_pack_width");
-    g.bench_function("packed_512bit_words", |b| {
-        b.iter(|| {
-            let mut p = Packer::new();
-            let mut words = 0u64;
-            for &v in &data {
-                if p.push(v).is_some() {
-                    words += 1;
-                }
+    b.bench("ablation_pack_width/packed_512bit_words", || {
+        let mut p = Packer::new();
+        let mut words = 0u64;
+        for &v in &data {
+            if p.push(v).is_some() {
+                words += 1;
             }
-            black_box(words)
-        })
+        }
+        black_box(words)
     });
-    g.bench_function("scalar_copy", |b| {
-        b.iter(|| {
-            let mut out = Vec::with_capacity(data.len());
-            for &v in &data {
-                out.push(v);
-            }
-            black_box(out.len())
-        })
+    b.bench("ablation_pack_width/scalar_copy", || {
+        let mut out = Vec::with_capacity(data.len());
+        for &v in &data {
+            out.push(v);
+        }
+        black_box(out.len())
     });
-    g.finish();
 }
 
 /// Section III-E ablation: buffer-combining strategies, full engine.
-fn bench_combining(c: &mut Criterion) {
+fn bench_combining(b: &mut Bench) {
     let w = Workload {
         num_scenarios: 12_288,
         num_sectors: 1,
         sector_variance: 1.39,
     };
     let cfg = PaperConfig::config3();
-    let mut g = c.benchmark_group("ablation_buffer_combining");
-    g.sample_size(10);
-    g.bench_function("device_level", |b| {
-        b.iter(|| black_box(run_decoupled(&cfg, &w, 1, Combining::DeviceLevel).host_buffer.len()))
+    b.bench("ablation_buffer_combining/device_level", || {
+        black_box(
+            run_decoupled(&cfg, &w, 1, Combining::DeviceLevel)
+                .host_buffer
+                .len(),
+        )
     });
-    g.bench_function("host_level", |b| {
-        b.iter(|| black_box(run_decoupled(&cfg, &w, 1, Combining::HostLevel).host_buffer.len()))
+    b.bench("ablation_buffer_combining/host_level", || {
+        black_box(
+            run_decoupled(&cfg, &w, 1, Combining::HostLevel)
+                .host_buffer
+                .len(),
+        )
     });
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_mt_enable, bench_delayed_counter, bench_pack_width, bench_combining
+fn main() {
+    let mut b = Bench::from_args("ablations");
+    bench_mt_enable(&mut b);
+    bench_delayed_counter(&mut b);
+    bench_pack_width(&mut b);
+    bench_combining(&mut b);
 }
-criterion_main!(benches);

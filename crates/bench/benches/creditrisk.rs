@@ -1,27 +1,18 @@
 //! CreditRisk+ substrate: Monte-Carlo engine and the analytic
 //! power-series (Panjer) oracle.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dwi_bench::microbench::{black_box, Bench};
 use dwi_creditrisk::{loss_distribution, MonteCarloEngine, Portfolio};
 
-fn bench_creditrisk(c: &mut Criterion) {
-    let mut g = c.benchmark_group("creditrisk");
+fn main() {
+    let mut b = Bench::from_args("creditrisk");
     let portfolio = Portfolio::synthetic(500, 24, 1.39);
     let scenarios = 2_000u64;
-    g.throughput(Throughput::Elements(scenarios));
-    g.bench_function("monte_carlo_500_obligors", |b| {
-        let engine = MonteCarloEngine::new(portfolio.clone(), 7);
-        b.iter(|| black_box(engine.run(scenarios).losses.len()))
+    let engine = MonteCarloEngine::new(portfolio.clone(), 7);
+    b.bench_elements("monte_carlo_500_obligors", scenarios, || {
+        black_box(engine.run(scenarios).losses.len())
     });
-    g.bench_function("panjer_500_obligors_truncation_300", |b| {
-        b.iter(|| black_box(loss_distribution(&portfolio, 300).len()))
+    b.bench("panjer_500_obligors_truncation_300", || {
+        black_box(loss_distribution(&portfolio, 300).len())
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_creditrisk
-}
-criterion_main!(benches);

@@ -1,7 +1,7 @@
 //! The functional decoupled engine: threaded work-item pipelines vs the
 //! scalar reference, and the two buffer-combining strategies.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dwi_bench::microbench::{black_box, Bench};
 use dwi_core::{run_decoupled, Combining, PaperConfig, Workload};
 use dwi_rng::GammaKernel;
 
@@ -13,42 +13,27 @@ fn workload() -> Workload {
     }
 }
 
-fn bench_engine(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::from_args("decoupled_engine");
     let w = workload();
     let cfg = PaperConfig::config1();
     let total = w.scenarios_per_workitem(cfg.fpga_workitems) as u64
         * w.num_sectors as u64
         * cfg.fpga_workitems as u64;
-    let mut g = c.benchmark_group("decoupled_engine");
-    g.throughput(Throughput::Elements(total));
-    g.bench_function("decoupled_6wi_device_combining", |b| {
-        b.iter(|| {
-            let run = run_decoupled(&cfg, &w, 1, Combining::DeviceLevel);
-            black_box(run.host_buffer.len())
-        })
+    b.bench_elements("decoupled_6wi_device_combining", total, || {
+        let run = run_decoupled(&cfg, &w, 1, Combining::DeviceLevel);
+        black_box(run.host_buffer.len())
     });
-    g.bench_function("decoupled_6wi_host_combining", |b| {
-        b.iter(|| {
-            let run = run_decoupled(&cfg, &w, 1, Combining::HostLevel);
-            black_box(run.host_buffer.len())
-        })
+    b.bench_elements("decoupled_6wi_host_combining", total, || {
+        let run = run_decoupled(&cfg, &w, 1, Combining::HostLevel);
+        black_box(run.host_buffer.len())
     });
-    g.bench_function("scalar_reference_6_kernels", |b| {
-        let kcfg = cfg.kernel_config(&w, 1);
-        b.iter(|| {
-            let mut out = Vec::new();
-            for wid in 0..cfg.fpga_workitems {
-                GammaKernel::new(&kcfg, wid).run_all(&mut out);
-            }
-            black_box(out.len())
-        })
+    let kcfg = cfg.kernel_config(&w, 1);
+    b.bench_elements("scalar_reference_6_kernels", total, || {
+        let mut out = Vec::new();
+        for wid in 0..cfg.fpga_workitems {
+            GammaKernel::new(&kcfg, wid).run_all(&mut out);
+        }
+        black_box(out.len())
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_engine
-}
-criterion_main!(benches);

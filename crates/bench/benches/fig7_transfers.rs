@@ -2,59 +2,42 @@
 //! and work-item counts (the analytic model is closed-form and free; this
 //! benchmarks the simulator that cross-checks it).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwi_bench::microbench::{black_box, Bench};
 use dwi_hls::memory::BurstChannel;
 use dwi_hls::sim::{run, SimConfig};
 
-fn bench_transfers(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig7_cycle_sim");
+fn main() {
+    let mut b = Bench::from_args("fig7_cycle_sim");
     for n in [1usize, 4, 8] {
         for burst in [64u64, 256, 1024] {
-            g.bench_with_input(
-                BenchmarkId::new(format!("wi{n}"), burst),
-                &(n, burst),
-                |b, &(n, burst)| {
-                    let cfg = SimConfig {
-                        n_workitems: n,
-                        rns_per_workitem: 32_768,
-                        compute_enabled: false,
-                        reject_prob: 0.0,
-                        burst_rns: burst,
-                        channel: BurstChannel::config34(),
-                        seed: 1,
-                        trace: false,
-                        fifo_depth: 64,
-                    };
-                    b.iter(|| black_box(run(&cfg).cycles))
-                },
-            );
+            let cfg = SimConfig {
+                n_workitems: n,
+                rns_per_workitem: 32_768,
+                compute_enabled: false,
+                reject_prob: 0.0,
+                burst_rns: burst,
+                channel: BurstChannel::config34(),
+                seed: 1,
+                trace: false,
+                fifo_depth: 64,
+            };
+            b.bench(&format!("fig7_cycle_sim/wi{n}/{burst}"), || {
+                black_box(run(&cfg).cycles)
+            });
         }
     }
-    g.finish();
-}
-
-fn bench_full_kernel_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig3_full_dataflow_sim");
-    g.bench_function("6wi_rejection_0.233", |b| {
-        let cfg = SimConfig {
-            n_workitems: 6,
-            rns_per_workitem: 32_768,
-            reject_prob: 0.233,
-            burst_rns: 256,
-            channel: BurstChannel::config12(),
-            compute_enabled: true,
-            seed: 3,
-            trace: false,
-            fifo_depth: 64,
-        };
-        b.iter(|| black_box(run(&cfg).cycles))
+    let cfg = SimConfig {
+        n_workitems: 6,
+        rns_per_workitem: 32_768,
+        reject_prob: 0.233,
+        burst_rns: 256,
+        channel: BurstChannel::config12(),
+        compute_enabled: true,
+        seed: 3,
+        trace: false,
+        fifo_depth: 64,
+    };
+    b.bench("fig3_full_dataflow_sim/6wi_rejection_0.233", || {
+        black_box(run(&cfg).cycles)
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_transfers, bench_full_kernel_sim
-}
-criterion_main!(benches);

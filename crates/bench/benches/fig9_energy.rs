@@ -1,24 +1,16 @@
 //! Fig. 8/9 machinery: power-trace synthesis and marker-window integration.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dwi_bench::microbench::{black_box, Bench};
 use dwi_energy::trace::{PowerTrace, TraceConfig};
 
-fn bench_energy(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig8_fig9");
-    g.bench_function("trace_synthesis_200s_1hz", |b| {
+fn main() {
+    let mut b = Bench::from_args("fig8_fig9");
+    b.bench("trace_synthesis_200s_1hz", || {
         let cfg = TraceConfig::paper_session(40.0, 0.701);
-        b.iter(|| black_box(PowerTrace::synthesize(&cfg).samples.len()))
+        black_box(PowerTrace::synthesize(&cfg).samples.len())
     });
-    g.bench_function("dynamic_energy_integration", |b| {
-        let trace = PowerTrace::synthesize(&TraceConfig::paper_session(40.0, 0.701));
-        b.iter(|| black_box(trace.dynamic_energy_per_invocation_j()))
+    let trace = PowerTrace::synthesize(&TraceConfig::paper_session(40.0, 0.701));
+    b.bench("dynamic_energy_integration", || {
+        black_box(trace.dynamic_energy_per_invocation_j())
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_energy
-}
-criterion_main!(benches);

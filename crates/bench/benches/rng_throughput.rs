@@ -2,128 +2,108 @@
 //! gamma kernel. These are real-code benchmarks (the simulated-time numbers
 //! live in the table/figure binaries).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use dwi_bench::microbench::{black_box, Bench};
 use dwi_rng::transforms::NormalTransform;
 use dwi_rng::{
-    AdaptedMt, BlockMt, GammaKernel, IcdfCuda, IcdfFpga, KernelConfig, MarsagliaBray,
-    NormalMethod, MT19937, MT521,
+    AdaptedMt, BlockMt, GammaKernel, IcdfCuda, IcdfFpga, KernelConfig, MarsagliaBray, NormalMethod,
+    MT19937, MT521,
 };
 
 const N: u64 = 100_000;
 
-fn bench_mt(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mersenne_twister");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("block_mt19937", |b| {
-        let mut mt = BlockMt::new(MT19937, 1);
-        b.iter(|| {
-            let mut acc = 0u32;
-            for _ in 0..N {
-                acc ^= mt.next_u32();
-            }
-            black_box(acc)
-        })
+fn bench_mt(b: &mut Bench) {
+    let mut mt = BlockMt::new(MT19937, 1);
+    b.bench_elements("mersenne_twister/block_mt19937", N, || {
+        let mut acc = 0u32;
+        for _ in 0..N {
+            acc ^= mt.next_u32();
+        }
+        black_box(acc)
     });
-    g.bench_function("block_mt521", |b| {
-        let mut mt = BlockMt::new(MT521, 1);
-        b.iter(|| {
-            let mut acc = 0u32;
-            for _ in 0..N {
-                acc ^= mt.next_u32();
-            }
-            black_box(acc)
-        })
+    let mut mt = BlockMt::new(MT521, 1);
+    b.bench_elements("mersenne_twister/block_mt521", N, || {
+        let mut acc = 0u32;
+        for _ in 0..N {
+            acc ^= mt.next_u32();
+        }
+        black_box(acc)
     });
-    g.bench_function("adapted_mt19937_enabled", |b| {
-        let mut mt = AdaptedMt::new(MT19937, 1);
-        b.iter(|| {
-            let mut acc = 0u32;
-            for _ in 0..N {
-                acc ^= mt.next(true);
-            }
-            black_box(acc)
-        })
+    let mut mt = AdaptedMt::new(MT19937, 1);
+    b.bench_elements("mersenne_twister/adapted_mt19937_enabled", N, || {
+        let mut acc = 0u32;
+        for _ in 0..N {
+            acc ^= mt.next(true);
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
-fn bench_transforms(c: &mut Criterion) {
-    let mut g = c.benchmark_group("normal_transforms");
-    g.throughput(Throughput::Elements(N));
-    g.bench_function("marsaglia_bray", |b| {
-        let mut mt = BlockMt::new(MT19937, 2);
-        let mut t = MarsagliaBray::new();
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for _ in 0..N {
-                let (n, ok) = t.attempt(mt.next_u32(), mt.next_u32());
-                if ok {
-                    acc += n;
-                }
+fn bench_transforms(b: &mut Bench) {
+    let mut mt = BlockMt::new(MT19937, 2);
+    let mut t = MarsagliaBray::new();
+    b.bench_elements("normal_transforms/marsaglia_bray", N, || {
+        let mut acc = 0.0f32;
+        for _ in 0..N {
+            let (n, ok) = t.attempt(mt.next_u32(), mt.next_u32());
+            if ok {
+                acc += n;
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
-    g.bench_function("icdf_cuda", |b| {
-        let mut mt = BlockMt::new(MT19937, 2);
-        let mut t = IcdfCuda::new();
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for _ in 0..N {
-                let (n, ok) = t.attempt(mt.next_u32(), 0);
-                if ok {
-                    acc += n;
-                }
+    let mut mt = BlockMt::new(MT19937, 2);
+    let mut t = IcdfCuda::new();
+    b.bench_elements("normal_transforms/icdf_cuda", N, || {
+        let mut acc = 0.0f32;
+        for _ in 0..N {
+            let (n, ok) = t.attempt(mt.next_u32(), 0);
+            if ok {
+                acc += n;
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
-    g.bench_function("icdf_fpga_bitlevel", |b| {
-        let mut mt = BlockMt::new(MT19937, 2);
-        let mut t = IcdfFpga::new();
-        b.iter(|| {
-            let mut acc = 0.0f32;
-            for _ in 0..N {
-                let (n, ok) = t.attempt(mt.next_u32(), 0);
-                if ok {
-                    acc += n;
-                }
+    let mut mt = BlockMt::new(MT19937, 2);
+    let mut t = IcdfFpga::new();
+    b.bench_elements("normal_transforms/icdf_fpga_bitlevel", N, || {
+        let mut acc = 0.0f32;
+        for _ in 0..N {
+            let (n, ok) = t.attempt(mt.next_u32(), 0);
+            if ok {
+                acc += n;
             }
-            black_box(acc)
-        })
+        }
+        black_box(acc)
     });
-    g.finish();
 }
 
-fn bench_kernel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("gamma_kernel");
+fn bench_kernel(b: &mut Bench) {
     let outputs = 50_000u32;
-    g.throughput(Throughput::Elements(outputs as u64));
     for (name, normal) in [
-        ("config1_mbray_mt19937", NormalMethod::MarsagliaBray),
-        ("config3_icdf_mt19937", NormalMethod::IcdfFpga),
+        (
+            "gamma_kernel/config1_mbray_mt19937",
+            NormalMethod::MarsagliaBray,
+        ),
+        ("gamma_kernel/config3_icdf_mt19937", NormalMethod::IcdfFpga),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg = KernelConfig {
-                    normal,
-                    limit_main: outputs,
-                    limit_sec: 1,
-                    ..KernelConfig::default()
-                };
-                let mut k = GammaKernel::new(&cfg, 0);
-                let mut out = Vec::with_capacity(outputs as usize);
-                k.run_all(&mut out);
-                black_box(out.len())
-            })
+        b.bench_elements(name, outputs as u64, || {
+            let cfg = KernelConfig {
+                normal,
+                limit_main: outputs,
+                limit_sec: 1,
+                ..KernelConfig::default()
+            };
+            let mut k = GammaKernel::new(&cfg, 0);
+            let mut out = Vec::with_capacity(outputs as usize);
+            k.run_all(&mut out);
+            black_box(out.len())
         });
     }
-    g.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_mt, bench_transforms, bench_kernel
+fn main() {
+    let mut b = Bench::from_args("rng_throughput");
+    bench_mt(&mut b);
+    bench_transforms(&mut b);
+    bench_kernel(&mut b);
 }
-criterion_main!(benches);

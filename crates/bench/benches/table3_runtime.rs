@@ -2,35 +2,23 @@
 //! calibration runs + platform models) that regenerates the paper's main
 //! result table.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dwi_bench::microbench::{black_box, Bench};
 use dwi_core::experiment::{measure_rejection_overhead, table3};
 use dwi_core::Workload;
 use dwi_rng::{NormalMethod, MT19937};
 
-fn bench_table3(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table3");
-    g.bench_function("full_table_calibration_10k", |b| {
-        b.iter(|| {
-            let t = table3(&Workload::paper(), 10_000);
-            black_box(t.rows.len())
-        })
+fn main() {
+    let mut b = Bench::from_args("table3");
+    b.bench("full_table_calibration_10k", || {
+        let t = table3(&Workload::paper(), 10_000);
+        black_box(t.rows.len())
     });
-    g.bench_function("rejection_calibration_mbray_10k", |b| {
-        b.iter(|| {
-            black_box(measure_rejection_overhead(
-                NormalMethod::MarsagliaBray,
-                MT19937,
-                1.39,
-                10_000,
-            ))
-        })
+    b.bench("rejection_calibration_mbray_10k", || {
+        black_box(measure_rejection_overhead(
+            NormalMethod::MarsagliaBray,
+            MT19937,
+            1.39,
+            10_000,
+        ))
     });
-    g.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_table3
-}
-criterion_main!(benches);

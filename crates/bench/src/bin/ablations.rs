@@ -37,15 +37,28 @@ fn main() {
         } else {
             format!("{width} lanes lockstep")
         };
-        t.row(&[label, f(d, 3), format!("{:.2}x", d / divergence_factor(0.233, 1))]);
+        t.row(&[
+            label,
+            f(d, 3),
+            format!("{:.2}x", d / divergence_factor(0.233, 1)),
+        ]);
     }
     println!("{}", t.render());
 
     // --- Ablation 3: burst packing width ---
     println!("Ablation 3 — memory interface packing width (Section III-D):\n");
     let ch = BurstChannel::config34();
-    let mut t = TextTable::new(&["pack width", "effective bandwidth [GB/s]", "transfer bound [ms]"]);
-    for (label, lanes) in [("32 bit (1 f32)", 1u64), ("128 bit", 4), ("256 bit", 8), ("512 bit", 16)] {
+    let mut t = TextTable::new(&[
+        "pack width",
+        "effective bandwidth [GB/s]",
+        "transfer bound [ms]",
+    ]);
+    for (label, lanes) in [
+        ("32 bit (1 f32)", 1u64),
+        ("128 bit", 4),
+        ("256 bit", 8),
+        ("512 bit", 16),
+    ] {
         // Narrower packing multiplies the beats per burst.
         let scaled = BurstChannel {
             cycles_per_beat: ch.cycles_per_beat * (16 / lanes),

@@ -2,6 +2,7 @@
 //! keeps every lane busy; (b) the divergent gamma kernel idles lanes on a
 //! fixed architecture; (c) decoupled work-items never idle.
 
+use dwi_bench::obs::ObsArgs;
 use dwi_ocl::masked::{listing2_blocks, run_masked, LaneMask};
 use dwi_ocl::simt::run_lockstep;
 use dwi_rng::{GammaKernel, KernelConfig, NormalMethod};
@@ -42,7 +43,15 @@ fn render_rounds(traces: &[Vec<u32>], rounds: usize) -> String {
         let round_max = traces.iter().map(|t| t[j]).max().unwrap();
         for (lane, t) in traces.iter().enumerate() {
             for k in 0..round_max {
-                rows[lane].push(if k < t[j] { if k + 1 == t[j] { '#' } else { 'o' } } else { '.' });
+                rows[lane].push(if k < t[j] {
+                    if k + 1 == t[j] {
+                        '#'
+                    } else {
+                        'o'
+                    }
+                } else {
+                    '.'
+                });
             }
             rows[lane].push(' ');
         }
@@ -117,5 +126,26 @@ fn main() {
                 100.0 * frac
             );
         }
+    }
+
+    // --trace / --metrics: run the functional decoupled engine traced and
+    // export the Fig. 2(c) behaviour as a real timeline — every work-item's
+    // compute and transfer process on its own track, no lockstep idling.
+    let obs = ObsArgs::from_env();
+    if obs.enabled() {
+        use dwi_core::{DecoupledRunner, PaperConfig, Workload};
+        let rec = dwi_trace::Recorder::new();
+        DecoupledRunner::new(
+            &PaperConfig::config1(),
+            &Workload {
+                num_scenarios: 24_576,
+                num_sectors: 2,
+                sector_variance: 1.39,
+            },
+        )
+        .seed(2)
+        .trace(rec.sink())
+        .run();
+        obs.write(&rec);
     }
 }

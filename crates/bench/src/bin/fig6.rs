@@ -16,7 +16,11 @@ fn main() {
             "\nKS test vs Gamma(1/{v}, {v}): D = {:.5}, p = {:.4} -> {}",
             ks.statistic,
             ks.p_value,
-            if ks.accepts(0.001) { "ACCEPT" } else { "REJECT" }
+            if ks.accepts(0.001) {
+                "ACCEPT"
+            } else {
+                "REJECT"
+            }
         );
         let (under, over) = hist.out_of_range();
         println!("out-of-range samples: {under} below, {over} above (top 0.1% tail)\n");

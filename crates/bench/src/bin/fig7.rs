@@ -2,11 +2,59 @@
 //! analytic model cross-checked by the cycle-level simulator.
 
 use dwi_bench::figures::fig7_data;
+use dwi_bench::obs::ObsArgs;
 use dwi_bench::render::{f, TextTable};
 use dwi_hls::memory::BurstChannel;
-use dwi_hls::sim::{run, SimConfig};
+use dwi_hls::sim::{run, SimConfig, SimResult};
+use dwi_trace::{chrome, EventKind, ProcessKind, Registry, TraceEvent, TrackId};
+
+/// Export the cycle-level burst schedule as a Chrome trace / Prometheus
+/// snapshot. The simulator reports cycles, not wall time, so the events
+/// are built by hand at `cycle / freq_hz` rather than through a
+/// [`dwi_trace::Recorder`].
+fn export_sim(obs: &ObsArgs, cfg: &SimConfig, r: &SimResult) {
+    if let Some(path) = &obs.trace {
+        let to_ns = |cyc: u64| (cyc as f64 * 1e9 / cfg.channel.freq_hz) as u64;
+        let events: Vec<TraceEvent> = r
+            .bursts
+            .iter()
+            .map(|b| TraceEvent {
+                track: TrackId::new(b.wid as u32, ProcessKind::Transfer),
+                name: "burst".into(),
+                ts_ns: to_ns(b.start),
+                kind: EventKind::Span {
+                    dur_ns: to_ns(b.end) - to_ns(b.start),
+                },
+            })
+            .collect();
+        std::fs::write(path, chrome::to_chrome_json(&events)).expect("write trace file");
+        println!(
+            "trace written to {} (load in https://ui.perfetto.dev)",
+            path.display()
+        );
+    }
+    if let Some(path) = &obs.metrics {
+        let reg = Registry::new();
+        for b in &r.bursts {
+            let wid = b.wid.to_string();
+            reg.counter("dwi_sim_bursts_total", &[("wid", &wid)]).inc();
+        }
+        reg.counter("dwi_sim_channel_busy_cycles_total", &[])
+            .add(r.channel_busy);
+        reg.set_gauge("dwi_sim_channel_utilization", &[], r.channel_utilization());
+        for (wid, (stalls, hw)) in r.compute_stalls.iter().zip(&r.fifo_high_water).enumerate() {
+            let wid = wid.to_string();
+            reg.counter("dwi_sim_compute_stall_cycles_total", &[("wid", &wid)])
+                .add(*stalls);
+            reg.set_gauge("dwi_sim_fifo_high_water", &[("wid", &wid)], *hw as f64);
+        }
+        std::fs::write(path, reg.render_prometheus()).expect("write metrics file");
+        println!("metrics written to {}", path.display());
+    }
+}
 
 fn main() {
+    let obs = ObsArgs::from_env();
     for (label, channel) in [
         ("Config1,2 bitstream (6-WI P&R)", BurstChannel::config12()),
         ("Config3,4 bitstream (8-WI P&R)", BurstChannel::config34()),
@@ -35,10 +83,14 @@ fn main() {
             burst_rns: 256,
             channel: ch,
             seed: 1,
-            trace: false,
+            trace: obs.trace.is_some(),
             fifo_depth: 64,
         };
         let r = run(&cfg);
+        if n == 8 {
+            // Export the 8-WI schedule (the Fig. 3 interleaving pattern).
+            export_sim(&obs, &cfg, &r);
+        }
         let bytes = (cfg.rns_per_workitem * n * 4) as f64;
         let bw = bytes * ch.freq_hz / r.cycles as f64 / 1e9;
         println!(

@@ -1,20 +1,20 @@
 //! Full distribution-validation battery (the Fig. 6 methodology) across
 //! all four configurations and several sector variances.
 
+use dwi_bench::obs::ObsArgs;
 use dwi_bench::render::TextTable;
-use dwi_core::{run_decoupled, validate_run, Combining, PaperConfig, Workload};
+use dwi_core::{validate_run, Combining, DecoupledRunner, PaperConfig, Workload};
+use dwi_trace::Recorder;
 
 fn main() {
-    let mut t = TextTable::new(&[
-        "Config",
-        "v",
-        "n",
-        "mean",
-        "var",
-        "KS p",
-        "AD p",
-        "verdict",
-    ]);
+    let obs = ObsArgs::from_env();
+    let rec = Recorder::new();
+    let sink = if obs.enabled() {
+        rec.sink()
+    } else {
+        dwi_trace::TraceSink::disabled()
+    };
+    let mut t = TextTable::new(&["Config", "v", "n", "mean", "var", "KS p", "AD p", "verdict"]);
     for cfg in PaperConfig::all() {
         for v in [0.5f32, 1.39, 13.9] {
             let w = Workload {
@@ -22,7 +22,11 @@ fn main() {
                 num_sectors: 1,
                 sector_variance: v,
             };
-            let run = run_decoupled(&cfg, &w, 0xC0FFEE, Combining::DeviceLevel);
+            let run = DecoupledRunner::new(&cfg, &w)
+                .seed(0xC0FFEE)
+                .combining(Combining::DeviceLevel)
+                .trace(sink.clone())
+                .run();
             let report = validate_run(&run, cfg.fpga_workitems, v as f64, 40_000);
             t.row(&[
                 cfg.name(),
@@ -39,4 +43,5 @@ fn main() {
     println!("Distribution validation (Fig. 6 methodology, KS + Anderson-Darling):\n");
     println!("{}", t.render());
     println!("expected: mean 1.0 and variance v for every cell (Gamma(1/v, v)).");
+    obs.write(&rec);
 }

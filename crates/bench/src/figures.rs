@@ -15,7 +15,11 @@ pub fn table1_rows() -> Vec<(String, &'static str, u32, usize)> {
         .map(|c| {
             (
                 c.name(),
-                if c.is_bray() { "Marsaglia-Bray" } else { "ICDF" },
+                if c.is_bray() {
+                    "Marsaglia-Bray"
+                } else {
+                    "ICDF"
+                },
                 c.mt.exponent,
                 c.mt.n,
             )
@@ -243,8 +247,7 @@ pub fn rejection_sweep(samples: u32) -> Vec<(f32, f64, f64)> {
     [0.1f32, 1.39, 13.9, 100.0]
         .into_iter()
         .map(|v| {
-            let bray =
-                measure_rejection_overhead(NormalMethod::MarsagliaBray, MT19937, v, samples);
+            let bray = measure_rejection_overhead(NormalMethod::MarsagliaBray, MT19937, v, samples);
             let icdf = measure_rejection_overhead(NormalMethod::IcdfFpga, MT521, v, samples);
             (v, bray, icdf)
         })
@@ -272,7 +275,10 @@ mod tests {
         for (name, wi, s, _, _, corrected, binding) in table2_rows() {
             assert!(binding == "slices", "{name}");
             assert!((52.0..54.0).contains(&s), "{name}: slices {s}");
-            assert!((77.0..83.0).contains(&corrected), "{name}: corrected {corrected}");
+            assert!(
+                (77.0..83.0).contains(&corrected),
+                "{name}: corrected {corrected}"
+            );
             assert!(wi == 6 || wi == 8);
         }
     }

@@ -1,6 +1,6 @@
 //! # dwi-bench — experiment harness
 //!
-//! Shared assembly code for the binaries and Criterion benches that
+//! Shared assembly code for the binaries and benches that
 //! regenerate every table and figure of the paper:
 //!
 //! | Artifact | Binary | Data builder |
@@ -18,4 +18,6 @@
 //! | §IV-E rates | `rejection_rates` | [`figures::rejection_sweep`] |
 
 pub mod figures;
+pub mod microbench;
+pub mod obs;
 pub mod render;

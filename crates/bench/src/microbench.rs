@@ -1,0 +1,217 @@
+//! A minimal wall-clock micro-benchmark harness for the `harness = false`
+//! bench targets.
+//!
+//! Each target builds a [`Bench`], registers closures with
+//! [`Bench::bench`], and the harness times them: a warmup pass, then
+//! repeated timed samples, reporting min/median/mean per iteration.
+//! `--quick` (or `DWI_BENCH_QUICK=1`) drops to one sample for CI smoke
+//! runs; a single positional argument filters benchmarks by substring,
+//! mirroring `cargo bench -- <filter>`.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; prevents the optimizer from deleting the
+/// benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// One benchmark suite (one `[[bench]]` target).
+pub struct Bench {
+    group: String,
+    filter: Option<String>,
+    samples: usize,
+    min_sample_time: Duration,
+    results: Vec<Record>,
+}
+
+/// The timing record for a single benchmark.
+#[derive(Debug, Clone)]
+pub struct Record {
+    pub name: String,
+    /// Per-iteration times of each sample, sorted ascending.
+    pub sample_ns: Vec<f64>,
+    /// Optional elements-per-iteration for throughput reporting.
+    pub throughput: Option<u64>,
+}
+
+impl Record {
+    pub fn median_ns(&self) -> f64 {
+        let n = self.sample_ns.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            self.sample_ns[n / 2]
+        } else {
+            0.5 * (self.sample_ns[n / 2 - 1] + self.sample_ns[n / 2])
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:8.1} ns")
+    } else if ns < 1e6 {
+        format!("{:8.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:8.2} ms", ns / 1e6)
+    } else {
+        format!("{:8.2} s ", ns / 1e9)
+    }
+}
+
+impl Bench {
+    /// Parse CLI args (`--quick`, a substring filter) and build the suite.
+    pub fn from_args(group: &str) -> Self {
+        let mut quick = std::env::var("DWI_BENCH_QUICK")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                // `cargo bench` passes --bench to harness=false targets.
+                "--bench" | "--test" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        let (samples, min_sample_time) = if quick {
+            (1, Duration::from_millis(1))
+        } else {
+            (7, Duration::from_millis(20))
+        };
+        println!("# {group}");
+        Bench {
+            group: group.to_string(),
+            filter,
+            samples,
+            min_sample_time,
+            results: Vec::new(),
+        }
+    }
+
+    /// Time `f` and record the result. The closure is one iteration.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, f: F) -> &mut Self {
+        self.bench_throughput(name, None, f)
+    }
+
+    /// Like [`Bench::bench`] with an elements-per-iteration count, so the
+    /// report includes a rate.
+    pub fn bench_elements<R, F: FnMut() -> R>(
+        &mut self,
+        name: &str,
+        elements: u64,
+        f: F,
+    ) -> &mut Self {
+        self.bench_throughput(name, Some(elements), f)
+    }
+
+    fn bench_throughput<R, F: FnMut() -> R>(
+        &mut self,
+        name: &str,
+        throughput: Option<u64>,
+        mut f: F,
+    ) -> &mut Self {
+        if let Some(flt) = &self.filter {
+            if !name.contains(flt.as_str()) && !self.group.contains(flt.as_str()) {
+                return self;
+            }
+        }
+        // Warmup + calibration: how many iterations fill min_sample_time?
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed();
+        let iters = if once >= self.min_sample_time {
+            1
+        } else {
+            let target = self.min_sample_time.as_nanos() as u64;
+            (target / once.as_nanos().max(1) as u64).clamp(1, 1_000_000)
+        };
+        let mut sample_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            sample_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rec = Record {
+            name: name.to_string(),
+            sample_ns,
+            throughput,
+        };
+        let med = rec.median_ns();
+        let min = rec.sample_ns.first().copied().unwrap_or(0.0);
+        let rate = throughput
+            .map(|e| format!("  {:10.2} Melem/s", e as f64 / med * 1e3))
+            .unwrap_or_default();
+        println!(
+            "{:<44} median {}  min {}{rate}",
+            rec.name,
+            fmt_ns(med),
+            fmt_ns(min)
+        );
+        self.results.push(rec);
+        self
+    }
+
+    /// Finished records (for tests and custom reporting).
+    pub fn results(&self) -> &[Record] {
+        &self.results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_positive_samples() {
+        let mut b = Bench {
+            group: "t".into(),
+            filter: None,
+            samples: 3,
+            min_sample_time: Duration::from_micros(50),
+            results: Vec::new(),
+        };
+        let mut x = 0u64;
+        b.bench("spin", || {
+            for i in 0..100u64 {
+                x = x.wrapping_add(black_box(i));
+            }
+            x
+        });
+        let r = &b.results()[0];
+        assert_eq!(r.sample_ns.len(), 3);
+        assert!(r.median_ns() > 0.0);
+        assert!(r.sample_ns.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut b = Bench {
+            group: "t".into(),
+            filter: Some("zzz".into()),
+            samples: 1,
+            min_sample_time: Duration::from_micros(1),
+            results: Vec::new(),
+        };
+        b.bench("spin", || 1u32);
+        assert!(b.results().is_empty());
+    }
+
+    #[test]
+    fn median_of_even_count_averages() {
+        let r = Record {
+            name: "x".into(),
+            sample_ns: vec![1.0, 3.0],
+            throughput: None,
+        };
+        assert_eq!(r.median_ns(), 2.0);
+    }
+}

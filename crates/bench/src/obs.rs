@@ -1,0 +1,80 @@
+//! Shared `--trace <out.json>` / `--metrics <out.prom>` plumbing for the
+//! figure binaries: parse the flags, and write the recorder's exports when
+//! the run finishes.
+
+use dwi_trace::Recorder;
+use std::path::PathBuf;
+
+/// The observability flags of a figure binary.
+#[derive(Debug, Default, Clone)]
+pub struct ObsArgs {
+    /// `--trace <path>`: write a Chrome trace-event JSON (Perfetto) file.
+    pub trace: Option<PathBuf>,
+    /// `--metrics <path>`: write a Prometheus text-format snapshot.
+    pub metrics: Option<PathBuf>,
+}
+
+impl ObsArgs {
+    /// Parse `--trace` / `--metrics` from `std::env::args`, ignoring
+    /// anything else (the binaries have no other flags).
+    pub fn from_env() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--trace" => out.trace = args.next().map(PathBuf::from),
+                "--metrics" => out.metrics = args.next().map(PathBuf::from),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// True when either output was requested (callers skip building a
+    /// recorder otherwise).
+    pub fn enabled(&self) -> bool {
+        self.trace.is_some() || self.metrics.is_some()
+    }
+
+    /// Write the requested exports, reporting each file on stdout.
+    pub fn write(&self, rec: &Recorder) {
+        if let Some(path) = &self.trace {
+            rec.write_chrome_trace(path).expect("write trace file");
+            println!(
+                "trace written to {} (load in https://ui.perfetto.dev)",
+                path.display()
+            );
+        }
+        if let Some(path) = &self.metrics {
+            rec.write_prometheus(path).expect("write metrics file");
+            println!("metrics written to {}", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        let a = ObsArgs::default();
+        assert!(!a.enabled());
+    }
+
+    #[test]
+    fn write_emits_requested_files() {
+        let dir = std::env::temp_dir().join("dwi_obs_args_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let args = ObsArgs {
+            trace: Some(dir.join("t.json")),
+            metrics: Some(dir.join("m.prom")),
+        };
+        let rec = Recorder::new();
+        rec.track(0, dwi_trace::ProcessKind::Host).instant("x");
+        args.write(&rec);
+        assert!(args.trace.as_ref().unwrap().exists());
+        assert!(args.metrics.as_ref().unwrap().exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -248,7 +248,8 @@ mod tests {
         for cfg in PaperConfig::all() {
             let fit = max_workitems(&cfg.workitem_blocks(), &XC7VX690T);
             assert_eq!(
-                fit, cfg.fpga_workitems,
+                fit,
+                cfg.fpga_workitems,
                 "{}: fit {fit} vs paper {}",
                 cfg.name(),
                 cfg.fpga_workitems

@@ -147,8 +147,8 @@ mod tests {
         let cfg = PaperConfig::config3();
         let w = workload();
         let (run, lanes) = run_coupled(&cfg, &w, 5, 8);
-        let gain =
-            run.runtime_s(200e6) / run.decoupled_runtime_s(200e6, lanes.iter().copied().max().unwrap());
+        let gain = run.runtime_s(200e6)
+            / run.decoupled_runtime_s(200e6, lanes.iter().copied().max().unwrap());
         assert!(gain < 1.2, "ICDF coupling gain should be small, got {gain}");
     }
 

@@ -11,9 +11,10 @@
 
 use crate::config::{PaperConfig, Workload};
 use crate::device_memory::DeviceMemory;
-use crate::transfer::{transfer, TransferStats};
+use crate::transfer::{transfer_traced, TransferStats};
 use dwi_hls::stream::Stream;
 use dwi_rng::{GammaKernel, RejectionStats};
+use dwi_trace::{ProcessKind, TraceSink};
 
 /// How the host combines per-work-item output buffers (Section III-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +42,9 @@ pub struct DecoupledRun {
     pub transfers: Vec<TransferStats>,
     /// Stream depth high-water marks per work-item.
     pub stream_high_water: Vec<usize>,
+    /// Per-work-item `(write stalls, read stalls)` of the compute→transfer
+    /// stream — the back-pressure telemetry of `dwi_hls::stream`.
+    pub stream_stalls: Vec<(u64, u64)>,
     /// Valid outputs per work-item (quota × sectors).
     pub outputs_per_workitem: u64,
 }
@@ -60,90 +64,197 @@ impl DecoupledRun {
 /// Depth of the compute→transfer stream (hls::stream) used by the engine.
 const STREAM_DEPTH: usize = 64;
 
+/// Builder-style front end for the decoupled engine.
+///
+/// [`run_decoupled`] covers the common case; the builder adds the knobs
+/// that default sensibly — stream depth and, centrally, a [`TraceSink`]
+/// for the observability layer:
+///
+/// ```no_run
+/// use dwi_core::{Combining, DecoupledRunner, PaperConfig, Workload};
+/// use dwi_trace::Recorder;
+///
+/// let rec = Recorder::new();
+/// let run = DecoupledRunner::new(&PaperConfig::config1(), &Workload::paper())
+///     .seed(7)
+///     .combining(Combining::DeviceLevel)
+///     .trace(rec.sink())
+///     .run();
+/// rec.write_chrome_trace(std::path::Path::new("timeline.json")).unwrap();
+/// # let _ = run;
+/// ```
+#[derive(Clone)]
+pub struct DecoupledRunner<'a> {
+    cfg: &'a PaperConfig,
+    workload: &'a Workload,
+    seed: u64,
+    combining: Combining,
+    stream_depth: usize,
+    sink: TraceSink,
+}
+
+impl<'a> DecoupledRunner<'a> {
+    /// A runner with the defaults of [`run_decoupled`]: seed 1,
+    /// device-level combining, depth-64 streams, tracing off.
+    pub fn new(cfg: &'a PaperConfig, workload: &'a Workload) -> Self {
+        Self {
+            cfg,
+            workload,
+            seed: 1,
+            combining: Combining::DeviceLevel,
+            stream_depth: STREAM_DEPTH,
+            sink: TraceSink::disabled(),
+        }
+    }
+
+    /// Base seed for the per-work-item generator streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Host buffer-combining strategy (Section III-E).
+    pub fn combining(mut self, combining: Combining) -> Self {
+        self.combining = combining;
+        self
+    }
+
+    /// Depth of each compute→transfer FIFO (must be positive).
+    pub fn stream_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "stream depth must be positive");
+        self.stream_depth = depth;
+        self
+    }
+
+    /// Attach a trace sink: the run records compute/transfer timelines,
+    /// stall spans, burst spans, rejection events and the full metrics
+    /// set. The default [`TraceSink::disabled`] costs one branch per
+    /// recording site.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Execute the decoupled engine with the configured options.
+    pub fn run(&self) -> DecoupledRun {
+        let cfg = self.cfg;
+        let workload = self.workload;
+        let n = cfg.fpga_workitems as usize;
+        let quota = workload.scenarios_per_workitem(cfg.fpga_workitems) as u64;
+        let outputs_per_wi = quota * workload.num_sectors as u64;
+        let words_per_wi = (outputs_per_wi as usize).div_ceil(16);
+        let base_kcfg = cfg.kernel_config(workload, self.seed);
+
+        let mut memory = DeviceMemory::new(n, words_per_wi);
+        let mut rejection = RejectionStats::new();
+        let mut iterations = vec![0u64; n];
+        let mut transfers = vec![TransferStats::default(); n];
+        let mut high_water = vec![0usize; n];
+        let mut stalls = vec![(0u64, 0u64); n];
+
+        {
+            let regions = memory.split_regions();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for (wid, region) in regions.into_iter().enumerate() {
+                    let kcfg = base_kcfg;
+                    let sink = &self.sink;
+                    // Listing 1: each work-item gets its unique id at design
+                    // time and its own stream + transfer function.
+                    let (mut tx, mut rx) = Stream::<f32>::with_depth(self.stream_depth);
+                    tx.attach_track(sink.track(wid as u32, ProcessKind::Compute));
+                    rx.attach_track(sink.track(wid as u32, ProcessKind::Transfer));
+                    let compute = scope.spawn(move || {
+                        let track = sink.track(wid as u32, ProcessKind::Compute);
+                        let wid_label = (wid as u32).to_string();
+                        let mut kernel = GammaKernel::new(&kcfg, wid as u32);
+                        let mut iters = 0u64;
+                        for sector in 0..kcfg.limit_sec {
+                            let t0 = track.now_ns();
+                            let run = kernel.run_sector_traced(|g| tx.write(g), &track);
+                            track.span_since(format!("sector {sector}"), t0);
+                            track.observe(
+                                "dwi_sector_latency_seconds",
+                                &[("wid", &wid_label)],
+                                (track.now_ns() - t0) as f64 * 1e-9,
+                            );
+                            assert!(!run.truncated, "limitMax bound hit in sector run");
+                            iters += run.iterations;
+                        }
+                        track
+                            .counter("dwi_workitem_iterations_total", &[("wid", &wid_label)])
+                            .add(iters);
+                        let stats = *kernel.combined_stats();
+                        drop(tx); // close the stream: transfer drains and exits
+                        (iters, stats)
+                    });
+                    let burst_words = (cfg.burst_rns as usize) / 16;
+                    let xfer = scope.spawn(move || {
+                        let track = sink.track(wid as u32, ProcessKind::Transfer);
+                        let stats = transfer_traced(&rx, region, burst_words, &track);
+                        // The stream is closed and drained here, so these
+                        // totals are final.
+                        (stats, rx.high_water(), rx.stalls())
+                    });
+                    handles.push((wid, compute, xfer));
+                }
+                for (wid, compute, xfer) in handles {
+                    let (iters, stats) = compute.join().expect("compute thread panicked");
+                    let (tstats, hw, st) = xfer.join().expect("transfer thread panicked");
+                    iterations[wid] = iters;
+                    rejection.merge(&stats);
+                    transfers[wid] = tstats;
+                    high_water[wid] = hw;
+                    stalls[wid] = st;
+                }
+            });
+        }
+
+        let host_track = self.sink.track(0, ProcessKind::Host);
+        let t_combine = host_track.now_ns();
+        let host_buffer = match self.combining {
+            // One device buffer, one read request.
+            Combining::DeviceLevel => memory.read_to_host(),
+            // N buffers read back one by one into one host buffer at offsets
+            // wid · L/N — byte-identical layout by construction (tested).
+            Combining::HostLevel => {
+                let mut host = vec![0f32; memory.len_f32()];
+                let region_len = words_per_wi * 16;
+                for wid in 0..n {
+                    let part = memory.read_region(wid);
+                    host[wid * region_len..(wid + 1) * region_len].copy_from_slice(&part);
+                }
+                host
+            }
+        };
+        host_track.span_since("combine", t_combine);
+        drop(host_track);
+
+        DecoupledRun {
+            host_buffer,
+            rejection,
+            iterations,
+            transfers,
+            stream_high_water: high_water,
+            stream_stalls: stalls,
+            outputs_per_workitem: outputs_per_wi,
+        }
+    }
+}
+
 /// Run the decoupled design functionally: `cfg.fpga_workitems` independent
-/// work-item pipelines, each a compute thread + transfer thread.
+/// work-item pipelines, each a compute thread + transfer thread. Thin
+/// wrapper over [`DecoupledRunner`] with tracing disabled.
 pub fn run_decoupled(
     cfg: &PaperConfig,
     workload: &Workload,
     seed: u64,
     combining: Combining,
 ) -> DecoupledRun {
-    let n = cfg.fpga_workitems as usize;
-    let quota = workload.scenarios_per_workitem(cfg.fpga_workitems) as u64;
-    let outputs_per_wi = quota * workload.num_sectors as u64;
-    let words_per_wi = (outputs_per_wi as usize).div_ceil(16);
-    let base_kcfg = cfg.kernel_config(workload, seed);
-
-    let mut memory = DeviceMemory::new(n, words_per_wi);
-    let mut rejection = RejectionStats::new();
-    let mut iterations = vec![0u64; n];
-    let mut transfers = vec![TransferStats::default(); n];
-    let mut high_water = vec![0usize; n];
-
-    {
-        let regions = memory.split_regions();
-        crossbeam::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(n);
-            for (wid, region) in regions.into_iter().enumerate() {
-                let kcfg = base_kcfg;
-                // Listing 1: each work-item gets its unique id at design
-                // time and its own stream + transfer function.
-                let (tx, rx) = Stream::<f32>::with_depth(STREAM_DEPTH);
-                let compute = scope.spawn(move |_| {
-                    let mut kernel = GammaKernel::new(&kcfg, wid as u32);
-                    let mut iters = 0u64;
-                    for _ in 0..kcfg.limit_sec {
-                        let run = kernel.run_sector(|g| tx.write(g));
-                        assert!(!run.truncated, "limitMax bound hit in sector run");
-                        iters += run.iterations;
-                    }
-                    let stats = *kernel.combined_stats();
-                    drop(tx); // close the stream: transfer drains and exits
-                    (iters, stats)
-                });
-                let burst_words = (cfg.burst_rns as usize) / 16;
-                let xfer = scope.spawn(move |_| {
-                    let stats = transfer(&rx, region, burst_words);
-                    (stats, rx.high_water())
-                });
-                handles.push((wid, compute, xfer));
-            }
-            for (wid, compute, xfer) in handles {
-                let (iters, stats) = compute.join().expect("compute thread panicked");
-                let (tstats, hw) = xfer.join().expect("transfer thread panicked");
-                iterations[wid] = iters;
-                rejection.merge(&stats);
-                transfers[wid] = tstats;
-                high_water[wid] = hw;
-            }
-        })
-        .expect("dataflow scope panicked");
-    }
-
-    let host_buffer = match combining {
-        // One device buffer, one read request.
-        Combining::DeviceLevel => memory.read_to_host(),
-        // N buffers read back one by one into one host buffer at offsets
-        // wid · L/N — byte-identical layout by construction (tested).
-        Combining::HostLevel => {
-            let mut host = vec![0f32; memory.len_f32()];
-            let region_len = words_per_wi * 16;
-            for wid in 0..n {
-                let part = memory.read_region(wid);
-                host[wid * region_len..(wid + 1) * region_len].copy_from_slice(&part);
-            }
-            host
-        }
-    };
-
-    DecoupledRun {
-        host_buffer,
-        rejection,
-        iterations,
-        transfers,
-        stream_high_water: high_water,
-        outputs_per_workitem: outputs_per_wi,
-    }
+    DecoupledRunner::new(cfg, workload)
+        .seed(seed)
+        .combining(combining)
+        .run()
 }
 
 #[cfg(test)]
@@ -240,7 +351,74 @@ mod tests {
         );
         let min = run.iterations.iter().min().unwrap();
         let max = run.iterations.iter().max().unwrap();
-        assert!(max > min, "independent streams should differ: {:?}", run.iterations);
+        assert!(
+            max > min,
+            "independent streams should differ: {:?}",
+            run.iterations
+        );
+    }
+
+    #[test]
+    fn depth1_stream_surfaces_write_stalls() {
+        // Satellite invariant: with a depth-1 FIFO the transfer engine
+        // (which pauses to pack and burst) back-pressures the compute
+        // threads, and the run must report it.
+        let run = DecoupledRunner::new(&PaperConfig::config1(), &small_workload())
+            .seed(2)
+            .stream_depth(1)
+            .run();
+        assert_eq!(run.stream_stalls.len(), 6);
+        let write_stalls: u64 = run.stream_stalls.iter().map(|&(w, _)| w).sum();
+        assert!(write_stalls > 0, "depth-1 streams must stall writes");
+    }
+
+    #[test]
+    fn traced_run_records_all_tracks_and_metrics() {
+        use dwi_trace::Recorder;
+        let rec = Recorder::new();
+        let cfg = PaperConfig::config1();
+        let run = DecoupledRunner::new(&cfg, &small_workload())
+            .seed(4)
+            .trace(rec.sink())
+            .run();
+        // Identical output to the untraced engine.
+        let plain = run_decoupled(&cfg, &small_workload(), 4, Combining::DeviceLevel);
+        assert_eq!(run.host_buffer, plain.host_buffer);
+        // Every work-item contributes a compute and a transfer track.
+        let events = rec.events();
+        for wid in 0..cfg.fpga_workitems {
+            use dwi_trace::{ProcessKind, TrackId};
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.track == TrackId::new(wid, ProcessKind::Compute)),
+                "missing compute track for wi{wid}"
+            );
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.track == TrackId::new(wid, ProcessKind::Transfer)),
+                "missing transfer track for wi{wid}"
+            );
+        }
+        // Metrics: iterations and bursts accounted per work-item.
+        for wid in 0..cfg.fpga_workitems as usize {
+            let key = format!("dwi_workitem_iterations_total{{wid=\"{wid}\"}}");
+            assert_eq!(
+                rec.metrics().counter_value(&key),
+                Some(run.iterations[wid]),
+                "{key}"
+            );
+            let key = format!("dwi_transfer_bursts_total{{wid=\"{wid}\"}}");
+            assert_eq!(
+                rec.metrics().counter_value(&key),
+                Some(run.transfers[wid].bursts),
+                "{key}"
+            );
+        }
+        let prom = rec.prometheus();
+        assert!(prom.contains("dwi_rejection_retries_total"));
+        assert!(prom.contains("dwi_sector_latency_seconds"));
     }
 
     #[test]

@@ -39,10 +39,10 @@ pub mod validation;
 
 pub use config::{IcdfStyle, PaperConfig, Workload};
 pub use coupled::{run_coupled, CoupledRun};
-pub use decoupled::{run_decoupled, Combining, DecoupledRun};
-pub use generic::{run_decoupled_app, GenericRun, TruncatedNormal, WorkItemApp};
-pub use ndrange_variant::{ndrange_runtime_s, run_ndrange, NdRangeRun};
-pub use validation::{validate_run, ValidationReport};
+pub use decoupled::{run_decoupled, Combining, DecoupledRun, DecoupledRunner};
 pub use device_memory::DeviceMemory;
 pub use experiment::{table3, PlatformRuntime, Table3, Table3Row};
+pub use generic::{run_decoupled_app, GenericRun, TruncatedNormal, WorkItemApp};
 pub use model::{eq1_runtime_s, FpgaRuntimeModel};
+pub use ndrange_variant::{ndrange_runtime_s, run_ndrange, NdRangeRun, NdRangeRunner};
+pub use validation::{validate_run, ValidationReport};

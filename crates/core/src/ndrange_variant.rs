@@ -16,6 +16,7 @@
 use crate::config::{PaperConfig, Workload};
 use dwi_rng::GammaKernel;
 use dwi_rng::RejectionStats;
+use dwi_trace::{ProcessKind, TraceSink};
 
 /// Result of an NDRange-style functional run.
 #[derive(Debug)]
@@ -30,10 +31,112 @@ pub struct NdRangeRun {
     pub group_iterations: Vec<u64>,
 }
 
+/// Builder-style front end for the NDRange engine — same pattern as
+/// `dwi_core::DecoupledRunner`, with a [`TraceSink`] option that renders
+/// each work-group's pipeline as its own timeline track.
+#[derive(Clone)]
+pub struct NdRangeRunner<'a> {
+    cfg: &'a PaperConfig,
+    workload: &'a Workload,
+    seed: u64,
+    groups: u32,
+    local_size: u32,
+    sink: TraceSink,
+}
+
+impl<'a> NdRangeRunner<'a> {
+    /// A runner with seed 1, one group of one work-item, tracing off.
+    pub fn new(cfg: &'a PaperConfig, workload: &'a Workload) -> Self {
+        Self {
+            cfg,
+            workload,
+            seed: 1,
+            groups: 1,
+            local_size: 1,
+            sink: TraceSink::disabled(),
+        }
+    }
+
+    /// Base seed for the generator streams.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Number of work-groups (pipelines instantiated in parallel).
+    pub fn groups(mut self, groups: u32) -> Self {
+        assert!(groups >= 1);
+        self.groups = groups;
+        self
+    }
+
+    /// Work-items per group (time-multiplexed onto the group's pipeline).
+    pub fn local_size(mut self, local_size: u32) -> Self {
+        assert!(local_size >= 1);
+        self.local_size = local_size;
+        self
+    }
+
+    /// Attach a trace sink: each group's pipeline records sector spans and
+    /// rejection events onto a `ProcessKind::Pipeline` track.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Execute the NDRange formulation with the configured geometry.
+    pub fn run(&self) -> NdRangeRun {
+        let total_wi = self.groups * self.local_size;
+        let mut kcfg = self.cfg.kernel_config(self.workload, self.seed);
+        // Re-derive the per-work-item quota for the NDRange geometry.
+        kcfg.limit_main = self.workload.scenarios_per_workitem(total_wi);
+        let mut outputs = Vec::new();
+        let mut rejection = RejectionStats::new();
+        let mut group_iterations = Vec::with_capacity(self.groups as usize);
+
+        for g in 0..self.groups {
+            let track = self.sink.track(g, ProcessKind::Pipeline);
+            let g_label = g.to_string();
+            // One pipeline: its work-items execute as nested loops (the
+            // SDAccel mapping), i.e. sequentially multiplexed.
+            let mut kernels: Vec<GammaKernel> = (0..self.local_size)
+                .map(|l| GammaKernel::new(&kcfg, g * self.local_size + l))
+                .collect();
+            let mut iters = 0u64;
+            for sector in 0..self.workload.num_sectors {
+                let t0 = track.now_ns();
+                for k in kernels.iter_mut() {
+                    let run = k.run_sector_traced(|v| outputs.push(v), &track);
+                    iters += run.iterations;
+                }
+                track.span_since(format!("sector {sector}"), t0);
+                track.observe(
+                    "dwi_sector_latency_seconds",
+                    &[("group", &g_label)],
+                    (track.now_ns() - t0) as f64 * 1e-9,
+                );
+            }
+            for k in &kernels {
+                rejection.merge(k.combined_stats());
+            }
+            track
+                .counter("dwi_group_iterations_total", &[("group", &g_label)])
+                .add(iters);
+            group_iterations.push(iters);
+        }
+        NdRangeRun {
+            outputs,
+            rejection,
+            group_iterations,
+        }
+    }
+}
+
 /// Run the NDRange formulation: `groups` pipelines × `local_size`
 /// work-items each. Total work-items = `groups · local_size`; each
 /// work-item produces `workload.scenarios_per_workitem(total)` scenarios
 /// per sector, exactly like the Task formulation with that many work-items.
+/// Thin wrapper over [`NdRangeRunner`] with tracing disabled.
 pub fn run_ndrange(
     cfg: &PaperConfig,
     workload: &Workload,
@@ -41,38 +144,11 @@ pub fn run_ndrange(
     groups: u32,
     local_size: u32,
 ) -> NdRangeRun {
-    assert!(groups >= 1 && local_size >= 1);
-    let total_wi = groups * local_size;
-    let mut kcfg = cfg.kernel_config(workload, seed);
-    // Re-derive the per-work-item quota for the NDRange geometry.
-    kcfg.limit_main = workload.scenarios_per_workitem(total_wi);
-    let mut outputs = Vec::new();
-    let mut rejection = RejectionStats::new();
-    let mut group_iterations = Vec::with_capacity(groups as usize);
-
-    for g in 0..groups {
-        // One pipeline: its work-items execute as nested loops (the
-        // SDAccel mapping), i.e. sequentially multiplexed.
-        let mut kernels: Vec<GammaKernel> = (0..local_size)
-            .map(|l| GammaKernel::new(&kcfg, g * local_size + l))
-            .collect();
-        let mut iters = 0u64;
-        for _sector in 0..workload.num_sectors {
-            for k in kernels.iter_mut() {
-                let run = k.run_sector(|v| outputs.push(v));
-                iters += run.iterations;
-            }
-        }
-        for k in &kernels {
-            rejection.merge(k.combined_stats());
-        }
-        group_iterations.push(iters);
-    }
-    NdRangeRun {
-        outputs,
-        rejection,
-        group_iterations,
-    }
+    NdRangeRunner::new(cfg, workload)
+        .seed(seed)
+        .groups(groups)
+        .local_size(local_size)
+        .run()
 }
 
 /// Modeled runtime of the NDRange formulation: pipelines run in parallel,

@@ -3,18 +3,33 @@
 
 use dwi_hls::stream::Consumer;
 use dwi_hls::wide::{Packer, Wide512};
+use dwi_trace::Track;
 
 /// Statistics of one transfer engine's run.
+///
+/// Invariant: `words == bursts_full() * burst_words + tail_words` — every
+/// packed word leaves through exactly one burst, and only the *final*
+/// burst of a run may be short. [`transfer`] enforces the second half by
+/// panicking if a second short flush would overwrite `tail_words`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TransferStats {
     /// RNs consumed from the stream.
     pub rns: u64,
     /// Complete 512-bit words written.
     pub words: u64,
-    /// Bursts issued (`memcpy` calls).
+    /// Bursts issued (`memcpy` calls), full and short.
     pub bursts: u64,
+    /// Short (non-full) bursts issued — 0 or 1 per run.
+    pub tail_bursts: u64,
     /// Words in the final, possibly short, burst (0 if exact).
     pub tail_words: u64,
+}
+
+impl TransferStats {
+    /// Bursts that carried exactly `burst_words` words.
+    pub fn bursts_full(&self) -> u64 {
+        self.bursts - self.tail_bursts
+    }
 }
 
 /// Drain `stream` into `region`, packing 16 RNs per word and bursting
@@ -26,48 +41,93 @@ pub fn transfer(
     region: &mut [Wide512],
     burst_words: usize,
 ) -> TransferStats {
+    transfer_traced(stream, region, burst_words, &Track::disabled())
+}
+
+/// [`transfer`] with a timeline track: each burst renders as a `burst`
+/// span (opened when the first word enters the staging buffer, closed
+/// when the `memcpy` lands), a short final burst additionally drops a
+/// `tail burst` marker, and the metrics registry accumulates
+/// `dwi_transfer_bursts_total` / `dwi_transfer_bytes_total` /
+/// `dwi_transfer_tail_bursts_total` labelled by work-item.
+pub fn transfer_traced(
+    stream: &Consumer<f32>,
+    region: &mut [Wide512],
+    burst_words: usize,
+    track: &Track,
+) -> TransferStats {
     assert!(burst_words > 0, "burst must be at least one word");
+    let wid = track.id().wid.to_string();
+    let c_bursts = track.counter("dwi_transfer_bursts_total", &[("wid", &wid)]);
+    let c_bytes = track.counter("dwi_transfer_bytes_total", &[("wid", &wid)]);
+    let c_tail = track.counter("dwi_transfer_tail_bursts_total", &[("wid", &wid)]);
+
     let mut packer = Packer::new();
     let mut burst_buf: Vec<Wide512> = Vec::with_capacity(burst_words);
+    let mut burst_start_ns = 0u64; // when the staging buffer went 0 → 1
     let mut offset = 0usize; // within the region (Listing 4's `offset`)
     let mut stats = TransferStats::default();
 
-    let mut flush_burst = |buf: &mut Vec<Wide512>, offset: &mut usize, stats: &mut TransferStats| {
-        if buf.is_empty() {
-            return;
-        }
-        let end = *offset + buf.len();
-        assert!(
-            end <= region.len(),
-            "transfer overruns the work-item region ({} > {})",
-            end,
-            region.len()
-        );
-        region[*offset..end].copy_from_slice(buf);
-        *offset = end;
-        stats.bursts += 1;
-        if buf.len() < burst_words {
-            stats.tail_words = buf.len() as u64;
-        }
-        buf.clear();
-    };
+    let mut flush_burst =
+        |buf: &mut Vec<Wide512>, offset: &mut usize, stats: &mut TransferStats, start_ns: u64| {
+            if buf.is_empty() {
+                return;
+            }
+            let end = *offset + buf.len();
+            assert!(
+                end <= region.len(),
+                "transfer overruns the work-item region ({} > {})",
+                end,
+                region.len()
+            );
+            region[*offset..end].copy_from_slice(buf);
+            *offset = end;
+            stats.bursts += 1;
+            c_bursts.inc();
+            c_bytes.add(buf.len() as u64 * Wide512::BYTES as u64);
+            if buf.len() < burst_words {
+                // Only the final flush of a run may be short; a second short
+                // flush would silently overwrite tail_words.
+                assert_eq!(
+                    stats.tail_bursts, 0,
+                    "tail burst may only be the final burst of a run"
+                );
+                stats.tail_bursts += 1;
+                stats.tail_words = buf.len() as u64;
+                c_tail.inc();
+                track.instant("tail burst");
+            }
+            track.span_since("burst", start_ns);
+            buf.clear();
+        };
 
     while let Some(v) = stream.read() {
         stats.rns += 1;
         if let Some(word) = packer.push(v) {
+            if burst_buf.is_empty() {
+                burst_start_ns = track.now_ns();
+            }
             burst_buf.push(word);
             stats.words += 1;
             if burst_buf.len() == burst_words {
-                flush_burst(&mut burst_buf, &mut offset, &mut stats);
+                flush_burst(&mut burst_buf, &mut offset, &mut stats, burst_start_ns);
             }
         }
     }
     // Stream closed: flush the partial word (zero-padded) and the last burst.
     if let Some(word) = packer.flush() {
+        if burst_buf.is_empty() {
+            burst_start_ns = track.now_ns();
+        }
         burst_buf.push(word);
         stats.words += 1;
     }
-    flush_burst(&mut burst_buf, &mut offset, &mut stats);
+    flush_burst(&mut burst_buf, &mut offset, &mut stats, burst_start_ns);
+    debug_assert_eq!(
+        stats.words,
+        stats.bursts_full() * burst_words as u64 + stats.tail_words,
+        "transfer word conservation"
+    );
     stats
 }
 
@@ -76,7 +136,11 @@ mod tests {
     use super::*;
     use dwi_hls::stream::Stream;
 
-    fn run_transfer(values: Vec<f32>, region_words: usize, burst_words: usize) -> (Vec<f32>, TransferStats) {
+    fn run_transfer(
+        values: Vec<f32>,
+        region_words: usize,
+        burst_words: usize,
+    ) -> (Vec<f32>, TransferStats) {
         let (tx, rx) = Stream::with_depth(64);
         let mut region = vec![Wide512::zero(); region_words];
         let producer = std::thread::spawn(move || {
@@ -91,6 +155,14 @@ mod tests {
         (out, stats)
     }
 
+    fn assert_conservation(stats: &TransferStats, burst_words: usize) {
+        assert_eq!(
+            stats.words,
+            stats.bursts_full() * burst_words as u64 + stats.tail_words,
+            "words must equal full-burst words plus the tail"
+        );
+    }
+
     #[test]
     fn exact_multiple_of_burst() {
         let data: Vec<f32> = (0..512).map(|i| i as f32).collect();
@@ -99,7 +171,10 @@ mod tests {
         assert_eq!(stats.rns, 512);
         assert_eq!(stats.words, 32);
         assert_eq!(stats.bursts, 2);
+        assert_eq!(stats.tail_bursts, 0);
         assert_eq!(stats.tail_words, 0);
+        assert_eq!(stats.bursts_full(), 2);
+        assert_conservation(&stats, 16);
     }
 
     #[test]
@@ -110,7 +185,9 @@ mod tests {
         assert_eq!(out[20], 0.0, "tail lanes zero-padded");
         assert_eq!(stats.words, 2);
         assert_eq!(stats.bursts, 1);
+        assert_eq!(stats.tail_bursts, 1);
         assert_eq!(stats.tail_words, 2);
+        assert_conservation(&stats, 16);
     }
 
     #[test]
@@ -119,7 +196,10 @@ mod tests {
         let data: Vec<f32> = (0..48).map(|i| i as f32).collect();
         let (_, stats) = run_transfer(data, 3, 2);
         assert_eq!(stats.bursts, 2);
+        assert_eq!(stats.tail_bursts, 1);
         assert_eq!(stats.tail_words, 1);
+        assert_eq!(stats.bursts_full(), 1);
+        assert_conservation(&stats, 2);
     }
 
     #[test]
@@ -134,5 +214,40 @@ mod tests {
         let (out, stats) = run_transfer(Vec::new(), 2, 2);
         assert!(out.iter().all(|&v| v == 0.0));
         assert_eq!(stats, TransferStats::default());
+    }
+
+    #[test]
+    fn traced_transfer_records_burst_spans_and_counters() {
+        use dwi_trace::{EventKind, ProcessKind, Recorder};
+        let rec = Recorder::new();
+        let data: Vec<f32> = (0..512).map(|i| i as f32).collect();
+        let (tx, rx) = Stream::with_depth(64);
+        let mut region = vec![Wide512::zero(); 32];
+        let producer = std::thread::spawn(move || {
+            for v in data {
+                tx.write(v);
+            }
+        });
+        let track = rec.track(3, ProcessKind::Transfer);
+        let stats = transfer_traced(&rx, &mut region, 16, &track);
+        producer.join().unwrap();
+        track.flush();
+        assert_eq!(stats.bursts, 2);
+        let spans: Vec<_> = rec
+            .events()
+            .into_iter()
+            .filter(|e| e.name == "burst" && matches!(e.kind, EventKind::Span { .. }))
+            .collect();
+        assert_eq!(spans.len(), 2, "one span per burst");
+        assert_eq!(
+            rec.metrics()
+                .counter_value("dwi_transfer_bursts_total{wid=\"3\"}"),
+            Some(2)
+        );
+        assert_eq!(
+            rec.metrics()
+                .counter_value("dwi_transfer_bytes_total{wid=\"3\"}"),
+            Some(32 * Wide512::BYTES as u64)
+        );
     }
 }

@@ -115,11 +115,7 @@ mod tests {
         for v in [1.39f32, 13.9] {
             let (r, cfg) = run(v, 24_576);
             let report = validate_run(&r, cfg.fpga_workitems, v as f64, 30_000);
-            assert!(
-                report.passes(1e-4),
-                "v={v}: {}",
-                report.render()
-            );
+            assert!(report.passes(1e-4), "v={v}: {}", report.render());
         }
     }
 

@@ -1,19 +1,18 @@
-//! Property-based tests for the decoupled-work-items core.
+//! Randomized case-sweep tests for the decoupled-work-items core
+//! (deterministic `dwi-testkit` generator).
 
 use dwi_core::transfer::transfer;
 use dwi_core::{run_decoupled, Combining, PaperConfig, TruncatedNormal, WorkItemApp, Workload};
 use dwi_hls::stream::Stream;
 use dwi_hls::wide::{unpack_words, Wide512};
-use proptest::prelude::*;
+use dwi_testkit::cases;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn transfer_round_trips_any_stream(
-        data in prop::collection::vec(-1e9f32..1e9, 1..800),
-        burst_words in 1usize..8,
-    ) {
+#[test]
+fn transfer_round_trips_any_stream() {
+    cases(24, |r| {
+        let len = r.usize_range(1, 800);
+        let data = r.vec_f32(len, -1e9, 1e9);
+        let burst_words = r.usize_range(1, 8);
         let words_needed = data.len().div_ceil(16);
         let (tx, rx) = Stream::with_depth(32);
         let mut region = vec![Wide512::zero(); words_needed];
@@ -25,19 +24,20 @@ proptest! {
         });
         let stats = transfer(&rx, &mut region, burst_words);
         producer.join().unwrap();
-        prop_assert_eq!(stats.rns, data.len() as u64);
-        prop_assert_eq!(stats.words, words_needed as u64);
+        assert_eq!(stats.rns, data.len() as u64);
+        assert_eq!(stats.words, words_needed as u64);
         let mut out = Vec::new();
         unpack_words(&region, &mut out);
-        prop_assert_eq!(&out[..data.len()], &data[..]);
-    }
+        assert_eq!(&out[..data.len()], &data[..]);
+    });
+}
 
-    #[test]
-    fn decoupled_quota_always_met(
-        scenarios in 64u64..2048,
-        sectors in 1u32..4,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn decoupled_quota_always_met() {
+    cases(24, |r| {
+        let scenarios = r.u64_range(64, 2048);
+        let sectors = r.u32_range(1, 4);
+        let seed = r.next_u64();
         let cfg = PaperConfig::config2(); // small MT: fastest
         let w = Workload {
             num_scenarios: scenarios,
@@ -46,16 +46,17 @@ proptest! {
         };
         let run = run_decoupled(&cfg, &w, seed, Combining::DeviceLevel);
         let quota = w.scenarios_per_workitem(cfg.fpga_workitems) as u64 * sectors as u64;
-        prop_assert_eq!(run.outputs_per_workitem, quota);
-        prop_assert!(run.iterations.iter().all(|&i| i >= quota));
-        prop_assert!(run.host_buffer.iter().all(|x| x.is_finite() && *x >= 0.0));
-    }
+        assert_eq!(run.outputs_per_workitem, quota);
+        assert!(run.iterations.iter().all(|&i| i >= quota));
+        assert!(run.host_buffer.iter().all(|x| x.is_finite() && *x >= 0.0));
+    });
+}
 
-    #[test]
-    fn combining_equivalence_any_workload(
-        scenarios in 64u64..1024,
-        seed in any::<u64>(),
-    ) {
+#[test]
+fn combining_equivalence_any_workload() {
+    cases(24, |r| {
+        let scenarios = r.u64_range(64, 1024);
+        let seed = r.next_u64();
         let cfg = PaperConfig::config4();
         let w = Workload {
             num_scenarios: scenarios,
@@ -64,17 +65,18 @@ proptest! {
         };
         let a = run_decoupled(&cfg, &w, seed, Combining::DeviceLevel);
         let b = run_decoupled(&cfg, &w, seed, Combining::HostLevel);
-        prop_assert_eq!(a.host_buffer, b.host_buffer);
-    }
+        assert_eq!(a.host_buffer, b.host_buffer);
+    });
+}
 
-    #[test]
-    fn truncated_normal_never_violates_bound(
-        a in 0.0f32..3.0,
-        seed in any::<u32>(),
-    ) {
+#[test]
+fn truncated_normal_never_violates_bound() {
+    cases(24, |r| {
+        let a = r.f32_range(0.0, 3.0);
+        let seed = r.next_u32();
         let mut app = TruncatedNormal::with_default_mt(a, seed, 0);
         let mut min = f32::INFINITY;
         app.run(500, &mut |x| min = min.min(x));
-        prop_assert!(min >= a, "sample {min} below the truncation point {a}");
-    }
+        assert!(min >= a, "sample {min} below the truncation point {a}");
+    });
 }

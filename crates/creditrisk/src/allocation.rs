@@ -42,9 +42,7 @@ pub fn volatility_contributions(p: &Portfolio) -> Vec<f64> {
             let systematic: f64 = o
                 .sector_weights
                 .iter()
-                .map(|&(k, w)| {
-                    p.sectors[k].variance * mu[k] * w * o.pd * o.exposure as f64
-                })
+                .map(|&(k, w)| p.sectors[k].variance * mu[k] * w * o.pd * o.exposure as f64)
                 .sum();
             (own + systematic) / sigma
         })
@@ -153,6 +151,9 @@ mod tests {
             ],
         };
         let rc = volatility_contributions(&p);
-        assert!(rc[0] > 1.5 * rc[1], "systematic obligor must dominate: {rc:?}");
+        assert!(
+            rc[0] > 1.5 * rc[1],
+            "systematic obligor must dominate: {rc:?}"
+        );
     }
 }

@@ -65,9 +65,13 @@ impl MonteCarloEngine {
 
     /// Run `scenarios` Monte-Carlo scenarios.
     pub fn run(&self, scenarios: u64) -> SimulationResult {
-        let losses = self.run_with(scenarios, Vec::with_capacity(scenarios as usize), |total, _per, acc: &mut Vec<u64>| {
-            acc.push(total);
-        });
+        let losses = self.run_with(
+            scenarios,
+            Vec::with_capacity(scenarios as usize),
+            |total, _per, acc: &mut Vec<u64>| {
+                acc.push(total);
+            },
+        );
         let max_loss = losses.iter().copied().max().unwrap_or(0) as usize;
         let mut pmf = vec![0f64; max_loss + 1];
         for &l in &losses {

@@ -78,10 +78,7 @@ impl Portfolio {
     /// Expected loss `Σ_i pd_i · ν_i` (in loss units) — exact in
     /// CreditRisk+ regardless of sector structure.
     pub fn expected_loss(&self) -> f64 {
-        self.obligors
-            .iter()
-            .map(|o| o.pd * o.exposure as f64)
-            .sum()
+        self.obligors.iter().map(|o| o.pd * o.exposure as f64).sum()
     }
 
     /// Largest possible single-scenario *expected* exposure (sum of all

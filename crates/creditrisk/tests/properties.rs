@@ -1,92 +1,103 @@
-//! Property-based tests for the CreditRisk+ substrate.
+//! Randomized case-sweep tests for the CreditRisk+ substrate
+//! (deterministic `dwi-testkit` generator).
 
 use dwi_creditrisk::panjer::{series_exp, series_ln};
 use dwi_creditrisk::{loss_distribution, loss_mean, loss_variance, Obligor, Portfolio, Sector};
-use proptest::prelude::*;
+use dwi_testkit::{cases, Rng};
 
-/// Strategy: a small random valid portfolio.
-fn portfolio_strategy() -> impl Strategy<Value = Portfolio> {
-    (
-        1usize..4,                                  // sectors
-        prop::collection::vec(
-            (0.001f64..0.2, 1u32..6, 0.0f64..1.0, 0usize..4),
-            1..25,
-        ),
-        0.1f64..5.0,                                // sector variance
-    )
-        .prop_map(|(n_sectors, raw, v)| {
-            let obligors = raw
-                .into_iter()
-                .map(|(pd, exposure, spec, k)| {
-                    let k = k % n_sectors;
-                    Obligor {
-                        pd,
-                        exposure,
-                        specific_weight: spec,
-                        sector_weights: vec![(k, 1.0 - spec)],
-                    }
-                })
-                .collect();
-            Portfolio {
-                sectors: vec![Sector { variance: v }; n_sectors],
-                obligors,
+/// A small random valid portfolio.
+fn random_portfolio(r: &mut Rng) -> Portfolio {
+    let n_sectors = r.usize_range(1, 4);
+    let n_obligors = r.usize_range(1, 25);
+    let v = r.f64_range(0.1, 5.0);
+    let obligors = (0..n_obligors)
+        .map(|_| {
+            let spec = r.f64_range(0.0, 1.0);
+            let k = r.usize_range(0, 4) % n_sectors;
+            Obligor {
+                pd: r.f64_range(0.001, 0.2),
+                exposure: r.u32_range(1, 6),
+                specific_weight: spec,
+                sector_weights: vec![(k, 1.0 - spec)],
             }
         })
+        .collect();
+    Portfolio {
+        sectors: vec![Sector { variance: v }; n_sectors],
+        obligors,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn series_ln_exp_inverse(coeffs in prop::collection::vec(-0.4f64..0.4, 1..12)) {
+#[test]
+fn series_ln_exp_inverse() {
+    cases(64, |r| {
         let mut a = vec![1.0];
-        a.extend(coeffs);
+        let len = r.usize_range(0, 11);
+        a.extend(r.vec_f64(len, -0.4, 0.4));
         let l = series_ln(&a);
         let back = series_exp(&l);
         for (x, y) in a.iter().zip(&back) {
-            prop_assert!((x - y).abs() < 1e-10, "{x} vs {y}");
+            assert!((x - y).abs() < 1e-10, "{x} vs {y}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn pmf_is_a_probability_vector(p in portfolio_strategy()) {
+#[test]
+fn pmf_is_a_probability_vector() {
+    cases(64, |r| {
+        let p = random_portfolio(r);
         let pmf = loss_distribution(&p, 200);
-        prop_assert!(pmf.iter().all(|&q| q >= -1e-12));
+        assert!(pmf.iter().all(|&q| q >= -1e-12));
         let mass: f64 = pmf.iter().sum();
-        prop_assert!(mass <= 1.0 + 1e-9, "mass {mass}");
-        prop_assert!(mass > 0.3, "truncation ate the distribution: {mass}");
-    }
+        assert!(mass <= 1.0 + 1e-9, "mass {mass}");
+        assert!(mass > 0.3, "truncation ate the distribution: {mass}");
+    });
+}
 
-    #[test]
-    fn pmf_moments_match_closed_form(p in portfolio_strategy()) {
+#[test]
+fn pmf_moments_match_closed_form() {
+    cases(64, |r| {
+        let p = random_portfolio(r);
         let pmf = loss_distribution(&p, 400);
         let mass: f64 = pmf.iter().sum();
-        prop_assume!(mass > 1.0 - 1e-6); // skip heavy-tail truncations
+        if mass <= 1.0 - 1e-6 {
+            return; // skip heavy-tail truncations (prop_assume equivalent)
+        }
         let mean: f64 = pmf.iter().enumerate().map(|(i, q)| i as f64 * q).sum();
-        prop_assert!((mean - loss_mean(&p)).abs() < 1e-6 * (1.0 + loss_mean(&p)));
-        let ex2: f64 = pmf.iter().enumerate().map(|(i, q)| (i as f64).powi(2) * q).sum();
+        assert!((mean - loss_mean(&p)).abs() < 1e-6 * (1.0 + loss_mean(&p)));
+        let ex2: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i as f64).powi(2) * q)
+            .sum();
         let var = ex2 - mean * mean;
-        prop_assert!(
+        assert!(
             (var - loss_variance(&p)).abs() < 1e-5 * (1.0 + loss_variance(&p)),
             "var {var} vs {}",
             loss_variance(&p)
         );
-    }
+    });
+}
 
-    #[test]
-    fn zero_loss_probability_positive(p in portfolio_strategy()) {
+#[test]
+fn zero_loss_probability_positive() {
+    cases(64, |r| {
+        let p = random_portfolio(r);
         let pmf = loss_distribution(&p, 50);
-        prop_assert!(pmf[0] > 0.0, "P(L=0) must be positive");
-        prop_assert!(pmf[0] < 1.0);
-    }
+        assert!(pmf[0] > 0.0, "P(L=0) must be positive");
+        assert!(pmf[0] < 1.0);
+    });
+}
 
-    #[test]
-    fn var_monotone_in_level(p in portfolio_strategy()) {
+#[test]
+fn var_monotone_in_level() {
+    cases(64, |r| {
+        let p = random_portfolio(r);
         let pmf = loss_distribution(&p, 300);
         let v90 = dwi_creditrisk::value_at_risk(&pmf, 0.90);
         let v99 = dwi_creditrisk::value_at_risk(&pmf, 0.99);
-        prop_assert!(v99 >= v90);
+        assert!(v99 >= v90);
         let es = dwi_creditrisk::expected_shortfall(&pmf, 0.99);
-        prop_assert!(es >= v99 as f64 - 1e-9);
-    }
+        assert!(es >= v99 as f64 - 1e-9);
+    });
 }

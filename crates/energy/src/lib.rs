@@ -20,6 +20,6 @@ pub mod session;
 pub mod trace;
 
 pub use energy::{dynamic_energy_per_invocation_j, efficiency_ratio};
-pub use session::{duty_cycle, trace_from_intervals};
 pub use profiles::{DevicePower, SYSTEM_IDLE_W};
+pub use session::{duty_cycle, trace_from_intervals};
 pub use trace::{PowerTrace, TraceConfig};

@@ -92,9 +92,7 @@ impl PowerTrace {
                 // Trigger spike decaying exponentially.
                 p += cfg.spike_w * (-since / cfg.spike_tau_s).exp();
                 // Deterministic plateau ripple.
-                p += 0.5
-                    * cfg.ripple_w
-                    * ((since * 0.7).sin() + 0.4 * (since * 2.3).cos());
+                p += 0.5 * cfg.ripple_w * ((since * 0.7).sin() + 0.4 * (since * 2.3).cos());
             }
             samples.push((t, p));
         }
@@ -144,10 +142,12 @@ impl PowerTrace {
     /// integration window — the Fig. 8 picture.
     pub fn render(&self, width: usize) -> String {
         assert!(width >= 10);
-        let (pmin, pmax) = self.samples.iter().fold(
-            (f64::INFINITY, f64::NEG_INFINITY),
-            |(lo, hi), &(_, p)| (lo.min(p), hi.max(p)),
-        );
+        let (pmin, pmax) = self
+            .samples
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &(_, p)| {
+                (lo.min(p), hi.max(p))
+            });
         let t_end = self.samples.last().expect("non-empty").0;
         let rows = 12usize;
         let mut grid = vec![vec![' '; width]; rows];
@@ -195,12 +195,7 @@ mod tests {
         let first = t.samples[3].1;
         assert!((first - 204.0).abs() < 1e-9, "lead-in must be idle");
         // Mid-plateau sample ≈ idle + dynamic (ripple aside).
-        let mid = t
-            .samples
-            .iter()
-            .find(|&&(time, _)| time > 100.0)
-            .unwrap()
-            .1;
+        let mid = t.samples.iter().find(|&&(time, _)| time > 100.0).unwrap().1;
         assert!((mid - 244.0).abs() < 5.0, "plateau {mid}");
         let last = t.samples.last().unwrap().1;
         assert!((last - 204.0).abs() < 1e-9, "tail must be idle");
@@ -215,7 +210,10 @@ mod tests {
             .find(|&&(time, _)| time >= t.markers[0])
             .unwrap()
             .1;
-        assert!(at_trigger > 204.0 + 40.0 + 20.0, "spike missing: {at_trigger}");
+        assert!(
+            at_trigger > 204.0 + 40.0 + 20.0,
+            "spike missing: {at_trigger}"
+        );
     }
 
     #[test]
@@ -223,7 +221,10 @@ mod tests {
         let t = PowerTrace::synthesize(&cfg());
         let [trigger, w0, w1] = t.markers;
         assert!((w1 - w0 - 100.0).abs() < 1e-9);
-        assert!(w0 > trigger + 5.0 * cfg().spike_tau_s, "spike must have decayed");
+        assert!(
+            w0 > trigger + 5.0 * cfg().spike_tau_s,
+            "spike must have decayed"
+        );
     }
 
     #[test]

@@ -130,12 +130,10 @@ impl DataflowGraph {
                 if cycle < node.next_ready {
                     continue;
                 }
-                let inputs_ok = node.inputs.iter().all(|&EdgeId(e)| {
-                    self.edges[e]
-                        .queue
-                        .front()
-                        .is_some_and(|&vis| vis <= cycle)
-                });
+                let inputs_ok = node
+                    .inputs
+                    .iter()
+                    .all(|&EdgeId(e)| self.edges[e].queue.front().is_some_and(|&vis| vis <= cycle));
                 let outputs_ok = node
                     .outputs
                     .iter()

@@ -233,7 +233,7 @@ mod tests {
         // negative products truncate down one LSB.
         let a = Q4_4::from_raw(1); // 1/16
         let b = Q4_4::from_raw(-1); // -1/16
-        // product = -1/256 → raw shift: (-1) >> 4 = -1 (floor) → -1/16
+                                    // product = -1/256 → raw shift: (-1) >> 4 = -1 (floor) → -1/16
         assert_eq!(a.mul(b).raw(), -1);
         // positive tiny product truncates to zero
         assert_eq!(a.mul(a).raw(), 0);
@@ -268,7 +268,10 @@ mod tests {
         let a = Q16_16::from_f64(3.0);
         let b = Q16_16::from_f64(2.0);
         assert_eq!(a.div(b).to_f64(), 1.5);
-        assert_eq!(b.div(a).to_f64(), (2.0f64 / 3.0 * 65536.0).floor() / 65536.0);
+        assert_eq!(
+            b.div(a).to_f64(),
+            (2.0f64 / 3.0 * 65536.0).floor() / 65536.0
+        );
         let neg = Q16_16::from_f64(-1.0);
         assert_eq!(a.div(neg).to_f64(), -3.0);
     }
@@ -290,10 +293,7 @@ mod tests {
     fn sqrt_exact_squares() {
         for &x in &[0.0, 1.0, 4.0, 9.0, 2.25, 0.25] {
             let v = Q16_16::from_f64(x).sqrt().to_f64();
-            assert!(
-                (v - x.sqrt()).abs() <= Q16_16::epsilon(),
-                "sqrt({x}) = {v}"
-            );
+            assert!((v - x.sqrt()).abs() <= Q16_16::epsilon(), "sqrt({x}) = {v}");
         }
     }
 

@@ -97,12 +97,12 @@ impl SimResult {
 }
 
 struct WorkItem {
-    produced: u64,       // RNs emitted by compute
-    delivered: u64,      // RNs shipped to memory
-    fifo: u64,           // current FIFO occupancy
+    produced: u64,  // RNs emitted by compute
+    delivered: u64, // RNs shipped to memory
+    fifo: u64,      // current FIFO occupancy
     fifo_peak: u64,
-    buffered: u64,       // RNs in the buffer currently being filled
-    ready: Option<u64>,  // a full buffer waiting for a channel grant
+    buffered: u64,                 // RNs in the buffer currently being filled
+    ready: Option<u64>,            // a full buffer waiting for a channel grant
     in_flight: Option<(u64, u64)>, // (end_cycle, rns) burst on the channel
     stalls: u64,
     lcg: u64,

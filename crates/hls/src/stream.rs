@@ -10,16 +10,36 @@
 //!
 //! Unlike hardware streams, a simulated producer terminates: dropping the
 //! last [`Producer`] closes the stream and drains readers with `None`.
+//!
+//! Stall telemetry: both endpoints count blocking waits (surfaced through
+//! [`Producer::stalls`] / [`Consumer::stalls`]), and each endpoint can
+//! carry a `dwi_trace::Track` ([`Producer::attach_track`] /
+//! [`Consumer::attach_track`]) so every stall renders as a span on the
+//! owning process's timeline — back-pressure becomes visible in the Fig. 3
+//! trace instead of just a number.
 
-use parking_lot::{Condvar, Mutex};
+use dwi_trace::{Counter, Track};
 use std::collections::VecDeque;
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 
 struct Inner<T> {
     queue: Mutex<State<T>>,
     not_empty: Condvar,
     not_full: Condvar,
     capacity: usize,
+}
+
+impl<T> Inner<T> {
+    /// Lock the state, recovering from poisoning: a panicking peer thread
+    /// must not turn every subsequent stream operation into a second panic
+    /// (the scoped engines join and propagate the original panic anyway).
+    fn lock(&self) -> MutexGuard<'_, State<T>> {
+        self.queue.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, cv: &Condvar, guard: MutexGuard<'a, State<T>>) -> MutexGuard<'a, State<T>> {
+        cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
 }
 
 struct State<T> {
@@ -47,10 +67,18 @@ struct State<T> {
 pub struct Stream<T>(std::marker::PhantomData<T>);
 
 /// Writing endpoint; the stream closes when all producers are dropped.
-pub struct Producer<T>(Arc<Inner<T>>);
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+    track: Option<Track>,
+    stall_counter: Counter,
+}
 
 /// Reading endpoint.
-pub struct Consumer<T>(Arc<Inner<T>>);
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+    track: Option<Track>,
+    stall_counter: Counter,
+}
 
 impl<T> Stream<T> {
     /// Create a stream of the given depth, returning its two endpoints.
@@ -68,93 +96,143 @@ impl<T> Stream<T> {
             not_full: Condvar::new(),
             capacity,
         });
-        (Producer(inner.clone()), Consumer(inner))
+        (
+            Producer {
+                inner: inner.clone(),
+                track: None,
+                stall_counter: Counter::disabled(),
+            },
+            Consumer {
+                inner,
+                track: None,
+                stall_counter: Counter::disabled(),
+            },
+        )
     }
 }
 
 impl<T> Producer<T> {
+    /// Attach a timeline track: blocking writes record `stream write
+    /// stall` spans on it and bump `dwi_stream_write_stalls_total`.
+    pub fn attach_track(&mut self, track: Track) {
+        let wid = track.id().wid.to_string();
+        self.stall_counter = track.counter("dwi_stream_write_stalls_total", &[("wid", &wid)]);
+        self.track = Some(track);
+    }
+
     /// Blocking write (back-pressure when full).
     pub fn write(&self, value: T) {
-        let mut st = self.0.queue.lock();
-        if st.buf.len() >= self.0.capacity {
+        let mut st = self.inner.lock();
+        if st.buf.len() >= self.inner.capacity {
             st.write_stalls += 1;
-            while st.buf.len() >= self.0.capacity {
-                self.0.not_full.wait(&mut st);
+            let t0 = self.track.as_ref().map(|t| t.now_ns());
+            while st.buf.len() >= self.inner.capacity {
+                st = self.inner.wait(&self.inner.not_full, st);
+            }
+            if let (Some(track), Some(t0)) = (&self.track, t0) {
+                track.span_since("stream write stall", t0);
+                self.stall_counter.inc();
             }
         }
         st.buf.push_back(value);
         let len = st.buf.len();
         st.high_water = st.high_water.max(len);
         drop(st);
-        self.0.not_empty.notify_one();
+        self.inner.not_empty.notify_one();
     }
 
     /// Non-blocking write; `Err(value)` when the FIFO is full.
     pub fn try_write(&self, value: T) -> Result<(), T> {
-        let mut st = self.0.queue.lock();
-        if st.buf.len() >= self.0.capacity {
+        let mut st = self.inner.lock();
+        if st.buf.len() >= self.inner.capacity {
             return Err(value);
         }
         st.buf.push_back(value);
         let len = st.buf.len();
         st.high_water = st.high_water.max(len);
         drop(st);
-        self.0.not_empty.notify_one();
+        self.inner.not_empty.notify_one();
         Ok(())
     }
 
-    /// Clone the producer (multiple writers keep the stream open).
+    /// Clone the producer (multiple writers keep the stream open). The
+    /// clone starts untracked; call [`Producer::attach_track`] on it.
     pub fn clone_producer(&self) -> Producer<T> {
-        self.0.queue.lock().producers += 1;
-        Producer(self.0.clone())
+        self.inner.lock().producers += 1;
+        Producer {
+            inner: self.inner.clone(),
+            track: None,
+            stall_counter: Counter::disabled(),
+        }
+    }
+
+    /// (write stalls, read stalls) so far — same counters as
+    /// [`Consumer::stalls`], readable from the writing side.
+    pub fn stalls(&self) -> (u64, u64) {
+        let st = self.inner.lock();
+        (st.write_stalls, st.read_stalls)
     }
 }
 
 impl<T> Drop for Producer<T> {
     fn drop(&mut self) {
-        let mut st = self.0.queue.lock();
+        let mut st = self.inner.lock();
         st.producers -= 1;
         if st.producers == 0 {
             drop(st);
-            self.0.not_empty.notify_all();
+            self.inner.not_empty.notify_all();
         }
     }
 }
 
 impl<T> Consumer<T> {
+    /// Attach a timeline track: blocking reads record `stream read stall`
+    /// spans on it and bump `dwi_stream_read_stalls_total`.
+    pub fn attach_track(&mut self, track: Track) {
+        let wid = track.id().wid.to_string();
+        self.stall_counter = track.counter("dwi_stream_read_stalls_total", &[("wid", &wid)]);
+        self.track = Some(track);
+    }
+
     /// Blocking read; `None` once the stream is closed *and* drained.
     pub fn read(&self) -> Option<T> {
-        let mut st = self.0.queue.lock();
+        let mut st = self.inner.lock();
+        let mut stalled_at = None;
         if st.buf.is_empty() && st.producers > 0 {
             st.read_stalls += 1;
+            stalled_at = self.track.as_ref().map(|t| t.now_ns());
         }
         loop {
             if let Some(v) = st.buf.pop_front() {
                 drop(st);
-                self.0.not_full.notify_one();
+                self.inner.not_full.notify_one();
+                if let (Some(track), Some(t0)) = (&self.track, stalled_at) {
+                    track.span_since("stream read stall", t0);
+                    self.stall_counter.inc();
+                }
                 return Some(v);
             }
             if st.producers == 0 {
                 return None;
             }
-            self.0.not_empty.wait(&mut st);
+            st = self.inner.wait(&self.inner.not_empty, st);
         }
     }
 
     /// Non-blocking read.
     pub fn try_read(&self) -> Option<T> {
-        let mut st = self.0.queue.lock();
+        let mut st = self.inner.lock();
         let v = st.buf.pop_front();
         if v.is_some() {
             drop(st);
-            self.0.not_full.notify_one();
+            self.inner.not_full.notify_one();
         }
         v
     }
 
     /// Current occupancy.
     pub fn len(&self) -> usize {
-        self.0.queue.lock().buf.len()
+        self.inner.lock().buf.len()
     }
 
     /// True when currently empty (racy, for tests/telemetry only).
@@ -164,12 +242,12 @@ impl<T> Consumer<T> {
 
     /// Peak occupancy since creation.
     pub fn high_water(&self) -> usize {
-        self.0.queue.lock().high_water
+        self.inner.lock().high_water
     }
 
     /// (write stalls, read stalls) so far.
     pub fn stalls(&self) -> (u64, u64) {
-        let st = self.0.queue.lock();
+        let st = self.inner.lock();
         (st.write_stalls, st.read_stalls)
     }
 }
@@ -242,6 +320,58 @@ mod tests {
         h.join().unwrap();
         let (_, rstalls) = rx.stalls();
         assert!(rstalls >= 1);
+    }
+
+    #[test]
+    fn depth1_slow_consumer_reports_write_stalls() {
+        // The satellite invariant: a depth-1 stream driven faster than it
+        // drains must report back-pressure from both endpoints.
+        let (tx, rx) = Stream::with_depth(1);
+        let producer = thread::spawn(move || {
+            for i in 0..32 {
+                tx.write(i);
+            }
+            tx.stalls().0
+        });
+        let mut got = 0;
+        while let Some(_v) = rx.read() {
+            thread::sleep(Duration::from_millis(1)); // slow consumer
+            got += 1;
+        }
+        let producer_view = producer.join().unwrap();
+        assert_eq!(got, 32);
+        let (wstalls, _) = rx.stalls();
+        assert!(wstalls > 0, "depth-1 + slow consumer must stall writes");
+        assert_eq!(producer_view, wstalls, "both endpoints see one counter");
+    }
+
+    #[test]
+    fn tracked_endpoints_record_stall_spans() {
+        use dwi_trace::{ProcessKind, Recorder};
+        let rec = Recorder::new();
+        let (mut tx, mut rx) = Stream::with_depth(1);
+        tx.attach_track(rec.track(0, ProcessKind::Compute));
+        rx.attach_track(rec.track(0, ProcessKind::Transfer));
+        let producer = thread::spawn(move || {
+            for i in 0..16 {
+                tx.write(i);
+            }
+        });
+        let mut n = 0;
+        while let Some(_v) = rx.read() {
+            thread::sleep(Duration::from_millis(1));
+            n += 1;
+        }
+        producer.join().unwrap();
+        drop(rx);
+        assert_eq!(n, 16);
+        let events = rec.events();
+        assert!(
+            events.iter().any(|e| e.name == "stream write stall"),
+            "write stalls must appear on the compute track"
+        );
+        let prom = rec.prometheus();
+        assert!(prom.contains("dwi_stream_write_stalls_total"));
     }
 
     #[test]

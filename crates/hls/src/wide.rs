@@ -15,6 +15,9 @@ pub struct Wide512 {
 }
 
 impl Wide512 {
+    /// Size of one word in bytes (512 bits).
+    pub const BYTES: usize = LANES * 4;
+
     /// All-zero word.
     pub fn zero() -> Self {
         Self::default()

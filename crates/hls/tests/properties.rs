@@ -1,45 +1,63 @@
-//! Property-based tests for the HLS substrate.
+//! Randomized case-sweep tests for the HLS substrate (deterministic
+//! `dwi-testkit` generator; seeds are fixed, failures reproduce exactly).
 
 use dwi_hls::fixed::Fixed;
 use dwi_hls::memory::BurstChannel;
 use dwi_hls::pipeline::{DelayedCounter, PipelineModel};
 use dwi_hls::stream::Stream;
 use dwi_hls::wide::{unpack_words, Packer, Wide512};
-use proptest::prelude::*;
+use dwi_testkit::cases;
 
 type Q16 = Fixed<32, 16>;
 
-proptest! {
-    #[test]
-    fn fixed_round_trip_within_epsilon(x in -30000.0f64..30000.0) {
+#[test]
+fn fixed_round_trip_within_epsilon() {
+    cases(256, |r| {
+        let x = r.f64_range(-30000.0, 30000.0);
         let v = Q16::from_f64(x);
-        prop_assert!((v.to_f64() - x).abs() <= Q16::epsilon() / 2.0 + 1e-12);
-    }
+        assert!((v.to_f64() - x).abs() <= Q16::epsilon() / 2.0 + 1e-12);
+    });
+}
 
-    #[test]
-    fn fixed_ordering_preserved(a in -30000.0f64..30000.0, b in -30000.0f64..30000.0) {
+#[test]
+fn fixed_ordering_preserved() {
+    cases(256, |r| {
+        let a = r.f64_range(-30000.0, 30000.0);
+        let b = r.f64_range(-30000.0, 30000.0);
         let (fa, fb) = (Q16::from_f64(a), Q16::from_f64(b));
         if a + Q16::epsilon() < b {
-            prop_assert!(fa < fb);
+            assert!(fa < fb);
         }
-    }
+    });
+}
 
-    #[test]
-    fn fixed_add_matches_f64_when_in_range(a in -10000.0f64..10000.0, b in -10000.0f64..10000.0) {
+#[test]
+fn fixed_add_matches_f64_when_in_range() {
+    cases(256, |r| {
+        let a = r.f64_range(-10000.0, 10000.0);
+        let b = r.f64_range(-10000.0, 10000.0);
         let s = Q16::from_f64(a).add(Q16::from_f64(b)).to_f64();
-        prop_assert!((s - (a + b)).abs() <= 2.0 * Q16::epsilon());
-    }
+        assert!((s - (a + b)).abs() <= 2.0 * Q16::epsilon());
+    });
+}
 
-    #[test]
-    fn fixed_mul_error_bounded(a in -100.0f64..100.0, b in -100.0f64..100.0) {
+#[test]
+fn fixed_mul_error_bounded() {
+    cases(256, |r| {
+        let a = r.f64_range(-100.0, 100.0);
+        let b = r.f64_range(-100.0, 100.0);
         let p = Q16::from_f64(a).mul(Q16::from_f64(b)).to_f64();
         // Truncating multiply: error bounded by input quantization + 1 LSB.
         let bound = Q16::epsilon() * (a.abs() + b.abs() + 2.0);
-        prop_assert!((p - a * b).abs() <= bound, "{p} vs {}", a * b);
-    }
+        assert!((p - a * b).abs() <= bound, "{p} vs {}", a * b);
+    });
+}
 
-    #[test]
-    fn packer_round_trips_any_length(data in prop::collection::vec(-1e6f32..1e6, 0..200)) {
+#[test]
+fn packer_round_trips_any_length() {
+    cases(64, |r| {
+        let len = r.usize_range(0, 200);
+        let data = r.vec_f32(len, -1e6, 1e6);
         let mut p = Packer::new();
         let mut words: Vec<Wide512> = Vec::new();
         for &v in &data {
@@ -52,24 +70,34 @@ proptest! {
         }
         let mut out = Vec::new();
         unpack_words(&words, &mut out);
-        prop_assert_eq!(&out[..data.len()], &data[..]);
+        assert_eq!(&out[..data.len()], &data[..]);
         for &pad in &out[data.len()..] {
-            prop_assert_eq!(pad, 0.0);
+            assert_eq!(pad, 0.0);
         }
-    }
+    });
+}
 
-    #[test]
-    fn pipeline_cycles_monotone(ii in 1u64..8, depth in 1u64..200, trips in 0u64..100_000) {
+#[test]
+fn pipeline_cycles_monotone() {
+    cases(256, |r| {
+        let ii = r.u64_range(1, 8);
+        let depth = r.u64_range(1, 200);
+        let trips = r.u64_range(0, 100_000);
         let m = PipelineModel::new(ii, depth);
-        prop_assert!(m.cycles(trips + 1) >= m.cycles(trips));
+        assert!(m.cycles(trips + 1) >= m.cycles(trips));
         // II dominates asymptotically.
         if trips > 0 {
-            prop_assert_eq!(m.cycles(trips + 1) - m.cycles(trips), ii);
+            assert_eq!(m.cycles(trips + 1) - m.cycles(trips), ii);
         }
-    }
+    });
+}
 
-    #[test]
-    fn delayed_counter_lags_exactly(delay in 1usize..8, increments in prop::collection::vec(any::<bool>(), 1..100)) {
+#[test]
+fn delayed_counter_lags_exactly() {
+    cases(256, |r| {
+        let delay = r.usize_range(1, 8);
+        let len = r.usize_range(1, 100);
+        let increments = r.vec_bool(len);
         let mut c = DelayedCounter::new(delay);
         let mut history = vec![0u64]; // value before update k
         for &inc in &increments {
@@ -78,11 +106,15 @@ proptest! {
         }
         let k = increments.len();
         let expect = history[k.saturating_sub(delay)];
-        prop_assert_eq!(c.delayed(), expect);
-    }
+        assert_eq!(c.delayed(), expect);
+    });
+}
 
-    #[test]
-    fn stream_preserves_order_and_content(data in prop::collection::vec(any::<u64>(), 1..500), depth in 1usize..64) {
+#[test]
+fn stream_preserves_order_and_content() {
+    cases(32, |r| {
+        let data: Vec<u64> = (0..r.usize_range(1, 500)).map(|_| r.next_u64()).collect();
+        let depth = r.usize_range(1, 64);
         let (tx, rx) = Stream::with_depth(depth);
         let sent = data.clone();
         let producer = std::thread::spawn(move || {
@@ -95,16 +127,17 @@ proptest! {
             received.push(v);
         }
         producer.join().unwrap();
-        prop_assert_eq!(received, data);
-    }
+        assert_eq!(received, data);
+    });
+}
 
-    #[test]
-    fn effective_bandwidth_bounded_by_cap(
-        burst_words in 1u64..64,
-        n in 1u64..32,
-        arb in 0u64..32,
-        cpb in 1u64..8,
-    ) {
+#[test]
+fn effective_bandwidth_bounded_by_cap() {
+    cases(256, |r| {
+        let burst_words = r.u64_range(1, 64);
+        let n = r.u64_range(1, 32);
+        let arb = r.u64_range(0, 32);
+        let cpb = r.u64_range(1, 8);
         let ch = BurstChannel {
             freq_hz: 200e6,
             cycles_per_beat: cpb,
@@ -113,19 +146,23 @@ proptest! {
         };
         let burst = burst_words * 16;
         let bw = ch.effective_bandwidth(burst, n);
-        prop_assert!(bw <= ch.channel_cap(burst) * 1.0000001);
-        prop_assert!(bw > 0.0);
+        assert!(bw <= ch.channel_cap(burst) * 1.0000001);
+        assert!(bw > 0.0);
         // Monotone in work-items.
-        prop_assert!(ch.effective_bandwidth(burst, n + 1) >= bw - 1e-6);
-    }
+        assert!(ch.effective_bandwidth(burst, n + 1) >= bw - 1e-6);
+    });
+}
 
-    #[test]
-    fn eq1_exit_ii_inverse_of_delay(lat in 1u64..16, delay in 0u64..16) {
+#[test]
+fn eq1_exit_ii_inverse_of_delay() {
+    cases(256, |r| {
+        let lat = r.u64_range(1, 16);
+        let delay = r.u64_range(0, 16);
         let ii = PipelineModel::ii_for_exit_dependency(lat, delay);
-        prop_assert!(ii >= 1);
-        prop_assert!(ii <= lat.max(1));
+        assert!(ii >= 1);
+        assert!(ii <= lat.max(1));
         if delay >= lat {
-            prop_assert_eq!(ii, 1);
+            assert_eq!(ii, 1);
         }
-    }
+    });
 }

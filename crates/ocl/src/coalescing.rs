@@ -91,8 +91,7 @@ mod tests {
     #[test]
     fn penalty_grows_with_width() {
         assert!(
-            miscoalescing_penalty(DeviceKind::Gpu, 32)
-                > miscoalescing_penalty(DeviceKind::Gpu, 8)
+            miscoalescing_penalty(DeviceKind::Gpu, 32) > miscoalescing_penalty(DeviceKind::Gpu, 8)
         );
         // GPU at warp width: 16× penalty for blocked stores.
         assert_eq!(miscoalescing_penalty(DeviceKind::Gpu, 32), 16.0);

@@ -70,7 +70,7 @@ impl CommandQueue {
             now_ns: 0,
             enqueue_overhead_ns: 10_000, // ~10 µs driver call
             events: Vec::new(),
-        next_buffer_id: 0,
+            next_buffer_id: 0,
         }
     }
 
@@ -238,8 +238,7 @@ mod tests {
     #[test]
     fn measurement_session_fills_window() {
         let mut q = CommandQueue::new(GPU, PcieLink::gen3_x8());
-        let (events, invocations) =
-            q.run_measurement_session(&cell(), N, 65_536, 64, 20.0);
+        let (events, invocations) = q.run_measurement_session(&cell(), N, 65_536, 64, 20.0);
         assert!(!events.is_empty());
         // Span covered ≥ 20 s.
         let span = events.last().unwrap().end_ns - events[0].start_ns;

@@ -153,7 +153,12 @@ mod tests {
     fn single_diverging_lane_forces_issue() {
         // One of four lanes has gRN_ok: correction still issues, 3/4 idle.
         let blocks = listing2_blocks();
-        let masks = vec![mask(&[(true, true), (true, false), (true, false), (true, false)])];
+        let masks = vec![mask(&[
+            (true, true),
+            (true, false),
+            (true, false),
+            (true, false),
+        ])];
         let r = run_masked(&blocks, &masks);
         let (issues, frac) = r.block_stats[2];
         assert_eq!(issues, 1);
@@ -195,9 +200,8 @@ mod tests {
     fn width_one_partition_never_idles_on_taken_blocks() {
         // A decoupled work-item: every issued block is fully utilized.
         let blocks = listing2_blocks();
-        let masks: Vec<Vec<LaneMask>> = (0..50)
-            .map(|i| mask(&[(i % 3 != 0, i % 4 != 0)]))
-            .collect();
+        let masks: Vec<Vec<LaneMask>> =
+            (0..50).map(|i| mask(&[(i % 3 != 0, i % 4 != 0)])).collect();
         let r = run_masked(&blocks, &masks);
         assert_eq!(r.utilization(), 1.0, "width-1 partitions cannot idle");
     }

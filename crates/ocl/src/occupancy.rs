@@ -50,20 +50,16 @@ pub fn resident_warps(limits: &SmLimits, fp: &KernelFootprint, local_size: u32) 
     let warps_per_group = local_size.div_ceil(32);
     // Register limit.
     let regs_per_group = fp.registers_per_wi * warps_per_group * 32;
-    let groups_by_regs = if regs_per_group == 0 {
-        limits.max_groups
-    } else {
-        limits.registers / regs_per_group
-    };
+    let groups_by_regs = limits
+        .registers
+        .checked_div(regs_per_group)
+        .unwrap_or(limits.max_groups);
     // Shared-memory limit.
-    let groups_by_shared = if fp.shared_per_group == 0 {
-        limits.max_groups
-    } else {
-        limits.shared_bytes / fp.shared_per_group
-    };
-    let groups = groups_by_regs
-        .min(groups_by_shared)
-        .min(limits.max_groups);
+    let groups_by_shared = limits
+        .shared_bytes
+        .checked_div(fp.shared_per_group)
+        .unwrap_or(limits.max_groups);
+    let groups = groups_by_regs.min(groups_by_shared).min(limits.max_groups);
     (groups * warps_per_group).min(limits.max_warps)
 }
 
@@ -94,7 +90,10 @@ mod tests {
         // profile's latency_hiding_partitions = 2 at localSize 64).
         let w32 = resident_warps(&GK210, &GAMMA_KERNEL_FOOTPRINT, 32);
         let w64 = resident_warps(&GK210, &GAMMA_KERNEL_FOOTPRINT, 64);
-        assert!(w64 > w32, "64-wide groups must beat 32-wide: {w64} vs {w32}");
+        assert!(
+            w64 > w32,
+            "64-wide groups must beat 32-wide: {w64} vs {w32}"
+        );
     }
 
     #[test]

@@ -50,7 +50,10 @@ mod tests {
     fn bulk_transfer_is_bandwidth_bound() {
         let link = PcieLink::gen3_x8();
         let t = link.transfer_s(2_516_582_400, 1);
-        assert!((t - 0.4194).abs() < 0.01, "2.5 GB over 6 GB/s ≈ 0.42 s, got {t}");
+        assert!(
+            (t - 0.4194).abs() < 0.01,
+            "2.5 GB over 6 GB/s ≈ 0.42 s, got {t}"
+        );
     }
 
     #[test]

@@ -173,8 +173,9 @@ mod tests {
         let widths = [2usize, 8, 32];
         let mut prev = 0.0;
         for &w in &widths {
-            let traces: Vec<Vec<u32>> =
-                (0..w).map(|i| synthetic_trace(q, 2000, 100 + i as u64)).collect();
+            let traces: Vec<Vec<u32>> = (0..w)
+                .map(|i| synthetic_trace(q, 2000, 100 + i as u64))
+                .collect();
             let r = run_lockstep(&traces);
             let idle = r.idle_fraction();
             assert!(idle > prev, "idle must grow with width: {idle} at w={w}");
@@ -225,12 +226,8 @@ mod tests {
     fn decoupled_cost_matches_lane_mean() {
         let traces: Vec<Vec<u32>> = (0..8).map(|i| synthetic_trace(0.25, 5000, i)).collect();
         let r = run_lockstep(&traces);
-        let mean: f64 = r
-            .lane_iterations
-            .iter()
-            .map(|&l| l as f64)
-            .sum::<f64>()
-            / (8.0 * r.rounds as f64);
+        let mean: f64 =
+            r.lane_iterations.iter().map(|&l| l as f64).sum::<f64>() / (8.0 * r.rounds as f64);
         assert!((r.decoupled_cost_per_output() - mean).abs() < 1e-12);
         assert!(r.decoupled_cost_per_output() < r.cost_per_output());
     }

@@ -1,18 +1,25 @@
-//! Property-based tests for the SIMT divergence model.
+//! Randomized case-sweep tests for the SIMT divergence model
+//! (deterministic `dwi-testkit` generator).
 
 use dwi_ocl::simt::{divergence_factor, run_lockstep, synthetic_trace};
-use proptest::prelude::*;
+use dwi_testkit::{cases, Rng};
 
-proptest! {
-    #[test]
-    fn lockstep_cost_bounded_by_max_and_sum(
-        traces in prop::collection::vec(
-            prop::collection::vec(1u32..20, 5..40),
-            1..8,
-        ),
-    ) {
+fn random_traces(r: &mut Rng) -> Vec<Vec<u32>> {
+    let lanes = r.usize_range(1, 8);
+    (0..lanes)
+        .map(|_| {
+            let len = r.usize_range(5, 40);
+            (0..len).map(|_| r.u32_range(1, 20)).collect()
+        })
+        .collect()
+}
+
+#[test]
+fn lockstep_cost_bounded_by_max_and_sum() {
+    cases(128, |r| {
+        let traces = random_traces(r);
         let min_len = traces.iter().map(|t| t.len()).min().unwrap();
-        let r = run_lockstep(&traces);
+        let res = run_lockstep(&traces);
         // Lower bound: the slowest lane's useful iterations over the
         // common rounds.
         let max_lane: u64 = traces
@@ -24,52 +31,66 @@ proptest! {
             .iter()
             .map(|t| t[..min_len].iter().map(|&a| a as u64).sum::<u64>())
             .sum();
-        prop_assert!(r.lockstep_iterations >= max_lane);
-        prop_assert!(r.lockstep_iterations <= sum_lanes);
-    }
+        assert!(res.lockstep_iterations >= max_lane);
+        assert!(res.lockstep_iterations <= sum_lanes);
+    });
+}
 
-    #[test]
-    fn idle_fraction_in_unit_interval(
-        traces in prop::collection::vec(
-            prop::collection::vec(1u32..20, 5..40),
-            1..8,
-        ),
-    ) {
-        let r = run_lockstep(&traces);
-        let idle = r.idle_fraction();
-        prop_assert!((0.0..1.0).contains(&idle) || idle == 0.0);
-    }
+#[test]
+fn idle_fraction_in_unit_interval() {
+    cases(128, |r| {
+        let res = run_lockstep(&random_traces(r));
+        let idle = res.idle_fraction();
+        assert!((0.0..1.0).contains(&idle) || idle == 0.0);
+    });
+}
 
-    #[test]
-    fn divergence_factor_bounds(q in 0.0f64..0.9, w in 1u32..128) {
+#[test]
+fn divergence_factor_bounds() {
+    cases(256, |r| {
+        let q = r.f64_range(0.0, 0.9);
+        let w = r.u32_range(1, 128);
         let d = divergence_factor(q, w);
         let serial = if q == 0.0 { 1.0 } else { 1.0 / (1.0 - q) };
-        prop_assert!(d >= serial - 1e-9, "D must dominate the decoupled cost");
+        assert!(d >= serial - 1e-9, "D must dominate the decoupled cost");
         // Union bound-ish upper limit: E[max] <= serial * (1 + ln w).
-        prop_assert!(
+        assert!(
             d <= serial * (1.0 + (w as f64).ln()) + 1.0,
             "D = {d} too large for q={q}, w={w}"
         );
-    }
+    });
+}
 
-    #[test]
-    fn divergence_factor_monotone(q in 0.01f64..0.8, w in 1u32..64) {
-        prop_assert!(divergence_factor(q, w + 1) >= divergence_factor(q, w));
-        prop_assert!(divergence_factor(q + 0.05, w) >= divergence_factor(q, w));
-    }
+#[test]
+fn divergence_factor_monotone() {
+    cases(256, |r| {
+        let q = r.f64_range(0.01, 0.8);
+        let w = r.u32_range(1, 64);
+        assert!(divergence_factor(q, w + 1) >= divergence_factor(q, w));
+        assert!(divergence_factor(q + 0.05, w) >= divergence_factor(q, w));
+    });
+}
 
-    #[test]
-    fn synthetic_traces_have_valid_attempts(q in 0.0f64..0.9, seed in any::<u64>()) {
+#[test]
+fn synthetic_traces_have_valid_attempts() {
+    cases(256, |r| {
+        let q = r.f64_range(0.0, 0.9);
+        let seed = r.next_u64();
         let t = synthetic_trace(q, 50, seed);
-        prop_assert_eq!(t.len(), 50);
-        prop_assert!(t.iter().all(|&a| a >= 1));
-    }
+        assert_eq!(t.len(), 50);
+        assert!(t.iter().all(|&a| a >= 1));
+    });
+}
 
-    #[test]
-    fn single_lane_lockstep_equals_serial(trace in prop::collection::vec(1u32..30, 1..60)) {
+#[test]
+fn single_lane_lockstep_equals_serial() {
+    cases(128, |r| {
+        let trace: Vec<u32> = (0..r.usize_range(1, 60))
+            .map(|_| r.u32_range(1, 30))
+            .collect();
         let serial: u64 = trace.iter().map(|&a| a as u64).sum();
-        let r = run_lockstep(&[trace]);
-        prop_assert_eq!(r.lockstep_iterations, serial);
-        prop_assert_eq!(r.idle_fraction(), 0.0);
-    }
+        let res = run_lockstep(&[trace]);
+        assert_eq!(res.lockstep_iterations, serial);
+        assert_eq!(res.idle_fraction(), 0.0);
+    });
 }

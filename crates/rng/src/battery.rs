@@ -48,8 +48,7 @@ pub fn runs_test(us: &[f64]) -> TestResult {
         }
     }
     let mean = 2.0 * n1 * n2 / (n1 + n2) + 1.0;
-    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2)
-        / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
+    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n1 - n2) / ((n1 + n2) * (n1 + n2) * (n1 + n2 - 1.0));
     let z = (runs as f64 - mean) / var.sqrt();
     TestResult::from_chi2(z * z, 1)
 }
@@ -94,7 +93,10 @@ pub fn gap_test(us: &[f64], lo: f64, hi: f64, t_max: usize) -> TestResult {
 pub fn serial_pairs_test(us: &[f64], d: usize) -> TestResult {
     assert!(d >= 2 && d * d <= 4096);
     let pairs = us.len() / 2;
-    assert!(pairs as f64 >= 5.0 * (d * d) as f64, "need ≥5 pairs per cell");
+    assert!(
+        pairs as f64 >= 5.0 * (d * d) as f64,
+        "need ≥5 pairs per cell"
+    );
     let mut counts = vec![0u64; d * d];
     for pair in us.chunks_exact(2) {
         let i = ((pair[0] * d as f64) as usize).min(d - 1);

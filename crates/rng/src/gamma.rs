@@ -157,11 +157,7 @@ mod tests {
             let xs = sample(v, 120_000, 42);
             let mut s = dwi_stats::Summary::new();
             s.extend(&xs);
-            assert!(
-                (s.mean() - 1.0).abs() < 0.02,
-                "v={v}: mean {}",
-                s.mean()
-            );
+            assert!((s.mean() - 1.0).abs() < 0.02, "v={v}: mean {}", s.mean());
             assert!(
                 (s.variance() - v as f64).abs() < 0.08 * v as f64 + 0.02,
                 "v={v}: var {}",

@@ -407,10 +407,7 @@ mod tests {
     fn x_pow_pow2_mod_small() {
         // mod x^2+x+1 (field GF(4)): x^2 = x+1, x^4 = x ⇒ x^(2^2) ≡ x
         let m = Gf2Poly::from_exponents([0, 1, 2]);
-        assert_eq!(
-            Gf2Poly::x_pow_pow2_mod(2, &m),
-            Gf2Poly::monomial(1)
-        );
+        assert_eq!(Gf2Poly::x_pow_pow2_mod(2, &m), Gf2Poly::monomial(1));
     }
 
     #[test]

@@ -24,6 +24,7 @@ use crate::mt::{AdaptedMt, MtParams};
 use crate::rejection::RejectionStats;
 use crate::transforms::{IcdfCuda, IcdfFpga, MarsagliaBray, NormalTransform};
 use crate::uniform::uint2float;
+use dwi_trace::{Counter, Track};
 
 /// Which uniform→normal transform the kernel uses (Table I column
 /// "Uniform to Normal Transformation", plus the CUDA-style variant the
@@ -153,7 +154,10 @@ pub struct GammaKernel {
 impl GammaKernel {
     /// Build the kernel for work-item `wid`.
     pub fn new(cfg: &KernelConfig, wid: u32) -> Self {
-        assert!(cfg.sector_variance > 0.0, "sector variance must be positive");
+        assert!(
+            cfg.sector_variance > 0.0,
+            "sector variance must be positive"
+        );
         assert!(cfg.limit_max_factor >= 1, "limit_max_factor must be >= 1");
         let transform = match cfg.normal {
             NormalMethod::MarsagliaBray => Transform::Bray(MarsagliaBray::new()),
@@ -210,11 +214,7 @@ impl GammaKernel {
     /// Run all sectors with per-sector variances (heterogeneous CreditRisk+
     /// economy): `variances[k]` applies to sector `k`; the count must equal
     /// `limit_sec`.
-    pub fn run_all_with_variances(
-        &mut self,
-        variances: &[f32],
-        out: &mut Vec<f32>,
-    ) -> SectorRun {
+    pub fn run_all_with_variances(&mut self, variances: &[f32], out: &mut Vec<f32>) -> SectorRun {
         assert_eq!(
             variances.len(),
             self.cfg.limit_sec as usize,
@@ -277,7 +277,22 @@ impl GammaKernel {
 
     /// Run one sector (`MAINLOOP`): produce `limit_main` gammas into `sink`,
     /// honouring the delayed loop-exit counter and the `limitMax` bound.
-    pub fn run_sector(&mut self, mut sink: impl FnMut(f32)) -> SectorRun {
+    pub fn run_sector(&mut self, sink: impl FnMut(f32)) -> SectorRun {
+        self.run_sector_traced(sink, &Track::disabled())
+    }
+
+    /// [`GammaKernel::run_sector`] with a timeline track: every rejected
+    /// iteration drops a `rejection` instant on the track and bumps
+    /// `dwi_rejection_retries_total{wid}` — the paper's Section IV-E
+    /// combined-rejection behaviour, observable per work-item. With a
+    /// disabled track the per-iteration cost is one predictable branch.
+    pub fn run_sector_traced(&mut self, mut sink: impl FnMut(f32), track: &Track) -> SectorRun {
+        let c_rej = if track.is_enabled() {
+            let wid = self.wid.to_string();
+            track.counter("dwi_rejection_retries_total", &[("wid", &wid)])
+        } else {
+            Counter::disabled()
+        };
         let limit_main = self.cfg.limit_main as u64;
         let limit_max = limit_main.saturating_mul(self.cfg.limit_max_factor as u64);
         let delay = self.cfg.break_id as usize + 1;
@@ -292,12 +307,15 @@ impl GammaKernel {
                 prev_counter[i] = prev_counter[i - 1];
             }
             prev_counter[0] = counter;
-            let (out, _) = self.step();
+            let (out, trace) = self.step();
             if let Some(g) = out {
                 if counter < limit_main {
                     sink(g);
                     counter += 1;
                 }
+            } else if !trace.accepted {
+                c_rej.inc();
+                track.instant("rejection");
             }
             k += 1;
         }
@@ -444,7 +462,10 @@ mod tests {
         k0.run_all(&mut a);
         k1.run_all(&mut b);
         let same = a.iter().zip(&b).filter(|(x, y)| x == y).count();
-        assert!(same < a.len() / 100, "streams look correlated: {same} equal");
+        assert!(
+            same < a.len() / 100,
+            "streams look correlated: {same} equal"
+        );
     }
 
     #[test]
@@ -542,7 +563,11 @@ mod tests {
             let slice = &out[sec * 20_000..(sec + 1) * 20_000];
             let mut s = dwi_stats::Summary::new();
             s.extend_f32(slice);
-            assert!((s.mean() - 1.0).abs() < 0.03, "sector {sec}: mean {}", s.mean());
+            assert!(
+                (s.mean() - 1.0).abs() < 0.03,
+                "sector {sec}: mean {}",
+                s.mean()
+            );
             assert!(
                 (s.variance() - v as f64).abs() / (v as f64) < 0.1,
                 "sector {sec}: var {} vs {v}",

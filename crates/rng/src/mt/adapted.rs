@@ -141,7 +141,9 @@ mod tests {
         // Pseudo-random but deterministic gate pattern.
         let mut lcg = 12345u64;
         while committed.len() < 1000 {
-            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            lcg = lcg
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let enable = (lcg >> 62) != 0; // ~75% enabled
             let v = gated.next(enable);
             if enable {

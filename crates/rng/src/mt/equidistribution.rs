@@ -29,14 +29,11 @@ pub fn bit_balance(params: MtParams, seed: u32, n: usize) -> [f64; 32] {
 /// Chi-square statistic of the `k`-tuple distribution of the top `v` bits
 /// over `n` tuples, together with the cell count. Under uniformity the
 /// statistic is ≈ chi-square with `2^(v·k) − 1` dof.
-pub fn tuple_chi_square(
-    params: MtParams,
-    seed: u32,
-    v: u32,
-    k: u32,
-    n: usize,
-) -> (f64, usize) {
-    assert!(v >= 1 && v * k <= 20, "cell space must stay small (v*k <= 20)");
+pub fn tuple_chi_square(params: MtParams, seed: u32, v: u32, k: u32, n: usize) -> (f64, usize) {
+    assert!(
+        v >= 1 && v * k <= 20,
+        "cell space must stay small (v*k <= 20)"
+    );
     let cells = 1usize << (v * k);
     let mut counts = vec![0u64; cells];
     let mut mt = BlockMt::new(params, seed);
@@ -97,7 +94,11 @@ mod tests {
     fn triple_tuples_uniform() {
         for params in [MT19937, MT521] {
             let p = tuple_test_p(params, 3, 3, 3, 200_000);
-            assert!(p > 1e-4, "exponent {}: triple test p = {p}", params.exponent);
+            assert!(
+                p > 1e-4,
+                "exponent {}: triple test p = {p}",
+                params.exponent
+            );
         }
     }
 

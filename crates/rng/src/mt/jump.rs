@@ -141,7 +141,6 @@ pub fn x_pow_mod(j: u64, cp: &Gf2Poly) -> Gf2Poly {
 mod tests {
     use super::*;
     use crate::mt::params::{MT19937, MT521};
-    
 
     #[test]
     fn x_pow_mod_small_cases() {

@@ -52,14 +52,9 @@ impl StreamFamily {
         let members = match strategy {
             StreamStrategy::DynamicCreation => (0..n)
                 .map(|id| {
-                    let (a, _) = find_twist_coefficient(
-                        base.exponent,
-                        base.n,
-                        base.m,
-                        base.r,
-                        id as usize,
-                    )
-                    .expect("DC search exhausted");
+                    let (a, _) =
+                        find_twist_coefficient(base.exponent, base.n, base.m, base.r, id as usize)
+                            .expect("DC search exhausted");
                     FamilyMember::Dc(BlockMt::new(MtParams { a, ..base }, seed))
                 })
                 .collect(),
@@ -175,7 +170,9 @@ mod tests {
     fn both_strategies_yield_uniform_marginals() {
         for strategy in [
             StreamStrategy::DynamicCreation,
-            StreamStrategy::JumpAhead { substream_len: 1 << 16 },
+            StreamStrategy::JumpAhead {
+                substream_len: 1 << 16,
+            },
         ] {
             let base = if strategy == StreamStrategy::DynamicCreation {
                 mt89()
@@ -187,7 +184,11 @@ mod tests {
             for _ in 0..50_000 {
                 s.add(fam.next_u32(0) as f64 / u32::MAX as f64);
             }
-            assert!((s.mean() - 0.5).abs() < 0.01, "{strategy:?}: mean {}", s.mean());
+            assert!(
+                (s.mean() - 0.5).abs() < 0.01,
+                "{strategy:?}: mean {}",
+                s.mean()
+            );
             assert!(
                 (s.variance() - 1.0 / 12.0).abs() < 0.005,
                 "{strategy:?}: var {}",

@@ -1,83 +1,110 @@
-//! Property-based tests for the RNG substrate.
+//! Randomized case-sweep tests for the RNG substrate
+//! (deterministic `dwi-testkit` generator).
+
+use std::collections::BTreeSet;
 
 use dwi_rng::gf2::{minimal_polynomial, Gf2Poly};
 use dwi_rng::mt::jump::{transition_char_poly, x_pow_mod, CanonicalState};
 use dwi_rng::mt::{AdaptedMt, BlockMt, MT521};
 use dwi_rng::transforms::{IcdfCuda, MarsagliaBray};
 use dwi_rng::uniform::{uint2float, uint2float_signed};
-use proptest::prelude::*;
+use dwi_testkit::{cases, Rng};
 
 fn poly(exps: Vec<usize>) -> Gf2Poly {
     Gf2Poly::from_exponents(exps)
 }
 
-proptest! {
-    #[test]
-    fn gf2_addition_commutative_associative(
-        a in prop::collection::vec(0usize..128, 0..12),
-        b in prop::collection::vec(0usize..128, 0..12),
-        c in prop::collection::vec(0usize..128, 0..12),
-    ) {
-        let (a, b, c) = (poly(a), poly(b), poly(c));
-        prop_assert_eq!(a.add(&b), b.add(&a));
-        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
-        prop_assert!(a.add(&a).is_zero());
-    }
+fn random_poly(r: &mut Rng, max_exp: usize, max_terms: usize) -> Gf2Poly {
+    let terms = r.usize_range(0, max_terms);
+    poly((0..terms).map(|_| r.usize_range(0, max_exp)).collect())
+}
 
-    #[test]
-    fn gf2_multiplication_distributes(
-        a in prop::collection::vec(0usize..64, 0..8),
-        b in prop::collection::vec(0usize..64, 0..8),
-        c in prop::collection::vec(0usize..64, 0..8),
-    ) {
-        let (a, b, c) = (poly(a), poly(b), poly(c));
-        prop_assert_eq!(a.mul(&b), b.mul(&a));
-        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
-    }
+#[test]
+fn gf2_addition_commutative_associative() {
+    cases(256, |r| {
+        let a = random_poly(r, 128, 12);
+        let b = random_poly(r, 128, 12);
+        let c = random_poly(r, 128, 12);
+        assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert!(a.add(&a).is_zero());
+    });
+}
 
-    #[test]
-    fn gf2_division_invariant(
-        a in prop::collection::vec(0usize..96, 0..10),
-        m in prop::collection::vec(0usize..32, 1..6),
-    ) {
-        let a = poly(a);
-        let mut m = poly(m);
-        if m.is_zero() { m = Gf2Poly::one(); }
-        let r = a.rem(&m);
+#[test]
+fn gf2_multiplication_distributes() {
+    cases(256, |r| {
+        let a = random_poly(r, 64, 8);
+        let b = random_poly(r, 64, 8);
+        let c = random_poly(r, 64, 8);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+    });
+}
+
+#[test]
+fn gf2_division_invariant() {
+    cases(256, |r| {
+        let a = random_poly(r, 96, 10);
+        let mut m = poly(
+            (0..r.usize_range(1, 6))
+                .map(|_| r.usize_range(0, 32))
+                .collect(),
+        );
+        if m.is_zero() {
+            m = Gf2Poly::one();
+        }
+        let rem = a.rem(&m);
         // deg r < deg m
-        if let (Some(dr), Some(dm)) = (r.degree(), m.degree()) {
-            prop_assert!(dr < dm);
+        if let (Some(dr), Some(dm)) = (rem.degree(), m.degree()) {
+            assert!(dr < dm);
         }
         // a + r is divisible by m (over GF(2), a - r = a + r)
-        prop_assert!(a.add(&r).rem(&m).is_zero());
-    }
+        assert!(a.add(&rem).rem(&m).is_zero());
+    });
+}
 
-    #[test]
-    fn gf2_square_matches_self_mul(a in prop::collection::vec(0usize..160, 0..16)) {
-        let a = poly(a);
-        prop_assert_eq!(a.square(), a.mul(&a));
-    }
+#[test]
+fn gf2_square_matches_self_mul() {
+    cases(256, |r| {
+        let a = random_poly(r, 160, 16);
+        assert_eq!(a.square(), a.mul(&a));
+    });
+}
 
-    #[test]
-    fn reciprocal_involution(a in prop::collection::vec(0usize..64, 1..10)) {
-        let mut a = poly(a);
+#[test]
+fn reciprocal_involution() {
+    cases(256, |r| {
+        let mut a = poly(
+            (0..r.usize_range(1, 10))
+                .map(|_| r.usize_range(0, 64))
+                .collect(),
+        );
         a.flip(0); // ensure nonzero constant term (flip may also clear; fix below)
-        if !a.coeff(0) { a.flip(0); }
-        if a.is_zero() { a = Gf2Poly::one(); }
-        prop_assert_eq!(a.reciprocal().reciprocal(), a);
-    }
+        if !a.coeff(0) {
+            a.flip(0);
+        }
+        if a.is_zero() {
+            a = Gf2Poly::one();
+        }
+        assert_eq!(a.reciprocal().reciprocal(), a);
+    });
+}
 
-    #[test]
-    fn bm_recovers_random_lfsrs(
-        taps in prop::collection::btree_set(1usize..24, 1..5),
-        init_bits in prop::collection::vec(any::<bool>(), 24),
-    ) {
+#[test]
+fn bm_recovers_random_lfsrs() {
+    cases(128, |r| {
+        let mut taps: BTreeSet<usize> = BTreeSet::new();
+        for _ in 0..r.usize_range(1, 5) {
+            taps.insert(r.usize_range(1, 24));
+        }
+        let init_bits = r.vec_bool(24);
         // Build an LFSR from the taps; BM must find a recurrence of degree
         // <= max tap that regenerates the sequence.
         let deg = *taps.iter().max().unwrap();
         let init = &init_bits[..deg];
         if init.iter().all(|&b| !b) {
-            return Ok(()); // zero orbit
+            return; // zero orbit
         }
         let mut seq: Vec<bool> = init.to_vec();
         while seq.len() < 3 * deg + 16 {
@@ -90,7 +117,7 @@ proptest! {
         }
         let c = minimal_polynomial(&seq);
         let d = c.degree().unwrap_or(0);
-        prop_assert!(d <= deg);
+        assert!(d <= deg);
         // The recurrence from c regenerates the sequence.
         for n in d..seq.len() {
             let mut bit = false;
@@ -99,58 +126,75 @@ proptest! {
                     bit = !bit;
                 }
             }
-            prop_assert_eq!(bit, seq[n], "position {}", n);
+            assert_eq!(bit, seq[n], "position {n}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn adapted_mt_gating_never_distorts(pattern in prop::collection::vec(any::<bool>(), 200), seed in any::<u32>()) {
+#[test]
+fn adapted_mt_gating_never_distorts() {
+    cases(64, |r| {
+        let pattern = r.vec_bool(200);
+        let seed = r.next_u32();
         // Any gate pattern: committed outputs equal the plain stream.
         let mut gated = AdaptedMt::new(MT521, seed);
         let mut plain = BlockMt::new(MT521, seed);
         for &enable in &pattern {
             let v = gated.next(enable);
             if enable {
-                prop_assert_eq!(v, plain.next_u32());
+                assert_eq!(v, plain.next_u32());
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn uint2float_ranges(u in any::<u32>()) {
+#[test]
+fn uint2float_ranges() {
+    cases(512, |r| {
+        let u = r.next_u32();
         let a = uint2float(u);
-        prop_assert!((0.0..1.0).contains(&a));
+        assert!((0.0..1.0).contains(&a));
         let b = uint2float_signed(u);
-        prop_assert!((-1.0..1.0).contains(&b));
-    }
+        assert!((-1.0..1.0).contains(&b));
+    });
+}
 
-    #[test]
-    fn icdf_cuda_monotone(u in 1u32..u32::MAX - 256) {
+#[test]
+fn icdf_cuda_monotone() {
+    cases(512, |r| {
+        let u = r.u32_range(1, u32::MAX - 256);
         let (a, ok_a) = IcdfCuda::attempt_pure(u & !0xFF);
         let (b, ok_b) = IcdfCuda::attempt_pure((u & !0xFF) + 256);
         if ok_a && ok_b {
-            prop_assert!(b >= a, "ICDF must be monotone: {a} vs {b}");
+            assert!(b >= a, "ICDF must be monotone: {a} vs {b}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn marsaglia_bray_output_is_finite(u0 in any::<u32>(), u1 in any::<u32>()) {
+#[test]
+fn marsaglia_bray_output_is_finite() {
+    cases(512, |r| {
+        let (u0, u1) = (r.next_u32(), r.next_u32());
         let (n, ok) = MarsagliaBray::attempt_pure(u0, u1);
         if ok {
-            prop_assert!(n.is_finite());
-            prop_assert!(n.abs() < 10.0, "polar output unreasonably large: {n}");
+            assert!(n.is_finite());
+            assert!(n.abs() < 10.0, "polar output unreasonably large: {n}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn x_pow_mod_additive_in_exponent(j1 in 0u64..4096, j2 in 0u64..4096) {
+#[test]
+fn x_pow_mod_additive_in_exponent() {
+    cases(128, |r| {
+        let j1 = r.u64_range(0, 4096);
+        let j2 = r.u64_range(0, 4096);
         // x^(j1+j2) = x^j1 · x^j2 (mod m)
         let m = Gf2Poly::from_exponents([0, 3, 25]);
         let a = x_pow_mod(j1, &m);
         let b = x_pow_mod(j2, &m);
         let ab = a.mul(&b).rem(&m);
-        prop_assert_eq!(ab, x_pow_mod(j1 + j2, &m));
-    }
+        assert_eq!(ab, x_pow_mod(j1 + j2, &m));
+    });
 }
 
 #[test]

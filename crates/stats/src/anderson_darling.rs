@@ -95,7 +95,11 @@ mod tests {
             .map(|x| x.min(0.96))
             .collect();
         let r = ad_test(&s, |x| x.clamp(0.0, 1.0));
-        assert!(!r.accepts(0.01), "AD must catch tail truncation, p = {}", r.p_value);
+        assert!(
+            !r.accepts(0.01),
+            "AD must catch tail truncation, p = {}",
+            r.p_value
+        );
     }
 
     #[test]

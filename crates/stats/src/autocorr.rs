@@ -75,10 +75,7 @@ mod tests {
         let white = lcg_stream(5000);
         let (_, p_white) = ljung_box(&white, 10);
         assert!(p_white > 0.01, "white p = {p_white}");
-        let colored: Vec<f64> = white
-            .windows(2)
-            .map(|w| 0.7 * w[0] + 0.3 * w[1])
-            .collect();
+        let colored: Vec<f64> = white.windows(2).map(|w| 0.7 * w[0] + 0.3 * w[1]).collect();
         let (_, p_col) = ljung_box(&colored, 10);
         assert!(p_col < 1e-6, "colored p = {p_col}");
     }

@@ -117,7 +117,11 @@ impl Gamma {
             }
             // Newton in t = ln x: dF/dt = pdf(x) * x.
             let d = self.pdf(x) * x;
-            let mut next = if d > 0.0 { x * (-f / d).exp() } else { f64::NAN };
+            let mut next = if d > 0.0 {
+                x * (-f / d).exp()
+            } else {
+                f64::NAN
+            };
             if !next.is_finite() || next <= lo || next >= hi {
                 next = (lo * hi).sqrt();
             }

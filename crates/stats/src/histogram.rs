@@ -105,11 +105,7 @@ impl Histogram {
     /// Used by the Fig. 6 binary.
     pub fn render_with_reference(&self, pdf: impl Fn(f64) -> f64, width: usize) -> String {
         let dens = self.density();
-        let max = dens
-            .iter()
-            .cloned()
-            .fold(0.0_f64, f64::max)
-            .max(1e-12);
+        let max = dens.iter().cloned().fold(0.0_f64, f64::max).max(1e-12);
         let mut out = String::new();
         for (i, &d) in dens.iter().enumerate() {
             let x = self.bin_center(i);

@@ -151,7 +151,11 @@ mod tests {
         for x in quasi_uniform(100_000, 7) {
             est.add(x);
         }
-        assert!((est.quantile() - 0.5).abs() < 0.01, "median {}", est.quantile());
+        assert!(
+            (est.quantile() - 0.5).abs() < 0.01,
+            "median {}",
+            est.quantile()
+        );
     }
 
     #[test]
@@ -173,7 +177,10 @@ mod tests {
         // Compare against the exact empirical quantile on a skewed stream.
         let g = crate::Gamma::from_sector_variance(1.39);
         let us = quasi_uniform(50_000, 11);
-        let xs: Vec<f64> = us.iter().map(|&u| g.quantile(u.clamp(1e-9, 1.0 - 1e-9))).collect();
+        let xs: Vec<f64> = us
+            .iter()
+            .map(|&u| g.quantile(u.clamp(1e-9, 1.0 - 1e-9)))
+            .collect();
         let mut est = P2Quantile::new(0.95);
         for &x in &xs {
             est.add(x);

@@ -1,63 +1,90 @@
-//! Property-based tests for the statistical substrate.
+//! Randomized case-sweep tests for the statistical substrate
+//! (deterministic `dwi-testkit` generator).
 
 use dwi_stats::{
     chi_square_cdf, erf, erfc, lower_incomplete_gamma_regularized, Gamma, Histogram, Normal,
     Summary,
 };
-use proptest::prelude::*;
+use dwi_testkit::cases;
 
-proptest! {
-    #[test]
-    fn erf_odd_and_bounded(x in -6.0f64..6.0) {
+#[test]
+fn erf_odd_and_bounded() {
+    cases(512, |r| {
+        let x = r.f64_range(-6.0, 6.0);
         let v = erf(x);
-        prop_assert!((-1.0..=1.0).contains(&v));
-        prop_assert!((erf(-x) + v).abs() < 1e-13);
-    }
+        assert!((-1.0..=1.0).contains(&v));
+        assert!((erf(-x) + v).abs() < 1e-13);
+    });
+}
 
-    #[test]
-    fn erf_erfc_complement(x in -6.0f64..6.0) {
-        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
-    }
+#[test]
+fn erf_erfc_complement() {
+    cases(512, |r| {
+        let x = r.f64_range(-6.0, 6.0);
+        assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+    });
+}
 
-    #[test]
-    fn erf_monotone(a in -5.0f64..5.0, d in 1e-6f64..1.0) {
-        prop_assert!(erf(a + d) >= erf(a));
-    }
+#[test]
+fn erf_monotone() {
+    cases(512, |r| {
+        let a = r.f64_range(-5.0, 5.0);
+        let d = r.f64_range(1e-6, 1.0);
+        assert!(erf(a + d) >= erf(a));
+    });
+}
 
-    #[test]
-    fn incomplete_gamma_bounds_and_monotone(
-        a in 0.05f64..20.0,
-        x in 0.0f64..50.0,
-        d in 1e-6f64..5.0,
-    ) {
+#[test]
+fn incomplete_gamma_bounds_and_monotone() {
+    cases(512, |r| {
+        let a = r.f64_range(0.05, 20.0);
+        let x = r.f64_range(0.0, 50.0);
+        let d = r.f64_range(1e-6, 5.0);
         let p = lower_incomplete_gamma_regularized(a, x);
-        prop_assert!((0.0..=1.0).contains(&p));
-        prop_assert!(lower_incomplete_gamma_regularized(a, x + d) >= p - 1e-12);
-    }
+        assert!((0.0..=1.0).contains(&p));
+        assert!(lower_incomplete_gamma_regularized(a, x + d) >= p - 1e-12);
+    });
+}
 
-    #[test]
-    fn normal_quantile_round_trip(p in 1e-6f64..0.999999) {
+#[test]
+fn normal_quantile_round_trip() {
+    cases(512, |r| {
+        let p = r.f64_range(1e-6, 0.999999);
         let n = Normal::new(0.0, 1.0);
         let x = n.quantile(p);
-        prop_assert!((n.cdf(x) - p).abs() < 1e-9, "p={p}, cdf={}", n.cdf(x));
-    }
+        assert!((n.cdf(x) - p).abs() < 1e-9, "p={p}, cdf={}", n.cdf(x));
+    });
+}
 
-    #[test]
-    fn normal_cdf_monotone(mu in -5.0f64..5.0, sigma in 0.1f64..10.0, a in -20.0f64..20.0, d in 0.0f64..5.0) {
+#[test]
+fn normal_cdf_monotone() {
+    cases(512, |r| {
+        let mu = r.f64_range(-5.0, 5.0);
+        let sigma = r.f64_range(0.1, 10.0);
+        let a = r.f64_range(-20.0, 20.0);
+        let d = r.f64_range(0.0, 5.0);
         let n = Normal::new(mu, sigma);
-        prop_assert!(n.cdf(a + d) >= n.cdf(a));
-    }
+        assert!(n.cdf(a + d) >= n.cdf(a));
+    });
+}
 
-    #[test]
-    fn gamma_quantile_round_trip(v in 0.05f64..50.0, p in 1e-4f64..0.9999) {
+#[test]
+fn gamma_quantile_round_trip() {
+    cases(512, |r| {
+        let v = r.f64_range(0.05, 50.0);
+        let p = r.f64_range(1e-4, 0.9999);
         let g = Gamma::from_sector_variance(v);
         let x = g.quantile(p);
-        prop_assert!((g.cdf(x) - p).abs() < 1e-7, "v={v} p={p}");
-    }
+        assert!((g.cdf(x) - p).abs() < 1e-7, "v={v} p={p}");
+    });
+}
 
-    #[test]
-    fn summary_merge_equals_sequential(data in prop::collection::vec(-100.0f64..100.0, 2..200), split in 0usize..200) {
-        let split = split.min(data.len());
+#[test]
+fn summary_merge_equals_sequential() {
+    cases(256, |r| {
+        let len = r.usize_range(2, 200);
+        let data = r.vec_f64(len, -100.0, 100.0);
+        let split = r.usize_range(0, 200).min(data.len());
         let mut whole = Summary::new();
         whole.extend(&data);
         let mut a = Summary::new();
@@ -65,28 +92,41 @@ proptest! {
         a.extend(&data[..split]);
         b.extend(&data[split..]);
         a.merge(&b);
-        prop_assert!((a.mean() - whole.mean()).abs() < 1e-9);
-        prop_assert!((a.variance() - whole.variance()).abs() < 1e-7 * (1.0 + whole.variance()));
-        prop_assert_eq!(a.count(), whole.count());
-    }
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-7 * (1.0 + whole.variance()));
+        assert_eq!(a.count(), whole.count());
+    });
+}
 
-    #[test]
-    fn histogram_conserves_samples(samples in prop::collection::vec(-10.0f64..10.0, 1..500)) {
+#[test]
+fn histogram_conserves_samples() {
+    cases(256, |r| {
+        let len = r.usize_range(1, 500);
+        let samples = r.vec_f64(len, -10.0, 10.0);
         let mut h = Histogram::new(-5.0, 5.0, 20);
         h.extend(&samples);
         let (under, over) = h.out_of_range();
         let binned: u64 = h.counts().iter().sum();
-        prop_assert_eq!(binned + under + over, samples.len() as u64);
-    }
+        assert_eq!(binned + under + over, samples.len() as u64);
+    });
+}
 
-    #[test]
-    fn chi2_cdf_monotone_in_x(x in 0.0f64..100.0, d in 0.0f64..10.0, k in 1usize..30) {
-        prop_assert!(chi_square_cdf(x + d, k) >= chi_square_cdf(x, k) - 1e-12);
-    }
+#[test]
+fn chi2_cdf_monotone_in_x() {
+    cases(512, |r| {
+        let x = r.f64_range(0.0, 100.0);
+        let d = r.f64_range(0.0, 10.0);
+        let k = r.usize_range(1, 30);
+        assert!(chi_square_cdf(x + d, k) >= chi_square_cdf(x, k) - 1e-12);
+    });
+}
 
-    #[test]
-    fn chi2_cdf_decreasing_in_dof(x in 0.5f64..50.0, k in 1usize..20) {
+#[test]
+fn chi2_cdf_decreasing_in_dof() {
+    cases(512, |r| {
+        let x = r.f64_range(0.5, 50.0);
+        let k = r.usize_range(1, 20);
         // More degrees of freedom shift mass right: cdf decreases.
-        prop_assert!(chi_square_cdf(x, k + 1) <= chi_square_cdf(x, k) + 1e-12);
-    }
+        assert!(chi_square_cdf(x, k + 1) <= chi_square_cdf(x, k) + 1e-12);
+    });
 }

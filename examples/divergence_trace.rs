@@ -33,7 +33,11 @@ fn record_trace(normal: NormalMethod, wid: u32, outputs: usize) -> Vec<u32> {
 fn main() {
     let outputs = 5000;
     for (name, normal, q_hint) in [
-        ("Marsaglia-Bray chain (Config1/2)", NormalMethod::MarsagliaBray, 0.233),
+        (
+            "Marsaglia-Bray chain (Config1/2)",
+            NormalMethod::MarsagliaBray,
+            0.233,
+        ),
         ("ICDF chain (Config3/4)", NormalMethod::IcdfCuda, 0.023),
     ] {
         println!("== {name} ==");

@@ -3,9 +3,7 @@
 //! polynomial jump-ahead (one generator, provably disjoint substreams).
 
 use decoupled_workitems::rng::gf2::Gf2Poly;
-use decoupled_workitems::rng::mt::dynamic_creation::{
-    certify_full_period, find_twist_coefficient,
-};
+use decoupled_workitems::rng::mt::dynamic_creation::{certify_full_period, find_twist_coefficient};
 use decoupled_workitems::rng::mt::jump::{transition_char_poly, CanonicalState};
 use decoupled_workitems::rng::mt::{MtParams, MT19937, MT521};
 

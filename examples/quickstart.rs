@@ -49,7 +49,10 @@ fn main() {
         s.variance()
     );
 
-    let sample: Vec<f64> = run.host_buffer[..20_000].iter().map(|&x| x as f64).collect();
+    let sample: Vec<f64> = run.host_buffer[..20_000]
+        .iter()
+        .map(|&x| x as f64)
+        .collect();
     let dist = Gamma::from_sector_variance(1.39);
     let ks = ks_test(&sample, |x| dist.cdf(x));
     println!(

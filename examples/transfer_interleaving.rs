@@ -44,9 +44,7 @@ fn main() {
         }
         println!();
     }
-    println!(
-        "\npaper anchors: 3.58 GB/s (Config1,2 @ 6 WI), 3.94 GB/s (Config3,4 @ 8 WI)"
-    );
+    println!("\npaper anchors: 3.58 GB/s (Config1,2 @ 6 WI), 3.94 GB/s (Config3,4 @ 8 WI)");
     println!(
         "model:         {:.2} GB/s              {:.2} GB/s",
         BurstChannel::config12().effective_bandwidth(256, 6) / 1e9,

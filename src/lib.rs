@@ -20,6 +20,7 @@
 //! | [`core`] | the paper's contribution: decoupled work-items, transfers, Eq. 1, Table III driver |
 //! | [`energy`] | wall-plug power traces and dynamic-energy integration |
 //! | [`creditrisk`] | CreditRisk+ Monte-Carlo engine and analytic Panjer oracle |
+//! | [`trace`] | timeline tracing (Chrome/Perfetto export) + Prometheus metrics |
 //!
 //! ## Quickstart
 //!
@@ -39,3 +40,4 @@ pub use dwi_hls as hls;
 pub use dwi_ocl as ocl;
 pub use dwi_rng as rng;
 pub use dwi_stats as stats;
+pub use dwi_trace as trace;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-75af9090671da9da.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-75af9090671da9da: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

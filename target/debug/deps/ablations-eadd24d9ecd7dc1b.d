@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-eadd24d9ecd7dc1b.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-eadd24d9ecd7dc1b: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

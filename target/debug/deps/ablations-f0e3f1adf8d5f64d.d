@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablations-f0e3f1adf8d5f64d.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablations-f0e3f1adf8d5f64d.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/creditrisk-8bde327586016654.d: crates/bench/benches/creditrisk.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcreditrisk-8bde327586016654.rmeta: crates/bench/benches/creditrisk.rs Cargo.toml
+
+crates/bench/benches/creditrisk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

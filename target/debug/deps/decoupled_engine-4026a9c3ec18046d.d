@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decoupled_engine-4026a9c3ec18046d.d: crates/bench/benches/decoupled_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecoupled_engine-4026a9c3ec18046d.rmeta: crates/bench/benches/decoupled_engine.rs Cargo.toml
+
+crates/bench/benches/decoupled_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

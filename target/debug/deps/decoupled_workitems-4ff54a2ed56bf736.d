@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/decoupled_workitems-4ff54a2ed56bf736.d: src/lib.rs
+
+/root/repo/target/debug/deps/decoupled_workitems-4ff54a2ed56bf736: src/lib.rs
+
+src/lib.rs:

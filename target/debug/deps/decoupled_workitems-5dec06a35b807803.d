@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/decoupled_workitems-5dec06a35b807803.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdecoupled_workitems-5dec06a35b807803.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

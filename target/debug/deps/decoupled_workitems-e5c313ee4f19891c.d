@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/decoupled_workitems-e5c313ee4f19891c.d: src/lib.rs
+
+/root/repo/target/debug/deps/libdecoupled_workitems-e5c313ee4f19891c.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libdecoupled_workitems-e5c313ee4f19891c.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-3f2b486513f4c547.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-3f2b486513f4c547: tests/determinism.rs
+
+tests/determinism.rs:

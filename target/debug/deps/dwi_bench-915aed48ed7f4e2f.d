@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dwi_bench-915aed48ed7f4e2f.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/dwi_bench-915aed48ed7f4e2f: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/obs.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dwi_bench-fc0f538b5bdcd75c.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libdwi_bench-fc0f538b5bdcd75c.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libdwi_bench-fc0f538b5bdcd75c.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/obs.rs:
+crates/bench/src/render.rs:

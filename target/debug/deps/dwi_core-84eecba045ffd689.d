@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/dwi_core-84eecba045ffd689.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdwi_core-84eecba045ffd689.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/coupled.rs:
+crates/core/src/decoupled.rs:
+crates/core/src/device_memory.rs:
+crates/core/src/experiment.rs:
+crates/core/src/generic.rs:
+crates/core/src/icdf_fixed.rs:
+crates/core/src/model.rs:
+crates/core/src/ndrange_variant.rs:
+crates/core/src/transfer.rs:
+crates/core/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

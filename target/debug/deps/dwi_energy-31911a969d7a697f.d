@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dwi_energy-31911a969d7a697f.d: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+/root/repo/target/debug/deps/libdwi_energy-31911a969d7a697f.rlib: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+/root/repo/target/debug/deps/libdwi_energy-31911a969d7a697f.rmeta: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/energy.rs:
+crates/energy/src/profiles.rs:
+crates/energy/src/session.rs:
+crates/energy/src/trace.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dwi_energy-4e0a9927f914928e.d: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdwi_energy-4e0a9927f914928e.rmeta: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs Cargo.toml
+
+crates/energy/src/lib.rs:
+crates/energy/src/energy.rs:
+crates/energy/src/profiles.rs:
+crates/energy/src/session.rs:
+crates/energy/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

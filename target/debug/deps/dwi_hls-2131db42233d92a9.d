@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dwi_hls-2131db42233d92a9.d: crates/hls/src/lib.rs crates/hls/src/axi.rs crates/hls/src/dataflow.rs crates/hls/src/fixed.rs crates/hls/src/memory.rs crates/hls/src/pipeline.rs crates/hls/src/report.rs crates/hls/src/resources.rs crates/hls/src/sim.rs crates/hls/src/stream.rs crates/hls/src/wide.rs
+
+/root/repo/target/debug/deps/libdwi_hls-2131db42233d92a9.rlib: crates/hls/src/lib.rs crates/hls/src/axi.rs crates/hls/src/dataflow.rs crates/hls/src/fixed.rs crates/hls/src/memory.rs crates/hls/src/pipeline.rs crates/hls/src/report.rs crates/hls/src/resources.rs crates/hls/src/sim.rs crates/hls/src/stream.rs crates/hls/src/wide.rs
+
+/root/repo/target/debug/deps/libdwi_hls-2131db42233d92a9.rmeta: crates/hls/src/lib.rs crates/hls/src/axi.rs crates/hls/src/dataflow.rs crates/hls/src/fixed.rs crates/hls/src/memory.rs crates/hls/src/pipeline.rs crates/hls/src/report.rs crates/hls/src/resources.rs crates/hls/src/sim.rs crates/hls/src/stream.rs crates/hls/src/wide.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/axi.rs:
+crates/hls/src/dataflow.rs:
+crates/hls/src/fixed.rs:
+crates/hls/src/memory.rs:
+crates/hls/src/pipeline.rs:
+crates/hls/src/report.rs:
+crates/hls/src/resources.rs:
+crates/hls/src/sim.rs:
+crates/hls/src/stream.rs:
+crates/hls/src/wide.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dwi_ocl-40c30a80bebb9837.d: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+/root/repo/target/debug/deps/libdwi_ocl-40c30a80bebb9837.rlib: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+/root/repo/target/debug/deps/libdwi_ocl-40c30a80bebb9837.rmeta: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+crates/ocl/src/lib.rs:
+crates/ocl/src/coalescing.rs:
+crates/ocl/src/host.rs:
+crates/ocl/src/masked.rs:
+crates/ocl/src/ndrange.rs:
+crates/ocl/src/occupancy.rs:
+crates/ocl/src/pcie.rs:
+crates/ocl/src/profiles.rs:
+crates/ocl/src/simt.rs:

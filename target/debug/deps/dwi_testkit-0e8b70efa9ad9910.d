@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dwi_testkit-0e8b70efa9ad9910.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libdwi_testkit-0e8b70efa9ad9910.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/libdwi_testkit-0e8b70efa9ad9910.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

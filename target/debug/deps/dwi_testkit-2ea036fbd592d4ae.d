@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dwi_testkit-2ea036fbd592d4ae.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdwi_testkit-2ea036fbd592d4ae.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

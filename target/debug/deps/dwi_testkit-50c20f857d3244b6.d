@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dwi_testkit-50c20f857d3244b6.d: crates/testkit/src/lib.rs
+
+/root/repo/target/debug/deps/dwi_testkit-50c20f857d3244b6: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dwi_testkit-a4fe285ce0db5d1a.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdwi_testkit-a4fe285ce0db5d1a.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

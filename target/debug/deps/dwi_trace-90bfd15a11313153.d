@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/dwi_trace-90bfd15a11313153.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/libdwi_trace-90bfd15a11313153.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/libdwi_trace-90bfd15a11313153.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-101ecb3a8a3acce4.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-101ecb3a8a3acce4: tests/end_to_end.rs
+
+tests/end_to_end.rs:

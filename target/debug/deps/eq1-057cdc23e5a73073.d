@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eq1-057cdc23e5a73073.d: crates/bench/src/bin/eq1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeq1-057cdc23e5a73073.rmeta: crates/bench/src/bin/eq1.rs Cargo.toml
+
+crates/bench/src/bin/eq1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

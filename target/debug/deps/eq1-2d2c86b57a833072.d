@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eq1-2d2c86b57a833072.d: crates/bench/src/bin/eq1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeq1-2d2c86b57a833072.rmeta: crates/bench/src/bin/eq1.rs Cargo.toml
+
+crates/bench/src/bin/eq1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

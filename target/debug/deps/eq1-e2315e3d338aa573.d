@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq1-e2315e3d338aa573.d: crates/bench/src/bin/eq1.rs
+
+/root/repo/target/debug/deps/eq1-e2315e3d338aa573: crates/bench/src/bin/eq1.rs
+
+crates/bench/src/bin/eq1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eq1-ee6b122ef9cbb77f.d: crates/bench/src/bin/eq1.rs
+
+/root/repo/target/debug/deps/eq1-ee6b122ef9cbb77f: crates/bench/src/bin/eq1.rs
+
+crates/bench/src/bin/eq1.rs:

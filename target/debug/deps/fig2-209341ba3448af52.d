@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-209341ba3448af52.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-209341ba3448af52: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

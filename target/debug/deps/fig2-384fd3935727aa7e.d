@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-384fd3935727aa7e.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-384fd3935727aa7e: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-5418a5baebc916da.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-5418a5baebc916da: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5a-bceb46148ba16f9c.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/debug/deps/fig5a-bceb46148ba16f9c: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-70c33de04f75123e.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-70c33de04f75123e: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5b-f9646678dccf5955.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/debug/deps/fig5b-f9646678dccf5955: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

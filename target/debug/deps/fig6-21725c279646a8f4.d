@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-21725c279646a8f4.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-21725c279646a8f4: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

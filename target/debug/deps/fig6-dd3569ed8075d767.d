@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-dd3569ed8075d767.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-dd3569ed8075d767: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-1b0dd40480cb73cc.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-1b0dd40480cb73cc: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

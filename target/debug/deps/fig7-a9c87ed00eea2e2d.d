@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-a9c87ed00eea2e2d.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-a9c87ed00eea2e2d: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

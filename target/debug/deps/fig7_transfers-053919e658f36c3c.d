@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_transfers-053919e658f36c3c.d: crates/bench/benches/fig7_transfers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_transfers-053919e658f36c3c.rmeta: crates/bench/benches/fig7_transfers.rs Cargo.toml
+
+crates/bench/benches/fig7_transfers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

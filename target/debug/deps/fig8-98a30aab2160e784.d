@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-98a30aab2160e784.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-98a30aab2160e784: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-dabc957687e21a14.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-dabc957687e21a14: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

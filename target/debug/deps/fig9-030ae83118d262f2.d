@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-030ae83118d262f2.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-030ae83118d262f2: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

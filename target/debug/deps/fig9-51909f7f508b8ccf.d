@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-51909f7f508b8ccf.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-51909f7f508b8ccf: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_pipeline-2e56d2ac1a6e2552.d: tests/full_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_pipeline-2e56d2ac1a6e2552.rmeta: tests/full_pipeline.rs Cargo.toml
+
+tests/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

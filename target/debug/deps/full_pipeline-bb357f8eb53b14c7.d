@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-bb357f8eb53b14c7.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-bb357f8eb53b14c7: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

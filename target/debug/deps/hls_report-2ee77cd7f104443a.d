@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_report-2ee77cd7f104443a.d: crates/bench/src/bin/hls_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_report-2ee77cd7f104443a.rmeta: crates/bench/src/bin/hls_report.rs Cargo.toml
+
+crates/bench/src/bin/hls_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

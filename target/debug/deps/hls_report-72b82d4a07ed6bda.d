@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_report-72b82d4a07ed6bda.d: crates/bench/src/bin/hls_report.rs
+
+/root/repo/target/debug/deps/hls_report-72b82d4a07ed6bda: crates/bench/src/bin/hls_report.rs
+
+crates/bench/src/bin/hls_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hls_report-7ce58e3fb6cd3ea1.d: crates/bench/src/bin/hls_report.rs
+
+/root/repo/target/debug/deps/hls_report-7ce58e3fb6cd3ea1: crates/bench/src/bin/hls_report.rs
+
+crates/bench/src/bin/hls_report.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hls_report-c4ac780e81b2d376.d: crates/bench/src/bin/hls_report.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhls_report-c4ac780e81b2d376.rmeta: crates/bench/src/bin/hls_report.rs Cargo.toml
+
+crates/bench/src/bin/hls_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/host_session-c579055fb1424dfd.d: tests/host_session.rs
+
+/root/repo/target/debug/deps/host_session-c579055fb1424dfd: tests/host_session.rs
+
+tests/host_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/host_session-e098666140b1d1f0.d: tests/host_session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhost_session-e098666140b1d1f0.rmeta: tests/host_session.rs Cargo.toml
+
+tests/host_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/observability-cf84ad30fb154f10.d: tests/observability.rs
+
+/root/repo/target/debug/deps/observability-cf84ad30fb154f10: tests/observability.rs
+
+tests/observability.rs:

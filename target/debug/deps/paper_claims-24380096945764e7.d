@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-24380096945764e7.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-24380096945764e7: tests/paper_claims.rs
+
+tests/paper_claims.rs:

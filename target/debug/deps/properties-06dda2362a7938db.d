@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-06dda2362a7938db.d: crates/rng/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-06dda2362a7938db.rmeta: crates/rng/tests/properties.rs Cargo.toml
+
+crates/rng/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-26c3ebd23bc4c1a4.d: crates/hls/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-26c3ebd23bc4c1a4.rmeta: crates/hls/tests/properties.rs Cargo.toml
+
+crates/hls/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

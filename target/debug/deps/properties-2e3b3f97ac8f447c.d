@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-2e3b3f97ac8f447c.d: crates/ocl/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-2e3b3f97ac8f447c: crates/ocl/tests/properties.rs
+
+crates/ocl/tests/properties.rs:

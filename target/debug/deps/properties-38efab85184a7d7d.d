@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-38efab85184a7d7d.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-38efab85184a7d7d: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5b10cce7aaabc67a.d: crates/stats/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5b10cce7aaabc67a.rmeta: crates/stats/tests/properties.rs Cargo.toml
+
+crates/stats/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-5b8dd17e8a079df5.d: crates/creditrisk/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-5b8dd17e8a079df5.rmeta: crates/creditrisk/tests/properties.rs Cargo.toml
+
+crates/creditrisk/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-60a549a40ac52fc2.d: crates/creditrisk/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-60a549a40ac52fc2: crates/creditrisk/tests/properties.rs
+
+crates/creditrisk/tests/properties.rs:

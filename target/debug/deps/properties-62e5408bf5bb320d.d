@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-62e5408bf5bb320d.d: crates/ocl/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-62e5408bf5bb320d.rmeta: crates/ocl/tests/properties.rs Cargo.toml
+
+crates/ocl/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

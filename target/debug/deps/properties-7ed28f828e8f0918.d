@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7ed28f828e8f0918.d: crates/stats/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7ed28f828e8f0918: crates/stats/tests/properties.rs
+
+crates/stats/tests/properties.rs:

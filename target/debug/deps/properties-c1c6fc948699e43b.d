@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c1c6fc948699e43b.d: crates/rng/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c1c6fc948699e43b: crates/rng/tests/properties.rs
+
+crates/rng/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-e9df99b2029c2a1d.d: crates/hls/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-e9df99b2029c2a1d: crates/hls/tests/properties.rs
+
+crates/hls/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rejection_rates-15d80e29a455d659.d: crates/bench/src/bin/rejection_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/librejection_rates-15d80e29a455d659.rmeta: crates/bench/src/bin/rejection_rates.rs Cargo.toml
+
+crates/bench/src/bin/rejection_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rejection_rates-360e160a0b904197.d: crates/bench/src/bin/rejection_rates.rs Cargo.toml
+
+/root/repo/target/debug/deps/librejection_rates-360e160a0b904197.rmeta: crates/bench/src/bin/rejection_rates.rs Cargo.toml
+
+crates/bench/src/bin/rejection_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

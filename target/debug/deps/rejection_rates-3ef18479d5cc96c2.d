@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rejection_rates-3ef18479d5cc96c2.d: crates/bench/src/bin/rejection_rates.rs
+
+/root/repo/target/debug/deps/rejection_rates-3ef18479d5cc96c2: crates/bench/src/bin/rejection_rates.rs
+
+crates/bench/src/bin/rejection_rates.rs:

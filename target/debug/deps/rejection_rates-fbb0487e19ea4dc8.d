@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rejection_rates-fbb0487e19ea4dc8.d: crates/bench/src/bin/rejection_rates.rs
+
+/root/repo/target/debug/deps/rejection_rates-fbb0487e19ea4dc8: crates/bench/src/bin/rejection_rates.rs
+
+crates/bench/src/bin/rejection_rates.rs:

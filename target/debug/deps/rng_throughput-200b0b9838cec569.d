@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rng_throughput-200b0b9838cec569.d: crates/bench/benches/rng_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/librng_throughput-200b0b9838cec569.rmeta: crates/bench/benches/rng_throughput.rs Cargo.toml
+
+crates/bench/benches/rng_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-b83c79a80a189a43.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-b83c79a80a189a43: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

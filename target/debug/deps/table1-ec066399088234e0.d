@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-ec066399088234e0.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-ec066399088234e0: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-8a6d3061f6cef47f.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-8a6d3061f6cef47f: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

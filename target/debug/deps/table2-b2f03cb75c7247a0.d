@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-b2f03cb75c7247a0.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-b2f03cb75c7247a0: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

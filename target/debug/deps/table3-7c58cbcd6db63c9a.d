@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-7c58cbcd6db63c9a.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-7c58cbcd6db63c9a: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

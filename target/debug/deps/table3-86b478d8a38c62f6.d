@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-86b478d8a38c62f6.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-86b478d8a38c62f6: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_runtime-2291c0ce086eb025.d: crates/bench/benches/table3_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_runtime-2291c0ce086eb025.rmeta: crates/bench/benches/table3_runtime.rs Cargo.toml
+
+crates/bench/benches/table3_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

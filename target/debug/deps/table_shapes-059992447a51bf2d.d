@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table_shapes-059992447a51bf2d.d: tests/table_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable_shapes-059992447a51bf2d.rmeta: tests/table_shapes.rs Cargo.toml
+
+tests/table_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table_shapes-f23b5299dc49ad08.d: tests/table_shapes.rs
+
+/root/repo/target/debug/deps/table_shapes-f23b5299dc49ad08: tests/table_shapes.rs
+
+tests/table_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate-2cd718b6b00bf0b9.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/debug/deps/validate-2cd718b6b00bf0b9: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate-b1e14e4e47b48d08.d: crates/bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate-b1e14e4e47b48d08.rmeta: crates/bench/src/bin/validate.rs Cargo.toml
+
+crates/bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/validate-b6cfb0d80bf134d4.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/debug/deps/validate-b6cfb0d80bf134d4: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/validate-ce686ad7cf631350.d: crates/bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvalidate-ce686ad7cf631350.rmeta: crates/bench/src/bin/validate.rs Cargo.toml
+
+crates/bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/creditrisk_portfolio-5212f3284d74b869.d: examples/creditrisk_portfolio.rs
+
+/root/repo/target/debug/examples/creditrisk_portfolio-5212f3284d74b869: examples/creditrisk_portfolio.rs
+
+examples/creditrisk_portfolio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/creditrisk_portfolio-ba14c889f3e8be94.d: examples/creditrisk_portfolio.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcreditrisk_portfolio-ba14c889f3e8be94.rmeta: examples/creditrisk_portfolio.rs Cargo.toml
+
+examples/creditrisk_portfolio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/divergence_trace-1060d77fcc293b7a.d: examples/divergence_trace.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdivergence_trace-1060d77fcc293b7a.rmeta: examples/divergence_trace.rs Cargo.toml
+
+examples/divergence_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

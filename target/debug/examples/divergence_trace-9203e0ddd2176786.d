@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/divergence_trace-9203e0ddd2176786.d: examples/divergence_trace.rs
+
+/root/repo/target/debug/examples/divergence_trace-9203e0ddd2176786: examples/divergence_trace.rs
+
+examples/divergence_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/parallel_streams-351244eebe1610a6.d: examples/parallel_streams.rs Cargo.toml
+
+/root/repo/target/debug/examples/libparallel_streams-351244eebe1610a6.rmeta: examples/parallel_streams.rs Cargo.toml
+
+examples/parallel_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

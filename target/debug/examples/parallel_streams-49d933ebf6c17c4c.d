@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/parallel_streams-49d933ebf6c17c4c.d: examples/parallel_streams.rs
+
+/root/repo/target/debug/examples/parallel_streams-49d933ebf6c17c4c: examples/parallel_streams.rs
+
+examples/parallel_streams.rs:

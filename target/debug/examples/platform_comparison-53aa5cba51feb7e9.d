@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/platform_comparison-53aa5cba51feb7e9.d: examples/platform_comparison.rs
+
+/root/repo/target/debug/examples/platform_comparison-53aa5cba51feb7e9: examples/platform_comparison.rs
+
+examples/platform_comparison.rs:

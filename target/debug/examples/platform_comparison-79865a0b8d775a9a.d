@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/platform_comparison-79865a0b8d775a9a.d: examples/platform_comparison.rs Cargo.toml
+
+/root/repo/target/debug/examples/libplatform_comparison-79865a0b8d775a9a.rmeta: examples/platform_comparison.rs Cargo.toml
+
+examples/platform_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

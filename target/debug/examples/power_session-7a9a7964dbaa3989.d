@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_session-7a9a7964dbaa3989.d: examples/power_session.rs
+
+/root/repo/target/debug/examples/power_session-7a9a7964dbaa3989: examples/power_session.rs
+
+examples/power_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/power_session-a04aa317982d3577.d: examples/power_session.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpower_session-a04aa317982d3577.rmeta: examples/power_session.rs Cargo.toml
+
+examples/power_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fe9397ef9b1f0af0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fe9397ef9b1f0af0: examples/quickstart.rs
+
+examples/quickstart.rs:

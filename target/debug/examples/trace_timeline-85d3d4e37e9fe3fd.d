@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_timeline-85d3d4e37e9fe3fd.d: examples/trace_timeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_timeline-85d3d4e37e9fe3fd.rmeta: examples/trace_timeline.rs Cargo.toml
+
+examples/trace_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

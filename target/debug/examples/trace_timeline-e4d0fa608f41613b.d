@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_timeline-e4d0fa608f41613b.d: examples/trace_timeline.rs
+
+/root/repo/target/debug/examples/trace_timeline-e4d0fa608f41613b: examples/trace_timeline.rs
+
+examples/trace_timeline.rs:

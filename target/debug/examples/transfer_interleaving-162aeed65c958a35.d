@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/transfer_interleaving-162aeed65c958a35.d: examples/transfer_interleaving.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtransfer_interleaving-162aeed65c958a35.rmeta: examples/transfer_interleaving.rs Cargo.toml
+
+examples/transfer_interleaving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/transfer_interleaving-85b67e73c0662d7a.d: examples/transfer_interleaving.rs
+
+/root/repo/target/debug/examples/transfer_interleaving-85b67e73c0662d7a: examples/transfer_interleaving.rs
+
+examples/transfer_interleaving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/truncated_normal-ca00cbaa2f795286.d: examples/truncated_normal.rs
+
+/root/repo/target/debug/examples/truncated_normal-ca00cbaa2f795286: examples/truncated_normal.rs
+
+examples/truncated_normal.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/truncated_normal-d0664e2b2d36d4b2.d: examples/truncated_normal.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtruncated_normal-d0664e2b2d36d4b2.rmeta: examples/truncated_normal.rs Cargo.toml
+
+examples/truncated_normal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-6ed0ae1f1d6f615e.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-6ed0ae1f1d6f615e: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

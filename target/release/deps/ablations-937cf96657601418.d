@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-937cf96657601418.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-937cf96657601418: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/creditrisk-e498377282b445a8.d: crates/bench/benches/creditrisk.rs
+
+/root/repo/target/release/deps/creditrisk-e498377282b445a8: crates/bench/benches/creditrisk.rs
+
+crates/bench/benches/creditrisk.rs:

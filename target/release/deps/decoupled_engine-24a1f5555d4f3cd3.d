@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decoupled_engine-24a1f5555d4f3cd3.d: crates/bench/benches/decoupled_engine.rs
+
+/root/repo/target/release/deps/decoupled_engine-24a1f5555d4f3cd3: crates/bench/benches/decoupled_engine.rs
+
+crates/bench/benches/decoupled_engine.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/decoupled_workitems-d9f3d076efe3e146.d: src/lib.rs
+
+/root/repo/target/release/deps/libdecoupled_workitems-d9f3d076efe3e146.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libdecoupled_workitems-d9f3d076efe3e146.rmeta: src/lib.rs
+
+src/lib.rs:

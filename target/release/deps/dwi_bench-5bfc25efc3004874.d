@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dwi_bench-5bfc25efc3004874.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libdwi_bench-5bfc25efc3004874.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/libdwi_bench-5bfc25efc3004874.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/obs.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dwi_creditrisk-8a5d4e1c23454fcf.d: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs
+
+/root/repo/target/release/deps/libdwi_creditrisk-8a5d4e1c23454fcf.rlib: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs
+
+/root/repo/target/release/deps/libdwi_creditrisk-8a5d4e1c23454fcf.rmeta: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs
+
+crates/creditrisk/src/lib.rs:
+crates/creditrisk/src/allocation.rs:
+crates/creditrisk/src/bands.rs:
+crates/creditrisk/src/from_buffer.rs:
+crates/creditrisk/src/moments.rs:
+crates/creditrisk/src/montecarlo.rs:
+crates/creditrisk/src/panjer.rs:
+crates/creditrisk/src/portfolio.rs:
+crates/creditrisk/src/risk.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dwi_energy-1da15a8eef6dd87b.d: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+/root/repo/target/release/deps/libdwi_energy-1da15a8eef6dd87b.rlib: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+/root/repo/target/release/deps/libdwi_energy-1da15a8eef6dd87b.rmeta: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/energy.rs:
+crates/energy/src/profiles.rs:
+crates/energy/src/session.rs:
+crates/energy/src/trace.rs:

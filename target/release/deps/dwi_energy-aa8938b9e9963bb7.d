@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dwi_energy-aa8938b9e9963bb7.d: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+/root/repo/target/release/deps/libdwi_energy-aa8938b9e9963bb7.rlib: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+/root/repo/target/release/deps/libdwi_energy-aa8938b9e9963bb7.rmeta: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/energy.rs:
+crates/energy/src/profiles.rs:
+crates/energy/src/session.rs:
+crates/energy/src/trace.rs:

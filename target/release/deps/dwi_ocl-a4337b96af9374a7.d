@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dwi_ocl-a4337b96af9374a7.d: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+/root/repo/target/release/deps/libdwi_ocl-a4337b96af9374a7.rlib: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+/root/repo/target/release/deps/libdwi_ocl-a4337b96af9374a7.rmeta: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+crates/ocl/src/lib.rs:
+crates/ocl/src/coalescing.rs:
+crates/ocl/src/host.rs:
+crates/ocl/src/masked.rs:
+crates/ocl/src/ndrange.rs:
+crates/ocl/src/occupancy.rs:
+crates/ocl/src/pcie.rs:
+crates/ocl/src/profiles.rs:
+crates/ocl/src/simt.rs:

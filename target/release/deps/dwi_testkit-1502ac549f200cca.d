@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dwi_testkit-1502ac549f200cca.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libdwi_testkit-1502ac549f200cca.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libdwi_testkit-1502ac549f200cca.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

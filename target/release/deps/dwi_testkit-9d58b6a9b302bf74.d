@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dwi_testkit-9d58b6a9b302bf74.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libdwi_testkit-9d58b6a9b302bf74.rlib: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/libdwi_testkit-9d58b6a9b302bf74.rmeta: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

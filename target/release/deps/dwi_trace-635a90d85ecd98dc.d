@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dwi_trace-635a90d85ecd98dc.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/libdwi_trace-635a90d85ecd98dc.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/libdwi_trace-635a90d85ecd98dc.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/dwi_trace-738b1295b8bf9ad3.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/libdwi_trace-738b1295b8bf9ad3.rlib: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/libdwi_trace-738b1295b8bf9ad3.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eq1-cc8101ca944b1701.d: crates/bench/src/bin/eq1.rs
+
+/root/repo/target/release/deps/eq1-cc8101ca944b1701: crates/bench/src/bin/eq1.rs
+
+crates/bench/src/bin/eq1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eq1-fded3fc23cdd21f5.d: crates/bench/src/bin/eq1.rs
+
+/root/repo/target/release/deps/eq1-fded3fc23cdd21f5: crates/bench/src/bin/eq1.rs
+
+crates/bench/src/bin/eq1.rs:

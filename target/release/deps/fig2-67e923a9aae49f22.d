@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-67e923a9aae49f22.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-67e923a9aae49f22: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

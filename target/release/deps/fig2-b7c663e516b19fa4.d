@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-b7c663e516b19fa4.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-b7c663e516b19fa4: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

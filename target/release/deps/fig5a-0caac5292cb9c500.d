@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a-0caac5292cb9c500.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-0caac5292cb9c500: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

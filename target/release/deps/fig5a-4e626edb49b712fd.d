@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a-4e626edb49b712fd.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-4e626edb49b712fd: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b-210c4dfdb9acc398.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-210c4dfdb9acc398: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

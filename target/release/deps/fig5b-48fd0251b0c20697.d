@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b-48fd0251b0c20697.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-48fd0251b0c20697: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-0b57a5d7e94e9a79.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-0b57a5d7e94e9a79: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-6bef1ac826f454ab.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-6bef1ac826f454ab: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

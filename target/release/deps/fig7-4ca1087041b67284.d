@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-4ca1087041b67284.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-4ca1087041b67284: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-1e0d97bf0b3b2775.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-1e0d97bf0b3b2775: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

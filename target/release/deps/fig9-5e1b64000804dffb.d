@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-5e1b64000804dffb.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-5e1b64000804dffb: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-f6f0b15a14c0d936.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-f6f0b15a14c0d936: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_energy-78cd1ca58db643e5.d: crates/bench/benches/fig9_energy.rs
+
+/root/repo/target/release/deps/fig9_energy-78cd1ca58db643e5: crates/bench/benches/fig9_energy.rs
+
+crates/bench/benches/fig9_energy.rs:

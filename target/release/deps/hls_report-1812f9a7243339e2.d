@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_report-1812f9a7243339e2.d: crates/bench/src/bin/hls_report.rs
+
+/root/repo/target/release/deps/hls_report-1812f9a7243339e2: crates/bench/src/bin/hls_report.rs
+
+crates/bench/src/bin/hls_report.rs:

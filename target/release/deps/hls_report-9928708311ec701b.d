@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_report-9928708311ec701b.d: crates/bench/src/bin/hls_report.rs
+
+/root/repo/target/release/deps/hls_report-9928708311ec701b: crates/bench/src/bin/hls_report.rs
+
+crates/bench/src/bin/hls_report.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rejection_rates-82b5dfaf2a1a1868.d: crates/bench/src/bin/rejection_rates.rs
+
+/root/repo/target/release/deps/rejection_rates-82b5dfaf2a1a1868: crates/bench/src/bin/rejection_rates.rs
+
+crates/bench/src/bin/rejection_rates.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rejection_rates-be2b49a6ade9169d.d: crates/bench/src/bin/rejection_rates.rs
+
+/root/repo/target/release/deps/rejection_rates-be2b49a6ade9169d: crates/bench/src/bin/rejection_rates.rs
+
+crates/bench/src/bin/rejection_rates.rs:

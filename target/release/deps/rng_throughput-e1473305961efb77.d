@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rng_throughput-e1473305961efb77.d: crates/bench/benches/rng_throughput.rs
+
+/root/repo/target/release/deps/rng_throughput-e1473305961efb77: crates/bench/benches/rng_throughput.rs
+
+crates/bench/benches/rng_throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-7f60568324b6bf7f.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-7f60568324b6bf7f: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-f8538218678a34e3.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-f8538218678a34e3: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

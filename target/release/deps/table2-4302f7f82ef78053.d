@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-4302f7f82ef78053.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-4302f7f82ef78053: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

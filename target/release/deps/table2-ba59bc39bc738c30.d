@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-ba59bc39bc738c30.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-ba59bc39bc738c30: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-3a8bde6669c00ff3.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-3a8bde6669c00ff3: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

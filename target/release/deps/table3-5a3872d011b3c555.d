@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-5a3872d011b3c555.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-5a3872d011b3c555: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate-2d594dfdba668e7e.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/release/deps/validate-2d594dfdba668e7e: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate-7a06ea72f2a43da9.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/release/deps/validate-7a06ea72f2a43da9: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

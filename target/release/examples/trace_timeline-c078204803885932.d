@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/trace_timeline-c078204803885932.d: examples/trace_timeline.rs
+
+/root/repo/target/release/examples/trace_timeline-c078204803885932: examples/trace_timeline.rs
+
+examples/trace_timeline.rs:

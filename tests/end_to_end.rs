@@ -26,8 +26,8 @@ fn every_config_matches_its_reference_kernels() {
         for wid in 0..cfg.fpga_workitems {
             let mut reference = Vec::new();
             GammaKernel::new(&kcfg, wid).run_all(&mut reference);
-            let got = &run.host_buffer
-                [wid as usize * region..wid as usize * region + reference.len()];
+            let got =
+                &run.host_buffer[wid as usize * region..wid as usize * region + reference.len()];
             assert_eq!(got, &reference[..], "{} work-item {wid}", cfg.name());
         }
     }

@@ -5,7 +5,7 @@
 
 use decoupled_workitems::core::{run_decoupled, Combining, PaperConfig, Workload};
 use decoupled_workitems::creditrisk::{
-    loss_distribution, losses_from_sector_buffer, loss_mean, Portfolio,
+    loss_distribution, loss_mean, losses_from_sector_buffer, Portfolio,
 };
 
 /// Reshape the FPGA host buffer (per-work-item regions, each holding

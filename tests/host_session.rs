@@ -57,9 +57,18 @@ fn fpga_session_reproduces_fig9_energy() {
     let busy: Vec<(f64, f64)> = (0..215)
         .map(|i| (5.0 + 0.701 * i as f64, 5.0 + 0.701 * (i + 1) as f64))
         .collect();
-    let trace = trace_from_intervals(&busy, SYSTEM_IDLE_W, FPGA_POWER.dynamic_w(true), 100.0, 10.0);
+    let trace = trace_from_intervals(
+        &busy,
+        SYSTEM_IDLE_W,
+        FPGA_POWER.dynamic_w(true),
+        100.0,
+        10.0,
+    );
     let e = trace.dynamic_energy_per_invocation_j();
-    assert!((e - 28.0).abs() < 1.5, "E = {e} J (Fig. 9 FPGA Config1 ≈ 28 J)");
+    assert!(
+        (e - 28.0).abs() < 1.5,
+        "E = {e} J (Fig. 9 FPGA Config1 ≈ 28 J)"
+    );
 }
 
 #[test]
@@ -71,5 +80,8 @@ fn read_back_strategies_rank_as_in_section_3e() {
     let single_t = single.duration_ns();
     let split_t: u64 = splits.iter().map(|e| e.duration_ns()).sum();
     assert!(split_t > single_t);
-    assert!((split_t as f64 / single_t as f64) < 1.01, "<1% loss (paper)");
+    assert!(
+        (split_t as f64 / single_t as f64) < 1.01,
+        "<1% loss (paper)"
+    );
 }

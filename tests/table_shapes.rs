@@ -68,8 +68,7 @@ fn fig9_energy_envelope() {
     let mut max_ratio: f64 = 0.0;
     let mut min_ratio = f64::INFINITY;
     for (row, big) in rows {
-        let e_fpga =
-            dynamic_energy_per_invocation_j(&FPGA_POWER, big, row.fpga.unwrap().ms / 1e3);
+        let e_fpga = dynamic_energy_per_invocation_j(&FPGA_POWER, big, row.fpga.unwrap().ms / 1e3);
         for (power, ms) in [
             (&CPU_POWER, row.cpu.ms),
             (&GPU_POWER, row.gpu.ms),
