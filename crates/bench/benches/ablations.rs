@@ -3,7 +3,7 @@
 //! of each choice is printed by `cargo run -p dwi-bench --bin ablations`).
 
 use dwi_bench::microbench::{black_box, Bench};
-use dwi_core::{run_decoupled, Combining, PaperConfig, Workload};
+use dwi_core::{Combining, DecoupledRunner, PaperConfig, Workload};
 use dwi_hls::pipeline::DelayedCounter;
 use dwi_hls::wide::Packer;
 use dwi_rng::{AdaptedMt, BlockMt, MT19937};
@@ -81,15 +81,13 @@ fn bench_combining(b: &mut Bench) {
     };
     let cfg = PaperConfig::config3();
     b.bench("ablation_buffer_combining/device_level", || {
-        black_box(
-            run_decoupled(&cfg, &w, 1, Combining::DeviceLevel)
-                .host_buffer
-                .len(),
-        )
+        black_box(DecoupledRunner::new(&cfg, &w).run().host_buffer.len())
     });
     b.bench("ablation_buffer_combining/host_level", || {
         black_box(
-            run_decoupled(&cfg, &w, 1, Combining::HostLevel)
+            DecoupledRunner::new(&cfg, &w)
+                .combining(Combining::HostLevel)
+                .run()
                 .host_buffer
                 .len(),
         )

@@ -2,7 +2,7 @@
 //! scalar reference, and the two buffer-combining strategies.
 
 use dwi_bench::microbench::{black_box, Bench};
-use dwi_core::{run_decoupled, Combining, PaperConfig, Workload};
+use dwi_core::{Combining, DecoupledRunner, PaperConfig, Workload};
 use dwi_rng::GammaKernel;
 
 fn workload() -> Workload {
@@ -21,11 +21,13 @@ fn main() {
         * w.num_sectors as u64
         * cfg.fpga_workitems as u64;
     b.bench_elements("decoupled_6wi_device_combining", total, || {
-        let run = run_decoupled(&cfg, &w, 1, Combining::DeviceLevel);
+        let run = DecoupledRunner::new(&cfg, &w).run();
         black_box(run.host_buffer.len())
     });
     b.bench_elements("decoupled_6wi_host_combining", total, || {
-        let run = run_decoupled(&cfg, &w, 1, Combining::HostLevel);
+        let run = DecoupledRunner::new(&cfg, &w)
+            .combining(Combining::HostLevel)
+            .run();
         black_box(run.host_buffer.len())
     });
     let kcfg = cfg.kernel_config(&w, 1);

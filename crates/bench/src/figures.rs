@@ -154,7 +154,9 @@ pub fn fig6_data(
         num_sectors: 1,
         sector_variance: v,
     };
-    let run = dwi_core::run_decoupled(&cfg, &workload, seed, dwi_core::Combining::DeviceLevel);
+    let run = dwi_core::DecoupledRunner::new(&cfg, &workload)
+        .seed(seed)
+        .run();
     let dist = dwi_stats::Gamma::from_sector_variance(v as f64);
     let hi = dist.quantile(0.999);
     let mut hist = dwi_stats::Histogram::new(0.0, hi, 60);

@@ -1,0 +1,161 @@
+//! The paper's engine on the unified layer: one compute thread + one
+//! transfer thread per work-item, coupled by a blocking `hls::stream`.
+
+use super::{Backend, BackendDetail, ExecutionPlan, RunReport};
+use crate::device_memory::DeviceMemory;
+use crate::kernel::{DivergenceCounts, WorkItemKernel};
+use crate::transfer::{transfer_traced, TransferStats};
+use dwi_hls::stream::Stream;
+use dwi_rng::RejectionStats;
+use dwi_trace::{Counter, ProcessKind};
+
+/// Listing 1, executed functionally: `plan.workitems` independent
+/// compute/transfer pairs, each pair coupled by a bounded blocking FIFO,
+/// each work-item bursting into its own region of device memory. No
+/// work-item ever waits on another's data-dependent branches.
+///
+/// Trace output (tracks, spans, `dwi_*` metrics) is identical to the
+/// legacy [`DecoupledRunner`](crate::decoupled::DecoupledRunner), which now
+/// runs on this backend.
+pub struct FunctionalDecoupled;
+
+impl Backend for FunctionalDecoupled {
+    fn name(&self) -> &'static str {
+        "functional-decoupled"
+    }
+
+    fn execute(&self, kernel: &dyn WorkItemKernel, plan: &ExecutionPlan) -> RunReport {
+        let n = plan.workitems as usize;
+        let quota = kernel.outputs_per_workitem();
+        let words_per_wi = (quota as usize).div_ceil(16).max(1);
+        let burst_words = ((plan.burst_rns as usize) / 16).max(1);
+
+        let mut memory = DeviceMemory::new(n, words_per_wi);
+        let mut rejection = RejectionStats::new();
+        let mut iterations = vec![0u64; n];
+        let mut divergence = vec![DivergenceCounts::default(); n];
+        let mut emitted = vec![0u64; n];
+        let mut transfers = vec![TransferStats::default(); n];
+        let mut high_water = vec![0usize; n];
+        let mut stalls = vec![(0u64, 0u64); n];
+
+        {
+            let regions = memory.split_regions();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(n);
+                for (wid, region) in regions.into_iter().enumerate() {
+                    let sink = &plan.sink;
+                    let (mut tx, mut rx) = Stream::<f32>::with_depth(plan.stream_depth);
+                    tx.attach_track(sink.track(wid as u32, ProcessKind::Compute));
+                    rx.attach_track(sink.track(wid as u32, ProcessKind::Transfer));
+                    let compute = scope.spawn(move || {
+                        let track = sink.track(wid as u32, ProcessKind::Compute);
+                        let wid_label = (wid as u32).to_string();
+                        let c_rej = if track.is_enabled() {
+                            track.counter("dwi_rejection_retries_total", &[("wid", &wid_label)])
+                        } else {
+                            Counter::disabled()
+                        };
+                        let mut inst = kernel.instantiate(wid as u32);
+                        let mut iters = 0u64;
+                        let mut emits = 0u64;
+                        let mut div = DivergenceCounts::default();
+                        let mut t0 = track.now_ns();
+                        loop {
+                            let st = inst.step();
+                            iters += 1;
+                            div.record(st.divergence);
+                            if let Some(v) = st.emit {
+                                tx.write(v);
+                                emits += 1;
+                            } else if !st.divergence.is_accepted() {
+                                c_rej.inc();
+                                track.instant("rejection");
+                            }
+                            if let Some(p) = st.phase_end {
+                                track.span_since(format!("sector {p}"), t0);
+                                track.observe(
+                                    "dwi_sector_latency_seconds",
+                                    &[("wid", &wid_label)],
+                                    (track.now_ns() - t0) as f64 * 1e-9,
+                                );
+                                t0 = track.now_ns();
+                            }
+                            if st.done {
+                                break;
+                            }
+                        }
+                        track
+                            .counter("dwi_workitem_iterations_total", &[("wid", &wid_label)])
+                            .add(iters);
+                        let stats = inst.stats();
+                        drop(tx); // close the stream: transfer drains and exits
+                        (iters, emits, div, stats)
+                    });
+                    let xfer = scope.spawn(move || {
+                        let track = sink.track(wid as u32, ProcessKind::Transfer);
+                        let stats = transfer_traced(&rx, region, burst_words, &track);
+                        (stats, rx.high_water(), rx.stalls())
+                    });
+                    handles.push((wid, compute, xfer));
+                }
+                for (wid, compute, xfer) in handles {
+                    let (iters, emits, div, stats) =
+                        compute.join().expect("compute thread panicked");
+                    let (tstats, hw, st) = xfer.join().expect("transfer thread panicked");
+                    iterations[wid] = iters;
+                    emitted[wid] = emits;
+                    divergence[wid] = div;
+                    rejection.merge(&stats);
+                    transfers[wid] = tstats;
+                    high_water[wid] = hw;
+                    stalls[wid] = st;
+                }
+            });
+        }
+
+        let host_track = plan.sink.track(0, ProcessKind::Host);
+        let t_combine = host_track.now_ns();
+        let host_buffer = match plan.combining {
+            crate::decoupled::Combining::DeviceLevel => memory.read_to_host(),
+            crate::decoupled::Combining::HostLevel => {
+                let mut host = vec![0f32; memory.len_f32()];
+                let region_len = words_per_wi * 16;
+                for wid in 0..n {
+                    let part = memory.read_region(wid);
+                    host[wid * region_len..(wid + 1) * region_len].copy_from_slice(&part);
+                }
+                host
+            }
+        };
+        host_track.span_since("combine", t_combine);
+        drop(host_track);
+
+        let region_f32 = words_per_wi * 16;
+        let samples: Vec<Vec<f32>> = (0..n)
+            .map(|wid| {
+                let base = wid * region_f32;
+                host_buffer[base..base + emitted[wid] as usize].to_vec()
+            })
+            .collect();
+        let cycles = iterations.iter().copied().max().unwrap_or(0);
+
+        RunReport {
+            backend: self.name(),
+            kernel: kernel.name(),
+            workitems: plan.workitems,
+            quota,
+            samples,
+            iterations,
+            divergence,
+            rejection,
+            cycles,
+            detail: BackendDetail::Decoupled {
+                host_buffer,
+                transfers,
+                stream_high_water: high_water,
+                stream_stalls: stalls,
+            },
+        }
+    }
+}

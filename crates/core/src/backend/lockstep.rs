@@ -1,0 +1,94 @@
+//! The coupled counterfactual on the unified layer: every work-item a lane
+//! of one vectorized pipeline that reconverges after each output round.
+
+use super::{Backend, BackendDetail, ExecutionPlan, RunReport};
+use crate::kernel::{DivergenceCounts, WorkItemKernel};
+use dwi_rng::RejectionStats;
+
+/// Fig. 2b executed over real kernel state: `plan.workitems` lanes step
+/// in lockstep rounds; each round ends only when *every* active lane has
+/// emitted its next output, so the round costs `max_i attempts_i` while
+/// early-accepting lanes idle. The per-lane sample sequences are still
+/// identical to the decoupled engine's — coupling changes scheduling,
+/// never values.
+pub struct LockstepCoupled;
+
+/// Safety bound on attempts within one output round.
+const MAX_ATTEMPTS_PER_ROUND: u64 = 100_000_000;
+
+impl Backend for LockstepCoupled {
+    fn name(&self) -> &'static str {
+        "lockstep-coupled"
+    }
+
+    fn execute(&self, kernel: &dyn WorkItemKernel, plan: &ExecutionPlan) -> RunReport {
+        let width = plan.workitems as usize;
+        let quota = kernel.outputs_per_workitem();
+
+        let mut insts: Vec<_> = (0..width)
+            .map(|wid| kernel.instantiate(wid as u32))
+            .collect();
+        let mut samples: Vec<Vec<f32>> = (0..width)
+            .map(|_| Vec::with_capacity(quota as usize))
+            .collect();
+        let mut iterations = vec![0u64; width];
+        let mut divergence = vec![DivergenceCounts::default(); width];
+        let mut done = vec![false; width];
+        let mut lockstep = 0u64;
+        let mut rounds = 0u64;
+
+        for _round in 0..quota {
+            let mut round_max = 0u64;
+            for (lane, inst) in insts.iter_mut().enumerate() {
+                if done[lane] {
+                    continue; // truncated lane: owes no further outputs
+                }
+                let mut attempts = 0u64;
+                loop {
+                    attempts += 1;
+                    let st = inst.step();
+                    divergence[lane].record(st.divergence);
+                    if st.done {
+                        done[lane] = true;
+                    }
+                    if let Some(v) = st.emit {
+                        samples[lane].push(v);
+                        break;
+                    }
+                    if done[lane] {
+                        break; // lane finished without emitting (limitMax)
+                    }
+                    assert!(
+                        attempts < MAX_ATTEMPTS_PER_ROUND,
+                        "runaway rejection loop in lane {lane}"
+                    );
+                }
+                iterations[lane] += attempts;
+                round_max = round_max.max(attempts);
+            }
+            lockstep += round_max;
+            rounds += 1;
+        }
+
+        let mut rejection = RejectionStats::new();
+        for inst in &insts {
+            rejection.merge(&inst.stats());
+        }
+
+        RunReport {
+            backend: self.name(),
+            kernel: kernel.name(),
+            workitems: plan.workitems,
+            quota,
+            samples,
+            iterations,
+            divergence,
+            rejection,
+            cycles: lockstep,
+            detail: BackendDetail::Lockstep {
+                lockstep_iterations: lockstep,
+                rounds,
+            },
+        }
+    }
+}

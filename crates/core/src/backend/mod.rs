@@ -1,0 +1,280 @@
+//! The backend layer: five execution engines behind one trait.
+//!
+//! A [`Backend`] consumes any [`WorkItemKernel`]
+//! and an [`ExecutionPlan`] (geometry + platform parameters) and produces a
+//! [`RunReport`] — the uniform result every engine shares: per-work-item
+//! sample sequences, iteration counts, divergence outcome counters, and a
+//! backend-specific cycle count, plus a [`BackendDetail`] with whatever the
+//! engine uniquely knows (host buffers, burst schedules, lockstep rounds).
+//!
+//! The five engines:
+//!
+//! * [`FunctionalDecoupled`] — the paper's design executed functionally:
+//!   one compute thread + one transfer thread per work-item, coupled by a
+//!   blocking `hls::stream`, bursting into device memory (Listing 1 + 4).
+//! * [`LockstepCoupled`] — the counterfactual: all work-items vectorized
+//!   into one pipeline that reconverges every output round (Fig. 2b).
+//! * [`NdRange`] — the `.cl` NDRange formulation: `workitems/local_size`
+//!   pipelines, each time-multiplexing `local_size` work-items.
+//! * [`CycleSim`] — the cycle-level dataflow simulation of `dwi-hls::sim`,
+//!   fed the *recorded* iteration traces of this very kernel instead of its
+//!   built-in rejection model.
+//! * [`SimtTrace`] — `dwi-ocl`'s lockstep partition replay, fed branch
+//!   traces the same kernel object produced.
+//!
+//! Because every engine instantiates per-work-item state through the same
+//! `instantiate(wid)` call, the emitted sample sequences are identical
+//! across backends — coupling changes *scheduling*, never *values* (the
+//! cross-engine equivalence test in `tests/backend_equivalence.rs` pins
+//! this).
+
+mod cyclesim;
+mod functional;
+mod lockstep;
+mod ndrange;
+mod simt;
+
+pub use cyclesim::CycleSim;
+pub use functional::FunctionalDecoupled;
+pub use lockstep::LockstepCoupled;
+pub use ndrange::NdRange;
+pub use simt::SimtTrace;
+
+use crate::config::PaperConfig;
+use crate::decoupled::Combining;
+use crate::kernel::{DivergenceCounts, WorkItemKernel};
+use crate::model::iterations_runtime_s;
+use crate::transfer::TransferStats;
+use dwi_hls::memory::BurstChannel;
+use dwi_hls::sim::SimResult;
+use dwi_ocl::simt::LockstepResult;
+use dwi_rng::RejectionStats;
+use dwi_trace::TraceSink;
+
+/// Geometry and platform parameters of one execution — everything a
+/// backend needs besides the kernel itself.
+#[derive(Clone)]
+pub struct ExecutionPlan {
+    /// Total work-items instantiated (ids `0..workitems`).
+    pub workitems: u32,
+    /// Work-items per pipeline for the NDRange formulation (1 elsewhere).
+    pub local_size: u32,
+    /// Depth of each compute→transfer FIFO.
+    pub stream_depth: usize,
+    /// RNs per burst in the transfer engine (LTRANSF × 16).
+    pub burst_rns: u64,
+    /// Host buffer-combining strategy (Section III-E).
+    pub combining: Combining,
+    /// Kernel clock for modeled runtimes (SDAccel: 200 MHz).
+    pub freq_hz: f64,
+    /// The shared memory channel (used by the cycle-level backend).
+    pub channel: BurstChannel,
+    /// Trace sink; [`TraceSink::disabled`] costs one branch per site.
+    pub sink: TraceSink,
+}
+
+impl ExecutionPlan {
+    /// A plan with the engines' historical defaults: depth-64 streams,
+    /// 256-RN bursts, device-level combining, 200 MHz, Config1/2 channel,
+    /// tracing off.
+    pub fn new(workitems: u32) -> Self {
+        assert!(workitems >= 1, "need at least one work-item");
+        Self {
+            workitems,
+            local_size: 1,
+            stream_depth: 64,
+            burst_rns: 256,
+            combining: Combining::DeviceLevel,
+            freq_hz: 200e6,
+            channel: BurstChannel::config12(),
+            sink: TraceSink::disabled(),
+        }
+    }
+
+    /// The plan a paper configuration implies: its work-item count, burst
+    /// length and place-and-routed memory channel.
+    pub fn for_config(cfg: &PaperConfig) -> Self {
+        Self {
+            burst_rns: cfg.burst_rns,
+            channel: cfg.channel(),
+            ..Self::new(cfg.fpga_workitems)
+        }
+    }
+
+    /// Work-items per pipeline (NDRange formulation); must divide
+    /// `workitems`.
+    pub fn local_size(mut self, local_size: u32) -> Self {
+        assert!(local_size >= 1);
+        self.local_size = local_size;
+        self
+    }
+
+    /// Depth of each compute→transfer FIFO (must be positive).
+    pub fn stream_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "stream depth must be positive");
+        self.stream_depth = depth;
+        self
+    }
+
+    /// RNs per burst (whole 512-bit words).
+    pub fn burst_rns(mut self, burst_rns: u64) -> Self {
+        assert!(burst_rns >= 16 && burst_rns.is_multiple_of(16));
+        self.burst_rns = burst_rns;
+        self
+    }
+
+    /// Host buffer-combining strategy.
+    pub fn combining(mut self, combining: Combining) -> Self {
+        self.combining = combining;
+        self
+    }
+
+    /// Kernel clock in Hz.
+    pub fn freq_hz(mut self, freq_hz: f64) -> Self {
+        assert!(freq_hz > 0.0);
+        self.freq_hz = freq_hz;
+        self
+    }
+
+    /// The shared memory channel.
+    pub fn channel(mut self, channel: BurstChannel) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Attach a trace sink.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// Pipelines the NDRange formulation instantiates.
+    pub fn groups(&self) -> u32 {
+        assert!(
+            self.workitems.is_multiple_of(self.local_size),
+            "local_size {} must divide workitems {}",
+            self.local_size,
+            self.workitems
+        );
+        self.workitems / self.local_size
+    }
+}
+
+/// Engine-specific results a backend reports beyond the uniform fields.
+#[derive(Debug)]
+pub enum BackendDetail {
+    /// [`FunctionalDecoupled`]: the combined host buffer plus the per-work-
+    /// item transfer/stream telemetry.
+    Decoupled {
+        /// Host buffer: per-work-item regions at `wid`-derived offsets,
+        /// 512-bit aligned and zero-padded.
+        host_buffer: Vec<f32>,
+        /// Transfer statistics per work-item.
+        transfers: Vec<TransferStats>,
+        /// Stream depth high-water marks per work-item.
+        stream_high_water: Vec<usize>,
+        /// Per-work-item `(write stalls, read stalls)` of the stream.
+        stream_stalls: Vec<(u64, u64)>,
+    },
+    /// [`LockstepCoupled`]: the shared pipeline's cost.
+    Lockstep {
+        /// Iterations the lockstep pipeline executed (round maxima summed).
+        lockstep_iterations: u64,
+        /// Output rounds executed.
+        rounds: u64,
+    },
+    /// [`NdRange`]: the flat output stream and per-group pipeline cost.
+    NdRange {
+        /// Outputs concatenated in (group, sector, local) order.
+        outputs: Vec<f32>,
+        /// Pipeline iterations per group.
+        group_iterations: Vec<u64>,
+    },
+    /// [`CycleSim`]: the full cycle-level simulation result.
+    CycleSim {
+        /// Cycle-accurate schedule, stalls, FIFO high-water and bursts.
+        sim: SimResult,
+    },
+    /// [`SimtTrace`]: the lockstep partition replay.
+    Simt {
+        /// Lockstep vs lane iteration accounting.
+        result: LockstepResult,
+    },
+}
+
+/// Uniform result of executing one kernel on one backend.
+#[derive(Debug)]
+pub struct RunReport {
+    /// Executing backend's name.
+    pub backend: &'static str,
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Work-items instantiated.
+    pub workitems: u32,
+    /// Outputs each work-item owes ([`WorkItemKernel::outputs_per_workitem`]).
+    pub quota: u64,
+    /// Emitted sample sequence per work-item — identical across backends
+    /// for the same kernel and seed.
+    pub samples: Vec<Vec<f32>>,
+    /// Main-loop iterations executed per work-item.
+    pub iterations: Vec<u64>,
+    /// Divergence outcome counters per work-item.
+    pub divergence: Vec<DivergenceCounts>,
+    /// Combined rejection statistics (Section IV-E accounting).
+    pub rejection: RejectionStats,
+    /// The backend's runtime-determining cycle count at II = 1: slowest
+    /// work-item (decoupled/NDRange), lockstep iterations (coupled/SIMT),
+    /// or simulated cycles (cycle-level).
+    pub cycles: u64,
+    /// Engine-specific extras.
+    pub detail: BackendDetail,
+}
+
+impl RunReport {
+    /// Modeled runtime at `freq_hz` — `cycles` at II = 1.
+    pub fn runtime_s(&self, freq_hz: f64) -> f64 {
+        iterations_runtime_s(self.cycles as f64, freq_hz)
+    }
+
+    /// True when every work-item emitted its full quota (no `limitMax`
+    /// truncation).
+    pub fn complete(&self) -> bool {
+        self.samples.iter().all(|s| s.len() as u64 == self.quota)
+    }
+
+    /// Iterations summed over work-items.
+    pub fn total_iterations(&self) -> u64 {
+        self.iterations.iter().sum()
+    }
+
+    /// Divergence counters merged over work-items.
+    pub fn divergence_total(&self) -> DivergenceCounts {
+        let mut total = DivergenceCounts::default();
+        for d in &self.divergence {
+            total.merge(d);
+        }
+        total
+    }
+}
+
+/// One execution engine: consumes any kernel plus a plan, produces the
+/// uniform report. Adding an engine to the repository means implementing
+/// this trait — not editing the applications.
+pub trait Backend: Sync {
+    /// Backend name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Execute `kernel` under `plan`.
+    fn execute(&self, kernel: &dyn WorkItemKernel, plan: &ExecutionPlan) -> RunReport;
+}
+
+/// All five engines, in documentation order.
+pub fn all_backends() -> Vec<Box<dyn Backend>> {
+    vec![
+        Box::new(FunctionalDecoupled),
+        Box::new(LockstepCoupled),
+        Box::new(NdRange),
+        Box::new(CycleSim),
+        Box::new(SimtTrace),
+    ]
+}

@@ -1,0 +1,114 @@
+//! The `.cl` NDRange formulation on the unified layer: `groups` pipelines,
+//! each time-multiplexing `local_size` work-items.
+
+use super::{Backend, BackendDetail, ExecutionPlan, RunReport};
+use crate::kernel::{DivergenceCounts, WorkItemKernel};
+use dwi_rng::RejectionStats;
+use dwi_trace::{Counter, ProcessKind};
+
+/// Section III-A's alternative formulation: SDAccel maps each work-group to
+/// one pipeline, so `plan.groups()` pipelines run in parallel and each
+/// serves its `plan.local_size` work-items sequentially, phase by phase.
+/// At `local_size = 1` the per-work-item streams are identical to
+/// [`FunctionalDecoupled`](super::FunctionalDecoupled)'s — what directly
+/// affects runtime is the number of pipelines, not the grouping.
+pub struct NdRange;
+
+impl Backend for NdRange {
+    fn name(&self) -> &'static str {
+        "ndrange"
+    }
+
+    fn execute(&self, kernel: &dyn WorkItemKernel, plan: &ExecutionPlan) -> RunReport {
+        let groups = plan.groups();
+        let local = plan.local_size as usize;
+        let n = plan.workitems as usize;
+        let quota = kernel.outputs_per_workitem();
+        let phases = kernel.phases();
+
+        let mut outputs = Vec::new();
+        let mut samples: Vec<Vec<f32>> = vec![Vec::new(); n];
+        let mut iterations = vec![0u64; n];
+        let mut divergence = vec![DivergenceCounts::default(); n];
+        let mut rejection = RejectionStats::new();
+        let mut group_iterations = Vec::with_capacity(groups as usize);
+
+        for g in 0..groups {
+            let track = plan.sink.track(g, ProcessKind::Pipeline);
+            let g_label = g.to_string();
+            // One pipeline: its work-items execute as nested loops (the
+            // SDAccel mapping), i.e. sequentially multiplexed.
+            let mut lanes: Vec<_> = (0..local)
+                .map(|l| {
+                    let wid = g * plan.local_size + l as u32;
+                    let wid_label = wid.to_string();
+                    let c_rej = if track.is_enabled() {
+                        track.counter("dwi_rejection_retries_total", &[("wid", &wid_label)])
+                    } else {
+                        Counter::disabled()
+                    };
+                    (wid as usize, kernel.instantiate(wid), c_rej, false)
+                })
+                .collect();
+            let mut iters = 0u64;
+            for phase in 0..phases {
+                let t0 = track.now_ns();
+                for (wid, inst, c_rej, done) in lanes.iter_mut() {
+                    if *done {
+                        continue;
+                    }
+                    loop {
+                        let st = inst.step();
+                        iters += 1;
+                        iterations[*wid] += 1;
+                        divergence[*wid].record(st.divergence);
+                        if let Some(v) = st.emit {
+                            outputs.push(v);
+                            samples[*wid].push(v);
+                        } else if !st.divergence.is_accepted() {
+                            c_rej.inc();
+                            track.instant("rejection");
+                        }
+                        if st.done {
+                            *done = true;
+                        }
+                        if st.phase_end == Some(phase) || *done {
+                            break;
+                        }
+                    }
+                }
+                track.span_since(format!("sector {phase}"), t0);
+                track.observe(
+                    "dwi_sector_latency_seconds",
+                    &[("group", &g_label)],
+                    (track.now_ns() - t0) as f64 * 1e-9,
+                );
+            }
+            for (_, inst, _, _) in &lanes {
+                rejection.merge(&inst.stats());
+            }
+            track
+                .counter("dwi_group_iterations_total", &[("group", &g_label)])
+                .add(iters);
+            group_iterations.push(iters);
+        }
+
+        let cycles = group_iterations.iter().copied().max().unwrap_or(0);
+
+        RunReport {
+            backend: self.name(),
+            kernel: kernel.name(),
+            workitems: plan.workitems,
+            quota,
+            samples,
+            iterations,
+            divergence,
+            rejection,
+            cycles,
+            detail: BackendDetail::NdRange {
+                outputs,
+                group_iterations,
+            },
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! The SIMT lockstep replay on the unified layer: the kernel runs
+//! functionally once to record its per-iteration branch outcomes, then
+//! `dwi-ocl::simt` replays those traces as one lockstep partition.
+
+use super::{Backend, BackendDetail, ExecutionPlan, RunReport};
+use crate::kernel::{DivergenceCounts, WorkItemKernel};
+use dwi_ocl::simt::{attempts_per_output, run_lockstep};
+use dwi_rng::RejectionStats;
+
+/// Safety bound on iterations per work-item in the recording pass.
+const MAX_ITERATIONS: u64 = 1_000_000_000;
+
+/// Fig. 2b from recorded branches: each work-item's accept/reject outcome
+/// sequence (every divergence the kernel actually took) becomes one lane's
+/// attempt trace, and the partition pays `max_i attempts_i` per output
+/// round. The gap between this backend's cycles and
+/// [`FunctionalDecoupled`](super::FunctionalDecoupled)'s is the
+/// architectural decoupling win the paper quantifies.
+pub struct SimtTrace;
+
+impl Backend for SimtTrace {
+    fn name(&self) -> &'static str {
+        "simt-trace"
+    }
+
+    fn execute(&self, kernel: &dyn WorkItemKernel, plan: &ExecutionPlan) -> RunReport {
+        let n = plan.workitems as usize;
+        let quota = kernel.outputs_per_workitem();
+
+        // Recording pass: keep the accept flag of every divergence point —
+        // including accepted-but-unwritten tail iterations, which a real
+        // lockstep partition still reconverges on.
+        let mut samples: Vec<Vec<f32>> = Vec::with_capacity(n);
+        let mut iterations = vec![0u64; n];
+        let mut divergence = vec![DivergenceCounts::default(); n];
+        let mut rejection = RejectionStats::new();
+        let mut traces: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for wid in 0..n {
+            let mut inst = kernel.instantiate(wid as u32);
+            let mut outcomes = Vec::new();
+            let mut vals = Vec::new();
+            let mut div = DivergenceCounts::default();
+            loop {
+                let st = inst.step();
+                outcomes.push(st.divergence.is_accepted());
+                if let Some(v) = st.emit {
+                    vals.push(v);
+                }
+                div.record(st.divergence);
+                if st.done {
+                    break;
+                }
+                assert!(
+                    (outcomes.len() as u64) < MAX_ITERATIONS,
+                    "runaway kernel in recording pass (wid {wid})"
+                );
+            }
+            iterations[wid] = outcomes.len() as u64;
+            rejection.merge(&inst.stats());
+            divergence[wid] = div;
+            traces.push(attempts_per_output(&outcomes));
+            samples.push(vals);
+        }
+
+        // Replay pass: the partition reconverges after every output round.
+        let result = run_lockstep(&traces);
+        let cycles = result.lockstep_iterations;
+
+        RunReport {
+            backend: self.name(),
+            kernel: kernel.name(),
+            workitems: plan.workitems,
+            quota,
+            samples,
+            iterations,
+            divergence,
+            rejection,
+            cycles,
+            detail: BackendDetail::Simt { result },
+        }
+    }
+}

@@ -8,8 +8,10 @@
 //! unchanged) and counts the lockstep iterations, quantifying exactly what
 //! the paper's decoupling (Fig. 2c) saves on the same device.
 
+use crate::backend::{Backend, BackendDetail, ExecutionPlan, LockstepCoupled};
 use crate::config::{PaperConfig, Workload};
-use dwi_rng::GammaKernel;
+use crate::kernel::GammaListing2;
+use crate::model::iterations_runtime_s;
 
 /// Result of a coupled (lockstep) counterfactual run.
 #[derive(Debug)]
@@ -34,13 +36,13 @@ impl CoupledRun {
     /// worth of area, so the coupled runtime is simply
     /// `lockstep_iterations / freq`.
     pub fn runtime_s(&self, freq_hz: f64) -> f64 {
-        self.lockstep_iterations as f64 / freq_hz
+        iterations_runtime_s(self.lockstep_iterations as f64, freq_hz)
     }
 
     /// The decoupled runtime on the same area (W independent pipelines,
     /// slowest lane binds).
     pub fn decoupled_runtime_s(&self, freq_hz: f64, max_lane_iterations: u64) -> f64 {
-        max_lane_iterations as f64 / freq_hz
+        iterations_runtime_s(max_lane_iterations as f64, freq_hz)
     }
 
     /// Cycles wasted by coupling, as a fraction of the coupled runtime.
@@ -53,48 +55,52 @@ impl CoupledRun {
 /// Execute W work-items in lockstep per output round: every round runs until
 /// *all* lanes have produced their next output (rejected lanes retry while
 /// accepted lanes idle). Returns the run plus the per-lane iteration counts.
-pub fn run_coupled(
+///
+/// Each lane keeps the quota the paper configuration gives it
+/// (`cfg.fpga_workitems` divides the scenarios), so a width sweep varies
+/// only the coupling, never the per-lane work. Runs on the
+/// [`LockstepCoupled`] backend.
+pub fn lockstep_counterfactual(
     cfg: &PaperConfig,
     workload: &Workload,
     seed: u64,
     width: u32,
 ) -> (CoupledRun, Vec<u64>) {
     assert!(width >= 1);
-    let kcfg = cfg.kernel_config(workload, seed);
-    let mut kernels: Vec<GammaKernel> =
-        (0..width).map(|wid| GammaKernel::new(&kcfg, wid)).collect();
-    let quota = kcfg.limit_main as u64 * kcfg.limit_sec as u64;
-    let mut lane_iters = vec![0u64; width as usize];
-    let mut lockstep = 0u64;
-    let mut outputs = 0u64;
-    for _round in 0..quota {
-        let mut round_max = 0u64;
-        for (lane, k) in kernels.iter_mut().enumerate() {
-            // Lane retries until it produces this round's output.
-            let mut attempts = 0u64;
-            loop {
-                attempts += 1;
-                let (out, _) = k.step();
-                if out.is_some() {
-                    break;
-                }
-                assert!(attempts < 1_000_000, "runaway rejection loop");
-            }
-            lane_iters[lane] += attempts;
-            round_max = round_max.max(attempts);
-            outputs += 1;
-        }
-        lockstep += round_max;
-    }
+    let kernel = GammaListing2::for_config(cfg, workload, seed);
+    let plan = ExecutionPlan::new(width);
+    let report = LockstepCoupled.execute(&kernel, &plan);
+    let BackendDetail::Lockstep {
+        lockstep_iterations,
+        ..
+    } = report.detail
+    else {
+        unreachable!("LockstepCoupled reports Lockstep detail")
+    };
+    let outputs = report.samples.iter().map(|s| s.len() as u64).sum();
     (
         CoupledRun {
-            lockstep_iterations: lockstep,
-            lane_iterations: lane_iters.iter().sum(),
+            lockstep_iterations,
+            lane_iterations: report.iterations.iter().sum(),
             outputs,
             width,
         },
-        lane_iters,
+        report.iterations,
     )
+}
+
+/// Deprecated name of [`lockstep_counterfactual`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use lockstep_counterfactual, or LockstepCoupled.execute(..) on the unified backend layer"
+)]
+pub fn run_coupled(
+    cfg: &PaperConfig,
+    workload: &Workload,
+    seed: u64,
+    width: u32,
+) -> (CoupledRun, Vec<u64>) {
+    lockstep_counterfactual(cfg, workload, seed, width)
 }
 
 #[cfg(test)]
@@ -115,7 +121,7 @@ mod tests {
         // The functional lockstep run must land on the closed-form D(q, W).
         let cfg = PaperConfig::config1();
         let w = workload();
-        let (run, _) = run_coupled(&cfg, &w, 3, 8);
+        let (run, _) = lockstep_counterfactual(&cfg, &w, 3, 8);
         let per_output = run.lockstep_iterations as f64 / (run.outputs as f64 / 8.0);
         let d = divergence_factor(0.2334, 8);
         assert!(
@@ -130,7 +136,7 @@ mod tests {
         // decoupled design on the same area.
         let cfg = PaperConfig::config1();
         let w = workload();
-        let (run, lanes) = run_coupled(&cfg, &w, 7, 8);
+        let (run, lanes) = lockstep_counterfactual(&cfg, &w, 7, 8);
         let coupled = run.runtime_s(200e6);
         let decoupled = run.decoupled_runtime_s(200e6, lanes.iter().copied().max().unwrap());
         let gain = coupled / decoupled;
@@ -146,7 +152,7 @@ mod tests {
         // Config3/4 crossover of Table III in miniature.
         let cfg = PaperConfig::config3();
         let w = workload();
-        let (run, lanes) = run_coupled(&cfg, &w, 5, 8);
+        let (run, lanes) = lockstep_counterfactual(&cfg, &w, 5, 8);
         let gain = run.runtime_s(200e6)
             / run.decoupled_runtime_s(200e6, lanes.iter().copied().max().unwrap());
         assert!(gain < 1.2, "ICDF coupling gain should be small, got {gain}");
@@ -156,8 +162,8 @@ mod tests {
     fn overhead_grows_with_width() {
         let cfg = PaperConfig::config1();
         let w = workload();
-        let (r2, _) = run_coupled(&cfg, &w, 1, 2);
-        let (r16, _) = run_coupled(&cfg, &w, 1, 16);
+        let (r2, _) = lockstep_counterfactual(&cfg, &w, 1, 2);
+        let (r16, _) = lockstep_counterfactual(&cfg, &w, 1, 16);
         assert!(r16.coupling_overhead() > r2.coupling_overhead());
     }
 
@@ -165,7 +171,7 @@ mod tests {
     fn outputs_complete_regardless_of_coupling() {
         let cfg = PaperConfig::config2();
         let w = workload();
-        let (run, _) = run_coupled(&cfg, &w, 2, 4);
+        let (run, _) = lockstep_counterfactual(&cfg, &w, 2, 4);
         let quota = cfg.kernel_config(&w, 2).limit_main as u64;
         assert_eq!(run.outputs, 4 * quota);
     }

@@ -9,12 +9,12 @@
 //! (device-level combining, Section III-E-2). No work-item ever waits on
 //! another's data-dependent branches — the paper's decoupling, executed.
 
+use crate::backend::{Backend, BackendDetail, ExecutionPlan, FunctionalDecoupled};
 use crate::config::{PaperConfig, Workload};
-use crate::device_memory::DeviceMemory;
-use crate::transfer::{transfer_traced, TransferStats};
-use dwi_hls::stream::Stream;
-use dwi_rng::{GammaKernel, RejectionStats};
-use dwi_trace::{ProcessKind, TraceSink};
+use crate::kernel::GammaListing2;
+use crate::transfer::TransferStats;
+use dwi_rng::RejectionStats;
+use dwi_trace::TraceSink;
 
 /// How the host combines per-work-item output buffers (Section III-E).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -136,108 +136,35 @@ impl<'a> DecoupledRunner<'a> {
     }
 
     /// Execute the decoupled engine with the configured options.
+    ///
+    /// Since the backend unification this is a thin adapter over
+    /// [`FunctionalDecoupled`] running [`GammaListing2`] — the engine
+    /// itself lives in `crate::backend::functional`.
     pub fn run(&self) -> DecoupledRun {
-        let cfg = self.cfg;
-        let workload = self.workload;
-        let n = cfg.fpga_workitems as usize;
-        let quota = workload.scenarios_per_workitem(cfg.fpga_workitems) as u64;
-        let outputs_per_wi = quota * workload.num_sectors as u64;
-        let words_per_wi = (outputs_per_wi as usize).div_ceil(16);
-        let base_kcfg = cfg.kernel_config(workload, self.seed);
-
-        let mut memory = DeviceMemory::new(n, words_per_wi);
-        let mut rejection = RejectionStats::new();
-        let mut iterations = vec![0u64; n];
-        let mut transfers = vec![TransferStats::default(); n];
-        let mut high_water = vec![0usize; n];
-        let mut stalls = vec![(0u64, 0u64); n];
-
-        {
-            let regions = memory.split_regions();
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(n);
-                for (wid, region) in regions.into_iter().enumerate() {
-                    let kcfg = base_kcfg;
-                    let sink = &self.sink;
-                    // Listing 1: each work-item gets its unique id at design
-                    // time and its own stream + transfer function.
-                    let (mut tx, mut rx) = Stream::<f32>::with_depth(self.stream_depth);
-                    tx.attach_track(sink.track(wid as u32, ProcessKind::Compute));
-                    rx.attach_track(sink.track(wid as u32, ProcessKind::Transfer));
-                    let compute = scope.spawn(move || {
-                        let track = sink.track(wid as u32, ProcessKind::Compute);
-                        let wid_label = (wid as u32).to_string();
-                        let mut kernel = GammaKernel::new(&kcfg, wid as u32);
-                        let mut iters = 0u64;
-                        for sector in 0..kcfg.limit_sec {
-                            let t0 = track.now_ns();
-                            let run = kernel.run_sector_traced(|g| tx.write(g), &track);
-                            track.span_since(format!("sector {sector}"), t0);
-                            track.observe(
-                                "dwi_sector_latency_seconds",
-                                &[("wid", &wid_label)],
-                                (track.now_ns() - t0) as f64 * 1e-9,
-                            );
-                            assert!(!run.truncated, "limitMax bound hit in sector run");
-                            iters += run.iterations;
-                        }
-                        track
-                            .counter("dwi_workitem_iterations_total", &[("wid", &wid_label)])
-                            .add(iters);
-                        let stats = *kernel.combined_stats();
-                        drop(tx); // close the stream: transfer drains and exits
-                        (iters, stats)
-                    });
-                    let burst_words = (cfg.burst_rns as usize) / 16;
-                    let xfer = scope.spawn(move || {
-                        let track = sink.track(wid as u32, ProcessKind::Transfer);
-                        let stats = transfer_traced(&rx, region, burst_words, &track);
-                        // The stream is closed and drained here, so these
-                        // totals are final.
-                        (stats, rx.high_water(), rx.stalls())
-                    });
-                    handles.push((wid, compute, xfer));
-                }
-                for (wid, compute, xfer) in handles {
-                    let (iters, stats) = compute.join().expect("compute thread panicked");
-                    let (tstats, hw, st) = xfer.join().expect("transfer thread panicked");
-                    iterations[wid] = iters;
-                    rejection.merge(&stats);
-                    transfers[wid] = tstats;
-                    high_water[wid] = hw;
-                    stalls[wid] = st;
-                }
-            });
-        }
-
-        let host_track = self.sink.track(0, ProcessKind::Host);
-        let t_combine = host_track.now_ns();
-        let host_buffer = match self.combining {
-            // One device buffer, one read request.
-            Combining::DeviceLevel => memory.read_to_host(),
-            // N buffers read back one by one into one host buffer at offsets
-            // wid · L/N — byte-identical layout by construction (tested).
-            Combining::HostLevel => {
-                let mut host = vec![0f32; memory.len_f32()];
-                let region_len = words_per_wi * 16;
-                for wid in 0..n {
-                    let part = memory.read_region(wid);
-                    host[wid * region_len..(wid + 1) * region_len].copy_from_slice(&part);
-                }
-                host
-            }
+        let kernel = GammaListing2::for_config(self.cfg, self.workload, self.seed);
+        let plan = ExecutionPlan::for_config(self.cfg)
+            .stream_depth(self.stream_depth)
+            .combining(self.combining)
+            .trace(self.sink.clone());
+        let report = FunctionalDecoupled.execute(&kernel, &plan);
+        assert!(report.complete(), "limitMax bound hit in sector run");
+        let BackendDetail::Decoupled {
+            host_buffer,
+            transfers,
+            stream_high_water,
+            stream_stalls,
+        } = report.detail
+        else {
+            unreachable!("FunctionalDecoupled reports Decoupled detail")
         };
-        host_track.span_since("combine", t_combine);
-        drop(host_track);
-
         DecoupledRun {
             host_buffer,
-            rejection,
-            iterations,
+            rejection: report.rejection,
+            iterations: report.iterations,
             transfers,
-            stream_high_water: high_water,
-            stream_stalls: stalls,
-            outputs_per_workitem: outputs_per_wi,
+            stream_high_water,
+            stream_stalls,
+            outputs_per_workitem: report.quota,
         }
     }
 }
@@ -245,6 +172,10 @@ impl<'a> DecoupledRunner<'a> {
 /// Run the decoupled design functionally: `cfg.fpga_workitems` independent
 /// work-item pipelines, each a compute thread + transfer thread. Thin
 /// wrapper over [`DecoupledRunner`] with tracing disabled.
+#[deprecated(
+    since = "0.2.0",
+    note = "use DecoupledRunner, or FunctionalDecoupled.execute(&GammaListing2::for_config(..), &plan) on the unified backend layer"
+)]
 pub fn run_decoupled(
     cfg: &PaperConfig,
     workload: &Workload,
@@ -261,6 +192,19 @@ pub fn run_decoupled(
 mod tests {
     use super::*;
     use dwi_rng::GammaKernel;
+
+    /// Test-local stand-in for the deprecated free function.
+    fn run_decoupled(
+        cfg: &PaperConfig,
+        workload: &Workload,
+        seed: u64,
+        combining: Combining,
+    ) -> DecoupledRun {
+        DecoupledRunner::new(cfg, workload)
+            .seed(seed)
+            .combining(combining)
+            .run()
+    }
 
     fn small_workload() -> Workload {
         Workload {

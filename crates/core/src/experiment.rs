@@ -7,9 +7,10 @@
 //! ICDF-style split the paper reports for Config3/4.
 
 use crate::config::{IcdfStyle, PaperConfig, Workload};
+use crate::kernel::{GammaListing2, WorkItemKernel};
 use crate::model::FpgaRuntimeModel;
 use dwi_ocl::profiles::{DeviceKind, DeviceProfile, CPU, GPU, PHI};
-use dwi_rng::{GammaKernel, KernelConfig, NormalMethod};
+use dwi_rng::{KernelConfig, NormalMethod};
 
 /// Runtime of one platform for one configuration cell.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,7 +86,8 @@ impl Table3 {
 }
 
 /// Measure the combined rejection overhead of a kernel variant on a
-/// calibration sample (`samples` accepted outputs).
+/// calibration sample (`samples` accepted outputs), by stepping one
+/// [`GammaListing2`] work-item to completion on the unified kernel layer.
 pub fn measure_rejection_overhead(
     normal: NormalMethod,
     mt: dwi_rng::MtParams,
@@ -102,10 +104,9 @@ pub fn measure_rejection_overhead(
         seed: 0xCA11_B12A_7E5E_ED00,
         break_id: 0,
     };
-    let mut k = GammaKernel::new(&cfg, 0);
-    let mut sink = Vec::new();
-    k.run_all(&mut sink);
-    k.combined_stats().overhead()
+    let mut inst = GammaListing2::new(cfg).instantiate(0);
+    while !inst.step().done {}
+    inst.stats().overhead()
 }
 
 /// Runtime of one fixed platform for a configuration (at the paper's

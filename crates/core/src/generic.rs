@@ -48,6 +48,10 @@ pub struct GenericRun {
 /// Run any [`WorkItemApp`] through the decoupled engine: `n` work-items,
 /// each `make(wid)`'s app coupled to its transfer engine by a blocking
 /// stream, writing `quota` outputs into its own device-memory region.
+#[deprecated(
+    since = "0.2.0",
+    note = "implement WorkItemKernel (see crate::apps) and run it through FunctionalDecoupled or any other backend"
+)]
 pub fn run_decoupled_app<A, F>(make: F, n_workitems: u32, quota: u64, burst_rns: u64) -> GenericRun
 where
     A: WorkItemApp,
@@ -166,6 +170,9 @@ impl WorkItemApp for TruncatedNormal {
 }
 
 #[cfg(test)]
+// These tests exercise the deprecated shim itself, so the old entry point
+// is exactly what they must call.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use dwi_stats::Normal;

@@ -25,6 +25,8 @@
 //! engine demonstrates the decoupled execution *functionally*, not just in
 //! the cost model.
 
+pub mod apps;
+pub mod backend;
 pub mod config;
 pub mod coupled;
 pub mod decoupled;
@@ -32,17 +34,34 @@ pub mod device_memory;
 pub mod experiment;
 pub mod generic;
 pub mod icdf_fixed;
+pub mod kernel;
 pub mod model;
 pub mod ndrange_variant;
 pub mod transfer;
 pub mod validation;
 
+pub use apps::{SeverityExpMix, TruncatedNormalKernel};
+pub use backend::{
+    all_backends, Backend, BackendDetail, CycleSim, ExecutionPlan, FunctionalDecoupled,
+    LockstepCoupled, NdRange, RunReport, SimtTrace,
+};
 pub use config::{IcdfStyle, PaperConfig, Workload};
-pub use coupled::{run_coupled, CoupledRun};
-pub use decoupled::{run_decoupled, Combining, DecoupledRun, DecoupledRunner};
+#[allow(deprecated)]
+pub use coupled::run_coupled;
+pub use coupled::{lockstep_counterfactual, CoupledRun};
+#[allow(deprecated)]
+pub use decoupled::run_decoupled;
+pub use decoupled::{Combining, DecoupledRun, DecoupledRunner};
 pub use device_memory::DeviceMemory;
 pub use experiment::{table3, PlatformRuntime, Table3, Table3Row};
-pub use generic::{run_decoupled_app, GenericRun, TruncatedNormal, WorkItemApp};
-pub use model::{eq1_runtime_s, FpgaRuntimeModel};
-pub use ndrange_variant::{ndrange_runtime_s, run_ndrange, NdRangeRun, NdRangeRunner};
-pub use validation::{validate_run, ValidationReport};
+#[allow(deprecated)]
+pub use generic::run_decoupled_app;
+pub use generic::{GenericRun, TruncatedNormal, WorkItemApp};
+pub use kernel::{
+    Divergence, DivergenceCounts, GammaListing2, KernelInstance, Step, WorkItemKernel,
+};
+pub use model::{eq1_runtime_s, iterations_runtime_s, FpgaRuntimeModel};
+#[allow(deprecated)]
+pub use ndrange_variant::run_ndrange;
+pub use ndrange_variant::{ndrange_runtime_s, NdRangeRun, NdRangeRunner};
+pub use validation::{validate_report, validate_run, ValidationReport};

@@ -14,7 +14,21 @@ use crate::config::{PaperConfig, Workload};
 use dwi_hls::memory::BurstChannel;
 use dwi_hls::pipeline::PipelineModel;
 
+/// The one runtime primitive every engine shares: `iterations` pipeline
+/// iterations at II = 1 and an effective rate of `freq_hz` iterations per
+/// second. Eq. 1, the coupled counterfactual, the NDRange model and
+/// [`RunReport::runtime_s`](crate::backend::RunReport::runtime_s) are all
+/// expressed through this function — iterations over rate, nothing else.
+pub fn iterations_runtime_s(iterations: f64, freq_hz: f64) -> f64 {
+    assert!(freq_hz > 0.0);
+    iterations / freq_hz
+}
+
 /// Eq. 1: theoretical compute-bound runtime in seconds.
+///
+/// `numScenarios · numSectors` total outputs over an aggregate rate of
+/// `numWorkItems · f_FPGA` outputs per second, inflated by the rejection
+/// overhead `(1 + r)`.
 pub fn eq1_runtime_s(
     num_scenarios: u64,
     num_sectors: u32,
@@ -24,8 +38,10 @@ pub fn eq1_runtime_s(
 ) -> f64 {
     assert!(workitems > 0 && freq_hz > 0.0);
     assert!(rejection_overhead >= 0.0);
-    (num_scenarios as f64 * num_sectors as f64) / (workitems as f64 * freq_hz)
-        * (1.0 + rejection_overhead)
+    iterations_runtime_s(
+        num_scenarios as f64 * num_sectors as f64,
+        workitems as f64 * freq_hz,
+    ) * (1.0 + rejection_overhead)
 }
 
 /// Full FPGA runtime model for one configuration.

@@ -13,10 +13,12 @@
 //! pipelines the two formulations deliver identical throughput and, at
 //! `localSize = 1`, identical output streams.
 
+use crate::backend::{Backend, BackendDetail, ExecutionPlan, NdRange};
 use crate::config::{PaperConfig, Workload};
-use dwi_rng::GammaKernel;
+use crate::kernel::GammaListing2;
+use crate::model::iterations_runtime_s;
 use dwi_rng::RejectionStats;
-use dwi_trace::{ProcessKind, TraceSink};
+use dwi_trace::TraceSink;
 
 /// Result of an NDRange-style functional run.
 #[derive(Debug)]
@@ -85,48 +87,27 @@ impl<'a> NdRangeRunner<'a> {
     }
 
     /// Execute the NDRange formulation with the configured geometry.
+    ///
+    /// Since the backend unification this is a thin adapter over the
+    /// [`NdRange`] backend running [`GammaListing2`] with the quota
+    /// re-derived for the `groups × local_size` geometry.
     pub fn run(&self) -> NdRangeRun {
         let total_wi = self.groups * self.local_size;
-        let mut kcfg = self.cfg.kernel_config(self.workload, self.seed);
-        // Re-derive the per-work-item quota for the NDRange geometry.
-        kcfg.limit_main = self.workload.scenarios_per_workitem(total_wi);
-        let mut outputs = Vec::new();
-        let mut rejection = RejectionStats::new();
-        let mut group_iterations = Vec::with_capacity(self.groups as usize);
-
-        for g in 0..self.groups {
-            let track = self.sink.track(g, ProcessKind::Pipeline);
-            let g_label = g.to_string();
-            // One pipeline: its work-items execute as nested loops (the
-            // SDAccel mapping), i.e. sequentially multiplexed.
-            let mut kernels: Vec<GammaKernel> = (0..self.local_size)
-                .map(|l| GammaKernel::new(&kcfg, g * self.local_size + l))
-                .collect();
-            let mut iters = 0u64;
-            for sector in 0..self.workload.num_sectors {
-                let t0 = track.now_ns();
-                for k in kernels.iter_mut() {
-                    let run = k.run_sector_traced(|v| outputs.push(v), &track);
-                    iters += run.iterations;
-                }
-                track.span_since(format!("sector {sector}"), t0);
-                track.observe(
-                    "dwi_sector_latency_seconds",
-                    &[("group", &g_label)],
-                    (track.now_ns() - t0) as f64 * 1e-9,
-                );
-            }
-            for k in &kernels {
-                rejection.merge(k.combined_stats());
-            }
-            track
-                .counter("dwi_group_iterations_total", &[("group", &g_label)])
-                .add(iters);
-            group_iterations.push(iters);
-        }
+        let kernel = GammaListing2::for_workitems(self.cfg, self.workload, self.seed, total_wi);
+        let plan = ExecutionPlan::new(total_wi)
+            .local_size(self.local_size)
+            .trace(self.sink.clone());
+        let report = NdRange.execute(&kernel, &plan);
+        let BackendDetail::NdRange {
+            outputs,
+            group_iterations,
+        } = report.detail
+        else {
+            unreachable!("NdRange reports NdRange detail")
+        };
         NdRangeRun {
             outputs,
-            rejection,
+            rejection: report.rejection,
             group_iterations,
         }
     }
@@ -137,6 +118,10 @@ impl<'a> NdRangeRunner<'a> {
 /// work-item produces `workload.scenarios_per_workitem(total)` scenarios
 /// per sector, exactly like the Task formulation with that many work-items.
 /// Thin wrapper over [`NdRangeRunner`] with tracing disabled.
+#[deprecated(
+    since = "0.2.0",
+    note = "use NdRangeRunner, or NdRange.execute(..) on the unified backend layer"
+)]
 pub fn run_ndrange(
     cfg: &PaperConfig,
     workload: &Workload,
@@ -155,13 +140,40 @@ pub fn run_ndrange(
 /// so the runtime is the slowest group's iteration count at II = 1.
 pub fn ndrange_runtime_s(run: &NdRangeRun, freq_hz: f64) -> f64 {
     let max = run.group_iterations.iter().copied().max().unwrap_or(0);
-    max as f64 / freq_hz
+    iterations_runtime_s(max as f64, freq_hz)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::decoupled::{run_decoupled, Combining};
+    use crate::decoupled::{Combining, DecoupledRun, DecoupledRunner};
+
+    /// Test-local stand-ins for the deprecated free functions.
+    fn run_ndrange(
+        cfg: &PaperConfig,
+        workload: &Workload,
+        seed: u64,
+        groups: u32,
+        local_size: u32,
+    ) -> NdRangeRun {
+        NdRangeRunner::new(cfg, workload)
+            .seed(seed)
+            .groups(groups)
+            .local_size(local_size)
+            .run()
+    }
+
+    fn run_decoupled(
+        cfg: &PaperConfig,
+        workload: &Workload,
+        seed: u64,
+        combining: Combining,
+    ) -> DecoupledRun {
+        DecoupledRunner::new(cfg, workload)
+            .seed(seed)
+            .combining(combining)
+            .run()
+    }
 
     fn workload() -> Workload {
         Workload {

@@ -5,6 +5,7 @@
 //! Darling and a histogram against the analytic Gamma(1/v, v) — into one
 //! report over a decoupled run's output buffer.
 
+use crate::backend::RunReport;
 use crate::decoupled::DecoupledRun;
 use dwi_stats::{ad_test, ks_test, AdResult, Gamma, Histogram, KsResult, Summary};
 
@@ -75,6 +76,31 @@ pub fn validate_run(
             break;
         }
     }
+    validate_samples(sample, sector_variance)
+}
+
+/// Validate a unified-layer [`RunReport`]'s sample streams against
+/// Gamma(1/v, v), using up to `max_samples` values (every work-item's
+/// emitted sequence, in work-item order). Works with any backend — the
+/// report's `samples` are already the valid prefixes.
+pub fn validate_report(
+    report: &RunReport,
+    sector_variance: f64,
+    max_samples: usize,
+) -> ValidationReport {
+    let mut sample: Vec<f64> = Vec::new();
+    for wi in &report.samples {
+        sample.extend(wi.iter().map(|&x| x as f64));
+        if sample.len() >= max_samples {
+            sample.truncate(max_samples);
+            break;
+        }
+    }
+    validate_samples(sample, sector_variance)
+}
+
+/// The shared core: run the full test battery over a collected sample.
+fn validate_samples(sample: Vec<f64>, sector_variance: f64) -> ValidationReport {
     assert!(sample.len() >= 64, "not enough samples to validate");
     let dist = Gamma::from_sector_variance(sector_variance);
     let mut summary = Summary::new();
@@ -98,7 +124,7 @@ pub fn validate_run(
 mod tests {
     use super::*;
     use crate::config::{PaperConfig, Workload};
-    use crate::decoupled::{run_decoupled, Combining};
+    use crate::decoupled::DecoupledRunner;
 
     fn run(v: f32, scenarios: u64) -> (DecoupledRun, PaperConfig) {
         let cfg = PaperConfig::config1();
@@ -107,7 +133,8 @@ mod tests {
             num_sectors: 1,
             sector_variance: v,
         };
-        (run_decoupled(&cfg, &w, 31, Combining::DeviceLevel), cfg)
+        let r = DecoupledRunner::new(&cfg, &w).seed(31).run();
+        (r, cfg)
     }
 
     #[test]
@@ -136,6 +163,27 @@ mod tests {
         let (r, cfg) = run(1.39, 8192);
         let report = validate_run(&r, cfg.fpga_workitems, 5.0, 20_000);
         assert!(!report.passes(1e-4));
+    }
+
+    #[test]
+    fn validate_report_agrees_with_validate_run() {
+        use crate::backend::{Backend, ExecutionPlan, FunctionalDecoupled};
+        use crate::kernel::GammaListing2;
+        let cfg = PaperConfig::config1();
+        let w = Workload {
+            num_scenarios: 24_576,
+            num_sectors: 1,
+            sector_variance: 1.39,
+        };
+        let kernel = GammaListing2::for_config(&cfg, &w, 31);
+        let report = FunctionalDecoupled.execute(&kernel, &ExecutionPlan::for_config(&cfg));
+        let vr = validate_report(&report, 1.39, 30_000);
+        assert!(vr.passes(1e-4), "{}", vr.render());
+        // The report's samples are the same valid prefixes validate_run
+        // reads out of the host buffer — identical verdict, stat for stat.
+        let (legacy, cfg2) = run(1.39, 24_576);
+        let lr = validate_run(&legacy, cfg2.fpga_workitems, 1.39, 30_000);
+        assert_eq!(vr.render(), lr.render());
     }
 
     #[test]

@@ -1,0 +1,166 @@
+//! The tentpole contract of the unified Kernel/Backend layer: one
+//! [`WorkItemKernel`] is *the* definition of the computation, and every
+//! execution backend — threads+streams, lockstep, NDRange, cycle-level
+//! simulation, SIMT trace replay — is only a different way of scheduling
+//! the same per-work-item iteration sequence. Same kernel + same seed must
+//! therefore yield bit-identical per-work-item sample streams everywhere;
+//! what may differ between backends is *time* (cycles), never *values*.
+
+use dwi_core::{
+    all_backends, Backend, ExecutionPlan, FunctionalDecoupled, GammaListing2, LockstepCoupled,
+    NdRange, PaperConfig, SeverityExpMix, SimtTrace, TruncatedNormalKernel, WorkItemKernel,
+    Workload,
+};
+
+/// The three bundled applications, each with a plan sized for it.
+fn kernels() -> Vec<(Box<dyn WorkItemKernel>, ExecutionPlan)> {
+    let cfg = PaperConfig::config1();
+    let w = Workload {
+        num_scenarios: 2048,
+        num_sectors: 2,
+        sector_variance: 1.39,
+    };
+    vec![
+        (
+            Box::new(GammaListing2::for_config(&cfg, &w, 42)),
+            ExecutionPlan::for_config(&cfg),
+        ),
+        (
+            Box::new(TruncatedNormalKernel::new(1.5, 2_000, 1_234)),
+            ExecutionPlan::new(4),
+        ),
+        (
+            Box::new(SeverityExpMix::credit_severity(2_000, 77)),
+            ExecutionPlan::new(4),
+        ),
+    ]
+}
+
+#[test]
+fn sample_streams_identical_across_functional_backends() {
+    // The ISSUE's headline equivalence: FunctionalDecoupled,
+    // LockstepCoupled and NdRange produce identical per-work-item
+    // sequences for the same kernel and seed.
+    for (kernel, plan) in kernels() {
+        let reference = FunctionalDecoupled.execute(kernel.as_ref(), &plan);
+        assert!(reference.complete(), "{} incomplete", kernel.name());
+        for backend in [&LockstepCoupled as &dyn Backend, &NdRange] {
+            let run = backend.execute(kernel.as_ref(), &plan);
+            assert_eq!(run.samples.len(), reference.samples.len());
+            for (wid, (got, want)) in run.samples.iter().zip(&reference.samples).enumerate() {
+                assert_eq!(
+                    got,
+                    want,
+                    "{} on {}: work-item {wid} diverged from the decoupled engine",
+                    kernel.name(),
+                    backend.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn three_kernels_times_five_backends_matrix() {
+    // Every (kernel, backend) pair runs through the one unified API and
+    // meets its quota with the same values.
+    for (kernel, plan) in kernels() {
+        let reference = FunctionalDecoupled.execute(kernel.as_ref(), &plan);
+        for backend in all_backends() {
+            let run = backend.execute(kernel.as_ref(), &plan);
+            assert_eq!(run.backend, backend.name());
+            assert_eq!(run.kernel, kernel.name());
+            assert_eq!(run.workitems, plan.workitems);
+            assert_eq!(run.quota, kernel.outputs_per_workitem());
+            assert!(
+                run.complete(),
+                "{} on {}: quota not met",
+                kernel.name(),
+                backend.name()
+            );
+            assert_eq!(
+                run.samples,
+                reference.samples,
+                "{} on {}: values diverged",
+                kernel.name(),
+                backend.name()
+            );
+            assert!(run.cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn simt_divergence_matches_functional_rejection_counters() {
+    // The SIMT replay is built from the *same* branch outcomes the
+    // functional engine counts as rejections: per-work-item divergence
+    // counters must agree exactly, and their totals must reconcile with
+    // the kernel's own RejectionStats accounting.
+    for (kernel, plan) in kernels() {
+        let func = FunctionalDecoupled.execute(kernel.as_ref(), &plan);
+        let simt = SimtTrace.execute(kernel.as_ref(), &plan);
+        assert_eq!(
+            simt.divergence,
+            func.divergence,
+            "{}: divergence counters disagree",
+            kernel.name()
+        );
+        assert_eq!(simt.iterations, func.iterations, "{}", kernel.name());
+        let d = func.divergence_total();
+        assert_eq!(d.attempts(), func.rejection.attempts, "{}", kernel.name());
+        assert_eq!(d.accepted, func.rejection.accepted, "{}", kernel.name());
+        assert_eq!(
+            d.rejected(),
+            func.rejection.attempts - func.rejection.accepted,
+            "{}",
+            kernel.name()
+        );
+    }
+}
+
+#[test]
+fn lockstep_never_beats_decoupled_and_simt_shows_the_gap() {
+    // Architecture ordering on a rejection workload: the decoupled engine
+    // pays only the slowest work-item's own iterations; any lockstep
+    // coupling (functional or trace-replayed) pays per-round maxima on
+    // top. Zero-rejection coupling would tie, never win.
+    for (kernel, plan) in kernels() {
+        let func = FunctionalDecoupled.execute(kernel.as_ref(), &plan);
+        let lockstep = LockstepCoupled.execute(kernel.as_ref(), &plan);
+        let simt = SimtTrace.execute(kernel.as_ref(), &plan);
+        assert!(
+            lockstep.cycles >= func.cycles,
+            "{}: lockstep {} < decoupled {}",
+            kernel.name(),
+            lockstep.cycles,
+            func.cycles
+        );
+        assert!(
+            simt.cycles >= func.cycles,
+            "{}: simt {} < decoupled {}",
+            kernel.name(),
+            simt.cycles,
+            func.cycles
+        );
+        // All three kernels reject at >5%, so with >1 work-item the
+        // coupling penalty is strictly positive.
+        assert!(func.rejection.rejection_rate() > 0.05, "{}", kernel.name());
+        assert!(lockstep.cycles > func.cycles, "{}", kernel.name());
+    }
+}
+
+#[test]
+fn reports_are_deterministic_per_backend() {
+    // Same kernel, same plan, run twice on every backend: bit-identical
+    // samples and identical cycle counts (no wall-clock or thread-order
+    // leakage anywhere in the layer).
+    for (kernel, plan) in kernels() {
+        for backend in all_backends() {
+            let a = backend.execute(kernel.as_ref(), &plan);
+            let b = backend.execute(kernel.as_ref(), &plan);
+            assert_eq!(a.samples, b.samples, "{}", backend.name());
+            assert_eq!(a.cycles, b.cycles, "{}", backend.name());
+            assert_eq!(a.iterations, b.iterations, "{}", backend.name());
+        }
+    }
+}

@@ -2,7 +2,7 @@
 //! (deterministic `dwi-testkit` generator).
 
 use dwi_core::transfer::transfer;
-use dwi_core::{run_decoupled, Combining, PaperConfig, TruncatedNormal, WorkItemApp, Workload};
+use dwi_core::{Combining, DecoupledRunner, PaperConfig, TruncatedNormal, WorkItemApp, Workload};
 use dwi_hls::stream::Stream;
 use dwi_hls::wide::{unpack_words, Wide512};
 use dwi_testkit::cases;
@@ -44,7 +44,7 @@ fn decoupled_quota_always_met() {
             num_sectors: sectors,
             sector_variance: 1.39,
         };
-        let run = run_decoupled(&cfg, &w, seed, Combining::DeviceLevel);
+        let run = DecoupledRunner::new(&cfg, &w).seed(seed).run();
         let quota = w.scenarios_per_workitem(cfg.fpga_workitems) as u64 * sectors as u64;
         assert_eq!(run.outputs_per_workitem, quota);
         assert!(run.iterations.iter().all(|&i| i >= quota));
@@ -63,8 +63,9 @@ fn combining_equivalence_any_workload() {
             num_sectors: 1,
             sector_variance: 1.39,
         };
-        let a = run_decoupled(&cfg, &w, seed, Combining::DeviceLevel);
-        let b = run_decoupled(&cfg, &w, seed, Combining::HostLevel);
+        let runner = DecoupledRunner::new(&cfg, &w).seed(seed);
+        let a = runner.clone().combining(Combining::DeviceLevel).run();
+        let b = runner.combining(Combining::HostLevel).run();
         assert_eq!(a.host_buffer, b.host_buffer);
     });
 }

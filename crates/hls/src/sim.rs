@@ -120,14 +120,95 @@ impl WorkItem {
     }
 }
 
-/// Run the cycle-level simulation.
+/// Where the compute stages' accept/reject decisions come from.
+enum AcceptSource<'a> {
+    /// The built-in LCG rejection model (legacy behaviour, bit-identical).
+    Lcg { threshold: u64 },
+    /// Recorded per-iteration accept flags from a real kernel execution:
+    /// `traces[i][j]` is whether work-item `i`'s `j`-th non-stalled compute
+    /// cycle validated an output. Stalled cycles do **not** consume trace
+    /// entries — the pipeline is frozen, not advancing.
+    Traces {
+        traces: &'a [Vec<bool>],
+        cursor: Vec<usize>,
+    },
+}
+
+impl AcceptSource<'_> {
+    #[inline]
+    fn accept(&mut self, wi: usize, w: &mut WorkItem) -> bool {
+        match self {
+            AcceptSource::Lcg { threshold } => {
+                w.lcg = w
+                    .lcg
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (w.lcg >> 32) >= *threshold
+            }
+            AcceptSource::Traces { traces, cursor } => {
+                let j = cursor[wi];
+                assert!(
+                    j < traces[wi].len(),
+                    "work-item {wi}: iteration trace exhausted before quota"
+                );
+                cursor[wi] = j + 1;
+                traces[wi][j]
+            }
+        }
+    }
+}
+
+/// Run the cycle-level simulation with the built-in LCG rejection model.
 pub fn run(cfg: &SimConfig) -> SimResult {
+    assert!((0.0..1.0).contains(&cfg.reject_prob));
+    let reject_threshold = (cfg.reject_prob * (1u64 << 32) as f64) as u64;
+    let targets = vec![cfg.rns_per_workitem; cfg.n_workitems];
+    run_inner(
+        cfg,
+        AcceptSource::Lcg {
+            threshold: reject_threshold,
+        },
+        &targets,
+    )
+}
+
+/// Run the cycle-level simulation driven by **recorded kernel iteration
+/// traces** instead of the hard-coded rejection model: `traces[i]` is the
+/// per-iteration accept flag sequence of work-item `i` (as produced by a
+/// real `WorkItemKernel` execution), and each work-item's delivery target is
+/// the number of accepts in its trace (`cfg.rns_per_workitem` is ignored).
+/// `cfg.reject_prob`/`cfg.seed` are unused; `compute_enabled` must be true.
+pub fn run_from_traces(cfg: &SimConfig, traces: &[Vec<bool>]) -> SimResult {
+    assert_eq!(
+        traces.len(),
+        cfg.n_workitems,
+        "one iteration trace per work-item"
+    );
+    assert!(
+        cfg.compute_enabled,
+        "trace-driven simulation models the compute stages"
+    );
+    let targets: Vec<u64> = traces
+        .iter()
+        .map(|t| t.iter().filter(|&&ok| ok).count() as u64)
+        .collect();
+    run_inner(
+        cfg,
+        AcceptSource::Traces {
+            traces,
+            cursor: vec![0; traces.len()],
+        },
+        &targets,
+    )
+}
+
+/// Shared engine: `targets[i]` is the RN count work-item `i` must deliver.
+fn run_inner(cfg: &SimConfig, mut source: AcceptSource<'_>, targets: &[u64]) -> SimResult {
     assert!(cfg.n_workitems > 0, "need at least one work-item");
     assert!(
         cfg.burst_rns > 0 && cfg.burst_rns.is_multiple_of(RNS_PER_BEAT),
         "burst must be a whole number of 512-bit words"
     );
-    assert!((0.0..1.0).contains(&cfg.reject_prob));
     let mut wis: Vec<WorkItem> = (0..cfg.n_workitems)
         .map(|i| WorkItem {
             produced: 0,
@@ -143,26 +224,30 @@ pub fn run(cfg: &SimConfig) -> SimResult {
             done: false,
         })
         .collect();
-    let reject_threshold = (cfg.reject_prob * (1u64 << 32) as f64) as u64;
+    // A zero-target work-item has nothing to deliver — done before cycle 0.
+    for (w, &target) in wis.iter_mut().zip(targets) {
+        if target == 0 {
+            w.done = true;
+        }
+    }
     let mut channel_free_at = 0u64;
     let mut channel_busy = 0u64;
     let mut rr = 0usize; // round-robin arbitration pointer
     let mut bursts = Vec::new();
     let mut cycle = 0u64;
     let occ = cfg.channel.burst_occupancy(cfg.burst_rns);
+    let max_target = targets.iter().copied().max().unwrap_or(0);
     let safety = 4096
-        + cfg.n_workitems as u64 * cfg.rns_per_workitem * (occ + cfg.burst_rns)
-            / cfg.burst_rns.max(1)
-            * 8;
+        + cfg.n_workitems as u64 * max_target * (occ + cfg.burst_rns) / cfg.burst_rns.max(1) * 8;
 
     while wis.iter().any(|w| !w.done) {
         // --- complete in-flight bursts ---
-        for w in wis.iter_mut() {
+        for (w, &target) in wis.iter_mut().zip(targets) {
             if let Some((end, rns)) = w.in_flight {
                 if cycle >= end {
                     w.delivered += rns;
                     w.in_flight = None;
-                    if w.delivered >= cfg.rns_per_workitem && !w.done {
+                    if w.delivered >= target && !w.done {
                         w.done = true;
                         w.done_at = cycle;
                     }
@@ -194,11 +279,11 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         }
         // --- transfer engines: pack one RN per cycle into the fill buffer
         //     (TLOOP at II = 1), double-buffered against the in-flight burst ---
-        for w in wis.iter_mut() {
+        for (w, &target) in wis.iter_mut().zip(targets) {
             if w.done {
                 continue;
             }
-            let remaining = w.remaining_to_buffer(cfg.rns_per_workitem);
+            let remaining = w.remaining_to_buffer(target);
             let target = cfg.burst_rns.min(remaining + w.buffered);
             if w.buffered < target {
                 let avail = if cfg.compute_enabled { w.fifo } else { 1 };
@@ -218,21 +303,15 @@ pub fn run(cfg: &SimConfig) -> SimResult {
         }
         // --- compute stages: one iteration per cycle (II = 1) ---
         if cfg.compute_enabled {
-            for w in wis.iter_mut() {
-                if w.produced >= cfg.rns_per_workitem {
+            for (wi, (w, &target)) in wis.iter_mut().zip(targets).enumerate() {
+                if w.produced >= target {
                     continue;
                 }
                 if w.fifo >= cfg.fifo_depth as u64 {
                     w.stalls += 1; // stream back-pressure stalls the pipeline
                     continue;
                 }
-                // LCG-driven rejection.
-                w.lcg = w
-                    .lcg
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                let accept = (w.lcg >> 32) >= reject_threshold;
-                if accept {
+                if source.accept(wi, w) {
                     w.fifo += 1;
                     w.fifo_peak = w.fifo_peak.max(w.fifo);
                     w.produced += 1;
@@ -427,5 +506,93 @@ mod tests {
         for &hw in &r.fifo_high_water {
             assert!(hw <= 64);
         }
+    }
+
+    #[test]
+    fn all_accept_traces_match_zero_rejection_lcg_run() {
+        // A trace of pure accepts is exactly the reject_prob = 0 model:
+        // cycle-for-cycle identical schedules.
+        let mut cfg = small_cfg();
+        cfg.reject_prob = 0.0;
+        let legacy = run(&cfg);
+        let traces: Vec<Vec<bool>> = (0..cfg.n_workitems)
+            .map(|_| vec![true; cfg.rns_per_workitem as usize])
+            .collect();
+        let traced = run_from_traces(&cfg, &traces);
+        assert_eq!(traced.cycles, legacy.cycles);
+        assert_eq!(traced.per_wi_done, legacy.per_wi_done);
+        assert_eq!(traced.channel_busy, legacy.channel_busy);
+    }
+
+    #[test]
+    fn trace_accept_count_sets_the_delivery_target() {
+        // rns_per_workitem is ignored: each WI delivers its trace's accepts.
+        let cfg = SimConfig {
+            n_workitems: 2,
+            rns_per_workitem: 999_999, // ignored
+            ..small_cfg()
+        };
+        let mut t0 = vec![true; 512];
+        t0.extend(vec![false; 100]);
+        let t1: Vec<bool> = (0..2048).map(|i| i % 2 == 0).collect(); // 1024 accepts
+        let r = run_from_traces(&cfg, &[t0, t1]);
+        // WI1 has twice the RNs of WI0 and half the acceptance — it must
+        // finish last, and both must finish.
+        assert!(r.per_wi_done[0] > 0 && r.per_wi_done[1] > r.per_wi_done[0]);
+        assert_eq!(r.cycles, *r.per_wi_done.iter().max().unwrap() + 1);
+    }
+
+    #[test]
+    fn stalled_cycles_do_not_consume_trace_entries() {
+        // 8 work-items on one channel with a depth-1 FIFO force compute
+        // stalls; the traces hold exactly the accepts needed, so a
+        // consumed-on-stall bug would exhaust them and trip the internal
+        // assertion before the run completes.
+        let cfg = SimConfig {
+            n_workitems: 8,
+            fifo_depth: 1,
+            ..small_cfg()
+        };
+        let traces: Vec<Vec<bool>> = (0..8).map(|_| vec![true; 2048]).collect();
+        let r = run_from_traces(&cfg, &traces);
+        assert!(
+            r.compute_stalls.iter().any(|&s| s > 0),
+            "depth-1 must stall"
+        );
+        assert!(r.per_wi_done.iter().all(|&d| d > 0));
+    }
+
+    #[test]
+    fn rejection_in_trace_raises_runtime_like_the_model() {
+        // Compute-bound single WI: a 25%-reject trace costs ~4/3 the cycles
+        // of an all-accept trace, mirroring the LCG model's behaviour.
+        let cfg = SimConfig {
+            n_workitems: 1,
+            ..small_cfg()
+        };
+        let accepts = vec![true; 2048];
+        let mixed: Vec<bool> = (0..2048 * 4 / 3).map(|j| j % 4 != 0).collect();
+        let fast = run_from_traces(&cfg, &[accepts]).cycles;
+        let slow = run_from_traces(&cfg, &[mixed]).cycles;
+        let ratio = slow as f64 / fast as f64;
+        assert!((1.15..1.45).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn empty_trace_workitem_is_done_immediately() {
+        let cfg = SimConfig {
+            n_workitems: 2,
+            ..small_cfg()
+        };
+        let r = run_from_traces(&cfg, &[vec![true; 256], Vec::new()]);
+        assert_eq!(r.per_wi_done[1], 0);
+        assert!(r.per_wi_done[0] > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one iteration trace per work-item")]
+    fn trace_count_mismatch_panics() {
+        let cfg = small_cfg();
+        run_from_traces(&cfg, &[vec![true]]);
     }
 }

@@ -121,6 +121,25 @@ pub fn divergence_factor(q: f64, w: u32) -> f64 {
     sum
 }
 
+/// Convert a per-iteration accept-flag trace (as recorded from a real
+/// kernel execution — `outcomes[j]` is whether iteration `j` validated an
+/// output) into the attempts-per-output trace [`run_lockstep`] replays.
+/// Trailing attempts after the last accept (an incomplete output) are
+/// dropped — a lockstep partition reconverges on accepts, so a tail that
+/// never accepted contributes no output round.
+pub fn attempts_per_output(outcomes: &[bool]) -> Vec<u32> {
+    let mut out = Vec::new();
+    let mut attempts = 0u32;
+    for &ok in outcomes {
+        attempts += 1;
+        if ok {
+            out.push(attempts);
+            attempts = 0;
+        }
+    }
+    out
+}
+
 /// Convenience: generate a deterministic geometric attempt trace (LCG-driven)
 /// for tests, demos and calibration — `outputs` accepted outputs at
 /// rejection probability `q`.
@@ -238,6 +257,27 @@ mod tests {
         let total: u64 = t.iter().map(|&a| a as u64).sum();
         let mean = total as f64 / t.len() as f64;
         assert!((mean - 1.0 / 0.7).abs() < 0.02, "mean attempts {mean}");
+    }
+
+    #[test]
+    fn attempts_per_output_counts_rejections() {
+        // A R R A A R→(dropped tail)
+        let t = attempts_per_output(&[true, false, false, true, true, false]);
+        assert_eq!(t, vec![1, 3, 1]);
+        assert_eq!(attempts_per_output(&[]), Vec::<u32>::new());
+        assert_eq!(attempts_per_output(&[false, false]), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn attempts_trace_total_conserves_counted_iterations() {
+        // Every iteration up to the last accept lands in exactly one output.
+        let flags = [true, false, true, false, false, true, true];
+        let t = attempts_per_output(&flags);
+        let total: u64 = t.iter().map(|&a| a as u64).sum();
+        assert_eq!(total, flags.len() as u64);
+        // run_lockstep on a single lane replays them serially.
+        let r = run_lockstep(std::slice::from_ref(&t));
+        assert_eq!(r.lockstep_iterations, total);
     }
 
     #[test]

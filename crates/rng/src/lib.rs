@@ -38,7 +38,7 @@ pub mod transforms;
 pub mod uniform;
 
 pub use gamma::{correct_alpha_le_one, MarsagliaTsang};
-pub use kernel::{GammaKernel, KernelConfig, NormalMethod};
+pub use kernel::{GammaKernel, IterationTrace, KernelConfig, NormalMethod};
 pub use mt::{AdaptedMt, BlockMt, MtParams, MT19937, MT521};
 pub use rejection::RejectionStats;
 pub use streams::{StreamFamily, StreamStrategy};

@@ -5,7 +5,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use decoupled_workitems::core::{run_decoupled, Combining, PaperConfig, Workload};
+use decoupled_workitems::core::{DecoupledRunner, PaperConfig, Workload};
 use decoupled_workitems::stats::{ks_test, Gamma, Summary};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
         workload.sector_variance
     );
 
-    let run = run_decoupled(&cfg, &workload, 2024, Combining::DeviceLevel);
+    let run = DecoupledRunner::new(&cfg, &workload).seed(2024).run();
 
     println!(
         "generated {} gamma RNs ({} per work-item)",

@@ -1,12 +1,16 @@
 //! The paper's reuse claim in action: a *different* rejection-based
 //! generator (one-sided truncated normal, Robert 1995) dropped into the
 //! same decoupled engine — only the "Listing 2" application slot changed.
+//! On the unified layer that slot is a [`WorkItemKernel`], and the same
+//! kernel object runs on every execution backend.
 //!
 //! ```text
 //! cargo run --release --example truncated_normal
 //! ```
 
-use decoupled_workitems::core::{run_decoupled_app, TruncatedNormal};
+use decoupled_workitems::core::{
+    Backend, ExecutionPlan, FunctionalDecoupled, TruncatedNormalKernel,
+};
 use decoupled_workitems::ocl::simt::divergence_factor;
 use decoupled_workitems::stats::{ks_test, Normal};
 
@@ -15,12 +19,8 @@ fn main() {
     let n_workitems = 6;
     let quota = 50_000u64;
 
-    let run = run_decoupled_app(
-        |wid| TruncatedNormal::with_default_mt(a, 7_777, wid),
-        n_workitems,
-        quota,
-        256,
-    );
+    let kernel = TruncatedNormalKernel::new(a, quota, 7_777);
+    let run = FunctionalDecoupled.execute(&kernel, &ExecutionPlan::new(n_workitems));
     println!(
         "{} work-items x {} truncated normals (X >= {a}), overhead r = {:.4}",
         n_workitems,
@@ -32,10 +32,7 @@ fn main() {
     // Validate against the analytic truncated-normal CDF.
     let normal = Normal::new(0.0, 1.0);
     let tail = 1.0 - normal.cdf(a as f64);
-    let sample: Vec<f64> = run.host_buffer[..quota as usize]
-        .iter()
-        .map(|&x| x as f64)
-        .collect();
+    let sample: Vec<f64> = run.samples[0].iter().map(|&x| x as f64).collect();
     let ks = ks_test(&sample, |x| {
         if x <= a as f64 {
             0.0

@@ -24,13 +24,21 @@
 //!
 //! ## Quickstart
 //!
+//! Any [`WorkItemKernel`](dwi_core::WorkItemKernel) runs on any of the five
+//! execution backends; here the paper's Listing 2 gamma chain runs on the
+//! functional decoupled engine (threads + blocking streams):
+//!
 //! ```
-//! use decoupled_workitems::core::{run_decoupled, Combining, PaperConfig, Workload};
+//! use decoupled_workitems::core::{
+//!     Backend, ExecutionPlan, FunctionalDecoupled, GammaListing2, PaperConfig, Workload,
+//! };
 //!
 //! let cfg = PaperConfig::config1();
 //! let workload = Workload { num_scenarios: 1024, num_sectors: 2, sector_variance: 1.39 };
-//! let run = run_decoupled(&cfg, &workload, 42, Combining::DeviceLevel);
-//! assert!(run.rejection_overhead() > 0.25); // the Marsaglia-Bray chain
+//! let kernel = GammaListing2::for_config(&cfg, &workload, 42);
+//! let report = FunctionalDecoupled.execute(&kernel, &ExecutionPlan::for_config(&cfg));
+//! assert!(report.complete());
+//! assert!(report.rejection.overhead() > 0.25); // the Marsaglia-Bray chain
 //! ```
 
 pub use dwi_core as core;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/__probe-e3dae58598f52407.d: crates/hls/tests/__probe.rs
+
+/root/repo/target/debug/deps/__probe-e3dae58598f52407: crates/hls/tests/__probe.rs
+
+crates/hls/tests/__probe.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dwi_bench-848838cc4c5c7bcf.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+/root/repo/target/debug/deps/libdwi_bench-848838cc4c5c7bcf.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/obs.rs:
+crates/bench/src/render.rs:

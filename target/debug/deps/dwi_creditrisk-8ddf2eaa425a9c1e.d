@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dwi_creditrisk-8ddf2eaa425a9c1e.d: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs
+
+/root/repo/target/debug/deps/libdwi_creditrisk-8ddf2eaa425a9c1e.rmeta: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs
+
+crates/creditrisk/src/lib.rs:
+crates/creditrisk/src/allocation.rs:
+crates/creditrisk/src/bands.rs:
+crates/creditrisk/src/from_buffer.rs:
+crates/creditrisk/src/moments.rs:
+crates/creditrisk/src/montecarlo.rs:
+crates/creditrisk/src/panjer.rs:
+crates/creditrisk/src/portfolio.rs:
+crates/creditrisk/src/risk.rs:

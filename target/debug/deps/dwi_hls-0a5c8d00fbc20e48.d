@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dwi_hls-0a5c8d00fbc20e48.d: crates/hls/src/lib.rs crates/hls/src/axi.rs crates/hls/src/dataflow.rs crates/hls/src/fixed.rs crates/hls/src/memory.rs crates/hls/src/pipeline.rs crates/hls/src/report.rs crates/hls/src/resources.rs crates/hls/src/sim.rs crates/hls/src/stream.rs crates/hls/src/wide.rs
+
+/root/repo/target/debug/deps/libdwi_hls-0a5c8d00fbc20e48.rmeta: crates/hls/src/lib.rs crates/hls/src/axi.rs crates/hls/src/dataflow.rs crates/hls/src/fixed.rs crates/hls/src/memory.rs crates/hls/src/pipeline.rs crates/hls/src/report.rs crates/hls/src/resources.rs crates/hls/src/sim.rs crates/hls/src/stream.rs crates/hls/src/wide.rs
+
+crates/hls/src/lib.rs:
+crates/hls/src/axi.rs:
+crates/hls/src/dataflow.rs:
+crates/hls/src/fixed.rs:
+crates/hls/src/memory.rs:
+crates/hls/src/pipeline.rs:
+crates/hls/src/report.rs:
+crates/hls/src/resources.rs:
+crates/hls/src/sim.rs:
+crates/hls/src/stream.rs:
+crates/hls/src/wide.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dwi_ocl-18b4c84402157d1a.d: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+/root/repo/target/debug/deps/libdwi_ocl-18b4c84402157d1a.rmeta: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+crates/ocl/src/lib.rs:
+crates/ocl/src/coalescing.rs:
+crates/ocl/src/host.rs:
+crates/ocl/src/masked.rs:
+crates/ocl/src/ndrange.rs:
+crates/ocl/src/occupancy.rs:
+crates/ocl/src/pcie.rs:
+crates/ocl/src/profiles.rs:
+crates/ocl/src/simt.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/dwi_stats-cec8b4b11fbc403e.d: crates/stats/src/lib.rs crates/stats/src/anderson_darling.rs crates/stats/src/autocorr.rs crates/stats/src/chi2.rs crates/stats/src/ecdf.rs crates/stats/src/gamma_dist.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/normal.rs crates/stats/src/p2_quantile.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/debug/deps/libdwi_stats-cec8b4b11fbc403e.rmeta: crates/stats/src/lib.rs crates/stats/src/anderson_darling.rs crates/stats/src/autocorr.rs crates/stats/src/chi2.rs crates/stats/src/ecdf.rs crates/stats/src/gamma_dist.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/normal.rs crates/stats/src/p2_quantile.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/anderson_darling.rs:
+crates/stats/src/autocorr.rs:
+crates/stats/src/chi2.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/gamma_dist.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/normal.rs:
+crates/stats/src/p2_quantile.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/dwi_trace-667c713bb34cf69b.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/debug/deps/libdwi_trace-667c713bb34cf69b.rmeta: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

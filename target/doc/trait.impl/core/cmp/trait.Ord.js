@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dwi_hls",[["impl&lt;const W: <a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.u32.html\">u32</a>, const I: <a class=\"primitive\" href=\"https://doc.rust-lang.org/1.95.0/std/primitive.u32.html\">u32</a>&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"dwi_hls/fixed/struct.Fixed.html\" title=\"struct dwi_hls::fixed::Fixed\">Fixed</a>&lt;W, I&gt;",0]]],["dwi_trace",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"dwi_trace/event/enum.ProcessKind.html\" title=\"enum dwi_trace::event::ProcessKind\">ProcessKind</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"dwi_trace/event/struct.TrackId.html\" title=\"struct dwi_trace::event::TrackId\">TrackId</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[492,540]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["dwi_hls",[["impl&lt;T&gt; <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"dwi_hls/stream/struct.Producer.html\" title=\"struct dwi_hls::stream::Producer\">Producer</a>&lt;T&gt;",0]]],["dwi_trace",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/drop/trait.Drop.html\" title=\"trait core::ops::drop::Drop\">Drop</a> for <a class=\"struct\" href=\"dwi_trace/recorder/struct.Track.html\" title=\"struct dwi_trace::recorder::Track\">Track</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[305,289]}

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-3671b8cf8627435b.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-3671b8cf8627435b.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

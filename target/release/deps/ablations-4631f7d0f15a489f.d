@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-4631f7d0f15a489f.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-4631f7d0f15a489f: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-807efec2283ea88a.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-807efec2283ea88a: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

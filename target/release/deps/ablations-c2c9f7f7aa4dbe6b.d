@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-c2c9f7f7aa4dbe6b.d: crates/bench/benches/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-c2c9f7f7aa4dbe6b.rmeta: crates/bench/benches/ablations.rs Cargo.toml
+
+crates/bench/benches/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

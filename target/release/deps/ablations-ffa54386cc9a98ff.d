@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ablations-ffa54386cc9a98ff.d: crates/bench/src/bin/ablations.rs Cargo.toml
+
+/root/repo/target/release/deps/libablations-ffa54386cc9a98ff.rmeta: crates/bench/src/bin/ablations.rs Cargo.toml
+
+crates/bench/src/bin/ablations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backend_equivalence-3ab58ee5587d5016.d: crates/core/tests/backend_equivalence.rs
+
+/root/repo/target/release/deps/backend_equivalence-3ab58ee5587d5016: crates/core/tests/backend_equivalence.rs
+
+crates/core/tests/backend_equivalence.rs:

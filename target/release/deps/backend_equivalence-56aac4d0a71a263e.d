@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/backend_equivalence-56aac4d0a71a263e.d: crates/core/tests/backend_equivalence.rs Cargo.toml
+
+/root/repo/target/release/deps/libbackend_equivalence-56aac4d0a71a263e.rmeta: crates/core/tests/backend_equivalence.rs Cargo.toml
+
+crates/core/tests/backend_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

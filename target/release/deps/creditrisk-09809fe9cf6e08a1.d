@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/creditrisk-09809fe9cf6e08a1.d: crates/bench/benches/creditrisk.rs Cargo.toml
+
+/root/repo/target/release/deps/libcreditrisk-09809fe9cf6e08a1.rmeta: crates/bench/benches/creditrisk.rs Cargo.toml
+
+crates/bench/benches/creditrisk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/creditrisk-69a4645b0dfbf23d.d: crates/bench/benches/creditrisk.rs
+
+/root/repo/target/release/deps/creditrisk-69a4645b0dfbf23d: crates/bench/benches/creditrisk.rs
+
+crates/bench/benches/creditrisk.rs:

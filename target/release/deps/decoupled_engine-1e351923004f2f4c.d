@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decoupled_engine-1e351923004f2f4c.d: crates/bench/benches/decoupled_engine.rs
+
+/root/repo/target/release/deps/decoupled_engine-1e351923004f2f4c: crates/bench/benches/decoupled_engine.rs
+
+crates/bench/benches/decoupled_engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/decoupled_engine-24bc0f2d8ff57276.d: crates/bench/benches/decoupled_engine.rs Cargo.toml
+
+/root/repo/target/release/deps/libdecoupled_engine-24bc0f2d8ff57276.rmeta: crates/bench/benches/decoupled_engine.rs Cargo.toml
+
+crates/bench/benches/decoupled_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/decoupled_workitems-38e465f9142a2698.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdecoupled_workitems-38e465f9142a2698.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/decoupled_workitems-7f90be8b821e6b67.d: src/lib.rs
+
+/root/repo/target/release/deps/decoupled_workitems-7f90be8b821e6b67: src/lib.rs
+
+src/lib.rs:

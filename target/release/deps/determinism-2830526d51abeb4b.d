@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/determinism-2830526d51abeb4b.d: tests/determinism.rs Cargo.toml
+
+/root/repo/target/release/deps/libdeterminism-2830526d51abeb4b.rmeta: tests/determinism.rs Cargo.toml
+
+tests/determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

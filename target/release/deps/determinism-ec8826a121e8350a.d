@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-ec8826a121e8350a.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-ec8826a121e8350a: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dwi_bench-0d5e21be9e3bded2.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+/root/repo/target/release/deps/dwi_bench-0d5e21be9e3bded2: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/obs.rs:
+crates/bench/src/render.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dwi_bench-998ec5e149c3f857.d: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_bench-998ec5e149c3f857.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs crates/bench/src/microbench.rs crates/bench/src/obs.rs crates/bench/src/render.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/microbench.rs:
+crates/bench/src/obs.rs:
+crates/bench/src/render.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,10 +1,17 @@
-/root/repo/target/release/deps/dwi_core-2ea5c7b4c224c7d9.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs
+/root/repo/target/release/deps/dwi_core-2ea5c7b4c224c7d9.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/backend/mod.rs crates/core/src/backend/cyclesim.rs crates/core/src/backend/functional.rs crates/core/src/backend/lockstep.rs crates/core/src/backend/ndrange.rs crates/core/src/backend/simt.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/kernel.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs
 
-/root/repo/target/release/deps/libdwi_core-2ea5c7b4c224c7d9.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs
+/root/repo/target/release/deps/libdwi_core-2ea5c7b4c224c7d9.rlib: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/backend/mod.rs crates/core/src/backend/cyclesim.rs crates/core/src/backend/functional.rs crates/core/src/backend/lockstep.rs crates/core/src/backend/ndrange.rs crates/core/src/backend/simt.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/kernel.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs
 
-/root/repo/target/release/deps/libdwi_core-2ea5c7b4c224c7d9.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs
+/root/repo/target/release/deps/libdwi_core-2ea5c7b4c224c7d9.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/backend/mod.rs crates/core/src/backend/cyclesim.rs crates/core/src/backend/functional.rs crates/core/src/backend/lockstep.rs crates/core/src/backend/ndrange.rs crates/core/src/backend/simt.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/kernel.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs
 
 crates/core/src/lib.rs:
+crates/core/src/apps.rs:
+crates/core/src/backend/mod.rs:
+crates/core/src/backend/cyclesim.rs:
+crates/core/src/backend/functional.rs:
+crates/core/src/backend/lockstep.rs:
+crates/core/src/backend/ndrange.rs:
+crates/core/src/backend/simt.rs:
 crates/core/src/config.rs:
 crates/core/src/coupled.rs:
 crates/core/src/decoupled.rs:
@@ -12,6 +19,7 @@ crates/core/src/device_memory.rs:
 crates/core/src/experiment.rs:
 crates/core/src/generic.rs:
 crates/core/src/icdf_fixed.rs:
+crates/core/src/kernel.rs:
 crates/core/src/model.rs:
 crates/core/src/ndrange_variant.rs:
 crates/core/src/transfer.rs:

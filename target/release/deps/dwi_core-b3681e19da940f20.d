@@ -1,0 +1,28 @@
+/root/repo/target/release/deps/dwi_core-b3681e19da940f20.d: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/backend/mod.rs crates/core/src/backend/cyclesim.rs crates/core/src/backend/functional.rs crates/core/src/backend/lockstep.rs crates/core/src/backend/ndrange.rs crates/core/src/backend/simt.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/kernel.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_core-b3681e19da940f20.rmeta: crates/core/src/lib.rs crates/core/src/apps.rs crates/core/src/backend/mod.rs crates/core/src/backend/cyclesim.rs crates/core/src/backend/functional.rs crates/core/src/backend/lockstep.rs crates/core/src/backend/ndrange.rs crates/core/src/backend/simt.rs crates/core/src/config.rs crates/core/src/coupled.rs crates/core/src/decoupled.rs crates/core/src/device_memory.rs crates/core/src/experiment.rs crates/core/src/generic.rs crates/core/src/icdf_fixed.rs crates/core/src/kernel.rs crates/core/src/model.rs crates/core/src/ndrange_variant.rs crates/core/src/transfer.rs crates/core/src/validation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/apps.rs:
+crates/core/src/backend/mod.rs:
+crates/core/src/backend/cyclesim.rs:
+crates/core/src/backend/functional.rs:
+crates/core/src/backend/lockstep.rs:
+crates/core/src/backend/ndrange.rs:
+crates/core/src/backend/simt.rs:
+crates/core/src/config.rs:
+crates/core/src/coupled.rs:
+crates/core/src/decoupled.rs:
+crates/core/src/device_memory.rs:
+crates/core/src/experiment.rs:
+crates/core/src/generic.rs:
+crates/core/src/icdf_fixed.rs:
+crates/core/src/kernel.rs:
+crates/core/src/model.rs:
+crates/core/src/ndrange_variant.rs:
+crates/core/src/transfer.rs:
+crates/core/src/validation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

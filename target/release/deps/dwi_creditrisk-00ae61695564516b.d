@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dwi_creditrisk-00ae61695564516b.d: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs
+
+/root/repo/target/release/deps/dwi_creditrisk-00ae61695564516b: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs
+
+crates/creditrisk/src/lib.rs:
+crates/creditrisk/src/allocation.rs:
+crates/creditrisk/src/bands.rs:
+crates/creditrisk/src/from_buffer.rs:
+crates/creditrisk/src/moments.rs:
+crates/creditrisk/src/montecarlo.rs:
+crates/creditrisk/src/panjer.rs:
+crates/creditrisk/src/portfolio.rs:
+crates/creditrisk/src/risk.rs:

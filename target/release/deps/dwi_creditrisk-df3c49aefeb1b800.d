@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dwi_creditrisk-df3c49aefeb1b800.d: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_creditrisk-df3c49aefeb1b800.rmeta: crates/creditrisk/src/lib.rs crates/creditrisk/src/allocation.rs crates/creditrisk/src/bands.rs crates/creditrisk/src/from_buffer.rs crates/creditrisk/src/moments.rs crates/creditrisk/src/montecarlo.rs crates/creditrisk/src/panjer.rs crates/creditrisk/src/portfolio.rs crates/creditrisk/src/risk.rs Cargo.toml
+
+crates/creditrisk/src/lib.rs:
+crates/creditrisk/src/allocation.rs:
+crates/creditrisk/src/bands.rs:
+crates/creditrisk/src/from_buffer.rs:
+crates/creditrisk/src/moments.rs:
+crates/creditrisk/src/montecarlo.rs:
+crates/creditrisk/src/panjer.rs:
+crates/creditrisk/src/portfolio.rs:
+crates/creditrisk/src/risk.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dwi_energy-f3389ad3c0bfab99.d: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+/root/repo/target/release/deps/dwi_energy-f3389ad3c0bfab99: crates/energy/src/lib.rs crates/energy/src/energy.rs crates/energy/src/profiles.rs crates/energy/src/session.rs crates/energy/src/trace.rs
+
+crates/energy/src/lib.rs:
+crates/energy/src/energy.rs:
+crates/energy/src/profiles.rs:
+crates/energy/src/session.rs:
+crates/energy/src/trace.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/dwi_hls-5eb3706f5b008938.d: crates/hls/src/lib.rs crates/hls/src/axi.rs crates/hls/src/dataflow.rs crates/hls/src/fixed.rs crates/hls/src/memory.rs crates/hls/src/pipeline.rs crates/hls/src/report.rs crates/hls/src/resources.rs crates/hls/src/sim.rs crates/hls/src/stream.rs crates/hls/src/wide.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_hls-5eb3706f5b008938.rmeta: crates/hls/src/lib.rs crates/hls/src/axi.rs crates/hls/src/dataflow.rs crates/hls/src/fixed.rs crates/hls/src/memory.rs crates/hls/src/pipeline.rs crates/hls/src/report.rs crates/hls/src/resources.rs crates/hls/src/sim.rs crates/hls/src/stream.rs crates/hls/src/wide.rs Cargo.toml
+
+crates/hls/src/lib.rs:
+crates/hls/src/axi.rs:
+crates/hls/src/dataflow.rs:
+crates/hls/src/fixed.rs:
+crates/hls/src/memory.rs:
+crates/hls/src/pipeline.rs:
+crates/hls/src/report.rs:
+crates/hls/src/resources.rs:
+crates/hls/src/sim.rs:
+crates/hls/src/stream.rs:
+crates/hls/src/wide.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

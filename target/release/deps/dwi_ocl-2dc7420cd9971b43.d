@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/dwi_ocl-2dc7420cd9971b43.d: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_ocl-2dc7420cd9971b43.rmeta: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs Cargo.toml
+
+crates/ocl/src/lib.rs:
+crates/ocl/src/coalescing.rs:
+crates/ocl/src/host.rs:
+crates/ocl/src/masked.rs:
+crates/ocl/src/ndrange.rs:
+crates/ocl/src/occupancy.rs:
+crates/ocl/src/pcie.rs:
+crates/ocl/src/profiles.rs:
+crates/ocl/src/simt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/dwi_ocl-f55b57d7b32b9bcd.d: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+/root/repo/target/release/deps/dwi_ocl-f55b57d7b32b9bcd: crates/ocl/src/lib.rs crates/ocl/src/coalescing.rs crates/ocl/src/host.rs crates/ocl/src/masked.rs crates/ocl/src/ndrange.rs crates/ocl/src/occupancy.rs crates/ocl/src/pcie.rs crates/ocl/src/profiles.rs crates/ocl/src/simt.rs
+
+crates/ocl/src/lib.rs:
+crates/ocl/src/coalescing.rs:
+crates/ocl/src/host.rs:
+crates/ocl/src/masked.rs:
+crates/ocl/src/ndrange.rs:
+crates/ocl/src/occupancy.rs:
+crates/ocl/src/pcie.rs:
+crates/ocl/src/profiles.rs:
+crates/ocl/src/simt.rs:

@@ -1,0 +1,31 @@
+/root/repo/target/release/deps/dwi_rng-58cfde1c3ec777ae.d: crates/rng/src/lib.rs crates/rng/src/acceptance.rs crates/rng/src/battery.rs crates/rng/src/gamma.rs crates/rng/src/gf2/mod.rs crates/rng/src/gf2/berlekamp_massey.rs crates/rng/src/gf2/poly.rs crates/rng/src/kernel.rs crates/rng/src/mt/mod.rs crates/rng/src/mt/adapted.rs crates/rng/src/mt/block.rs crates/rng/src/mt/dynamic_creation.rs crates/rng/src/mt/equidistribution.rs crates/rng/src/mt/jump.rs crates/rng/src/mt/params.rs crates/rng/src/rejection.rs crates/rng/src/streams.rs crates/rng/src/transforms/mod.rs crates/rng/src/transforms/box_muller.rs crates/rng/src/transforms/icdf_cuda.rs crates/rng/src/transforms/icdf_fpga.rs crates/rng/src/transforms/marsaglia_bray.rs crates/rng/src/uniform.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_rng-58cfde1c3ec777ae.rmeta: crates/rng/src/lib.rs crates/rng/src/acceptance.rs crates/rng/src/battery.rs crates/rng/src/gamma.rs crates/rng/src/gf2/mod.rs crates/rng/src/gf2/berlekamp_massey.rs crates/rng/src/gf2/poly.rs crates/rng/src/kernel.rs crates/rng/src/mt/mod.rs crates/rng/src/mt/adapted.rs crates/rng/src/mt/block.rs crates/rng/src/mt/dynamic_creation.rs crates/rng/src/mt/equidistribution.rs crates/rng/src/mt/jump.rs crates/rng/src/mt/params.rs crates/rng/src/rejection.rs crates/rng/src/streams.rs crates/rng/src/transforms/mod.rs crates/rng/src/transforms/box_muller.rs crates/rng/src/transforms/icdf_cuda.rs crates/rng/src/transforms/icdf_fpga.rs crates/rng/src/transforms/marsaglia_bray.rs crates/rng/src/uniform.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+crates/rng/src/acceptance.rs:
+crates/rng/src/battery.rs:
+crates/rng/src/gamma.rs:
+crates/rng/src/gf2/mod.rs:
+crates/rng/src/gf2/berlekamp_massey.rs:
+crates/rng/src/gf2/poly.rs:
+crates/rng/src/kernel.rs:
+crates/rng/src/mt/mod.rs:
+crates/rng/src/mt/adapted.rs:
+crates/rng/src/mt/block.rs:
+crates/rng/src/mt/dynamic_creation.rs:
+crates/rng/src/mt/equidistribution.rs:
+crates/rng/src/mt/jump.rs:
+crates/rng/src/mt/params.rs:
+crates/rng/src/rejection.rs:
+crates/rng/src/streams.rs:
+crates/rng/src/transforms/mod.rs:
+crates/rng/src/transforms/box_muller.rs:
+crates/rng/src/transforms/icdf_cuda.rs:
+crates/rng/src/transforms/icdf_fpga.rs:
+crates/rng/src/transforms/marsaglia_bray.rs:
+crates/rng/src/uniform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

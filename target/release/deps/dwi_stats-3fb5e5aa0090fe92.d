@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/dwi_stats-3fb5e5aa0090fe92.d: crates/stats/src/lib.rs crates/stats/src/anderson_darling.rs crates/stats/src/autocorr.rs crates/stats/src/chi2.rs crates/stats/src/ecdf.rs crates/stats/src/gamma_dist.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/normal.rs crates/stats/src/p2_quantile.rs crates/stats/src/special.rs crates/stats/src/summary.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_stats-3fb5e5aa0090fe92.rmeta: crates/stats/src/lib.rs crates/stats/src/anderson_darling.rs crates/stats/src/autocorr.rs crates/stats/src/chi2.rs crates/stats/src/ecdf.rs crates/stats/src/gamma_dist.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/normal.rs crates/stats/src/p2_quantile.rs crates/stats/src/special.rs crates/stats/src/summary.rs Cargo.toml
+
+crates/stats/src/lib.rs:
+crates/stats/src/anderson_darling.rs:
+crates/stats/src/autocorr.rs:
+crates/stats/src/chi2.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/gamma_dist.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/normal.rs:
+crates/stats/src/p2_quantile.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

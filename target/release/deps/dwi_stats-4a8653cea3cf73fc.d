@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dwi_stats-4a8653cea3cf73fc.d: crates/stats/src/lib.rs crates/stats/src/anderson_darling.rs crates/stats/src/autocorr.rs crates/stats/src/chi2.rs crates/stats/src/ecdf.rs crates/stats/src/gamma_dist.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/normal.rs crates/stats/src/p2_quantile.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+/root/repo/target/release/deps/dwi_stats-4a8653cea3cf73fc: crates/stats/src/lib.rs crates/stats/src/anderson_darling.rs crates/stats/src/autocorr.rs crates/stats/src/chi2.rs crates/stats/src/ecdf.rs crates/stats/src/gamma_dist.rs crates/stats/src/histogram.rs crates/stats/src/ks.rs crates/stats/src/normal.rs crates/stats/src/p2_quantile.rs crates/stats/src/special.rs crates/stats/src/summary.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/anderson_darling.rs:
+crates/stats/src/autocorr.rs:
+crates/stats/src/chi2.rs:
+crates/stats/src/ecdf.rs:
+crates/stats/src/gamma_dist.rs:
+crates/stats/src/histogram.rs:
+crates/stats/src/ks.rs:
+crates/stats/src/normal.rs:
+crates/stats/src/p2_quantile.rs:
+crates/stats/src/special.rs:
+crates/stats/src/summary.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dwi_testkit-192ed0d27db416ad.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_testkit-192ed0d27db416ad.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/dwi_testkit-4c94e181f9b80683.d: crates/testkit/src/lib.rs
+
+/root/repo/target/release/deps/dwi_testkit-4c94e181f9b80683: crates/testkit/src/lib.rs
+
+crates/testkit/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/dwi_testkit-b54398fbbcc2b82e.d: crates/testkit/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libdwi_testkit-b54398fbbcc2b82e.rmeta: crates/testkit/src/lib.rs Cargo.toml
+
+crates/testkit/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/dwi_trace-44e9f5a17cebaec6.d: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+/root/repo/target/release/deps/dwi_trace-44e9f5a17cebaec6: crates/trace/src/lib.rs crates/trace/src/chrome.rs crates/trace/src/event.rs crates/trace/src/json.rs crates/trace/src/metrics.rs crates/trace/src/recorder.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/chrome.rs:
+crates/trace/src/event.rs:
+crates/trace/src/json.rs:
+crates/trace/src/metrics.rs:
+crates/trace/src/recorder.rs:

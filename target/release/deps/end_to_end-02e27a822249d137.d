@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-02e27a822249d137.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-02e27a822249d137: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eq1-299725b4df99ef04.d: crates/bench/src/bin/eq1.rs
+
+/root/repo/target/release/deps/eq1-299725b4df99ef04: crates/bench/src/bin/eq1.rs
+
+crates/bench/src/bin/eq1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eq1-47cbf8bc94eac8ad.d: crates/bench/src/bin/eq1.rs Cargo.toml
+
+/root/repo/target/release/deps/libeq1-47cbf8bc94eac8ad.rmeta: crates/bench/src/bin/eq1.rs Cargo.toml
+
+crates/bench/src/bin/eq1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eq1-790735bbbc2e7841.d: crates/bench/src/bin/eq1.rs Cargo.toml
+
+/root/repo/target/release/deps/libeq1-790735bbbc2e7841.rmeta: crates/bench/src/bin/eq1.rs Cargo.toml
+
+crates/bench/src/bin/eq1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig2-3e7953a8a279f168.d: crates/bench/src/bin/fig2.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig2-3e7953a8a279f168.rmeta: crates/bench/src/bin/fig2.rs Cargo.toml
+
+crates/bench/src/bin/fig2.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

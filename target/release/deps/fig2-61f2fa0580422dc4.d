@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-61f2fa0580422dc4.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-61f2fa0580422dc4: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

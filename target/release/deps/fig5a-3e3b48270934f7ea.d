@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5a-3e3b48270934f7ea.d: crates/bench/src/bin/fig5a.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5a-3e3b48270934f7ea.rmeta: crates/bench/src/bin/fig5a.rs Cargo.toml
+
+crates/bench/src/bin/fig5a.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

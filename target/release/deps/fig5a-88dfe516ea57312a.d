@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5a-88dfe516ea57312a.d: crates/bench/src/bin/fig5a.rs
+
+/root/repo/target/release/deps/fig5a-88dfe516ea57312a: crates/bench/src/bin/fig5a.rs
+
+crates/bench/src/bin/fig5a.rs:

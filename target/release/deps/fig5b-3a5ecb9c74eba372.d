@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5b-3a5ecb9c74eba372.d: crates/bench/src/bin/fig5b.rs
+
+/root/repo/target/release/deps/fig5b-3a5ecb9c74eba372: crates/bench/src/bin/fig5b.rs
+
+crates/bench/src/bin/fig5b.rs:

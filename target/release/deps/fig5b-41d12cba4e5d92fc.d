@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5b-41d12cba4e5d92fc.d: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5b-41d12cba4e5d92fc.rmeta: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+crates/bench/src/bin/fig5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

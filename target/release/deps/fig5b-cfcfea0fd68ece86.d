@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig5b-cfcfea0fd68ece86.d: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig5b-cfcfea0fd68ece86.rmeta: crates/bench/src/bin/fig5b.rs Cargo.toml
+
+crates/bench/src/bin/fig5b.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-3fa7f013a5812d1e.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-3fa7f013a5812d1e: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

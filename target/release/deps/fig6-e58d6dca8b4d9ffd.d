@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig6-e58d6dca8b4d9ffd.d: crates/bench/src/bin/fig6.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig6-e58d6dca8b4d9ffd.rmeta: crates/bench/src/bin/fig6.rs Cargo.toml
+
+crates/bench/src/bin/fig6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

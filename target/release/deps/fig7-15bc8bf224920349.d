@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-15bc8bf224920349.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-15bc8bf224920349: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_transfers-7be6e31bcc09785c.d: crates/bench/benches/fig7_transfers.rs
+
+/root/repo/target/release/deps/fig7_transfers-7be6e31bcc09785c: crates/bench/benches/fig7_transfers.rs
+
+crates/bench/benches/fig7_transfers.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig7_transfers-bb092e193c5d4372.d: crates/bench/benches/fig7_transfers.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig7_transfers-bb092e193c5d4372.rmeta: crates/bench/benches/fig7_transfers.rs Cargo.toml
+
+crates/bench/benches/fig7_transfers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

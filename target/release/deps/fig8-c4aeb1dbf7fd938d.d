@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-c4aeb1dbf7fd938d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-c4aeb1dbf7fd938d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

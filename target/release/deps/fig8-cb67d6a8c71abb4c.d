@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig8-cb67d6a8c71abb4c.d: crates/bench/src/bin/fig8.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig8-cb67d6a8c71abb4c.rmeta: crates/bench/src/bin/fig8.rs Cargo.toml
+
+crates/bench/src/bin/fig8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

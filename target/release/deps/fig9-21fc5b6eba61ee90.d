@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9-21fc5b6eba61ee90.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9-21fc5b6eba61ee90.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

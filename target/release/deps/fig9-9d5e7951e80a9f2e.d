@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9-9d5e7951e80a9f2e.d: crates/bench/src/bin/fig9.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9-9d5e7951e80a9f2e.rmeta: crates/bench/src/bin/fig9.rs Cargo.toml
+
+crates/bench/src/bin/fig9.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

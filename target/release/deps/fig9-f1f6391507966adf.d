@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-f1f6391507966adf.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-f1f6391507966adf: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

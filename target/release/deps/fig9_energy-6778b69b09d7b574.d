@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9_energy-6778b69b09d7b574.d: crates/bench/benches/fig9_energy.rs
+
+/root/repo/target/release/deps/fig9_energy-6778b69b09d7b574: crates/bench/benches/fig9_energy.rs
+
+crates/bench/benches/fig9_energy.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fig9_energy-6c7b981cefffd9b3.d: crates/bench/benches/fig9_energy.rs Cargo.toml
+
+/root/repo/target/release/deps/libfig9_energy-6c7b981cefffd9b3.rmeta: crates/bench/benches/fig9_energy.rs Cargo.toml
+
+crates/bench/benches/fig9_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/full_pipeline-432462d131638029.d: tests/full_pipeline.rs Cargo.toml
+
+/root/repo/target/release/deps/libfull_pipeline-432462d131638029.rmeta: tests/full_pipeline.rs Cargo.toml
+
+tests/full_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_pipeline-ee7bb4ece9367829.d: tests/full_pipeline.rs
+
+/root/repo/target/release/deps/full_pipeline-ee7bb4ece9367829: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

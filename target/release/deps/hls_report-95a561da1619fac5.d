@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hls_report-95a561da1619fac5.d: crates/bench/src/bin/hls_report.rs Cargo.toml
+
+/root/repo/target/release/deps/libhls_report-95a561da1619fac5.rmeta: crates/bench/src/bin/hls_report.rs Cargo.toml
+
+crates/bench/src/bin/hls_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

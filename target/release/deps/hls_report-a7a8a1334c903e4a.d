@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/hls_report-a7a8a1334c903e4a.d: crates/bench/src/bin/hls_report.rs Cargo.toml
+
+/root/repo/target/release/deps/libhls_report-a7a8a1334c903e4a.rmeta: crates/bench/src/bin/hls_report.rs Cargo.toml
+
+crates/bench/src/bin/hls_report.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

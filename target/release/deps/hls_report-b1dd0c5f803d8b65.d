@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hls_report-b1dd0c5f803d8b65.d: crates/bench/src/bin/hls_report.rs
+
+/root/repo/target/release/deps/hls_report-b1dd0c5f803d8b65: crates/bench/src/bin/hls_report.rs
+
+crates/bench/src/bin/hls_report.rs:

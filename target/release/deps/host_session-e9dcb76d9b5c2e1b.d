@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/host_session-e9dcb76d9b5c2e1b.d: tests/host_session.rs Cargo.toml
+
+/root/repo/target/release/deps/libhost_session-e9dcb76d9b5c2e1b.rmeta: tests/host_session.rs Cargo.toml
+
+tests/host_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/host_session-ea974ead1543c598.d: tests/host_session.rs
+
+/root/repo/target/release/deps/host_session-ea974ead1543c598: tests/host_session.rs
+
+tests/host_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/observability-1a257a940290867a.d: tests/observability.rs Cargo.toml
+
+/root/repo/target/release/deps/libobservability-1a257a940290867a.rmeta: tests/observability.rs Cargo.toml
+
+tests/observability.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/observability-3f24a94be10656d6.d: tests/observability.rs
+
+/root/repo/target/release/deps/observability-3f24a94be10656d6: tests/observability.rs
+
+tests/observability.rs:

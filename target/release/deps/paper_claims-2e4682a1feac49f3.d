@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-2e4682a1feac49f3.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-2e4682a1feac49f3: tests/paper_claims.rs
+
+tests/paper_claims.rs:

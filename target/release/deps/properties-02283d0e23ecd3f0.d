@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-02283d0e23ecd3f0.d: crates/hls/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-02283d0e23ecd3f0.rmeta: crates/hls/tests/properties.rs Cargo.toml
+
+crates/hls/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

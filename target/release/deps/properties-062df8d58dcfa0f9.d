@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-062df8d58dcfa0f9.d: crates/rng/tests/properties.rs
+
+/root/repo/target/release/deps/properties-062df8d58dcfa0f9: crates/rng/tests/properties.rs
+
+crates/rng/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-0fbeea9fae0370e1.d: crates/creditrisk/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-0fbeea9fae0370e1.rmeta: crates/creditrisk/tests/properties.rs Cargo.toml
+
+crates/creditrisk/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-334bea3e98b67093.d: crates/stats/tests/properties.rs
+
+/root/repo/target/release/deps/properties-334bea3e98b67093: crates/stats/tests/properties.rs
+
+crates/stats/tests/properties.rs:

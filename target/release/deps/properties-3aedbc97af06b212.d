@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-3aedbc97af06b212.d: crates/ocl/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-3aedbc97af06b212.rmeta: crates/ocl/tests/properties.rs Cargo.toml
+
+crates/ocl/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-90aa38b502dac8b7.d: crates/stats/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-90aa38b502dac8b7.rmeta: crates/stats/tests/properties.rs Cargo.toml
+
+crates/stats/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-9146842ce72a0bc9.d: crates/ocl/tests/properties.rs
+
+/root/repo/target/release/deps/properties-9146842ce72a0bc9: crates/ocl/tests/properties.rs
+
+crates/ocl/tests/properties.rs:

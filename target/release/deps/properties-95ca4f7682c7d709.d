@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-95ca4f7682c7d709.d: crates/hls/tests/properties.rs
+
+/root/repo/target/release/deps/properties-95ca4f7682c7d709: crates/hls/tests/properties.rs
+
+crates/hls/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-dc29976ff5c883bb.d: crates/creditrisk/tests/properties.rs
+
+/root/repo/target/release/deps/properties-dc29976ff5c883bb: crates/creditrisk/tests/properties.rs
+
+crates/creditrisk/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-ed75461824cd6c01.d: crates/rng/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-ed75461824cd6c01.rmeta: crates/rng/tests/properties.rs Cargo.toml
+
+crates/rng/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f08fd93ce4a7be2a.d: crates/core/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f08fd93ce4a7be2a: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

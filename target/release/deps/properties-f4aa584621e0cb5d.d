@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-f4aa584621e0cb5d.d: crates/core/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-f4aa584621e0cb5d.rmeta: crates/core/tests/properties.rs Cargo.toml
+
+crates/core/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rejection_rates-59bdf5e1394e0f57.d: crates/bench/src/bin/rejection_rates.rs
+
+/root/repo/target/release/deps/rejection_rates-59bdf5e1394e0f57: crates/bench/src/bin/rejection_rates.rs
+
+crates/bench/src/bin/rejection_rates.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rejection_rates-c5bd5d6a3ae2bcd7.d: crates/bench/src/bin/rejection_rates.rs Cargo.toml
+
+/root/repo/target/release/deps/librejection_rates-c5bd5d6a3ae2bcd7.rmeta: crates/bench/src/bin/rejection_rates.rs Cargo.toml
+
+crates/bench/src/bin/rejection_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

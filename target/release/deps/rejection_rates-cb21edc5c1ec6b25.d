@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rejection_rates-cb21edc5c1ec6b25.d: crates/bench/src/bin/rejection_rates.rs Cargo.toml
+
+/root/repo/target/release/deps/librejection_rates-cb21edc5c1ec6b25.rmeta: crates/bench/src/bin/rejection_rates.rs Cargo.toml
+
+crates/bench/src/bin/rejection_rates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

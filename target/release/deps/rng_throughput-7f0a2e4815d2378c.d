@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/rng_throughput-7f0a2e4815d2378c.d: crates/bench/benches/rng_throughput.rs Cargo.toml
+
+/root/repo/target/release/deps/librng_throughput-7f0a2e4815d2378c.rmeta: crates/bench/benches/rng_throughput.rs Cargo.toml
+
+crates/bench/benches/rng_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rng_throughput-8b6a5abdcea0d325.d: crates/bench/benches/rng_throughput.rs
+
+/root/repo/target/release/deps/rng_throughput-8b6a5abdcea0d325: crates/bench/benches/rng_throughput.rs
+
+crates/bench/benches/rng_throughput.rs:

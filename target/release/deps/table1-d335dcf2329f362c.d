@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d335dcf2329f362c.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d335dcf2329f362c: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-22fd1a6ed8745166.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-22fd1a6ed8745166: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

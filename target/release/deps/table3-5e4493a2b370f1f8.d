@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-5e4493a2b370f1f8.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-5e4493a2b370f1f8: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table3-89bb68761cd256fc.d: crates/bench/src/bin/table3.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable3-89bb68761cd256fc.rmeta: crates/bench/src/bin/table3.rs Cargo.toml
+
+crates/bench/src/bin/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_runtime-4b1b81d058502801.d: crates/bench/benches/table3_runtime.rs
+
+/root/repo/target/release/deps/table3_runtime-4b1b81d058502801: crates/bench/benches/table3_runtime.rs
+
+crates/bench/benches/table3_runtime.rs:

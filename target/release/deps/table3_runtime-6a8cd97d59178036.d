@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table3_runtime-6a8cd97d59178036.d: crates/bench/benches/table3_runtime.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable3_runtime-6a8cd97d59178036.rmeta: crates/bench/benches/table3_runtime.rs Cargo.toml
+
+crates/bench/benches/table3_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/table_shapes-23d1c20807ff61f0.d: tests/table_shapes.rs Cargo.toml
+
+/root/repo/target/release/deps/libtable_shapes-23d1c20807ff61f0.rmeta: tests/table_shapes.rs Cargo.toml
+
+tests/table_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_shapes-dc0c0eef1fa9850a.d: tests/table_shapes.rs
+
+/root/repo/target/release/deps/table_shapes-dc0c0eef1fa9850a: tests/table_shapes.rs
+
+tests/table_shapes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/validate-b9c84e0c4b872775.d: crates/bench/src/bin/validate.rs
+
+/root/repo/target/release/deps/validate-b9c84e0c4b872775: crates/bench/src/bin/validate.rs
+
+crates/bench/src/bin/validate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/validate-d141feed831f82a1.d: crates/bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/release/deps/libvalidate-d141feed831f82a1.rmeta: crates/bench/src/bin/validate.rs Cargo.toml
+
+crates/bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

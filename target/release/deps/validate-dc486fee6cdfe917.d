@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/validate-dc486fee6cdfe917.d: crates/bench/src/bin/validate.rs Cargo.toml
+
+/root/repo/target/release/deps/libvalidate-dc486fee6cdfe917.rmeta: crates/bench/src/bin/validate.rs Cargo.toml
+
+crates/bench/src/bin/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

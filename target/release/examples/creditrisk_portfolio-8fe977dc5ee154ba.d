@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/creditrisk_portfolio-8fe977dc5ee154ba.d: examples/creditrisk_portfolio.rs
+
+/root/repo/target/release/examples/creditrisk_portfolio-8fe977dc5ee154ba: examples/creditrisk_portfolio.rs
+
+examples/creditrisk_portfolio.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/creditrisk_portfolio-fa9d41323b237afd.d: examples/creditrisk_portfolio.rs Cargo.toml
+
+/root/repo/target/release/examples/libcreditrisk_portfolio-fa9d41323b237afd.rmeta: examples/creditrisk_portfolio.rs Cargo.toml
+
+examples/creditrisk_portfolio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

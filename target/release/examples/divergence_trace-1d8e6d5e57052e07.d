@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/divergence_trace-1d8e6d5e57052e07.d: examples/divergence_trace.rs
+
+/root/repo/target/release/examples/divergence_trace-1d8e6d5e57052e07: examples/divergence_trace.rs
+
+examples/divergence_trace.rs:

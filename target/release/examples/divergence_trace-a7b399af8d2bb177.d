@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/divergence_trace-a7b399af8d2bb177.d: examples/divergence_trace.rs Cargo.toml
+
+/root/repo/target/release/examples/libdivergence_trace-a7b399af8d2bb177.rmeta: examples/divergence_trace.rs Cargo.toml
+
+examples/divergence_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/parallel_streams-4a40f720efedb70e.d: examples/parallel_streams.rs Cargo.toml
+
+/root/repo/target/release/examples/libparallel_streams-4a40f720efedb70e.rmeta: examples/parallel_streams.rs Cargo.toml
+
+examples/parallel_streams.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/parallel_streams-90fc08f6fbda48e5.d: examples/parallel_streams.rs
+
+/root/repo/target/release/examples/parallel_streams-90fc08f6fbda48e5: examples/parallel_streams.rs
+
+examples/parallel_streams.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/platform_comparison-313e5f751988a981.d: examples/platform_comparison.rs Cargo.toml
+
+/root/repo/target/release/examples/libplatform_comparison-313e5f751988a981.rmeta: examples/platform_comparison.rs Cargo.toml
+
+examples/platform_comparison.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

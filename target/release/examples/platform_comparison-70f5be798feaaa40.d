@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/platform_comparison-70f5be798feaaa40.d: examples/platform_comparison.rs
+
+/root/repo/target/release/examples/platform_comparison-70f5be798feaaa40: examples/platform_comparison.rs
+
+examples/platform_comparison.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/power_session-93af686d22400926.d: examples/power_session.rs Cargo.toml
+
+/root/repo/target/release/examples/libpower_session-93af686d22400926.rmeta: examples/power_session.rs Cargo.toml
+
+examples/power_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

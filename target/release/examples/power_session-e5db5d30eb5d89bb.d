@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/power_session-e5db5d30eb5d89bb.d: examples/power_session.rs
+
+/root/repo/target/release/examples/power_session-e5db5d30eb5d89bb: examples/power_session.rs
+
+examples/power_session.rs:

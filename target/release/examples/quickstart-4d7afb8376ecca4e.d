@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-4d7afb8376ecca4e.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-4d7afb8376ecca4e: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/trace_timeline-b21969333f31b587.d: examples/trace_timeline.rs Cargo.toml
+
+/root/repo/target/release/examples/libtrace_timeline-b21969333f31b587.rmeta: examples/trace_timeline.rs Cargo.toml
+
+examples/trace_timeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/transfer_interleaving-786dfe19b93ba1fb.d: examples/transfer_interleaving.rs
+
+/root/repo/target/release/examples/transfer_interleaving-786dfe19b93ba1fb: examples/transfer_interleaving.rs
+
+examples/transfer_interleaving.rs:

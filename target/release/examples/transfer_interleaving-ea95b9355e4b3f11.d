@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/transfer_interleaving-ea95b9355e4b3f11.d: examples/transfer_interleaving.rs Cargo.toml
+
+/root/repo/target/release/examples/libtransfer_interleaving-ea95b9355e4b3f11.rmeta: examples/transfer_interleaving.rs Cargo.toml
+
+examples/transfer_interleaving.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

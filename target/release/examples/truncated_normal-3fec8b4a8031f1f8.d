@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/truncated_normal-3fec8b4a8031f1f8.d: examples/truncated_normal.rs
+
+/root/repo/target/release/examples/truncated_normal-3fec8b4a8031f1f8: examples/truncated_normal.rs
+
+examples/truncated_normal.rs:

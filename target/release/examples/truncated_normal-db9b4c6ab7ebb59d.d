@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/truncated_normal-db9b4c6ab7ebb59d.d: examples/truncated_normal.rs Cargo.toml
+
+/root/repo/target/release/examples/libtruncated_normal-db9b4c6ab7ebb59d.rmeta: examples/truncated_normal.rs Cargo.toml
+
+examples/truncated_normal.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -3,7 +3,7 @@
 //! EXPERIMENTS.md regenerable. (Simulated time comes from cycle models, not
 //! wall clocks, so nothing here may vary between runs.)
 
-use decoupled_workitems::core::{run_decoupled, table3, Combining, PaperConfig, Workload};
+use decoupled_workitems::core::{table3, Combining, DecoupledRunner, PaperConfig, Workload};
 use decoupled_workitems::creditrisk::{MonteCarloEngine, Portfolio};
 use decoupled_workitems::energy::trace::{PowerTrace, TraceConfig};
 use decoupled_workitems::hls::sim::{run, SimConfig};
@@ -16,8 +16,11 @@ fn decoupled_runs_are_bitwise_reproducible() {
         num_sectors: 2,
         sector_variance: 1.39,
     };
-    let a = run_decoupled(&cfg, &w, 123, Combining::DeviceLevel);
-    let b = run_decoupled(&cfg, &w, 123, Combining::DeviceLevel);
+    let runner = DecoupledRunner::new(&cfg, &w)
+        .seed(123)
+        .combining(Combining::DeviceLevel);
+    let a = runner.clone().run();
+    let b = runner.run();
     // Thread interleaving must not leak into results.
     assert_eq!(a.host_buffer, b.host_buffer);
     assert_eq!(a.iterations, b.iterations);

@@ -2,9 +2,16 @@
 //! reference kernels, distribution validation, and the host buffer
 //! combining strategies.
 
-use decoupled_workitems::core::{run_decoupled, Combining, PaperConfig, Workload};
+use decoupled_workitems::core::{Combining, DecoupledRun, DecoupledRunner, PaperConfig, Workload};
 use decoupled_workitems::rng::GammaKernel;
 use decoupled_workitems::stats::{ks_test, Gamma, Summary};
+
+fn run_decoupled(cfg: &PaperConfig, w: &Workload, seed: u64, combining: Combining) -> DecoupledRun {
+    DecoupledRunner::new(cfg, w)
+        .seed(seed)
+        .combining(combining)
+        .run()
+}
 
 fn workload() -> Workload {
     Workload {

@@ -3,7 +3,7 @@
 //! back, and CreditRisk+ turns it into a portfolio loss distribution that
 //! matches the analytic oracle.
 
-use decoupled_workitems::core::{run_decoupled, Combining, PaperConfig, Workload};
+use decoupled_workitems::core::{Combining, DecoupledRunner, PaperConfig, Workload};
 use decoupled_workitems::creditrisk::{
     loss_distribution, loss_mean, losses_from_sector_buffer, Portfolio,
 };
@@ -46,7 +46,10 @@ fn fpga_generated_sectors_drive_creditrisk_to_the_analytic_answer() {
         sector_variance: 1.39,
     };
     // (1) Accelerator: generate all sector draws with decoupled work-items.
-    let run = run_decoupled(&cfg, &workload, 31_337, Combining::DeviceLevel);
+    let run = DecoupledRunner::new(&cfg, &workload)
+        .seed(31_337)
+        .combining(Combining::DeviceLevel)
+        .run();
 
     // (2) Host: reshape the read-back buffer into scenarios × sectors.
     let scenarios = 24_000usize;
@@ -89,7 +92,10 @@ fn all_configs_feed_the_same_financial_result() {
             num_sectors: sectors as u32,
             sector_variance: 1.39,
         };
-        let run = run_decoupled(&cfg, &workload, 99, Combining::DeviceLevel);
+        let run = DecoupledRunner::new(&cfg, &workload)
+            .seed(99)
+            .combining(Combining::DeviceLevel)
+            .run();
         let buffer = scenario_major(&run, cfg.fpga_workitems, sectors, scenarios);
         let losses = losses_from_sector_buffer(&portfolio, &buffer, scenarios as u64, 3);
         let mean = losses.iter().map(|&l| l as f64).sum::<f64>() / scenarios as f64;

@@ -1,7 +1,7 @@
 //! One test per headline claim in the paper's abstract and conclusion —
 //! the reproduction's contract, stated in the paper's own words.
 
-use decoupled_workitems::core::{run_coupled, table3, PaperConfig, Workload};
+use decoupled_workitems::core::{lockstep_counterfactual, table3, PaperConfig, Workload};
 use decoupled_workitems::energy::energy::dynamic_energy_per_invocation_j;
 use decoupled_workitems::energy::profiles::{all_devices, FPGA_POWER};
 use decoupled_workitems::ocl::profiles::DeviceKind;
@@ -61,7 +61,7 @@ fn claim_divergence_loss_on_fixed_architectures() {
         num_sectors: 1,
         sector_variance: 1.39,
     };
-    let (run, lanes) = run_coupled(&PaperConfig::config1(), &w, 1, 16);
+    let (run, lanes) = lockstep_counterfactual(&PaperConfig::config1(), &w, 1, 16);
     let coupled = run.runtime_s(200e6);
     let decoupled = run.decoupled_runtime_s(200e6, lanes.iter().copied().max().unwrap());
     assert!(
