@@ -1,9 +1,16 @@
 //! Fig. 7: transfers-only runtime vs burst length and work-item count,
 //! analytic model cross-checked by the cycle-level simulator.
+//!
+//! `--runtime [--workers K]` farms the per-bitstream model sweeps and the
+//! cycle-level simulations out to the `dwi-runtime` pool as opaque task
+//! jobs (transfers-only simulations have no [`dwi_core`] kernel to shard,
+//! so they ride the runtime's task lane). Output is byte-identical: the
+//! jobs compute the same pure functions, only on worker threads.
 
 use dwi_bench::figures::fig7_data;
 use dwi_bench::obs::ObsArgs;
 use dwi_bench::render::{f, TextTable};
+use dwi_bench::runtime_args::{on_pool, RuntimeArgs};
 use dwi_hls::memory::BurstChannel;
 use dwi_hls::sim::{run, SimConfig, SimResult};
 use dwi_trace::{chrome, EventKind, ProcessKind, Registry, TraceEvent, TrackId};
@@ -55,13 +62,15 @@ fn export_sim(obs: &ObsArgs, cfg: &SimConfig, r: &SimResult) {
 
 fn main() {
     let obs = ObsArgs::from_env();
+    let rt = RuntimeArgs::from_env().build();
     for (label, channel) in [
         ("Config1,2 bitstream (6-WI P&R)", BurstChannel::config12()),
         ("Config3,4 bitstream (8-WI P&R)", BurstChannel::config34()),
     ] {
         println!("Fig. 7 — {label}: transfers-only runtime [ms] for 629.1M RNs\n");
         let mut t = TextTable::new(&["burst RNs", "1 WI", "2 WI", "4 WI", "6 WI", "8 WI"]);
-        for (burst, row) in fig7_data(&channel) {
+        let data = on_pool(rt.as_ref(), move || fig7_data(&channel));
+        for (burst, row) in data {
             let mut cells = vec![burst.to_string()];
             cells.extend(row.iter().map(|(_, ms, _)| f(*ms, 0)));
             t.row(&cells);
@@ -86,7 +95,10 @@ fn main() {
             trace: obs.trace.is_some(),
             fifo_depth: 64,
         };
-        let r = run(&cfg);
+        let r = {
+            let cfg = cfg.clone();
+            on_pool(rt.as_ref(), move || run(&cfg))
+        };
         if n == 8 {
             // Export the 8-WI schedule (the Fig. 3 interleaving pattern).
             export_sim(&obs, &cfg, &r);

@@ -1,0 +1,162 @@
+//! `serve` — closed-loop load generator for the `dwi-runtime` scheduler.
+//!
+//! Spawns `--clients N` tenant threads, each submitting `--jobs M` kernel
+//! jobs back-to-back (closed loop: submit, ride out backpressure, wait,
+//! repeat) against a pool of `--workers K` virtual devices. Reports
+//! latency percentiles and throughput, writes them to
+//! `BENCH_runtime.json` (override with `--out`), and — like every figure
+//! binary — exports the session's Prometheus / Chrome-trace snapshots via
+//! `--metrics` / `--trace`, where the runtime's queue-depth, shard-latency
+//! and worker-utilization families appear next to the engines' own
+//! metrics.
+//!
+//! The workload mixes quotas, priorities and a deliberate fraction of
+//! repeated `(kernel, plan, seed)` submissions, so one run exercises the
+//! admission queue, the priority lanes, the shard fan-out and the result
+//! cache together.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dwi_bench::obs::ObsArgs;
+use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
+use dwi_runtime::{JobSpec, Priority, Runtime, RuntimeConfig, SharedKernel};
+use dwi_trace::Recorder;
+
+struct ServeArgs {
+    clients: u32,
+    jobs: u32,
+    workers: usize,
+    queue_bound: usize,
+    out: std::path::PathBuf,
+}
+
+impl ServeArgs {
+    fn from_env() -> Self {
+        let mut out = Self {
+            clients: 4,
+            jobs: 32,
+            workers: 4,
+            queue_bound: 64,
+            out: "BENCH_runtime.json".into(),
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut next = |what: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{what} needs a value"))
+            };
+            match a.as_str() {
+                "--clients" => out.clients = next("--clients").parse().expect("count"),
+                "--jobs" => out.jobs = next("--jobs").parse().expect("count"),
+                "--workers" => out.workers = next("--workers").parse().expect("count"),
+                "--queue-bound" => out.queue_bound = next("--queue-bound").parse().expect("count"),
+                "--out" => out.out = next("--out").into(),
+                _ => {} // --trace/--metrics handled by ObsArgs
+            }
+        }
+        out
+    }
+}
+
+/// The job mix of one (client, index) slot: quota cycles through three
+/// sizes, every fourth submission repeats a shared seed (cache traffic),
+/// and priorities rotate per client so all three lanes carry load.
+fn job_for(client: u32, index: u32) -> JobSpec {
+    let quota = [256u64, 512, 1024][(index % 3) as usize];
+    let seed = if index % 4 == 3 {
+        quota as u32 // shared across clients: a cache hit after the first
+    } else {
+        client * 10_000 + index
+    };
+    let kernel: SharedKernel = Arc::new(TruncatedNormalKernel::new(1.5, quota, seed));
+    let priority = [Priority::Normal, Priority::High, Priority::Low][(client % 3) as usize];
+    JobSpec::kernel(client, kernel, ExecutionPlan::new(4), seed as u64).priority(priority)
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((p / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[idx.min(sorted_ms.len() - 1)]
+}
+
+fn main() {
+    let args = ServeArgs::from_env();
+    let obs = ObsArgs::from_env();
+    let rec = Recorder::new();
+    let rt = Arc::new(Runtime::with_backend_factory(
+        RuntimeConfig::new(args.workers)
+            .queue_bound(args.queue_bound)
+            .trace(rec.sink()),
+        |_| dwi_runtime::named_backend("functional-decoupled"),
+    ));
+
+    println!(
+        "serve: {} clients x {} jobs on {} workers (queue bound {})",
+        args.clients, args.jobs, args.workers, args.queue_bound
+    );
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for client in 0..args.clients {
+        let rt = rt.clone();
+        let jobs = args.jobs;
+        threads.push(std::thread::spawn(move || {
+            let mut latencies_ms = Vec::with_capacity(jobs as usize);
+            for index in 0..jobs {
+                let t = Instant::now();
+                let handle = rt.submit_blocking(job_for(client, index));
+                handle.wait().expect("load-gen jobs have no deadline");
+                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            latencies_ms
+        }));
+    }
+    let mut latencies_ms: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread panicked"))
+        .collect();
+    let wall = t0.elapsed();
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+
+    let total_jobs = args.clients as u64 * args.jobs as u64;
+    let jobs_per_s = total_jobs as f64 / wall.as_secs_f64().max(1e-9);
+    let p50 = percentile(&latencies_ms, 50.0);
+    let p99 = percentile(&latencies_ms, 99.0);
+    let m = rec.metrics();
+    let cache_hits = m.counter_value("dwi_runtime_cache_hits_total").unwrap_or(0);
+    let rejections = m
+        .counter_value("dwi_runtime_jobs_rejected_total")
+        .unwrap_or(0);
+
+    println!(
+        "completed {total_jobs} jobs in {:.2}s: {jobs_per_s:.1} jobs/s, \
+         p50 {p50:.2} ms, p99 {p99:.2} ms, {cache_hits} cache hits, {rejections} rejections",
+        wall.as_secs_f64()
+    );
+
+    let json = format!(
+        "{{\n  \"clients\": {},\n  \"jobs_per_client\": {},\n  \"workers\": {},\n  \
+         \"queue_bound\": {},\n  \"total_jobs\": {},\n  \"wall_s\": {:.6},\n  \
+         \"jobs_per_s\": {:.3},\n  \"p50_ms\": {:.4},\n  \"p99_ms\": {:.4},\n  \
+         \"cache_hits\": {},\n  \"rejections\": {}\n}}\n",
+        args.clients,
+        args.jobs,
+        args.workers,
+        args.queue_bound,
+        total_jobs,
+        wall.as_secs_f64(),
+        jobs_per_s,
+        p50,
+        p99,
+        cache_hits,
+        rejections
+    );
+    std::fs::write(&args.out, json).expect("write benchmark summary");
+    println!("summary written to {}", args.out.display());
+
+    // Shut the pool down before exporting so every worker track is flushed.
+    drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
+    obs.write(&rec);
+}

@@ -21,3 +21,4 @@ pub mod figures;
 pub mod microbench;
 pub mod obs;
 pub mod render;
+pub mod runtime_args;

@@ -1,0 +1,92 @@
+//! Shared `--runtime` / `--workers <K>` plumbing: the figure binaries can
+//! route their computations through the [`dwi_runtime`] scheduler instead
+//! of running inline, with byte-identical output — the runtime's sharding
+//! and merging are bit-exact (see `crates/core/tests/shard_determinism.rs`),
+//! so the flag changes *where* the work runs, never *what* it prints.
+
+use dwi_runtime::{JobSpec, Runtime, RuntimeConfig};
+
+/// The scheduler flags of a figure binary.
+#[derive(Debug, Default, Clone)]
+pub struct RuntimeArgs {
+    /// `--runtime`: execute through a [`Runtime`] worker pool.
+    pub enabled: bool,
+    /// `--workers <K>`: pool size (default 4).
+    pub workers: Option<usize>,
+}
+
+impl RuntimeArgs {
+    /// Parse `--runtime` / `--workers` from `std::env::args`, ignoring
+    /// anything else (composes with [`crate::obs::ObsArgs`], which ignores
+    /// these flags in turn).
+    pub fn from_env() -> Self {
+        let mut out = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--runtime" => out.enabled = true,
+                "--workers" => {
+                    out.workers = args
+                        .next()
+                        .map(|w| w.parse().expect("--workers takes a count"))
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Worker count to use (default 4).
+    pub fn workers(&self) -> usize {
+        self.workers.unwrap_or(4)
+    }
+
+    /// Build the pool when `--runtime` was passed. The result cache is
+    /// disabled: figure binaries submit distinct kernel *configurations*
+    /// under one kernel name and seed, which the `(kernel, plan, seed)`
+    /// cache key cannot tell apart.
+    pub fn build(&self) -> Option<Runtime> {
+        self.enabled
+            .then(|| Runtime::new(RuntimeConfig::new(self.workers()).cache_capacity(0)))
+    }
+}
+
+/// Run `f` on the pool as an opaque task job (when one is given) or inline
+/// (when not) — the one-liner the figure binaries wrap each computation in.
+pub fn on_pool<T, F>(rt: Option<&Runtime>, f: F) -> T
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match rt {
+        Some(rt) => rt
+            .submit_blocking(JobSpec::task(0, f))
+            .wait()
+            .expect("task job without deadline cannot fail")
+            .into_task::<T>(),
+        None => f(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_runs_inline() {
+        let args = RuntimeArgs::default();
+        assert!(args.build().is_none());
+        assert_eq!(on_pool(None, || 41 + 1), 42);
+    }
+
+    #[test]
+    fn pool_path_returns_the_same_value() {
+        let args = RuntimeArgs {
+            enabled: true,
+            workers: Some(2),
+        };
+        let rt = args.build().expect("--runtime builds a pool");
+        assert_eq!(rt.workers(), 2);
+        assert_eq!(on_pool(Some(&rt), || vec![1u64, 2, 3]), vec![1, 2, 3]);
+    }
+}

@@ -35,7 +35,7 @@ impl Backend for CycleSim {
         let mut divergence = vec![DivergenceCounts::default(); n];
         let mut rejection = RejectionStats::new();
         for wid in 0..n {
-            let mut inst = kernel.instantiate(wid as u32);
+            let mut inst = kernel.instantiate(plan.wid_base + wid as u32);
             let mut trace = Vec::new();
             let mut vals = Vec::new();
             let mut div = DivergenceCounts::default();
@@ -62,30 +62,37 @@ impl Backend for CycleSim {
         }
 
         // Replay pass: the cycle-level engine consumes the recorded traces.
-        let sim_cfg = SimConfig {
-            n_workitems: n,
-            rns_per_workitem: quota,
-            fifo_depth: plan.stream_depth,
-            burst_rns: plan.burst_rns,
-            channel: plan.channel,
-            compute_enabled: true,
-            trace: plan.sink.is_enabled(),
-            ..SimConfig::default()
-        };
-        let sim = run_from_traces(&sim_cfg, &traces);
+        let sim = run_from_traces(&sim_config(plan, n, quota), &traces);
         let cycles = sim.cycles;
 
         RunReport {
             backend: self.name(),
             kernel: kernel.name(),
             workitems: plan.workitems,
+            wid_base: plan.wid_base,
             quota,
             samples,
             iterations,
             divergence,
             rejection,
             cycles,
-            detail: BackendDetail::CycleSim { sim },
+            detail: BackendDetail::CycleSim { sim, traces },
         }
+    }
+}
+
+/// The cycle-level simulator configuration this backend derives from a
+/// plan — shared with [`RunReport::merge`], which re-simulates the shared
+/// memory channel over concatenated shard traces.
+pub(super) fn sim_config(plan: &ExecutionPlan, n: usize, quota: u64) -> SimConfig {
+    SimConfig {
+        n_workitems: n,
+        rns_per_workitem: quota,
+        fifo_depth: plan.stream_depth,
+        burst_rns: plan.burst_rns,
+        channel: plan.channel,
+        compute_enabled: true,
+        trace: plan.sink.is_enabled(),
+        ..SimConfig::default()
     }
 }

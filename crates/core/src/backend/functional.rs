@@ -45,18 +45,21 @@ impl Backend for FunctionalDecoupled {
                 let mut handles = Vec::with_capacity(n);
                 for (wid, region) in regions.into_iter().enumerate() {
                     let sink = &plan.sink;
+                    // Global design-time id: sharding moves where a
+                    // work-item runs, never which streams it draws.
+                    let gwid = plan.wid_base + wid as u32;
                     let (mut tx, mut rx) = Stream::<f32>::with_depth(plan.stream_depth);
-                    tx.attach_track(sink.track(wid as u32, ProcessKind::Compute));
-                    rx.attach_track(sink.track(wid as u32, ProcessKind::Transfer));
+                    tx.attach_track(sink.track(gwid, ProcessKind::Compute));
+                    rx.attach_track(sink.track(gwid, ProcessKind::Transfer));
                     let compute = scope.spawn(move || {
-                        let track = sink.track(wid as u32, ProcessKind::Compute);
-                        let wid_label = (wid as u32).to_string();
+                        let track = sink.track(gwid, ProcessKind::Compute);
+                        let wid_label = gwid.to_string();
                         let c_rej = if track.is_enabled() {
                             track.counter("dwi_rejection_retries_total", &[("wid", &wid_label)])
                         } else {
                             Counter::disabled()
                         };
-                        let mut inst = kernel.instantiate(wid as u32);
+                        let mut inst = kernel.instantiate(gwid);
                         let mut iters = 0u64;
                         let mut emits = 0u64;
                         let mut div = DivergenceCounts::default();
@@ -93,7 +96,7 @@ impl Backend for FunctionalDecoupled {
                         (iters, emits, div, stats)
                     });
                     let xfer = scope.spawn(move || {
-                        let track = sink.track(wid as u32, ProcessKind::Transfer);
+                        let track = sink.track(gwid, ProcessKind::Transfer);
                         let stats = transfer_traced(&rx, region, burst_words, &track);
                         (stats, rx.high_water(), rx.stalls())
                     });
@@ -114,7 +117,7 @@ impl Backend for FunctionalDecoupled {
             });
         }
 
-        let host_track = plan.sink.track(0, ProcessKind::Host);
+        let host_track = plan.sink.track(plan.wid_base, ProcessKind::Host);
         let t_combine = host_track.now_ns();
         let host_buffer = match plan.combining {
             crate::decoupled::Combining::DeviceLevel => memory.read_to_host(),
@@ -144,6 +147,7 @@ impl Backend for FunctionalDecoupled {
             backend: self.name(),
             kernel: kernel.name(),
             workitems: plan.workitems,
+            wid_base: plan.wid_base,
             quota,
             samples,
             iterations,

@@ -26,7 +26,7 @@ impl Backend for LockstepCoupled {
         let quota = kernel.outputs_per_workitem();
 
         let mut insts: Vec<_> = (0..width)
-            .map(|wid| kernel.instantiate(wid as u32))
+            .map(|wid| kernel.instantiate(plan.wid_base + wid as u32))
             .collect();
         let mut samples: Vec<Vec<f32>> = (0..width)
             .map(|_| Vec::with_capacity(quota as usize))
@@ -36,6 +36,7 @@ impl Backend for LockstepCoupled {
         let mut done = vec![false; width];
         let mut lockstep = 0u64;
         let mut rounds = 0u64;
+        let mut round_maxima = Vec::with_capacity(quota as usize);
 
         for _round in 0..quota {
             let mut round_max = 0u64;
@@ -67,6 +68,7 @@ impl Backend for LockstepCoupled {
                 round_max = round_max.max(attempts);
             }
             lockstep += round_max;
+            round_maxima.push(round_max);
             rounds += 1;
         }
 
@@ -79,6 +81,7 @@ impl Backend for LockstepCoupled {
             backend: self.name(),
             kernel: kernel.name(),
             workitems: plan.workitems,
+            wid_base: plan.wid_base,
             quota,
             samples,
             iterations,
@@ -88,6 +91,7 @@ impl Backend for LockstepCoupled {
             detail: BackendDetail::Lockstep {
                 lockstep_iterations: lockstep,
                 rounds,
+                round_max: round_maxima,
             },
         }
     }

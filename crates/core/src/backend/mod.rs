@@ -55,8 +55,15 @@ use dwi_trace::TraceSink;
 /// backend needs besides the kernel itself.
 #[derive(Clone)]
 pub struct ExecutionPlan {
-    /// Total work-items instantiated (ids `0..workitems`).
+    /// Work-items instantiated by this plan (ids
+    /// `wid_base..wid_base + workitems`).
     pub workitems: u32,
+    /// First work-item id of the plan. 0 for a whole execution; a
+    /// [`split`](ExecutionPlan::split) shard carries the offset of its
+    /// slice so every engine instantiates the *global* design-time ids —
+    /// sharding changes where a work-item runs, never which streams it
+    /// draws.
+    pub wid_base: u32,
     /// Work-items per pipeline for the NDRange formulation (1 elsewhere).
     pub local_size: u32,
     /// Depth of each compute→transfer FIFO.
@@ -81,6 +88,7 @@ impl ExecutionPlan {
         assert!(workitems >= 1, "need at least one work-item");
         Self {
             workitems,
+            wid_base: 0,
             local_size: 1,
             stream_depth: 64,
             burst_rns: 256,
@@ -148,6 +156,12 @@ impl ExecutionPlan {
         self
     }
 
+    /// First global work-item id (sharding offset).
+    pub fn wid_base(mut self, wid_base: u32) -> Self {
+        self.wid_base = wid_base;
+        self
+    }
+
     /// Pipelines the NDRange formulation instantiates.
     pub fn groups(&self) -> u32 {
         assert!(
@@ -157,6 +171,54 @@ impl ExecutionPlan {
             self.workitems
         );
         self.workitems / self.local_size
+    }
+
+    /// Split the plan into at most `n` contiguous work-item shards for
+    /// parallel dispatch. Shard boundaries respect `local_size` (whole
+    /// NDRange groups only), sizes differ by at most one group, and each
+    /// shard carries its [`wid_base`](Self::wid_base) so the global
+    /// work-item ids — and therefore every RNG stream — are unchanged.
+    /// Executing the shards on any backend and
+    /// [`RunReport::merge`]-ing the results is bit-identical to executing
+    /// the unsplit plan (pinned by `tests/shard_determinism.rs`).
+    ///
+    /// Fewer than `n` shards come back when the plan has fewer groups.
+    pub fn split(&self, n: u32) -> Vec<ExecutionPlan> {
+        assert!(n >= 1, "need at least one shard");
+        let groups = self.groups();
+        let shards = n.min(groups);
+        let per = groups / shards;
+        let extra = groups % shards;
+        let mut out = Vec::with_capacity(shards as usize);
+        let mut group_off = 0u32;
+        for s in 0..shards {
+            let g = per + u32::from(s < extra);
+            out.push(ExecutionPlan {
+                workitems: g * self.local_size,
+                wid_base: self.wid_base + group_off * self.local_size,
+                ..self.clone()
+            });
+            group_off += g;
+        }
+        out
+    }
+
+    /// A stable textual digest of everything that affects the *values* a
+    /// run produces and the cycles a backend reports — the plan half of a
+    /// result-cache key. The trace sink is deliberately excluded:
+    /// observability must never change results.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "wi{}+{}xl{}/d{}/b{}/{:?}/f{}/ch{:?}",
+            self.workitems,
+            self.wid_base,
+            self.local_size,
+            self.stream_depth,
+            self.burst_rns,
+            self.combining,
+            self.freq_hz,
+            self.channel,
+        )
     }
 }
 
@@ -182,6 +244,11 @@ pub enum BackendDetail {
         lockstep_iterations: u64,
         /// Output rounds executed.
         rounds: u64,
+        /// Per-round maximum attempts over this report's lanes. Kept so
+        /// shard reports merge exactly: the monolithic round cost is the
+        /// max over all lanes, which is the max over shards of these
+        /// per-shard maxima.
+        round_max: Vec<u64>,
     },
     /// [`NdRange`]: the flat output stream and per-group pipeline cost.
     NdRange {
@@ -194,11 +261,20 @@ pub enum BackendDetail {
     CycleSim {
         /// Cycle-accurate schedule, stalls, FIFO high-water and bursts.
         sim: SimResult,
+        /// Per-work-item per-iteration emission flags recorded in the
+        /// functional pass. Kept because the memory channel is *shared*:
+        /// merging shard reports re-simulates the full channel over the
+        /// concatenated traces, which is exactly the monolithic run.
+        traces: Vec<Vec<bool>>,
     },
     /// [`SimtTrace`]: the lockstep partition replay.
     Simt {
         /// Lockstep vs lane iteration accounting.
         result: LockstepResult,
+        /// Attempts-per-output trace per lane. Kept because the partition
+        /// reconverges over *all* lanes: merging shard reports replays the
+        /// concatenated traces, which is exactly the monolithic partition.
+        traces: Vec<Vec<u32>>,
     },
 }
 
@@ -211,6 +287,9 @@ pub struct RunReport {
     pub kernel: &'static str,
     /// Work-items instantiated.
     pub workitems: u32,
+    /// First global work-item id ([`ExecutionPlan::wid_base`]); per-work-
+    /// item vectors below are indexed relative to it.
+    pub wid_base: u32,
     /// Outputs each work-item owes ([`WorkItemKernel::outputs_per_workitem`]).
     pub quota: u64,
     /// Emitted sample sequence per work-item — identical across backends
@@ -254,6 +333,203 @@ impl RunReport {
             total.merge(d);
         }
         total
+    }
+
+    /// Merge shard reports (from executing [`ExecutionPlan::split`] shards
+    /// of `plan` on one backend) into the report of the unsplit run —
+    /// **bit-identical** to executing `plan` monolithically.
+    ///
+    /// Values merge by concatenation in work-item order (they were never
+    /// affected by sharding in the first place: every engine derives all
+    /// streams from the global `wid`). Cycle counts merge per backend
+    /// semantics:
+    ///
+    /// * decoupled / NDRange — the slowest work-item / group, so the max
+    ///   over shards;
+    /// * lockstep — per-round maxima recombine across shards before
+    ///   summing;
+    /// * cycle-sim — the shared memory channel is re-simulated over the
+    ///   concatenated emission traces;
+    /// * SIMT — the full-width partition replays the concatenated attempt
+    ///   traces.
+    ///
+    /// Panics if the shards are not a complete, contiguous, in-order
+    /// partition of `plan`'s work-items, or mix backends or kernels.
+    pub fn merge(plan: &ExecutionPlan, shards: Vec<RunReport>) -> RunReport {
+        assert!(!shards.is_empty(), "nothing to merge");
+        if shards.len() == 1 {
+            let only = shards.into_iter().next().expect("len checked");
+            assert_eq!(only.wid_base, plan.wid_base, "shard offset mismatch");
+            assert_eq!(only.workitems, plan.workitems, "shard count mismatch");
+            return only;
+        }
+        let backend = shards[0].backend;
+        let kernel = shards[0].kernel;
+        let quota = shards[0].quota;
+        let mut next_wid = plan.wid_base;
+        let mut samples = Vec::with_capacity(plan.workitems as usize);
+        let mut iterations = Vec::with_capacity(plan.workitems as usize);
+        let mut divergence = Vec::with_capacity(plan.workitems as usize);
+        let mut rejection = RejectionStats::new();
+        let mut details = Vec::with_capacity(shards.len());
+        let mut shard_cycles = Vec::with_capacity(shards.len());
+        for shard in shards {
+            assert_eq!(shard.backend, backend, "shards from different backends");
+            assert_eq!(shard.kernel, kernel, "shards from different kernels");
+            assert_eq!(shard.quota, quota, "shards with different quotas");
+            assert_eq!(
+                shard.wid_base, next_wid,
+                "shards must partition the plan contiguously and in order"
+            );
+            next_wid += shard.workitems;
+            samples.extend(shard.samples);
+            iterations.extend(shard.iterations);
+            divergence.extend(shard.divergence);
+            rejection.merge(&shard.rejection);
+            shard_cycles.push(shard.cycles);
+            details.push(shard.detail);
+        }
+        assert_eq!(
+            next_wid,
+            plan.wid_base + plan.workitems,
+            "shards do not cover the whole plan"
+        );
+        let (cycles, detail) = merge_details(plan, quota, &shard_cycles, details);
+        RunReport {
+            backend,
+            kernel,
+            workitems: plan.workitems,
+            wid_base: plan.wid_base,
+            quota,
+            samples,
+            iterations,
+            divergence,
+            rejection,
+            cycles,
+            detail,
+        }
+    }
+}
+
+/// Backend-specific half of [`RunReport::merge`]: recombine the shard
+/// details and recompute the runtime-determining cycle count.
+fn merge_details(
+    plan: &ExecutionPlan,
+    quota: u64,
+    shard_cycles: &[u64],
+    details: Vec<BackendDetail>,
+) -> (u64, BackendDetail) {
+    let slowest_shard = shard_cycles.iter().copied().max().unwrap_or(0);
+    match &details[0] {
+        BackendDetail::Decoupled { .. } => {
+            let mut host_buffer = Vec::new();
+            let mut transfers = Vec::new();
+            let mut stream_high_water = Vec::new();
+            let mut stream_stalls = Vec::new();
+            for d in details {
+                let BackendDetail::Decoupled {
+                    host_buffer: hb,
+                    transfers: t,
+                    stream_high_water: hw,
+                    stream_stalls: st,
+                } = d
+                else {
+                    panic!("mixed backend details");
+                };
+                host_buffer.extend(hb);
+                transfers.extend(t);
+                stream_high_water.extend(hw);
+                stream_stalls.extend(st);
+            }
+            // Decoupled work-items never wait on each other: the run is as
+            // slow as its slowest work-item, wherever that work-item ran.
+            (
+                slowest_shard,
+                BackendDetail::Decoupled {
+                    host_buffer,
+                    transfers,
+                    stream_high_water,
+                    stream_stalls,
+                },
+            )
+        }
+        BackendDetail::Lockstep { .. } => {
+            let mut round_max = vec![0u64; quota as usize];
+            for d in details {
+                let BackendDetail::Lockstep { round_max: rm, .. } = d else {
+                    panic!("mixed backend details");
+                };
+                assert_eq!(rm.len(), quota as usize, "lockstep shard round count");
+                for (acc, r) in round_max.iter_mut().zip(rm) {
+                    *acc = (*acc).max(r);
+                }
+            }
+            let lockstep_iterations: u64 = round_max.iter().sum();
+            (
+                lockstep_iterations,
+                BackendDetail::Lockstep {
+                    lockstep_iterations,
+                    rounds: quota,
+                    round_max,
+                },
+            )
+        }
+        BackendDetail::NdRange { .. } => {
+            let mut outputs = Vec::new();
+            let mut group_iterations = Vec::new();
+            for d in details {
+                let BackendDetail::NdRange {
+                    outputs: o,
+                    group_iterations: gi,
+                } = d
+                else {
+                    panic!("mixed backend details");
+                };
+                outputs.extend(o);
+                group_iterations.extend(gi);
+            }
+            (
+                slowest_shard,
+                BackendDetail::NdRange {
+                    outputs,
+                    group_iterations,
+                },
+            )
+        }
+        BackendDetail::CycleSim { .. } => {
+            let mut traces = Vec::new();
+            for d in details {
+                let BackendDetail::CycleSim { traces: t, .. } = d else {
+                    panic!("mixed backend details");
+                };
+                traces.extend(t);
+            }
+            // The memory channel is shared by *all* work-items: shard-local
+            // simulations cannot see cross-shard arbitration, so the merge
+            // re-simulates the whole channel over the recorded traces —
+            // which is exactly what the monolithic run simulates.
+            let sim = dwi_hls::sim::run_from_traces(
+                &cyclesim::sim_config(plan, plan.workitems as usize, quota),
+                &traces,
+            );
+            (sim.cycles, BackendDetail::CycleSim { sim, traces })
+        }
+        BackendDetail::Simt { .. } => {
+            let mut traces = Vec::new();
+            for d in details {
+                let BackendDetail::Simt { traces: t, .. } = d else {
+                    panic!("mixed backend details");
+                };
+                traces.extend(t);
+            }
+            // Reconvergence spans the full partition width: replay the
+            // concatenated lanes, exactly as the monolithic run does.
+            let result = dwi_ocl::simt::run_lockstep(&traces);
+            (
+                result.lockstep_iterations,
+                BackendDetail::Simt { result, traces },
+            )
+        }
     }
 }
 

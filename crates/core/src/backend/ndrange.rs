@@ -34,20 +34,24 @@ impl Backend for NdRange {
         let mut group_iterations = Vec::with_capacity(groups as usize);
 
         for g in 0..groups {
-            let track = plan.sink.track(g, ProcessKind::Pipeline);
-            let g_label = g.to_string();
+            // Global group/work-item ids: a shard's groups keep their
+            // design-time identity for instantiation and tracing.
+            let global_g = plan.wid_base / plan.local_size + g;
+            let track = plan.sink.track(global_g, ProcessKind::Pipeline);
+            let g_label = global_g.to_string();
             // One pipeline: its work-items execute as nested loops (the
             // SDAccel mapping), i.e. sequentially multiplexed.
             let mut lanes: Vec<_> = (0..local)
                 .map(|l| {
                     let wid = g * plan.local_size + l as u32;
-                    let wid_label = wid.to_string();
+                    let gwid = plan.wid_base + wid;
+                    let wid_label = gwid.to_string();
                     let c_rej = if track.is_enabled() {
                         track.counter("dwi_rejection_retries_total", &[("wid", &wid_label)])
                     } else {
                         Counter::disabled()
                     };
-                    (wid as usize, kernel.instantiate(wid), c_rej, false)
+                    (wid as usize, kernel.instantiate(gwid), c_rej, false)
                 })
                 .collect();
             let mut iters = 0u64;
@@ -99,6 +103,7 @@ impl Backend for NdRange {
             backend: self.name(),
             kernel: kernel.name(),
             workitems: plan.workitems,
+            wid_base: plan.wid_base,
             quota,
             samples,
             iterations,

@@ -36,7 +36,7 @@ impl Backend for SimtTrace {
         let mut rejection = RejectionStats::new();
         let mut traces: Vec<Vec<u32>> = Vec::with_capacity(n);
         for wid in 0..n {
-            let mut inst = kernel.instantiate(wid as u32);
+            let mut inst = kernel.instantiate(plan.wid_base + wid as u32);
             let mut outcomes = Vec::new();
             let mut vals = Vec::new();
             let mut div = DivergenceCounts::default();
@@ -70,13 +70,14 @@ impl Backend for SimtTrace {
             backend: self.name(),
             kernel: kernel.name(),
             workitems: plan.workitems,
+            wid_base: plan.wid_base,
             quota,
             samples,
             iterations,
             divergence,
             rejection,
             cycles,
-            detail: BackendDetail::Simt { result },
+            detail: BackendDetail::Simt { result, traces },
         }
     }
 }

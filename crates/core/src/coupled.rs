@@ -92,7 +92,7 @@ pub fn lockstep_counterfactual(
 /// Deprecated name of [`lockstep_counterfactual`].
 #[deprecated(
     since = "0.2.0",
-    note = "use lockstep_counterfactual, or LockstepCoupled.execute(..) on the unified backend layer"
+    note = "use lockstep_counterfactual, LockstepCoupled.execute(..), or a dwi-runtime pool built with Runtime::with_backend_factory(.., |_| Box::new(LockstepCoupled))"
 )]
 pub fn run_coupled(
     cfg: &PaperConfig,

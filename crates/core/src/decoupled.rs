@@ -174,7 +174,7 @@ impl<'a> DecoupledRunner<'a> {
 /// wrapper over [`DecoupledRunner`] with tracing disabled.
 #[deprecated(
     since = "0.2.0",
-    note = "use DecoupledRunner, or FunctionalDecoupled.execute(&GammaListing2::for_config(..), &plan) on the unified backend layer"
+    note = "use DecoupledRunner, FunctionalDecoupled.execute(&GammaListing2::for_config(..), &plan), or submit the kernel to a dwi-runtime pool (Runtime::run_kernel shards and merges it bit-identically)"
 )]
 pub fn run_decoupled(
     cfg: &PaperConfig,

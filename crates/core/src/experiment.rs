@@ -85,6 +85,29 @@ impl Table3 {
     }
 }
 
+/// The calibration kernel for one variant: a [`GammaListing2`] sized to
+/// produce `samples` accepted outputs. Shared between the in-process
+/// measurement below and external measurers (the `dwi-runtime` scheduler
+/// submits exactly this kernel as a one-work-item job, so both paths
+/// observe the same RNG stream and the same rejection counters).
+pub fn calibration_kernel(
+    normal: NormalMethod,
+    mt: dwi_rng::MtParams,
+    sector_variance: f32,
+    samples: u32,
+) -> GammaListing2 {
+    GammaListing2::new(KernelConfig {
+        normal,
+        mt,
+        sector_variance,
+        limit_sec: 1,
+        limit_main: samples,
+        limit_max_factor: 8,
+        seed: 0xCA11_B12A_7E5E_ED00,
+        break_id: 0,
+    })
+}
+
 /// Measure the combined rejection overhead of a kernel variant on a
 /// calibration sample (`samples` accepted outputs), by stepping one
 /// [`GammaListing2`] work-item to completion on the unified kernel layer.
@@ -94,17 +117,7 @@ pub fn measure_rejection_overhead(
     sector_variance: f32,
     samples: u32,
 ) -> f64 {
-    let cfg = KernelConfig {
-        normal,
-        mt,
-        sector_variance,
-        limit_sec: 1,
-        limit_main: samples,
-        limit_max_factor: 8,
-        seed: 0xCA11_B12A_7E5E_ED00,
-        break_id: 0,
-    };
-    let mut inst = GammaListing2::new(cfg).instantiate(0);
+    let mut inst = calibration_kernel(normal, mt, sector_variance, samples).instantiate(0);
     while !inst.step().done {}
     inst.stats().overhead()
 }
@@ -150,10 +163,24 @@ pub fn fpga_runtime(
 /// Build the full Table III for a workload. `calibration_samples` controls
 /// how many outputs the rejection measurement generates per variant.
 pub fn table3(workload: &Workload, calibration_samples: u32) -> Table3 {
+    table3_with(workload, calibration_samples, measure_rejection_overhead)
+}
+
+/// [`table3`] with a pluggable overhead measurer. The driver calls
+/// `measure(normal, mt, sector_variance, calibration_samples)` once per
+/// kernel variant; everything downstream (Eq. 1, the transfer bound, the
+/// fixed-platform cost models) is pure arithmetic on its return value, so
+/// two measurers that agree bit-for-bit — e.g. the in-process
+/// [`measure_rejection_overhead`] and a `dwi-runtime` job farm running the
+/// same [`calibration_kernel`] — produce byte-identical tables.
+pub fn table3_with<F>(workload: &Workload, calibration_samples: u32, mut measure: F) -> Table3
+where
+    F: FnMut(NormalMethod, dwi_rng::MtParams, f32, u32) -> f64,
+{
     let mut rows = Vec::new();
     for cfg in PaperConfig::all() {
         if cfg.is_bray() {
-            let r = measure_rejection_overhead(
+            let r = measure(
                 NormalMethod::MarsagliaBray,
                 cfg.mt,
                 workload.sector_variance,
@@ -169,13 +196,13 @@ pub fn table3(workload: &Workload, calibration_samples: u32) -> Table3 {
         } else {
             // The ICDF rows split by style on the fixed platforms; the FPGA
             // always runs the bit-level version.
-            let r_fpga = measure_rejection_overhead(
+            let r_fpga = measure(
                 NormalMethod::IcdfFpga,
                 cfg.mt,
                 workload.sector_variance,
                 calibration_samples,
             );
-            let r_cuda = measure_rejection_overhead(
+            let r_cuda = measure(
                 NormalMethod::IcdfCuda,
                 cfg.mt,
                 workload.sector_variance,

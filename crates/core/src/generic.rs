@@ -50,7 +50,7 @@ pub struct GenericRun {
 /// stream, writing `quota` outputs into its own device-memory region.
 #[deprecated(
     since = "0.2.0",
-    note = "implement WorkItemKernel (see crate::apps) and run it through FunctionalDecoupled or any other backend"
+    note = "implement WorkItemKernel (see crate::apps) and run it through any backend — or submit it to a dwi-runtime pool (JobSpec::kernel + Runtime::submit) for scheduling, sharding and caching"
 )]
 pub fn run_decoupled_app<A, F>(make: F, n_workitems: u32, quota: u64, burst_rns: u64) -> GenericRun
 where

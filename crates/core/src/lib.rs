@@ -53,7 +53,10 @@ pub use coupled::{lockstep_counterfactual, CoupledRun};
 pub use decoupled::run_decoupled;
 pub use decoupled::{Combining, DecoupledRun, DecoupledRunner};
 pub use device_memory::DeviceMemory;
-pub use experiment::{table3, PlatformRuntime, Table3, Table3Row};
+pub use experiment::{
+    calibration_kernel, measure_rejection_overhead, table3, table3_with, PlatformRuntime, Table3,
+    Table3Row,
+};
 #[allow(deprecated)]
 pub use generic::run_decoupled_app;
 pub use generic::{GenericRun, TruncatedNormal, WorkItemApp};

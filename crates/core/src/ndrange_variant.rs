@@ -120,7 +120,7 @@ impl<'a> NdRangeRunner<'a> {
 /// Thin wrapper over [`NdRangeRunner`] with tracing disabled.
 #[deprecated(
     since = "0.2.0",
-    note = "use NdRangeRunner, or NdRange.execute(..) on the unified backend layer"
+    note = "use NdRangeRunner, NdRange.execute(..), or a dwi-runtime pool built with Runtime::with_backend_factory(.., |_| Box::new(NdRange))"
 )]
 pub fn run_ndrange(
     cfg: &PaperConfig,

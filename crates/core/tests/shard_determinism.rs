@@ -1,0 +1,134 @@
+//! Shard determinism: `ExecutionPlan::split(n)` + `RunReport::merge` must
+//! be *bit-identical* to the unsplit run on every backend, for every shard
+//! count — including counts that do not divide the work-item count and
+//! counts larger than the group count (which clamp).
+//!
+//! This is the contract the `dwi-runtime` scheduler stands on: because a
+//! shard's work-items keep their global ids (`wid_base`), every RNG stream
+//! is derived identically whether the plan runs whole on one device or in
+//! pieces across a worker pool, and the merge reconstructs the monolithic
+//! timing model (slowest shard for decoupled/NDRange, per-round maxima for
+//! lockstep, re-simulated shared channel for the cycle sim, trace replay
+//! for SIMT).
+
+use dwi_core::{
+    all_backends, Backend, ExecutionPlan, GammaListing2, PaperConfig, RunReport, SeverityExpMix,
+    TruncatedNormalKernel, WorkItemKernel, Workload,
+};
+use dwi_testkit::cases;
+
+/// Run `plan` split `n` ways and merge the shard reports.
+fn run_sharded(
+    backend: &dyn Backend,
+    kernel: &dyn WorkItemKernel,
+    plan: &ExecutionPlan,
+    n: u32,
+) -> RunReport {
+    let shards: Vec<RunReport> = plan
+        .split(n)
+        .iter()
+        .map(|shard_plan| backend.execute(kernel, shard_plan))
+        .collect();
+    RunReport::merge(plan, shards)
+}
+
+/// Everything observable about a run must survive the split+merge round
+/// trip: values, timing, iteration counts, divergence, rejection totals.
+fn assert_merge_identical(
+    backend: &dyn Backend,
+    kernel: &dyn WorkItemKernel,
+    plan: &ExecutionPlan,
+    n: u32,
+) {
+    let whole = backend.execute(kernel, plan);
+    let merged = run_sharded(backend, kernel, plan, n);
+    let ctx = format!(
+        "{} on {} split {n} ways ({} work-items, local {})",
+        kernel.name(),
+        backend.name(),
+        plan.workitems,
+        plan.local_size
+    );
+    assert_eq!(merged.backend, whole.backend, "{ctx}: backend");
+    assert_eq!(merged.kernel, whole.kernel, "{ctx}: kernel");
+    assert_eq!(merged.workitems, whole.workitems, "{ctx}: workitems");
+    assert_eq!(merged.quota, whole.quota, "{ctx}: quota");
+    assert_eq!(merged.samples, whole.samples, "{ctx}: sample values");
+    assert_eq!(merged.cycles, whole.cycles, "{ctx}: cycles");
+    assert_eq!(merged.iterations, whole.iterations, "{ctx}: iterations");
+    assert_eq!(merged.divergence, whole.divergence, "{ctx}: divergence");
+    assert_eq!(merged.rejection, whole.rejection, "{ctx}: rejection stats");
+    assert!(merged.complete(), "{ctx}: merged run incomplete");
+}
+
+#[test]
+fn split_merge_is_identity_for_every_backend_and_awkward_shard_counts() {
+    // 8 work-items split 1..=5 and 8 ways: n=3 and n=5 do not divide 8,
+    // n=8 is one work-item per shard. Every backend, every count.
+    let kernel = TruncatedNormalKernel::new(1.5, 256, 99);
+    let plan = ExecutionPlan::new(8);
+    for backend in all_backends() {
+        for n in [1, 2, 3, 4, 5, 8] {
+            assert_merge_identical(backend.as_ref(), &kernel, &plan, n);
+        }
+    }
+}
+
+#[test]
+fn split_respects_ndrange_groups_and_clamps_oversplit() {
+    // With local_size 2 a shard boundary may never cut through a group:
+    // 6 work-items = 3 groups, so split(2) must yield group-aligned
+    // shards, and split(100) clamps to 3 shards of one group each.
+    let kernel = TruncatedNormalKernel::new(1.5, 200, 17);
+    let plan = ExecutionPlan::new(6).local_size(2);
+    assert_eq!(plan.split(100).len(), plan.groups() as usize);
+    for shard in plan.split(2) {
+        assert_eq!(shard.workitems % plan.local_size, 0, "group cut in half");
+        assert_eq!(shard.wid_base % plan.local_size, 0, "misaligned base");
+    }
+    for backend in all_backends() {
+        for n in [2, 3, 100] {
+            assert_merge_identical(backend.as_ref(), &kernel, &plan, n);
+        }
+    }
+}
+
+#[test]
+fn randomized_plans_survive_split_merge_on_every_backend() {
+    // Property-style sweep: random work-item counts, local sizes, quotas,
+    // seeds and shard counts. The invariant never depends on geometry.
+    cases(24, |rng| {
+        let local_size = [1u32, 2, 4][rng.usize_range(0, 3)];
+        let groups = rng.u32_range(1, 6);
+        let workitems = groups * local_size;
+        let quota = rng.u64_range(32, 256);
+        let seed = rng.next_u32();
+        let n = rng.u32_range(1, groups + 3); // often > groups: clamps
+        let kernel = TruncatedNormalKernel::new(1.5, quota, seed);
+        let plan = ExecutionPlan::new(workitems).local_size(local_size);
+        for backend in all_backends() {
+            assert_merge_identical(backend.as_ref(), &kernel, &plan, n);
+        }
+    });
+}
+
+#[test]
+fn paper_workload_kernels_survive_split_merge() {
+    // The bundled applications (not just the cheap truncated normal):
+    // Listing-2 gamma sampler on the paper's platform geometry and the
+    // severity mixture, both split a way that does not divide the count.
+    let cfg = PaperConfig::config1();
+    let w = Workload {
+        num_scenarios: 512,
+        num_sectors: 2,
+        sector_variance: 1.39,
+    };
+    let gamma = GammaListing2::for_config(&cfg, &w, 42);
+    let gamma_plan = ExecutionPlan::for_config(&cfg);
+    let severity = SeverityExpMix::credit_severity(500, 77);
+    let severity_plan = ExecutionPlan::new(4);
+    for backend in all_backends() {
+        assert_merge_identical(backend.as_ref(), &gamma, &gamma_plan, 4);
+        assert_merge_identical(backend.as_ref(), &severity, &severity_plan, 3);
+    }
+}

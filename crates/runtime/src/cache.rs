@@ -1,0 +1,102 @@
+//! Seeded result cache: `(kernel id, plan fingerprint, seed)` →
+//! `Arc<RunReport>` with LRU eviction.
+//!
+//! Every backend run is deterministic in that key (the determinism pinned
+//! by `tests/shard_determinism.rs` and the backend-equivalence suite), so
+//! a hit is *the* result, not an approximation — repeated submissions of
+//! the same experiment are served without touching a worker.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crate::job::CacheKey;
+use dwi_core::backend::RunReport;
+
+/// A small LRU map. Capacities are tens of entries (whole experiment
+/// reports are large), so a scan-and-rotate deque beats hash-map
+/// bookkeeping.
+pub(crate) struct LruCache {
+    cap: usize,
+    /// Front = most recently used.
+    entries: VecDeque<(CacheKey, Arc<RunReport>)>,
+}
+
+impl LruCache {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap,
+            entries: VecDeque::new(),
+        }
+    }
+
+    /// Look up `key`, promoting a hit to most-recently-used.
+    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<RunReport>> {
+        let idx = self.entries.iter().position(|(k, _)| k == key)?;
+        let entry = self.entries.remove(idx).expect("position was valid");
+        let report = entry.1.clone();
+        self.entries.push_front(entry);
+        Some(report)
+    }
+
+    /// Insert, evicting the least-recently-used entry at capacity.
+    pub fn put(&mut self, key: CacheKey, report: Arc<RunReport>) {
+        if self.cap == 0 {
+            return;
+        }
+        if let Some(idx) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(idx);
+        }
+        self.entries.push_front((key, report));
+        while self.entries.len() > self.cap {
+            self.entries.pop_back();
+        }
+    }
+
+    /// Entries currently held.
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Configured capacity (0 = caching disabled).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwi_core::{Backend, ExecutionPlan, FunctionalDecoupled, TruncatedNormalKernel};
+
+    fn report() -> Arc<RunReport> {
+        let k = TruncatedNormalKernel::new(1.5, 32, 1);
+        Arc::new(FunctionalDecoupled.execute(&k, &ExecutionPlan::new(2)))
+    }
+
+    fn key(n: u64) -> CacheKey {
+        ("k", "p".to_string(), n)
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        let r = report();
+        c.put(key(1), r.clone());
+        c.put(key(2), r.clone());
+        assert!(c.get(&key(1)).is_some()); // 1 now MRU
+        c.put(key(3), r.clone()); // evicts 2
+        assert!(c.get(&key(2)).is_none());
+        assert!(c.get(&key(1)).is_some());
+        assert!(c.get(&key(3)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut c = LruCache::new(0);
+        c.put(key(1), report());
+        assert_eq!(c.len(), 0);
+        assert!(c.get(&key(1)).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! Job model: what clients submit to the [`Runtime`](crate::Runtime) and
+//! what they get back.
+//!
+//! A job is either a *kernel* job — a [`WorkItemKernel`] plus an
+//! [`ExecutionPlan`] and a seed, shardable, cacheable, merged back into a
+//! single [`RunReport`] — or an opaque *task* closure that a worker runs
+//! whole (the escape hatch for host-side work like the transfers-only
+//! cycle simulations of Fig. 7, which have no kernel to shard).
+
+use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use dwi_core::backend::{ExecutionPlan, RunReport};
+use dwi_core::kernel::WorkItemKernel;
+
+/// A kernel shared across worker threads.
+pub type SharedKernel = Arc<dyn WorkItemKernel + Send + Sync>;
+
+/// An opaque host-side task: runs whole on one worker, returns anything.
+pub type TaskFn = Box<dyn FnOnce() -> Box<dyn Any + Send> + Send>;
+
+/// Scheduling lane of a job. Lanes are strict: a queued high-priority job
+/// always dispatches before a normal one, which always beats a low one;
+/// *within* a lane clients share round-robin (see `queue`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Dispatches before everything else.
+    High,
+    /// The default lane.
+    #[default]
+    Normal,
+    /// Background work; runs when the other lanes are empty.
+    Low,
+}
+
+impl Priority {
+    /// Metric label (`lane="high"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+
+    pub(crate) fn index(&self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+}
+
+/// What a job executes.
+pub enum JobPayload {
+    /// A shardable kernel execution: `plan` is
+    /// [`split`](ExecutionPlan::split) across workers and the shard
+    /// reports [`merge`](RunReport::merge)d bit-identically to a
+    /// monolithic run. `seed` is the caller's RNG seed, used only as the
+    /// third component of the result-cache key (the kernel object already
+    /// embeds it).
+    Kernel {
+        /// The kernel to execute.
+        kernel: SharedKernel,
+        /// Geometry + platform parameters.
+        plan: ExecutionPlan,
+        /// Cache-key seed component.
+        seed: u64,
+    },
+    /// An opaque closure: single shard, never cached.
+    Task(TaskFn),
+}
+
+/// One submission: who, how urgent, what.
+pub struct JobSpec {
+    /// Submitting client id (fair-share unit).
+    pub client: u32,
+    /// Scheduling lane.
+    pub priority: Priority,
+    /// Time budget from admission; the job is dropped (shards skipped,
+    /// waiter unblocked with [`JobError::Expired`]) once it elapses.
+    pub deadline: Option<Duration>,
+    /// Shard count override for kernel jobs (default: the runtime's
+    /// worker count; always clamped to the plan's group count).
+    pub shards: Option<u32>,
+    /// The work itself.
+    pub payload: JobPayload,
+}
+
+impl JobSpec {
+    /// A kernel job with default priority, no deadline, default sharding.
+    pub fn kernel(client: u32, kernel: SharedKernel, plan: ExecutionPlan, seed: u64) -> Self {
+        Self {
+            client,
+            priority: Priority::Normal,
+            deadline: None,
+            shards: None,
+            payload: JobPayload::Kernel { kernel, plan, seed },
+        }
+    }
+
+    /// An opaque task job with default priority and no deadline.
+    pub fn task<T, F>(client: u32, f: F) -> Self
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        Self {
+            client,
+            priority: Priority::Normal,
+            deadline: None,
+            shards: None,
+            payload: JobPayload::Task(Box::new(move || Box::new(f()) as Box<dyn Any + Send>)),
+        }
+    }
+
+    /// Set the scheduling lane.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the time budget from admission.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Override the shard count (kernel jobs only).
+    pub fn shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        self.shards = Some(shards);
+        self
+    }
+}
+
+/// What a completed job delivers.
+pub enum JobOutput {
+    /// A kernel job's merged report (shared with the result cache).
+    Kernel(Arc<RunReport>),
+    /// An opaque task's return value.
+    Task(Box<dyn Any + Send>),
+}
+
+impl std::fmt::Debug for JobOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobOutput::Kernel(r) => write!(f, "JobOutput::Kernel({}/{})", r.backend, r.kernel),
+            JobOutput::Task(_) => write!(f, "JobOutput::Task(..)"),
+        }
+    }
+}
+
+impl JobOutput {
+    /// The merged report; panics on a task output.
+    pub fn report(&self) -> &RunReport {
+        match self {
+            JobOutput::Kernel(r) => r,
+            JobOutput::Task(_) => panic!("task job has no RunReport"),
+        }
+    }
+
+    /// The merged report by value; panics on a task output.
+    pub fn into_report(self) -> Arc<RunReport> {
+        match self {
+            JobOutput::Kernel(r) => r,
+            JobOutput::Task(_) => panic!("task job has no RunReport"),
+        }
+    }
+
+    /// Downcast a task output; panics on a kernel output or wrong type.
+    pub fn into_task<T: 'static>(self) -> T {
+        match self {
+            JobOutput::Task(b) => *b.downcast::<T>().expect("task output type mismatch"),
+            JobOutput::Kernel(_) => panic!("kernel job output is a RunReport"),
+        }
+    }
+}
+
+/// Why a job did not complete.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobError {
+    /// The client cancelled it.
+    Cancelled,
+    /// Its deadline elapsed before completion.
+    Expired,
+}
+
+/// Result-cache key: `(kernel id, plan fingerprint, seed)`.
+pub(crate) type CacheKey = (&'static str, String, u64);
+
+pub(crate) enum Status {
+    Queued,
+    Running,
+    /// Output taken exactly once by [`JobHandle::wait`].
+    Done(Option<JobOutput>),
+    Failed(JobError),
+}
+
+pub(crate) struct JobInner {
+    pub status: Status,
+    /// Per-shard reports, filled as workers finish (kernel jobs).
+    pub reports: Vec<Option<RunReport>>,
+    /// Shards not yet finished (meaningful once exploded).
+    pub remaining: usize,
+    /// True once any shard was skipped (cancel/expiry) — blocks merging.
+    pub aborted: Option<JobError>,
+    /// The unsplit plan, kept for the merge (kernel jobs).
+    pub plan: Option<ExecutionPlan>,
+    /// Result-cache key (kernel jobs with caching enabled).
+    pub cache_key: Option<CacheKey>,
+    /// Admission time, for the job-latency summary.
+    pub admitted: Instant,
+}
+
+/// Shared scheduler-side state of one job.
+pub(crate) struct JobState {
+    pub id: u64,
+    pub client: u32,
+    pub priority: Priority,
+    pub deadline: Option<Instant>,
+    pub cancelled: AtomicBool,
+    pub inner: Mutex<JobInner>,
+    pub cv: Condvar,
+}
+
+impl JobState {
+    pub fn new(id: u64, spec_client: u32, priority: Priority, deadline: Option<Duration>) -> Self {
+        let now = Instant::now();
+        Self {
+            id,
+            client: spec_client,
+            priority,
+            deadline: deadline.map(|d| now + d),
+            cancelled: AtomicBool::new(false),
+            inner: Mutex::new(JobInner {
+                status: Status::Queued,
+                reports: Vec::new(),
+                remaining: 0,
+                aborted: None,
+                plan: None,
+                cache_key: None,
+                admitted: now,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, JobInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Why this job must be dropped right now, if at all.
+    pub fn abort_error(&self, now: Instant) -> Option<JobError> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            Some(JobError::Cancelled)
+        } else if self.deadline.is_some_and(|d| now > d) {
+            Some(JobError::Expired)
+        } else {
+            None
+        }
+    }
+
+    /// Move to a terminal state and wake all waiters.
+    pub fn finish(&self, status: Status) {
+        let mut inner = self.lock();
+        inner.status = status;
+        drop(inner);
+        self.cv.notify_all();
+    }
+}
+
+/// Client-side handle to a submitted job.
+pub struct JobHandle {
+    pub(crate) state: Arc<JobState>,
+}
+
+impl JobHandle {
+    /// The runtime-assigned job id.
+    pub fn id(&self) -> u64 {
+        self.state.id
+    }
+
+    /// Request cancellation. Already-running shards finish; pending shards
+    /// are skipped and the worker moves on — cancellation frees capacity,
+    /// it never wedges it.
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Block until the job reaches a terminal state.
+    pub fn wait(self) -> Result<JobOutput, JobError> {
+        let mut inner = self.state.lock();
+        loop {
+            match &mut inner.status {
+                Status::Done(out) => {
+                    return Ok(out.take().expect("job output already taken"));
+                }
+                Status::Failed(e) => return Err(*e),
+                Status::Queued | Status::Running => {
+                    inner = self.state.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
+                }
+            }
+        }
+    }
+
+    /// The terminal result if the job already finished, without blocking.
+    pub fn try_wait(&self) -> Option<Result<(), JobError>> {
+        let inner = self.state.lock();
+        match &inner.status {
+            Status::Done(_) => Some(Ok(())),
+            Status::Failed(e) => Some(Err(*e)),
+            _ => None,
+        }
+    }
+}

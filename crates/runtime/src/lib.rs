@@ -1,0 +1,396 @@
+//! # dwi-runtime — a multi-tenant host runtime over the Backend layer
+//!
+//! The paper's host side is an out-of-order OpenCL command queue: the host
+//! enqueues kernel invocations and PCIe transfers, the runtime overlaps
+//! them and keeps the device saturated (Section IV-F). This crate is that
+//! runtime grown to many tenants: clients [`submit`](Runtime::submit)
+//! jobs — a [`WorkItemKernel`](dwi_core::kernel::WorkItemKernel) +
+//! [`ExecutionPlan`] + seed, with a
+//! priority and an optional deadline — and a pool of worker threads, each
+//! owning its own [`Backend`] instance ("virtual device"), executes them.
+//!
+//! The pipeline per job:
+//!
+//! ```text
+//! submit ──▶ admission queue ──▶ split(n) ──▶ shard queue ──▶ workers ──▶ merge ──▶ JobHandle::wait
+//!   │   (bounded; reject +     (whole NDRange    (any worker      (Backend::execute   (bit-identical
+//!   │    retry-after when       groups, global     takes the        per shard)          to the unsplit
+//!   ▼    full)                  wids kept)         next shard)                          run)
+//! result cache (kernel, plan, seed) ── hit? return immediately
+//! ```
+//!
+//! Guarantees:
+//!
+//! * **Bit-identical sharding** — a job split across K workers merges to
+//!   exactly the monolithic [`RunReport`]: values because every engine
+//!   derives RNG streams from global work-item ids, cycles because
+//!   [`RunReport::merge`] recombines per backend semantics (pinned by
+//!   `tests/` here and `crates/core/tests/shard_determinism.rs`).
+//! * **Backpressure, not blocking** — at the queue bound, [`Runtime::submit`]
+//!   returns [`SubmitRejected`] with a service-time-derived retry hint.
+//! * **Fairness** — strict [`Priority`] lanes; round-robin across clients
+//!   within a lane, so one tenant's flood cannot starve another.
+//! * **Deadlines & cancellation free capacity** — pending shards of a
+//!   cancelled or expired job are skipped, never executed.
+//! * **Observability** — queue depth, shard latency, cache hit rate and
+//!   per-worker utilization surface through the session's
+//!   [`TraceSink`] under [`dwi_trace::runtime_metrics`] names, next to
+//!   the engines' own metrics in the Prometheus and Chrome exporters.
+//!
+//! ```
+//! use dwi_runtime::{JobSpec, Runtime, RuntimeConfig};
+//! use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
+//! use std::sync::Arc;
+//!
+//! let rt = Runtime::new(RuntimeConfig::new(2));
+//! let kernel = Arc::new(TruncatedNormalKernel::new(1.5, 64, 7));
+//! let job = rt
+//!     .submit(JobSpec::kernel(0, kernel, ExecutionPlan::new(4), 7))
+//!     .expect("queue has room");
+//! let report = job.wait().expect("no deadline set").into_report();
+//! assert_eq!(report.workitems, 4);
+//! ```
+
+mod cache;
+mod job;
+mod metrics;
+mod queue;
+mod shard;
+mod worker;
+
+pub use job::{JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, SharedKernel};
+pub use queue::SubmitRejected;
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use dwi_core::backend::{
+    Backend, CycleSim, ExecutionPlan, FunctionalDecoupled, LockstepCoupled, NdRange, RunReport,
+    SimtTrace,
+};
+use dwi_trace::TraceSink;
+
+use crate::cache::LruCache;
+use crate::job::{JobState, Status};
+use crate::metrics::RuntimeMetrics;
+use crate::queue::{AdmissionQueue, JobWork, QueuedJob};
+use crate::shard::ShardTask;
+
+/// Runtime sizing and wiring.
+pub struct RuntimeConfig {
+    /// Worker threads (virtual devices). At least 1.
+    pub workers: usize,
+    /// Admission-queue bound B: the (B+1)-th queued job is rejected with a
+    /// retry hint instead of blocking.
+    pub queue_bound: usize,
+    /// Result-cache entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Default shard count for kernel jobs (`None`: the worker count).
+    pub default_shards: Option<u32>,
+    /// Sink for runtime metrics and worker timeline tracks.
+    pub sink: TraceSink,
+}
+
+impl RuntimeConfig {
+    /// Defaults: 64-job queue, 32-entry cache, shard-per-worker, tracing
+    /// off.
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            queue_bound: 64,
+            cache_capacity: 32,
+            default_shards: None,
+            sink: TraceSink::disabled(),
+        }
+    }
+
+    /// Set the admission-queue bound (≥ 1).
+    pub fn queue_bound(mut self, bound: usize) -> Self {
+        assert!(bound >= 1, "queue bound must be at least 1");
+        self.queue_bound = bound;
+        self
+    }
+
+    /// Set the result-cache capacity (0 disables).
+    pub fn cache_capacity(mut self, cap: usize) -> Self {
+        self.cache_capacity = cap;
+        self
+    }
+
+    /// Set the default shard count for kernel jobs.
+    pub fn default_shards(mut self, shards: u32) -> Self {
+        assert!(shards >= 1);
+        self.default_shards = Some(shards);
+        self
+    }
+
+    /// Attach a trace sink.
+    pub fn trace(mut self, sink: TraceSink) -> Self {
+        self.sink = sink;
+        self
+    }
+}
+
+pub(crate) struct SchedState {
+    pub queue: AdmissionQueue,
+    pub shards: VecDeque<ShardTask>,
+    pub shutdown: bool,
+    /// EMA of shard service time in seconds (0 until the first shard).
+    pub ema_shard_secs: f64,
+}
+
+/// Shared scheduler core (workers hold an `Arc` of it).
+pub(crate) struct Core {
+    pub state: Mutex<SchedState>,
+    pub work_cv: Condvar,
+    pub sink: TraceSink,
+    pub metrics: RuntimeMetrics,
+    pub cache: Mutex<LruCache>,
+    pub queue_bound: usize,
+    pub workers: usize,
+    pub default_shards: u32,
+}
+
+impl Core {
+    pub fn lock_state(&self) -> MutexGuard<'_, SchedState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn lock_cache(&self) -> MutexGuard<'_, LruCache> {
+        self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn wait_for_work<'a>(&self, st: MutexGuard<'a, SchedState>) -> MutexGuard<'a, SchedState> {
+        self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Suggested resubmission delay when the queue is full: the backlog's
+    /// expected drain time across the pool, floored at 1 ms.
+    fn retry_after(&self, st: &SchedState) -> Duration {
+        let ema = if st.ema_shard_secs > 0.0 {
+            st.ema_shard_secs
+        } else {
+            0.002
+        };
+        let backlog = (st.queue.len() + st.shards.len() + 1) as f64;
+        Duration::from_secs_f64((ema * backlog / self.workers.max(1) as f64).max(0.001))
+    }
+}
+
+/// The multi-tenant job scheduler. Dropping it stops the workers; queued
+/// jobs that never ran fail with [`JobError::Cancelled`].
+pub struct Runtime {
+    core: Arc<Core>,
+    handles: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+}
+
+impl Runtime {
+    /// A runtime whose workers each own a [`FunctionalDecoupled`] engine —
+    /// the paper's design, one virtual device per worker.
+    pub fn new(config: RuntimeConfig) -> Self {
+        Self::with_backend_factory(config, |_| Box::new(FunctionalDecoupled))
+    }
+
+    /// A runtime with a custom per-worker backend factory (`worker index →
+    /// engine instance`).
+    pub fn with_backend_factory<F>(config: RuntimeConfig, factory: F) -> Self
+    where
+        F: Fn(usize) -> Box<dyn Backend + Send>,
+    {
+        let core = Arc::new(Core {
+            state: Mutex::new(SchedState {
+                queue: AdmissionQueue::default(),
+                shards: VecDeque::new(),
+                shutdown: false,
+                ema_shard_secs: 0.0,
+            }),
+            work_cv: Condvar::new(),
+            sink: config.sink.clone(),
+            metrics: RuntimeMetrics::new(config.sink),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            queue_bound: config.queue_bound,
+            workers: config.workers,
+            default_shards: config
+                .default_shards
+                .unwrap_or(config.workers as u32)
+                .max(1),
+        });
+        let handles = (0..config.workers)
+            .map(|idx| {
+                let core = core.clone();
+                let backend = factory(idx);
+                std::thread::Builder::new()
+                    .name(format!("dwi-worker-{idx}"))
+                    .spawn(move || worker::worker_loop(idx, core, backend))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            core,
+            handles,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Worker threads in the pool.
+    pub fn workers(&self) -> usize {
+        self.core.workers
+    }
+
+    /// Submit a job. Returns immediately: a [`JobHandle`] on admission (or
+    /// cache hit), or [`SubmitRejected`] with a retry hint when the queue
+    /// is at its bound.
+    pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitRejected> {
+        self.submit_inner(spec).map_err(|(rejected, _, _)| rejected)
+    }
+
+    /// As [`Runtime::submit`], but a rejection hands the built job back so
+    /// [`Runtime::submit_blocking`] can retry without rebuilding it (task
+    /// closures are not rebuildable, hence the large-but-internal `Err`).
+    #[allow(clippy::type_complexity, clippy::result_large_err)]
+    fn submit_inner(
+        &self,
+        spec: JobSpec,
+    ) -> Result<JobHandle, (SubmitRejected, Arc<JobState>, QueuedJob)> {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let state = Arc::new(JobState::new(id, spec.client, spec.priority, spec.deadline));
+        let job = match spec.payload {
+            JobPayload::Kernel { kernel, plan, seed } => {
+                let cache_key = (self.core.cache_capacity() > 0)
+                    .then(|| (kernel.name(), plan.fingerprint(), seed));
+                if let Some(key) = &cache_key {
+                    let hit = self.core.lock_cache().get(key);
+                    if let Some(report) = hit {
+                        self.core.metrics.cache_hit();
+                        self.core.metrics.job_submitted(spec.priority);
+                        self.core.metrics.job_completed(0.0);
+                        state.lock().status = Status::Done(Some(JobOutput::Kernel(report)));
+                        return Ok(JobHandle { state });
+                    }
+                    self.core.metrics.cache_miss();
+                }
+                state.lock().cache_key = cache_key;
+                let shards = spec.shards.unwrap_or(self.core.default_shards);
+                QueuedJob {
+                    state: state.clone(),
+                    work: JobWork::Kernel { kernel, plan },
+                    shards,
+                }
+            }
+            JobPayload::Task(f) => QueuedJob {
+                state: state.clone(),
+                work: JobWork::Task(f),
+                shards: 1,
+            },
+        };
+        match self.enqueue(job) {
+            Ok(()) => Ok(JobHandle { state }),
+            Err((rejected, job)) => Err((rejected, state, job)),
+        }
+    }
+
+    /// Submit, sleeping out backpressure rejections until admitted — the
+    /// closed-loop client pattern (the load generator and the figure
+    /// binaries use this).
+    pub fn submit_blocking(&self, spec: JobSpec) -> JobHandle {
+        match self.submit_inner(spec) {
+            Ok(handle) => handle,
+            Err((mut rejected, state, mut job)) => loop {
+                std::thread::sleep(rejected.retry_after);
+                match self.enqueue(job) {
+                    Ok(()) => return JobHandle { state },
+                    Err((again, returned)) => {
+                        rejected = again;
+                        job = returned;
+                    }
+                }
+            },
+        }
+    }
+
+    /// Run one kernel job to completion: submit (riding out backpressure),
+    /// wait, return the merged report. Panics if the job is cancelled or
+    /// expires (callers that need those paths use [`Runtime::submit`]).
+    pub fn run_kernel(
+        &self,
+        kernel: SharedKernel,
+        plan: ExecutionPlan,
+        seed: u64,
+    ) -> Arc<RunReport> {
+        loop {
+            match self.submit(JobSpec::kernel(0, kernel.clone(), plan.clone(), seed)) {
+                Ok(handle) => {
+                    return handle
+                        .wait()
+                        .expect("kernel job without deadline cannot fail")
+                        .into_report();
+                }
+                Err(SubmitRejected { retry_after }) => std::thread::sleep(retry_after),
+            }
+        }
+    }
+
+    #[allow(clippy::result_large_err)] // internal: the job rides the Err back to the retry loop
+    fn enqueue(&self, job: QueuedJob) -> Result<(), (SubmitRejected, QueuedJob)> {
+        let lane = job.state.priority;
+        let mut st = self.core.lock_state();
+        if st.queue.len() >= self.core.queue_bound {
+            let rejected = SubmitRejected {
+                retry_after: self.core.retry_after(&st),
+            };
+            drop(st);
+            self.core.metrics.job_rejected();
+            return Err((rejected, job));
+        }
+        st.queue.push(job);
+        self.core.metrics.job_submitted(lane);
+        self.core
+            .metrics
+            .queue_depth(lane, st.queue.lane_depth(lane));
+        drop(st);
+        self.core.work_cv.notify_one();
+        Ok(())
+    }
+}
+
+impl Core {
+    fn cache_capacity(&self) -> usize {
+        self.lock_cache().capacity()
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.core.lock_state().shutdown = true;
+        self.core.work_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        // Unblock any waiters on work the pool never reached.
+        let mut st = self.core.lock_state();
+        while let Some(job) = st.queue.pop() {
+            job.state.finish(Status::Failed(JobError::Cancelled));
+        }
+        while let Some(shard) = st.shards.pop_front() {
+            shard.state.finish(Status::Failed(JobError::Cancelled));
+        }
+    }
+}
+
+/// One of the five engines by report name (`"functional-decoupled"`,
+/// `"lockstep-coupled"`, `"ndrange"`, `"cycle-sim"`, `"simt-trace"`) — the
+/// worker-factory building block for CLI `--backend` flags and tests.
+pub fn named_backend(name: &str) -> Box<dyn Backend + Send> {
+    match name {
+        "functional-decoupled" => Box::new(FunctionalDecoupled),
+        "lockstep-coupled" => Box::new(LockstepCoupled),
+        "ndrange" => Box::new(NdRange),
+        "cycle-sim" => Box::new(CycleSim),
+        "simt-trace" => Box::new(SimtTrace),
+        other => panic!("unknown backend {other:?}"),
+    }
+}

@@ -1,0 +1,70 @@
+//! Runtime health metrics, published through the session's
+//! [`TraceSink`] under the family names of
+//! [`dwi_trace::runtime_metrics`] — they land in the same Prometheus
+//! text exposition and Chrome timeline as the engines' own metrics.
+
+use dwi_trace::{runtime_metrics as fam, TraceSink};
+
+use crate::job::Priority;
+
+/// Cheap recording facade; every method is a no-op on a disabled sink.
+#[derive(Clone)]
+pub(crate) struct RuntimeMetrics {
+    sink: TraceSink,
+}
+
+impl RuntimeMetrics {
+    pub fn new(sink: TraceSink) -> Self {
+        Self { sink }
+    }
+
+    pub fn job_submitted(&self, lane: Priority) {
+        self.sink
+            .counter(fam::JOBS_SUBMITTED, &[("lane", lane.label())])
+            .inc();
+    }
+
+    pub fn job_completed(&self, latency_s: f64) {
+        self.sink.counter(fam::JOBS_COMPLETED, &[]).inc();
+        self.sink.observe(fam::JOB_LATENCY, &[], latency_s);
+    }
+
+    pub fn job_rejected(&self) {
+        self.sink.counter(fam::JOBS_REJECTED, &[]).inc();
+    }
+
+    pub fn job_cancelled(&self) {
+        self.sink.counter(fam::JOBS_CANCELLED, &[]).inc();
+    }
+
+    pub fn job_expired(&self) {
+        self.sink.counter(fam::JOBS_EXPIRED, &[]).inc();
+    }
+
+    pub fn cache_hit(&self) {
+        self.sink.counter(fam::CACHE_HITS, &[]).inc();
+    }
+
+    pub fn cache_miss(&self) {
+        self.sink.counter(fam::CACHE_MISSES, &[]).inc();
+    }
+
+    pub fn queue_depth(&self, lane: Priority, depth: usize) {
+        self.sink
+            .set_gauge(fam::QUEUE_DEPTH, &[("lane", lane.label())], depth as f64);
+    }
+
+    pub fn shard_executed(&self, worker: usize, latency_s: f64) {
+        let w = worker.to_string();
+        self.sink
+            .counter(fam::SHARDS_EXECUTED, &[("worker", &w)])
+            .inc();
+        self.sink.observe(fam::SHARD_LATENCY, &[], latency_s);
+    }
+
+    pub fn worker_utilization(&self, worker: usize, frac: f64) {
+        let w = worker.to_string();
+        self.sink
+            .set_gauge(fam::WORKER_UTILIZATION, &[("worker", &w)], frac);
+    }
+}

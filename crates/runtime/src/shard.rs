@@ -1,0 +1,69 @@
+//! Shard explosion: turning one admitted job into the work-item slices
+//! the worker pool actually executes.
+
+use std::sync::Arc;
+
+use crate::job::{JobState, SharedKernel, Status, TaskFn};
+use crate::queue::{JobWork, QueuedJob};
+use dwi_core::backend::ExecutionPlan;
+
+/// One unit of worker work: a contiguous work-item slice of a kernel job,
+/// or a whole opaque task.
+pub(crate) struct ShardTask {
+    pub state: Arc<JobState>,
+    /// Position in the job's shard order (merge is order-sensitive).
+    pub index: usize,
+    pub work: ShardWork,
+}
+
+pub(crate) enum ShardWork {
+    Kernel {
+        kernel: SharedKernel,
+        plan: ExecutionPlan,
+    },
+    Task(TaskFn),
+}
+
+/// Split a popped job into shard tasks and initialize its merge
+/// bookkeeping. Kernel jobs shard along [`ExecutionPlan::split`] (so the
+/// global work-item ids — and every derived RNG stream — are unchanged);
+/// task jobs are a single shard by construction.
+pub(crate) fn explode(job: QueuedJob) -> Vec<ShardTask> {
+    match job.work {
+        JobWork::Kernel { kernel, plan } => {
+            let shard_plans = plan.split(job.shards);
+            let n = shard_plans.len();
+            {
+                let mut inner = job.state.lock();
+                inner.status = Status::Running;
+                inner.reports = (0..n).map(|_| None).collect();
+                inner.remaining = n;
+                inner.plan = Some(plan);
+            }
+            shard_plans
+                .into_iter()
+                .enumerate()
+                .map(|(index, plan)| ShardTask {
+                    state: job.state.clone(),
+                    index,
+                    work: ShardWork::Kernel {
+                        kernel: kernel.clone(),
+                        plan,
+                    },
+                })
+                .collect()
+        }
+        JobWork::Task(f) => {
+            {
+                let mut inner = job.state.lock();
+                inner.status = Status::Running;
+                inner.remaining = 1;
+            }
+            vec![ShardTask {
+                state: job.state,
+                index: 0,
+                work: ShardWork::Task(f),
+            }]
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! The worker pool: each worker thread owns one [`Backend`] instance (a
+//! "virtual device") and drains the shared shard queue — the Rust shape of
+//! the paper's host keeping every compute unit fed through an out-of-order
+//! command queue (Section IV-F).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dwi_core::backend::Backend;
+use dwi_trace::ProcessKind;
+
+use crate::job::{JobError, Status};
+use crate::shard::{ShardTask, ShardWork};
+use crate::Core;
+
+pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend + Send>) {
+    let track = core.sink.track(idx as u32, ProcessKind::Worker);
+    let started = Instant::now();
+    let mut busy_s = 0.0f64;
+
+    loop {
+        // Acquire the next shard, exploding queued jobs as needed.
+        let shard: ShardTask = {
+            let mut st = core.lock_state();
+            loop {
+                if let Some(s) = st.shards.pop_front() {
+                    break s;
+                }
+                if let Some(job) = st.queue.pop() {
+                    let lane = job.state.priority;
+                    core.metrics.queue_depth(lane, st.queue.lane_depth(lane));
+                    // A job cancelled or expired while queued never
+                    // reaches a backend: drop it here and keep draining.
+                    if let Some(err) = job.state.abort_error(Instant::now()) {
+                        core.finalize_failed(&job.state, err);
+                        continue;
+                    }
+                    let tasks = crate::shard::explode(job);
+                    let fanout = tasks.len();
+                    st.shards.extend(tasks);
+                    if fanout > 1 {
+                        // Siblings can start the other shards right away.
+                        core.work_cv.notify_all();
+                    }
+                    continue;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = core.wait_for_work(st);
+            }
+        };
+
+        // A shard of a cancelled/expired job is skipped, not executed —
+        // cancellation frees the worker for the next job immediately.
+        if let Some(err) = shard.state.abort_error(Instant::now()) {
+            core.finish_kernel_shard(&shard.state, shard.index, None, Some(err));
+            continue;
+        }
+
+        let t0 = track.now_ns();
+        let t_start = Instant::now();
+        match shard.work {
+            ShardWork::Kernel { kernel, plan } => {
+                let label = format!("job{} shard{}", shard.state.id, shard.index);
+                let report = backend.execute(kernel.as_ref(), &plan);
+                track.span_since(label, t0);
+                let dt = t_start.elapsed().as_secs_f64();
+                busy_s += dt;
+                core.record_shard(idx, dt);
+                core.metrics
+                    .worker_utilization(idx, busy_s / started.elapsed().as_secs_f64().max(1e-9));
+                core.finish_kernel_shard(&shard.state, shard.index, Some(report), None);
+            }
+            ShardWork::Task(f) => {
+                let label = format!("job{} task", shard.state.id);
+                let out = f();
+                track.span_since(label, t0);
+                let dt = t_start.elapsed().as_secs_f64();
+                busy_s += dt;
+                core.record_shard(idx, dt);
+                core.metrics
+                    .worker_utilization(idx, busy_s / started.elapsed().as_secs_f64().max(1e-9));
+                // One last abort check: a deadline may have expired while
+                // the task ran, and expiry must win over delivery.
+                if let Some(err) = shard.state.abort_error(Instant::now()) {
+                    core.finalize_failed(&shard.state, err);
+                } else {
+                    let latency = shard.state.lock().admitted.elapsed().as_secs_f64();
+                    core.metrics.job_completed(latency);
+                    shard
+                        .state
+                        .finish(Status::Done(Some(crate::job::JobOutput::Task(out))));
+                }
+            }
+        }
+    }
+}
+
+impl Core {
+    /// Record one executed shard: latency summary + service-time EMA (the
+    /// basis of the backpressure retry hint).
+    pub(crate) fn record_shard(&self, worker: usize, dt_s: f64) {
+        self.metrics.shard_executed(worker, dt_s);
+        let mut st = self.lock_state();
+        st.ema_shard_secs = if st.ema_shard_secs > 0.0 {
+            0.8 * st.ema_shard_secs + 0.2 * dt_s
+        } else {
+            dt_s
+        };
+    }
+
+    /// Terminal failure for a whole job (never exploded, or a task).
+    pub(crate) fn finalize_failed(&self, state: &Arc<crate::job::JobState>, err: JobError) {
+        match err {
+            JobError::Cancelled => self.metrics.job_cancelled(),
+            JobError::Expired => self.metrics.job_expired(),
+        }
+        state.finish(Status::Failed(err));
+    }
+
+    /// Account one finished (or skipped) kernel shard; the last one
+    /// finalizes the job — merging bit-identically when all shards ran,
+    /// failing when any was skipped.
+    pub(crate) fn finish_kernel_shard(
+        &self,
+        state: &Arc<crate::job::JobState>,
+        index: usize,
+        report: Option<dwi_core::backend::RunReport>,
+        err: Option<JobError>,
+    ) {
+        let mut inner = state.lock();
+        if let Some(r) = report {
+            inner.reports[index] = Some(r);
+        }
+        if let Some(e) = err {
+            inner.aborted.get_or_insert(e);
+        }
+        inner.remaining -= 1;
+        if inner.remaining > 0 {
+            return;
+        }
+        // Last shard: finalize. Expiry during the final shard still wins
+        // over delivery, matching the queued-job and task paths.
+        if let Some(e) = inner.aborted.or_else(|| state.abort_error(Instant::now())) {
+            drop(inner);
+            self.finalize_failed(state, e);
+            return;
+        }
+        let plan = inner.plan.take().expect("kernel job lost its plan");
+        let shards: Vec<_> = inner
+            .reports
+            .drain(..)
+            .map(|r| r.expect("unskipped shard missing its report"))
+            .collect();
+        let report = Arc::new(dwi_core::backend::RunReport::merge(&plan, shards));
+        let latency = inner.admitted.elapsed().as_secs_f64();
+        // Cache before waking waiters, so a waiter's immediate resubmit
+        // hits. Lock order is always job-inner → cache, never reversed.
+        if let Some(key) = inner.cache_key.take() {
+            self.lock_cache().put(key, report.clone());
+        }
+        inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report)));
+        drop(inner);
+        state.cv.notify_all();
+        self.metrics.job_completed(latency);
+    }
+}

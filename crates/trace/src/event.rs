@@ -18,6 +18,8 @@ pub enum ProcessKind {
     Pipeline,
     /// Host-side work (buffer combining, validation).
     Host,
+    /// A runtime worker thread (one per virtual device in `dwi-runtime`).
+    Worker,
 }
 
 impl ProcessKind {
@@ -28,6 +30,7 @@ impl ProcessKind {
             ProcessKind::Transfer => "transfer",
             ProcessKind::Pipeline => "pipeline",
             ProcessKind::Host => "host",
+            ProcessKind::Worker => "worker",
         }
     }
 
@@ -37,6 +40,7 @@ impl ProcessKind {
             ProcessKind::Transfer => 1,
             ProcessKind::Pipeline => 2,
             ProcessKind::Host => 3,
+            ProcessKind::Worker => 4,
         }
     }
 }
@@ -57,9 +61,10 @@ impl TrackId {
     }
 
     /// Deterministic Chrome `tid`: work-items grouped, compute above its
-    /// transfer partner — the Fig. 3 stacking.
+    /// transfer partner — the Fig. 3 stacking. The stride leaves room for
+    /// every [`ProcessKind`] per work-item.
     pub fn tid(&self) -> u64 {
-        self.wid as u64 * 4 + self.kind.index()
+        self.wid as u64 * 8 + self.kind.index()
     }
 
     /// Human-readable track name (`wi0/compute`).
@@ -111,6 +116,7 @@ mod tests {
                 ProcessKind::Transfer,
                 ProcessKind::Pipeline,
                 ProcessKind::Host,
+                ProcessKind::Worker,
             ] {
                 tids.push(TrackId::new(wid, kind).tid());
             }

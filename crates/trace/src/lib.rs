@@ -42,6 +42,7 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
+pub mod runtime_metrics;
 
 pub use event::{EventKind, ProcessKind, TraceEvent, TrackId};
 pub use metrics::{parse_prometheus, Counter, Registry};

@@ -1,0 +1,49 @@
+//! Canonical metric-family names emitted by the `dwi-runtime` scheduler.
+//!
+//! The runtime publishes its health through the same [`Registry`]
+//! (Prometheus) and [`Track`](crate::Track) (Chrome) paths the engines
+//! use. Family names live here — next to the exporters — so the runtime,
+//! the load generator, and the tests agree on the exposition format
+//! without string drift.
+//!
+//! [`Registry`]: crate::metrics::Registry
+
+/// Gauge: jobs currently queued (admitted, not yet fully dispatched),
+/// labelled by priority lane (`lane="high"|"normal"|"low"`).
+pub const QUEUE_DEPTH: &str = "dwi_runtime_queue_depth";
+
+/// Counter: jobs admitted into the queue.
+pub const JOBS_SUBMITTED: &str = "dwi_runtime_jobs_submitted_total";
+
+/// Counter: jobs that completed and delivered a report.
+pub const JOBS_COMPLETED: &str = "dwi_runtime_jobs_completed_total";
+
+/// Counter: submissions rejected by backpressure (queue full).
+pub const JOBS_REJECTED: &str = "dwi_runtime_jobs_rejected_total";
+
+/// Counter: jobs cancelled by their client before completion.
+pub const JOBS_CANCELLED: &str = "dwi_runtime_jobs_cancelled_total";
+
+/// Counter: jobs dropped because their deadline expired in queue or
+/// mid-execution.
+pub const JOBS_EXPIRED: &str = "dwi_runtime_jobs_expired_total";
+
+/// Counter: result-cache hits (job served without touching a worker).
+pub const CACHE_HITS: &str = "dwi_runtime_cache_hits_total";
+
+/// Counter: result-cache misses (job went to the shard queue).
+pub const CACHE_MISSES: &str = "dwi_runtime_cache_misses_total";
+
+/// Summary: wall-clock seconds from admission to completion, per job.
+pub const JOB_LATENCY: &str = "dwi_runtime_job_latency_seconds";
+
+/// Summary: wall-clock seconds a worker spent executing one shard.
+pub const SHARD_LATENCY: &str = "dwi_runtime_shard_latency_seconds";
+
+/// Gauge: per-worker utilization over the runtime's lifetime so far —
+/// busy seconds / elapsed seconds, labelled `worker="<index>"`.
+pub const WORKER_UTILIZATION: &str = "dwi_runtime_worker_utilization";
+
+/// Counter: shards executed, labelled `worker="<index>"` — the device-
+/// saturation view (Section IV-F: keep every compute unit fed).
+pub const SHARDS_EXECUTED: &str = "dwi_runtime_shards_executed_total";

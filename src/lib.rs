@@ -21,6 +21,7 @@
 //! | [`energy`] | wall-plug power traces and dynamic-energy integration |
 //! | [`creditrisk`] | CreditRisk+ Monte-Carlo engine and analytic Panjer oracle |
 //! | [`trace`] | timeline tracing (Chrome/Perfetto export) + Prometheus metrics |
+//! | [`runtime`] | multi-tenant job scheduler: command queues, sharding, backpressure, result cache |
 //!
 //! ## Quickstart
 //!
@@ -47,5 +48,6 @@ pub use dwi_energy as energy;
 pub use dwi_hls as hls;
 pub use dwi_ocl as ocl;
 pub use dwi_rng as rng;
+pub use dwi_runtime as runtime;
 pub use dwi_stats as stats;
 pub use dwi_trace as trace;

@@ -1,0 +1,88 @@
+//! End-to-end multi-tenant session through the facade crate: several
+//! clients drive paper kernels through the `dwi-runtime` scheduler with
+//! tracing on, and the session delivers (1) reports bit-identical to
+//! monolithic single-device runs, (2) runtime metric families in the
+//! Prometheus exposition, and (3) worker timeline tracks in the Chrome
+//! trace — the whole PR's surface exercised in one sitting.
+
+use std::sync::Arc;
+
+use decoupled_workitems::core::{
+    Backend, ExecutionPlan, FunctionalDecoupled, GammaListing2, PaperConfig, SeverityExpMix,
+    TruncatedNormalKernel, Workload,
+};
+use decoupled_workitems::runtime::{JobSpec, Priority, Runtime, RuntimeConfig, SharedKernel};
+use decoupled_workitems::trace::{ProcessKind, Recorder};
+
+#[test]
+fn multi_tenant_session_matches_monolithic_and_exports_observability() {
+    let rec = Recorder::new();
+    let rt = Runtime::new(RuntimeConfig::new(3).trace(rec.sink()));
+
+    let cfg = PaperConfig::config1();
+    let w = Workload {
+        num_scenarios: 512,
+        num_sectors: 2,
+        sector_variance: 1.39,
+    };
+    // Three tenants, three kernels, three priorities — submitted together.
+    let tenants: Vec<(u32, SharedKernel, ExecutionPlan, Priority)> = vec![
+        (
+            0,
+            Arc::new(GammaListing2::for_config(&cfg, &w, 42)),
+            ExecutionPlan::for_config(&cfg),
+            Priority::High,
+        ),
+        (
+            1,
+            Arc::new(TruncatedNormalKernel::new(1.5, 400, 9)),
+            ExecutionPlan::new(4),
+            Priority::Normal,
+        ),
+        (
+            2,
+            Arc::new(SeverityExpMix::credit_severity(400, 77)),
+            ExecutionPlan::new(4),
+            Priority::Low,
+        ),
+    ];
+    let handles: Vec<_> = tenants
+        .iter()
+        .map(|(client, kernel, plan, priority)| {
+            rt.submit(
+                JobSpec::kernel(*client, kernel.clone(), plan.clone(), *client as u64)
+                    .priority(*priority),
+            )
+            .expect("queue has room for three tenants")
+        })
+        .collect();
+    for (handle, (_, kernel, plan, _)) in handles.into_iter().zip(&tenants) {
+        let merged = handle.wait().expect("no deadlines set").into_report();
+        let whole = FunctionalDecoupled.execute(kernel.as_ref(), plan);
+        assert_eq!(merged.samples, whole.samples, "{}", kernel.name());
+        assert_eq!(merged.cycles, whole.cycles, "{}", kernel.name());
+        assert_eq!(merged.rejection, whole.rejection, "{}", kernel.name());
+    }
+    drop(rt); // join the pool so worker tracks are flushed
+
+    let prom = rec.prometheus();
+    for family in [
+        "dwi_runtime_jobs_submitted_total",
+        "dwi_runtime_jobs_completed_total",
+        "dwi_runtime_shards_executed_total",
+        "dwi_runtime_job_latency_seconds",
+    ] {
+        assert!(prom.contains(family), "{family} missing:\n{prom}");
+    }
+    assert!(
+        rec.events()
+            .iter()
+            .any(|e| e.track.kind == ProcessKind::Worker),
+        "worker timeline tracks missing from the session trace"
+    );
+    let chrome = rec.chrome_trace();
+    assert!(
+        chrome.contains("worker"),
+        "worker tracks missing from Chrome export"
+    );
+}
