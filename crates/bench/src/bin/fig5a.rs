@@ -1,11 +1,19 @@
 //! Fig. 5a: measured runtime vs localSize for CPU, GPU and Xeon Phi.
+//!
+//! `--runtime [--workers K]` farms the localSize sweep out to the
+//! `dwi-runtime` pool as an opaque task job (the sweep evaluates the
+//! analytic device model, so it rides the task lane like `fig7`).
+//! Output is byte-identical: the job computes the same pure function,
+//! only on a worker thread.
 
 use dwi_bench::figures::fig5a_data;
 use dwi_bench::render::{f, TextTable};
+use dwi_bench::runtime_args::{on_pool, RuntimeArgs};
 
 fn main() {
+    let rt = RuntimeArgs::from_env().build();
     println!("Fig. 5a: runtime [ms] vs localSize (globalSize 65536)\n");
-    for (dev, config, series) in fig5a_data() {
+    for (dev, config, series) in on_pool(rt.as_ref(), fig5a_data) {
         let mut t = TextTable::new(&["localSize", "runtime [ms]"]);
         let best = series
             .iter()

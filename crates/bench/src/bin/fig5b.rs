@@ -1,11 +1,17 @@
 //! Fig. 5b: runtime vs globalSize at the optimal localSize per platform.
+//!
+//! `--runtime [--workers K]` farms the globalSize sweep out to the
+//! `dwi-runtime` pool as an opaque task job, byte-identically (the same
+//! pure function, computed on a worker thread).
 
 use dwi_bench::figures::fig5b_data;
 use dwi_bench::render::{f, TextTable};
+use dwi_bench::runtime_args::{on_pool, RuntimeArgs};
 
 fn main() {
+    let rt = RuntimeArgs::from_env().build();
     println!("Fig. 5b: runtime [ms] vs globalSize (Config1, optimal localSizes)\n");
-    let data = fig5b_data();
+    let data = on_pool(rt.as_ref(), fig5b_data);
     let mut t = TextTable::new(&["globalSize", data[0].0, data[1].0, data[2].0]);
     let n = data[0].1.len();
     for i in 0..n {

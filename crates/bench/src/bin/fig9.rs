@@ -1,11 +1,18 @@
 //! Fig. 9: derived system-level dynamic energy per kernel invocation.
+//!
+//! `--runtime [--workers K]` farms the whole derivation — including the
+//! Table III calibrations it builds on — out to the `dwi-runtime` pool as
+//! an opaque task job, byte-identically (the same pure computation on a
+//! worker thread).
 
 use dwi_bench::figures::fig9_data;
 use dwi_bench::render::{f, TextTable};
+use dwi_bench::runtime_args::{on_pool, RuntimeArgs};
 
 fn main() {
+    let rt = RuntimeArgs::from_env().build();
     println!("Fig. 9: dynamic energy per kernel invocation [J] (modeled)\n");
-    let data = fig9_data(100_000);
+    let data = on_pool(rt.as_ref(), || fig9_data(100_000));
     let mut t = TextTable::new(&["Config", "CPU", "GPU", "PHI", "FPGA"]);
     let mut ratios = TextTable::new(&["Config", "vs CPU", "vs GPU", "vs PHI"]);
     for (config, rows) in &data {

@@ -10,17 +10,26 @@
 //! and worker-utilization families appear next to the engines' own
 //! metrics.
 //!
+//! The throughput knobs ride the same flags the figure binaries use:
+//! `--batch <N> [--batch-window-ms M]` turns on the coalescing stage
+//! (fusing up to N same-shaped queued jobs into one dispatch) and
+//! `--adaptive` the shard-count controller. `--compare` runs the same
+//! load twice — once with the knobs off, once with them on — and embeds
+//! the untuned pass as a `"baseline"` object in the JSON, so the
+//! before/after throughput, latency and mean batch occupancy land in one
+//! artifact. The top-level numbers are always the tuned run's.
+//!
 //! The workload mixes quotas, priorities and a deliberate fraction of
 //! repeated `(kernel, plan, seed)` submissions, so one run exercises the
-//! admission queue, the priority lanes, the shard fan-out and the result
-//! cache together.
+//! admission queue, the priority lanes, the shard fan-out, the coalescing
+//! stage and the result cache together.
 
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dwi_bench::obs::ObsArgs;
 use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
-use dwi_runtime::{JobSpec, Priority, Runtime, RuntimeConfig, SharedKernel};
+use dwi_runtime::{AdaptiveSharding, JobSpec, Priority, Runtime, RuntimeConfig, SharedKernel};
 use dwi_trace::Recorder;
 
 struct ServeArgs {
@@ -28,6 +37,10 @@ struct ServeArgs {
     jobs: u32,
     workers: usize,
     queue_bound: usize,
+    batch: Option<usize>,
+    batch_window_ms: u64,
+    adaptive: bool,
+    compare: bool,
     out: std::path::PathBuf,
 }
 
@@ -38,6 +51,10 @@ impl ServeArgs {
             jobs: 32,
             workers: 4,
             queue_bound: 64,
+            batch: None,
+            batch_window_ms: 0,
+            adaptive: false,
+            compare: false,
             out: "BENCH_runtime.json".into(),
         };
         let mut args = std::env::args().skip(1);
@@ -51,11 +68,32 @@ impl ServeArgs {
                 "--jobs" => out.jobs = next("--jobs").parse().expect("count"),
                 "--workers" => out.workers = next("--workers").parse().expect("count"),
                 "--queue-bound" => out.queue_bound = next("--queue-bound").parse().expect("count"),
+                "--batch" => out.batch = Some(next("--batch").parse().expect("job count")),
+                "--batch-window-ms" => {
+                    out.batch_window_ms = next("--batch-window-ms").parse().expect("milliseconds")
+                }
+                "--adaptive" => out.adaptive = true,
+                "--compare" => out.compare = true,
                 "--out" => out.out = next("--out").into(),
                 _ => {} // --trace/--metrics handled by ObsArgs
             }
         }
         out
+    }
+
+    /// The pool configuration of one pass: the baseline pass drops the
+    /// throughput knobs, the tuned pass applies whatever was requested.
+    fn config(&self, tuned: bool) -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::new(self.workers).queue_bound(self.queue_bound);
+        if tuned {
+            if let Some(batch) = self.batch {
+                cfg = cfg.batching(batch, Duration::from_millis(self.batch_window_ms));
+            }
+            if self.adaptive {
+                cfg = cfg.adaptive(AdaptiveSharding::new());
+            }
+        }
+        cfg
     }
 }
 
@@ -82,21 +120,32 @@ fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
     sorted_ms[idx.min(sorted_ms.len() - 1)]
 }
 
-fn main() {
-    let args = ServeArgs::from_env();
-    let obs = ObsArgs::from_env();
+/// What one load pass measured.
+struct Summary {
+    wall_s: f64,
+    jobs_per_s: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    cache_hits: u64,
+    rejections: u64,
+    batches: u64,
+    batched_jobs: u64,
+}
+
+impl Summary {
+    fn mean_batch_occupancy(&self) -> f64 {
+        self.batched_jobs as f64 / self.batches.max(1) as f64
+    }
+}
+
+/// Run the full closed loop once against a fresh pool and recorder.
+fn run_load(args: &ServeArgs, tuned: bool) -> (Summary, Recorder) {
     let rec = Recorder::new();
     let rt = Arc::new(Runtime::with_backend_factory(
-        RuntimeConfig::new(args.workers)
-            .queue_bound(args.queue_bound)
-            .trace(rec.sink()),
+        args.config(tuned).trace(rec.sink()),
         |_| dwi_runtime::named_backend("functional-decoupled"),
     ));
 
-    println!(
-        "serve: {} clients x {} jobs on {} workers (queue bound {})",
-        args.clients, args.jobs, args.workers, args.queue_bound
-    );
     let t0 = Instant::now();
     let mut threads = Vec::new();
     for client in 0..args.clients {
@@ -120,43 +169,115 @@ fn main() {
     let wall = t0.elapsed();
     latencies_ms.sort_by(|a, b| a.total_cmp(b));
 
+    // Shut the pool down before reading so every counter is flushed.
+    drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
+
     let total_jobs = args.clients as u64 * args.jobs as u64;
-    let jobs_per_s = total_jobs as f64 / wall.as_secs_f64().max(1e-9);
-    let p50 = percentile(&latencies_ms, 50.0);
-    let p99 = percentile(&latencies_ms, 99.0);
     let m = rec.metrics();
-    let cache_hits = m.counter_value("dwi_runtime_cache_hits_total").unwrap_or(0);
-    let rejections = m
-        .counter_value("dwi_runtime_jobs_rejected_total")
-        .unwrap_or(0);
+    let counter = |key: &str| m.counter_value(key).unwrap_or(0);
+    let summary = Summary {
+        wall_s: wall.as_secs_f64(),
+        jobs_per_s: total_jobs as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        cache_hits: counter("dwi_runtime_cache_hits_total"),
+        rejections: counter("dwi_runtime_jobs_rejected_total"),
+        batches: counter("dwi_runtime_batches_dispatched_total"),
+        batched_jobs: counter("dwi_runtime_batched_jobs_total"),
+    };
+    (summary, rec)
+}
+
+fn report(label: &str, args: &ServeArgs, s: &Summary) {
+    println!(
+        "{label}: {} jobs in {:.2}s: {:.1} jobs/s, p50 {:.2} ms, p99 {:.2} ms, \
+         {} cache hits, {} rejections, {} batches ({} jobs, {:.2} mean occupancy)",
+        args.clients as u64 * args.jobs as u64,
+        s.wall_s,
+        s.jobs_per_s,
+        s.p50_ms,
+        s.p99_ms,
+        s.cache_hits,
+        s.rejections,
+        s.batches,
+        s.batched_jobs,
+        s.mean_batch_occupancy()
+    );
+}
+
+fn main() {
+    let args = ServeArgs::from_env();
+    let obs = ObsArgs::from_env();
 
     println!(
-        "completed {total_jobs} jobs in {:.2}s: {jobs_per_s:.1} jobs/s, \
-         p50 {p50:.2} ms, p99 {p99:.2} ms, {cache_hits} cache hits, {rejections} rejections",
-        wall.as_secs_f64()
-    );
-
-    let json = format!(
-        "{{\n  \"clients\": {},\n  \"jobs_per_client\": {},\n  \"workers\": {},\n  \
-         \"queue_bound\": {},\n  \"total_jobs\": {},\n  \"wall_s\": {:.6},\n  \
-         \"jobs_per_s\": {:.3},\n  \"p50_ms\": {:.4},\n  \"p99_ms\": {:.4},\n  \
-         \"cache_hits\": {},\n  \"rejections\": {}\n}}\n",
+        "serve: {} clients x {} jobs on {} workers (queue bound {}, batch {}, window {} ms, adaptive {})",
         args.clients,
         args.jobs,
         args.workers,
         args.queue_bound,
-        total_jobs,
-        wall.as_secs_f64(),
-        jobs_per_s,
-        p50,
-        p99,
-        cache_hits,
-        rejections
+        args.batch.unwrap_or(1),
+        args.batch_window_ms,
+        args.adaptive
+    );
+
+    // `--compare`: measure the untuned pool first, on identical load.
+    let baseline = args.compare.then(|| run_load(&args, false).0);
+    if let Some(b) = &baseline {
+        report("baseline", &args, b);
+    }
+    let (tuned, rec) = run_load(&args, true);
+    report(
+        if args.compare { "tuned" } else { "completed" },
+        &args,
+        &tuned,
+    );
+    if let Some(b) = &baseline {
+        println!(
+            "speedup: {:.2}x jobs/s, p99 {:.2} -> {:.2} ms",
+            tuned.jobs_per_s / b.jobs_per_s.max(1e-9),
+            b.p99_ms,
+            tuned.p99_ms
+        );
+    }
+
+    let baseline_json = baseline
+        .map(|b| {
+            format!(
+                "  \"baseline\": {{\n    \"wall_s\": {:.6},\n    \"jobs_per_s\": {:.3},\n    \
+                 \"p50_ms\": {:.4},\n    \"p99_ms\": {:.4},\n    \"cache_hits\": {},\n    \
+                 \"rejections\": {}\n  }},\n",
+                b.wall_s, b.jobs_per_s, b.p50_ms, b.p99_ms, b.cache_hits, b.rejections
+            )
+        })
+        .unwrap_or_default();
+    let json = format!(
+        "{{\n  \"clients\": {},\n  \"jobs_per_client\": {},\n  \"workers\": {},\n  \
+         \"queue_bound\": {},\n  \"batch_max_jobs\": {},\n  \"batch_window_ms\": {},\n  \
+         \"adaptive\": {},\n{}  \"total_jobs\": {},\n  \"wall_s\": {:.6},\n  \
+         \"jobs_per_s\": {:.3},\n  \"p50_ms\": {:.4},\n  \"p99_ms\": {:.4},\n  \
+         \"cache_hits\": {},\n  \"rejections\": {},\n  \"batches_dispatched\": {},\n  \
+         \"batched_jobs\": {},\n  \"mean_batch_occupancy\": {:.3}\n}}\n",
+        args.clients,
+        args.jobs,
+        args.workers,
+        args.queue_bound,
+        args.batch.unwrap_or(1),
+        args.batch_window_ms,
+        args.adaptive,
+        baseline_json,
+        args.clients as u64 * args.jobs as u64,
+        tuned.wall_s,
+        tuned.jobs_per_s,
+        tuned.p50_ms,
+        tuned.p99_ms,
+        tuned.cache_hits,
+        tuned.rejections,
+        tuned.batches,
+        tuned.batched_jobs,
+        tuned.mean_batch_occupancy()
     );
     std::fs::write(&args.out, json).expect("write benchmark summary");
     println!("summary written to {}", args.out.display());
 
-    // Shut the pool down before exporting so every worker track is flushed.
-    drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
     obs.write(&rec);
 }

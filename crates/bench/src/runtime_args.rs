@@ -3,8 +3,16 @@
 //! of running inline, with byte-identical output — the runtime's sharding
 //! and merging are bit-exact (see `crates/core/tests/shard_determinism.rs`),
 //! so the flag changes *where* the work runs, never *what* it prints.
+//!
+//! The throughput knobs ride along: `--batch <N> [--batch-window-ms M]`
+//! turns on the coalescing stage and `--adaptive` the shard-count
+//! controller. Both preserve byte-identical output (batching demuxes
+//! bit-identically, adaptivity only changes split counts the merge
+//! erases), which is exactly what the CI parity diffs pin.
 
-use dwi_runtime::{JobSpec, Runtime, RuntimeConfig};
+use std::time::Duration;
+
+use dwi_runtime::{AdaptiveSharding, JobSpec, Runtime, RuntimeConfig};
 
 /// The scheduler flags of a figure binary.
 #[derive(Debug, Default, Clone)]
@@ -13,10 +21,18 @@ pub struct RuntimeArgs {
     pub enabled: bool,
     /// `--workers <K>`: pool size (default 4).
     pub workers: Option<usize>,
+    /// `--batch <N>`: fuse up to N same-shaped queued jobs per dispatch.
+    pub batch: Option<usize>,
+    /// `--batch-window-ms <M>`: how long a coalescing worker waits for
+    /// its batch to fill (default 0: fuse only what is already queued).
+    pub batch_window_ms: u64,
+    /// `--adaptive`: pick shard counts from live queue depth and the
+    /// service-time EMA instead of the static default.
+    pub adaptive: bool,
 }
 
 impl RuntimeArgs {
-    /// Parse `--runtime` / `--workers` from `std::env::args`, ignoring
+    /// Parse the scheduler flags from `std::env::args`, ignoring
     /// anything else (composes with [`crate::obs::ObsArgs`], which ignores
     /// these flags in turn).
     pub fn from_env() -> Self {
@@ -30,6 +46,18 @@ impl RuntimeArgs {
                         .next()
                         .map(|w| w.parse().expect("--workers takes a count"))
                 }
+                "--batch" => {
+                    out.batch = args
+                        .next()
+                        .map(|b| b.parse().expect("--batch takes a job count"))
+                }
+                "--batch-window-ms" => {
+                    out.batch_window_ms = args
+                        .next()
+                        .map(|m| m.parse().expect("--batch-window-ms takes milliseconds"))
+                        .unwrap_or(0)
+                }
+                "--adaptive" => out.adaptive = true,
                 _ => {}
             }
         }
@@ -41,13 +69,24 @@ impl RuntimeArgs {
         self.workers.unwrap_or(4)
     }
 
-    /// Build the pool when `--runtime` was passed. The result cache is
-    /// disabled: figure binaries submit distinct kernel *configurations*
-    /// under one kernel name and seed, which the `(kernel, plan, seed)`
-    /// cache key cannot tell apart.
+    /// The pool configuration these flags describe (cache disabled:
+    /// figure binaries submit distinct kernel *configurations* under one
+    /// kernel name and seed, which the `(kernel, plan, seed)` cache key
+    /// cannot tell apart).
+    pub fn config(&self) -> RuntimeConfig {
+        let mut cfg = RuntimeConfig::new(self.workers()).cache_capacity(0);
+        if let Some(batch) = self.batch {
+            cfg = cfg.batching(batch, Duration::from_millis(self.batch_window_ms));
+        }
+        if self.adaptive {
+            cfg = cfg.adaptive(AdaptiveSharding::new());
+        }
+        cfg
+    }
+
+    /// Build the pool when `--runtime` was passed.
     pub fn build(&self) -> Option<Runtime> {
-        self.enabled
-            .then(|| Runtime::new(RuntimeConfig::new(self.workers()).cache_capacity(0)))
+        self.enabled.then(|| Runtime::new(self.config()))
     }
 }
 
@@ -84,9 +123,28 @@ mod tests {
         let args = RuntimeArgs {
             enabled: true,
             workers: Some(2),
+            ..Default::default()
         };
         let rt = args.build().expect("--runtime builds a pool");
         assert_eq!(rt.workers(), 2);
         assert_eq!(on_pool(Some(&rt), || vec![1u64, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn throughput_knobs_reach_the_config() {
+        let args = RuntimeArgs {
+            enabled: true,
+            workers: Some(2),
+            batch: Some(8),
+            batch_window_ms: 2,
+            adaptive: true,
+        };
+        let cfg = args.config();
+        assert_eq!(cfg.batch_max_jobs, 8);
+        assert_eq!(cfg.batch_window, Duration::from_millis(2));
+        assert_eq!(cfg.adaptive, Some(AdaptiveSharding::new()));
+        // And the pool still serves tasks with the knobs on.
+        let rt = args.build().expect("pool");
+        assert_eq!(on_pool(Some(&rt), || 6 * 7), 42);
     }
 }

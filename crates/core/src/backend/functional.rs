@@ -4,10 +4,10 @@
 use super::{Backend, BackendDetail, ExecutionPlan, RunReport};
 use crate::device_memory::DeviceMemory;
 use crate::kernel::{DivergenceCounts, WorkItemKernel};
-use crate::transfer::{transfer_traced, TransferStats};
+use crate::transfer::{transfer_traced, TransferEngine, TransferStats};
 use dwi_hls::stream::Stream;
 use dwi_rng::RejectionStats;
-use dwi_trace::{Counter, ProcessKind};
+use dwi_trace::{Counter, ProcessKind, Track};
 
 /// Listing 1, executed functionally: `plan.workitems` independent
 /// compute/transfer pairs, each pair coupled by a bounded blocking FIFO,
@@ -17,6 +17,15 @@ use dwi_trace::{Counter, ProcessKind};
 /// Trace output (tracks, spans, `dwi_*` metrics) is identical to the
 /// legacy [`DecoupledRunner`](crate::decoupled::DecoupledRunner), which now
 /// runs on this backend.
+///
+/// Two schedulers, one result: with a live trace sink each pair runs as
+/// real OS threads (so the Fig. 3 interleaving is observable on the
+/// timeline); untraced runs use a cooperative scheduler on the calling
+/// thread — the compute loop fills the bounded FIFO, the transfer engine
+/// drains it on overflow — which produces bit-identical samples, host
+/// buffer, transfer stats and cycle counts without any spawn/join or
+/// context-switch cost. The cooperative path is what makes the
+/// `dwi-runtime` dispatch hot path cheap.
 pub struct FunctionalDecoupled;
 
 impl Backend for FunctionalDecoupled {
@@ -39,7 +48,57 @@ impl Backend for FunctionalDecoupled {
         let mut high_water = vec![0usize; n];
         let mut stalls = vec![(0u64, 0u64); n];
 
-        {
+        if !plan.sink.is_enabled() {
+            // Cooperative fast path: no threads to observe, so run each
+            // compute/transfer pair on this thread. The bounded FIFO is a
+            // reusable scratch buffer: a write into a full buffer is one
+            // recorded stall, upon which the transfer engine drains the
+            // backlog — the deterministic analogue of back-pressure.
+            let track = Track::disabled();
+            let mut scratch: Vec<f32> = Vec::with_capacity(plan.stream_depth);
+            let regions = memory.split_regions();
+            for (wid, region) in regions.into_iter().enumerate() {
+                let gwid = plan.wid_base + wid as u32;
+                let mut inst = kernel.instantiate(gwid);
+                let mut engine = TransferEngine::new(region, burst_words, &track);
+                let mut iters = 0u64;
+                let mut emits = 0u64;
+                let mut div = DivergenceCounts::default();
+                let mut write_stalls = 0u64;
+                let mut hw = 0usize;
+                loop {
+                    let st = inst.step();
+                    iters += 1;
+                    div.record(st.divergence);
+                    if let Some(v) = st.emit {
+                        if scratch.len() == plan.stream_depth {
+                            write_stalls += 1;
+                            for &q in &scratch {
+                                engine.push(q);
+                            }
+                            scratch.clear();
+                        }
+                        scratch.push(v);
+                        hw = hw.max(scratch.len());
+                        emits += 1;
+                    }
+                    if st.done {
+                        break;
+                    }
+                }
+                for &q in &scratch {
+                    engine.push(q);
+                }
+                scratch.clear();
+                iterations[wid] = iters;
+                emitted[wid] = emits;
+                divergence[wid] = div;
+                rejection.merge(&inst.stats());
+                transfers[wid] = engine.finish();
+                high_water[wid] = hw;
+                stalls[wid] = (write_stalls, 0);
+            }
+        } else {
             let regions = memory.split_regions();
             std::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(n);

@@ -1,0 +1,374 @@
+//! Job fusion: concatenate same-shaped executions along the group axis,
+//! run them as **one** dispatch, then split the fused [`RunReport`] back
+//! into per-job reports bit-identical to unbatched execution.
+//!
+//! This is [`ExecutionPlan::split`] / [`RunReport::merge`] run in the
+//! opposite direction. A merge takes shards that *partition one plan's*
+//! global work-item ids; a fusion takes *unrelated jobs* whose id ranges
+//! may overlap (two tenants both submit `wid 0..4`). The fused plan
+//! therefore uses synthetic contiguous ids `0..total`, and the
+//! [`FusedKernel`] maps every synthetic id back to the owning job's
+//! kernel and *original* global id before instantiating — so each lane
+//! draws exactly the RNG streams it would have drawn unbatched, and
+//! coupling changes scheduling, never values (the repository's core
+//! invariant carries over to batching unchanged).
+//!
+//! Demultiplexing recomputes each member's runtime-determining cycle
+//! count under its backend's own semantics, mirroring
+//! [`RunReport::merge`]: slowest work-item / group for the decoupled and
+//! NDRange engines, per-round maxima over the member's own lanes for the
+//! lockstep engines (via [`BackendDetail::Lockstep::lane_attempts`]), a
+//! member-local channel re-simulation for the cycle-level engine, and a
+//! member-local partition replay for the SIMT engine. Rejection
+//! accounting splits exactly because every [`KernelInstance`] counts one
+//! attempt per step: a member's stats are the sum of its work-items'
+//! divergence counters.
+//!
+//! [`KernelInstance`]: crate::kernel::KernelInstance
+
+use std::sync::Arc;
+
+use super::{cyclesim, BackendDetail, ExecutionPlan, RunReport};
+use crate::kernel::{KernelInstance, WorkItemKernel};
+use dwi_rng::RejectionStats;
+
+/// A shareable kernel object — what the runtime dispatches and what
+/// [`FusedBatch`] fuses.
+pub type SharedWorkItemKernel = Arc<dyn WorkItemKernel + Send + Sync>;
+
+/// One batch member: a kernel plus the plan it would have run unbatched.
+pub struct FusedJob {
+    /// The member's kernel.
+    pub kernel: SharedWorkItemKernel,
+    /// The member's own plan (geometry preserved through the fusion).
+    pub plan: ExecutionPlan,
+}
+
+impl FusedJob {
+    /// The fusion-compatibility key: two jobs fuse iff their keys are
+    /// equal — same kernel name, per-work-item quota and phase count
+    /// (the kernel half) and same
+    /// [`shape_fingerprint`](ExecutionPlan::shape_fingerprint) (the plan
+    /// half). Work-item counts and offsets are deliberately absent:
+    /// those are what fusion concatenates.
+    pub fn batch_key(kernel: &dyn WorkItemKernel, plan: &ExecutionPlan) -> String {
+        format!(
+            "{}#q{}#p{}#{}",
+            kernel.name(),
+            kernel.outputs_per_workitem(),
+            kernel.phases(),
+            plan.shape_fingerprint(),
+        )
+    }
+}
+
+struct Segment {
+    kernel: SharedWorkItemKernel,
+    plan: ExecutionPlan,
+    /// First synthetic work-item id of this member in the fused plan.
+    offset: u32,
+}
+
+/// `N` same-shaped jobs fused into one dispatch, plus the bookkeeping to
+/// split the fused report back apart. See the module docs for semantics.
+pub struct FusedBatch {
+    segments: Arc<Vec<Segment>>,
+    plan: ExecutionPlan,
+}
+
+impl FusedBatch {
+    /// Fuse `jobs` (in order) into one batch. Panics when `jobs` is
+    /// empty or the members disagree on [`FusedJob::batch_key`] — the
+    /// caller (the runtime's coalescing stage) groups by key first.
+    pub fn fuse(jobs: Vec<FusedJob>) -> FusedBatch {
+        assert!(!jobs.is_empty(), "nothing to fuse");
+        let key = FusedJob::batch_key(jobs[0].kernel.as_ref(), &jobs[0].plan);
+        let mut segments = Vec::with_capacity(jobs.len());
+        let mut offset = 0u32;
+        for job in jobs {
+            assert_eq!(
+                FusedJob::batch_key(job.kernel.as_ref(), &job.plan),
+                key,
+                "fused jobs must share kernel shape and plan shape"
+            );
+            let workitems = job.plan.workitems;
+            segments.push(Segment {
+                kernel: job.kernel,
+                plan: job.plan,
+                offset,
+            });
+            offset += workitems;
+        }
+        let plan = ExecutionPlan {
+            workitems: offset,
+            wid_base: 0,
+            ..segments[0].plan.clone()
+        };
+        FusedBatch {
+            segments: Arc::new(segments),
+            plan,
+        }
+    }
+
+    /// Members in this batch.
+    pub fn len(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True for a batch with no members (never constructed by
+    /// [`fuse`](Self::fuse); provided for the `len`/`is_empty` idiom).
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// The fused plan: all members' work-items concatenated along the
+    /// group axis under synthetic ids `0..total`.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// The fused kernel to dispatch under [`plan`](Self::plan):
+    /// instantiating synthetic id `i` builds the owning member's
+    /// work-item with its original global id.
+    pub fn kernel(&self) -> SharedWorkItemKernel {
+        Arc::new(FusedKernel {
+            segments: self.segments.clone(),
+            quota: self.segments[0].kernel.outputs_per_workitem(),
+            phases: self.segments[0].kernel.phases(),
+        })
+    }
+
+    /// Split the fused report back into per-member reports, in member
+    /// order — each bit-identical (samples, iterations, divergence,
+    /// rejection, cycles, detail) to executing that member's own plan
+    /// unbatched on the same backend.
+    pub fn demux(&self, fused: RunReport) -> Vec<RunReport> {
+        assert_eq!(
+            fused.workitems, self.plan.workitems,
+            "fused report does not match this batch"
+        );
+        let quota = fused.quota;
+        let backend = fused.backend;
+        let mut samples = fused.samples.into_iter();
+        let mut iterations = fused.iterations.into_iter();
+        let mut divergence = fused.divergence.into_iter();
+        // Common per-work-item vectors slice positionally: member j owns
+        // fused lanes [offset_j, offset_j + n_j).
+        let members: Vec<MemberCommon> = self
+            .segments
+            .iter()
+            .map(|seg| {
+                let n = seg.plan.workitems as usize;
+                MemberCommon {
+                    samples: samples.by_ref().take(n).collect(),
+                    iterations: iterations.by_ref().take(n).collect(),
+                    divergence: divergence.by_ref().take(n).collect(),
+                }
+            })
+            .collect();
+        let details = split_detail(&self.segments, quota, fused.detail, &members);
+        let mut out = Vec::with_capacity(self.segments.len());
+        for ((seg, (cycles, detail)), m) in self.segments.iter().zip(details).zip(members) {
+            let mut rejection = RejectionStats::new();
+            for d in &m.divergence {
+                rejection.merge(&d.as_rejection_stats());
+            }
+            out.push(RunReport {
+                backend,
+                kernel: seg.kernel.name(),
+                workitems: seg.plan.workitems,
+                wid_base: seg.plan.wid_base,
+                quota,
+                samples: m.samples,
+                iterations: m.iterations,
+                divergence: m.divergence,
+                rejection,
+                cycles,
+                detail,
+            });
+        }
+        out
+    }
+}
+
+/// The backend-independent per-work-item vectors of one member, sliced
+/// out of the fused report before the detail split (which needs them:
+/// decoupled cycles come from iterations, NDRange output slicing from
+/// emitted counts).
+struct MemberCommon {
+    samples: Vec<Vec<f32>>,
+    iterations: Vec<u64>,
+    divergence: Vec<crate::kernel::DivergenceCounts>,
+}
+
+/// Backend-specific half of [`FusedBatch::demux`]: slice the fused detail
+/// per member and recompute each member's runtime-determining cycle
+/// count — the inverse of `merge_details`.
+fn split_detail(
+    segments: &[Segment],
+    quota: u64,
+    detail: BackendDetail,
+    members: &[MemberCommon],
+) -> Vec<(u64, BackendDetail)> {
+    let sizes: Vec<usize> = segments.iter().map(|s| s.plan.workitems as usize).collect();
+    match detail {
+        BackendDetail::Decoupled {
+            host_buffer,
+            transfers,
+            stream_high_water,
+            stream_stalls,
+        } => {
+            // Fixed-size per-work-item regions: slice the host buffer at
+            // region boundaries; a member is as slow as its own slowest
+            // work-item.
+            let region_f32 = (quota as usize).div_ceil(16).max(1) * 16;
+            let mut hb = host_buffer.into_iter();
+            let mut tr = transfers.into_iter();
+            let mut hw = stream_high_water.into_iter();
+            let mut st = stream_stalls.into_iter();
+            sizes
+                .iter()
+                .zip(members)
+                .map(|(&n, m)| {
+                    let cycles = m.iterations.iter().copied().max().unwrap_or(0);
+                    (
+                        cycles,
+                        BackendDetail::Decoupled {
+                            host_buffer: hb.by_ref().take(n * region_f32).collect(),
+                            transfers: tr.by_ref().take(n).collect(),
+                            stream_high_water: hw.by_ref().take(n).collect(),
+                            stream_stalls: st.by_ref().take(n).collect(),
+                        },
+                    )
+                })
+                .collect()
+        }
+        BackendDetail::Lockstep { lane_attempts, .. } => {
+            let mut lanes = lane_attempts.into_iter();
+            sizes
+                .iter()
+                .map(|&n| {
+                    let lane_attempts: Vec<Vec<u64>> = lanes.by_ref().take(n).collect();
+                    let mut round_max = vec![0u64; quota as usize];
+                    for lane in &lane_attempts {
+                        assert_eq!(lane.len(), quota as usize, "lane round count");
+                        for (acc, &a) in round_max.iter_mut().zip(lane) {
+                            *acc = (*acc).max(a);
+                        }
+                    }
+                    let lockstep_iterations: u64 = round_max.iter().sum();
+                    (
+                        lockstep_iterations,
+                        BackendDetail::Lockstep {
+                            lockstep_iterations,
+                            rounds: quota,
+                            round_max,
+                            lane_attempts,
+                        },
+                    )
+                })
+                .collect()
+        }
+        BackendDetail::NdRange {
+            outputs,
+            group_iterations,
+        } => {
+            let mut outs = outputs.into_iter();
+            let mut gi = group_iterations.into_iter();
+            segments
+                .iter()
+                .zip(members)
+                .map(|(seg, m)| {
+                    let groups = seg.plan.groups() as usize;
+                    let group_iterations: Vec<u64> = gi.by_ref().take(groups).collect();
+                    // Outputs are group-major and groups never straddle
+                    // members, so a member's slice is contiguous; its
+                    // length is however many values its lanes emitted.
+                    let emitted: usize = m.samples.iter().map(Vec::len).sum();
+                    let outputs: Vec<f32> = outs.by_ref().take(emitted).collect();
+                    let cycles = group_iterations.iter().copied().max().unwrap_or(0);
+                    (
+                        cycles,
+                        BackendDetail::NdRange {
+                            outputs,
+                            group_iterations,
+                        },
+                    )
+                })
+                .collect()
+        }
+        BackendDetail::CycleSim { traces, .. } => {
+            // The simulated memory channel is shared per dispatch: a
+            // member running alone sees only its own traffic, so re-run
+            // the cycle-level simulation over the member's traces alone —
+            // exactly what its unbatched dispatch simulates.
+            let mut tr = traces.into_iter();
+            segments
+                .iter()
+                .zip(&sizes)
+                .map(|(seg, &n)| {
+                    let traces: Vec<Vec<bool>> = tr.by_ref().take(n).collect();
+                    let sim = dwi_hls::sim::run_from_traces(
+                        &cyclesim::sim_config(&seg.plan, n, quota),
+                        &traces,
+                    );
+                    (sim.cycles, BackendDetail::CycleSim { sim, traces })
+                })
+                .collect()
+        }
+        BackendDetail::Simt { traces, .. } => {
+            // Reconvergence spans one dispatch's partition: replay each
+            // member's lanes alone, exactly as its unbatched run does.
+            let mut tr = traces.into_iter();
+            sizes
+                .iter()
+                .map(|&n| {
+                    let traces: Vec<Vec<u32>> = tr.by_ref().take(n).collect();
+                    let result = dwi_ocl::simt::run_lockstep(&traces);
+                    (
+                        result.lockstep_iterations,
+                        BackendDetail::Simt { result, traces },
+                    )
+                })
+                .collect()
+        }
+    }
+}
+
+/// The kernel object a fused dispatch executes: work-item `i` of the
+/// fused plan is work-item `original_base + (i - segment_offset)` of the
+/// owning member — same kernel object, same global id, same streams.
+struct FusedKernel {
+    segments: Arc<Vec<Segment>>,
+    quota: u64,
+    phases: u32,
+}
+
+impl WorkItemKernel for FusedKernel {
+    fn name(&self) -> &'static str {
+        self.segments[0].kernel.name()
+    }
+
+    fn outputs_per_workitem(&self) -> u64 {
+        self.quota
+    }
+
+    fn phases(&self) -> u32 {
+        self.phases
+    }
+
+    fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance> {
+        let idx = self
+            .segments
+            .partition_point(|s| s.offset <= wid)
+            .checked_sub(1)
+            .expect("fused wid below first segment");
+        let seg = &self.segments[idx];
+        assert!(
+            wid - seg.offset < seg.plan.workitems,
+            "fused wid {wid} beyond the batch"
+        );
+        seg.kernel
+            .instantiate(seg.plan.wid_base + (wid - seg.offset))
+    }
+}

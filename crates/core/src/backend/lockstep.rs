@@ -37,11 +37,13 @@ impl Backend for LockstepCoupled {
         let mut lockstep = 0u64;
         let mut rounds = 0u64;
         let mut round_maxima = Vec::with_capacity(quota as usize);
+        let mut lane_attempts: Vec<Vec<u64>> = vec![Vec::with_capacity(quota as usize); width];
 
         for _round in 0..quota {
             let mut round_max = 0u64;
             for (lane, inst) in insts.iter_mut().enumerate() {
                 if done[lane] {
+                    lane_attempts[lane].push(0); // truncated lane: idles
                     continue; // truncated lane: owes no further outputs
                 }
                 let mut attempts = 0u64;
@@ -65,6 +67,7 @@ impl Backend for LockstepCoupled {
                     );
                 }
                 iterations[lane] += attempts;
+                lane_attempts[lane].push(attempts);
                 round_max = round_max.max(attempts);
             }
             lockstep += round_max;
@@ -92,6 +95,7 @@ impl Backend for LockstepCoupled {
                 lockstep_iterations: lockstep,
                 rounds,
                 round_max: round_maxima,
+                lane_attempts,
             },
         }
     }

@@ -30,12 +30,14 @@
 
 mod cyclesim;
 mod functional;
+mod fused;
 mod lockstep;
 mod ndrange;
 mod simt;
 
 pub use cyclesim::CycleSim;
 pub use functional::FunctionalDecoupled;
+pub use fused::{FusedBatch, FusedJob, SharedWorkItemKernel};
 pub use lockstep::LockstepCoupled;
 pub use ndrange::NdRange;
 pub use simt::SimtTrace;
@@ -203,21 +205,33 @@ impl ExecutionPlan {
         out
     }
 
-    /// A stable textual digest of everything that affects the *values* a
-    /// run produces and the cycles a backend reports — the plan half of a
-    /// result-cache key. The trace sink is deliberately excluded:
-    /// observability must never change results.
-    pub fn fingerprint(&self) -> String {
+    /// The geometry-free half of [`fingerprint`](Self::fingerprint):
+    /// everything that must match for two plans to be *fusable* into one
+    /// batched dispatch ([`FusedBatch`]) — stream depth, burst length,
+    /// combining, clock and channel, but **not** the work-item count or
+    /// offset (batching concatenates exactly those).
+    pub fn shape_fingerprint(&self) -> String {
         format!(
-            "wi{}+{}xl{}/d{}/b{}/{:?}/f{}/ch{:?}",
-            self.workitems,
-            self.wid_base,
+            "l{}/d{}/b{}/{:?}/f{}/ch{:?}",
             self.local_size,
             self.stream_depth,
             self.burst_rns,
             self.combining,
             self.freq_hz,
             self.channel,
+        )
+    }
+
+    /// A stable textual digest of everything that affects the *values* a
+    /// run produces and the cycles a backend reports — the plan half of a
+    /// result-cache key. The trace sink is deliberately excluded:
+    /// observability must never change results.
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "wi{}+{}x{}",
+            self.workitems,
+            self.wid_base,
+            self.shape_fingerprint(),
         )
     }
 }
@@ -249,6 +263,11 @@ pub enum BackendDetail {
         /// max over all lanes, which is the max over shards of these
         /// per-shard maxima.
         round_max: Vec<u64>,
+        /// Attempts per round for every lane (lane-major, `quota` entries
+        /// each; 0 once a truncated lane idles). Kept so a *fused* batch
+        /// report demultiplexes exactly: a member's round cost is the max
+        /// over its own lanes only ([`FusedBatch::demux`]).
+        lane_attempts: Vec<Vec<u64>>,
     },
     /// [`NdRange`]: the flat output stream and per-group pipeline cost.
     NdRange {
@@ -455,14 +474,21 @@ fn merge_details(
         }
         BackendDetail::Lockstep { .. } => {
             let mut round_max = vec![0u64; quota as usize];
+            let mut lane_attempts = Vec::new();
             for d in details {
-                let BackendDetail::Lockstep { round_max: rm, .. } = d else {
+                let BackendDetail::Lockstep {
+                    round_max: rm,
+                    lane_attempts: la,
+                    ..
+                } = d
+                else {
                     panic!("mixed backend details");
                 };
                 assert_eq!(rm.len(), quota as usize, "lockstep shard round count");
                 for (acc, r) in round_max.iter_mut().zip(rm) {
                     *acc = (*acc).max(r);
                 }
+                lane_attempts.extend(la);
             }
             let lockstep_iterations: u64 = round_max.iter().sum();
             (
@@ -471,6 +497,7 @@ fn merge_details(
                     lockstep_iterations,
                     rounds: quota,
                     round_max,
+                    lane_attempts,
                 },
             )
         }

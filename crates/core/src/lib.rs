@@ -42,8 +42,8 @@ pub mod validation;
 
 pub use apps::{SeverityExpMix, TruncatedNormalKernel};
 pub use backend::{
-    all_backends, Backend, BackendDetail, CycleSim, ExecutionPlan, FunctionalDecoupled,
-    LockstepCoupled, NdRange, RunReport, SimtTrace,
+    all_backends, Backend, BackendDetail, CycleSim, ExecutionPlan, FunctionalDecoupled, FusedBatch,
+    FusedJob, LockstepCoupled, NdRange, RunReport, SharedWorkItemKernel, SimtTrace,
 };
 pub use config::{IcdfStyle, PaperConfig, Workload};
 #[allow(deprecated)]

@@ -3,7 +3,7 @@
 
 use dwi_hls::stream::Consumer;
 use dwi_hls::wide::{Packer, Wide512};
-use dwi_trace::Track;
+use dwi_trace::{Counter, Track};
 
 /// Statistics of one transfer engine's run.
 ///
@@ -56,79 +56,142 @@ pub fn transfer_traced(
     burst_words: usize,
     track: &Track,
 ) -> TransferStats {
-    assert!(burst_words > 0, "burst must be at least one word");
-    let wid = track.id().wid.to_string();
-    let c_bursts = track.counter("dwi_transfer_bursts_total", &[("wid", &wid)]);
-    let c_bytes = track.counter("dwi_transfer_bytes_total", &[("wid", &wid)]);
-    let c_tail = track.counter("dwi_transfer_tail_bursts_total", &[("wid", &wid)]);
-
-    let mut packer = Packer::new();
-    let mut burst_buf: Vec<Wide512> = Vec::with_capacity(burst_words);
-    let mut burst_start_ns = 0u64; // when the staging buffer went 0 → 1
-    let mut offset = 0usize; // within the region (Listing 4's `offset`)
-    let mut stats = TransferStats::default();
-
-    let mut flush_burst =
-        |buf: &mut Vec<Wide512>, offset: &mut usize, stats: &mut TransferStats, start_ns: u64| {
-            if buf.is_empty() {
-                return;
-            }
-            let end = *offset + buf.len();
-            assert!(
-                end <= region.len(),
-                "transfer overruns the work-item region ({} > {})",
-                end,
-                region.len()
-            );
-            region[*offset..end].copy_from_slice(buf);
-            *offset = end;
-            stats.bursts += 1;
-            c_bursts.inc();
-            c_bytes.add(buf.len() as u64 * Wide512::BYTES as u64);
-            if buf.len() < burst_words {
-                // Only the final flush of a run may be short; a second short
-                // flush would silently overwrite tail_words.
-                assert_eq!(
-                    stats.tail_bursts, 0,
-                    "tail burst may only be the final burst of a run"
-                );
-                stats.tail_bursts += 1;
-                stats.tail_words = buf.len() as u64;
-                c_tail.inc();
-                track.instant("tail burst");
-            }
-            track.span_since("burst", start_ns);
-            buf.clear();
-        };
-
+    let mut engine = TransferEngine::new(region, burst_words, track);
     while let Some(v) = stream.read() {
-        stats.rns += 1;
-        if let Some(word) = packer.push(v) {
-            if burst_buf.is_empty() {
-                burst_start_ns = track.now_ns();
-            }
-            burst_buf.push(word);
-            stats.words += 1;
-            if burst_buf.len() == burst_words {
-                flush_burst(&mut burst_buf, &mut offset, &mut stats, burst_start_ns);
-            }
+        engine.push(v);
+    }
+    engine.finish()
+}
+
+/// [`transfer`] fed from a slice instead of a stream — the cooperative
+/// (threadless) engine's transfer half. Stats and region contents are a
+/// pure function of the value sequence and `burst_words`, so this is
+/// bit-identical to draining the same values through a stream.
+pub fn transfer_slice(values: &[f32], region: &mut [Wide512], burst_words: usize) -> TransferStats {
+    let track = Track::disabled();
+    let mut engine = TransferEngine::new(region, burst_words, &track);
+    for &v in values {
+        engine.push(v);
+    }
+    engine.finish()
+}
+
+/// The incremental transfer engine behind [`transfer_traced`] and
+/// [`transfer_slice`]: 16-lane packing, `burst_words`-word staging
+/// buffer, `memcpy` flushes into the region — Listing 4, value at a time.
+pub struct TransferEngine<'a> {
+    region: &'a mut [Wide512],
+    burst_words: usize,
+    track: &'a Track,
+    c_bursts: Counter,
+    c_bytes: Counter,
+    c_tail: Counter,
+    packer: Packer,
+    burst_buf: Vec<Wide512>,
+    burst_start_ns: u64, // when the staging buffer went 0 → 1
+    offset: usize,       // within the region (Listing 4's `offset`)
+    stats: TransferStats,
+}
+
+impl<'a> TransferEngine<'a> {
+    /// Engine over one work-item's region. Panics on a zero-word burst.
+    pub fn new(region: &'a mut [Wide512], burst_words: usize, track: &'a Track) -> Self {
+        assert!(burst_words > 0, "burst must be at least one word");
+        let (c_bursts, c_bytes, c_tail) = if track.is_enabled() {
+            let wid = track.id().wid.to_string();
+            (
+                track.counter("dwi_transfer_bursts_total", &[("wid", &wid)]),
+                track.counter("dwi_transfer_bytes_total", &[("wid", &wid)]),
+                track.counter("dwi_transfer_tail_bursts_total", &[("wid", &wid)]),
+            )
+        } else {
+            (
+                Counter::disabled(),
+                Counter::disabled(),
+                Counter::disabled(),
+            )
+        };
+        Self {
+            region,
+            burst_words,
+            track,
+            c_bursts,
+            c_bytes,
+            c_tail,
+            packer: Packer::new(),
+            burst_buf: Vec::with_capacity(burst_words),
+            burst_start_ns: 0,
+            offset: 0,
+            stats: TransferStats::default(),
         }
     }
-    // Stream closed: flush the partial word (zero-padded) and the last burst.
-    if let Some(word) = packer.flush() {
-        if burst_buf.is_empty() {
-            burst_start_ns = track.now_ns();
+
+    fn flush_burst(&mut self) {
+        if self.burst_buf.is_empty() {
+            return;
         }
-        burst_buf.push(word);
-        stats.words += 1;
+        let end = self.offset + self.burst_buf.len();
+        assert!(
+            end <= self.region.len(),
+            "transfer overruns the work-item region ({} > {})",
+            end,
+            self.region.len()
+        );
+        self.region[self.offset..end].copy_from_slice(&self.burst_buf);
+        self.offset = end;
+        self.stats.bursts += 1;
+        self.c_bursts.inc();
+        self.c_bytes
+            .add(self.burst_buf.len() as u64 * Wide512::BYTES as u64);
+        if self.burst_buf.len() < self.burst_words {
+            // Only the final flush of a run may be short; a second short
+            // flush would silently overwrite tail_words.
+            assert_eq!(
+                self.stats.tail_bursts, 0,
+                "tail burst may only be the final burst of a run"
+            );
+            self.stats.tail_bursts += 1;
+            self.stats.tail_words = self.burst_buf.len() as u64;
+            self.c_tail.inc();
+            self.track.instant("tail burst");
+        }
+        self.track.span_since("burst", self.burst_start_ns);
+        self.burst_buf.clear();
     }
-    flush_burst(&mut burst_buf, &mut offset, &mut stats, burst_start_ns);
-    debug_assert_eq!(
-        stats.words,
-        stats.bursts_full() * burst_words as u64 + stats.tail_words,
-        "transfer word conservation"
-    );
-    stats
+
+    fn stage(&mut self, word: Wide512) {
+        if self.burst_buf.is_empty() {
+            self.burst_start_ns = self.track.now_ns();
+        }
+        self.burst_buf.push(word);
+        self.stats.words += 1;
+        if self.burst_buf.len() == self.burst_words {
+            self.flush_burst();
+        }
+    }
+
+    /// Consume one value from the upstream FIFO / slice.
+    pub fn push(&mut self, v: f32) {
+        self.stats.rns += 1;
+        if let Some(word) = self.packer.push(v) {
+            self.stage(word);
+        }
+    }
+
+    /// Upstream closed: flush the partial word (zero-padded) and the
+    /// last burst; return the run's stats.
+    pub fn finish(mut self) -> TransferStats {
+        if let Some(word) = self.packer.flush() {
+            self.stage(word);
+        }
+        self.flush_burst();
+        debug_assert_eq!(
+            self.stats.words,
+            self.stats.bursts_full() * self.burst_words as u64 + self.stats.tail_words,
+            "transfer word conservation"
+        );
+        self.stats
+    }
 }
 
 #[cfg(test)]

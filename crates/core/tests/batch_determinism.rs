@@ -1,0 +1,177 @@
+//! Batch determinism: [`FusedBatch::fuse`] + execute + demux must produce
+//! per-job reports *bit-identical* to executing each job alone, on every
+//! backend — including mixed work-item counts, overlapping global id
+//! ranges (two tenants both submitting `wid 0..n`), per-job seeds, and
+//! fusions of fusions of different sizes.
+//!
+//! This is the contract the `dwi-runtime` coalescing stage stands on: the
+//! fused kernel instantiates every lane with its *original* global id, so
+//! values never change, and the demux recomputes each member's cycle
+//! count under its backend's own semantics — batching changes how many
+//! dispatches the pool pays for, never what any tenant observes.
+
+use std::sync::Arc;
+
+use dwi_core::{
+    all_backends, Backend, ExecutionPlan, FusedBatch, FusedJob, RunReport, SeverityExpMix,
+    SharedWorkItemKernel, TruncatedNormalKernel,
+};
+use dwi_testkit::cases;
+
+/// One logical job: kernel + plan, as the runtime would queue it.
+fn job(kernel: SharedWorkItemKernel, plan: ExecutionPlan) -> FusedJob {
+    FusedJob { kernel, plan }
+}
+
+fn tn(quota: u64, seed: u32) -> SharedWorkItemKernel {
+    Arc::new(TruncatedNormalKernel::new(1.5, quota, seed))
+}
+
+/// Execute `jobs` individually, and fused; every field of every per-job
+/// report must match bit for bit (stream stall/high-water telemetry is
+/// scheduling-dependent and deliberately outside the contract, exactly
+/// as for shard merging).
+fn assert_fused_identical(backend: &dyn Backend, jobs: Vec<FusedJob>) {
+    let alone: Vec<RunReport> = jobs
+        .iter()
+        .map(|j| backend.execute(j.kernel.as_ref(), &j.plan))
+        .collect();
+    let batch = FusedBatch::fuse(jobs);
+    let fused_kernel = batch.kernel();
+    let fused = backend.execute(fused_kernel.as_ref(), batch.plan());
+    let demuxed = batch.demux(fused);
+    assert_eq!(demuxed.len(), alone.len());
+    for (i, (d, a)) in demuxed.iter().zip(&alone).enumerate() {
+        let ctx = format!("member {i} of {} on {}", alone.len(), backend.name());
+        assert_eq!(d.backend, a.backend, "{ctx}: backend");
+        assert_eq!(d.kernel, a.kernel, "{ctx}: kernel");
+        assert_eq!(d.workitems, a.workitems, "{ctx}: workitems");
+        assert_eq!(d.wid_base, a.wid_base, "{ctx}: wid_base");
+        assert_eq!(d.quota, a.quota, "{ctx}: quota");
+        assert_eq!(d.samples, a.samples, "{ctx}: sample values");
+        assert_eq!(d.cycles, a.cycles, "{ctx}: cycles");
+        assert_eq!(d.iterations, a.iterations, "{ctx}: iterations");
+        assert_eq!(d.divergence, a.divergence, "{ctx}: divergence");
+        assert_eq!(d.rejection, a.rejection, "{ctx}: rejection stats");
+    }
+}
+
+#[test]
+fn fused_mixed_size_jobs_demux_identically_on_every_backend() {
+    // Three tenants, different work-item counts and seeds, overlapping
+    // global id ranges (all start at wid 0) — the everyday batch.
+    for backend in all_backends() {
+        assert_fused_identical(
+            backend.as_ref(),
+            vec![
+                job(tn(128, 7), ExecutionPlan::new(4)),
+                job(tn(128, 1131), ExecutionPlan::new(2)),
+                job(tn(128, 7), ExecutionPlan::new(6)),
+            ],
+        );
+    }
+}
+
+#[test]
+fn single_member_batch_is_the_identity() {
+    for backend in all_backends() {
+        assert_fused_identical(
+            backend.as_ref(),
+            vec![job(tn(96, 3), ExecutionPlan::new(4))],
+        );
+    }
+}
+
+#[test]
+fn fused_ndrange_groups_stay_member_aligned() {
+    // local_size 2: members contribute whole groups; the fused NDRange
+    // output stream must slice back on member boundaries.
+    for backend in all_backends() {
+        assert_fused_identical(
+            backend.as_ref(),
+            vec![
+                job(tn(64, 21), ExecutionPlan::new(4).local_size(2)),
+                job(tn(64, 22), ExecutionPlan::new(2).local_size(2)),
+                job(tn(64, 23), ExecutionPlan::new(6).local_size(2)),
+            ],
+        );
+    }
+}
+
+#[test]
+fn fused_sharded_members_keep_their_wid_base() {
+    // A member that is itself a *shard* (non-zero wid_base) keeps its
+    // global ids through the fusion — sharding and batching compose.
+    let plan = ExecutionPlan::new(8);
+    let shards = plan.split(2);
+    for backend in all_backends() {
+        assert_fused_identical(
+            backend.as_ref(),
+            vec![
+                job(tn(80, 5), shards[0].clone()),
+                job(tn(80, 5), shards[1].clone()),
+                job(tn(80, 9), ExecutionPlan::new(3)),
+            ],
+        );
+    }
+}
+
+#[test]
+fn severity_kernel_batches_identically() {
+    // The most divergent bundled kernel (40 % acceptance) — rejection
+    // accounting must split exactly.
+    for backend in all_backends() {
+        assert_fused_identical(
+            backend.as_ref(),
+            vec![
+                job(
+                    Arc::new(SeverityExpMix::credit_severity(100, 11)),
+                    ExecutionPlan::new(3),
+                ),
+                job(
+                    Arc::new(SeverityExpMix::credit_severity(100, 12)),
+                    ExecutionPlan::new(5),
+                ),
+            ],
+        );
+    }
+}
+
+#[test]
+fn randomized_batches_demux_identically_on_every_backend() {
+    // Property-style sweep: random member counts, work-item counts,
+    // quotas and seeds. The invariant never depends on geometry.
+    cases(12, |rng| {
+        let quota = rng.u64_range(32, 160);
+        let members = rng.usize_range(2, 5);
+        let jobs: Vec<(u32, u32)> = (0..members)
+            .map(|_| (rng.u32_range(1, 5), rng.next_u32()))
+            .collect();
+        for backend in all_backends() {
+            assert_fused_identical(
+                backend.as_ref(),
+                jobs.iter()
+                    .map(|&(wi, seed)| job(tn(quota, seed), ExecutionPlan::new(wi)))
+                    .collect(),
+            );
+        }
+    });
+}
+
+#[test]
+#[should_panic(expected = "share kernel shape")]
+fn mismatched_quotas_refuse_to_fuse() {
+    FusedBatch::fuse(vec![
+        job(tn(64, 1), ExecutionPlan::new(2)),
+        job(tn(128, 1), ExecutionPlan::new(2)),
+    ]);
+}
+
+#[test]
+#[should_panic(expected = "share kernel shape")]
+fn mismatched_plan_shapes_refuse_to_fuse() {
+    FusedBatch::fuse(vec![
+        job(tn(64, 1), ExecutionPlan::new(2).burst_rns(256)),
+        job(tn(64, 1), ExecutionPlan::new(2).burst_rns(512)),
+    ]);
+}

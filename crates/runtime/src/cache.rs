@@ -29,13 +29,16 @@ impl LruCache {
         }
     }
 
-    /// Look up `key`, promoting a hit to most-recently-used.
+    /// Look up `key`, promoting a hit to most-recently-used. A hit that
+    /// is already most-recently-used — the common case under repeated
+    /// submissions — is served without touching the deque.
     pub fn get(&mut self, key: &CacheKey) -> Option<Arc<RunReport>> {
         let idx = self.entries.iter().position(|(k, _)| k == key)?;
-        let entry = self.entries.remove(idx).expect("position was valid");
-        let report = entry.1.clone();
-        self.entries.push_front(entry);
-        Some(report)
+        if idx > 0 {
+            let entry = self.entries.remove(idx).expect("position was valid");
+            self.entries.push_front(entry);
+        }
+        Some(self.entries[0].1.clone())
     }
 
     /// Insert, evicting the least-recently-used entry at capacity.

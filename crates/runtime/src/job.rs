@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
-use dwi_core::backend::{ExecutionPlan, RunReport};
+use dwi_core::backend::{ExecutionPlan, FusedBatch, RunReport};
 use dwi_core::kernel::WorkItemKernel;
 
 /// A kernel shared across worker threads.
@@ -200,6 +200,23 @@ pub(crate) enum Status {
     Failed(JobError),
 }
 
+/// One logical job riding a fused batch, plus any queued repeats of it
+/// (identical cache key) that the coalescing stage deduplicated — the
+/// repeats receive the member's `Arc<RunReport>` without re-execution.
+pub(crate) struct BatchMember {
+    pub state: Arc<JobState>,
+    pub dupes: Vec<Arc<JobState>>,
+}
+
+/// The demux half of a fused dispatch, carried by the synthetic batch
+/// job's [`JobInner`]: when the fused run merges, its report is split
+/// back into per-member reports (bit-identical to unbatched execution)
+/// and delivered through `members` in fusion order.
+pub(crate) struct BatchDemux {
+    pub fused: FusedBatch,
+    pub members: Vec<BatchMember>,
+}
+
 pub(crate) struct JobInner {
     pub status: Status,
     /// Per-shard reports, filled as workers finish (kernel jobs).
@@ -214,6 +231,9 @@ pub(crate) struct JobInner {
     pub cache_key: Option<CacheKey>,
     /// Admission time, for the job-latency summary.
     pub admitted: Instant,
+    /// Set only on the synthetic job of a fused dispatch: how to split
+    /// the merged report back into the members' reports.
+    pub batch: Option<BatchDemux>,
 }
 
 /// Shared scheduler-side state of one job.
@@ -244,6 +264,7 @@ impl JobState {
                 plan: None,
                 cache_key: None,
                 admitted: now,
+                batch: None,
             }),
             cv: Condvar::new(),
         }
@@ -271,6 +292,22 @@ impl JobState {
         drop(inner);
         self.cv.notify_all();
     }
+}
+
+/// Fail a job *and* — when it is the synthetic job of a fused dispatch —
+/// every batch member and deduplicated repeat hanging off it. Used on
+/// runtime teardown, where whole shard trees are abandoned at once.
+pub(crate) fn fail_tree(state: &JobState, err: JobError) {
+    let batch = state.lock().batch.take();
+    if let Some(b) = batch {
+        for m in b.members {
+            m.state.finish(Status::Failed(err));
+            for d in m.dupes {
+                d.finish(Status::Failed(err));
+            }
+        }
+    }
+    state.finish(Status::Failed(err));
 }
 
 /// Client-side handle to a submitted job.

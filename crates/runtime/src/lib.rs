@@ -12,12 +12,23 @@
 //! The pipeline per job:
 //!
 //! ```text
-//! submit ──▶ admission queue ──▶ split(n) ──▶ shard queue ──▶ workers ──▶ merge ──▶ JobHandle::wait
-//!   │   (bounded; reject +     (whole NDRange    (any worker      (Backend::execute   (bit-identical
-//!   │    retry-after when       groups, global     takes the        per shard)          to the unsplit
-//!   ▼    full)                  wids kept)         next shard)                          run)
+//! submit ──▶ admission queue ──▶ coalesce ──▶ split(n) ──▶ shard queue ──▶ workers ──▶ merge ──▶ demux ──▶ JobHandle::wait
+//!   │   (bounded; reject +     (fuse same-    (adaptive or    (any worker     (Backend::execute  (fused batch
+//!   │    retry-after when       shaped jobs    static shard    takes the       per shard)         back into
+//!   ▼    full)                  into one       count)          next shard)                        per-job reports)
 //! result cache (kernel, plan, seed) ── hit? return immediately
 //! ```
+//!
+//! The **coalescing stage** ([`RuntimeConfig::batching`]) fuses up to
+//! `max_jobs` queued jobs sharing a
+//! [`FusedJob::batch_key`](dwi_core::backend::FusedJob::batch_key) into
+//! one dispatch along the group axis and demultiplexes the fused report
+//! back into per-job reports — bit-identical to unbatched execution
+//! (`crates/core/tests/batch_determinism.rs`). The **adaptive shard
+//! controller** ([`RuntimeConfig::adaptive`]) sizes each dispatch's split
+//! from live queue depth and the per-group service-time EMA; an explicit
+//! [`JobSpec::shards`] override always wins, which is what the parity
+//! paths (`table3 --runtime`) pin on.
 //!
 //! Guarantees:
 //!
@@ -60,6 +71,7 @@ mod worker;
 
 pub use job::{JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, SharedKernel};
 pub use queue::SubmitRejected;
+pub use shard::AdaptiveSharding;
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -68,8 +80,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use dwi_core::backend::{
-    Backend, CycleSim, ExecutionPlan, FunctionalDecoupled, LockstepCoupled, NdRange, RunReport,
-    SimtTrace,
+    Backend, CycleSim, ExecutionPlan, FunctionalDecoupled, FusedJob, LockstepCoupled, NdRange,
+    RunReport, SimtTrace,
 };
 use dwi_trace::TraceSink;
 
@@ -90,19 +102,32 @@ pub struct RuntimeConfig {
     pub cache_capacity: usize,
     /// Default shard count for kernel jobs (`None`: the worker count).
     pub default_shards: Option<u32>,
+    /// Most logical jobs one fused dispatch may cover (1 disables the
+    /// coalescing stage).
+    pub batch_max_jobs: usize,
+    /// How long a worker holding a coalescable job waits for more
+    /// same-shaped jobs to arrive before dispatching (zero: fuse only
+    /// what is already queued, never wait).
+    pub batch_window: Duration,
+    /// Adaptive shard-count controller (`None`: every kernel job without
+    /// an explicit override uses [`default_shards`](Self::default_shards)).
+    pub adaptive: Option<AdaptiveSharding>,
     /// Sink for runtime metrics and worker timeline tracks.
     pub sink: TraceSink,
 }
 
 impl RuntimeConfig {
-    /// Defaults: 64-job queue, 32-entry cache, shard-per-worker, tracing
-    /// off.
+    /// Defaults: 64-job queue, 32-entry cache, shard-per-worker, batching
+    /// and adaptivity off, tracing off.
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
             queue_bound: 64,
             cache_capacity: 32,
             default_shards: None,
+            batch_max_jobs: 1,
+            batch_window: Duration::ZERO,
+            adaptive: None,
             sink: TraceSink::disabled(),
         }
     }
@@ -127,6 +152,23 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enable job batching: fuse up to `max_jobs` same-shaped queued jobs
+    /// into one dispatch, waiting up to `window` for the batch to fill.
+    /// Results stay bit-identical to unbatched execution (pinned by
+    /// `crates/core/tests/batch_determinism.rs` and the runtime suite).
+    pub fn batching(mut self, max_jobs: usize, window: Duration) -> Self {
+        assert!(max_jobs >= 1, "a batch covers at least one job");
+        self.batch_max_jobs = max_jobs;
+        self.batch_window = window;
+        self
+    }
+
+    /// Attach the adaptive shard-count controller.
+    pub fn adaptive(mut self, cfg: AdaptiveSharding) -> Self {
+        self.adaptive = Some(cfg);
+        self
+    }
+
     /// Attach a trace sink.
     pub fn trace(mut self, sink: TraceSink) -> Self {
         self.sink = sink;
@@ -140,6 +182,10 @@ pub(crate) struct SchedState {
     pub shutdown: bool,
     /// EMA of shard service time in seconds (0 until the first shard).
     pub ema_shard_secs: f64,
+    /// EMA of per-NDRange-group service time in seconds — the adaptive
+    /// controller's size-normalized latency feed (0 until the first
+    /// kernel shard).
+    pub ema_group_secs: f64,
 }
 
 /// Shared scheduler core (workers hold an `Arc` of it).
@@ -152,6 +198,12 @@ pub(crate) struct Core {
     pub queue_bound: usize,
     pub workers: usize,
     pub default_shards: u32,
+    pub batch_max: usize,
+    pub batch_window: Duration,
+    pub adaptive: Option<AdaptiveSharding>,
+    /// Job-id mint, shared with the dispatch path (fused batches get a
+    /// synthetic job with its own id).
+    pub next_id: AtomicU64,
 }
 
 impl Core {
@@ -185,7 +237,6 @@ impl Core {
 pub struct Runtime {
     core: Arc<Core>,
     handles: Vec<JoinHandle<()>>,
-    next_id: AtomicU64,
 }
 
 impl Runtime {
@@ -207,6 +258,7 @@ impl Runtime {
                 shards: VecDeque::new(),
                 shutdown: false,
                 ema_shard_secs: 0.0,
+                ema_group_secs: 0.0,
             }),
             work_cv: Condvar::new(),
             sink: config.sink.clone(),
@@ -218,6 +270,10 @@ impl Runtime {
                 .default_shards
                 .unwrap_or(config.workers as u32)
                 .max(1),
+            batch_max: config.batch_max_jobs.max(1),
+            batch_window: config.batch_window,
+            adaptive: config.adaptive,
+            next_id: AtomicU64::new(0),
         });
         let handles = (0..config.workers)
             .map(|idx| {
@@ -229,11 +285,7 @@ impl Runtime {
                     .expect("spawn worker thread")
             })
             .collect();
-        Self {
-            core,
-            handles,
-            next_id: AtomicU64::new(0),
-        }
+        Self { core, handles }
     }
 
     /// Worker threads in the pool.
@@ -256,7 +308,7 @@ impl Runtime {
         &self,
         spec: JobSpec,
     ) -> Result<JobHandle, (SubmitRejected, Arc<JobState>, QueuedJob)> {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(JobState::new(id, spec.client, spec.priority, spec.deadline));
         let job = match spec.payload {
             JobPayload::Kernel { kernel, plan, seed } => {
@@ -274,17 +326,24 @@ impl Runtime {
                     self.core.metrics.cache_miss();
                 }
                 state.lock().cache_key = cache_key;
-                let shards = spec.shards.unwrap_or(self.core.default_shards);
+                // Deadline jobs must not sit out a batch window; explicit
+                // shard overrides are the deterministic dispatch path —
+                // both stay out of the coalescing stage.
+                let batch_key =
+                    (self.core.batch_max > 1 && spec.deadline.is_none() && spec.shards.is_none())
+                        .then(|| FusedJob::batch_key(kernel.as_ref(), &plan));
                 QueuedJob {
                     state: state.clone(),
                     work: JobWork::Kernel { kernel, plan },
-                    shards,
+                    shards: spec.shards,
+                    batch_key,
                 }
             }
             JobPayload::Task(f) => QueuedJob {
                 state: state.clone(),
                 work: JobWork::Task(f),
-                shards: 1,
+                shards: Some(1),
+                batch_key: None,
             },
         };
         match self.enqueue(job) {
@@ -321,17 +380,12 @@ impl Runtime {
         plan: ExecutionPlan,
         seed: u64,
     ) -> Arc<RunReport> {
-        loop {
-            match self.submit(JobSpec::kernel(0, kernel.clone(), plan.clone(), seed)) {
-                Ok(handle) => {
-                    return handle
-                        .wait()
-                        .expect("kernel job without deadline cannot fail")
-                        .into_report();
-                }
-                Err(SubmitRejected { retry_after }) => std::thread::sleep(retry_after),
-            }
-        }
+        // submit_blocking retries with the *same* built job, so riding
+        // out backpressure never re-clones the kernel or the plan.
+        self.submit_blocking(JobSpec::kernel(0, kernel, plan, seed))
+            .wait()
+            .expect("kernel job without deadline cannot fail")
+            .into_report()
     }
 
     #[allow(clippy::result_large_err)] // internal: the job rides the Err back to the retry loop
@@ -352,7 +406,14 @@ impl Runtime {
             .metrics
             .queue_depth(lane, st.queue.lane_depth(lane));
         drop(st);
-        self.core.work_cv.notify_one();
+        if self.core.batch_window > Duration::ZERO {
+            // A worker may be parked on the condvar waiting for its
+            // batch to fill; notify_one could hand the wakeup to it and
+            // leave a genuinely idle worker asleep — wake everyone.
+            self.core.work_cv.notify_all();
+        } else {
+            self.core.work_cv.notify_one();
+        }
         Ok(())
     }
 }
@@ -370,13 +431,14 @@ impl Drop for Runtime {
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
-        // Unblock any waiters on work the pool never reached.
+        // Unblock any waiters on work the pool never reached — including
+        // members of fused batches whose synthetic job never merged.
         let mut st = self.core.lock_state();
         while let Some(job) = st.queue.pop() {
-            job.state.finish(Status::Failed(JobError::Cancelled));
+            crate::job::fail_tree(&job.state, JobError::Cancelled);
         }
         while let Some(shard) = st.shards.pop_front() {
-            shard.state.finish(Status::Failed(JobError::Cancelled));
+            crate::job::fail_tree(&shard.state, JobError::Cancelled);
         }
     }
 }

@@ -54,17 +54,33 @@ impl RuntimeMetrics {
             .set_gauge(fam::QUEUE_DEPTH, &[("lane", lane.label())], depth as f64);
     }
 
-    pub fn shard_executed(&self, worker: usize, latency_s: f64) {
-        let w = worker.to_string();
+    /// `worker` is the worker's pre-rendered index label — workers format
+    /// it once at startup so the dispatch hot path allocates nothing here.
+    pub fn shard_executed(&self, worker: &str, latency_s: f64) {
         self.sink
-            .counter(fam::SHARDS_EXECUTED, &[("worker", &w)])
+            .counter(fam::SHARDS_EXECUTED, &[("worker", worker)])
             .inc();
         self.sink.observe(fam::SHARD_LATENCY, &[], latency_s);
     }
 
-    pub fn worker_utilization(&self, worker: usize, frac: f64) {
-        let w = worker.to_string();
+    pub fn worker_utilization(&self, worker: &str, frac: f64) {
         self.sink
-            .set_gauge(fam::WORKER_UTILIZATION, &[("worker", &w)], frac);
+            .set_gauge(fam::WORKER_UTILIZATION, &[("worker", worker)], frac);
+    }
+
+    /// One fused dispatch covering `occupancy` logical jobs (members plus
+    /// within-batch deduplicated repeats).
+    pub fn batch_dispatched(&self, occupancy: usize) {
+        self.sink.counter(fam::BATCHES_DISPATCHED, &[]).inc();
+        self.sink
+            .counter(fam::BATCHED_JOBS, &[])
+            .add(occupancy as u64);
+        self.sink
+            .observe(fam::BATCH_OCCUPANCY, &[], occupancy as f64);
+    }
+
+    /// Shard count chosen for one kernel dispatch.
+    pub fn shards_per_job(&self, shards: u32) {
+        self.sink.observe(fam::SHARDS_PER_JOB, &[], shards as f64);
     }
 }

@@ -14,8 +14,19 @@ use dwi_core::backend::ExecutionPlan;
 pub(crate) struct QueuedJob {
     pub state: Arc<JobState>,
     pub work: JobWork,
-    /// Shard count for kernel jobs (already defaulted by the runtime).
-    pub shards: u32,
+    /// Explicit shard-count override ([`JobSpec::shards`]); `None` lets
+    /// the runtime decide at dispatch time (adaptive controller when
+    /// configured, static default otherwise).
+    ///
+    /// [`JobSpec::shards`]: crate::JobSpec::shards
+    pub shards: Option<u32>,
+    /// Fusion-compatibility key ([`FusedJob::batch_key`]) when this job
+    /// may ride a batch: kernel jobs without a deadline or an explicit
+    /// shard override, on a runtime with batching enabled. `None` marks
+    /// the job non-coalescable.
+    ///
+    /// [`FusedJob::batch_key`]: dwi_core::backend::FusedJob::batch_key
+    pub batch_key: Option<String>,
 }
 
 /// The work half of a queued job.
@@ -87,6 +98,49 @@ impl AdmissionQueue {
     /// Queued jobs in one lane (the queue-depth gauge).
     pub fn lane_depth(&self, p: Priority) -> usize {
         self.lanes[p.index()].len
+    }
+
+    /// Queued jobs that could fuse with `key` right now — what a
+    /// coalescing worker polls while its batch window is open.
+    pub fn compatible(&self, key: &str) -> usize {
+        self.lanes
+            .iter()
+            .flat_map(|l| &l.clients)
+            .map(|(_, q)| {
+                q.iter()
+                    .filter(|j| j.batch_key.as_deref() == Some(key))
+                    .count()
+            })
+            .sum()
+    }
+
+    /// Remove up to `max` jobs fusable with `key`, in dispatch order
+    /// (strict lane priority, round-robin across clients within a lane,
+    /// FIFO within a client) — the coalescing stage's bulk pop. Jobs
+    /// with a different key, a deadline, or an explicit shard override
+    /// (`batch_key == None`) are left exactly where they were.
+    pub fn drain_compatible(&mut self, key: &str, max: usize) -> Vec<QueuedJob> {
+        let mut out = Vec::new();
+        for lane in &mut self.lanes {
+            let n = lane.clients.len();
+            for i in 0..n {
+                if out.len() >= max {
+                    return out;
+                }
+                let idx = (lane.next + i) % n;
+                let q = &mut lane.clients[idx].1;
+                let mut j = 0;
+                while j < q.len() && out.len() < max {
+                    if q[j].batch_key.as_deref() == Some(key) {
+                        out.push(q.remove(j).expect("index was in bounds"));
+                        lane.len -= 1;
+                    } else {
+                        j += 1;
+                    }
+                }
+            }
+        }
+        out
     }
 }
 

@@ -1,5 +1,7 @@
-//! Shard explosion: turning one admitted job into the work-item slices
-//! the worker pool actually executes.
+//! Shard explosion and the adaptive shard-count controller: turning one
+//! admitted job into the work-item slices the worker pool actually
+//! executes, and deciding *how many* slices pay off given what the pool
+//! is observing right now.
 
 use std::sync::Arc;
 
@@ -24,14 +26,110 @@ pub(crate) enum ShardWork {
     Task(TaskFn),
 }
 
-/// Split a popped job into shard tasks and initialize its merge
+/// The adaptive shard-count controller's configuration. When attached via
+/// [`RuntimeConfig::adaptive`](crate::RuntimeConfig::adaptive), kernel
+/// jobs submitted *without* an explicit
+/// [`JobSpec::shards`](crate::JobSpec::shards) override get their shard
+/// count picked at dispatch time from live pool state:
+///
+/// * **deep backlog → 1 shard** — when at least as many jobs are waiting
+///   as there are workers, parallelism across jobs already saturates the
+///   pool; splitting would only add merge overhead;
+/// * **light load → go wide** — otherwise split across the idle workers
+///   so a lone big job still uses the whole pool;
+/// * **small jobs → 1 shard** — when the service-time EMA predicts the
+///   whole job under [`small_job_secs`](Self::small_job_secs), splitting
+///   costs more than it saves;
+/// * **hard bounds** — the result is always clamped to
+///   `[min_shards, max_shards]` (and, as everywhere, to the plan's group
+///   count by [`ExecutionPlan::split`]).
+///
+/// An explicit per-job `shards(n)` always wins — that is the
+/// deterministic override the parity paths (`table3 --runtime`) use.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptiveSharding {
+    /// Lower bound on the chosen shard count (≥ 1).
+    pub min_shards: u32,
+    /// Upper bound on the chosen shard count (≥ `min_shards`).
+    pub max_shards: u32,
+    /// Predicted whole-job service time below which splitting is not
+    /// worth the merge overhead (seconds).
+    pub small_job_secs: f64,
+}
+
+impl Default for AdaptiveSharding {
+    /// Bounds `[1, 64]`, small-job cutoff 200 µs.
+    fn default() -> Self {
+        Self {
+            min_shards: 1,
+            max_shards: 64,
+            small_job_secs: 200e-6,
+        }
+    }
+}
+
+impl AdaptiveSharding {
+    /// The default controller (bounds `[1, 64]`, 200 µs cutoff).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the hard shard-count bounds.
+    pub fn bounds(mut self, min_shards: u32, max_shards: u32) -> Self {
+        assert!(min_shards >= 1, "need at least one shard");
+        assert!(
+            min_shards <= max_shards,
+            "min_shards must not exceed max_shards"
+        );
+        self.min_shards = min_shards;
+        self.max_shards = max_shards;
+        self
+    }
+
+    /// Set the small-job cutoff (seconds of predicted service time).
+    pub fn small_job_secs(mut self, secs: f64) -> Self {
+        assert!(secs >= 0.0);
+        self.small_job_secs = secs;
+        self
+    }
+}
+
+/// Pick a shard count for a job of `groups` NDRange groups given the
+/// pool's current state: `backlog` is queued jobs + pending shards,
+/// `ema_group_secs` the observed per-group service-time EMA (0 until the
+/// first shard completes). Pure — the controller's whole policy lives
+/// here so the tests can drive it with synthetic feeds.
+pub(crate) fn pick_shards(
+    cfg: &AdaptiveSharding,
+    groups: u32,
+    workers: usize,
+    backlog: usize,
+    ema_group_secs: f64,
+) -> u32 {
+    let mut shards = if backlog >= workers {
+        // Enough independent jobs to feed every worker: don't split.
+        1
+    } else {
+        // Spread a lone job across the workers the backlog leaves idle.
+        workers.saturating_sub(backlog).max(1) as u32
+    };
+    if ema_group_secs > 0.0 && ema_group_secs * groups as f64 <= cfg.small_job_secs {
+        // Predicted to finish before a split would pay for itself.
+        shards = 1;
+    }
+    shards
+        .clamp(cfg.min_shards, cfg.max_shards)
+        .min(groups.max(1))
+}
+
+/// Split a popped job into `shards` shard tasks and initialize its merge
 /// bookkeeping. Kernel jobs shard along [`ExecutionPlan::split`] (so the
 /// global work-item ids — and every derived RNG stream — are unchanged);
 /// task jobs are a single shard by construction.
-pub(crate) fn explode(job: QueuedJob) -> Vec<ShardTask> {
+pub(crate) fn explode(job: QueuedJob, shards: u32) -> Vec<ShardTask> {
     match job.work {
         JobWork::Kernel { kernel, plan } => {
-            let shard_plans = plan.split(job.shards);
+            let shard_plans = plan.split(shards);
             let n = shard_plans.len();
             {
                 let mut inner = job.state.lock();
@@ -65,5 +163,67 @@ pub(crate) fn explode(job: QueuedJob) -> Vec<ShardTask> {
                 work: ShardWork::Task(f),
             }]
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const POOL: usize = 4;
+
+    fn cfg() -> AdaptiveSharding {
+        AdaptiveSharding::new()
+    }
+
+    #[test]
+    fn deep_backlog_collapses_to_one_shard() {
+        // Backlog ≥ workers: per-job splitting adds nothing.
+        for backlog in POOL..POOL + 8 {
+            assert_eq!(pick_shards(&cfg(), 64, POOL, backlog, 0.01), 1);
+        }
+    }
+
+    #[test]
+    fn idle_pool_splits_a_big_job_wide() {
+        assert_eq!(pick_shards(&cfg(), 64, POOL, 0, 0.01), POOL as u32);
+        // A partial backlog leaves only the idle workers to fill.
+        assert_eq!(pick_shards(&cfg(), 64, POOL, 1, 0.01), 3);
+        assert_eq!(pick_shards(&cfg(), 64, POOL, 3, 0.01), 1);
+    }
+
+    #[test]
+    fn small_jobs_never_split() {
+        // 4 groups at 10 µs/group = 40 µs, far under the 200 µs cutoff.
+        assert_eq!(pick_shards(&cfg(), 4, POOL, 0, 10e-6), 1);
+        // Same job with no EMA yet (cold start): width wins.
+        assert_eq!(pick_shards(&cfg(), 4, POOL, 0, 0.0), 4);
+    }
+
+    #[test]
+    fn bounds_are_hard() {
+        let c = cfg().bounds(2, 3);
+        // Small-job and backlog collapses are raised to the floor...
+        assert_eq!(pick_shards(&c, 64, POOL, POOL, 0.01), 2);
+        assert_eq!(pick_shards(&c, 64, POOL, 0, 1e-9), 2);
+        // ...and a wide split is capped at the ceiling.
+        assert_eq!(pick_shards(&c, 64, 16, 0, 0.01), 3);
+        // The group count still caps everything (split() can't exceed it).
+        assert_eq!(pick_shards(&c, 1, 16, 0, 0.01), 1);
+    }
+
+    #[test]
+    fn converges_as_the_latency_feed_moves() {
+        // Drive the controller with a synthetic EMA feed crossing the
+        // cutoff: the decision must flip exactly once, monotonically.
+        let c = cfg();
+        let groups = 8u32;
+        let feed = [1e-6, 5e-6, 20e-6, 24e-6, 26e-6, 100e-6, 1e-3];
+        let picks: Vec<u32> = feed
+            .iter()
+            .map(|&ema| pick_shards(&c, groups, POOL, 0, ema))
+            .collect();
+        // 8 groups × 25 µs crosses the 200 µs cutoff (inclusive below).
+        assert_eq!(picks, vec![1, 1, 1, 1, 4, 4, 4]);
     }
 }

@@ -2,24 +2,35 @@
 //! "virtual device") and drains the shared shard queue — the Rust shape of
 //! the paper's host keeping every compute unit fed through an out-of-order
 //! command queue (Section IV-F).
+//!
+//! Dispatch is where the throughput machinery lives: a worker that pops a
+//! coalescable job first fuses every compatible queued job into one
+//! [`FusedBatch`] dispatch (optionally holding a batch window open for
+//! more to arrive), then sizes the split with the adaptive shard
+//! controller before exploding. The execute hot path allocates nothing:
+//! worker labels are rendered once, span labels only materialize when a
+//! trace sink is actually attached.
 
-use std::sync::Arc;
+use std::sync::{Arc, MutexGuard};
 use std::time::Instant;
 
-use dwi_core::backend::Backend;
+use dwi_core::backend::{Backend, FusedBatch, FusedJob};
 use dwi_trace::ProcessKind;
 
-use crate::job::{JobError, Status};
+use crate::job::{BatchDemux, BatchMember, CacheKey, JobError, JobState, Status};
+use crate::queue::{JobWork, QueuedJob};
 use crate::shard::{ShardTask, ShardWork};
-use crate::Core;
+use crate::{Core, SchedState};
 
 pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend + Send>) {
     let track = core.sink.track(idx as u32, ProcessKind::Worker);
+    // Rendered once: the metric label for every shard this worker runs.
+    let worker_label = idx.to_string();
     let started = Instant::now();
     let mut busy_s = 0.0f64;
 
     loop {
-        // Acquire the next shard, exploding queued jobs as needed.
+        // Acquire the next shard, dispatching queued jobs as needed.
         let shard: ShardTask = {
             let mut st = core.lock_state();
             loop {
@@ -35,13 +46,7 @@ pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend 
                         core.finalize_failed(&job.state, err);
                         continue;
                     }
-                    let tasks = crate::shard::explode(job);
-                    let fanout = tasks.len();
-                    st.shards.extend(tasks);
-                    if fanout > 1 {
-                        // Siblings can start the other shards right away.
-                        core.work_cv.notify_all();
-                    }
+                    st = core.dispatch(st, job);
                     continue;
                 }
                 if st.shutdown {
@@ -62,25 +67,32 @@ pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend 
         let t_start = Instant::now();
         match shard.work {
             ShardWork::Kernel { kernel, plan } => {
-                let label = format!("job{} shard{}", shard.state.id, shard.index);
+                let groups = plan.groups() as u64;
                 let report = backend.execute(kernel.as_ref(), &plan);
-                track.span_since(label, t0);
+                if track.is_enabled() {
+                    track.span_since(format!("job{} shard{}", shard.state.id, shard.index), t0);
+                }
                 let dt = t_start.elapsed().as_secs_f64();
                 busy_s += dt;
-                core.record_shard(idx, dt);
-                core.metrics
-                    .worker_utilization(idx, busy_s / started.elapsed().as_secs_f64().max(1e-9));
+                core.record_shard(&worker_label, dt, groups);
+                core.metrics.worker_utilization(
+                    &worker_label,
+                    busy_s / started.elapsed().as_secs_f64().max(1e-9),
+                );
                 core.finish_kernel_shard(&shard.state, shard.index, Some(report), None);
             }
             ShardWork::Task(f) => {
-                let label = format!("job{} task", shard.state.id);
                 let out = f();
-                track.span_since(label, t0);
+                if track.is_enabled() {
+                    track.span_since(format!("job{} task", shard.state.id), t0);
+                }
                 let dt = t_start.elapsed().as_secs_f64();
                 busy_s += dt;
-                core.record_shard(idx, dt);
-                core.metrics
-                    .worker_utilization(idx, busy_s / started.elapsed().as_secs_f64().max(1e-9));
+                core.record_shard(&worker_label, dt, 0);
+                core.metrics.worker_utilization(
+                    &worker_label,
+                    busy_s / started.elapsed().as_secs_f64().max(1e-9),
+                );
                 // One last abort check: a deadline may have expired while
                 // the task ran, and expiry must win over delivery.
                 if let Some(err) = shard.state.abort_error(Instant::now()) {
@@ -98,9 +110,166 @@ pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend 
 }
 
 impl Core {
-    /// Record one executed shard: latency summary + service-time EMA (the
-    /// basis of the backpressure retry hint).
-    pub(crate) fn record_shard(&self, worker: usize, dt_s: f64) {
+    /// Turn one popped job into shard-queue entries: coalesce compatible
+    /// queued jobs into a fused batch when batching is on, size the split
+    /// (explicit override → adaptive controller → static default), and
+    /// explode. Called with the scheduler lock held; returns it.
+    fn dispatch<'a>(
+        &self,
+        mut st: MutexGuard<'a, SchedState>,
+        mut job: QueuedJob,
+    ) -> MutexGuard<'a, SchedState> {
+        let job = if let Some(key) = job.batch_key.take() {
+            st = self.await_batch_window(st, &key);
+            let mut members = vec![job];
+            let now = Instant::now();
+            for mate in st.queue.drain_compatible(&key, self.batch_max - 1) {
+                // A mate cancelled while queued fails here instead of
+                // poisoning the batch.
+                if let Some(err) = mate.state.abort_error(now) {
+                    self.finalize_failed(&mate.state, err);
+                } else {
+                    members.push(mate);
+                }
+            }
+            for lane in [
+                crate::job::Priority::High,
+                crate::job::Priority::Normal,
+                crate::job::Priority::Low,
+            ] {
+                self.metrics.queue_depth(lane, st.queue.lane_depth(lane));
+            }
+            if members.len() == 1 {
+                members.pop().expect("just checked length")
+            } else {
+                self.fuse(members)
+            }
+        } else {
+            job
+        };
+        let shards = self.resolve_shards(&st, &job);
+        self.metrics.shards_per_job(shards);
+        let tasks = crate::shard::explode(job, shards);
+        let fanout = tasks.len();
+        st.shards.extend(tasks);
+        if fanout > 1 {
+            // Siblings can start the other shards right away.
+            self.work_cv.notify_all();
+        }
+        st
+    }
+
+    /// Hold the scheduler lock on the condvar until either enough
+    /// compatible jobs are queued to fill the batch, the window elapses,
+    /// or shutdown begins. No-op with a zero window.
+    fn await_batch_window<'a>(
+        &self,
+        mut st: MutexGuard<'a, SchedState>,
+        key: &str,
+    ) -> MutexGuard<'a, SchedState> {
+        if self.batch_window.is_zero() {
+            return st;
+        }
+        let deadline = Instant::now() + self.batch_window;
+        while st.queue.compatible(key) + 1 < self.batch_max && !st.shutdown {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let (guard, _) = self
+                .work_cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            st = guard;
+        }
+        st
+    }
+
+    /// Fuse ≥ 2 compatible jobs into one synthetic kernel job carrying
+    /// the demux bookkeeping. Members with identical cache keys are
+    /// deduplicated: the repeat executes zero extra work-items and is
+    /// delivered the same `Arc<RunReport>` (caching disabled means no
+    /// key, so no dedup — every member runs).
+    fn fuse(&self, members: Vec<QueuedJob>) -> QueuedJob {
+        let mut jobs: Vec<FusedJob> = Vec::with_capacity(members.len());
+        let mut batch_members: Vec<BatchMember> = Vec::with_capacity(members.len());
+        let mut keys: Vec<Option<CacheKey>> = Vec::with_capacity(members.len());
+        for m in members {
+            let (kernel, plan) = match m.work {
+                JobWork::Kernel { kernel, plan } => (kernel, plan),
+                JobWork::Task(_) => unreachable!("tasks never carry a batch key"),
+            };
+            let key = {
+                let mut inner = m.state.lock();
+                inner.status = Status::Running;
+                inner.cache_key.clone()
+            };
+            if let Some(k) = &key {
+                if let Some(pos) = keys
+                    .iter()
+                    .position(|existing| existing.as_ref() == Some(k))
+                {
+                    batch_members[pos].dupes.push(m.state);
+                    continue;
+                }
+            }
+            jobs.push(FusedJob { kernel, plan });
+            batch_members.push(BatchMember {
+                state: m.state,
+                dupes: Vec::new(),
+            });
+            keys.push(key);
+        }
+        let occupancy = batch_members.iter().map(|m| 1 + m.dupes.len()).sum();
+        self.metrics.batch_dispatched(occupancy);
+        let batch = FusedBatch::fuse(jobs);
+        let kernel = batch.kernel();
+        let plan = batch.plan().clone();
+        let leader = &batch_members[0].state;
+        let state = Arc::new(JobState::new(
+            self.next_id
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            leader.client,
+            leader.priority,
+            None,
+        ));
+        state.lock().batch = Some(BatchDemux {
+            fused: batch,
+            members: batch_members,
+        });
+        QueuedJob {
+            state,
+            work: JobWork::Kernel { kernel, plan },
+            shards: None,
+            batch_key: None,
+        }
+    }
+
+    /// Shard count for one dispatch: explicit override → adaptive
+    /// controller (when configured) → static default.
+    fn resolve_shards(&self, st: &SchedState, job: &QueuedJob) -> u32 {
+        if let Some(n) = job.shards {
+            return n;
+        }
+        match (&self.adaptive, &job.work) {
+            (Some(cfg), JobWork::Kernel { plan, .. }) => {
+                let backlog = st.queue.len() + st.shards.len();
+                crate::shard::pick_shards(
+                    cfg,
+                    plan.groups(),
+                    self.workers,
+                    backlog,
+                    st.ema_group_secs,
+                )
+            }
+            _ => self.default_shards,
+        }
+    }
+
+    /// Record one executed shard: latency summary + the two service-time
+    /// EMAs (backpressure retry hint; adaptive controller feed —
+    /// `groups` is 0 for task shards, which carry no NDRange size).
+    pub(crate) fn record_shard(&self, worker: &str, dt_s: f64, groups: u64) {
         self.metrics.shard_executed(worker, dt_s);
         let mut st = self.lock_state();
         st.ema_shard_secs = if st.ema_shard_secs > 0.0 {
@@ -108,6 +277,14 @@ impl Core {
         } else {
             dt_s
         };
+        if groups > 0 {
+            let per_group = dt_s / groups as f64;
+            st.ema_group_secs = if st.ema_group_secs > 0.0 {
+                0.8 * st.ema_group_secs + 0.2 * per_group
+            } else {
+                per_group
+            };
+        }
     }
 
     /// Terminal failure for a whole job (never exploded, or a task).
@@ -120,7 +297,8 @@ impl Core {
     }
 
     /// Account one finished (or skipped) kernel shard; the last one
-    /// finalizes the job — merging bit-identically when all shards ran,
+    /// finalizes the job — merging bit-identically when all shards ran
+    /// (then demultiplexing per batch member for a fused dispatch),
     /// failing when any was skipped.
     pub(crate) fn finish_kernel_shard(
         &self,
@@ -143,8 +321,19 @@ impl Core {
         // Last shard: finalize. Expiry during the final shard still wins
         // over delivery, matching the queued-job and task paths.
         if let Some(e) = inner.aborted.or_else(|| state.abort_error(Instant::now())) {
+            let batch = inner.batch.take();
             drop(inner);
-            self.finalize_failed(state, e);
+            if let Some(b) = batch {
+                for m in b.members {
+                    self.finalize_failed(&m.state, e);
+                    for d in m.dupes {
+                        self.finalize_failed(&d, e);
+                    }
+                }
+                state.finish(Status::Failed(e));
+            } else {
+                self.finalize_failed(state, e);
+            }
             return;
         }
         let plan = inner.plan.take().expect("kernel job lost its plan");
@@ -153,10 +342,56 @@ impl Core {
             .drain(..)
             .map(|r| r.expect("unskipped shard missing its report"))
             .collect();
-        let report = Arc::new(dwi_core::backend::RunReport::merge(&plan, shards));
+        let merged = dwi_core::backend::RunReport::merge(&plan, shards);
+        match inner.batch.take() {
+            None => {
+                let report = Arc::new(merged);
+                let latency = inner.admitted.elapsed().as_secs_f64();
+                // Cache before waking waiters, so a waiter's immediate
+                // resubmit hits. Lock order is always job-inner → cache,
+                // never reversed.
+                if let Some(key) = inner.cache_key.take() {
+                    self.lock_cache().put(key, report.clone());
+                }
+                inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report)));
+                drop(inner);
+                state.cv.notify_all();
+                self.metrics.job_completed(latency);
+            }
+            Some(b) => {
+                drop(inner);
+                let now = Instant::now();
+                let reports = b.fused.demux(merged);
+                debug_assert_eq!(reports.len(), b.members.len());
+                for (m, r) in b.members.into_iter().zip(reports) {
+                    let report = Arc::new(r);
+                    self.deliver_member(&m.state, report.clone(), now);
+                    for d in m.dupes {
+                        self.deliver_member(&d, report.clone(), now);
+                    }
+                }
+                // The synthetic job has no waiters; close it out so a
+                // late observer never sees it pending.
+                state.finish(Status::Done(None));
+            }
+        }
+    }
+
+    /// Deliver one batch member's demuxed report: abort-checked (a member
+    /// cancelled mid-batch still fails), cached under the member's own
+    /// key, completion metrics per logical job.
+    fn deliver_member(
+        &self,
+        state: &Arc<crate::job::JobState>,
+        report: Arc<dwi_core::backend::RunReport>,
+        now: Instant,
+    ) {
+        if let Some(e) = state.abort_error(now) {
+            self.finalize_failed(state, e);
+            return;
+        }
+        let mut inner = state.lock();
         let latency = inner.admitted.elapsed().as_secs_f64();
-        // Cache before waking waiters, so a waiter's immediate resubmit
-        // hits. Lock order is always job-inner → cache, never reversed.
         if let Some(key) = inner.cache_key.take() {
             self.lock_cache().put(key, report.clone());
         }

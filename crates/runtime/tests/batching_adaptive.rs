@@ -1,0 +1,307 @@
+//! Throughput-engine contracts: the coalescing stage fuses compatible
+//! queued jobs into one dispatch and demultiplexes results bit-identical
+//! to unbatched execution — with non-coalescable stragglers (different
+//! shape, explicit shards, deadline) riding alongside untouched — while
+//! the adaptive shard controller never changes what any job observes.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dwi_core::{ExecutionPlan, RunReport, TruncatedNormalKernel, WorkItemKernel};
+use dwi_runtime::{
+    named_backend, AdaptiveSharding, JobError, JobSpec, Runtime, RuntimeConfig, SharedKernel,
+};
+use dwi_trace::Recorder;
+
+fn kernel(quota: u64, seed: u32) -> SharedKernel {
+    Arc::new(TruncatedNormalKernel::new(1.5, quota, seed))
+}
+
+/// Park the (single) worker until released, so submissions pile up in the
+/// admission queue and the coalescing stage has something to fuse.
+fn blocker(rt: &Runtime) -> (dwi_runtime::JobHandle, mpsc::Sender<()>) {
+    let (release_tx, release_rx) = mpsc::channel();
+    let (started_tx, started_rx) = mpsc::channel();
+    let handle = rt
+        .submit(JobSpec::task(99, move || {
+            started_tx.send(()).ok();
+            release_rx.recv().ok();
+        }))
+        .expect("blocker admitted");
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("a worker picked up the blocker");
+    (handle, release_tx)
+}
+
+/// Every field a tenant can observe must match the inline run bit for
+/// bit (stream stall telemetry is scheduling-dependent, as for shards).
+fn assert_identical(got: &RunReport, want: &RunReport, ctx: &str) {
+    assert_eq!(got.backend, want.backend, "{ctx}: backend");
+    assert_eq!(got.kernel, want.kernel, "{ctx}: kernel");
+    assert_eq!(got.workitems, want.workitems, "{ctx}: workitems");
+    assert_eq!(got.wid_base, want.wid_base, "{ctx}: wid_base");
+    assert_eq!(got.quota, want.quota, "{ctx}: quota");
+    assert_eq!(got.samples, want.samples, "{ctx}: sample values");
+    assert_eq!(got.cycles, want.cycles, "{ctx}: cycles");
+    assert_eq!(got.iterations, want.iterations, "{ctx}: iterations");
+    assert_eq!(got.divergence, want.divergence, "{ctx}: divergence");
+    assert_eq!(got.rejection, want.rejection, "{ctx}: rejection stats");
+}
+
+fn inline(backend: &str, quota: u64, seed: u32, plan: &ExecutionPlan) -> RunReport {
+    let k = TruncatedNormalKernel::new(1.5, quota, seed);
+    named_backend(backend).execute(&k as &dyn WorkItemKernel, plan)
+}
+
+#[test]
+fn batched_jobs_with_stragglers_stay_bit_identical_on_every_backend() {
+    for backend in [
+        "functional-decoupled",
+        "lockstep-coupled",
+        "ndrange",
+        "cycle-sim",
+        "simt-trace",
+    ] {
+        let rec = Recorder::new();
+        // One worker, so everything queued behind the blocker is fused
+        // (or dispatched solo) by a single drain; cache off so every
+        // member really executes.
+        let rt = Runtime::with_backend_factory(
+            RuntimeConfig::new(1)
+                .cache_capacity(0)
+                .batching(8, Duration::ZERO)
+                .trace(rec.sink()),
+            move |_| named_backend(backend),
+        );
+        let (gate, tx) = blocker(&rt);
+        // Three coalescable jobs: mixed sizes, per-tenant seeds,
+        // overlapping global id ranges.
+        let batched: Vec<_> = [(4u32, 7u32), (2, 1131), (6, 7)]
+            .iter()
+            .map(|&(wi, seed)| {
+                rt.submit(JobSpec::kernel(
+                    seed,
+                    kernel(96, seed),
+                    ExecutionPlan::new(wi),
+                    seed as u64,
+                ))
+                .expect("admitted")
+            })
+            .collect();
+        // Non-coalescable stragglers: a different plan shape, an explicit
+        // shard override (the deterministic path), and a deadline job.
+        let shape = rt
+            .submit(JobSpec::kernel(
+                50,
+                kernel(96, 50),
+                ExecutionPlan::new(2).burst_rns(512),
+                50,
+            ))
+            .expect("admitted");
+        let pinned = rt
+            .submit(JobSpec::kernel(51, kernel(96, 51), ExecutionPlan::new(4), 51).shards(2))
+            .expect("admitted");
+        let dated = rt
+            .submit(
+                JobSpec::kernel(52, kernel(96, 52), ExecutionPlan::new(2), 52)
+                    .deadline(Duration::from_secs(60)),
+            )
+            .expect("admitted");
+        tx.send(()).unwrap();
+        gate.wait().expect("blocker completes");
+
+        for (h, &(wi, seed)) in batched.into_iter().zip(&[(4u32, 7u32), (2, 1131), (6, 7)]) {
+            let got = h.wait().expect("batched job completes").into_report();
+            let want = inline(backend, 96, seed, &ExecutionPlan::new(wi));
+            assert_identical(&got, &want, &format!("{backend}: batched wi{wi}/s{seed}"));
+        }
+        let got = shape
+            .wait()
+            .expect("shape straggler completes")
+            .into_report();
+        assert_identical(
+            &got,
+            &inline(backend, 96, 50, &ExecutionPlan::new(2).burst_rns(512)),
+            &format!("{backend}: shape straggler"),
+        );
+        let got = pinned
+            .wait()
+            .expect("pinned straggler completes")
+            .into_report();
+        assert_identical(
+            &got,
+            &inline(backend, 96, 51, &ExecutionPlan::new(4)),
+            &format!("{backend}: explicit-shards straggler"),
+        );
+        let got = dated
+            .wait()
+            .expect("deadline straggler completes")
+            .into_report();
+        assert_identical(
+            &got,
+            &inline(backend, 96, 52, &ExecutionPlan::new(2)),
+            &format!("{backend}: deadline straggler"),
+        );
+
+        // The three compatible jobs really rode one fused dispatch; the
+        // stragglers did not.
+        let m = rec.metrics();
+        assert_eq!(
+            m.counter_value("dwi_runtime_batches_dispatched_total"),
+            Some(1),
+            "{backend}: exactly one fused dispatch"
+        );
+        assert_eq!(
+            m.counter_value("dwi_runtime_batched_jobs_total"),
+            Some(3),
+            "{backend}: three jobs in it"
+        );
+    }
+}
+
+#[test]
+fn identical_queued_jobs_deduplicate_into_one_report() {
+    let rt = Runtime::new(RuntimeConfig::new(1).batching(4, Duration::ZERO));
+    let (gate, tx) = blocker(&rt);
+    // Two tenants submit the *same* experiment (kernel, plan, seed) while
+    // neither result is cached yet: the batch runs it once and both
+    // handles receive the same Arc.
+    let a = rt
+        .submit(JobSpec::kernel(0, kernel(128, 7), ExecutionPlan::new(4), 7))
+        .expect("admitted");
+    let b = rt
+        .submit(JobSpec::kernel(1, kernel(128, 7), ExecutionPlan::new(4), 7))
+        .expect("admitted");
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    let ra = a.wait().expect("first completes").into_report();
+    let rb = b.wait().expect("second completes").into_report();
+    assert!(
+        Arc::ptr_eq(&ra, &rb),
+        "within-batch duplicates must share one report"
+    );
+    // And the cache was fed, so a later repeat is a pure hit.
+    let rc = rt.run_kernel(kernel(128, 7), ExecutionPlan::new(4), 7);
+    assert!(Arc::ptr_eq(&ra, &rc), "cache holds the same Arc");
+}
+
+#[test]
+fn cancelled_batch_mate_fails_while_the_rest_complete() {
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .cache_capacity(0)
+            .batching(4, Duration::ZERO),
+    );
+    let (gate, tx) = blocker(&rt);
+    let keep1 = rt
+        .submit(JobSpec::kernel(0, kernel(96, 1), ExecutionPlan::new(2), 1))
+        .expect("admitted");
+    let doomed = rt
+        .submit(JobSpec::kernel(1, kernel(96, 2), ExecutionPlan::new(2), 2))
+        .expect("admitted");
+    let keep2 = rt
+        .submit(JobSpec::kernel(2, kernel(96, 3), ExecutionPlan::new(2), 3))
+        .expect("admitted");
+    doomed.cancel();
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    assert_eq!(
+        doomed.wait().expect_err("cancelled mate must fail"),
+        JobError::Cancelled
+    );
+    for (h, seed) in [(keep1, 1u32), (keep2, 3)] {
+        let got = h.wait().expect("unaffected mate completes").into_report();
+        let want = inline("functional-decoupled", 96, seed, &ExecutionPlan::new(2));
+        assert_identical(&got, &want, &format!("surviving mate s{seed}"));
+    }
+}
+
+#[test]
+fn batch_window_fills_from_later_submissions() {
+    // No blocker: the worker sits idle, pops the first job, and holds
+    // its 200 ms window open; the second compatible job arrives *during*
+    // the window and must join the same dispatch.
+    let rec = Recorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .cache_capacity(0)
+            .batching(2, Duration::from_millis(200))
+            .trace(rec.sink()),
+    );
+    let a = rt
+        .submit(JobSpec::kernel(0, kernel(96, 4), ExecutionPlan::new(2), 4))
+        .expect("admitted");
+    std::thread::sleep(Duration::from_millis(20));
+    let b = rt
+        .submit(JobSpec::kernel(1, kernel(96, 5), ExecutionPlan::new(3), 5))
+        .expect("admitted");
+    let ra = a.wait().expect("completes").into_report();
+    let rb = b.wait().expect("completes").into_report();
+    assert_identical(
+        &ra,
+        &inline("functional-decoupled", 96, 4, &ExecutionPlan::new(2)),
+        "window leader",
+    );
+    assert_identical(
+        &rb,
+        &inline("functional-decoupled", 96, 5, &ExecutionPlan::new(3)),
+        "window joiner",
+    );
+    let m = rec.metrics();
+    assert_eq!(
+        m.counter_value("dwi_runtime_batches_dispatched_total"),
+        Some(1),
+        "the window held the dispatch for the joiner"
+    );
+    assert_eq!(m.counter_value("dwi_runtime_batched_jobs_total"), Some(2));
+}
+
+#[test]
+fn adaptive_sharding_keeps_results_bit_identical() {
+    // The controller may pick any split it likes; tenants must never be
+    // able to tell. Mixed job sizes exercise the small-job cutoff and
+    // the width decision as the EMA warms up.
+    let rt = Runtime::new(
+        RuntimeConfig::new(2)
+            .cache_capacity(0)
+            .adaptive(AdaptiveSharding::new()),
+    );
+    for (wi, seed) in [(8u32, 1u32), (1, 2), (6, 3), (2, 4), (8, 5)] {
+        let got = rt.run_kernel(kernel(128, seed), ExecutionPlan::new(wi), seed as u64);
+        let want = inline("functional-decoupled", 128, seed, &ExecutionPlan::new(wi));
+        assert_identical(&got, &want, &format!("adaptive wi{wi}/s{seed}"));
+    }
+}
+
+#[test]
+fn explicit_shards_override_the_adaptive_controller() {
+    // The deterministic parity path: with adaptivity on, an explicit
+    // shards(n) must dispatch exactly n shards, regardless of load.
+    let rec = Recorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::new(2)
+            .cache_capacity(0)
+            .adaptive(AdaptiveSharding::new())
+            .trace(rec.sink()),
+    );
+    let h = rt
+        .submit(JobSpec::kernel(0, kernel(128, 9), ExecutionPlan::new(6), 9).shards(3))
+        .expect("admitted");
+    let got = h.wait().expect("completes").into_report();
+    assert_identical(
+        &got,
+        &inline("functional-decoupled", 128, 9, &ExecutionPlan::new(6)),
+        "overridden job",
+    );
+    drop(rt);
+    let m = rec.metrics();
+    let shards_executed: u64 = m
+        .counters()
+        .iter()
+        .filter(|(k, _)| k.starts_with("dwi_runtime_shards_executed_total"))
+        .map(|&(_, v)| v)
+        .sum();
+    assert_eq!(shards_executed, 3, "static split, exactly as requested");
+}

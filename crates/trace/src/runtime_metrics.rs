@@ -47,3 +47,19 @@ pub const WORKER_UTILIZATION: &str = "dwi_runtime_worker_utilization";
 /// Counter: shards executed, labelled `worker="<index>"` — the device-
 /// saturation view (Section IV-F: keep every compute unit fed).
 pub const SHARDS_EXECUTED: &str = "dwi_runtime_shards_executed_total";
+
+/// Counter: fused batches dispatched by the coalescing stage (each batch
+/// is one backend dispatch covering ≥ 2 logical jobs).
+pub const BATCHES_DISPATCHED: &str = "dwi_runtime_batches_dispatched_total";
+
+/// Counter: logical jobs that rode a fused batch, including repeats
+/// deduplicated within the batch. `batched_jobs / batches` is the mean
+/// batch occupancy.
+pub const BATCHED_JOBS: &str = "dwi_runtime_batched_jobs_total";
+
+/// Summary: logical jobs per fused dispatch, observed once per batch.
+pub const BATCH_OCCUPANCY: &str = "dwi_runtime_batch_occupancy";
+
+/// Summary: shard count chosen per kernel job — the adaptive sharding
+/// controller's output (or the static default when adaptivity is off).
+pub const SHARDS_PER_JOB: &str = "dwi_runtime_shards_per_job";
