@@ -19,17 +19,31 @@
 //! before/after throughput, latency and mean batch occupancy land in one
 //! artifact. The top-level numbers are always the tuned run's.
 //!
+//! `--async [--inflight N] [--rate R]` switches the clients to an
+//! *open-loop* arrival process through the `Session` front-end: each
+//! client thread pipelines up to N jobs (default 256) via `try_submit`,
+//! harvesting completions in batches from the session's completion queue
+//! instead of parking on every handle. `--rate R` paces submissions to a
+//! target aggregate arrival rate in jobs/s (default unthrottled). The
+//! closed-loop pass still runs first on the same configuration, the async
+//! numbers are embedded as an `"async"` object in the JSON next to it, and
+//! the printed `async speedup` line is the open-loop/closed-loop
+//! throughput ratio — the pipelining win of not round-tripping per job.
+//!
 //! The workload mixes quotas, priorities and a deliberate fraction of
 //! repeated `(kernel, plan, seed)` submissions, so one run exercises the
 //! admission queue, the priority lanes, the shard fan-out, the coalescing
 //! stage and the result cache together.
 
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dwi_bench::obs::ObsArgs;
 use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
-use dwi_runtime::{AdaptiveSharding, JobSpec, Priority, Runtime, RuntimeConfig, SharedKernel};
+use dwi_runtime::{
+    AdaptiveSharding, Completion, JobSpec, Priority, Runtime, RuntimeConfig, SharedKernel,
+};
 use dwi_trace::Recorder;
 
 struct ServeArgs {
@@ -41,6 +55,9 @@ struct ServeArgs {
     batch_window_ms: u64,
     adaptive: bool,
     compare: bool,
+    async_mode: bool,
+    inflight: usize,
+    rate: f64,
     out: std::path::PathBuf,
 }
 
@@ -55,6 +72,9 @@ impl ServeArgs {
             batch_window_ms: 0,
             adaptive: false,
             compare: false,
+            async_mode: false,
+            inflight: 256,
+            rate: 0.0,
             out: "BENCH_runtime.json".into(),
         };
         let mut args = std::env::args().skip(1);
@@ -74,6 +94,9 @@ impl ServeArgs {
                 }
                 "--adaptive" => out.adaptive = true,
                 "--compare" => out.compare = true,
+                "--async" => out.async_mode = true,
+                "--inflight" => out.inflight = next("--inflight").parse().expect("job count"),
+                "--rate" => out.rate = next("--rate").parse().expect("jobs per second"),
                 "--out" => out.out = next("--out").into(),
                 _ => {} // --trace/--metrics handled by ObsArgs
             }
@@ -99,7 +122,10 @@ impl ServeArgs {
 
 /// The job mix of one (client, index) slot: quota cycles through three
 /// sizes, every fourth submission repeats a shared seed (cache traffic),
-/// and priorities rotate per client so all three lanes carry load.
+/// and priorities rotate per client so all three lanes carry load. Each
+/// job is one independent work-item — the paper's natural unit; shard
+/// fan-out under load is what `--adaptive` exercises, splitting hot jobs
+/// across the pool when the queue builds up.
 fn job_for(client: u32, index: u32) -> JobSpec {
     let quota = [256u64, 512, 1024][(index % 3) as usize];
     let seed = if index % 4 == 3 {
@@ -109,7 +135,7 @@ fn job_for(client: u32, index: u32) -> JobSpec {
     };
     let kernel: SharedKernel = Arc::new(TruncatedNormalKernel::new(1.5, quota, seed));
     let priority = [Priority::Normal, Priority::High, Priority::Low][(client % 3) as usize];
-    JobSpec::kernel(client, kernel, ExecutionPlan::new(4), seed as u64).priority(priority)
+    JobSpec::kernel(client, kernel, ExecutionPlan::new(1), seed as u64).priority(priority)
 }
 
 fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
@@ -130,6 +156,9 @@ struct Summary {
     rejections: u64,
     batches: u64,
     batched_jobs: u64,
+    /// `try_submit` backpressure rejections (0 for closed-loop passes,
+    /// which ride backpressure inside `submit_blocking` instead).
+    would_blocks: u64,
 }
 
 impl Summary {
@@ -162,20 +191,112 @@ fn run_load(args: &ServeArgs, tuned: bool) -> (Summary, Recorder) {
             latencies_ms
         }));
     }
-    let mut latencies_ms: Vec<f64> = threads
+    let latencies_ms: Vec<f64> = threads
         .into_iter()
         .flat_map(|t| t.join().expect("client thread panicked"))
         .collect();
     let wall = t0.elapsed();
-    latencies_ms.sort_by(|a, b| a.total_cmp(b));
 
     // Shut the pool down before reading so every counter is flushed.
     drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
+    (summarize(args, wall, latencies_ms, &rec), rec)
+}
 
+/// Run the open loop once: every client pipelines up to `--inflight` jobs
+/// through a `Session`, harvesting completions in batches from the
+/// completion queue; `--rate` paces the aggregate arrival process.
+fn run_load_async(args: &ServeArgs) -> (Summary, Recorder) {
+    let rec = Recorder::new();
+    let rt = Arc::new(Runtime::with_backend_factory(
+        args.config(true).trace(rec.sink()),
+        |_| dwi_runtime::named_backend("functional-decoupled"),
+    ));
+
+    // Per-client inter-arrival gap hitting the aggregate `--rate`.
+    let interval =
+        (args.rate > 0.0).then(|| Duration::from_secs_f64(args.clients as f64 / args.rate));
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for client in 0..args.clients {
+        let rt = rt.clone();
+        let (jobs, inflight) = (args.jobs, args.inflight);
+        threads.push(std::thread::spawn(move || {
+            let mut session = rt.session(client);
+            let mut submitted_at: HashMap<u64, Instant> = HashMap::new();
+            let mut latencies_ms = Vec::with_capacity(jobs as usize);
+            let absorb = |batch: Vec<Completion>,
+                          submitted_at: &mut HashMap<u64, Instant>,
+                          latencies_ms: &mut Vec<f64>| {
+                for done in batch {
+                    let t = submitted_at
+                        .remove(&done.ticket.id())
+                        .expect("completion for a tracked ticket");
+                    done.result.expect("load-gen jobs have no deadline");
+                    latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+                }
+            };
+            let start = Instant::now();
+            let mut next = 0u32;
+            while next < jobs || session.in_flight() > 0 {
+                absorb(session.poll(), &mut submitted_at, &mut latencies_ms);
+                if next >= jobs || session.in_flight() >= inflight {
+                    // Done submitting or at the pipelining cap: block on
+                    // the completion queue until something finishes.
+                    if session.in_flight() > 0 {
+                        let done = session.wait_any(Duration::from_secs(30));
+                        absorb(done, &mut submitted_at, &mut latencies_ms);
+                    }
+                    continue;
+                }
+                if let Some(gap) = interval {
+                    let due = start + gap * next;
+                    let now = Instant::now();
+                    if now < due {
+                        // Ahead of the arrival clock: harvest while waiting.
+                        let done = session.wait_any(due - now);
+                        absorb(done, &mut submitted_at, &mut latencies_ms);
+                        continue;
+                    }
+                }
+                match session.try_submit(job_for(client, next)) {
+                    Ok(ticket) => {
+                        submitted_at.insert(ticket.id(), Instant::now());
+                        next += 1;
+                    }
+                    Err(rejected) => {
+                        // Backpressure: sleep out the hint on the
+                        // completion queue — harvesting is what frees
+                        // queue capacity.
+                        let done = session.wait_any(rejected.retry_after);
+                        absorb(done, &mut submitted_at, &mut latencies_ms);
+                    }
+                }
+            }
+            latencies_ms
+        }));
+    }
+    let latencies_ms: Vec<f64> = threads
+        .into_iter()
+        .flat_map(|t| t.join().expect("client thread panicked"))
+        .collect();
+    let wall = t0.elapsed();
+    drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
+    (summarize(args, wall, latencies_ms, &rec), rec)
+}
+
+/// Fold one pass's wall clock, latencies and counters into a [`Summary`].
+fn summarize(
+    args: &ServeArgs,
+    wall: Duration,
+    mut latencies_ms: Vec<f64>,
+    rec: &Recorder,
+) -> Summary {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
     let total_jobs = args.clients as u64 * args.jobs as u64;
+    assert_eq!(latencies_ms.len() as u64, total_jobs, "every job harvested");
     let m = rec.metrics();
     let counter = |key: &str| m.counter_value(key).unwrap_or(0);
-    let summary = Summary {
+    Summary {
         wall_s: wall.as_secs_f64(),
         jobs_per_s: total_jobs as f64 / wall.as_secs_f64().max(1e-9),
         p50_ms: percentile(&latencies_ms, 50.0),
@@ -184,14 +305,14 @@ fn run_load(args: &ServeArgs, tuned: bool) -> (Summary, Recorder) {
         rejections: counter("dwi_runtime_jobs_rejected_total"),
         batches: counter("dwi_runtime_batches_dispatched_total"),
         batched_jobs: counter("dwi_runtime_batched_jobs_total"),
-    };
-    (summary, rec)
+        would_blocks: counter("dwi_runtime_submit_would_block_total"),
+    }
 }
 
 fn report(label: &str, args: &ServeArgs, s: &Summary) {
     println!(
         "{label}: {} jobs in {:.2}s: {:.1} jobs/s, p50 {:.2} ms, p99 {:.2} ms, \
-         {} cache hits, {} rejections, {} batches ({} jobs, {:.2} mean occupancy)",
+         {} cache hits, {} rejections, {} would-blocks, {} batches ({} jobs, {:.2} mean occupancy)",
         args.clients as u64 * args.jobs as u64,
         s.wall_s,
         s.jobs_per_s,
@@ -199,6 +320,7 @@ fn report(label: &str, args: &ServeArgs, s: &Summary) {
         s.p99_ms,
         s.cache_hits,
         s.rejections,
+        s.would_blocks,
         s.batches,
         s.batched_jobs,
         s.mean_batch_occupancy()
@@ -210,14 +332,18 @@ fn main() {
     let obs = ObsArgs::from_env();
 
     println!(
-        "serve: {} clients x {} jobs on {} workers (queue bound {}, batch {}, window {} ms, adaptive {})",
+        "serve: {} clients x {} jobs on {} workers (queue bound {}, batch {}, window {} ms, \
+         adaptive {}, async {}, inflight {}, rate {})",
         args.clients,
         args.jobs,
         args.workers,
         args.queue_bound,
         args.batch.unwrap_or(1),
         args.batch_window_ms,
-        args.adaptive
+        args.adaptive,
+        args.async_mode,
+        args.inflight,
+        args.rate
     );
 
     // `--compare`: measure the untuned pool first, on identical load.
@@ -227,7 +353,7 @@ fn main() {
     }
     let (tuned, rec) = run_load(&args, true);
     report(
-        if args.compare { "tuned" } else { "completed" },
+        if args.compare { "tuned" } else { "closed-loop" },
         &args,
         &tuned,
     );
@@ -237,6 +363,24 @@ fn main() {
             tuned.jobs_per_s / b.jobs_per_s.max(1e-9),
             b.p99_ms,
             tuned.p99_ms
+        );
+    }
+
+    // `--async`: run the same load open-loop through the session
+    // front-end; its recorder (session + runtime metric families) becomes
+    // the exported one.
+    let async_pass = args.async_mode.then(|| run_load_async(&args));
+    if let Some((a, _)) = &async_pass {
+        report("async", &args, a);
+        println!(
+            "async speedup vs closed-loop: {:.2}x jobs/s ({} in flight, rate {})",
+            a.jobs_per_s / tuned.jobs_per_s.max(1e-9),
+            args.inflight,
+            if args.rate > 0.0 {
+                format!("{:.0} jobs/s", args.rate)
+            } else {
+                "unthrottled".into()
+            }
         );
     }
 
@@ -250,10 +394,29 @@ fn main() {
             )
         })
         .unwrap_or_default();
+    let async_json = async_pass
+        .as_ref()
+        .map(|(a, _)| {
+            format!(
+                "  \"async\": {{\n    \"inflight\": {},\n    \"rate\": {:.3},\n    \
+                 \"wall_s\": {:.6},\n    \"jobs_per_s\": {:.3},\n    \"p50_ms\": {:.4},\n    \
+                 \"p99_ms\": {:.4},\n    \"would_blocks\": {},\n    \
+                 \"speedup_vs_closed_loop\": {:.3}\n  }},\n",
+                args.inflight,
+                args.rate,
+                a.wall_s,
+                a.jobs_per_s,
+                a.p50_ms,
+                a.p99_ms,
+                a.would_blocks,
+                a.jobs_per_s / tuned.jobs_per_s.max(1e-9)
+            )
+        })
+        .unwrap_or_default();
     let json = format!(
         "{{\n  \"clients\": {},\n  \"jobs_per_client\": {},\n  \"workers\": {},\n  \
          \"queue_bound\": {},\n  \"batch_max_jobs\": {},\n  \"batch_window_ms\": {},\n  \
-         \"adaptive\": {},\n{}  \"total_jobs\": {},\n  \"wall_s\": {:.6},\n  \
+         \"adaptive\": {},\n{}{}  \"total_jobs\": {},\n  \"wall_s\": {:.6},\n  \
          \"jobs_per_s\": {:.3},\n  \"p50_ms\": {:.4},\n  \"p99_ms\": {:.4},\n  \
          \"cache_hits\": {},\n  \"rejections\": {},\n  \"batches_dispatched\": {},\n  \
          \"batched_jobs\": {},\n  \"mean_batch_occupancy\": {:.3}\n}}\n",
@@ -265,6 +428,7 @@ fn main() {
         args.batch_window_ms,
         args.adaptive,
         baseline_json,
+        async_json,
         args.clients as u64 * args.jobs as u64,
         tuned.wall_s,
         tuned.jobs_per_s,
@@ -279,5 +443,7 @@ fn main() {
     std::fs::write(&args.out, json).expect("write benchmark summary");
     println!("summary written to {}", args.out.display());
 
-    obs.write(&rec);
+    // Export the async pass's recorder when one ran — it carries the
+    // session metric families on top of the runtime's.
+    obs.write(async_pass.as_ref().map(|(_, r)| r).unwrap_or(&rec));
 }

@@ -3,34 +3,34 @@
 //!
 //! `--runtime [--workers K]` routes the per-variant rejection-overhead
 //! calibrations through the `dwi-runtime` scheduler as one-work-item
-//! kernel jobs instead of stepping the kernel inline. The output is
-//! byte-identical either way: a single work-item at global id 0 observes
-//! the same RNG stream on the pool as in-process, so the measured overhead
-//! — and every model cell derived from it — is the same `f64`.
+//! kernel jobs instead of stepping the kernel inline (`--async` harvests
+//! them through a session completion queue). The output is byte-identical
+//! either way: a single work-item at global id 0 observes the same RNG
+//! stream on the pool as in-process, so the measured overhead — and every
+//! model cell derived from it — is the same `f64`.
 
-use dwi_bench::runtime_args::RuntimeArgs;
+use dwi_bench::runtime_args::{Pool, RuntimeArgs};
 use dwi_core::experiment::{calibration_kernel, measure_rejection_overhead, table3_with};
 use dwi_core::{ExecutionPlan, Table3, Workload};
 use dwi_ocl::profiles::DeviceKind;
-use dwi_runtime::{JobSpec, Runtime};
+use dwi_runtime::JobSpec;
 use std::sync::Arc;
 
 /// The table, computed inline or on a worker pool.
-fn build(w: &Workload, rt: Option<&Runtime>) -> Table3 {
+fn build(w: &Workload, pool: Option<&Pool>) -> Table3 {
     table3_with(
         w,
         100_000,
-        |normal, mt, sector_variance, samples| match rt {
-            Some(rt) => {
+        |normal, mt, sector_variance, samples| match pool {
+            Some(pool) => {
                 let kernel = calibration_kernel(normal, mt, sector_variance, samples);
-                let job = rt.submit_blocking(JobSpec::kernel(
-                    0,
-                    Arc::new(kernel),
-                    ExecutionPlan::new(1),
-                    0,
-                ));
-                let report = job
-                    .wait()
+                let report = pool
+                    .submit_and_wait(JobSpec::kernel(
+                        0,
+                        Arc::new(kernel),
+                        ExecutionPlan::new(1),
+                        0,
+                    ))
                     .expect("calibration job has no deadline")
                     .into_report();
                 report.rejection.overhead()
@@ -42,9 +42,9 @@ fn build(w: &Workload, rt: Option<&Runtime>) -> Table3 {
 
 fn main() {
     let rta = RuntimeArgs::from_env();
-    let rt = rta.build();
+    let pool = rta.build();
     let w = Workload::paper();
-    let t = build(&w, rt.as_ref());
+    let t = build(&w, pool.as_ref());
     println!("Table III: Runtime [ms] (modeled; paper values in parentheses)\n");
     println!("{}", t.render());
     println!("paper:");

@@ -6,13 +6,16 @@
 //!
 //! The throughput knobs ride along: `--batch <N> [--batch-window-ms M]`
 //! turns on the coalescing stage and `--adaptive` the shard-count
-//! controller. Both preserve byte-identical output (batching demuxes
-//! bit-identically, adaptivity only changes split counts the merge
-//! erases), which is exactly what the CI parity diffs pin.
+//! controller, while `--async [--inflight N]` routes every submission
+//! through a [`Session`](dwi_runtime::Session) completion queue instead of
+//! parking on the job handle. All of them preserve byte-identical output
+//! (batching demuxes bit-identically, adaptivity only changes split counts
+//! the merge erases, and the async path changes only *how* a result is
+//! harvested), which is exactly what the CI parity diffs pin.
 
 use std::time::Duration;
 
-use dwi_runtime::{AdaptiveSharding, JobSpec, Runtime, RuntimeConfig};
+use dwi_runtime::{AdaptiveSharding, JobError, JobOutput, JobSpec, Runtime, RuntimeConfig};
 
 /// The scheduler flags of a figure binary.
 #[derive(Debug, Default, Clone)]
@@ -29,6 +32,14 @@ pub struct RuntimeArgs {
     /// `--adaptive`: pick shard counts from live queue depth and the
     /// service-time EMA instead of the static default.
     pub adaptive: bool,
+    /// `--async`: harvest results through a session completion queue
+    /// instead of blocking on each job handle.
+    pub use_async: bool,
+    /// `--inflight <N>`: session pipelining depth for `--async`
+    /// (default 256; the figure binaries submit one job at a time, so
+    /// this only matters to tools that reuse [`Pool::submit_and_wait`]
+    /// from a pipelined loop).
+    pub inflight: usize,
 }
 
 impl RuntimeArgs {
@@ -36,7 +47,10 @@ impl RuntimeArgs {
     /// anything else (composes with [`crate::obs::ObsArgs`], which ignores
     /// these flags in turn).
     pub fn from_env() -> Self {
-        let mut out = Self::default();
+        let mut out = Self {
+            inflight: 256,
+            ..Self::default()
+        };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
@@ -58,6 +72,13 @@ impl RuntimeArgs {
                         .unwrap_or(0)
                 }
                 "--adaptive" => out.adaptive = true,
+                "--async" => out.use_async = true,
+                "--inflight" => {
+                    out.inflight = args
+                        .next()
+                        .map(|n| n.parse().expect("--inflight takes a job count"))
+                        .unwrap_or(256)
+                }
                 _ => {}
             }
         }
@@ -85,22 +106,66 @@ impl RuntimeArgs {
     }
 
     /// Build the pool when `--runtime` was passed.
-    pub fn build(&self) -> Option<Runtime> {
-        self.enabled.then(|| Runtime::new(self.config()))
+    pub fn build(&self) -> Option<Pool> {
+        self.enabled.then(|| Pool {
+            rt: Runtime::new(self.config()),
+            use_async: self.use_async,
+        })
+    }
+}
+
+/// A [`Runtime`] plus the submission discipline the flags selected:
+/// blocking handles (default) or the [`Session`](dwi_runtime::Session)
+/// completion queue (`--async`). Both produce bit-identical results —
+/// the async path is the same scheduler reached through a different
+/// front door, which is what the CI parity diffs verify.
+pub struct Pool {
+    rt: Runtime,
+    use_async: bool,
+}
+
+impl Pool {
+    /// The underlying scheduler.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Whether submissions ride the async session front-end.
+    pub fn use_async(&self) -> bool {
+        self.use_async
+    }
+
+    /// Submit one job and wait for its result through whichever front-end
+    /// the flags selected. On the async path the job flows through a
+    /// session's completion queue (submit → `wait_any` → harvest), so the
+    /// parity diffs exercise the whole ticket machinery end to end.
+    pub fn submit_and_wait(&self, spec: JobSpec) -> Result<JobOutput, JobError> {
+        if self.use_async {
+            let mut session = self.rt.session(0);
+            let ticket = session.submit_blocking(spec);
+            loop {
+                for done in session.wait_any(Duration::from_secs(60)) {
+                    if done.ticket == ticket {
+                        return done.result;
+                    }
+                }
+            }
+        } else {
+            self.rt.submit_blocking(spec).wait()
+        }
     }
 }
 
 /// Run `f` on the pool as an opaque task job (when one is given) or inline
 /// (when not) — the one-liner the figure binaries wrap each computation in.
-pub fn on_pool<T, F>(rt: Option<&Runtime>, f: F) -> T
+pub fn on_pool<T, F>(pool: Option<&Pool>, f: F) -> T
 where
     T: Send + 'static,
     F: FnOnce() -> T + Send + 'static,
 {
-    match rt {
-        Some(rt) => rt
-            .submit_blocking(JobSpec::task(0, f))
-            .wait()
+    match pool {
+        Some(pool) => pool
+            .submit_and_wait(JobSpec::task(0, f))
             .expect("task job without deadline cannot fail")
             .into_task::<T>(),
         None => f(),
@@ -125,9 +190,24 @@ mod tests {
             workers: Some(2),
             ..Default::default()
         };
-        let rt = args.build().expect("--runtime builds a pool");
-        assert_eq!(rt.workers(), 2);
-        assert_eq!(on_pool(Some(&rt), || vec![1u64, 2, 3]), vec![1, 2, 3]);
+        let pool = args.build().expect("--runtime builds a pool");
+        assert_eq!(pool.runtime().workers(), 2);
+        assert!(!pool.use_async());
+        assert_eq!(on_pool(Some(&pool), || vec![1u64, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn async_pool_path_returns_the_same_value() {
+        let args = RuntimeArgs {
+            enabled: true,
+            workers: Some(2),
+            use_async: true,
+            inflight: 8,
+            ..Default::default()
+        };
+        let pool = args.build().expect("--runtime --async builds a pool");
+        assert!(pool.use_async());
+        assert_eq!(on_pool(Some(&pool), || 6 * 7), 42);
     }
 
     #[test]
@@ -138,13 +218,14 @@ mod tests {
             batch: Some(8),
             batch_window_ms: 2,
             adaptive: true,
+            ..Default::default()
         };
         let cfg = args.config();
         assert_eq!(cfg.batch_max_jobs, 8);
         assert_eq!(cfg.batch_window, Duration::from_millis(2));
         assert_eq!(cfg.adaptive, Some(AdaptiveSharding::new()));
         // And the pool still serves tasks with the knobs on.
-        let rt = args.build().expect("pool");
-        assert_eq!(on_pool(Some(&rt), || 6 * 7), 42);
+        let pool = args.build().expect("pool");
+        assert_eq!(on_pool(Some(&pool), || 6 * 7), 42);
     }
 }

@@ -9,8 +9,10 @@
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
+
+use crate::session::CompletionShared;
 
 use dwi_core::backend::{ExecutionPlan, FusedBatch, RunReport};
 use dwi_core::kernel::WorkItemKernel;
@@ -231,6 +233,9 @@ pub(crate) struct JobInner {
     pub cache_key: Option<CacheKey>,
     /// Admission time, for the job-latency summary.
     pub admitted: Instant,
+    /// Total backpressure backoff the submitting thread slept out before
+    /// this job was admitted (zero for first-try admissions).
+    pub backoff: Duration,
     /// Set only on the synthetic job of a fused dispatch: how to split
     /// the merged report back into the members' reports.
     pub batch: Option<BatchDemux>,
@@ -245,6 +250,10 @@ pub(crate) struct JobState {
     pub cancelled: AtomicBool,
     pub inner: Mutex<JobInner>,
     pub cv: Condvar,
+    /// Completion hook: when set, the job's id is pushed to this session
+    /// completion queue exactly once, on the transition to a terminal
+    /// state. `Weak` so an abandoned session never outlives its drop.
+    completion: Mutex<Option<Weak<CompletionShared>>>,
 }
 
 impl JobState {
@@ -264,10 +273,40 @@ impl JobState {
                 plan: None,
                 cache_key: None,
                 admitted: now,
+                backoff: Duration::ZERO,
                 batch: None,
             }),
             cv: Condvar::new(),
+            completion: Mutex::new(None),
         }
+    }
+
+    /// Attach a session completion hook. Must happen before the job can
+    /// reach a terminal state (i.e. before enqueue or cache lookup), so a
+    /// completion is never missed.
+    pub(crate) fn set_completion_hook(&self, hook: Weak<CompletionShared>) {
+        *self.completion.lock().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+    }
+
+    /// Fire the completion hook, if any — exactly once (the hook is
+    /// taken). Call after every transition to a terminal status, with the
+    /// job's inner lock released.
+    pub(crate) fn fire_completion(&self) {
+        let hook = self
+            .completion
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(weak) = hook {
+            if let Some(queue) = weak.upgrade() {
+                queue.push(self.id);
+            }
+        }
+    }
+
+    /// Request cancellation (idempotent; checked at every dispatch point).
+    pub(crate) fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
     }
 
     pub fn lock(&self) -> MutexGuard<'_, JobInner> {
@@ -285,12 +324,14 @@ impl JobState {
         }
     }
 
-    /// Move to a terminal state and wake all waiters.
+    /// Move to a terminal state, wake all waiters, and deliver the
+    /// session completion (when the job rides one).
     pub fn finish(&self, status: Status) {
         let mut inner = self.lock();
         inner.status = status;
         drop(inner);
         self.cv.notify_all();
+        self.fire_completion();
     }
 }
 
@@ -311,11 +352,26 @@ pub(crate) fn fail_tree(state: &JobState, err: JobError) {
 }
 
 /// Client-side handle to a submitted job.
+///
+/// Dropping a handle without harvesting it **cancels the job** (pending
+/// shards are skipped, the result slot is released) — an abandoned handle
+/// never leaks queued work or a parked result. Call
+/// [`detach`](JobHandle::detach) to drop the handle while letting the job
+/// run to completion (feeding the result cache as usual).
 pub struct JobHandle {
-    pub(crate) state: Arc<JobState>,
+    state: Arc<JobState>,
+    /// Cleared by [`detach`](JobHandle::detach); checked by `Drop`.
+    cancel_on_drop: bool,
 }
 
 impl JobHandle {
+    pub(crate) fn new(state: Arc<JobState>) -> Self {
+        Self {
+            state,
+            cancel_on_drop: true,
+        }
+    }
+
     /// The runtime-assigned job id.
     pub fn id(&self) -> u64 {
         self.state.id
@@ -325,7 +381,23 @@ impl JobHandle {
     /// are skipped and the worker moves on — cancellation frees capacity,
     /// it never wedges it.
     pub fn cancel(&self) {
-        self.state.cancelled.store(true, Ordering::Relaxed);
+        self.state.cancel();
+    }
+
+    /// Drop the handle without cancelling: the job runs to completion
+    /// unobserved (its report still feeds the result cache). The opposite
+    /// of the default drop behavior, which cancels.
+    pub fn detach(mut self) {
+        self.cancel_on_drop = false;
+    }
+
+    /// Total backpressure backoff [`Runtime::submit_blocking`] slept out
+    /// before this job was admitted (zero for first-try admissions and
+    /// non-blocking submissions).
+    ///
+    /// [`Runtime::submit_blocking`]: crate::Runtime::submit_blocking
+    pub fn total_backoff(&self) -> Duration {
+        self.state.lock().backoff
     }
 
     /// Block until the job reaches a terminal state.
@@ -351,6 +423,14 @@ impl JobHandle {
             Status::Done(_) => Some(Ok(())),
             Status::Failed(e) => Some(Err(*e)),
             _ => None,
+        }
+    }
+}
+
+impl Drop for JobHandle {
+    fn drop(&mut self) {
+        if self.cancel_on_drop && self.try_wait().is_none() {
+            self.state.cancel();
         }
     }
 }

@@ -38,7 +38,15 @@
 //!   [`RunReport::merge`] recombines per backend semantics (pinned by
 //!   `tests/` here and `crates/core/tests/shard_determinism.rs`).
 //! * **Backpressure, not blocking** — at the queue bound, [`Runtime::submit`]
-//!   returns [`SubmitRejected`] with a service-time-derived retry hint.
+//!   returns [`SubmitRejected`] with a service-time-derived retry hint;
+//!   [`Runtime::submit_blocking`] rides it out with capped exponential
+//!   backoff honoring that hint.
+//! * **Async submission** — a [`Session`] ([`Runtime::session`]) lets one
+//!   client thread keep thousands of jobs in flight: non-blocking
+//!   [`try_submit`](Session::try_submit) until backpressure, completions
+//!   harvested in batches from a completion queue
+//!   ([`poll`](Session::poll) / [`wait_any`](Session::wait_any)),
+//!   tickets with readiness state and cancel-on-drop semantics.
 //! * **Fairness** — strict [`Priority`] lanes; round-robin across clients
 //!   within a lane, so one tenant's flood cannot starve another.
 //! * **Deadlines & cancellation free capacity** — pending shards of a
@@ -66,16 +74,18 @@ mod cache;
 mod job;
 mod metrics;
 mod queue;
+mod session;
 mod shard;
 mod worker;
 
 pub use job::{JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, SharedKernel};
 pub use queue::SubmitRejected;
+pub use session::{Completion, Session, Ticket};
 pub use shard::AdaptiveSharding;
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -293,23 +303,42 @@ impl Runtime {
         self.core.workers
     }
 
+    /// Open an async submission [`Session`] for tenant `client`: a
+    /// non-blocking front-end where one thread pipelines thousands of
+    /// jobs — [`try_submit`](Session::try_submit) until backpressure,
+    /// harvest completions in batches via [`poll`](Session::poll) /
+    /// [`wait_any`](Session::wait_any).
+    pub fn session(&self, client: u32) -> Session<'_> {
+        Session::new(self, client)
+    }
+
     /// Submit a job. Returns immediately: a [`JobHandle`] on admission (or
     /// cache hit), or [`SubmitRejected`] with a retry hint when the queue
     /// is at its bound.
     pub fn submit(&self, spec: JobSpec) -> Result<JobHandle, SubmitRejected> {
-        self.submit_inner(spec).map_err(|(rejected, _, _)| rejected)
+        self.submit_inner(spec, None)
+            .map(JobHandle::new)
+            .map_err(|(rejected, _, _)| rejected)
     }
 
-    /// As [`Runtime::submit`], but a rejection hands the built job back so
-    /// [`Runtime::submit_blocking`] can retry without rebuilding it (task
-    /// closures are not rebuildable, hence the large-but-internal `Err`).
+    /// The shared admission path under [`Runtime::submit`],
+    /// [`Runtime::submit_blocking`] and the [`Session`] front-end. A
+    /// rejection hands the built job back so the blocking retry loop can
+    /// resubmit without rebuilding it (task closures are not rebuildable,
+    /// hence the large-but-internal `Err`). `hook`, when given, is armed
+    /// before the cache lookup so a session never misses a completion —
+    /// even one delivered synchronously by a cache hit.
     #[allow(clippy::type_complexity, clippy::result_large_err)]
-    fn submit_inner(
+    pub(crate) fn submit_inner(
         &self,
         spec: JobSpec,
-    ) -> Result<JobHandle, (SubmitRejected, Arc<JobState>, QueuedJob)> {
+        hook: Option<Weak<session::CompletionShared>>,
+    ) -> Result<Arc<JobState>, (SubmitRejected, Arc<JobState>, QueuedJob)> {
         let id = self.core.next_id.fetch_add(1, Ordering::Relaxed);
         let state = Arc::new(JobState::new(id, spec.client, spec.priority, spec.deadline));
+        if let Some(hook) = hook {
+            state.set_completion_hook(hook);
+        }
         let job = match spec.payload {
             JobPayload::Kernel { kernel, plan, seed } => {
                 let cache_key = (self.core.cache_capacity() > 0)
@@ -320,8 +349,10 @@ impl Runtime {
                         self.core.metrics.cache_hit();
                         self.core.metrics.job_submitted(spec.priority);
                         self.core.metrics.job_completed(0.0);
-                        state.lock().status = Status::Done(Some(JobOutput::Kernel(report)));
-                        return Ok(JobHandle { state });
+                        // finish() (not a bare status write) so a session
+                        // hook sees the synchronous completion too.
+                        state.finish(Status::Done(Some(JobOutput::Kernel(report))));
+                        return Ok(state);
                     }
                     self.core.metrics.cache_miss();
                 }
@@ -347,28 +378,59 @@ impl Runtime {
             },
         };
         match self.enqueue(job) {
-            Ok(()) => Ok(JobHandle { state }),
+            Ok(()) => Ok(state),
             Err((rejected, job)) => Err((rejected, state, job)),
         }
     }
 
     /// Submit, sleeping out backpressure rejections until admitted — the
     /// closed-loop client pattern (the load generator and the figure
-    /// binaries use this).
+    /// binaries use this). Retries honor the queue's retry-after hint
+    /// with capped exponential backoff; the total time slept is exposed
+    /// through [`JobHandle::total_backoff`] and the
+    /// `dwi_runtime_submit_backoff_seconds` summary.
     pub fn submit_blocking(&self, spec: JobSpec) -> JobHandle {
-        match self.submit_inner(spec) {
-            Ok(handle) => handle,
-            Err((mut rejected, state, mut job)) => loop {
-                std::thread::sleep(rejected.retry_after);
-                match self.enqueue(job) {
-                    Ok(()) => return JobHandle { state },
-                    Err((again, returned)) => {
-                        rejected = again;
-                        job = returned;
-                    }
-                }
-            },
+        match self.submit_inner(spec, None) {
+            Ok(state) => JobHandle::new(state),
+            Err((rejected, state, job)) => {
+                JobHandle::new(self.ride_backpressure(state, job, rejected))
+            }
         }
+    }
+
+    /// Sleep out backpressure until `job` is admitted: capped exponential
+    /// backoff seeded by — and never shorter than — the queue's live
+    /// retry-after hint. Records the total backoff on the job (for
+    /// [`JobHandle::total_backoff`]) and in the
+    /// `dwi_runtime_submit_backoff_seconds` summary.
+    pub(crate) fn ride_backpressure(
+        &self,
+        state: Arc<JobState>,
+        mut job: QueuedJob,
+        rejected: SubmitRejected,
+    ) -> Arc<JobState> {
+        /// Upper bound on any single backoff sleep: bounded staleness of
+        /// the retry decision beats exact hint obedience on a deep queue.
+        const BACKOFF_CAP: Duration = Duration::from_millis(100);
+        let mut delay = rejected.retry_after.min(BACKOFF_CAP);
+        let mut total = Duration::ZERO;
+        loop {
+            std::thread::sleep(delay);
+            total += delay;
+            match self.enqueue(job) {
+                Ok(()) => break,
+                Err((again, returned)) => {
+                    job = returned;
+                    delay = delay
+                        .saturating_mul(2)
+                        .max(again.retry_after)
+                        .min(BACKOFF_CAP);
+                }
+            }
+        }
+        state.lock().backoff = total;
+        self.core.metrics.submit_backoff(total.as_secs_f64());
+        state
     }
 
     /// Run one kernel job to completion: submit (riding out backpressure),

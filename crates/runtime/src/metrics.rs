@@ -83,4 +83,30 @@ impl RuntimeMetrics {
     pub fn shards_per_job(&self, shards: u32) {
         self.sink.observe(fam::SHARDS_PER_JOB, &[], shards as f64);
     }
+
+    /// Jobs a session currently has in flight (submitted, unharvested).
+    /// `client` is the session's pre-rendered tenant label.
+    pub fn jobs_in_flight(&self, client: &str, n: usize) {
+        self.sink
+            .set_gauge(fam::JOBS_IN_FLIGHT, &[("client", client)], n as f64);
+    }
+
+    /// Completions parked in a session's completion queue, unharvested.
+    pub fn completion_queue_depth(&self, client: &str, depth: usize) {
+        self.sink.set_gauge(
+            fam::COMPLETION_QUEUE_DEPTH,
+            &[("client", client)],
+            depth as f64,
+        );
+    }
+
+    /// One `try_submit` refused with would-block backpressure.
+    pub fn submit_would_block(&self) {
+        self.sink.counter(fam::SUBMIT_WOULD_BLOCK, &[]).inc();
+    }
+
+    /// Total backoff one blocking submission slept out before admission.
+    pub fn submit_backoff(&self, total_s: f64) {
+        self.sink.observe(fam::SUBMIT_BACKOFF, &[], total_s);
+    }
 }

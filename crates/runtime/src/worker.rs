@@ -356,6 +356,7 @@ impl Core {
                 inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report)));
                 drop(inner);
                 state.cv.notify_all();
+                state.fire_completion();
                 self.metrics.job_completed(latency);
             }
             Some(b) => {
@@ -398,6 +399,7 @@ impl Core {
         inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report)));
         drop(inner);
         state.cv.notify_all();
+        state.fire_completion();
         self.metrics.job_completed(latency);
     }
 }

@@ -1,0 +1,410 @@
+//! Contract of the async submission front-end: one thread pipelines many
+//! jobs through a [`Session`] (try_submit → completion queue → batched
+//! harvest) with results bit-identical to inline execution, backpressure
+//! surfacing as would-block + retry-after instead of a parked thread, a
+//! single-tenant storm never starving another client's priority lane, and
+//! handle/session drop semantics that either cancel or detach cleanly.
+
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dwi_core::{ExecutionPlan, RunReport, TruncatedNormalKernel, WorkItemKernel};
+use dwi_runtime::{
+    named_backend, JobError, JobSpec, Priority, Runtime, RuntimeConfig, SharedKernel,
+};
+use dwi_trace::Recorder;
+
+fn kernel(quota: u64, seed: u32) -> SharedKernel {
+    Arc::new(TruncatedNormalKernel::new(1.5, quota, seed))
+}
+
+fn inline(quota: u64, seed: u32, plan: &ExecutionPlan) -> RunReport {
+    let k = TruncatedNormalKernel::new(1.5, quota, seed);
+    named_backend("functional-decoupled").execute(&k as &dyn WorkItemKernel, plan)
+}
+
+/// Park the (single) worker until released, building deterministic
+/// backlog. Returns once the worker has actually started the blocker.
+fn blocker(rt: &Runtime) -> (dwi_runtime::JobHandle, mpsc::Sender<()>) {
+    let (release_tx, release_rx) = mpsc::channel();
+    let (started_tx, started_rx) = mpsc::channel();
+    let handle = rt
+        .submit(JobSpec::task(99, move || {
+            started_tx.send(()).ok();
+            release_rx.recv().ok();
+        }))
+        .expect("blocker admitted");
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("a worker picked up the blocker");
+    (handle, release_tx)
+}
+
+#[test]
+fn one_thread_pipelines_many_jobs_bit_identically() {
+    let rec = Recorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::new(2)
+            .queue_bound(256)
+            .cache_capacity(0)
+            .trace(rec.sink()),
+    );
+    let mut session = rt.session(3);
+    // Submit 64 mixed-shape jobs from this one thread, blocking for none
+    // of them; harvest everything through the completion queue.
+    let mut expected: HashMap<u64, (u64, u32, u32)> = HashMap::new();
+    for i in 0..64u32 {
+        let (quota, wi) = ([96u64, 128, 192][(i % 3) as usize], 1 + (i % 4));
+        let ticket = session
+            .try_submit(JobSpec::kernel(
+                3,
+                kernel(quota, i),
+                ExecutionPlan::new(wi),
+                i as u64,
+            ))
+            .expect("bound 256 admits 64 pipelined jobs");
+        expected.insert(ticket.id(), (quota, i, wi));
+    }
+    assert_eq!(session.in_flight(), 64);
+    let mut harvested = 0;
+    while session.in_flight() > 0 {
+        for c in session.wait_any(Duration::from_secs(30)) {
+            let (quota, seed, wi) = expected.remove(&c.ticket.id()).expect("tracked ticket");
+            let got = c.result.expect("no deadlines set").into_report();
+            let want = inline(quota, seed, &ExecutionPlan::new(wi));
+            assert_eq!(got.samples, want.samples, "seed {seed}: values");
+            assert_eq!(got.cycles, want.cycles, "seed {seed}: cycles");
+            assert_eq!(got.rejection, want.rejection, "seed {seed}: rejections");
+            harvested += 1;
+        }
+    }
+    assert_eq!(harvested, 64);
+    assert!(expected.is_empty());
+    drop(session);
+    drop(rt);
+    let prom = rec.prometheus();
+    for family in [
+        "dwi_runtime_jobs_in_flight",
+        "dwi_runtime_completion_queue_depth",
+    ] {
+        assert!(prom.contains(family), "{family} missing:\n{prom}");
+    }
+}
+
+#[test]
+fn backpressure_is_would_block_and_capacity_recovers_on_harvest() {
+    let rec = Recorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .queue_bound(3)
+            .cache_capacity(0)
+            .trace(rec.sink()),
+    );
+    let (gate, tx) = blocker(&rt);
+    let mut session = rt.session(0);
+    // Fill the admission queue, then hit the bound: the session gets a
+    // would-block rejection with a usable retry hint, not a parked thread.
+    let mut admitted = 0u32;
+    let rejected = loop {
+        match session.try_submit(JobSpec::kernel(
+            0,
+            kernel(64, admitted),
+            ExecutionPlan::new(2),
+            admitted as u64,
+        )) {
+            Ok(_) => admitted += 1,
+            Err(r) => break r,
+        }
+    };
+    assert_eq!(admitted, 3, "queue bound 3 admits exactly 3");
+    assert!(
+        rejected.retry_after >= Duration::from_millis(1),
+        "retry hint {:?} too small",
+        rejected.retry_after
+    );
+    assert_eq!(session.in_flight(), 3, "rejected submission is not tracked");
+    // Release the worker and harvest: capacity frees, admission resumes.
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    let mut harvested = 0;
+    while session.in_flight() > 0 {
+        harvested += session.wait_any(Duration::from_secs(30)).len();
+    }
+    assert_eq!(harvested, 3);
+    session
+        .try_submit(JobSpec::kernel(0, kernel(64, 9), ExecutionPlan::new(2), 9))
+        .expect("queue drained: admission resumes");
+    while session.in_flight() > 0 {
+        session.wait_any(Duration::from_secs(30));
+    }
+    drop(session);
+    drop(rt);
+    let m = rec.metrics();
+    assert_eq!(
+        m.counter_value("dwi_runtime_submit_would_block_total"),
+        Some(1),
+        "exactly one would-block was counted"
+    );
+}
+
+#[test]
+fn async_storm_does_not_starve_another_clients_priority_lane() {
+    // Satellite: one session with a deep queued storm must not starve a
+    // second client's high-priority lane. Single worker, so dispatch
+    // order is fully observable.
+    const STORM: usize = 10_000;
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .queue_bound(STORM + 16)
+            .cache_capacity(0),
+    );
+    let (gate, tx) = blocker(&rt);
+    let mut session = rt.session(0);
+    for i in 0..STORM as u32 {
+        session
+            .try_submit(JobSpec::kernel(
+                0,
+                kernel(32, i),
+                ExecutionPlan::new(1),
+                i as u64,
+            ))
+            .expect("storm fits the bound");
+    }
+    assert_eq!(session.in_flight(), STORM);
+    // A second tenant asks for the high lane *after* the storm is queued.
+    let urgent = rt
+        .submit(
+            JobSpec::kernel(1, kernel(64, 777_777), ExecutionPlan::new(2), 777_777)
+                .priority(Priority::High),
+        )
+        .expect("still room above the storm");
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    let report = urgent
+        .wait()
+        .expect("high-priority job completes")
+        .into_report();
+    assert_eq!(report.workitems, 2);
+    // Strict lanes: the high job dispatched before the storm drained —
+    // nearly all of the storm must still be in flight right now.
+    assert!(
+        session.in_flight() > STORM - 64,
+        "storm drained past the urgent job: {} of {STORM} left",
+        session.in_flight()
+    );
+    // And the storm itself completes intact.
+    let mut harvested = 0usize;
+    while session.in_flight() > 0 {
+        let batch = session.wait_any(Duration::from_secs(60));
+        assert!(!batch.is_empty(), "storm drain stalled at {harvested}");
+        for c in batch {
+            c.result.expect("storm jobs have no deadline");
+            harvested += 1;
+        }
+    }
+    assert_eq!(harvested, STORM);
+}
+
+#[test]
+fn dropping_an_unharvested_handle_cancels_the_job() {
+    let rec = Recorder::new();
+    let rt = Runtime::new(RuntimeConfig::new(1).trace(rec.sink()));
+    let (gate, tx) = blocker(&rt);
+    let doomed = rt
+        .submit(JobSpec::kernel(0, kernel(256, 5), ExecutionPlan::new(4), 5))
+        .expect("admitted");
+    drop(doomed); // unharvested: default drop cancels
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    // Prove the cancel landed: the worker drained the queue without
+    // running the job (cancelled counter), and its result never fed the
+    // cache — resubmitting the same key misses.
+    rt.run_kernel(kernel(64, 6), ExecutionPlan::new(2), 6); // queue flush
+    let m = rec.metrics();
+    assert_eq!(m.counter_value("dwi_runtime_jobs_cancelled_total"), Some(1));
+    let hits_before = m.counter_value("dwi_runtime_cache_hits_total").unwrap_or(0);
+    rt.run_kernel(kernel(256, 5), ExecutionPlan::new(4), 5);
+    let hits_after = rec
+        .metrics()
+        .counter_value("dwi_runtime_cache_hits_total")
+        .unwrap_or(0);
+    assert_eq!(
+        hits_after, hits_before,
+        "cancelled job must not have fed the cache"
+    );
+}
+
+#[test]
+fn detached_handle_lets_the_job_run_to_completion() {
+    let rec = Recorder::new();
+    let rt = Runtime::new(RuntimeConfig::new(1).trace(rec.sink()));
+    let (gate, tx) = blocker(&rt);
+    rt.submit(JobSpec::kernel(0, kernel(256, 7), ExecutionPlan::new(4), 7))
+        .expect("admitted")
+        .detach(); // fire-and-forget: no cancel on drop
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    // The blocker's completion says nothing about the detached job that
+    // queued behind it — wait until the worker has finished both.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while rec
+        .metrics()
+        .counter_value("dwi_runtime_jobs_completed_total")
+        .unwrap_or(0)
+        < 2
+    {
+        assert!(Instant::now() < deadline, "detached job never completed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // The detached job ran and fed the cache: the same key now hits.
+    let report = rt.run_kernel(kernel(256, 7), ExecutionPlan::new(4), 7);
+    let m = rec.metrics();
+    assert_eq!(m.counter_value("dwi_runtime_jobs_cancelled_total"), None);
+    assert_eq!(
+        m.counter_value("dwi_runtime_cache_hits_total"),
+        Some(1),
+        "detached job's report must be served from the cache"
+    );
+    let want = inline(256, 7, &ExecutionPlan::new(4));
+    assert_eq!(report.samples, want.samples);
+}
+
+#[test]
+fn session_drop_cancels_whatever_is_still_in_flight() {
+    let rec = Recorder::new();
+    let rt = Runtime::new(RuntimeConfig::new(1).cache_capacity(0).trace(rec.sink()));
+    let (gate, tx) = blocker(&rt);
+    let mut session = rt.session(0);
+    for i in 0..5u32 {
+        session
+            .try_submit(JobSpec::kernel(
+                0,
+                kernel(128, i),
+                ExecutionPlan::new(2),
+                i as u64,
+            ))
+            .expect("admitted");
+    }
+    drop(session); // cancel-on-drop: all 5 must die, none execute
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let cancelled = rec
+            .metrics()
+            .counter_value("dwi_runtime_jobs_cancelled_total")
+            .unwrap_or(0);
+        if cancelled == 5 {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "only {cancelled}/5 session jobs cancelled"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+#[test]
+fn submit_blocking_backoff_honors_the_hint_and_is_exposed() {
+    let rec = Recorder::new();
+    let rt = Arc::new(Runtime::new(
+        RuntimeConfig::new(1)
+            .queue_bound(1)
+            .cache_capacity(0)
+            .trace(rec.sink()),
+    ));
+    let (gate, tx) = blocker(&rt);
+    // Fill the one-slot queue, then submit_blocking from another thread:
+    // it must back off (not spin) until the release frees the slot.
+    let filler = rt
+        .submit(JobSpec::kernel(0, kernel(64, 1), ExecutionPlan::new(2), 1))
+        .expect("fills the queue");
+    let rt2 = rt.clone();
+    let backed_off = std::thread::spawn(move || {
+        let handle =
+            rt2.submit_blocking(JobSpec::kernel(1, kernel(64, 2), ExecutionPlan::new(2), 2));
+        let backoff = handle.total_backoff();
+        handle.wait().expect("admitted after backoff");
+        backoff
+    });
+    std::thread::sleep(Duration::from_millis(30));
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    filler.wait().expect("queued job completes");
+    let backoff = backed_off.join().expect("submitter thread");
+    assert!(
+        backoff >= Duration::from_millis(1),
+        "blocked submission recorded no backoff: {backoff:?}"
+    );
+    drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
+    let prom = rec.prometheus();
+    assert!(
+        prom.contains("dwi_runtime_submit_backoff_seconds"),
+        "backoff summary missing:\n{prom}"
+    );
+}
+
+#[test]
+fn tickets_report_readiness_and_cache_hits_complete_synchronously() {
+    let rt = Runtime::new(RuntimeConfig::new(1));
+    let (gate, tx) = blocker(&rt);
+    let mut session = rt.session(0);
+    let parked = session
+        .try_submit(JobSpec::kernel(0, kernel(96, 8), ExecutionPlan::new(2), 8))
+        .expect("admitted");
+    assert!(!session.is_ready(parked), "job behind the blocker");
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    let done = session.wait_any(Duration::from_secs(30));
+    assert_eq!(done.len(), 1);
+    assert!(session.is_ready(parked), "harvested tickets read as ready");
+    // The completed job fed the cache: an identical resubmission is a
+    // synchronous completion — ready before any poll.
+    let hit = session
+        .try_submit(JobSpec::kernel(0, kernel(96, 8), ExecutionPlan::new(2), 8))
+        .expect("admitted");
+    assert!(session.is_ready(hit), "cache hit must be instantly ready");
+    let done = session.poll();
+    assert_eq!(done.len(), 1);
+    assert_eq!(done[0].ticket, hit);
+}
+
+#[test]
+fn deadlines_and_cancellation_resolve_through_the_completion_queue() {
+    let rt = Runtime::new(RuntimeConfig::new(1).cache_capacity(0));
+    let (gate, tx) = blocker(&rt);
+    let mut session = rt.session(0);
+    let expired = session
+        .try_submit(
+            JobSpec::kernel(0, kernel(4096, 1), ExecutionPlan::new(8), 1)
+                .deadline(Duration::from_millis(1)),
+        )
+        .expect("admitted");
+    let doomed = session
+        .try_submit(JobSpec::kernel(
+            0,
+            kernel(4096, 2),
+            ExecutionPlan::new(8),
+            2,
+        ))
+        .expect("admitted");
+    let survivor = session
+        .try_submit(JobSpec::kernel(0, kernel(64, 3), ExecutionPlan::new(2), 3))
+        .expect("admitted");
+    session.cancel(doomed);
+    std::thread::sleep(Duration::from_millis(5)); // let the deadline lapse
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    let mut outcomes: HashMap<u64, Result<(), JobError>> = HashMap::new();
+    while session.in_flight() > 0 {
+        for c in session.wait_any(Duration::from_secs(30)) {
+            outcomes.insert(c.ticket.id(), c.result.map(|_| ()));
+        }
+    }
+    assert_eq!(outcomes[&expired.id()], Err(JobError::Expired));
+    assert_eq!(outcomes[&doomed.id()], Err(JobError::Cancelled));
+    assert_eq!(outcomes[&survivor.id()], Ok(()));
+}

@@ -63,3 +63,20 @@ pub const BATCH_OCCUPANCY: &str = "dwi_runtime_batch_occupancy";
 /// Summary: shard count chosen per kernel job — the adaptive sharding
 /// controller's output (or the static default when adaptivity is off).
 pub const SHARDS_PER_JOB: &str = "dwi_runtime_shards_per_job";
+
+/// Gauge: jobs a client currently has in flight through an async
+/// submission session — submitted (admitted or cache-served) but not yet
+/// harvested from the completion queue. Labelled `client="<id>"`.
+pub const JOBS_IN_FLIGHT: &str = "dwi_runtime_jobs_in_flight";
+
+/// Gauge: completions delivered to a session's completion queue but not
+/// yet harvested by `poll`/`wait_any`. Labelled `client="<id>"`.
+pub const COMPLETION_QUEUE_DEPTH: &str = "dwi_runtime_completion_queue_depth";
+
+/// Counter: non-blocking submissions refused with would-block
+/// backpressure (`Session::try_submit` at the queue bound).
+pub const SUBMIT_WOULD_BLOCK: &str = "dwi_runtime_submit_would_block_total";
+
+/// Summary: total seconds a blocking submission spent backing off before
+/// admission (capped exponential, seeded by the queue's retry-after hint).
+pub const SUBMIT_BACKOFF: &str = "dwi_runtime_submit_backoff_seconds";

@@ -86,3 +86,74 @@ fn multi_tenant_session_matches_monolithic_and_exports_observability() {
         "worker tracks missing from Chrome export"
     );
 }
+
+#[test]
+fn async_session_pipelines_paper_kernels_bit_identically() {
+    // The async front-end through the facade: one client thread keeps a
+    // mixed bag of paper kernels in flight via try_submit, harvests them
+    // from the completion queue, and every report is bit-identical to a
+    // monolithic single-device run of the same kernel.
+    let rec = Recorder::new();
+    let rt = Runtime::new(RuntimeConfig::new(2).cache_capacity(0).trace(rec.sink()));
+
+    let cfg = PaperConfig::config1();
+    let w = Workload {
+        num_scenarios: 256,
+        num_sectors: 2,
+        sector_variance: 1.39,
+    };
+    let jobs: Vec<(SharedKernel, ExecutionPlan)> = (0..24u32)
+        .map(|i| match i % 3 {
+            0 => (
+                Arc::new(GammaListing2::for_config(&cfg, &w, 42 + i as u64)) as SharedKernel,
+                ExecutionPlan::new(1 + (i % 4)),
+            ),
+            1 => (
+                Arc::new(TruncatedNormalKernel::new(1.5, 200 + i as u64, i)) as SharedKernel,
+                ExecutionPlan::new(2),
+            ),
+            _ => (
+                Arc::new(SeverityExpMix::credit_severity(150, i)) as SharedKernel,
+                ExecutionPlan::new(3),
+            ),
+        })
+        .collect();
+
+    let mut session = rt.session(0);
+    let tickets: Vec<_> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, (kernel, plan))| {
+            session
+                .try_submit(JobSpec::kernel(0, kernel.clone(), plan.clone(), i as u64))
+                .expect("default queue bound admits 24 pipelined jobs")
+        })
+        .collect();
+    assert_eq!(session.in_flight(), jobs.len());
+
+    let mut results = std::collections::HashMap::new();
+    while session.in_flight() > 0 {
+        for done in session.wait_any(std::time::Duration::from_secs(30)) {
+            let report = done.result.expect("no deadlines set").into_report();
+            results.insert(done.ticket, report);
+        }
+    }
+    for (ticket, (kernel, plan)) in tickets.iter().zip(&jobs) {
+        let merged = &results[ticket];
+        let whole = FunctionalDecoupled.execute(kernel.as_ref(), plan);
+        assert_eq!(merged.samples, whole.samples, "{}", kernel.name());
+        assert_eq!(merged.cycles, whole.cycles, "{}", kernel.name());
+        assert_eq!(merged.rejection, whole.rejection, "{}", kernel.name());
+    }
+    drop(session);
+    drop(rt);
+
+    let prom = rec.prometheus();
+    for family in [
+        "dwi_runtime_jobs_in_flight",
+        "dwi_runtime_completion_queue_depth",
+        "dwi_runtime_jobs_completed_total",
+    ] {
+        assert!(prom.contains(family), "{family} missing:\n{prom}");
+    }
+}
