@@ -1,0 +1,108 @@
+//! `perf_gate` — the CI perf-trajectory regression gate.
+//!
+//! Compares a freshly measured `serve` summary against the committed
+//! `BENCH_runtime.json` baseline and exits non-zero when the tuned
+//! throughput dropped more than `--max-drop` (default 20%) or the tuned
+//! p99 rose more than `--max-p99-rise` (default 50%). Both summaries are
+//! the JSON `serve` writes; the gate reads only `jobs_per_s` and
+//! `p99_ms`, so baseline files from older revisions keep working as the
+//! summary grows fields.
+//!
+//! ```text
+//! perf_gate --baseline BENCH_runtime.json --current /tmp/now.json
+//! ```
+
+use dwi_trace::json::{parse, Json};
+
+struct GateArgs {
+    baseline: std::path::PathBuf,
+    current: std::path::PathBuf,
+    max_drop: f64,
+    max_p99_rise: f64,
+}
+
+impl GateArgs {
+    fn from_env() -> Self {
+        let mut out = Self {
+            baseline: "BENCH_runtime.json".into(),
+            current: "/tmp/BENCH_runtime.json".into(),
+            max_drop: 0.20,
+            max_p99_rise: 0.50,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            let mut next = |what: &str| {
+                args.next()
+                    .unwrap_or_else(|| panic!("{what} needs a value"))
+            };
+            match a.as_str() {
+                "--baseline" => out.baseline = next("--baseline").into(),
+                "--current" => out.current = next("--current").into(),
+                "--max-drop" => out.max_drop = next("--max-drop").parse().expect("fraction"),
+                "--max-p99-rise" => {
+                    out.max_p99_rise = next("--max-p99-rise").parse().expect("fraction")
+                }
+                other => panic!("unknown flag {other:?}"),
+            }
+        }
+        out
+    }
+}
+
+fn load(path: &std::path::Path) -> Json {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    parse(&text).unwrap_or_else(|e| panic!("parse {}: {e}", path.display()))
+}
+
+fn field(doc: &Json, path: &std::path::Path, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{} has no numeric {key:?}", path.display()))
+}
+
+fn main() {
+    let args = GateArgs::from_env();
+    let baseline = load(&args.baseline);
+    let current = load(&args.current);
+
+    let base_tput = field(&baseline, &args.baseline, "jobs_per_s");
+    let base_p99 = field(&baseline, &args.baseline, "p99_ms");
+    let cur_tput = field(&current, &args.current, "jobs_per_s");
+    let cur_p99 = field(&current, &args.current, "p99_ms");
+
+    let drop = 1.0 - cur_tput / base_tput.max(1e-9);
+    let p99_rise = cur_p99 / base_p99.max(1e-9) - 1.0;
+    println!(
+        "perf gate: jobs/s {base_tput:.1} -> {cur_tput:.1} ({:+.1}%), \
+         p99 {base_p99:.3} -> {cur_p99:.3} ms ({:+.1}%)",
+        -drop * 100.0,
+        p99_rise * 100.0
+    );
+
+    let mut failed = false;
+    if drop > args.max_drop {
+        eprintln!(
+            "FAIL: tuned throughput dropped {:.1}% (> {:.0}% allowed)",
+            drop * 100.0,
+            args.max_drop * 100.0
+        );
+        failed = true;
+    }
+    if p99_rise > args.max_p99_rise {
+        eprintln!(
+            "FAIL: tuned p99 rose {:.1}% (> {:.0}% allowed)",
+            p99_rise * 100.0,
+            args.max_p99_rise * 100.0
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!(
+        "perf gate: within bounds (drop <= {:.0}%, p99 rise <= {:.0}%)",
+        args.max_drop * 100.0,
+        args.max_p99_rise * 100.0
+    );
+}

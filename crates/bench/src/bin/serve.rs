@@ -30,6 +30,17 @@
 //! the printed `async speedup` line is the open-loop/closed-loop
 //! throughput ratio — the pipelining win of not round-tripping per job.
 //!
+//! The attribution flags ride on the runtime's job-lifecycle timelines:
+//! `--profile` prints the per-phase latency breakdown (p50/p99 + share of
+//! end-to-end, per lane and per batch-occupancy bucket; `--profile-out`
+//! writes it as JSON), `--slo-ms X` auto-snapshots the flight recorder
+//! when any job's end-to-end latency breaches X ms (`--flight N` sizes
+//! the ring, `--flight-out` dumps it unconditionally), and `--trajectory
+//! <path>` (with `--compare`) appends one JSON line per run so CI can
+//! track the perf trajectory. When batching is configured but mean batch
+//! occupancy stays at 1, a diagnostic names the attributed cause (shape
+//! mismatch vs arrival gap vs window too short) from the same phase data.
+//!
 //! The workload mixes quotas, priorities and a deliberate fraction of
 //! repeated `(kernel, plan, seed)` submissions, so one run exercises the
 //! admission queue, the priority lanes, the shard fan-out, the coalescing
@@ -40,9 +51,11 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dwi_bench::obs::ObsArgs;
+use dwi_bench::profile::{diagnose_batching, timelines_json, Profile};
 use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
 use dwi_runtime::{
-    AdaptiveSharding, Completion, JobSpec, Priority, Runtime, RuntimeConfig, SharedKernel,
+    AdaptiveSharding, Completion, JobSpec, JobTimeline, Priority, Runtime, RuntimeConfig,
+    SharedKernel,
 };
 use dwi_trace::Recorder;
 
@@ -59,6 +72,12 @@ struct ServeArgs {
     inflight: usize,
     rate: f64,
     out: std::path::PathBuf,
+    profile: bool,
+    profile_out: Option<std::path::PathBuf>,
+    slo_ms: Option<f64>,
+    flight: Option<usize>,
+    flight_out: Option<std::path::PathBuf>,
+    trajectory: Option<std::path::PathBuf>,
 }
 
 impl ServeArgs {
@@ -76,6 +95,12 @@ impl ServeArgs {
             inflight: 256,
             rate: 0.0,
             out: "BENCH_runtime.json".into(),
+            profile: false,
+            profile_out: None,
+            slo_ms: None,
+            flight: None,
+            flight_out: None,
+            trajectory: None,
         };
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
@@ -98,10 +123,25 @@ impl ServeArgs {
                 "--inflight" => out.inflight = next("--inflight").parse().expect("job count"),
                 "--rate" => out.rate = next("--rate").parse().expect("jobs per second"),
                 "--out" => out.out = next("--out").into(),
+                "--profile" => out.profile = true,
+                "--profile-out" => out.profile_out = Some(next("--profile-out").into()),
+                "--slo-ms" => out.slo_ms = Some(next("--slo-ms").parse().expect("milliseconds")),
+                "--flight" => out.flight = Some(next("--flight").parse().expect("capacity")),
+                "--flight-out" => out.flight_out = Some(next("--flight-out").into()),
+                "--trajectory" => out.trajectory = Some(next("--trajectory").into()),
                 _ => {} // --trace/--metrics handled by ObsArgs
             }
         }
         out
+    }
+
+    /// Whether the run needs every job's timeline in the flight ring
+    /// (profile report, SLO watch, or an explicit dump).
+    fn wants_timelines(&self) -> bool {
+        self.profile
+            || self.profile_out.is_some()
+            || self.slo_ms.is_some()
+            || self.flight_out.is_some()
     }
 
     /// The pool configuration of one pass: the baseline pass drops the
@@ -116,7 +156,13 @@ impl ServeArgs {
                 cfg = cfg.adaptive(AdaptiveSharding::new());
             }
         }
-        cfg
+        let mut capacity = self.flight.unwrap_or(256);
+        if self.wants_timelines() {
+            // The attribution paths fold over *every* job of the run, so
+            // the ring must hold them all.
+            capacity = capacity.max((self.clients * self.jobs) as usize);
+        }
+        cfg.flight_capacity(capacity)
     }
 }
 
@@ -168,7 +214,7 @@ impl Summary {
 }
 
 /// Run the full closed loop once against a fresh pool and recorder.
-fn run_load(args: &ServeArgs, tuned: bool) -> (Summary, Recorder) {
+fn run_load(args: &ServeArgs, tuned: bool) -> (Summary, Recorder, Vec<JobTimeline>) {
     let rec = Recorder::new();
     let rt = Arc::new(Runtime::with_backend_factory(
         args.config(tuned).trace(rec.sink()),
@@ -197,15 +243,17 @@ fn run_load(args: &ServeArgs, tuned: bool) -> (Summary, Recorder) {
         .collect();
     let wall = t0.elapsed();
 
-    // Shut the pool down before reading so every counter is flushed.
+    // Harvest the flight ring before teardown, then shut the pool down
+    // so every counter is flushed.
+    let timelines = rt.flight_dump();
     drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
-    (summarize(args, wall, latencies_ms, &rec), rec)
+    (summarize(args, wall, latencies_ms, &rec), rec, timelines)
 }
 
 /// Run the open loop once: every client pipelines up to `--inflight` jobs
 /// through a `Session`, harvesting completions in batches from the
 /// completion queue; `--rate` paces the aggregate arrival process.
-fn run_load_async(args: &ServeArgs) -> (Summary, Recorder) {
+fn run_load_async(args: &ServeArgs) -> (Summary, Recorder, Vec<JobTimeline>) {
     let rec = Recorder::new();
     let rt = Arc::new(Runtime::with_backend_factory(
         args.config(true).trace(rec.sink()),
@@ -280,8 +328,9 @@ fn run_load_async(args: &ServeArgs) -> (Summary, Recorder) {
         .flat_map(|t| t.join().expect("client thread panicked"))
         .collect();
     let wall = t0.elapsed();
+    let timelines = rt.flight_dump();
     drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
-    (summarize(args, wall, latencies_ms, &rec), rec)
+    (summarize(args, wall, latencies_ms, &rec), rec, timelines)
 }
 
 /// Fold one pass's wall clock, latencies and counters into a [`Summary`].
@@ -351,7 +400,7 @@ fn main() {
     if let Some(b) = &baseline {
         report("baseline", &args, b);
     }
-    let (tuned, rec) = run_load(&args, true);
+    let (tuned, rec, tuned_timelines) = run_load(&args, true);
     report(
         if args.compare { "tuned" } else { "closed-loop" },
         &args,
@@ -370,7 +419,7 @@ fn main() {
     // front-end; its recorder (session + runtime metric families) becomes
     // the exported one.
     let async_pass = args.async_mode.then(|| run_load_async(&args));
-    if let Some((a, _)) = &async_pass {
+    if let Some((a, _, _)) = &async_pass {
         report("async", &args, a);
         println!(
             "async speedup vs closed-loop: {:.2}x jobs/s ({} in flight, rate {})",
@@ -384,7 +433,68 @@ fn main() {
         );
     }
 
+    // Attribution paths fold over the async pass's timelines when one ran
+    // (that is the pass whose latency needs explaining), else the tuned
+    // closed loop's.
+    let timelines: &[JobTimeline] = async_pass
+        .as_ref()
+        .map(|(_, _, t)| t.as_slice())
+        .unwrap_or(&tuned_timelines);
+
+    // `--profile`: the per-phase latency breakdown, text and/or JSON.
+    if args.profile || args.profile_out.is_some() {
+        let profile = Profile::from_timelines(timelines);
+        if args.profile {
+            println!("\n{}", profile.render_text());
+        }
+        if let Some(path) = &args.profile_out {
+            std::fs::write(path, profile.to_json()).expect("write profile report");
+            println!("profile written to {}", path.display());
+        }
+    }
+
+    // Zero-batches diagnostic: batching was configured but no dispatch
+    // ever carried more than one job — name the attributed cause.
+    let async_summary = async_pass.as_ref().map(|(a, _, _)| a);
+    let active = async_summary.unwrap_or(&tuned);
+    if args.batch.is_some() && active.mean_batch_occupancy() <= 1.0 {
+        println!(
+            "batching diagnostic: {}",
+            diagnose_batching(timelines, Duration::from_millis(args.batch_window_ms))
+        );
+    }
+
+    // `--slo-ms`: auto-snapshot the flight ring when any job breached the
+    // threshold; `--flight-out` dumps it unconditionally.
+    let slo_breaches = args
+        .slo_ms
+        .map(|slo| {
+            timelines
+                .iter()
+                .filter(|t| t.e2e().is_some_and(|d| d.as_secs_f64() * 1e3 > slo))
+                .count()
+        })
+        .unwrap_or(0);
+    if slo_breaches > 0 || args.flight_out.is_some() {
+        let path = args
+            .flight_out
+            .clone()
+            .unwrap_or_else(|| "BENCH_flight.json".into());
+        std::fs::write(&path, timelines_json(timelines)).expect("write flight dump");
+        if slo_breaches > 0 {
+            println!(
+                "SLO breach: {} jobs over {:.2} ms — flight recorder snapshot written to {}",
+                slo_breaches,
+                args.slo_ms.unwrap_or(0.0),
+                path.display()
+            );
+        } else {
+            println!("flight recorder dump written to {}", path.display());
+        }
+    }
+
     let baseline_json = baseline
+        .as_ref()
         .map(|b| {
             format!(
                 "  \"baseline\": {{\n    \"wall_s\": {:.6},\n    \"jobs_per_s\": {:.3},\n    \
@@ -396,7 +506,7 @@ fn main() {
         .unwrap_or_default();
     let async_json = async_pass
         .as_ref()
-        .map(|(a, _)| {
+        .map(|(a, _, _)| {
             format!(
                 "  \"async\": {{\n    \"inflight\": {},\n    \"rate\": {:.3},\n    \
                  \"wall_s\": {:.6},\n    \"jobs_per_s\": {:.3},\n    \"p50_ms\": {:.4},\n    \
@@ -443,7 +553,33 @@ fn main() {
     std::fs::write(&args.out, json).expect("write benchmark summary");
     println!("summary written to {}", args.out.display());
 
+    // `--trajectory` (with `--compare`): append one JSON line per run so
+    // the throughput/latency history accumulates across commits.
+    if let (Some(path), Some(b)) = (&args.trajectory, &baseline) {
+        let ts = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let line = format!(
+            "{{\"unix_ts\": {ts}, \"jobs_per_s\": {:.3}, \"p50_ms\": {:.4}, \
+             \"p99_ms\": {:.4}, \"baseline_jobs_per_s\": {:.3}, \"speedup\": {:.3}}}\n",
+            tuned.jobs_per_s,
+            tuned.p50_ms,
+            tuned.p99_ms,
+            b.jobs_per_s,
+            tuned.jobs_per_s / b.jobs_per_s.max(1e-9)
+        );
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .expect("append trajectory entry");
+        println!("trajectory entry appended to {}", path.display());
+    }
+
     // Export the async pass's recorder when one ran — it carries the
     // session metric families on top of the runtime's.
-    obs.write(async_pass.as_ref().map(|(_, r)| r).unwrap_or(&rec));
+    obs.write(async_pass.as_ref().map(|(_, r, _)| r).unwrap_or(&rec));
 }

@@ -7,8 +7,12 @@
 //! them through a session completion queue). The output is byte-identical
 //! either way: a single work-item at global id 0 observes the same RNG
 //! stream on the pool as in-process, so the measured overhead — and every
-//! model cell derived from it — is the same `f64`.
+//! model cell derived from it — is the same `f64`. `--trace`/`--metrics`
+//! attach a recorder to the pool, exporting the calibration jobs' phase
+//! timelines — tracing must never change the table, which is what the CI
+//! parity diff pins.
 
+use dwi_bench::obs::ObsArgs;
 use dwi_bench::runtime_args::{Pool, RuntimeArgs};
 use dwi_core::experiment::{calibration_kernel, measure_rejection_overhead, table3_with};
 use dwi_core::{ExecutionPlan, Table3, Workload};
@@ -42,7 +46,12 @@ fn build(w: &Workload, pool: Option<&Pool>) -> Table3 {
 
 fn main() {
     let rta = RuntimeArgs::from_env();
-    let pool = rta.build();
+    let obs = ObsArgs::from_env();
+    let rec = obs.enabled().then(dwi_trace::Recorder::new);
+    let pool = match &rec {
+        Some(rec) => rta.build_with(rec.sink()),
+        None => rta.build(),
+    };
     let w = Workload::paper();
     let t = build(&w, pool.as_ref());
     println!("Table III: Runtime [ms] (modeled; paper values in parentheses)\n");
@@ -62,4 +71,9 @@ fn main() {
         c1.fpga_speedup_vs(DeviceKind::Gpu).unwrap(),
         c1.fpga_speedup_vs(DeviceKind::Phi).unwrap()
     );
+    // Pool teardown flushed the last timelines; export after.
+    if let Some(rec) = &rec {
+        drop(pool);
+        obs.write(rec);
+    }
 }

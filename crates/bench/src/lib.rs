@@ -20,5 +20,6 @@
 pub mod figures;
 pub mod microbench;
 pub mod obs;
+pub mod profile;
 pub mod render;
 pub mod runtime_args;

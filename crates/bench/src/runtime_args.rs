@@ -112,6 +112,18 @@ impl RuntimeArgs {
             use_async: self.use_async,
         })
     }
+
+    /// Build the pool with a trace sink attached, so `--runtime` composes
+    /// with `--trace`/`--metrics`: the runtime's job timelines, phase
+    /// histograms and worker spans land in the same exports as the
+    /// engines' own metrics — without perturbing the printed output (the
+    /// CI parity diffs pin that).
+    pub fn build_with(&self, sink: dwi_trace::TraceSink) -> Option<Pool> {
+        self.enabled.then(|| Pool {
+            rt: Runtime::new(self.config().trace(sink)),
+            use_async: self.use_async,
+        })
+    }
 }
 
 /// A [`Runtime`] plus the submission discipline the flags selected:

@@ -13,6 +13,7 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::time::{Duration, Instant};
 
 use crate::session::CompletionShared;
+use crate::timeline::{JobOutcome, JobTimeline};
 
 use dwi_core::backend::{ExecutionPlan, FusedBatch, RunReport};
 use dwi_core::kernel::WorkItemKernel;
@@ -191,6 +192,16 @@ pub enum JobError {
     Expired,
 }
 
+impl JobError {
+    /// The timeline outcome this failure maps to.
+    pub(crate) fn outcome(&self) -> JobOutcome {
+        match self {
+            JobError::Cancelled => JobOutcome::Cancelled,
+            JobError::Expired => JobOutcome::Expired,
+        }
+    }
+}
+
 /// Result-cache key: `(kernel id, plan fingerprint, seed)`.
 pub(crate) type CacheKey = (&'static str, String, u64);
 
@@ -239,6 +250,10 @@ pub(crate) struct JobInner {
     /// Set only on the synthetic job of a fused dispatch: how to split
     /// the merged report back into the members' reports.
     pub batch: Option<BatchDemux>,
+    /// Lifecycle milestones, marked at every scheduler transition and
+    /// exported (histograms / Chrome spans / flight recorder) when the
+    /// job turns terminal.
+    pub timeline: JobTimeline,
 }
 
 /// Shared scheduler-side state of one job.
@@ -275,6 +290,7 @@ impl JobState {
                 admitted: now,
                 backoff: Duration::ZERO,
                 batch: None,
+                timeline: JobTimeline::new(id, spec_client, priority.label()),
             }),
             cv: Condvar::new(),
             completion: Mutex::new(None),
@@ -398,6 +414,16 @@ impl JobHandle {
     /// [`Runtime::submit_blocking`]: crate::Runtime::submit_blocking
     pub fn total_backoff(&self) -> Duration {
         self.state.lock().backoff
+    }
+
+    /// Snapshot of the job's lifecycle timeline — live milestones while
+    /// the job is in flight, the full phase record once terminal. (The
+    /// runtime's flight recorder keeps the last N of these after the
+    /// handle is gone; see [`Runtime::flight_dump`].)
+    ///
+    /// [`Runtime::flight_dump`]: crate::Runtime::flight_dump
+    pub fn timeline(&self) -> JobTimeline {
+        self.state.lock().timeline.clone()
     }
 
     /// Block until the job reaches a terminal state.

@@ -76,12 +76,14 @@ mod metrics;
 mod queue;
 mod session;
 mod shard;
+mod timeline;
 mod worker;
 
 pub use job::{JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, SharedKernel};
 pub use queue::SubmitRejected;
 pub use session::{Completion, Session, Ticket};
 pub use shard::AdaptiveSharding;
+pub use timeline::{JobOutcome, JobTimeline, ShardSpan, PHASES};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,7 +95,7 @@ use dwi_core::backend::{
     Backend, CycleSim, ExecutionPlan, FunctionalDecoupled, FusedJob, LockstepCoupled, NdRange,
     RunReport, SimtTrace,
 };
-use dwi_trace::TraceSink;
+use dwi_trace::{FlightRecorder, TraceSink};
 
 use crate::cache::LruCache;
 use crate::job::{JobState, Status};
@@ -122,13 +124,18 @@ pub struct RuntimeConfig {
     /// Adaptive shard-count controller (`None`: every kernel job without
     /// an explicit override uses [`default_shards`](Self::default_shards)).
     pub adaptive: Option<AdaptiveSharding>,
+    /// Flight-recorder capacity: the last N completed [`JobTimeline`]s
+    /// are kept in an always-on ring (0 disables), dumpable via
+    /// [`Runtime::flight_dump`] — the post-hoc answer to "what did the
+    /// last breaching jobs actually spend their time on".
+    pub flight_capacity: usize,
     /// Sink for runtime metrics and worker timeline tracks.
     pub sink: TraceSink,
 }
 
 impl RuntimeConfig {
     /// Defaults: 64-job queue, 32-entry cache, shard-per-worker, batching
-    /// and adaptivity off, tracing off.
+    /// and adaptivity off, a 256-timeline flight recorder, tracing off.
     pub fn new(workers: usize) -> Self {
         Self {
             workers: workers.max(1),
@@ -138,6 +145,7 @@ impl RuntimeConfig {
             batch_max_jobs: 1,
             batch_window: Duration::ZERO,
             adaptive: None,
+            flight_capacity: 256,
             sink: TraceSink::disabled(),
         }
     }
@@ -179,6 +187,12 @@ impl RuntimeConfig {
         self
     }
 
+    /// Set the flight-recorder capacity (0 disables it).
+    pub fn flight_capacity(mut self, capacity: usize) -> Self {
+        self.flight_capacity = capacity;
+        self
+    }
+
     /// Attach a trace sink.
     pub fn trace(mut self, sink: TraceSink) -> Self {
         self.sink = sink;
@@ -211,6 +225,8 @@ pub(crate) struct Core {
     pub batch_max: usize,
     pub batch_window: Duration,
     pub adaptive: Option<AdaptiveSharding>,
+    /// Always-on ring of the last N completed job timelines.
+    pub flight: FlightRecorder<JobTimeline>,
     /// Job-id mint, shared with the dispatch path (fused batches get a
     /// synthetic job with its own id).
     pub next_id: AtomicU64,
@@ -227,6 +243,42 @@ impl Core {
 
     pub fn wait_for_work<'a>(&self, st: MutexGuard<'a, SchedState>) -> MutexGuard<'a, SchedState> {
         self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Close `state`'s timeline with `outcome`, returning the snapshot
+    /// to export once the job's locks are released.
+    pub(crate) fn close_timeline(
+        &self,
+        state: &JobState,
+        outcome: timeline::JobOutcome,
+    ) -> JobTimeline {
+        state.lock().timeline.finish(outcome)
+    }
+
+    /// Export one terminal timeline: per-phase + end-to-end histograms
+    /// and Chrome spans on the job's `ProcessKind::Job` track when
+    /// tracing is attached, and the always-on flight recorder either
+    /// way. Call *before* the job's completion becomes observable
+    /// (status write / waking waiters), so that by the time a client
+    /// sees a job finish its timeline is already dumpable — sink and
+    /// flight locks nest safely inside the job's inner lock.
+    pub(crate) fn export_timeline(&self, tl: JobTimeline) {
+        if self.sink.is_enabled() {
+            if let Some(e2e) = tl.e2e() {
+                self.metrics.job_e2e(tl.lane, e2e.as_secs_f64());
+            }
+            let track = self
+                .sink
+                .track(tl.job_id as u32, dwi_trace::ProcessKind::Job);
+            for (phase, start, dur) in tl.segments() {
+                self.metrics.phase(phase, tl.lane, dur.as_secs_f64());
+                track.span_at(phase, self.sink.instant_ns(start), dur.as_nanos() as u64);
+            }
+            if self.flight.capacity() > 0 {
+                self.metrics.flight_recorded();
+            }
+        }
+        self.flight.record(tl);
     }
 
     /// Suggested resubmission delay when the queue is full: the backlog's
@@ -283,6 +335,7 @@ impl Runtime {
             batch_max: config.batch_max_jobs.max(1),
             batch_window: config.batch_window,
             adaptive: config.adaptive,
+            flight: FlightRecorder::new(config.flight_capacity),
             next_id: AtomicU64::new(0),
         });
         let handles = (0..config.workers)
@@ -301,6 +354,15 @@ impl Runtime {
     /// Worker threads in the pool.
     pub fn workers(&self) -> usize {
         self.core.workers
+    }
+
+    /// Snapshot the flight recorder: the last
+    /// [`flight_capacity`](RuntimeConfig::flight_capacity) terminal
+    /// [`JobTimeline`]s (completed, cache-hit, cancelled or expired), in
+    /// completion order. Always on — works with tracing disabled — so a
+    /// live incident can be diagnosed after the fact without a restart.
+    pub fn flight_dump(&self) -> Vec<JobTimeline> {
+        self.core.flight.dump()
     }
 
     /// Open an async submission [`Session`] for tenant `client`: a
@@ -349,6 +411,12 @@ impl Runtime {
                         self.core.metrics.cache_hit();
                         self.core.metrics.job_submitted(spec.priority);
                         self.core.metrics.job_completed(0.0);
+                        let tl = {
+                            let mut inner = state.lock();
+                            inner.timeline.cache_hit = true;
+                            inner.timeline.finish(timeline::JobOutcome::CacheHit)
+                        };
+                        self.core.export_timeline(tl);
                         // finish() (not a bare status write) so a session
                         // hook sees the synchronous completion too.
                         state.finish(Status::Done(Some(JobOutput::Kernel(report))));
@@ -356,13 +424,17 @@ impl Runtime {
                     }
                     self.core.metrics.cache_miss();
                 }
-                state.lock().cache_key = cache_key;
                 // Deadline jobs must not sit out a batch window; explicit
                 // shard overrides are the deterministic dispatch path —
                 // both stay out of the coalescing stage.
                 let batch_key =
                     (self.core.batch_max > 1 && spec.deadline.is_none() && spec.shards.is_none())
                         .then(|| FusedJob::batch_key(kernel.as_ref(), &plan));
+                {
+                    let mut inner = state.lock();
+                    inner.cache_key = cache_key;
+                    inner.timeline.batch_key = batch_key.as_deref().map(Arc::from);
+                }
                 QueuedJob {
                     state: state.clone(),
                     work: JobWork::Kernel { kernel, plan },
@@ -428,7 +500,11 @@ impl Runtime {
                 }
             }
         }
-        state.lock().backoff = total;
+        {
+            let mut inner = state.lock();
+            inner.backoff = total;
+            inner.timeline.backoff = total;
+        }
         self.core.metrics.submit_backoff(total.as_secs_f64());
         state
     }
@@ -459,9 +535,14 @@ impl Runtime {
                 retry_after: self.core.retry_after(&st),
             };
             drop(st);
+            // Rejections count as submission attempts too, so the
+            // conservation identity `submitted = completed + rejected +
+            // cancelled + expired` holds per attempt.
+            self.core.metrics.job_submitted(lane);
             self.core.metrics.job_rejected();
             return Err((rejected, job));
         }
+        job.state.lock().timeline.mark_admitted();
         st.queue.push(job);
         self.core.metrics.job_submitted(lane);
         self.core

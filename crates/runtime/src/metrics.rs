@@ -26,7 +26,8 @@ impl RuntimeMetrics {
 
     pub fn job_completed(&self, latency_s: f64) {
         self.sink.counter(fam::JOBS_COMPLETED, &[]).inc();
-        self.sink.observe(fam::JOB_LATENCY, &[], latency_s);
+        self.sink
+            .observe_histogram(fam::JOB_LATENCY, &[], latency_s);
     }
 
     pub fn job_rejected(&self) {
@@ -60,7 +61,29 @@ impl RuntimeMetrics {
         self.sink
             .counter(fam::SHARDS_EXECUTED, &[("worker", worker)])
             .inc();
-        self.sink.observe(fam::SHARD_LATENCY, &[], latency_s);
+        self.sink
+            .observe_histogram(fam::SHARD_LATENCY, &[], latency_s);
+    }
+
+    /// One lifecycle phase duration for a finished job, attributed by
+    /// the telescoping model of [`crate::JobTimeline`].
+    pub fn phase(&self, phase: &'static str, lane: &'static str, secs: f64) {
+        self.sink.observe_histogram(
+            fam::PHASE_SECONDS,
+            &[("phase", phase), ("lane", lane)],
+            secs,
+        );
+    }
+
+    /// End-to-end submitted→terminal latency for a finished job.
+    pub fn job_e2e(&self, lane: &'static str, secs: f64) {
+        self.sink
+            .observe_histogram(fam::JOB_E2E, &[("lane", lane)], secs);
+    }
+
+    /// One timeline written into the flight recorder ring.
+    pub fn flight_recorded(&self) {
+        self.sink.counter(fam::FLIGHT_RECORDS, &[]).inc();
     }
 
     pub fn worker_utilization(&self, worker: &str, frac: f64) {

@@ -51,6 +51,9 @@ pub struct Completion {
     pub ticket: Ticket,
     /// The job's terminal outcome — its output, or why it failed.
     pub result: Result<JobOutput, JobError>,
+    /// The job's closed lifecycle record: where its end-to-end latency
+    /// went, phase by phase (see [`crate::JobTimeline`]).
+    pub timeline: crate::JobTimeline,
 }
 
 /// The half of a session the scheduler writes to: a bounded-by-in-flight
@@ -321,6 +324,7 @@ impl<'rt> Session<'rt> {
         Completion {
             ticket: Ticket(state.id),
             result,
+            timeline: inner.timeline.clone(),
         }
     }
 }

@@ -137,6 +137,7 @@ pub(crate) fn explode(job: QueuedJob, shards: u32) -> Vec<ShardTask> {
                 inner.reports = (0..n).map(|_| None).collect();
                 inner.remaining = n;
                 inner.plan = Some(plan);
+                inner.timeline.mark_dispatched(n as u32);
             }
             shard_plans
                 .into_iter()
@@ -156,6 +157,7 @@ pub(crate) fn explode(job: QueuedJob, shards: u32) -> Vec<ShardTask> {
                 let mut inner = job.state.lock();
                 inner.status = Status::Running;
                 inner.remaining = 1;
+                inner.timeline.mark_dispatched(1);
             }
             vec![ShardTask {
                 state: job.state,

@@ -1,0 +1,369 @@
+//! The job-lifecycle timeline: monotonic timestamps at every scheduler
+//! transition one job goes through, carried on the job itself and
+//! exported when it reaches a terminal state.
+//!
+//! The phase model **telescopes**: each milestone is attributed the gap
+//! since the previous *present* milestone, so the per-phase durations of
+//! one job sum exactly to its end-to-end latency — no double counting,
+//! no unattributed remainder. The phases, in lifecycle order:
+//!
+//! | phase          | interval                                  | what it measures |
+//! |----------------|-------------------------------------------|------------------|
+//! | `admit`        | submitted → admitted                      | backpressure backoff + admission bookkeeping |
+//! | `queue`        | admitted → dequeued                       | residency in the admission queue |
+//! | `coalesce`     | dequeued → dispatched                     | batch-window wait + fusion (≈0 when batching is off) |
+//! | `dispatch`     | dispatched → first shard start            | shard-queue residency |
+//! | `execute`      | first shard start → last shard end        | backend execution (all shards) |
+//! | `merge`        | last shard end → merged                   | report merge + demux |
+//! | `deliver`      | merged → completed                        | caching, waking waiters, completion delivery |
+//! | `cache_lookup` | submitted → completed (cache hits only)   | the whole fast path |
+//!
+//! A job that dies early (cancelled in queue, expired mid-batch) simply
+//! lacks the later milestones; the walk attributes the remaining time to
+//! the first absent milestone's predecessor-to-terminal gap, keeping the
+//! telescoping identity intact on every path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Every phase name the timeline can emit, in lifecycle order — the
+/// label vocabulary of `dwi_runtime_phase_seconds`.
+pub const PHASES: &[&str] = &[
+    "cache_lookup",
+    "admit",
+    "queue",
+    "coalesce",
+    "dispatch",
+    "execute",
+    "merge",
+    "deliver",
+];
+
+/// How one job left the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Still in flight (only visible on snapshots of live jobs).
+    Pending,
+    /// Completed and delivered a report / task output.
+    Completed,
+    /// Served synchronously from the result cache.
+    CacheHit,
+    /// Cancelled by its client.
+    Cancelled,
+    /// Deadline elapsed before completion.
+    Expired,
+}
+
+impl JobOutcome {
+    /// Stable lowercase label (`"completed"`), for reports and JSON.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Pending => "pending",
+            JobOutcome::Completed => "completed",
+            JobOutcome::CacheHit => "cache_hit",
+            JobOutcome::Cancelled => "cancelled",
+            JobOutcome::Expired => "expired",
+        }
+    }
+}
+
+/// One shard's execution window on one worker.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardSpan {
+    /// Shard index in the job's split order.
+    pub index: u32,
+    /// Executing worker.
+    pub worker: u32,
+    /// Execution start.
+    pub start: Instant,
+    /// Execution end.
+    pub end: Instant,
+}
+
+/// The lifecycle record of one logical job. Cheap to clone (the only
+/// heap parts are the shard-span vector and a shared batch key), so
+/// completed timelines can be snapshotted into the flight recorder and
+/// handed to profiling code without touching the job again.
+#[derive(Debug, Clone)]
+pub struct JobTimeline {
+    /// Runtime-assigned job id.
+    pub job_id: u64,
+    /// Submitting tenant.
+    pub client: u32,
+    /// Priority-lane label (`"high"`/`"normal"`/`"low"`).
+    pub lane: &'static str,
+    /// Submission time — before any backpressure backoff.
+    pub submitted: Instant,
+    /// Admitted into the bounded queue.
+    pub admitted: Option<Instant>,
+    /// Popped from the admission queue by a worker (or drained into a
+    /// forming batch).
+    pub dequeued: Option<Instant>,
+    /// Exploded into shard tasks (after any batch window + fusion).
+    pub dispatched: Option<Instant>,
+    /// Merged report ready (kernel) / task closure returned.
+    pub merged: Option<Instant>,
+    /// Terminal state reached.
+    pub completed: Option<Instant>,
+    /// Per-shard execution windows, in completion order.
+    pub shard_spans: Vec<ShardSpan>,
+    /// Shards the dispatch split into (0 until dispatched).
+    pub shards: u32,
+    /// Logical jobs sharing this job's fused dispatch (1 = unbatched).
+    pub batch_occupancy: u32,
+    /// Served from the result cache without touching a worker.
+    pub cache_hit: bool,
+    /// Terminal outcome.
+    pub outcome: JobOutcome,
+    /// The job's fusion-compatibility key, when it was eligible for the
+    /// coalescing stage (diagnostics: why did batches not form?).
+    pub batch_key: Option<Arc<str>>,
+    /// Backpressure backoff included in the `admit` phase.
+    pub backoff: Duration,
+}
+
+impl JobTimeline {
+    /// A fresh timeline stamped `submitted = now`.
+    pub fn new(job_id: u64, client: u32, lane: &'static str) -> Self {
+        Self {
+            job_id,
+            client,
+            lane,
+            submitted: Instant::now(),
+            admitted: None,
+            dequeued: None,
+            dispatched: None,
+            merged: None,
+            completed: None,
+            shard_spans: Vec::new(),
+            shards: 0,
+            batch_occupancy: 1,
+            cache_hit: false,
+            outcome: JobOutcome::Pending,
+            batch_key: None,
+            backoff: Duration::ZERO,
+        }
+    }
+
+    /// Mark admission (idempotent: blocking resubmissions keep the first
+    /// admission only — earlier rejected attempts are part of `admit`).
+    pub fn mark_admitted(&mut self) {
+        self.admitted.get_or_insert_with(Instant::now);
+    }
+
+    /// Mark removal from the admission queue (idempotent).
+    pub fn mark_dequeued(&mut self) {
+        self.dequeued.get_or_insert_with(Instant::now);
+    }
+
+    /// Mark shard explosion: the dispatch decision is made.
+    pub fn mark_dispatched(&mut self, shards: u32) {
+        self.dispatched.get_or_insert_with(Instant::now);
+        self.shards = shards;
+    }
+
+    /// Record one shard's execution window.
+    pub fn record_shard_span(&mut self, index: u32, worker: u32, start: Instant, end: Instant) {
+        self.shard_spans.push(ShardSpan {
+            index,
+            worker,
+            start,
+            end,
+        });
+    }
+
+    /// Mark the merged report (or task output) ready.
+    pub fn mark_merged(&mut self) {
+        self.merged.get_or_insert_with(Instant::now);
+    }
+
+    /// First shard execution start, if any ran.
+    pub fn first_shard_start(&self) -> Option<Instant> {
+        self.shard_spans.iter().map(|s| s.start).min()
+    }
+
+    /// Last shard execution end, if any ran.
+    pub fn last_shard_end(&self) -> Option<Instant> {
+        self.shard_spans.iter().map(|s| s.end).max()
+    }
+
+    /// Close the timeline: stamp `completed = now`, set the outcome, and
+    /// return a snapshot for export. Call under the job's inner lock at
+    /// the terminal transition; export the snapshot after releasing it.
+    pub fn finish(&mut self, outcome: JobOutcome) -> JobTimeline {
+        self.completed.get_or_insert_with(Instant::now);
+        self.outcome = outcome;
+        self.clone()
+    }
+
+    /// Adopt the execution-side milestones of the synthetic batch job
+    /// this member rode: dispatch decision, shard windows, merge point,
+    /// and occupancy. The member keeps its own admission-side marks
+    /// (`submitted`/`admitted`/`dequeued`), so its `coalesce` phase
+    /// covers the batch window it waited out.
+    pub fn adopt_batch(&mut self, batch: &JobTimeline) {
+        self.dispatched = self.dispatched.or(batch.dispatched);
+        self.merged = self.merged.or(batch.merged);
+        if self.shard_spans.is_empty() {
+            self.shard_spans = batch.shard_spans.clone();
+        }
+        self.shards = batch.shards;
+        self.batch_occupancy = batch.batch_occupancy;
+    }
+
+    /// End-to-end latency (`submitted → completed`), when terminal.
+    pub fn e2e(&self) -> Option<Duration> {
+        self.completed
+            .map(|c| c.saturating_duration_since(self.submitted))
+    }
+
+    /// The telescoping phase walk: `(phase, start, duration)` per present
+    /// milestone, summing exactly to [`e2e`](Self::e2e). Empty until the
+    /// job is terminal.
+    pub fn segments(&self) -> Vec<(&'static str, Instant, Duration)> {
+        let Some(completed) = self.completed else {
+            return Vec::new();
+        };
+        if self.cache_hit {
+            return vec![(
+                "cache_lookup",
+                self.submitted,
+                completed.saturating_duration_since(self.submitted),
+            )];
+        }
+        let milestones: [(&'static str, Option<Instant>); 7] = [
+            ("admit", self.admitted),
+            ("queue", self.dequeued),
+            ("coalesce", self.dispatched),
+            ("dispatch", self.first_shard_start()),
+            ("execute", self.last_shard_end()),
+            ("merge", self.merged),
+            ("deliver", Some(completed)),
+        ];
+        let mut out = Vec::with_capacity(milestones.len());
+        let mut prev = self.submitted;
+        for (name, at) in milestones {
+            if let Some(at) = at {
+                out.push((name, prev, at.saturating_duration_since(prev)));
+                prev = prev.max(at);
+            }
+        }
+        out
+    }
+
+    /// Per-phase durations (the [`segments`](Self::segments) walk without
+    /// the start instants).
+    pub fn phases(&self) -> Vec<(&'static str, Duration)> {
+        self.segments()
+            .into_iter()
+            .map(|(name, _, dur)| (name, dur))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(base: Instant, ms: u64) -> Instant {
+        base + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn phases_telescope_to_e2e() {
+        let mut tl = JobTimeline::new(1, 0, "normal");
+        let t0 = tl.submitted;
+        tl.admitted = Some(at(t0, 1));
+        tl.dequeued = Some(at(t0, 3));
+        tl.dispatched = Some(at(t0, 4));
+        tl.record_shard_span(0, 0, at(t0, 5), at(t0, 9));
+        tl.record_shard_span(1, 1, at(t0, 5), at(t0, 11));
+        tl.merged = Some(at(t0, 12));
+        tl.completed = Some(at(t0, 13));
+        tl.outcome = JobOutcome::Completed;
+        let phases = tl.phases();
+        let names: Vec<_> = phases.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["admit", "queue", "coalesce", "dispatch", "execute", "merge", "deliver"]
+        );
+        let sum: Duration = phases.iter().map(|(_, d)| *d).sum();
+        assert_eq!(sum, tl.e2e().unwrap());
+        assert_eq!(sum, Duration::from_millis(13));
+        // Execute covers first shard start → last shard end.
+        let exec = phases.iter().find(|(n, _)| *n == "execute").unwrap().1;
+        assert_eq!(exec, Duration::from_millis(6));
+        for (name, _) in &phases {
+            assert!(PHASES.contains(name), "{name} not in the vocabulary");
+        }
+    }
+
+    #[test]
+    fn cache_hit_is_one_phase() {
+        let mut tl = JobTimeline::new(2, 0, "high");
+        tl.cache_hit = true;
+        let t0 = tl.submitted;
+        tl.completed = Some(at(t0, 2));
+        tl.outcome = JobOutcome::CacheHit;
+        let phases = tl.phases();
+        assert_eq!(phases.len(), 1);
+        assert_eq!(phases[0].0, "cache_lookup");
+        assert_eq!(phases[0].1, tl.e2e().unwrap());
+    }
+
+    #[test]
+    fn early_death_still_telescopes() {
+        // Cancelled while queued: no dispatch/execute/merge milestones.
+        let mut tl = JobTimeline::new(3, 1, "low");
+        let t0 = tl.submitted;
+        tl.admitted = Some(at(t0, 1));
+        tl.dequeued = Some(at(t0, 6));
+        tl.completed = Some(at(t0, 7));
+        tl.outcome = JobOutcome::Cancelled;
+        let phases = tl.phases();
+        let names: Vec<_> = phases.iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["admit", "queue", "deliver"]);
+        let sum: Duration = phases.iter().map(|(_, d)| *d).sum();
+        assert_eq!(sum, tl.e2e().unwrap());
+    }
+
+    #[test]
+    fn adopt_batch_keeps_admission_side() {
+        let mut member = JobTimeline::new(4, 0, "normal");
+        let t0 = member.submitted;
+        member.admitted = Some(at(t0, 1));
+        member.dequeued = Some(at(t0, 2));
+        let mut synthetic = JobTimeline::new(99, 0, "normal");
+        synthetic.dispatched = Some(at(t0, 5));
+        synthetic.record_shard_span(0, 0, at(t0, 6), at(t0, 8));
+        synthetic.merged = Some(at(t0, 9));
+        synthetic.shards = 1;
+        synthetic.batch_occupancy = 3;
+        member.adopt_batch(&synthetic);
+        member.completed = Some(at(t0, 10));
+        member.outcome = JobOutcome::Completed;
+        assert_eq!(member.batch_occupancy, 3);
+        assert_eq!(member.dequeued, Some(at(t0, 2)));
+        let phases = member.phases();
+        // coalesce = dequeued → batch dispatch: the window the member
+        // waited for the batch to form.
+        let coalesce = phases.iter().find(|(n, _)| *n == "coalesce").unwrap().1;
+        assert_eq!(coalesce, Duration::from_millis(3));
+        let sum: Duration = phases.iter().map(|(_, d)| *d).sum();
+        assert_eq!(sum, tl_e2e(&member));
+    }
+
+    fn tl_e2e(tl: &JobTimeline) -> Duration {
+        tl.e2e().unwrap()
+    }
+
+    #[test]
+    fn marks_are_idempotent() {
+        let mut tl = JobTimeline::new(5, 0, "normal");
+        tl.mark_admitted();
+        let first = tl.admitted;
+        std::thread::sleep(Duration::from_millis(1));
+        tl.mark_admitted();
+        assert_eq!(tl.admitted, first);
+    }
+}

@@ -20,6 +20,7 @@ use dwi_trace::ProcessKind;
 use crate::job::{BatchDemux, BatchMember, CacheKey, JobError, JobState, Status};
 use crate::queue::{JobWork, QueuedJob};
 use crate::shard::{ShardTask, ShardWork};
+use crate::timeline::{JobOutcome, JobTimeline};
 use crate::{Core, SchedState};
 
 pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend + Send>) {
@@ -40,6 +41,7 @@ pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend 
                 if let Some(job) = st.queue.pop() {
                     let lane = job.state.priority;
                     core.metrics.queue_depth(lane, st.queue.lane_depth(lane));
+                    job.state.lock().timeline.mark_dequeued();
                     // A job cancelled or expired while queued never
                     // reaches a backend: drop it here and keep draining.
                     if let Some(err) = job.state.abort_error(Instant::now()) {
@@ -59,7 +61,7 @@ pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend 
         // A shard of a cancelled/expired job is skipped, not executed —
         // cancellation frees the worker for the next job immediately.
         if let Some(err) = shard.state.abort_error(Instant::now()) {
-            core.finish_kernel_shard(&shard.state, shard.index, None, Some(err));
+            core.finish_kernel_shard(&shard.state, shard.index, None, None, Some(err));
             continue;
         }
 
@@ -72,21 +74,29 @@ pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend 
                 if track.is_enabled() {
                     track.span_since(format!("job{} shard{}", shard.state.id, shard.index), t0);
                 }
-                let dt = t_start.elapsed().as_secs_f64();
+                let t_end = Instant::now();
+                let dt = (t_end - t_start).as_secs_f64();
                 busy_s += dt;
                 core.record_shard(&worker_label, dt, groups);
                 core.metrics.worker_utilization(
                     &worker_label,
                     busy_s / started.elapsed().as_secs_f64().max(1e-9),
                 );
-                core.finish_kernel_shard(&shard.state, shard.index, Some(report), None);
+                core.finish_kernel_shard(
+                    &shard.state,
+                    shard.index,
+                    Some((idx as u32, t_start, t_end)),
+                    Some(report),
+                    None,
+                );
             }
             ShardWork::Task(f) => {
                 let out = f();
                 if track.is_enabled() {
                     track.span_since(format!("job{} task", shard.state.id), t0);
                 }
-                let dt = t_start.elapsed().as_secs_f64();
+                let t_end = Instant::now();
+                let dt = (t_end - t_start).as_secs_f64();
                 busy_s += dt;
                 core.record_shard(&worker_label, dt, 0);
                 core.metrics.worker_utilization(
@@ -98,8 +108,19 @@ pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend 
                 if let Some(err) = shard.state.abort_error(Instant::now()) {
                     core.finalize_failed(&shard.state, err);
                 } else {
-                    let latency = shard.state.lock().admitted.elapsed().as_secs_f64();
+                    let (latency, tl) = {
+                        let mut inner = shard.state.lock();
+                        inner
+                            .timeline
+                            .record_shard_span(0, idx as u32, t_start, t_end);
+                        inner.timeline.mark_merged();
+                        (
+                            inner.admitted.elapsed().as_secs_f64(),
+                            inner.timeline.finish(JobOutcome::Completed),
+                        )
+                    };
                     core.metrics.job_completed(latency);
+                    core.export_timeline(tl);
                     shard
                         .state
                         .finish(Status::Done(Some(crate::job::JobOutput::Task(out))));
@@ -202,6 +223,9 @@ impl Core {
             let key = {
                 let mut inner = m.state.lock();
                 inner.status = Status::Running;
+                // Drained mates skip the worker-loop pop path, so their
+                // queue residency ends here, at the batch's formation.
+                inner.timeline.mark_dequeued();
                 inner.cache_key.clone()
             };
             if let Some(k) = &key {
@@ -233,10 +257,17 @@ impl Core {
             leader.priority,
             None,
         ));
-        state.lock().batch = Some(BatchDemux {
-            fused: batch,
-            members: batch_members,
-        });
+        {
+            let mut inner = state.lock();
+            inner.batch = Some(BatchDemux {
+                fused: batch,
+                members: batch_members,
+            });
+            // The synthetic timeline is the execution-side record every
+            // member adopts at demux; stamp the batch's occupancy on it.
+            inner.timeline.batch_occupancy = occupancy as u32;
+            inner.timeline.mark_dequeued();
+        }
         QueuedJob {
             state,
             work: JobWork::Kernel { kernel, plan },
@@ -293,21 +324,30 @@ impl Core {
             JobError::Cancelled => self.metrics.job_cancelled(),
             JobError::Expired => self.metrics.job_expired(),
         }
+        let tl = self.close_timeline(state, err.outcome());
+        self.export_timeline(tl);
         state.finish(Status::Failed(err));
     }
 
     /// Account one finished (or skipped) kernel shard; the last one
     /// finalizes the job — merging bit-identically when all shards ran
     /// (then demultiplexing per batch member for a fused dispatch),
-    /// failing when any was skipped.
+    /// failing when any was skipped. `span` is the executed shard's
+    /// `(worker, start, end)` for the timeline (`None` when skipped).
     pub(crate) fn finish_kernel_shard(
         &self,
         state: &Arc<crate::job::JobState>,
         index: usize,
+        span: Option<(u32, Instant, Instant)>,
         report: Option<dwi_core::backend::RunReport>,
         err: Option<JobError>,
     ) {
         let mut inner = state.lock();
+        if let Some((worker, start, end)) = span {
+            inner
+                .timeline
+                .record_shard_span(index as u32, worker, start, end);
+        }
         if let Some(r) = report {
             inner.reports[index] = Some(r);
         }
@@ -343,6 +383,7 @@ impl Core {
             .map(|r| r.expect("unskipped shard missing its report"))
             .collect();
         let merged = dwi_core::backend::RunReport::merge(&plan, shards);
+        inner.timeline.mark_merged();
         match inner.batch.take() {
             None => {
                 let report = Arc::new(merged);
@@ -353,6 +394,11 @@ impl Core {
                 if let Some(key) = inner.cache_key.take() {
                     self.lock_cache().put(key, report.clone());
                 }
+                let tl = inner.timeline.finish(JobOutcome::Completed);
+                // Export while the completion is not yet observable, so
+                // a waiter that sees Done can immediately flight-dump
+                // this job (sink locks nest inside the inner lock).
+                self.export_timeline(tl);
                 inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report)));
                 drop(inner);
                 state.cv.notify_all();
@@ -360,15 +406,18 @@ impl Core {
                 self.metrics.job_completed(latency);
             }
             Some(b) => {
+                // Snapshot the synthetic job's execution-side record for
+                // the members to adopt; it is never exported itself.
+                let batch_tl = inner.timeline.clone();
                 drop(inner);
                 let now = Instant::now();
                 let reports = b.fused.demux(merged);
                 debug_assert_eq!(reports.len(), b.members.len());
                 for (m, r) in b.members.into_iter().zip(reports) {
                     let report = Arc::new(r);
-                    self.deliver_member(&m.state, report.clone(), now);
+                    self.deliver_member(&m.state, report.clone(), &batch_tl, now);
                     for d in m.dupes {
-                        self.deliver_member(&d, report.clone(), now);
+                        self.deliver_member(&d, report.clone(), &batch_tl, now);
                     }
                 }
                 // The synthetic job has no waiters; close it out so a
@@ -380,11 +429,13 @@ impl Core {
 
     /// Deliver one batch member's demuxed report: abort-checked (a member
     /// cancelled mid-batch still fails), cached under the member's own
-    /// key, completion metrics per logical job.
+    /// key, completion metrics per logical job. The member's timeline
+    /// adopts `batch_tl`'s execution-side marks before closing.
     fn deliver_member(
         &self,
         state: &Arc<crate::job::JobState>,
         report: Arc<dwi_core::backend::RunReport>,
+        batch_tl: &JobTimeline,
         now: Instant,
     ) {
         if let Some(e) = state.abort_error(now) {
@@ -396,6 +447,9 @@ impl Core {
         if let Some(key) = inner.cache_key.take() {
             self.lock_cache().put(key, report.clone());
         }
+        inner.timeline.adopt_batch(batch_tl);
+        let tl = inner.timeline.finish(JobOutcome::Completed);
+        self.export_timeline(tl);
         inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report)));
         drop(inner);
         state.cv.notify_all();

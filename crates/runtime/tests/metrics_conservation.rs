@@ -1,0 +1,183 @@
+//! Metric-accounting contract of the runtime: one mixed run — completions,
+//! rejections, would-block refusals, blocking backoff, cancellations,
+//! deadline expiries, cache hits, fused batches, and a session round trip
+//! — leaves (a) the conservation identity `submitted = completed +
+//! rejected + cancelled + expired` holding exactly, and (b) no family in
+//! [`dwi_trace::runtime_metrics::ALL`] silent in the Prometheus
+//! exposition.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
+use dwi_runtime::{JobError, JobSpec, Runtime, RuntimeConfig, SharedKernel};
+use dwi_trace::metrics::base_name;
+use dwi_trace::{runtime_metrics as fam, Recorder};
+
+fn kernel(quota: u64, seed: u32) -> SharedKernel {
+    Arc::new(TruncatedNormalKernel::new(1.5, quota, seed))
+}
+
+/// Park the single worker until the sender delivers; returns after the
+/// worker has provably started, so the queue is empty and bounded tests
+/// are deterministic.
+fn blocker(rt: &Runtime) -> (dwi_runtime::JobHandle, mpsc::Sender<()>) {
+    let (release_tx, release_rx) = mpsc::channel();
+    let (started_tx, started_rx) = mpsc::channel();
+    let handle = rt
+        .submit(JobSpec::task(99, move || {
+            started_tx.send(()).ok();
+            release_rx.recv().ok();
+        }))
+        .expect("blocker admitted");
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("a worker picked up the blocker");
+    (handle, release_tx)
+}
+
+#[test]
+fn mixed_run_conserves_jobs_and_touches_every_family() {
+    let rec = Recorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .queue_bound(3)
+            .batching(4, Duration::ZERO)
+            .trace(rec.sink()),
+    );
+
+    // --- Backpressure: reject, would-block, and blocking backoff. ---
+    let (gate, release) = blocker(&rt);
+    let queued: Vec<_> = (0..3u32)
+        .map(|i| rt.submit(JobSpec::task(i, || ())).expect("within bound"))
+        .collect();
+    assert!(
+        rt.submit(JobSpec::task(9, || ())).is_err(),
+        "queue at bound rejects"
+    );
+    let mut session = rt.session(7);
+    assert!(
+        session.try_submit(JobSpec::task(7, || ())).is_err(),
+        "try_submit would block at the bound"
+    );
+    // A blocking submission rides the backoff loop: let its first attempt
+    // land (and get rejected) before the queue drains.
+    std::thread::scope(|s| {
+        let (ready_tx, ready_rx) = mpsc::channel();
+        let rt = &rt;
+        let rider = s.spawn(move || {
+            ready_tx.send(()).unwrap();
+            rt.submit_blocking(JobSpec::task(5, || ()))
+        });
+        ready_rx.recv().unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        release.send(()).unwrap();
+        let handle = rider.join().expect("rider thread");
+        assert!(
+            handle.total_backoff() > Duration::ZERO,
+            "the rider must have slept out at least one rejection"
+        );
+        handle.wait().expect("backoff job completes");
+    });
+    gate.wait().expect("blocker completes");
+    for h in queued {
+        h.wait().expect("queued jobs complete after release");
+    }
+
+    // --- Cancellation and deadline expiry. ---
+    let (gate, release) = blocker(&rt);
+    let cancelled = rt
+        .submit(JobSpec::kernel(0, kernel(256, 1), ExecutionPlan::new(4), 1))
+        .expect("admitted");
+    cancelled.cancel();
+    let expired = rt
+        .submit(
+            JobSpec::kernel(0, kernel(256, 2), ExecutionPlan::new(4), 2)
+                .deadline(Duration::from_millis(1)),
+        )
+        .expect("admitted");
+    std::thread::sleep(Duration::from_millis(5));
+    release.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    assert_eq!(cancelled.wait().unwrap_err(), JobError::Cancelled);
+    assert_eq!(expired.wait().unwrap_err(), JobError::Expired);
+
+    // --- Cache miss then hit. ---
+    let first = rt.run_kernel(kernel(64, 42), ExecutionPlan::new(2), 42);
+    let second = rt.run_kernel(kernel(64, 42), ExecutionPlan::new(2), 42);
+    assert!(Arc::ptr_eq(&first, &second), "second run is the cached Arc");
+
+    // --- A fused batch: two compatible jobs queued behind the blocker. ---
+    let (gate, release) = blocker(&rt);
+    let mates: Vec<_> = (10..12u32)
+        .map(|seed| {
+            rt.submit(JobSpec::kernel(
+                0,
+                kernel(64, seed),
+                ExecutionPlan::new(2),
+                seed as u64,
+            ))
+            .expect("admitted")
+        })
+        .collect();
+    release.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    for h in mates {
+        h.wait().expect("batched jobs complete");
+    }
+
+    // --- A session round trip (in-flight / completion-queue gauges). ---
+    let ticket = session.submit_blocking(JobSpec::kernel(
+        7,
+        kernel(64, 77),
+        ExecutionPlan::new(2),
+        77,
+    ));
+    let done = loop {
+        let mut got = session.wait_any(Duration::from_secs(60));
+        if let Some(d) = got.pop() {
+            break d;
+        }
+    };
+    assert_eq!(done.ticket, ticket);
+    done.result.expect("session job completes");
+    drop(session);
+
+    // Join the workers so every terminal counter increment has landed.
+    drop(rt);
+
+    let m = rec.metrics();
+    let total = |name: &str| -> u64 {
+        m.counters()
+            .iter()
+            .filter(|(k, _)| base_name(k) == name)
+            .map(|(_, v)| *v)
+            .sum()
+    };
+    let submitted = total(fam::JOBS_SUBMITTED);
+    let completed = total(fam::JOBS_COMPLETED);
+    let rejected = total(fam::JOBS_REJECTED);
+    let cancelled = total(fam::JOBS_CANCELLED);
+    let expired = total(fam::JOBS_EXPIRED);
+    assert!(submitted > 0 && completed > 0, "the run did real work");
+    assert!(rejected >= 2, "explicit + would-block + rider rejections");
+    assert_eq!(cancelled, 1);
+    assert_eq!(expired, 1);
+    assert_eq!(
+        submitted,
+        completed + rejected + cancelled + expired,
+        "conservation identity violated: {submitted} submitted vs \
+         {completed} completed + {rejected} rejected + {cancelled} \
+         cancelled + {expired} expired"
+    );
+    assert_eq!(total(fam::CACHE_HITS), 1);
+
+    let prom = rec.prometheus();
+    for family in fam::ALL {
+        assert!(
+            prom.contains(family),
+            "{family} missing from the exposition after a mixed run:\n{prom}"
+        );
+    }
+}

@@ -20,6 +20,10 @@ pub enum ProcessKind {
     Host,
     /// A runtime worker thread (one per virtual device in `dwi-runtime`).
     Worker,
+    /// One logical runtime job's lifecycle (`wid` carries the job id):
+    /// the per-phase attribution spans exported from a completed
+    /// `JobTimeline`.
+    Job,
 }
 
 impl ProcessKind {
@@ -31,6 +35,7 @@ impl ProcessKind {
             ProcessKind::Pipeline => "pipeline",
             ProcessKind::Host => "host",
             ProcessKind::Worker => "worker",
+            ProcessKind::Job => "job",
         }
     }
 
@@ -41,6 +46,7 @@ impl ProcessKind {
             ProcessKind::Pipeline => 2,
             ProcessKind::Host => 3,
             ProcessKind::Worker => 4,
+            ProcessKind::Job => 5,
         }
     }
 }
@@ -67,9 +73,13 @@ impl TrackId {
         self.wid as u64 * 8 + self.kind.index()
     }
 
-    /// Human-readable track name (`wi0/compute`).
+    /// Human-readable track name (`wi0/compute`; job-lifecycle tracks
+    /// read `job17`, since their `wid` is a job id, not a work-item).
     pub fn name(&self) -> String {
-        format!("wi{}/{}", self.wid, self.kind.label())
+        match self.kind {
+            ProcessKind::Job => format!("job{}", self.wid),
+            _ => format!("wi{}/{}", self.wid, self.kind.label()),
+        }
     }
 }
 
@@ -117,6 +127,7 @@ mod tests {
                 ProcessKind::Pipeline,
                 ProcessKind::Host,
                 ProcessKind::Worker,
+                ProcessKind::Job,
             ] {
                 tids.push(TrackId::new(wid, kind).tid());
             }

@@ -39,11 +39,15 @@
 
 pub mod chrome;
 pub mod event;
+pub mod flight;
+pub mod histogram;
 pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod runtime_metrics;
 
 pub use event::{EventKind, ProcessKind, TraceEvent, TrackId};
+pub use flight::FlightRecorder;
+pub use histogram::Histogram;
 pub use metrics::{parse_prometheus, Counter, Registry};
 pub use recorder::{Recorder, TraceSink, Track};

@@ -1,11 +1,15 @@
-//! Prometheus-style metrics: counters, gauges, and streaming summaries.
+//! Prometheus-style metrics: counters, gauges, streaming summaries, and
+//! fixed-bucket histograms.
 //!
 //! Counters hand out [`Counter`] handles backed by a shared `AtomicU64`,
 //! so hot-path increments cost one relaxed atomic add and no lock;
 //! summaries track p50/p90/p99 in O(1) memory via
-//! [`dwi_stats::P2Quantile`]. The disabled handles compile to a branch on
-//! `None` and nothing else.
+//! [`dwi_stats::P2Quantile`]; histograms use the shared log-scale bucket
+//! ladder of [`crate::histogram`] and render as the Prometheus
+//! `histogram` type (`_bucket{le=…}`/`_sum`/`_count`). The disabled
+//! handles compile to a branch on `None` and nothing else.
 
+use crate::histogram::Histogram;
 use dwi_stats::P2Quantile;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -24,6 +28,15 @@ pub fn metric_key(name: &str, labels: &[(&str, &str)]) -> String {
 /// The base metric name of a registry key (`name{…}` → `name`).
 pub fn base_name(key: &str) -> &str {
     key.split('{').next().unwrap_or(key)
+}
+
+/// Insert `suffix` into a registry key before its label braces
+/// (`name{a="1"}` + `_sum` → `name_sum{a="1"}`), per Prometheus naming.
+fn suffixed_key(key: &str, suffix: &str) -> String {
+    match key.find('{') {
+        Some(brace) => format!("{}{}{}", &key[..brace], suffix, &key[brace..]),
+        None => format!("{key}{suffix}"),
+    }
 }
 
 struct SummaryState {
@@ -59,6 +72,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     summaries: Mutex<BTreeMap<String, SummaryState>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -92,6 +106,32 @@ impl Registry {
             .entry(metric_key(name, labels))
             .or_insert_with(SummaryState::new)
             .observe(value);
+    }
+
+    /// Observe `value` (seconds) into the log-scale histogram
+    /// `name{labels}`.
+    pub fn observe_histogram(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        lock(&self.histograms)
+            .entry(metric_key(name, labels))
+            .or_default()
+            .observe(value);
+    }
+
+    /// Snapshot of one histogram series by full key (labels included).
+    pub fn histogram(&self, key: &str) -> Option<Histogram> {
+        lock(&self.histograms).get(key).cloned()
+    }
+
+    /// All histogram series of family `name`, merged — the cross-label
+    /// aggregate (e.g. every lane of `dwi_runtime_phase_seconds`).
+    pub fn histogram_family(&self, name: &str) -> Histogram {
+        let mut merged = Histogram::new();
+        for (key, h) in lock(&self.histograms).iter() {
+            if base_name(key) == name {
+                merged.merge(h);
+            }
+        }
+        merged
     }
 
     /// The current value of counter `key` (full key, labels included).
@@ -143,8 +183,35 @@ impl Registry {
                     out.push_str(&format!("{qkey} {}\n", q.quantile()));
                 }
             }
-            out.push_str(&format!("{}_sum {}\n", key, s.sum));
-            out.push_str(&format!("{}_count {}\n", key, s.count));
+            out.push_str(&format!("{} {}\n", suffixed_key(key, "_sum"), s.sum));
+            out.push_str(&format!("{} {}\n", suffixed_key(key, "_count"), s.count));
+        }
+        last_base.clear();
+        for (key, h) in lock(&self.histograms).iter() {
+            let base = base_name(key);
+            if base != last_base {
+                out.push_str(&format!("# TYPE {base} histogram\n"));
+                last_base = base.to_string();
+            }
+            let labels = &key[base.len()..]; // "" or "{k=\"v\",…}"
+            for (bound, cum) in h.cumulative() {
+                let le = if bound.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    format!("{bound}")
+                };
+                let bkey = if labels.is_empty() {
+                    format!("{base}_bucket{{le=\"{le}\"}}")
+                } else {
+                    format!(
+                        "{base}_bucket{{{},le=\"{le}\"}}",
+                        &labels[1..labels.len() - 1]
+                    )
+                };
+                out.push_str(&format!("{bkey} {cum}\n"));
+            }
+            out.push_str(&format!("{} {}\n", suffixed_key(key, "_sum"), h.sum()));
+            out.push_str(&format!("{} {}\n", suffixed_key(key, "_count"), h.count()));
         }
         out
     }
@@ -245,6 +312,35 @@ mod tests {
         assert_eq!(get("lat_seconds_count"), Some(100.0));
         let p50 = get("lat_seconds{quantile=\"0.5\"}").unwrap();
         assert!((p50 - 0.5).abs() < 0.1, "p50 {p50}");
+    }
+
+    #[test]
+    fn histograms_render_cumulative_buckets() {
+        let r = Registry::new();
+        r.observe_histogram("phase_seconds", &[("phase", "queue")], 3e-6);
+        r.observe_histogram("phase_seconds", &[("phase", "queue")], 3e-3);
+        r.observe_histogram("phase_seconds", &[("phase", "merge")], 1e-5);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE phase_seconds histogram"));
+        assert!(text.contains("phase_seconds_bucket{phase=\"queue\",le=\"+Inf\"} 2"));
+        assert!(text.contains("phase_seconds_count{phase=\"queue\"} 2"));
+        // The exposition parses back, and cumulative counts are monotone.
+        let samples = parse_prometheus(&text).unwrap();
+        let buckets: Vec<f64> = samples
+            .iter()
+            .filter(|(k, _)| k.starts_with("phase_seconds_bucket{phase=\"queue\""))
+            .map(|(_, v)| *v)
+            .collect();
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*buckets.last().unwrap(), 2.0);
+        // Family aggregate merges across label sets.
+        assert_eq!(r.histogram_family("phase_seconds").count(), 3);
+        assert_eq!(
+            r.histogram("phase_seconds{phase=\"merge\"}")
+                .unwrap()
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -159,6 +159,23 @@ impl TraceSink {
             s.metrics.observe(name, labels, value);
         }
     }
+
+    /// Observe into a log-scale histogram, if enabled.
+    pub fn observe_histogram(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        if let Some(s) = &self.0 {
+            s.metrics.observe_histogram(name, labels, value);
+        }
+    }
+
+    /// Convert a wall-clock [`Instant`] into nanoseconds since the
+    /// recorder epoch (0 when disabled, or for instants predating the
+    /// epoch) — how externally-timestamped records (e.g. a completed job
+    /// timeline) land on the same time axis as live spans.
+    pub fn instant_ns(&self, at: Instant) -> u64 {
+        self.0.as_ref().map_or(0, |s| {
+            at.saturating_duration_since(s.epoch).as_nanos() as u64
+        })
+    }
 }
 
 /// One thread's handle onto one timeline track. Buffers locally; flushes
@@ -215,6 +232,22 @@ impl Track {
                 kind: EventKind::Span {
                     dur_ns: end.saturating_sub(start_ns),
                 },
+            });
+        }
+    }
+
+    /// Record a complete span at an explicit start timestamp and
+    /// duration (both nanoseconds on the recorder epoch axis, e.g. from
+    /// [`TraceSink::instant_ns`]) — the retro-emission path used when a
+    /// timeline is reconstructed after the fact.
+    #[inline]
+    pub fn span_at(&self, name: impl Into<Cow<'static, str>>, ts_ns: u64, dur_ns: u64) {
+        if self.shared.is_some() {
+            self.buf.borrow_mut().push(TraceEvent {
+                track: self.id,
+                name: name.into(),
+                ts_ns,
+                kind: EventKind::Span { dur_ns },
             });
         }
     }

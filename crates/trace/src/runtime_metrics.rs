@@ -12,7 +12,10 @@
 /// labelled by priority lane (`lane="high"|"normal"|"low"`).
 pub const QUEUE_DEPTH: &str = "dwi_runtime_queue_depth";
 
-/// Counter: jobs admitted into the queue.
+/// Counter: submission attempts, labelled by priority lane. Incremented
+/// for admissions, cache-served submissions, *and* backpressure
+/// rejections, so the conservation identity holds exactly:
+/// `submitted = completed + rejected + cancelled + expired`.
 pub const JOBS_SUBMITTED: &str = "dwi_runtime_jobs_submitted_total";
 
 /// Counter: jobs that completed and delivered a report.
@@ -34,11 +37,26 @@ pub const CACHE_HITS: &str = "dwi_runtime_cache_hits_total";
 /// Counter: result-cache misses (job went to the shard queue).
 pub const CACHE_MISSES: &str = "dwi_runtime_cache_misses_total";
 
-/// Summary: wall-clock seconds from admission to completion, per job.
+/// Histogram (log-scale buckets): wall-clock seconds from admission to
+/// completion, per job.
 pub const JOB_LATENCY: &str = "dwi_runtime_job_latency_seconds";
 
-/// Summary: wall-clock seconds a worker spent executing one shard.
+/// Histogram (log-scale buckets): wall-clock seconds a worker spent
+/// executing one shard.
 pub const SHARD_LATENCY: &str = "dwi_runtime_shard_latency_seconds";
+
+/// Histogram (log-scale buckets): seconds one job spent in one lifecycle
+/// phase, labelled `phase="admit"|"queue"|"coalesce"|"dispatch"|
+/// "execute"|"merge"|"deliver"|"cache_lookup"` and `lane`. Phases
+/// telescope: a job's phase durations sum to its end-to-end latency.
+pub const PHASE_SECONDS: &str = "dwi_runtime_phase_seconds";
+
+/// Histogram (log-scale buckets): end-to-end seconds from submission
+/// (before any backpressure backoff) to terminal state, labelled `lane`.
+pub const JOB_E2E: &str = "dwi_runtime_job_e2e_seconds";
+
+/// Counter: completed-job timelines pushed into the flight recorder.
+pub const FLIGHT_RECORDS: &str = "dwi_runtime_flight_records_total";
 
 /// Gauge: per-worker utilization over the runtime's lifetime so far —
 /// busy seconds / elapsed seconds, labelled `worker="<index>"`.
@@ -80,3 +98,32 @@ pub const SUBMIT_WOULD_BLOCK: &str = "dwi_runtime_submit_would_block_total";
 /// Summary: total seconds a blocking submission spent backing off before
 /// admission (capped exponential, seeded by the queue's retry-after hint).
 pub const SUBMIT_BACKOFF: &str = "dwi_runtime_submit_backoff_seconds";
+
+/// Every family the runtime exports — the conservation test walks this
+/// list to assert a mixed run leaves no family silent, and the README's
+/// observability table documents exactly these names.
+pub const ALL: &[&str] = &[
+    QUEUE_DEPTH,
+    JOBS_SUBMITTED,
+    JOBS_COMPLETED,
+    JOBS_REJECTED,
+    JOBS_CANCELLED,
+    JOBS_EXPIRED,
+    CACHE_HITS,
+    CACHE_MISSES,
+    JOB_LATENCY,
+    SHARD_LATENCY,
+    PHASE_SECONDS,
+    JOB_E2E,
+    FLIGHT_RECORDS,
+    WORKER_UTILIZATION,
+    SHARDS_EXECUTED,
+    BATCHES_DISPATCHED,
+    BATCHED_JOBS,
+    BATCH_OCCUPANCY,
+    SHARDS_PER_JOB,
+    JOBS_IN_FLIGHT,
+    COMPLETION_QUEUE_DEPTH,
+    SUBMIT_WOULD_BLOCK,
+    SUBMIT_BACKOFF,
+];

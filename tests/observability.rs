@@ -126,7 +126,7 @@ fn prometheus_round_trips_engine_counters() {
     assert!(retries > 0.0, "no rejection retries recorded");
     let latency_count: f64 = samples
         .iter()
-        .filter(|(k, _)| k.starts_with("dwi_sector_latency_seconds{") && k.ends_with("_count"))
+        .filter(|(k, _)| k.starts_with("dwi_sector_latency_seconds_count{"))
         .map(|(_, v)| *v)
         .sum();
     assert!(latency_count >= cfg.fpga_workitems as f64);

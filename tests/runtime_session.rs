@@ -71,14 +71,29 @@ fn multi_tenant_session_matches_monolithic_and_exports_observability() {
         "dwi_runtime_jobs_completed_total",
         "dwi_runtime_shards_executed_total",
         "dwi_runtime_job_latency_seconds",
+        "dwi_runtime_phase_seconds",
+        "dwi_runtime_job_e2e_seconds",
     ] {
         assert!(prom.contains(family), "{family} missing:\n{prom}");
+    }
+    // Every lifecycle phase of a pool job shows up as a labelled series.
+    for phase in ["admit", "queue", "dispatch", "execute", "merge", "deliver"] {
+        assert!(
+            prom.contains(&format!("phase=\"{phase}\"")),
+            "phase {phase} missing from the exposition:\n{prom}"
+        );
     }
     assert!(
         rec.events()
             .iter()
             .any(|e| e.track.kind == ProcessKind::Worker),
         "worker timeline tracks missing from the session trace"
+    );
+    assert!(
+        rec.events()
+            .iter()
+            .any(|e| e.track.kind == ProcessKind::Job),
+        "per-job phase spans missing from the trace"
     );
     let chrome = rec.chrome_trace();
     assert!(
