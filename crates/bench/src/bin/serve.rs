@@ -44,7 +44,11 @@
 //! The workload mixes quotas, priorities and a deliberate fraction of
 //! repeated `(kernel, plan, seed)` submissions, so one run exercises the
 //! admission queue, the priority lanes, the shard fan-out, the coalescing
-//! stage and the result cache together.
+//! stage and the result cache together. `--graph` additionally turns
+//! every third submission into a three-stage [`KernelGraph`] pipeline job
+//! (gamma severity → window aggregate → severity scale), driving the
+//! graph spine — uncoalescable dispatches, stage timeline sub-spans, the
+//! `dwi_runtime_graph_*` metric families — under the same load.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -52,7 +56,10 @@ use std::time::{Duration, Instant};
 
 use dwi_bench::obs::ObsArgs;
 use dwi_bench::profile::{diagnose_batching, timelines_json, Profile};
-use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
+use dwi_core::graph::{GraphPlan, KernelGraph};
+use dwi_core::{
+    ExecutionPlan, SeverityExpMix, SeverityScale, TruncatedNormalKernel, WindowAggregate,
+};
 use dwi_runtime::{
     AdaptiveSharding, Completion, JobSpec, JobTimeline, Priority, Runtime, RuntimeConfig,
     SharedKernel,
@@ -69,6 +76,7 @@ struct ServeArgs {
     adaptive: bool,
     compare: bool,
     async_mode: bool,
+    graph: bool,
     inflight: usize,
     rate: f64,
     out: std::path::PathBuf,
@@ -92,6 +100,7 @@ impl ServeArgs {
             adaptive: false,
             compare: false,
             async_mode: false,
+            graph: false,
             inflight: 256,
             rate: 0.0,
             out: "BENCH_runtime.json".into(),
@@ -120,6 +129,7 @@ impl ServeArgs {
                 "--adaptive" => out.adaptive = true,
                 "--compare" => out.compare = true,
                 "--async" => out.async_mode = true,
+                "--graph" => out.graph = true,
                 "--inflight" => out.inflight = next("--inflight").parse().expect("job count"),
                 "--rate" => out.rate = next("--rate").parse().expect("jobs per second"),
                 "--out" => out.out = next("--out").into(),
@@ -172,15 +182,32 @@ impl ServeArgs {
 /// job is one independent work-item — the paper's natural unit; shard
 /// fan-out under load is what `--adaptive` exercises, splitting hot jobs
 /// across the pool when the queue builds up.
-fn job_for(client: u32, index: u32) -> JobSpec {
+fn job_for(client: u32, index: u32, graph_mix: bool) -> JobSpec {
     let quota = [256u64, 512, 1024][(index % 3) as usize];
     let seed = if index % 4 == 3 {
         quota as u32 // shared across clients: a cache hit after the first
     } else {
         client * 10_000 + index
     };
-    let kernel: SharedKernel = Arc::new(TruncatedNormalKernel::new(1.5, quota, seed));
     let priority = [Priority::Normal, Priority::High, Priority::Low][(client % 3) as usize];
+    if graph_mix && index % 3 == 1 {
+        let graph = Arc::new(
+            KernelGraph::pipeline(
+                "serve-credit",
+                Arc::new(SeverityExpMix::credit_severity(quota, seed)),
+            )
+            .then(Arc::new(WindowAggregate::new(8)))
+            .then(Arc::new(SeverityScale::credit(seed))),
+        );
+        return JobSpec::graph(
+            client,
+            graph,
+            GraphPlan::new(ExecutionPlan::new(1)),
+            seed as u64,
+        )
+        .priority(priority);
+    }
+    let kernel: SharedKernel = Arc::new(TruncatedNormalKernel::new(1.5, quota, seed));
     JobSpec::kernel(client, kernel, ExecutionPlan::new(1), seed as u64).priority(priority)
 }
 
@@ -202,6 +229,8 @@ struct Summary {
     rejections: u64,
     batches: u64,
     batched_jobs: u64,
+    /// Completed multi-stage graph jobs (0 unless `--graph`).
+    graph_jobs: u64,
     /// `try_submit` backpressure rejections (0 for closed-loop passes,
     /// which ride backpressure inside `submit_blocking` instead).
     would_blocks: u64,
@@ -225,12 +254,12 @@ fn run_load(args: &ServeArgs, tuned: bool) -> (Summary, Recorder, Vec<JobTimelin
     let mut threads = Vec::new();
     for client in 0..args.clients {
         let rt = rt.clone();
-        let jobs = args.jobs;
+        let (jobs, graph_mix) = (args.jobs, args.graph);
         threads.push(std::thread::spawn(move || {
             let mut latencies_ms = Vec::with_capacity(jobs as usize);
             for index in 0..jobs {
                 let t = Instant::now();
-                let handle = rt.submit_blocking(job_for(client, index));
+                let handle = rt.submit_blocking(job_for(client, index, graph_mix));
                 handle.wait().expect("load-gen jobs have no deadline");
                 latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
             }
@@ -267,7 +296,7 @@ fn run_load_async(args: &ServeArgs) -> (Summary, Recorder, Vec<JobTimeline>) {
     let mut threads = Vec::new();
     for client in 0..args.clients {
         let rt = rt.clone();
-        let (jobs, inflight) = (args.jobs, args.inflight);
+        let (jobs, inflight, graph_mix) = (args.jobs, args.inflight, args.graph);
         threads.push(std::thread::spawn(move || {
             let mut session = rt.session(client);
             let mut submitted_at: HashMap<u64, Instant> = HashMap::new();
@@ -306,7 +335,7 @@ fn run_load_async(args: &ServeArgs) -> (Summary, Recorder, Vec<JobTimeline>) {
                         continue;
                     }
                 }
-                match session.try_submit(job_for(client, next)) {
+                match session.try_submit(job_for(client, next, graph_mix)) {
                     Ok(ticket) => {
                         submitted_at.insert(ticket.id(), Instant::now());
                         next += 1;
@@ -354,6 +383,7 @@ fn summarize(
         rejections: counter("dwi_runtime_jobs_rejected_total"),
         batches: counter("dwi_runtime_batches_dispatched_total"),
         batched_jobs: counter("dwi_runtime_batched_jobs_total"),
+        graph_jobs: counter("dwi_runtime_graph_jobs_total"),
         would_blocks: counter("dwi_runtime_submit_would_block_total"),
     }
 }
@@ -361,7 +391,8 @@ fn summarize(
 fn report(label: &str, args: &ServeArgs, s: &Summary) {
     println!(
         "{label}: {} jobs in {:.2}s: {:.1} jobs/s, p50 {:.2} ms, p99 {:.2} ms, \
-         {} cache hits, {} rejections, {} would-blocks, {} batches ({} jobs, {:.2} mean occupancy)",
+         {} cache hits, {} rejections, {} would-blocks, {} batches ({} jobs, {:.2} mean \
+         occupancy), {} graph jobs",
         args.clients as u64 * args.jobs as u64,
         s.wall_s,
         s.jobs_per_s,
@@ -372,7 +403,8 @@ fn report(label: &str, args: &ServeArgs, s: &Summary) {
         s.would_blocks,
         s.batches,
         s.batched_jobs,
-        s.mean_batch_occupancy()
+        s.mean_batch_occupancy(),
+        s.graph_jobs
     );
 }
 
@@ -382,7 +414,7 @@ fn main() {
 
     println!(
         "serve: {} clients x {} jobs on {} workers (queue bound {}, batch {}, window {} ms, \
-         adaptive {}, async {}, inflight {}, rate {})",
+         adaptive {}, async {}, graph {}, inflight {}, rate {})",
         args.clients,
         args.jobs,
         args.workers,
@@ -391,6 +423,7 @@ fn main() {
         args.batch_window_ms,
         args.adaptive,
         args.async_mode,
+        args.graph,
         args.inflight,
         args.rate
     );
@@ -529,7 +562,7 @@ fn main() {
          \"adaptive\": {},\n{}{}  \"total_jobs\": {},\n  \"wall_s\": {:.6},\n  \
          \"jobs_per_s\": {:.3},\n  \"p50_ms\": {:.4},\n  \"p99_ms\": {:.4},\n  \
          \"cache_hits\": {},\n  \"rejections\": {},\n  \"batches_dispatched\": {},\n  \
-         \"batched_jobs\": {},\n  \"mean_batch_occupancy\": {:.3}\n}}\n",
+         \"batched_jobs\": {},\n  \"mean_batch_occupancy\": {:.3},\n  \"graph_jobs\": {}\n}}\n",
         args.clients,
         args.jobs,
         args.workers,
@@ -548,7 +581,8 @@ fn main() {
         tuned.rejections,
         tuned.batches,
         tuned.batched_jobs,
-        tuned.mean_batch_occupancy()
+        tuned.mean_batch_occupancy(),
+        tuned.graph_jobs
     );
     std::fs::write(&args.out, json).expect("write benchmark summary");
     println!("summary written to {}", args.out.display());

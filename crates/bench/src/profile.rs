@@ -80,7 +80,9 @@ impl Stats {
 /// One lifecycle phase's statistics within a [`Breakdown`] group.
 #[derive(Debug, Clone)]
 pub struct PhaseRow {
-    /// Phase name (one of [`dwi_runtime::PHASES`]).
+    /// Phase name (one of [`dwi_runtime::PHASES`], or a
+    /// [`dwi_runtime::STAGE_PHASES`] execute sub-span for multi-stage
+    /// graph jobs).
     pub phase: &'static str,
     /// Median-job attribution (ms): mean duration of this phase over the
     /// p40–p60 end-to-end cohort. The group's p50 attributions sum to
@@ -151,9 +153,19 @@ impl Breakdown {
                 .sum::<f64>()
                 / cohort.len() as f64
         };
-        let phases = dwi_runtime::PHASES
-            .iter()
-            .filter_map(|&phase| {
+        // The stage sub-span labels slot in right after "execute" in the
+        // vocabulary order; rows only materialize for phases that occurred,
+        // so single-kernel runs are unchanged.
+        let mut vocabulary: Vec<&'static str> = Vec::new();
+        for &p in dwi_runtime::PHASES {
+            vocabulary.push(p);
+            if p == "execute" {
+                vocabulary.extend(dwi_runtime::STAGE_PHASES.iter().copied());
+            }
+        }
+        let phases = vocabulary
+            .into_iter()
+            .filter_map(|phase| {
                 let sum: f64 = jobs.iter().filter_map(|(_, p)| p.get(phase)).sum();
                 let seen = jobs.iter().any(|(_, p)| p.contains_key(phase));
                 seen.then(|| PhaseRow {

@@ -569,6 +569,20 @@ pub trait Backend: Sync {
 
     /// Execute `kernel` under `plan`.
     fn execute(&self, kernel: &dyn WorkItemKernel, plan: &ExecutionPlan) -> RunReport;
+
+    /// Execute a whole [`KernelGraph`](crate::graph::KernelGraph) under
+    /// `plan` — the universal entry point: a single-kernel job is the
+    /// trivial one-node graph (and produces exactly the report
+    /// [`execute`](Backend::execute) would), a multi-stage graph runs
+    /// pipe-connected through bounded FIFOs with per-stage sub-reports and
+    /// inter-stage stall accounting (see [`crate::graph::execute`]).
+    fn run(
+        &self,
+        graph: &crate::graph::KernelGraph,
+        plan: &crate::graph::GraphPlan,
+    ) -> crate::graph::GraphReport {
+        crate::graph::execute(self, graph, plan)
+    }
 }
 
 /// All five engines, in documentation order.

@@ -89,20 +89,6 @@ pub fn lockstep_counterfactual(
     )
 }
 
-/// Deprecated name of [`lockstep_counterfactual`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use lockstep_counterfactual, LockstepCoupled.execute(..), or a dwi-runtime pool built with Runtime::with_backend_factory(.., |_| Box::new(LockstepCoupled))"
-)]
-pub fn run_coupled(
-    cfg: &PaperConfig,
-    workload: &Workload,
-    seed: u64,
-    width: u32,
-) -> (CoupledRun, Vec<u64>) {
-    lockstep_counterfactual(cfg, workload, seed, width)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -66,7 +66,7 @@ const STREAM_DEPTH: usize = 64;
 
 /// Builder-style front end for the decoupled engine.
 ///
-/// [`run_decoupled`] covers the common case; the builder adds the knobs
+/// The defaults cover the common case; the builder adds the knobs
 /// that default sensibly — stream depth and, centrally, a [`TraceSink`]
 /// for the observability layer:
 ///
@@ -94,8 +94,8 @@ pub struct DecoupledRunner<'a> {
 }
 
 impl<'a> DecoupledRunner<'a> {
-    /// A runner with the defaults of [`run_decoupled`]: seed 1,
-    /// device-level combining, depth-64 streams, tracing off.
+    /// A runner with the stock defaults: seed 1, device-level combining,
+    /// depth-64 streams, tracing off.
     pub fn new(cfg: &'a PaperConfig, workload: &'a Workload) -> Self {
         Self {
             cfg,
@@ -169,31 +169,12 @@ impl<'a> DecoupledRunner<'a> {
     }
 }
 
-/// Run the decoupled design functionally: `cfg.fpga_workitems` independent
-/// work-item pipelines, each a compute thread + transfer thread. Thin
-/// wrapper over [`DecoupledRunner`] with tracing disabled.
-#[deprecated(
-    since = "0.2.0",
-    note = "use DecoupledRunner, FunctionalDecoupled.execute(&GammaListing2::for_config(..), &plan), or submit the kernel to a dwi-runtime pool (Runtime::run_kernel shards and merges it bit-identically)"
-)]
-pub fn run_decoupled(
-    cfg: &PaperConfig,
-    workload: &Workload,
-    seed: u64,
-    combining: Combining,
-) -> DecoupledRun {
-    DecoupledRunner::new(cfg, workload)
-        .seed(seed)
-        .combining(combining)
-        .run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use dwi_rng::GammaKernel;
 
-    /// Test-local stand-in for the deprecated free function.
+    /// Test-local shorthand over the builder.
     fn run_decoupled(
         cfg: &PaperConfig,
         workload: &Workload,

@@ -13,9 +13,6 @@
 //! another "data-dependent branch + dynamic loop exit" workload from the
 //! same family the paper targets.
 
-use crate::device_memory::DeviceMemory;
-use crate::transfer::{transfer, TransferStats};
-use dwi_hls::stream::Stream;
 use dwi_rng::mt::{AdaptedMt, MtParams, MT19937};
 use dwi_rng::uniform::uint2float;
 use dwi_rng::RejectionStats;
@@ -28,72 +25,6 @@ pub trait WorkItemApp: Send {
 
     /// Combined rejection statistics so far.
     fn stats(&self) -> RejectionStats;
-}
-
-/// Result of a generic decoupled run.
-#[derive(Debug)]
-pub struct GenericRun {
-    /// Host buffer (per-work-item regions, 512-bit aligned, zero-padded).
-    pub host_buffer: Vec<f32>,
-    /// Iterations per work-item.
-    pub iterations: Vec<u64>,
-    /// Combined rejection stats.
-    pub rejection: RejectionStats,
-    /// Transfer stats per work-item.
-    pub transfers: Vec<TransferStats>,
-    /// Outputs per work-item.
-    pub quota: u64,
-}
-
-/// Run any [`WorkItemApp`] through the decoupled engine: `n` work-items,
-/// each `make(wid)`'s app coupled to its transfer engine by a blocking
-/// stream, writing `quota` outputs into its own device-memory region.
-#[deprecated(
-    since = "0.2.0",
-    note = "implement WorkItemKernel (see crate::apps) and run it through any backend — or submit it to a dwi-runtime pool (JobSpec::kernel + Runtime::submit) for scheduling, sharding and caching"
-)]
-pub fn run_decoupled_app<A, F>(make: F, n_workitems: u32, quota: u64, burst_rns: u64) -> GenericRun
-where
-    A: WorkItemApp,
-    F: Fn(u32) -> A + Sync,
-{
-    assert!(n_workitems >= 1 && quota >= 1);
-    assert!(burst_rns >= 16 && burst_rns.is_multiple_of(16));
-    let words_per_wi = (quota as usize).div_ceil(16);
-    let mut memory = DeviceMemory::new(n_workitems as usize, words_per_wi);
-    let mut iterations = vec![0u64; n_workitems as usize];
-    let mut rejection = RejectionStats::new();
-    let mut transfers = vec![TransferStats::default(); n_workitems as usize];
-    {
-        let regions = memory.split_regions();
-        std::thread::scope(|scope| {
-            let make = &make;
-            let mut handles = Vec::new();
-            for (wid, region) in regions.into_iter().enumerate() {
-                let (tx, rx) = Stream::<f32>::with_depth(64);
-                let compute = scope.spawn(move || {
-                    let mut app = make(wid as u32);
-                    let iters = app.run(quota, &mut |v| tx.write(v));
-                    (iters, app.stats())
-                });
-                let xfer = scope.spawn(move || transfer(&rx, region, burst_rns as usize / 16));
-                handles.push((wid, compute, xfer));
-            }
-            for (wid, compute, xfer) in handles {
-                let (iters, stats) = compute.join().expect("app thread");
-                iterations[wid] = iters;
-                rejection.merge(&stats);
-                transfers[wid] = xfer.join().expect("transfer thread");
-            }
-        });
-    }
-    GenericRun {
-        host_buffer: memory.read_to_host(),
-        iterations,
-        rejection,
-        transfers,
-        quota,
-    }
 }
 
 /// One-sided truncated normal `N(0,1) | X ≥ a` by Robert (1995):
@@ -170,11 +101,10 @@ impl WorkItemApp for TruncatedNormal {
 }
 
 #[cfg(test)]
-// These tests exercise the deprecated shim itself, so the old entry point
-// is exactly what they must call.
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::apps::TruncatedNormalKernel;
+    use crate::backend::{Backend, BackendDetail, ExecutionPlan, FunctionalDecoupled};
     use dwi_stats::Normal;
 
     /// CDF of N(0,1) truncated to [a, ∞).
@@ -213,22 +143,23 @@ mod tests {
 
     #[test]
     fn generic_engine_runs_truncated_normal() {
-        let run = run_decoupled_app(
-            |wid| TruncatedNormal::with_default_mt(1.0, 42, wid),
-            4,
-            4096,
-            256,
-        );
+        // The generic engine lives on the kernel layer now: the app as a
+        // WorkItemKernel through the FunctionalDecoupled backend.
+        let kernel = TruncatedNormalKernel::new(1.0, 4096, 42);
+        let run = FunctionalDecoupled.execute(&kernel, &ExecutionPlan::new(4));
         assert_eq!(run.iterations.len(), 4);
         assert!(run.rejection.accepted >= 4 * 4096);
+        let BackendDetail::Decoupled { host_buffer, .. } = &run.detail else {
+            unreachable!("FunctionalDecoupled reports Decoupled detail")
+        };
         // Regions hold the quota then zero padding.
-        let region = run.host_buffer.len() / 4;
+        let region = host_buffer.len() / 4;
         for wid in 0..4 {
-            let slice = &run.host_buffer[wid * region..wid * region + 4096];
+            let slice = &host_buffer[wid * region..wid * region + 4096];
             assert!(slice.iter().all(|&x| x >= 1.0));
         }
         // Distribution check on the first region.
-        let sample: Vec<f64> = run.host_buffer[..4096].iter().map(|&x| x as f64).collect();
+        let sample: Vec<f64> = host_buffer[..4096].iter().map(|&x| x as f64).collect();
         let r = dwi_stats::ks_test(&sample, |x| truncated_cdf(1.0, x));
         assert!(r.accepts(1e-4), "p = {}", r.p_value);
     }
@@ -236,21 +167,12 @@ mod tests {
     #[test]
     fn generic_engine_matches_scalar_app() {
         // Same contract as the gamma engine: decoupled == scalar reference.
-        let run = run_decoupled_app(
-            |wid| TruncatedNormal::with_default_mt(0.5, 7, wid),
-            3,
-            1024,
-            256,
-        );
-        let region = run.host_buffer.len() / 3;
+        let kernel = TruncatedNormalKernel::new(0.5, 1024, 7);
+        let run = FunctionalDecoupled.execute(&kernel, &ExecutionPlan::new(3));
         for wid in 0..3u32 {
             let mut reference = Vec::new();
             TruncatedNormal::with_default_mt(0.5, 7, wid).run(1024, &mut |x| reference.push(x));
-            assert_eq!(
-                &run.host_buffer[wid as usize * region..wid as usize * region + 1024],
-                &reference[..],
-                "work-item {wid}"
-            );
+            assert_eq!(run.samples[wid as usize], reference, "work-item {wid}");
         }
     }
 

@@ -33,10 +33,12 @@ pub mod decoupled;
 pub mod device_memory;
 pub mod experiment;
 pub mod generic;
+pub mod graph;
 pub mod icdf_fixed;
 pub mod kernel;
 pub mod model;
 pub mod ndrange_variant;
+pub mod stages;
 pub mod transfer;
 pub mod validation;
 
@@ -46,25 +48,22 @@ pub use backend::{
     FusedJob, LockstepCoupled, NdRange, RunReport, SharedWorkItemKernel, SimtTrace,
 };
 pub use config::{IcdfStyle, PaperConfig, Workload};
-#[allow(deprecated)]
-pub use coupled::run_coupled;
 pub use coupled::{lockstep_counterfactual, CoupledRun};
-#[allow(deprecated)]
-pub use decoupled::run_decoupled;
 pub use decoupled::{Combining, DecoupledRun, DecoupledRunner};
 pub use device_memory::DeviceMemory;
 pub use experiment::{
     calibration_kernel, measure_rejection_overhead, table3, table3_with, PlatformRuntime, Table3,
     Table3Row,
 };
-#[allow(deprecated)]
-pub use generic::run_decoupled_app;
-pub use generic::{GenericRun, TruncatedNormal, WorkItemApp};
+pub use generic::{TruncatedNormal, WorkItemApp};
+pub use graph::{
+    EdgeReport, GraphDataflow, GraphPlan, GraphReport, KernelGraph, SharedStageKernel, StageInput,
+    StageInstance, StageKernel, StagedKernel,
+};
 pub use kernel::{
     Divergence, DivergenceCounts, GammaListing2, KernelInstance, Step, WorkItemKernel,
 };
 pub use model::{eq1_runtime_s, iterations_runtime_s, FpgaRuntimeModel};
-#[allow(deprecated)]
-pub use ndrange_variant::run_ndrange;
 pub use ndrange_variant::{ndrange_runtime_s, NdRangeRun, NdRangeRunner};
+pub use stages::{credit_pipeline, SeverityScale, WindowAggregate};
 pub use validation::{validate_report, validate_run, ValidationReport};

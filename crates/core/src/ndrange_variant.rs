@@ -113,29 +113,6 @@ impl<'a> NdRangeRunner<'a> {
     }
 }
 
-/// Run the NDRange formulation: `groups` pipelines × `local_size`
-/// work-items each. Total work-items = `groups · local_size`; each
-/// work-item produces `workload.scenarios_per_workitem(total)` scenarios
-/// per sector, exactly like the Task formulation with that many work-items.
-/// Thin wrapper over [`NdRangeRunner`] with tracing disabled.
-#[deprecated(
-    since = "0.2.0",
-    note = "use NdRangeRunner, NdRange.execute(..), or a dwi-runtime pool built with Runtime::with_backend_factory(.., |_| Box::new(NdRange))"
-)]
-pub fn run_ndrange(
-    cfg: &PaperConfig,
-    workload: &Workload,
-    seed: u64,
-    groups: u32,
-    local_size: u32,
-) -> NdRangeRun {
-    NdRangeRunner::new(cfg, workload)
-        .seed(seed)
-        .groups(groups)
-        .local_size(local_size)
-        .run()
-}
-
 /// Modeled runtime of the NDRange formulation: pipelines run in parallel,
 /// so the runtime is the slowest group's iteration count at II = 1.
 pub fn ndrange_runtime_s(run: &NdRangeRun, freq_hz: f64) -> f64 {
@@ -148,7 +125,7 @@ mod tests {
     use super::*;
     use crate::decoupled::{Combining, DecoupledRun, DecoupledRunner};
 
-    /// Test-local stand-ins for the deprecated free functions.
+    /// Test-local shorthands over the builders.
     fn run_ndrange(
         cfg: &PaperConfig,
         workload: &Workload,

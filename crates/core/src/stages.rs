@@ -1,0 +1,362 @@
+//! Bundled pipeline stages — the flagship composite workload of the
+//! multi-kernel dataflow layer.
+//!
+//! The CreditRisk+ shape the paper motivates (gamma-distributed sector
+//! intensities feeding a loss model) becomes one pipe-connected pipeline:
+//!
+//! ```text
+//! GammaListing2 ──► WindowAggregate ──► SeverityScale
+//!   (Listing 2)      (loss bucketing)    (severity tail ×)
+//! ```
+//!
+//! * [`WindowAggregate`] folds each window of `window` upstream values into
+//!   their sum — the per-bucket loss aggregation step. No rejection: every
+//!   step accepts, emission is gated by the window boundary exactly like
+//!   Listing 2's delayed counter gates accepted-but-unwritten iterations.
+//! * [`SeverityScale`] draws a severity from the two-component exponential
+//!   mixture of [`SeverityExpMix`](crate::apps::SeverityExpMix) by
+//!   rejection (40 % acceptance at the CreditRisk+ defaults — a divergence
+//!   stress case) and emits the pulled intensity scaled by it. One upstream
+//!   token is held in a register until an accepted draw consumes it, so the
+//!   stage is 1:1 in tokens while data-dependent in iterations.
+//!
+//! [`credit_pipeline`] wires the three together as a [`KernelGraph`].
+
+use std::sync::Arc;
+
+use crate::graph::{KernelGraph, StageInput, StageInstance, StageKernel};
+use crate::kernel::{Divergence, GammaListing2, Step, WorkItemKernel};
+use dwi_rng::mt::{AdaptedMt, MtParams, MT19937};
+use dwi_rng::uniform::uint2float;
+use dwi_rng::{KernelConfig, RejectionStats};
+
+/// Sum-aggregation over fixed windows: consumes `window` upstream values
+/// per emitted output (their sum). A non-dividing upstream remainder is
+/// dropped, mirroring a loss model that only prices complete buckets.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowAggregate {
+    /// Upstream values folded into each output.
+    pub window: u32,
+}
+
+impl WindowAggregate {
+    /// An aggregator folding `window ≥ 1` values per output.
+    pub fn new(window: u32) -> Self {
+        assert!(window >= 1, "window must be at least 1");
+        Self { window }
+    }
+}
+
+impl StageKernel for WindowAggregate {
+    fn name(&self) -> &'static str {
+        "window-aggregate"
+    }
+
+    fn outputs_per_workitem(&self, upstream_quota: u64) -> u64 {
+        upstream_quota / self.window as u64
+    }
+
+    fn instantiate(&self, _wid: u32) -> Box<dyn StageInstance> {
+        Box::new(WindowInstance {
+            window: self.window,
+            acc: 0.0,
+            filled: 0,
+            steps: 0,
+            done: false,
+        })
+    }
+}
+
+struct WindowInstance {
+    window: u32,
+    acc: f32,
+    filled: u32,
+    steps: u64,
+    done: bool,
+}
+
+impl StageInstance for WindowInstance {
+    fn step(&mut self, input: &mut dyn StageInput) -> Step {
+        assert!(!self.done, "stepped a completed work-item");
+        self.steps += 1;
+        match input.pull() {
+            Some(v) => {
+                self.acc += v;
+                self.filled += 1;
+                let mut emit = None;
+                if self.filled == self.window {
+                    emit = Some(self.acc);
+                    self.acc = 0.0;
+                    self.filled = 0;
+                }
+                Step {
+                    emit,
+                    divergence: Divergence::Accepted,
+                    phase_end: None,
+                    done: false,
+                }
+            }
+            None => {
+                // Upstream exhausted: drop the partial window and finish.
+                self.done = true;
+                Step {
+                    emit: None,
+                    divergence: Divergence::Accepted,
+                    phase_end: Some(0),
+                    done: true,
+                }
+            }
+        }
+    }
+
+    fn stats(&self) -> RejectionStats {
+        RejectionStats {
+            attempts: self.steps,
+            accepted: self.steps,
+        }
+    }
+}
+
+/// Severity-scaling stage: for each pulled intensity, rejection-sample a
+/// severity from the two-component exponential mixture
+/// `f(x) = w·λ₁e^{−λ₁x} + (1−w)·λ₂e^{−λ₂x}` (proposal from the tail
+/// component, acceptance `1/M = 1/(w·λ₁/λ₂ + 1 − w)`) and emit
+/// `intensity × severity`. Token-1:1, iteration-divergent — the lockstep
+/// stress shape the paper targets, now *inside* a pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SeverityScale {
+    /// Weight of the body component, in (0, 1).
+    pub w: f32,
+    /// Body rate λ₁ (≥ λ₂).
+    pub lambda1: f32,
+    /// Tail (proposal) rate λ₂ > 0.
+    pub lambda2: f32,
+    /// Mersenne-Twister parameter set for the two uniform streams.
+    pub mt: MtParams,
+    /// Base seed; each work-item derives its own streams from it.
+    pub seed: u32,
+}
+
+impl SeverityScale {
+    /// A scaling stage with explicit mixture parameters (MT19937 streams).
+    pub fn new(w: f32, lambda1: f32, lambda2: f32, seed: u32) -> Self {
+        assert!((0.0..1.0).contains(&w) && w > 0.0, "weight in (0,1)");
+        assert!(lambda2 > 0.0 && lambda1 >= lambda2, "need λ1 ≥ λ2 > 0");
+        Self {
+            w,
+            lambda1,
+            lambda2,
+            mt: MT19937,
+            seed,
+        }
+    }
+
+    /// The CreditRisk+ severity-tail defaults (`w = 0.5`, rates 2 and 0.5;
+    /// 40 % acceptance).
+    pub fn credit(seed: u32) -> Self {
+        Self::new(0.5, 2.0, 0.5, seed)
+    }
+}
+
+impl StageKernel for SeverityScale {
+    fn name(&self) -> &'static str {
+        "severity-scale"
+    }
+
+    fn outputs_per_workitem(&self, upstream_quota: u64) -> u64 {
+        upstream_quota
+    }
+
+    fn instantiate(&self, wid: u32) -> Box<dyn StageInstance> {
+        Box::new(ScaleInstance {
+            cfg: *self,
+            // Per-work-item streams, wid-rotated like the other
+            // applications' (distinct constants keep them disjoint from
+            // SeverityExpMix's even under a shared seed).
+            mt0: AdaptedMt::new(self.mt, self.seed ^ wid.rotate_left(16) ^ 0x5CA1_ED00),
+            mt1: AdaptedMt::new(self.mt, self.seed ^ wid.rotate_left(8) ^ 0x0FF5_E7F0),
+            stats: RejectionStats::new(),
+            pending: None,
+            done: false,
+        })
+    }
+}
+
+struct ScaleInstance {
+    cfg: SeverityScale,
+    mt0: AdaptedMt,
+    mt1: AdaptedMt,
+    stats: RejectionStats,
+    /// The pulled intensity currently held in the input register.
+    pending: Option<f32>,
+    done: bool,
+}
+
+impl StageInstance for ScaleInstance {
+    fn step(&mut self, input: &mut dyn StageInput) -> Step {
+        assert!(!self.done, "stepped a completed work-item");
+        // Refill the input register (at most one pull per step).
+        if self.pending.is_none() {
+            match input.pull() {
+                Some(v) => self.pending = Some(v),
+                None => {
+                    self.done = true;
+                    self.stats.record(true);
+                    return Step {
+                        emit: None,
+                        divergence: Divergence::Accepted,
+                        phase_end: Some(0),
+                        done: true,
+                    };
+                }
+            }
+        }
+        let intensity = self.pending.expect("register just filled");
+        // Both generators always advance — the fixed-structure pipeline of
+        // Listing 2.
+        let u0 = uint2float(self.mt0.next(true));
+        let u1 = uint2float(self.mt1.next(true));
+        if u0 == 0.0 {
+            self.stats.record(false);
+            return Step {
+                emit: None,
+                divergence: Divergence::RejectedNormal,
+                phase_end: None,
+                done: false,
+            };
+        }
+        let (w, l1, l2) = (self.cfg.w, self.cfg.lambda1, self.cfg.lambda2);
+        let x = -u0.ln() / l2;
+        let ratio = l1 / l2;
+        let accept_p = (w * ratio * (-(l1 - l2) * x).exp() + (1.0 - w)) / (w * ratio + (1.0 - w));
+        let accept = u1 < accept_p;
+        self.stats.record(accept);
+        if accept {
+            self.pending = None;
+            Step {
+                emit: Some(intensity * x),
+                divergence: Divergence::Accepted,
+                phase_end: None,
+                done: false,
+            }
+        } else {
+            Step {
+                emit: None,
+                divergence: Divergence::RejectedApp,
+                phase_end: None,
+                done: false,
+            }
+        }
+    }
+
+    fn stats(&self) -> RejectionStats {
+        self.stats
+    }
+}
+
+/// The flagship composite workload: the paper's Listing 2 gamma chain
+/// feeding window-summed loss buckets into the severity-scaling tail, as
+/// one pipe-connected [`KernelGraph`].
+pub fn credit_pipeline(kcfg: KernelConfig, window: u32, seed: u32) -> KernelGraph {
+    let source = GammaListing2::new(kcfg);
+    assert!(
+        source.outputs_per_workitem() >= window as u64,
+        "window larger than the gamma quota"
+    );
+    KernelGraph::pipeline("credit-pipeline", Arc::new(source))
+        .then(Arc::new(WindowAggregate::new(window)))
+        .then(Arc::new(SeverityScale::credit(seed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{ExecutionPlan, FunctionalDecoupled};
+    use crate::graph::{execute, GraphPlan, StagedKernel};
+
+    /// Drive a stage over a recorded feed to completion.
+    fn run_stage(stage: Arc<dyn StageKernel>, feed: Vec<f32>, upstream_quota: u64) -> Vec<f32> {
+        let staged = StagedKernel::new(stage, Arc::new(vec![feed]), 0, upstream_quota);
+        crate::kernel::reference_samples(&staged, 0)
+    }
+
+    #[test]
+    fn window_aggregate_sums_windows() {
+        let feed: Vec<f32> = (1..=12).map(|i| i as f32).collect();
+        let out = run_stage(Arc::new(WindowAggregate::new(4)), feed, 12);
+        assert_eq!(out, vec![10.0, 26.0, 42.0]);
+    }
+
+    #[test]
+    fn window_aggregate_drops_partial_tail() {
+        let feed: Vec<f32> = (1..=10).map(|i| i as f32).collect();
+        let out = run_stage(Arc::new(WindowAggregate::new(4)), feed, 10);
+        assert_eq!(out, vec![10.0, 26.0], "9 + 10 are an incomplete bucket");
+    }
+
+    #[test]
+    fn severity_scale_is_token_one_to_one() {
+        let feed = vec![1.0f32; 100];
+        let out = run_stage(Arc::new(SeverityScale::credit(5)), feed, 100);
+        assert_eq!(out.len(), 100);
+        assert!(out.iter().all(|&x| x > 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    fn severity_scale_acceptance_near_analytic() {
+        let stage = SeverityScale::credit(7);
+        let staged = StagedKernel::new(
+            Arc::new(stage),
+            Arc::new(vec![vec![1.0f32; 20_000]]),
+            0,
+            20_000,
+        );
+        let mut inst = staged.instantiate(0);
+        loop {
+            if inst.step().done {
+                break;
+            }
+        }
+        let acc = 1.0 - inst.stats().rejection_rate();
+        assert!((acc - 0.4).abs() < 0.02, "acceptance {acc} vs analytic 0.4");
+    }
+
+    #[test]
+    fn severity_scale_scales_by_intensity() {
+        // Doubling every intensity doubles every output (the severity draw
+        // sequence is intensity-independent).
+        let a = run_stage(Arc::new(SeverityScale::credit(3)), vec![1.0; 64], 64);
+        let b = run_stage(Arc::new(SeverityScale::credit(3)), vec![2.0; 64], 64);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(2.0 * x, *y);
+        }
+    }
+
+    #[test]
+    fn credit_pipeline_end_to_end() {
+        let kcfg = KernelConfig {
+            limit_main: 64,
+            limit_sec: 2,
+            ..KernelConfig::default()
+        };
+        let graph = credit_pipeline(kcfg, 16, 33);
+        assert_eq!(graph.quotas(), &[128, 8, 8]);
+        let plan = GraphPlan::new(ExecutionPlan::new(2));
+        let r = execute(&FunctionalDecoupled, &graph, &plan);
+        for s in r.final_samples() {
+            assert_eq!(s.len(), 8);
+            assert!(s.iter().all(|&x| x > 0.0 && x.is_finite()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window larger")]
+    fn credit_pipeline_rejects_oversized_window() {
+        let kcfg = KernelConfig {
+            limit_main: 4,
+            limit_sec: 1,
+            ..KernelConfig::default()
+        };
+        let _ = credit_pipeline(kcfg, 64, 1);
+    }
+}

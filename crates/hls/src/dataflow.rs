@@ -8,10 +8,12 @@
 //!
 //! Semantics per cycle, matching HLS dataflow hardware:
 //! * a process *fires* when (a) its II timer expired, (b) every input FIFO
-//!   has a token, (c) every output FIFO has space;
-//! * a firing consumes one token per input, produces one per output after
-//!   `latency` cycles (modeled as immediate enqueue with availability
-//!   delayed by the FIFO's one-cycle visibility);
+//!   holds its consume count, (c) every output FIFO has space for its
+//!   produce count;
+//! * a firing consumes its rate per input (one by default; decimators
+//!   consume more, see [`DataflowGraph::rated_node`]), produces its rate
+//!   per output after `latency` cycles (modeled as immediate enqueue with
+//!   availability delayed by the FIFO's one-cycle visibility);
 //! * sources fire a bounded number of times; the run ends when all sinks
 //!   have consumed their quota.
 
@@ -30,13 +32,17 @@ struct Edge {
     capacity: usize,
     produced: u64,
     consumed: u64,
+    /// Peak occupancy — the FIFO-sizing signal HLS depth reports give.
+    high_water: usize,
 }
 
 struct Node {
     name: String,
     ii: u64,
-    inputs: Vec<EdgeId>,
-    outputs: Vec<EdgeId>,
+    /// Input edges with tokens consumed per firing.
+    inputs: Vec<(EdgeId, u64)>,
+    /// Output edges with tokens produced per firing.
+    outputs: Vec<(EdgeId, u64)>,
     /// Remaining firings (None = unbounded, fires while inputs allow).
     budget: Option<u64>,
     fired: u64,
@@ -62,6 +68,9 @@ pub struct DataflowResult {
     pub stalls: Vec<u64>,
     /// Tokens moved per edge.
     pub tokens: Vec<u64>,
+    /// Peak occupancy per edge — how much of each FIFO's depth the run
+    /// actually used (the stream-depth sizing signal).
+    pub high_water: Vec<usize>,
 }
 
 impl DataflowGraph {
@@ -78,6 +87,7 @@ impl DataflowGraph {
             capacity,
             produced: 0,
             consumed: 0,
+            high_water: 0,
         });
         EdgeId(self.edges.len() - 1)
     }
@@ -93,7 +103,37 @@ impl DataflowGraph {
         outputs: &[EdgeId],
         budget: Option<u64>,
     ) -> NodeId {
+        let ins: Vec<_> = inputs.iter().map(|&e| (e, 1)).collect();
+        let outs: Vec<_> = outputs.iter().map(|&e| (e, 1)).collect();
+        self.rated_node(name, ii, &ins, &outs, budget)
+    }
+
+    /// Add a rate-converting process: each firing consumes `rate` tokens
+    /// from every `(edge, rate)` input and produces `rate` tokens on every
+    /// `(edge, rate)` output. Models decimators (window aggregation:
+    /// consume W, produce 1) and expanders without changing the firing
+    /// rule — a node fires when every input holds its full consume count
+    /// and every output has space for its full produce count.
+    pub fn rated_node(
+        &mut self,
+        name: &str,
+        ii: u64,
+        inputs: &[(EdgeId, u64)],
+        outputs: &[(EdgeId, u64)],
+        budget: Option<u64>,
+    ) -> NodeId {
         assert!(ii >= 1, "II must be at least 1");
+        assert!(
+            inputs.iter().chain(outputs).all(|&(_, r)| r >= 1),
+            "token rates must be at least 1"
+        );
+        for &(EdgeId(e), rate) in inputs.iter().chain(outputs) {
+            assert!(
+                rate as usize <= self.edges[e].capacity,
+                "rate {rate} exceeds FIFO capacity {}",
+                self.edges[e].capacity
+            );
+        }
         self.nodes.push(Node {
             name: name.to_string(),
             ii,
@@ -117,6 +157,11 @@ impl DataflowGraph {
     /// (deadlock guard).
     pub fn run(&mut self, max_cycles: u64) -> DataflowResult {
         let mut cycle = 0u64;
+        // Quiescence bound: once nothing has fired for `max_ii` consecutive
+        // cycles, every II timer has expired and every token is visible, so
+        // the state can never change again.
+        let max_ii = self.nodes.iter().map(|n| n.ii).max().unwrap_or(1);
+        let mut idle = 0u64;
         loop {
             let mut fired_any = false;
             let mut can_ever_fire = false;
@@ -130,14 +175,19 @@ impl DataflowGraph {
                 if cycle < node.next_ready {
                     continue;
                 }
-                let inputs_ok = node
-                    .inputs
-                    .iter()
-                    .all(|&EdgeId(e)| self.edges[e].queue.front().is_some_and(|&vis| vis <= cycle));
-                let outputs_ok = node
-                    .outputs
-                    .iter()
-                    .all(|&EdgeId(e)| self.edges[e].queue.len() < self.edges[e].capacity);
+                let inputs_ok = node.inputs.iter().all(|&(EdgeId(e), rate)| {
+                    // Queue is push-ordered, so visible tokens are a prefix.
+                    self.edges[e]
+                        .queue
+                        .iter()
+                        .take(rate as usize)
+                        .filter(|&&vis| vis <= cycle)
+                        .count() as u64
+                        >= rate
+                });
+                let outputs_ok = node.outputs.iter().all(|&(EdgeId(e), rate)| {
+                    self.edges[e].queue.len() + rate as usize <= self.edges[e].capacity
+                });
                 if inputs_ok && outputs_ok {
                     firing[i] = true;
                 } // else: stall accounting below
@@ -157,30 +207,32 @@ impl DataflowGraph {
                 if !firing[i] {
                     continue;
                 }
-                for &EdgeId(e) in &node.inputs {
-                    self.edges[e].queue.pop_front();
-                    self.edges[e].consumed += 1;
+                for &(EdgeId(e), rate) in &node.inputs {
+                    for _ in 0..rate {
+                        self.edges[e].queue.pop_front();
+                    }
+                    self.edges[e].consumed += rate;
                 }
-                for &EdgeId(e) in &node.outputs {
-                    self.edges[e].queue.push_back(cycle + 1);
-                    self.edges[e].produced += 1;
+                for &(EdgeId(e), rate) in &node.outputs {
+                    for _ in 0..rate {
+                        self.edges[e].queue.push_back(cycle + 1);
+                    }
+                    self.edges[e].produced += rate;
+                    let len = self.edges[e].queue.len();
+                    self.edges[e].high_water = self.edges[e].high_water.max(len);
                 }
             }
             cycle += 1;
             if !can_ever_fire {
                 break;
             }
-            if !fired_any {
-                // Nothing fired: finished only if nothing can fire anymore
-                // even with future token visibility.
-                let pending: bool = self.nodes.iter().any(|n| {
-                    n.budget != Some(n.fired)
-                        && (n.inputs.is_empty()
-                            || n.inputs
-                                .iter()
-                                .all(|&EdgeId(e)| !self.edges[e].queue.is_empty()))
-                });
-                if !pending && self.edges.iter().all(|e| e.queue.is_empty()) {
+            if fired_any {
+                idle = 0;
+            } else {
+                idle += 1;
+                if idle >= max_ii {
+                    // Static state: remaining budgets are starved (e.g. a
+                    // decimated tail shorter than a consume rate) — done.
                     break;
                 }
             }
@@ -191,6 +243,7 @@ impl DataflowGraph {
             firings: self.nodes.iter().map(|n| n.fired).collect(),
             stalls: self.nodes.iter().map(|n| n.stalls).collect(),
             tokens: self.edges.iter().map(|e| e.produced).collect(),
+            high_water: self.edges.iter().map(|e| e.high_water).collect(),
         }
     }
 }
@@ -226,6 +279,20 @@ mod tests {
         assert!(r.cycles >= 180, "cycles {}", r.cycles);
         // The source stalled most of the time.
         assert!(r.stalls[0] > 60);
+        // The FIFO filled to capacity while the producer outran the sink.
+        assert_eq!(r.high_water, vec![2]);
+    }
+
+    #[test]
+    fn balanced_chain_barely_uses_fifo_depth() {
+        // Matched II=1 stages keep each FIFO nearly empty: the high-water
+        // report is the evidence a deep stream would be wasted here.
+        let mut g = DataflowGraph::new();
+        let f = g.edge(64);
+        g.node("a", 1, &[], &[f], Some(500));
+        g.node("b", 1, &[f], &[], Some(500));
+        let r = g.run(10_000);
+        assert!(r.high_water[0] <= 2, "high water {}", r.high_water[0]);
     }
 
     #[test]

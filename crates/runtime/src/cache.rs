@@ -1,5 +1,7 @@
-//! Seeded result cache: `(kernel id, plan fingerprint, seed)` →
-//! `Arc<RunReport>` with LRU eviction.
+//! Seeded result cache: `(source kernel id, graph fingerprint, seed)` →
+//! the delivered report (a [`RunReport`](dwi_core::backend::RunReport)
+//! for single-node graphs, a [`GraphReport`](dwi_core::graph::GraphReport)
+//! for multi-stage pipelines) with LRU eviction.
 //!
 //! Every backend run is deterministic in that key (the determinism pinned
 //! by `tests/shard_determinism.rs` and the backend-equivalence suite), so
@@ -7,10 +9,8 @@
 //! the same experiment are served without touching a worker.
 
 use std::collections::VecDeque;
-use std::sync::Arc;
 
-use crate::job::CacheKey;
-use dwi_core::backend::RunReport;
+use crate::job::{CacheKey, CachedOutput};
 
 /// A small LRU map. Capacities are tens of entries (whole experiment
 /// reports are large), so a scan-and-rotate deque beats hash-map
@@ -18,7 +18,7 @@ use dwi_core::backend::RunReport;
 pub(crate) struct LruCache {
     cap: usize,
     /// Front = most recently used.
-    entries: VecDeque<(CacheKey, Arc<RunReport>)>,
+    entries: VecDeque<(CacheKey, CachedOutput)>,
 }
 
 impl LruCache {
@@ -32,7 +32,7 @@ impl LruCache {
     /// Look up `key`, promoting a hit to most-recently-used. A hit that
     /// is already most-recently-used — the common case under repeated
     /// submissions — is served without touching the deque.
-    pub fn get(&mut self, key: &CacheKey) -> Option<Arc<RunReport>> {
+    pub fn get(&mut self, key: &CacheKey) -> Option<CachedOutput> {
         let idx = self.entries.iter().position(|(k, _)| k == key)?;
         if idx > 0 {
             let entry = self.entries.remove(idx).expect("position was valid");
@@ -42,7 +42,7 @@ impl LruCache {
     }
 
     /// Insert, evicting the least-recently-used entry at capacity.
-    pub fn put(&mut self, key: CacheKey, report: Arc<RunReport>) {
+    pub fn put(&mut self, key: CacheKey, report: CachedOutput) {
         if self.cap == 0 {
             return;
         }
@@ -71,10 +71,13 @@ impl LruCache {
 mod tests {
     use super::*;
     use dwi_core::{Backend, ExecutionPlan, FunctionalDecoupled, TruncatedNormalKernel};
+    use std::sync::Arc;
 
-    fn report() -> Arc<RunReport> {
+    fn report() -> CachedOutput {
         let k = TruncatedNormalKernel::new(1.5, 32, 1);
-        Arc::new(FunctionalDecoupled.execute(&k, &ExecutionPlan::new(2)))
+        CachedOutput::Single(Arc::new(
+            FunctionalDecoupled.execute(&k, &ExecutionPlan::new(2)),
+        ))
     }
 
     fn key(n: u64) -> CacheKey {

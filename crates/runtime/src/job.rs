@@ -1,11 +1,14 @@
 //! Job model: what clients submit to the [`Runtime`](crate::Runtime) and
 //! what they get back.
 //!
-//! A job is either a *kernel* job — a [`WorkItemKernel`] plus an
-//! [`ExecutionPlan`] and a seed, shardable, cacheable, merged back into a
-//! single [`RunReport`] — or an opaque *task* closure that a worker runs
-//! whole (the escape hatch for host-side work like the transfers-only
-//! cycle simulations of Fig. 7, which have no kernel to shard).
+//! A job is a *kernel* job — a [`WorkItemKernel`] plus an
+//! [`ExecutionPlan`] and a seed — a *graph* job — a [`KernelGraph`] of
+//! pipe-connected stages plus a [`GraphPlan`] — or an opaque *task*
+//! closure that a worker runs whole (the escape hatch for host-side work
+//! like the transfers-only cycle simulations of Fig. 7, which have no
+//! kernel to shard). Internally kernel jobs are the trivial one-node
+//! graph: the scheduler shards, merges, and caches graphs natively, and
+//! a single-node graph delivers the familiar [`RunReport`].
 
 use std::any::Any;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -16,6 +19,7 @@ use crate::session::CompletionShared;
 use crate::timeline::{JobOutcome, JobTimeline};
 
 use dwi_core::backend::{ExecutionPlan, FusedBatch, RunReport};
+use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
 use dwi_core::kernel::WorkItemKernel;
 
 /// A kernel shared across worker threads.
@@ -73,6 +77,18 @@ pub enum JobPayload {
         /// Cache-key seed component.
         seed: u64,
     },
+    /// A multi-kernel dataflow execution: the [`GraphPlan`] is
+    /// [`split`](GraphPlan::split) across workers (every stage shards on
+    /// the same work-item range) and the shard [`GraphReport`]s merge
+    /// bit-identically to a monolithic run.
+    Graph {
+        /// The stage DAG to execute.
+        graph: Arc<KernelGraph>,
+        /// Geometry + platform parameters + edge depth.
+        plan: GraphPlan,
+        /// Cache-key seed component.
+        seed: u64,
+    },
     /// An opaque closure: single shard, never cached.
     Task(TaskFn),
 }
@@ -102,6 +118,17 @@ impl JobSpec {
             deadline: None,
             shards: None,
             payload: JobPayload::Kernel { kernel, plan, seed },
+        }
+    }
+
+    /// A graph job with default priority, no deadline, default sharding.
+    pub fn graph(client: u32, graph: Arc<KernelGraph>, plan: GraphPlan, seed: u64) -> Self {
+        Self {
+            client,
+            priority: Priority::Normal,
+            deadline: None,
+            shards: None,
+            payload: JobPayload::Graph { graph, plan, seed },
         }
     }
 
@@ -143,7 +170,12 @@ impl JobSpec {
 /// What a completed job delivers.
 pub enum JobOutput {
     /// A kernel job's merged report (shared with the result cache).
+    /// Single-node graph jobs also deliver this variant, so the kernel
+    /// API is unchanged by the graph spine.
     Kernel(Arc<RunReport>),
+    /// A multi-stage graph job's merged report, with per-stage
+    /// sub-reports and inter-stage edge accounting.
+    Graph(Arc<GraphReport>),
     /// An opaque task's return value.
     Task(Box<dyn Any + Send>),
 }
@@ -152,33 +184,60 @@ impl std::fmt::Debug for JobOutput {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             JobOutput::Kernel(r) => write!(f, "JobOutput::Kernel({}/{})", r.backend, r.kernel),
+            JobOutput::Graph(g) => {
+                write!(f, "JobOutput::Graph({}/{} stages)", g.graph, g.stages.len())
+            }
             JobOutput::Task(_) => write!(f, "JobOutput::Task(..)"),
         }
     }
 }
 
 impl JobOutput {
-    /// The merged report; panics on a task output.
+    /// The merged report; for a graph output, the final stage's report.
+    /// Panics on a task output.
     pub fn report(&self) -> &RunReport {
         match self {
             JobOutput::Kernel(r) => r,
+            JobOutput::Graph(g) => g.final_report(),
             JobOutput::Task(_) => panic!("task job has no RunReport"),
         }
     }
 
-    /// The merged report by value; panics on a task output.
+    /// The merged report by value; panics on a task or graph output.
     pub fn into_report(self) -> Arc<RunReport> {
         match self {
             JobOutput::Kernel(r) => r,
+            JobOutput::Graph(_) => panic!("graph job delivers a GraphReport"),
             JobOutput::Task(_) => panic!("task job has no RunReport"),
         }
     }
 
-    /// Downcast a task output; panics on a kernel output or wrong type.
+    /// The merged graph report; panics unless this is a graph output.
+    pub fn graph_report(&self) -> &GraphReport {
+        match self {
+            JobOutput::Graph(g) => g,
+            JobOutput::Kernel(_) => panic!("single-node jobs deliver a RunReport"),
+            JobOutput::Task(_) => panic!("task job has no GraphReport"),
+        }
+    }
+
+    /// The merged graph report by value; panics unless this is a graph
+    /// output.
+    pub fn into_graph_report(self) -> Arc<GraphReport> {
+        match self {
+            JobOutput::Graph(g) => g,
+            JobOutput::Kernel(_) => panic!("single-node jobs deliver a RunReport"),
+            JobOutput::Task(_) => panic!("task job has no GraphReport"),
+        }
+    }
+
+    /// Downcast a task output; panics on a kernel or graph output or
+    /// wrong type.
     pub fn into_task<T: 'static>(self) -> T {
         match self {
             JobOutput::Task(b) => *b.downcast::<T>().expect("task output type mismatch"),
             JobOutput::Kernel(_) => panic!("kernel job output is a RunReport"),
+            JobOutput::Graph(_) => panic!("graph job output is a GraphReport"),
         }
     }
 }
@@ -202,8 +261,32 @@ impl JobError {
     }
 }
 
-/// Result-cache key: `(kernel id, plan fingerprint, seed)`.
+/// Result-cache key: `(source kernel id, graph fingerprint, seed)`.
+///
+/// The fingerprint ([`KernelGraph::fingerprint`]) equals the bare plan
+/// fingerprint for single-node graphs (so pre-graph cache keys are
+/// byte-identical) and appends the stage topology and edge depth for
+/// multi-stage graphs.
 pub(crate) type CacheKey = (&'static str, String, u64);
+
+/// What the result cache stores: the same report the job delivered.
+#[derive(Clone)]
+pub(crate) enum CachedOutput {
+    /// Single-node (kernel) jobs cache the merged [`RunReport`].
+    Single(Arc<RunReport>),
+    /// Multi-stage graph jobs cache the merged [`GraphReport`].
+    Graph(Arc<GraphReport>),
+}
+
+impl CachedOutput {
+    /// The [`JobOutput`] a cache hit delivers.
+    pub fn to_output(&self) -> JobOutput {
+        match self {
+            CachedOutput::Single(r) => JobOutput::Kernel(r.clone()),
+            CachedOutput::Graph(g) => JobOutput::Graph(g.clone()),
+        }
+    }
+}
 
 pub(crate) enum Status {
     Queued,
@@ -232,15 +315,18 @@ pub(crate) struct BatchDemux {
 
 pub(crate) struct JobInner {
     pub status: Status,
-    /// Per-shard reports, filled as workers finish (kernel jobs).
-    pub reports: Vec<Option<RunReport>>,
+    /// Per-shard reports, filled as workers finish (graph jobs —
+    /// single-node for plain kernels).
+    pub reports: Vec<Option<GraphReport>>,
     /// Shards not yet finished (meaningful once exploded).
     pub remaining: usize,
     /// True once any shard was skipped (cancel/expiry) — blocks merging.
     pub aborted: Option<JobError>,
-    /// The unsplit plan, kept for the merge (kernel jobs).
-    pub plan: Option<ExecutionPlan>,
-    /// Result-cache key (kernel jobs with caching enabled).
+    /// The unsplit plan, kept for the merge (graph jobs).
+    pub plan: Option<GraphPlan>,
+    /// The stage DAG, kept for the merge (graph jobs).
+    pub graph: Option<Arc<KernelGraph>>,
+    /// Result-cache key (graph jobs with caching enabled).
     pub cache_key: Option<CacheKey>,
     /// Admission time, for the job-latency summary.
     pub admitted: Instant,
@@ -286,6 +372,7 @@ impl JobState {
                 remaining: 0,
                 aborted: None,
                 plan: None,
+                graph: None,
                 cache_key: None,
                 admitted: now,
                 backoff: Duration::ZERO,

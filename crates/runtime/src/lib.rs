@@ -5,18 +5,23 @@
 //! them and keeps the device saturated (Section IV-F). This crate is that
 //! runtime grown to many tenants: clients [`submit`](Runtime::submit)
 //! jobs — a [`WorkItemKernel`](dwi_core::kernel::WorkItemKernel) +
-//! [`ExecutionPlan`] + seed, with a
-//! priority and an optional deadline — and a pool of worker threads, each
-//! owning its own [`Backend`] instance ("virtual device"), executes them.
+//! [`ExecutionPlan`] + seed, or a multi-stage
+//! [`KernelGraph`] + [`GraphPlan`] + seed,
+//! with a priority and an optional deadline — and a pool of worker
+//! threads, each owning its own [`Backend`] instance ("virtual device"),
+//! executes them. Internally every kernel job is the trivial one-node
+//! graph: the scheduler shards, caches, and merges graphs natively
+//! ([`Backend::run`] per shard), and single-node graphs deliver the
+//! familiar [`RunReport`] so the kernel API is unchanged.
 //!
 //! The pipeline per job:
 //!
 //! ```text
 //! submit ──▶ admission queue ──▶ coalesce ──▶ split(n) ──▶ shard queue ──▶ workers ──▶ merge ──▶ demux ──▶ JobHandle::wait
-//!   │   (bounded; reject +     (fuse same-    (adaptive or    (any worker     (Backend::execute  (fused batch
-//!   │    retry-after when       shaped jobs    static shard    takes the       per shard)         back into
+//!   │   (bounded; reject +     (fuse same-    (adaptive or    (any worker     (Backend::run      (fused batch
+//!   │    retry-after when       shaped jobs    static shard    takes the       per graph shard)   back into
 //!   ▼    full)                  into one       count)          next shard)                        per-job reports)
-//! result cache (kernel, plan, seed) ── hit? return immediately
+//! result cache (source kernel, graph fingerprint, seed) ── hit? return immediately
 //! ```
 //!
 //! The **coalescing stage** ([`RuntimeConfig::batching`]) fuses up to
@@ -83,7 +88,7 @@ pub use job::{JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, Sha
 pub use queue::SubmitRejected;
 pub use session::{Completion, Session, Ticket};
 pub use shard::AdaptiveSharding;
-pub use timeline::{JobOutcome, JobTimeline, ShardSpan, PHASES};
+pub use timeline::{JobOutcome, JobTimeline, ShardSpan, PHASES, STAGE_PHASES};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -95,6 +100,7 @@ use dwi_core::backend::{
     Backend, CycleSim, ExecutionPlan, FunctionalDecoupled, FusedJob, LockstepCoupled, NdRange,
     RunReport, SimtTrace,
 };
+use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
 use dwi_trace::{FlightRecorder, TraceSink};
 
 use crate::cache::LruCache;
@@ -402,12 +408,29 @@ impl Runtime {
             state.set_completion_hook(hook);
         }
         let job = match spec.payload {
-            JobPayload::Kernel { kernel, plan, seed } => {
+            JobPayload::Task(f) => QueuedJob {
+                state: state.clone(),
+                work: JobWork::Task(f),
+                shards: Some(1),
+                batch_key: None,
+            },
+            payload => {
+                // Kernel submissions become the trivial one-node graph
+                // here: past admission the scheduler speaks graphs only.
+                let (graph, plan, seed) = match payload {
+                    JobPayload::Kernel { kernel, plan, seed } => (
+                        Arc::new(KernelGraph::single(kernel)),
+                        GraphPlan::new(plan),
+                        seed,
+                    ),
+                    JobPayload::Graph { graph, plan, seed } => (graph, plan, seed),
+                    JobPayload::Task(_) => unreachable!("task payloads matched above"),
+                };
                 let cache_key = (self.core.cache_capacity() > 0)
-                    .then(|| (kernel.name(), plan.fingerprint(), seed));
+                    .then(|| (graph.source().name(), graph.fingerprint(&plan), seed));
                 if let Some(key) = &cache_key {
                     let hit = self.core.lock_cache().get(key);
-                    if let Some(report) = hit {
+                    if let Some(cached) = hit {
                         self.core.metrics.cache_hit();
                         self.core.metrics.job_submitted(spec.priority);
                         self.core.metrics.job_completed(0.0);
@@ -419,17 +442,20 @@ impl Runtime {
                         self.core.export_timeline(tl);
                         // finish() (not a bare status write) so a session
                         // hook sees the synchronous completion too.
-                        state.finish(Status::Done(Some(JobOutput::Kernel(report))));
+                        state.finish(Status::Done(Some(cached.to_output())));
                         return Ok(state);
                     }
                     self.core.metrics.cache_miss();
                 }
                 // Deadline jobs must not sit out a batch window; explicit
-                // shard overrides are the deterministic dispatch path —
-                // both stay out of the coalescing stage.
-                let batch_key =
-                    (self.core.batch_max > 1 && spec.deadline.is_none() && spec.shards.is_none())
-                        .then(|| FusedJob::batch_key(kernel.as_ref(), &plan));
+                // shard overrides are the deterministic dispatch path;
+                // multi-stage graphs have nothing to fuse along the group
+                // axis — all three stay out of the coalescing stage.
+                let batch_key = (self.core.batch_max > 1
+                    && spec.deadline.is_none()
+                    && spec.shards.is_none()
+                    && graph.is_single())
+                .then(|| FusedJob::batch_key(graph.source().as_ref(), &plan.base));
                 {
                     let mut inner = state.lock();
                     inner.cache_key = cache_key;
@@ -437,17 +463,11 @@ impl Runtime {
                 }
                 QueuedJob {
                     state: state.clone(),
-                    work: JobWork::Kernel { kernel, plan },
+                    work: JobWork::Graph { graph, plan },
                     shards: spec.shards,
                     batch_key,
                 }
             }
-            JobPayload::Task(f) => QueuedJob {
-                state: state.clone(),
-                work: JobWork::Task(f),
-                shards: Some(1),
-                batch_key: None,
-            },
         };
         match self.enqueue(job) {
             Ok(()) => Ok(state),
@@ -524,6 +544,27 @@ impl Runtime {
             .wait()
             .expect("kernel job without deadline cannot fail")
             .into_report()
+    }
+
+    /// Run one multi-stage graph job to completion: submit (riding out
+    /// backpressure), wait, return the merged [`GraphReport`]. Single-node
+    /// graphs deliver through the kernel path ([`JobOutput::Kernel`]) —
+    /// use [`Runtime::run_kernel`] for those. Panics if the job is
+    /// cancelled or expires.
+    pub fn run_graph(
+        &self,
+        graph: Arc<KernelGraph>,
+        plan: GraphPlan,
+        seed: u64,
+    ) -> Arc<GraphReport> {
+        assert!(
+            !graph.is_single(),
+            "single-node graphs deliver a RunReport; use run_kernel"
+        );
+        self.submit_blocking(JobSpec::graph(0, graph, plan, seed))
+            .wait()
+            .expect("graph job without deadline cannot fail")
+            .into_graph_report()
     }
 
     #[allow(clippy::result_large_err)] // internal: the job rides the Err back to the retry loop

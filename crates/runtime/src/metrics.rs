@@ -132,4 +132,23 @@ impl RuntimeMetrics {
     pub fn submit_backoff(&self, total_s: f64) {
         self.sink.observe(fam::SUBMIT_BACKOFF, &[], total_s);
     }
+
+    /// One completed multi-stage graph job.
+    pub fn graph_job_completed(&self) {
+        self.sink.counter(fam::GRAPH_JOBS, &[]).inc();
+    }
+
+    /// Modeled seconds one pipeline stage spent stalled, from the merged
+    /// graph report's dataflow accounting. `stage` is the stage kernel's
+    /// static name.
+    pub fn graph_stage_stall(&self, stage: &'static str, secs: f64) {
+        self.sink
+            .observe_histogram(fam::GRAPH_STAGE_STALL_SECONDS, &[("stage", stage)], secs);
+    }
+
+    /// High-water occupancy of one inter-stage FIFO over a completed
+    /// graph job (tokens).
+    pub fn graph_edge_high_water(&self, tokens: f64) {
+        self.sink.observe(fam::GRAPH_EDGE_HIGH_WATER, &[], tokens);
+    }
 }

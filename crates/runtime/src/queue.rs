@@ -7,8 +7,8 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
 
-use crate::job::{JobState, Priority, SharedKernel, TaskFn};
-use dwi_core::backend::ExecutionPlan;
+use crate::job::{JobState, Priority, TaskFn};
+use dwi_core::graph::{GraphPlan, KernelGraph};
 
 /// A submission the queue holds until a worker pops it.
 pub(crate) struct QueuedJob {
@@ -21,19 +21,21 @@ pub(crate) struct QueuedJob {
     /// [`JobSpec::shards`]: crate::JobSpec::shards
     pub shards: Option<u32>,
     /// Fusion-compatibility key ([`FusedJob::batch_key`]) when this job
-    /// may ride a batch: kernel jobs without a deadline or an explicit
-    /// shard override, on a runtime with batching enabled. `None` marks
-    /// the job non-coalescable.
+    /// may ride a batch: single-node graph jobs without a deadline or an
+    /// explicit shard override, on a runtime with batching enabled.
+    /// `None` marks the job non-coalescable (multi-stage graphs never
+    /// coalesce — their work-item fusion is the pipeline itself).
     ///
     /// [`FusedJob::batch_key`]: dwi_core::backend::FusedJob::batch_key
     pub batch_key: Option<String>,
 }
 
-/// The work half of a queued job.
+/// The work half of a queued job. Kernel submissions are normalized to
+/// single-node graphs at admission, so the scheduler speaks graphs only.
 pub(crate) enum JobWork {
-    Kernel {
-        kernel: SharedKernel,
-        plan: ExecutionPlan,
+    Graph {
+        graph: Arc<KernelGraph>,
+        plan: GraphPlan,
     },
     Task(TaskFn),
 }

@@ -5,11 +5,11 @@
 
 use std::sync::Arc;
 
-use crate::job::{JobState, SharedKernel, Status, TaskFn};
+use crate::job::{JobState, Status, TaskFn};
 use crate::queue::{JobWork, QueuedJob};
-use dwi_core::backend::ExecutionPlan;
+use dwi_core::graph::{GraphPlan, KernelGraph};
 
-/// One unit of worker work: a contiguous work-item slice of a kernel job,
+/// One unit of worker work: a contiguous work-item slice of a graph job,
 /// or a whole opaque task.
 pub(crate) struct ShardTask {
     pub state: Arc<JobState>,
@@ -19,9 +19,9 @@ pub(crate) struct ShardTask {
 }
 
 pub(crate) enum ShardWork {
-    Kernel {
-        kernel: SharedKernel,
-        plan: ExecutionPlan,
+    Graph {
+        graph: Arc<KernelGraph>,
+        plan: GraphPlan,
     },
     Task(TaskFn),
 }
@@ -42,7 +42,7 @@ pub(crate) enum ShardWork {
 ///   costs more than it saves;
 /// * **hard bounds** — the result is always clamped to
 ///   `[min_shards, max_shards]` (and, as everywhere, to the plan's group
-///   count by [`ExecutionPlan::split`]).
+///   count by [`ExecutionPlan::split`](dwi_core::ExecutionPlan::split)).
 ///
 /// An explicit per-job `shards(n)` always wins — that is the
 /// deterministic override the parity paths (`table3 --runtime`) use.
@@ -123,12 +123,13 @@ pub(crate) fn pick_shards(
 }
 
 /// Split a popped job into `shards` shard tasks and initialize its merge
-/// bookkeeping. Kernel jobs shard along [`ExecutionPlan::split`] (so the
-/// global work-item ids — and every derived RNG stream — are unchanged);
-/// task jobs are a single shard by construction.
+/// bookkeeping. Graph jobs shard along [`GraphPlan::split`] — every stage
+/// slices on the same work-item range, so the global work-item ids (and
+/// every derived RNG stream, in every stage) are unchanged; task jobs are
+/// a single shard by construction.
 pub(crate) fn explode(job: QueuedJob, shards: u32) -> Vec<ShardTask> {
     match job.work {
-        JobWork::Kernel { kernel, plan } => {
+        JobWork::Graph { graph, plan } => {
             let shard_plans = plan.split(shards);
             let n = shard_plans.len();
             {
@@ -137,6 +138,7 @@ pub(crate) fn explode(job: QueuedJob, shards: u32) -> Vec<ShardTask> {
                 inner.reports = (0..n).map(|_| None).collect();
                 inner.remaining = n;
                 inner.plan = Some(plan);
+                inner.graph = Some(graph.clone());
                 inner.timeline.mark_dispatched(n as u32);
             }
             shard_plans
@@ -145,8 +147,8 @@ pub(crate) fn explode(job: QueuedJob, shards: u32) -> Vec<ShardTask> {
                 .map(|(index, plan)| ShardTask {
                     state: job.state.clone(),
                     index,
-                    work: ShardWork::Kernel {
-                        kernel: kernel.clone(),
+                    work: ShardWork::Graph {
+                        graph: graph.clone(),
                         plan,
                     },
                 })

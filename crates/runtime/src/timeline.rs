@@ -22,6 +22,12 @@
 //! lacks the later milestones; the walk attributes the remaining time to
 //! the first absent milestone's predecessor-to-terminal gap, keeping the
 //! telescoping identity intact on every path.
+//!
+//! Multi-stage graph jobs additionally split the `execute` phase into
+//! `stage0..stageN` sub-segments (one per pipeline stage, proportioned by
+//! the merged report's per-stage elapsed times) — the sub-segments still
+//! sum exactly to the execute window, so the telescoping identity is
+//! untouched.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,6 +43,13 @@ pub const PHASES: &[&str] = &[
     "execute",
     "merge",
     "deliver",
+];
+
+/// Static labels for the per-stage execute sub-spans of multi-stage graph
+/// jobs (`stage0`..). Pipelines deeper than this vocabulary fall back to
+/// the plain `execute` phase rather than minting dynamic labels.
+pub const STAGE_PHASES: &[&str] = &[
+    "stage0", "stage1", "stage2", "stage3", "stage4", "stage5", "stage6", "stage7",
 ];
 
 /// How one job left the runtime.
@@ -120,6 +133,10 @@ pub struct JobTimeline {
     pub batch_key: Option<Arc<str>>,
     /// Backpressure backoff included in the `admit` phase.
     pub backoff: Duration,
+    /// Per-stage elapsed times of a multi-stage graph job (element-wise
+    /// max across shards), used to proportion the `execute` phase into
+    /// `stage{i}` sub-segments. Empty for single-node jobs.
+    pub stage_marks: Vec<Duration>,
 }
 
 impl JobTimeline {
@@ -142,6 +159,7 @@ impl JobTimeline {
             outcome: JobOutcome::Pending,
             batch_key: None,
             backoff: Duration::ZERO,
+            stage_marks: Vec::new(),
         }
     }
 
@@ -170,6 +188,19 @@ impl JobTimeline {
             start,
             end,
         });
+    }
+
+    /// Record the per-stage elapsed times of a multi-stage graph job
+    /// (element-wise max across shards: each stage's segment covers the
+    /// slowest shard's time in it, matching how the execute phase covers
+    /// the slowest shard overall).
+    pub fn record_stage_marks(&mut self, stage_elapsed: &[Duration]) {
+        if self.stage_marks.len() < stage_elapsed.len() {
+            self.stage_marks.resize(stage_elapsed.len(), Duration::ZERO);
+        }
+        for (mark, &e) in self.stage_marks.iter_mut().zip(stage_elapsed) {
+            *mark = (*mark).max(e);
+        }
     }
 
     /// Mark the merged report (or task output) ready.
@@ -219,7 +250,9 @@ impl JobTimeline {
 
     /// The telescoping phase walk: `(phase, start, duration)` per present
     /// milestone, summing exactly to [`e2e`](Self::e2e). Empty until the
-    /// job is terminal.
+    /// job is terminal. Multi-stage graph jobs replace the `execute`
+    /// segment with per-stage `stage{i}` sub-segments that sum exactly to
+    /// it (see [`STAGE_PHASES`]).
     pub fn segments(&self) -> Vec<(&'static str, Instant, Duration)> {
         let Some(completed) = self.completed else {
             return Vec::new();
@@ -248,7 +281,49 @@ impl JobTimeline {
                 prev = prev.max(at);
             }
         }
+        let stages = self.stage_marks.len();
+        if (2..=STAGE_PHASES.len()).contains(&stages) {
+            if let Some(i) = out.iter().position(|(n, _, _)| *n == "execute") {
+                let (_, exec_start, total) = out[i];
+                out.splice(i..=i, self.stage_segments(exec_start, total));
+            }
+        }
         out
+    }
+
+    /// Split one execute window of length `total` into per-stage
+    /// sub-segments proportioned by [`stage_marks`](Self::stage_marks).
+    /// The cumulative cut points are clamped nondecreasing and the last
+    /// is pinned to `total`, so the sub-durations always sum *exactly* to
+    /// the execute window — the telescoping identity survives rounding
+    /// (and stage overlap: concurrent stages' marks may sum to more than
+    /// the window; they are normalized, not truncated).
+    fn stage_segments(
+        &self,
+        exec_start: Instant,
+        total: Duration,
+    ) -> Vec<(&'static str, Instant, Duration)> {
+        let n = self.stage_marks.len();
+        let marks_total: Duration = self.stage_marks.iter().sum();
+        let mut subs = Vec::with_capacity(n);
+        let mut cumsum = Duration::ZERO;
+        let mut prev_cum = Duration::ZERO;
+        for (k, &mark) in self.stage_marks.iter().enumerate() {
+            cumsum += mark;
+            let cum = if k + 1 == n {
+                total
+            } else if marks_total.is_zero() {
+                Duration::from_secs_f64(total.as_secs_f64() * (k + 1) as f64 / n as f64)
+            } else {
+                Duration::from_secs_f64(
+                    total.as_secs_f64() * (cumsum.as_secs_f64() / marks_total.as_secs_f64()),
+                )
+            }
+            .clamp(prev_cum, total);
+            subs.push((STAGE_PHASES[k], exec_start + prev_cum, cum - prev_cum));
+            prev_cum = cum;
+        }
+        subs
     }
 
     /// Per-phase durations (the [`segments`](Self::segments) walk without
@@ -355,6 +430,63 @@ mod tests {
 
     fn tl_e2e(tl: &JobTimeline) -> Duration {
         tl.e2e().unwrap()
+    }
+
+    #[test]
+    fn stage_marks_split_execute_exactly() {
+        let mut tl = JobTimeline::new(7, 0, "normal");
+        let t0 = tl.submitted;
+        tl.admitted = Some(at(t0, 1));
+        tl.dequeued = Some(at(t0, 2));
+        tl.dispatched = Some(at(t0, 3));
+        tl.record_shard_span(0, 0, at(t0, 4), at(t0, 16));
+        // Concurrent stages: marks sum past the 12 ms window on purpose.
+        tl.record_stage_marks(&[
+            Duration::from_millis(9),
+            Duration::from_millis(6),
+            Duration::from_millis(3),
+        ]);
+        tl.merged = Some(at(t0, 17));
+        tl.completed = Some(at(t0, 18));
+        tl.outcome = JobOutcome::Completed;
+        let phases = tl.phases();
+        let names: Vec<_> = phases.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            [
+                "admit", "queue", "coalesce", "dispatch", "stage0", "stage1", "stage2", "merge",
+                "deliver"
+            ]
+        );
+        // The stage sub-spans sum exactly to the execute window...
+        let stage_sum: Duration = phases
+            .iter()
+            .filter(|(n, _)| n.starts_with("stage"))
+            .map(|(_, d)| *d)
+            .sum();
+        assert_eq!(stage_sum, Duration::from_millis(12));
+        // ...and the full walk still telescopes exactly to e2e.
+        let sum: Duration = phases.iter().map(|(_, d)| *d).sum();
+        assert_eq!(sum, tl.e2e().unwrap());
+        // Proportioning follows the marks: stage0 gets 9/18 of 12 ms.
+        let s0 = phases.iter().find(|(n, _)| *n == "stage0").unwrap().1;
+        assert_eq!(s0, Duration::from_millis(6));
+    }
+
+    #[test]
+    fn single_stage_jobs_keep_the_plain_execute_phase() {
+        let mut tl = JobTimeline::new(8, 0, "normal");
+        let t0 = tl.submitted;
+        tl.admitted = Some(at(t0, 1));
+        tl.dequeued = Some(at(t0, 2));
+        tl.dispatched = Some(at(t0, 3));
+        tl.record_shard_span(0, 0, at(t0, 4), at(t0, 8));
+        tl.record_stage_marks(&[Duration::from_millis(4)]);
+        tl.merged = Some(at(t0, 9));
+        tl.completed = Some(at(t0, 10));
+        tl.outcome = JobOutcome::Completed;
+        assert!(tl.phases().iter().any(|(n, _)| *n == "execute"));
+        assert!(!tl.phases().iter().any(|(n, _)| n.starts_with("stage")));
     }
 
     #[test]

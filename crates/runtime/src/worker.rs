@@ -15,9 +15,10 @@ use std::sync::{Arc, MutexGuard};
 use std::time::Instant;
 
 use dwi_core::backend::{Backend, FusedBatch, FusedJob};
+use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
 use dwi_trace::ProcessKind;
 
-use crate::job::{BatchDemux, BatchMember, CacheKey, JobError, JobState, Status};
+use crate::job::{BatchDemux, BatchMember, CacheKey, CachedOutput, JobError, JobState, Status};
 use crate::queue::{JobWork, QueuedJob};
 use crate::shard::{ShardTask, ShardWork};
 use crate::timeline::{JobOutcome, JobTimeline};
@@ -68,9 +69,9 @@ pub(crate) fn worker_loop(idx: usize, core: Arc<Core>, backend: Box<dyn Backend 
         let t0 = track.now_ns();
         let t_start = Instant::now();
         match shard.work {
-            ShardWork::Kernel { kernel, plan } => {
+            ShardWork::Graph { graph, plan } => {
                 let groups = plan.groups() as u64;
-                let report = backend.execute(kernel.as_ref(), &plan);
+                let report = backend.run(graph.as_ref(), &plan);
                 if track.is_enabled() {
                     track.span_since(format!("job{} shard{}", shard.state.id, shard.index), t0);
                 }
@@ -207,7 +208,9 @@ impl Core {
     }
 
     /// Fuse ≥ 2 compatible jobs into one synthetic kernel job carrying
-    /// the demux bookkeeping. Members with identical cache keys are
+    /// the demux bookkeeping. Members are single-node graphs by
+    /// construction (only those get a batch key), so fusion peels the
+    /// source kernel back out. Members with identical cache keys are
     /// deduplicated: the repeat executes zero extra work-items and is
     /// delivered the same `Arc<RunReport>` (caching disabled means no
     /// key, so no dedup — every member runs).
@@ -217,7 +220,7 @@ impl Core {
         let mut keys: Vec<Option<CacheKey>> = Vec::with_capacity(members.len());
         for m in members {
             let (kernel, plan) = match m.work {
-                JobWork::Kernel { kernel, plan } => (kernel, plan),
+                JobWork::Graph { graph, plan } => (graph.source().clone(), plan.base),
                 JobWork::Task(_) => unreachable!("tasks never carry a batch key"),
             };
             let key = {
@@ -270,7 +273,10 @@ impl Core {
         }
         QueuedJob {
             state,
-            work: JobWork::Kernel { kernel, plan },
+            work: JobWork::Graph {
+                graph: Arc::new(KernelGraph::single(kernel)),
+                plan: GraphPlan::new(plan),
+            },
             shards: None,
             batch_key: None,
         }
@@ -283,7 +289,7 @@ impl Core {
             return n;
         }
         match (&self.adaptive, &job.work) {
-            (Some(cfg), JobWork::Kernel { plan, .. }) => {
+            (Some(cfg), JobWork::Graph { plan, .. }) => {
                 let backlog = st.queue.len() + st.shards.len();
                 crate::shard::pick_shards(
                     cfg,
@@ -329,7 +335,7 @@ impl Core {
         state.finish(Status::Failed(err));
     }
 
-    /// Account one finished (or skipped) kernel shard; the last one
+    /// Account one finished (or skipped) graph shard; the last one
     /// finalizes the job — merging bit-identically when all shards ran
     /// (then demultiplexing per batch member for a fused dispatch),
     /// failing when any was skipped. `span` is the executed shard's
@@ -339,7 +345,7 @@ impl Core {
         state: &Arc<crate::job::JobState>,
         index: usize,
         span: Option<(u32, Instant, Instant)>,
-        report: Option<dwi_core::backend::RunReport>,
+        report: Option<GraphReport>,
         err: Option<JobError>,
     ) {
         let mut inner = state.lock();
@@ -376,34 +382,80 @@ impl Core {
             }
             return;
         }
-        let plan = inner.plan.take().expect("kernel job lost its plan");
+        let plan = inner.plan.take().expect("graph job lost its plan");
+        let graph = inner.graph.take().expect("graph job lost its graph");
         let shards: Vec<_> = inner
             .reports
             .drain(..)
             .map(|r| r.expect("unskipped shard missing its report"))
             .collect();
-        let merged = dwi_core::backend::RunReport::merge(&plan, shards);
+        let merged = GraphReport::merge(&graph, &plan, shards);
+        if merged.stages.len() > 1 {
+            // Stage sub-spans for the timeline's execute phase; recorded
+            // before mark_merged so finish() sees a consistent record.
+            inner.timeline.record_stage_marks(&merged.stage_elapsed);
+        }
         inner.timeline.mark_merged();
         match inner.batch.take() {
             None => {
-                let report = Arc::new(merged);
+                // Per-stage stall and edge-occupancy observations for the
+                // pipeline metric families, emitted after the locks drop.
+                let graph_obs = (!merged.is_single()).then(|| {
+                    let stalls: Vec<(&'static str, f64)> = merged
+                        .dataflow
+                        .as_ref()
+                        .map(|d| {
+                            graph
+                                .node_names()
+                                .into_iter()
+                                .zip(d.stage_stalls.iter())
+                                .map(|(n, &s)| (n, s as f64 / plan.base.freq_hz))
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    let high_water: Vec<f64> =
+                        merged.edges.iter().map(|e| e.high_water as f64).collect();
+                    (stalls, high_water)
+                });
+                let (output, cached) = if merged.is_single() {
+                    let report = Arc::new(merged.into_single());
+                    (
+                        crate::job::JobOutput::Kernel(report.clone()),
+                        CachedOutput::Single(report),
+                    )
+                } else {
+                    let report = Arc::new(merged);
+                    (
+                        crate::job::JobOutput::Graph(report.clone()),
+                        CachedOutput::Graph(report),
+                    )
+                };
                 let latency = inner.admitted.elapsed().as_secs_f64();
                 // Cache before waking waiters, so a waiter's immediate
                 // resubmit hits. Lock order is always job-inner → cache,
                 // never reversed.
                 if let Some(key) = inner.cache_key.take() {
-                    self.lock_cache().put(key, report.clone());
+                    self.lock_cache().put(key, cached);
                 }
                 let tl = inner.timeline.finish(JobOutcome::Completed);
                 // Export while the completion is not yet observable, so
                 // a waiter that sees Done can immediately flight-dump
                 // this job (sink locks nest inside the inner lock).
                 self.export_timeline(tl);
-                inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report)));
+                inner.status = Status::Done(Some(output));
                 drop(inner);
                 state.cv.notify_all();
                 state.fire_completion();
                 self.metrics.job_completed(latency);
+                if let Some((stalls, high_water)) = graph_obs {
+                    self.metrics.graph_job_completed();
+                    for (stage, secs) in stalls {
+                        self.metrics.graph_stage_stall(stage, secs);
+                    }
+                    for hw in high_water {
+                        self.metrics.graph_edge_high_water(hw);
+                    }
+                }
             }
             Some(b) => {
                 // Snapshot the synthetic job's execution-side record for
@@ -411,7 +463,8 @@ impl Core {
                 let batch_tl = inner.timeline.clone();
                 drop(inner);
                 let now = Instant::now();
-                let reports = b.fused.demux(merged);
+                // Fused batches only ever carry single-node graphs.
+                let reports = b.fused.demux(merged.into_single());
                 debug_assert_eq!(reports.len(), b.members.len());
                 for (m, r) in b.members.into_iter().zip(reports) {
                     let report = Arc::new(r);
@@ -445,7 +498,8 @@ impl Core {
         let mut inner = state.lock();
         let latency = inner.admitted.elapsed().as_secs_f64();
         if let Some(key) = inner.cache_key.take() {
-            self.lock_cache().put(key, report.clone());
+            self.lock_cache()
+                .put(key, CachedOutput::Single(report.clone()));
         }
         inner.timeline.adopt_batch(batch_tl);
         let tl = inner.timeline.finish(JobOutcome::Completed);

@@ -1,16 +1,19 @@
 //! Metric-accounting contract of the runtime: one mixed run — completions,
 //! rejections, would-block refusals, blocking backoff, cancellations,
-//! deadline expiries, cache hits, fused batches, and a session round trip
-//! — leaves (a) the conservation identity `submitted = completed +
-//! rejected + cancelled + expired` holding exactly, and (b) no family in
-//! [`dwi_trace::runtime_metrics::ALL`] silent in the Prometheus
-//! exposition.
+//! deadline expiries, cache hits, fused batches, a multi-stage graph job,
+//! and a session round trip — leaves (a) the conservation identity
+//! `submitted = completed + rejected + cancelled + expired` holding
+//! exactly, and (b) no family in [`dwi_trace::runtime_metrics::ALL`]
+//! silent in the Prometheus exposition.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
+use dwi_core::graph::{GraphPlan, KernelGraph};
+use dwi_core::{
+    ExecutionPlan, SeverityExpMix, SeverityScale, TruncatedNormalKernel, WindowAggregate,
+};
 use dwi_runtime::{JobError, JobSpec, Runtime, RuntimeConfig, SharedKernel};
 use dwi_trace::metrics::base_name;
 use dwi_trace::{runtime_metrics as fam, Recorder};
@@ -126,6 +129,18 @@ fn mixed_run_conserves_jobs_and_touches_every_family() {
     for h in mates {
         h.wait().expect("batched jobs complete");
     }
+
+    // --- A multi-stage graph job (pipeline metric families). ---
+    let graph = Arc::new(
+        KernelGraph::pipeline(
+            "metrics-credit",
+            Arc::new(SeverityExpMix::credit_severity(32, 5)),
+        )
+        .then(Arc::new(WindowAggregate::new(4)))
+        .then(Arc::new(SeverityScale::credit(5))),
+    );
+    let report = rt.run_graph(graph, GraphPlan::new(ExecutionPlan::new(2)), 5);
+    assert_eq!(report.stages.len(), 3);
 
     // --- A session round trip (in-flight / completion-queue gauges). ---
     let ticket = session.submit_blocking(JobSpec::kernel(

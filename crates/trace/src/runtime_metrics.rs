@@ -99,6 +99,24 @@ pub const SUBMIT_WOULD_BLOCK: &str = "dwi_runtime_submit_would_block_total";
 /// admission (capped exponential, seeded by the queue's retry-after hint).
 pub const SUBMIT_BACKOFF: &str = "dwi_runtime_submit_backoff_seconds";
 
+/// Counter: completed multi-stage graph jobs (single-node graphs — plain
+/// kernel jobs — count only under `dwi_runtime_jobs_completed_total`).
+pub const GRAPH_JOBS: &str = "dwi_runtime_graph_jobs_total";
+
+/// Histogram (log-scale buckets): modeled seconds one pipeline stage
+/// spent stalled (blocked pushing to a full downstream FIFO or starved
+/// waiting on an empty upstream one), labelled `stage="<kernel name>"`.
+/// Derived from the dataflow stepper's per-stage stall cycles at the
+/// plan's clock — the runtime-level view of the paper's decoupling
+/// argument: a well-balanced pipeline shows near-zero stall here.
+pub const GRAPH_STAGE_STALL_SECONDS: &str = "dwi_runtime_graph_stage_stall_seconds";
+
+/// Summary: high-water occupancy of one inter-stage FIFO (tokens), one
+/// observation per edge per completed graph job. An edge riding its
+/// configured depth is the back-pressure bottleneck; an edge near zero is
+/// starved.
+pub const GRAPH_EDGE_HIGH_WATER: &str = "dwi_runtime_graph_edge_high_water";
+
 /// Every family the runtime exports — the conservation test walks this
 /// list to assert a mixed run leaves no family silent, and the README's
 /// observability table documents exactly these names.
@@ -126,4 +144,7 @@ pub const ALL: &[&str] = &[
     COMPLETION_QUEUE_DEPTH,
     SUBMIT_WOULD_BLOCK,
     SUBMIT_BACKOFF,
+    GRAPH_JOBS,
+    GRAPH_STAGE_STALL_SECONDS,
+    GRAPH_EDGE_HIGH_WATER,
 ];
