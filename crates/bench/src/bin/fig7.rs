@@ -6,8 +6,14 @@
 //! jobs (transfers-only simulations have no [`dwi_core`] kernel to shard,
 //! so they ride the runtime's task lane). Output is byte-identical: the
 //! jobs compute the same pure functions, only on worker threads.
+//!
+//! `--http` routes every model point and simulation through a loopback
+//! `dwi-server` gateway as JSON task specs instead — still byte-identical,
+//! because cycle counts are integers and the analytic `f64`s survive the
+//! shortest-round-trip JSON rendering exactly.
 
-use dwi_bench::figures::fig7_data;
+use dwi_bench::figures::{fig7_data, fig7_data_with};
+use dwi_bench::httpgate::HttpArgs;
 use dwi_bench::obs::ObsArgs;
 use dwi_bench::render::{f, TextTable};
 use dwi_bench::runtime_args::{on_pool, RuntimeArgs};
@@ -63,13 +69,27 @@ fn export_sim(obs: &ObsArgs, cfg: &SimConfig, r: &SimResult) {
 fn main() {
     let obs = ObsArgs::from_env();
     let rt = RuntimeArgs::from_env().build();
-    for (label, channel) in [
-        ("Config1,2 bitstream (6-WI P&R)", BurstChannel::config12()),
-        ("Config3,4 bitstream (8-WI P&R)", BurstChannel::config34()),
+    let gate = HttpArgs::from_env().start();
+    for (label, channel_name, channel) in [
+        (
+            "Config1,2 bitstream (6-WI P&R)",
+            "config12",
+            BurstChannel::config12(),
+        ),
+        (
+            "Config3,4 bitstream (8-WI P&R)",
+            "config34",
+            BurstChannel::config34(),
+        ),
     ] {
         println!("Fig. 7 — {label}: transfers-only runtime [ms] for 629.1M RNs\n");
         let mut t = TextTable::new(&["burst RNs", "1 WI", "2 WI", "4 WI", "6 WI", "8 WI"]);
-        let data = on_pool(rt.as_ref(), move || fig7_data(&channel));
+        let data = match &gate {
+            Some(gate) => {
+                fig7_data_with(|total, burst, n| gate.transfers(channel_name, total, burst, n))
+            }
+            None => on_pool(rt.as_ref(), move || fig7_data(&channel)),
+        };
         for (burst, row) in data {
             let mut cells = vec![burst.to_string()];
             cells.extend(row.iter().map(|(_, ms, _)| f(*ms, 0)));
@@ -80,9 +100,9 @@ fn main() {
 
     // Cycle-level cross-check at the paper's operating point.
     println!("cycle-simulator cross-check (transfers-only, burst 256):");
-    for (n, ch, paper_bw) in [
-        (6u64, BurstChannel::config12(), 3.58),
-        (8, BurstChannel::config34(), 3.94),
+    for (n, ch_name, ch, paper_bw) in [
+        (6u64, "config12", BurstChannel::config12(), 3.58),
+        (8, "config34", BurstChannel::config34(), 3.94),
     ] {
         let cfg = SimConfig {
             n_workitems: n as usize,
@@ -95,16 +115,26 @@ fn main() {
             trace: obs.trace.is_some(),
             fifo_depth: 64,
         };
-        let r = {
-            let cfg = cfg.clone();
-            on_pool(rt.as_ref(), move || run(&cfg))
+        let cycles = match &gate {
+            // The gateway's task lane runs the identical pure function;
+            // only the cycle count crosses the wire, so the burst-level
+            // export (which needs the full schedule) stays local-only.
+            Some(gate) => gate.sim_cycles(ch_name, n, cfg.rns_per_workitem),
+            None => {
+                let r = {
+                    let cfg = cfg.clone();
+                    on_pool(rt.as_ref(), move || run(&cfg))
+                };
+                if n == 8 {
+                    // Export the 8-WI schedule (the Fig. 3 interleaving
+                    // pattern).
+                    export_sim(&obs, &cfg, &r);
+                }
+                r.cycles
+            }
         };
-        if n == 8 {
-            // Export the 8-WI schedule (the Fig. 3 interleaving pattern).
-            export_sim(&obs, &cfg, &r);
-        }
         let bytes = (cfg.rns_per_workitem * n * 4) as f64;
-        let bw = bytes * ch.freq_hz / r.cycles as f64 / 1e9;
+        let bw = bytes * ch.freq_hz / cycles as f64 / 1e9;
         println!(
             "  {n} WI: simulated {bw:.2} GB/s, analytic {:.2} GB/s, paper {paper_bw} GB/s",
             ch.effective_bandwidth(256, n) / 1e9

@@ -41,6 +41,16 @@
 //! occupancy stays at 1, a diagnostic names the attributed cause (shape
 //! mismatch vs arrival gap vs window too short) from the same phase data.
 //!
+//! `--http` drives the same closed-loop mix through a loopback
+//! `dwi-server` gateway instead: every submission is a real HTTP POST of
+//! the JSON job spec, `429` backpressure is ridden out with the server's
+//! `Retry-After`, and completions are harvested by long-polling
+//! `/v1/jobs/{id}/wait`. The summary lands in `BENCH_runtime_http.json`
+//! (same `jobs_per_s` / `p99_ms` fields, so the perf gate reads both
+//! artifacts), measuring the network service tier — connection setup,
+//! parsing, admission layers and the registry — on top of the same
+//! runtime.
+//!
 //! The workload mixes quotas, priorities and a deliberate fraction of
 //! repeated `(kernel, plan, seed)` submissions, so one run exercises the
 //! admission queue, the priority lanes, the shard fan-out, the coalescing
@@ -77,9 +87,10 @@ struct ServeArgs {
     compare: bool,
     async_mode: bool,
     graph: bool,
+    http: bool,
     inflight: usize,
     rate: f64,
-    out: std::path::PathBuf,
+    out: Option<std::path::PathBuf>,
     profile: bool,
     profile_out: Option<std::path::PathBuf>,
     slo_ms: Option<f64>,
@@ -101,9 +112,10 @@ impl ServeArgs {
             compare: false,
             async_mode: false,
             graph: false,
+            http: false,
             inflight: 256,
             rate: 0.0,
-            out: "BENCH_runtime.json".into(),
+            out: None,
             profile: false,
             profile_out: None,
             slo_ms: None,
@@ -130,9 +142,10 @@ impl ServeArgs {
                 "--compare" => out.compare = true,
                 "--async" => out.async_mode = true,
                 "--graph" => out.graph = true,
+                "--http" => out.http = true,
                 "--inflight" => out.inflight = next("--inflight").parse().expect("job count"),
                 "--rate" => out.rate = next("--rate").parse().expect("jobs per second"),
-                "--out" => out.out = next("--out").into(),
+                "--out" => out.out = Some(next("--out").into()),
                 "--profile" => out.profile = true,
                 "--profile-out" => out.profile_out = Some(next("--profile-out").into()),
                 "--slo-ms" => out.slo_ms = Some(next("--slo-ms").parse().expect("milliseconds")),
@@ -143,6 +156,17 @@ impl ServeArgs {
             }
         }
         out
+    }
+
+    /// Output path: `--out`, else the transport's default artifact.
+    fn out_path(&self) -> std::path::PathBuf {
+        self.out.clone().unwrap_or_else(|| {
+            if self.http {
+                "BENCH_runtime_http.json".into()
+            } else {
+                "BENCH_runtime.json".into()
+            }
+        })
     }
 
     /// Whether the run needs every job's timeline in the flight ring
@@ -362,6 +386,119 @@ fn run_load_async(args: &ServeArgs) -> (Summary, Recorder, Vec<JobTimeline>) {
     (summarize(args, wall, latencies_ms, &rec), rec, timelines)
 }
 
+/// The HTTP mirror of [`job_for`]: the same quota/seed/priority mix as a
+/// JSON job spec. Repeat submissions keep hitting the runtime's result
+/// cache through the gateway — identical canonical specs map to identical
+/// cache keys by construction.
+fn http_job_spec(client: u32, index: u32, graph_mix: bool) -> String {
+    let quota = [256u64, 512, 1024][(index % 3) as usize];
+    let seed = if index % 4 == 3 {
+        quota as u32
+    } else {
+        client * 10_000 + index
+    };
+    let priority = ["normal", "high", "low"][(client % 3) as usize];
+    if graph_mix && index % 3 == 1 {
+        return format!(
+            r#"{{"kernel":{{"type":"severity-exp-mix","w":0.5,"lambda1":2.0,"lambda2":0.5,"quota":{quota},"seed":{seed}}},"stages":[{{"type":"window-aggregate","window":8}},{{"type":"severity-scale","w":0.5,"lambda1":2.0,"lambda2":0.5,"seed":{seed}}}],"name":"serve-credit","plan":{{"workitems":1}},"priority":"{priority}"}}"#
+        );
+    }
+    format!(
+        r#"{{"kernel":{{"type":"truncated-normal","a":1.5,"quota":{quota},"seed":{seed}}},"plan":{{"workitems":1}},"priority":"{priority}"}}"#
+    )
+}
+
+/// `--http`: the same closed loop, but every submission is a real HTTP
+/// exchange against a loopback `dwi-server` gateway — POST the spec, ride
+/// out `429` backpressure with the server's `Retry-After`, long-poll the
+/// job to completion. What this measures is the *network service tier*:
+/// connection setup, parsing, admission layers and the registry on top of
+/// the same runtime the in-process loop drives.
+fn run_load_http(args: &ServeArgs) -> Summary {
+    use dwi_server::client;
+    use dwi_server::gateway::{start, GatewayConfig};
+
+    let mut cfg = GatewayConfig::new(args.workers);
+    cfg.queue_bound = args.queue_bound;
+    let gw = start(cfg, "127.0.0.1:0", None).expect("loopback gateway binds");
+    let addr = gw.addr;
+
+    let t0 = Instant::now();
+    let mut threads = Vec::new();
+    for client_id in 0..args.clients {
+        let (jobs, graph_mix) = (args.jobs, args.graph);
+        threads.push(std::thread::spawn(move || {
+            let mut latencies_ms = Vec::with_capacity(jobs as usize);
+            let mut blocked = 0u64;
+            for index in 0..jobs {
+                let spec = http_job_spec(client_id, index, graph_mix);
+                let t = Instant::now();
+                let id = loop {
+                    let r = client::post_json(addr, "/v1/jobs", None, &spec)
+                        .expect("gateway reachable");
+                    match r.status {
+                        202 => {
+                            break dwi_trace::json::parse(r.text())
+                                .expect("submit body")
+                                .get("id")
+                                .and_then(|v| v.as_f64())
+                                .expect("id field") as u64;
+                        }
+                        429 => {
+                            blocked += 1;
+                            let secs = r
+                                .header("Retry-After")
+                                .and_then(|v| v.parse::<u64>().ok())
+                                .unwrap_or(1);
+                            std::thread::sleep(Duration::from_secs(secs.min(2)));
+                        }
+                        other => panic!("submit failed with {other}: {}", r.text()),
+                    }
+                };
+                loop {
+                    let r =
+                        client::get(addr, &format!("/v1/jobs/{id}/wait?timeout_ms=30000"), None)
+                            .expect("gateway reachable");
+                    if r.status == 200 {
+                        break;
+                    }
+                    assert_eq!(r.status, 204, "unexpected wait status");
+                }
+                latencies_ms.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+            (latencies_ms, blocked)
+        }));
+    }
+    let mut latencies_ms = Vec::new();
+    let mut would_blocks = 0u64;
+    for t in threads {
+        let (lat, blocked) = t.join().expect("client thread panicked");
+        latencies_ms.extend(lat);
+        would_blocks += blocked;
+    }
+    let wall = t0.elapsed();
+
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let total_jobs = args.clients as u64 * args.jobs as u64;
+    assert_eq!(latencies_ms.len() as u64, total_jobs, "every job harvested");
+    let m = gw.gateway().recorder().metrics();
+    let counter = |key: &str| m.counter_value(key).unwrap_or(0);
+    let summary = Summary {
+        wall_s: wall.as_secs_f64(),
+        jobs_per_s: total_jobs as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        cache_hits: counter("dwi_runtime_cache_hits_total"),
+        rejections: counter("dwi_runtime_jobs_rejected_total"),
+        batches: 0,
+        batched_jobs: 0,
+        graph_jobs: counter("dwi_runtime_graph_jobs_total"),
+        would_blocks,
+    };
+    gw.stop();
+    summary
+}
+
 /// Fold one pass's wall clock, latencies and counters into a [`Summary`].
 fn summarize(
     args: &ServeArgs,
@@ -427,6 +564,38 @@ fn main() {
         args.inflight,
         args.rate
     );
+
+    // `--http`: the whole load rides a loopback `dwi-server` gateway —
+    // one closed-loop pass, its own artifact, and none of the in-process
+    // attribution machinery (phase timelines live server-side).
+    if args.http {
+        let s = run_load_http(&args);
+        report("http closed-loop", &args, &s);
+        let json = format!(
+            "{{\n  \"transport\": \"http\",\n  \"clients\": {},\n  \"jobs_per_client\": {},\n  \
+             \"workers\": {},\n  \"queue_bound\": {},\n  \"total_jobs\": {},\n  \
+             \"wall_s\": {:.6},\n  \"jobs_per_s\": {:.3},\n  \"p50_ms\": {:.4},\n  \
+             \"p99_ms\": {:.4},\n  \"cache_hits\": {},\n  \"rejections\": {},\n  \
+             \"http_429s\": {},\n  \"graph_jobs\": {}\n}}\n",
+            args.clients,
+            args.jobs,
+            args.workers,
+            args.queue_bound,
+            args.clients as u64 * args.jobs as u64,
+            s.wall_s,
+            s.jobs_per_s,
+            s.p50_ms,
+            s.p99_ms,
+            s.cache_hits,
+            s.rejections,
+            s.would_blocks,
+            s.graph_jobs
+        );
+        let out = args.out_path();
+        std::fs::write(&out, json).expect("write benchmark summary");
+        println!("summary written to {}", out.display());
+        return;
+    }
 
     // `--compare`: measure the untuned pool first, on identical load.
     let baseline = args.compare.then(|| run_load(&args, false).0);
@@ -584,8 +753,9 @@ fn main() {
         tuned.mean_batch_occupancy(),
         tuned.graph_jobs
     );
-    std::fs::write(&args.out, json).expect("write benchmark summary");
-    println!("summary written to {}", args.out.display());
+    let out = args.out_path();
+    std::fs::write(&out, json).expect("write benchmark summary");
+    println!("summary written to {}", out.display());
 
     // `--trajectory` (with `--compare`): append one JSON line per run so
     // the throughput/latency history accumulates across commits.

@@ -11,7 +11,14 @@
 //! attach a recorder to the pool, exporting the calibration jobs' phase
 //! timelines — tracing must never change the table, which is what the CI
 //! parity diff pins.
+//!
+//! `--http` goes one transport further: each calibration is POSTed to a
+//! loopback `dwi-server` gateway as a JSON job spec and harvested over
+//! HTTP, and `--http-remote` then ships it across the wire protocol to a
+//! spawned worker *process* — still byte-identical, because the rejection
+//! counters are integers and the overhead they derive is the same `f64`.
 
+use dwi_bench::httpgate::{HttpArgs, HttpPool};
 use dwi_bench::obs::ObsArgs;
 use dwi_bench::runtime_args::{Pool, RuntimeArgs};
 use dwi_core::experiment::{calibration_kernel, measure_rejection_overhead, table3_with};
@@ -20,13 +27,15 @@ use dwi_ocl::profiles::DeviceKind;
 use dwi_runtime::JobSpec;
 use std::sync::Arc;
 
-/// The table, computed inline or on a worker pool.
-fn build(w: &Workload, pool: Option<&Pool>) -> Table3 {
-    table3_with(
-        w,
-        100_000,
-        |normal, mt, sector_variance, samples| match pool {
-            Some(pool) => {
+/// The table, computed inline, on a worker pool, or through a loopback
+/// gateway (`--http`; `--http-remote` additionally hops each calibration
+/// over the wire protocol to a worker process). All paths are
+/// byte-identical: the measurer returns the same `f64` everywhere.
+fn build(w: &Workload, pool: Option<&Pool>, gate: Option<&HttpPool>) -> Table3 {
+    table3_with(w, 100_000, |normal, mt, sector_variance, samples| {
+        match (gate, pool) {
+            (Some(gate), _) => gate.measure_overhead(normal, mt, sector_variance, samples),
+            (None, Some(pool)) => {
                 let kernel = calibration_kernel(normal, mt, sector_variance, samples);
                 let report = pool
                     .submit_and_wait(JobSpec::kernel(
@@ -39,9 +48,9 @@ fn build(w: &Workload, pool: Option<&Pool>) -> Table3 {
                     .into_report();
                 report.rejection.overhead()
             }
-            None => measure_rejection_overhead(normal, mt, sector_variance, samples),
-        },
-    )
+            (None, None) => measure_rejection_overhead(normal, mt, sector_variance, samples),
+        }
+    })
 }
 
 fn main() {
@@ -52,8 +61,10 @@ fn main() {
         Some(rec) => rta.build_with(rec.sink()),
         None => rta.build(),
     };
+    let gate = HttpArgs::from_env().start();
     let w = Workload::paper();
-    let t = build(&w, pool.as_ref());
+    let t = build(&w, pool.as_ref(), gate.as_ref());
+    drop(gate);
     println!("Table III: Runtime [ms] (modeled; paper values in parentheses)\n");
     println!("{}", t.render());
     println!("paper:");

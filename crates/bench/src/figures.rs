@@ -181,13 +181,30 @@ pub fn fig6_data(
 pub type Fig7Row = (u64, Vec<(u64, f64, f64)>);
 
 pub fn fig7_data(channel: &BurstChannel) -> Vec<Fig7Row> {
+    fig7_data_with(|total, burst, n| {
+        (
+            channel.transfers_only_runtime(total, burst, n),
+            channel.effective_bandwidth(burst, n),
+        )
+    })
+}
+
+/// [`fig7_data`] with a pluggable model-point evaluator. The driver calls
+/// `point(total, burst, workitems)` once per grid cell and expects
+/// (runtime s, bandwidth RNs/s); everything else is unit conversion, so
+/// two evaluators that agree bit-for-bit — the in-process
+/// [`BurstChannel`] methods and a `dwi-server` gateway computing the same
+/// pure functions on its task lane — produce byte-identical tables.
+pub fn fig7_data_with<F>(mut point: F) -> Vec<Fig7Row>
+where
+    F: FnMut(u64, u64, u64) -> (f64, f64),
+{
     let total = Workload::paper().total_outputs();
     let mut out = Vec::new();
     for burst in [16u64, 32, 64, 128, 256, 512, 1024, 2048, 4096] {
         let mut row = Vec::new();
         for n in [1u64, 2, 4, 6, 8] {
-            let t = channel.transfers_only_runtime(total, burst, n);
-            let bw = channel.effective_bandwidth(burst, n);
+            let (t, bw) = point(total, burst, n);
             row.push((n, t * 1e3, bw / 1e9));
         }
         out.push((burst, row));

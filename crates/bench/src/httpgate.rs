@@ -1,0 +1,276 @@
+//! Shared `--http` plumbing: route a figure binary's measurements through
+//! a loopback `dwi-server` gateway instead of calling into the library.
+//!
+//! The contract mirrors [`crate::runtime_args`]: the flag changes *where*
+//! the computation runs — here, on the far side of a real HTTP exchange
+//! and (with `--http-remote`) a wire-protocol hop to a worker process —
+//! never *what* it prints. Rejection counters are `u64`s and every model
+//! `f64` survives shortest-round-trip decimal JSON exactly, so the CI
+//! parity diffs can pin byte-identical stdout across all three transports
+//! (inline, `--runtime`, `--http`).
+//!
+//! `--http-remote` additionally binds a cluster listener, spawns a
+//! sibling `dwi-server --worker --join` process, and parks the gateway's
+//! local worker pool — every kernel/graph job *must* cross the wire, and
+//! teardown fails the run if none did. Task-lane jobs (Fig. 7's
+//! simulations and transfer models) are not remote-eligible, so only the
+//! kernel-driven binaries (Table III) support the remote mode.
+
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use dwi_rng::{MtParams, NormalMethod, RejectionStats};
+use dwi_server::client;
+use dwi_server::gateway::{start, GatewayConfig, RunningGateway};
+use dwi_server::spec::mt_params_json;
+use dwi_trace::json::{parse, Json};
+use dwi_trace::metrics::base_name;
+use dwi_trace::runtime_metrics as fam;
+
+/// The `--http` / `--http-remote` flags of a figure binary.
+#[derive(Debug, Default, Clone)]
+pub struct HttpArgs {
+    /// `--http`: route measurements through a loopback gateway.
+    pub enabled: bool,
+    /// `--http-remote`: also hop every kernel job over the wire protocol
+    /// to a spawned worker process (implies `--http`).
+    pub remote: bool,
+    /// `--workers <K>` rides along (default 2).
+    pub workers: usize,
+}
+
+impl HttpArgs {
+    /// Parse from `std::env::args`, ignoring anything else (composes with
+    /// [`crate::runtime_args::RuntimeArgs`] and [`crate::obs::ObsArgs`]).
+    pub fn from_env() -> Self {
+        let mut out = Self {
+            workers: 2,
+            ..Self::default()
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--http" => out.enabled = true,
+                "--http-remote" => {
+                    out.enabled = true;
+                    out.remote = true;
+                }
+                "--workers" => {
+                    out.workers = args
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--workers needs a count");
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Start the loopback gateway (and, in remote mode, the worker
+    /// process) when `--http` was given.
+    pub fn start(&self) -> Option<HttpPool> {
+        self.enabled.then(|| HttpPool::start(self))
+    }
+}
+
+/// Submit one job spec to a gateway and long-poll it to its `result`
+/// object. Rides out `429` backpressure with the server's `Retry-After`.
+pub fn submit_and_wait(addr: std::net::SocketAddr, spec: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(600);
+    let id = loop {
+        let r = client::post_json(addr, "/v1/jobs", None, spec).expect("gateway reachable");
+        match r.status {
+            202 => {
+                break parse(r.text())
+                    .expect("submit body is JSON")
+                    .get("id")
+                    .and_then(Json::as_f64)
+                    .expect("submit body has an id") as u64;
+            }
+            429 => {
+                let secs = r
+                    .header("Retry-After")
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(1);
+                assert!(Instant::now() < deadline, "backpressure never cleared");
+                std::thread::sleep(Duration::from_secs(secs.min(5)));
+            }
+            other => panic!("submit failed with {other}: {}", r.text()),
+        }
+    };
+    loop {
+        let r = client::get(addr, &format!("/v1/jobs/{id}/wait?timeout_ms=30000"), None)
+            .expect("gateway reachable");
+        if r.status == 200 {
+            let body = parse(r.text()).expect("terminal body is JSON");
+            assert_eq!(
+                body.get("state").and_then(Json::as_str),
+                Some("done"),
+                "job {id} failed: {}",
+                r.text()
+            );
+            return body.get("result").expect("done body has a result").clone();
+        }
+        assert_eq!(r.status, 204, "unexpected wait status: {}", r.text());
+        assert!(Instant::now() < deadline, "job {id} never completed");
+    }
+}
+
+fn u64_field(result: &Json, key: &str) -> u64 {
+    result
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("result missing numeric field '{key}'")) as u64
+}
+
+/// A running loopback gateway, plus the worker process and parked local
+/// pool of the remote mode. Tears everything down on drop.
+pub struct HttpPool {
+    gw: Option<RunningGateway>,
+    worker: Option<std::process::Child>,
+    /// Remote-mode blocker tasks: the release senders and their live
+    /// handles (dropping a handle cancels its job).
+    park: Vec<(mpsc::Sender<()>, dwi_runtime::JobHandle)>,
+    remote: bool,
+}
+
+impl HttpPool {
+    fn start(args: &HttpArgs) -> Self {
+        let cluster = args.remote.then_some("127.0.0.1:0");
+        let gw = start(GatewayConfig::new(args.workers), "127.0.0.1:0", cluster)
+            .expect("loopback gateway binds");
+        let mut park = Vec::new();
+        let worker = if args.remote {
+            // Park every local worker so each kernel job must cross the
+            // wire; the remote loop drains the queue itself.
+            for _ in 0..args.workers {
+                let (release_tx, release_rx) = mpsc::channel();
+                let (started_tx, started_rx) = mpsc::channel();
+                let handle = gw
+                    .gateway()
+                    .runtime()
+                    .submit(dwi_runtime::JobSpec::task(u32::MAX, move || {
+                        started_tx.send(()).ok();
+                        release_rx.recv().ok();
+                    }))
+                    .expect("parking task admitted");
+                started_rx
+                    .recv_timeout(Duration::from_secs(10))
+                    .expect("a local worker picked up the parking task");
+                park.push((release_tx, handle));
+            }
+            // The worker binary sits next to this one in the target dir.
+            let bin = std::env::current_exe()
+                .expect("current exe path")
+                .with_file_name("dwi-server");
+            let join = gw.cluster_addr.expect("cluster listener bound").to_string();
+            Some(
+                std::process::Command::new(&bin)
+                    .args(["--worker", "--join", &join, "--label", "bench"])
+                    .stderr(std::process::Stdio::null())
+                    .spawn()
+                    .unwrap_or_else(|e| panic!("spawn {}: {e}", bin.display())),
+            )
+        } else {
+            None
+        };
+        Self {
+            gw: Some(gw),
+            worker,
+            park,
+            remote: args.remote,
+        }
+    }
+
+    fn addr(&self) -> std::net::SocketAddr {
+        self.gw.as_ref().expect("pool is running").addr
+    }
+
+    /// The Table III overhead measurer, over HTTP: POST the calibration
+    /// kernel, reconstruct [`RejectionStats`] from the response, derive
+    /// the Eq. 1 overhead — the same `f64` the in-process measurer
+    /// returns, bit for bit.
+    pub fn measure_overhead(
+        &self,
+        normal: NormalMethod,
+        mt: MtParams,
+        sector_variance: f32,
+        samples: u32,
+    ) -> f64 {
+        let name = match normal {
+            NormalMethod::MarsagliaBray => "marsaglia-bray",
+            NormalMethod::IcdfFpga => "icdf-fpga",
+            NormalMethod::IcdfCuda => "icdf-cuda",
+        };
+        let spec = format!(
+            r#"{{"kernel":{{"type":"calibration","normal":"{name}","mt":{mt},"sector_variance":{sector_variance},"samples":{samples}}},"plan":{{"workitems":1}}}}"#,
+            mt = mt_params_json(&mt),
+        );
+        let result = submit_and_wait(self.addr(), &spec);
+        RejectionStats {
+            attempts: u64_field(&result, "attempts"),
+            accepted: u64_field(&result, "accepted"),
+        }
+        .overhead()
+    }
+
+    /// One Fig. 7 analytic model point, over HTTP: (runtime s, bandwidth
+    /// RNs/s), both exact `f64` round trips.
+    pub fn transfers(&self, channel: &str, total: u64, burst: u64, workitems: u64) -> (f64, f64) {
+        let spec = format!(
+            r#"{{"transfers":{{"channel":"{channel}","total":{total},"burst":{burst},"workitems":{workitems}}}}}"#
+        );
+        let result = submit_and_wait(self.addr(), &spec);
+        (
+            result
+                .get("runtime_s")
+                .and_then(Json::as_f64)
+                .expect("runtime_s"),
+            result
+                .get("bandwidth_rns_per_s")
+                .and_then(Json::as_f64)
+                .expect("bandwidth_rns_per_s"),
+        )
+    }
+
+    /// One cycle-level transfers-only simulation, over HTTP: total cycles.
+    pub fn sim_cycles(&self, channel: &str, workitems: u64, rns_per_workitem: u64) -> u64 {
+        let spec = format!(
+            r#"{{"sim":{{"workitems":{workitems},"rns_per_workitem":{rns_per_workitem},"channel":"{channel}","seed":1}}}}"#
+        );
+        u64_field(&submit_and_wait(self.addr(), &spec), "cycles")
+    }
+}
+
+impl Drop for HttpPool {
+    fn drop(&mut self) {
+        let gw = self.gw.take().expect("dropped once");
+        if self.remote {
+            // The parity diff is only meaningful if the wire actually
+            // carried the work: fail the run when nothing went remote.
+            let executed: u64 = gw
+                .gateway()
+                .recorder()
+                .metrics()
+                .counters()
+                .iter()
+                .filter(|(k, _)| base_name(k) == fam::REMOTE_SHARDS_EXECUTED)
+                .map(|(_, v)| *v)
+                .sum();
+            if executed == 0 {
+                eprintln!("--http-remote: no shard ever crossed the wire");
+                std::process::exit(1);
+            }
+        }
+        for (release, handle) in self.park.drain(..) {
+            release.send(()).ok();
+            handle.wait().ok();
+        }
+        if let Some(mut w) = self.worker.take() {
+            w.kill().ok();
+            w.wait().ok();
+        }
+        gw.stop();
+    }
+}

@@ -18,6 +18,7 @@
 //! | §IV-E rates | `rejection_rates` | [`figures::rejection_sweep`] |
 
 pub mod figures;
+pub mod httpgate;
 pub mod microbench;
 pub mod obs;
 pub mod profile;

@@ -275,6 +275,37 @@ impl GraphPlan {
         self.edge_depth.unwrap_or(self.base.stream_depth)
     }
 
+    /// Pick the inter-stage FIFO depth automatically from the
+    /// [`dwi_hls::dataflow`] cost model: sweep a candidate ladder and keep
+    /// the **smallest** depth minimizing modeled stall cycles for this
+    /// graph's topology (quota ratios decide everything — a decimating
+    /// window wants at least its window of slack upstream, a 1:1 stage
+    /// wants almost none).
+    ///
+    /// Values are untouched by construction: edge depth only changes
+    /// *when* tokens move through the blocking FIFOs, never *what* moves
+    /// — the pinning test executes the same graph across the whole
+    /// candidate ladder and asserts byte-identical final samples. The
+    /// pick is a pure function of the topology, so the multi-stage cache
+    /// fingerprint (`ed{depth}`) stays deterministic.
+    pub fn auto_edge_depth(mut self, graph: &KernelGraph) -> Self {
+        if graph.is_single() {
+            // No inter-stage edge to size.
+            return self;
+        }
+        let mut candidates = vec![1usize, 2, 4, 8, 16, 32, 64, self.base.stream_depth];
+        candidates.sort_unstable();
+        candidates.dedup();
+        let best = candidates
+            .into_iter()
+            // Smallest depth among the stall minimizers: deeper FIFOs
+            // are pure cost once the stalls have bottomed out.
+            .min_by_key(|&d| (modeled_edge_stalls(graph, d), d))
+            .expect("candidate ladder is non-empty");
+        self.edge_depth = Some(best);
+        self
+    }
+
     /// NDRange groups of the shared geometry (the shard-count unit).
     pub fn groups(&self) -> u32 {
         self.base.groups()
@@ -815,6 +846,45 @@ fn streamed_pass(graph: &KernelGraph, plan: &GraphPlan) -> StreamedPass {
 /// consume rate when a window exceeds it). Purely a function of the stage
 /// reports, so the model is backend-independent and survives shard merges
 /// unchanged.
+/// Modeled stall cycles of one work-item's pipeline chain at the given
+/// inter-stage FIFO depth — the pre-execution half of the report-side
+/// `model_dataflow`:
+/// same node-per-stage topology, but rates come from the graph's static
+/// quota chain (no measured iterations yet, so every stage models at
+/// II = 1). Large quotas are scaled down proportionally so the sweep in
+/// [`GraphPlan::auto_edge_depth`] stays cheap regardless of job size;
+/// the quota *ratios* — which decide where stalls come from — survive
+/// the scaling.
+pub fn modeled_edge_stalls(graph: &KernelGraph, depth: usize) -> u64 {
+    let q = graph.quotas();
+    let n = q.len();
+    if n < 2 {
+        return 0;
+    }
+    let scale = (q[0] / 4096).max(1);
+    let emitted: Vec<u64> = q.iter().map(|&v| (v / scale).max(1)).collect();
+    let consume: Vec<u64> = (1..n)
+        .map(|k| ((emitted[k - 1] as f64 / emitted[k] as f64).round() as u64).max(1))
+        .collect();
+    let mut g = DataflowGraph::new();
+    let edge_ids: Vec<_> = (0..n - 1)
+        .map(|k| g.edge(depth.max(consume[k] as usize)))
+        .collect();
+    let names = graph.node_names();
+    let mut budget_total = 0u64;
+    for (k, &out) in emitted.iter().enumerate() {
+        budget_total = budget_total.saturating_add(out);
+        let inputs: Vec<_> = (k > 0)
+            .then(|| (edge_ids[k - 1], consume[k - 1]))
+            .into_iter()
+            .collect();
+        let outputs: Vec<_> = (k + 1 < n).then(|| (edge_ids[k], 1)).into_iter().collect();
+        g.rated_node(names[k], 1, &inputs, &outputs, Some(out));
+    }
+    let guard = budget_total.saturating_mul(4).saturating_add(10_000);
+    g.run(guard).stalls.iter().sum()
+}
+
 fn model_dataflow(stages: &[RunReport], depth: usize) -> GraphDataflow {
     let n = stages.len();
     let emitted: Vec<u64> = stages
@@ -1056,5 +1126,47 @@ mod tests {
     #[should_panic(expected = "emit no outputs")]
     fn oversized_window_rejected_at_build() {
         let _ = KernelGraph::pipeline("bad", source()).then(Arc::new(WindowAggregate::new(1000)));
+    }
+
+    /// The auto-depth contract, pinned: picking the edge depth from the
+    /// dataflow cost model may change stall accounting but never values,
+    /// the pick minimizes modeled stalls over the candidate ladder (at
+    /// the smallest such depth), and it is a deterministic function of
+    /// the topology.
+    #[test]
+    fn auto_edge_depth_changes_stalls_never_values() {
+        let graph = pipeline();
+        let auto_plan = GraphPlan::new(ExecutionPlan::new(2)).auto_edge_depth(&graph);
+        let chosen = auto_plan.depth();
+        let auto_run = execute(&FunctionalDecoupled, &graph, &auto_plan);
+        for depth in [1usize, 2, 4, 8, 16, 32, 64] {
+            let run = execute(
+                &FunctionalDecoupled,
+                &graph,
+                &GraphPlan::new(ExecutionPlan::new(2)).edge_depth(depth),
+            );
+            assert_eq!(
+                run.final_samples(),
+                auto_run.final_samples(),
+                "edge depth {depth} changed values — depth must only move stalls"
+            );
+            assert!(
+                modeled_edge_stalls(&graph, chosen) <= modeled_edge_stalls(&graph, depth),
+                "auto pick {chosen} is not a stall minimum (depth {depth} beats it)"
+            );
+        }
+        assert_eq!(
+            chosen,
+            GraphPlan::new(ExecutionPlan::new(2))
+                .auto_edge_depth(&graph)
+                .depth(),
+            "auto pick must be deterministic"
+        );
+        // A one-node graph has no edge to size: auto is a no-op.
+        let single = KernelGraph::single(source());
+        assert!(GraphPlan::new(ExecutionPlan::new(2))
+            .auto_edge_depth(&single)
+            .edge_depth
+            .is_none());
     }
 }

@@ -93,6 +93,12 @@ pub enum JobPayload {
     Task(TaskFn),
 }
 
+/// An opaque wire-expressible description of a kernel/graph job that a
+/// remote worker pool can rebuild and execute. The runtime never looks
+/// inside it — the attached [`RemoteChannel`](crate::RemoteChannel)
+/// downcasts it to whatever its wire protocol ships.
+pub type RemoteSpec = Arc<dyn Any + Send + Sync>;
+
 /// One submission: who, how urgent, what.
 pub struct JobSpec {
     /// Submitting client id (fair-share unit).
@@ -105,6 +111,13 @@ pub struct JobSpec {
     /// Shard count override for kernel jobs (default: the runtime's
     /// worker count; always clamped to the plan's group count).
     pub shards: Option<u32>,
+    /// Wire-expressible job description making the job's shards eligible
+    /// for remote dispatch ([`Runtime::attach_remote`]); `None` keeps the
+    /// job local-only. Results are bit-identical either way — sharding
+    /// already made placement irrelevant to values.
+    ///
+    /// [`Runtime::attach_remote`]: crate::Runtime::attach_remote
+    pub remote: Option<RemoteSpec>,
     /// The work itself.
     pub payload: JobPayload,
 }
@@ -117,6 +130,7 @@ impl JobSpec {
             priority: Priority::Normal,
             deadline: None,
             shards: None,
+            remote: None,
             payload: JobPayload::Kernel { kernel, plan, seed },
         }
     }
@@ -128,6 +142,7 @@ impl JobSpec {
             priority: Priority::Normal,
             deadline: None,
             shards: None,
+            remote: None,
             payload: JobPayload::Graph { graph, plan, seed },
         }
     }
@@ -143,6 +158,7 @@ impl JobSpec {
             priority: Priority::Normal,
             deadline: None,
             shards: None,
+            remote: None,
             payload: JobPayload::Task(Box::new(move || Box::new(f()) as Box<dyn Any + Send>)),
         }
     }
@@ -163,6 +179,14 @@ impl JobSpec {
     pub fn shards(mut self, shards: u32) -> Self {
         assert!(shards >= 1, "need at least one shard");
         self.shards = Some(shards);
+        self
+    }
+
+    /// Attach a wire-expressible job description, making the job's shards
+    /// eligible for dispatch to attached remote worker pools. Ignored for
+    /// task payloads (closures cannot cross the wire).
+    pub fn remote(mut self, spec: RemoteSpec) -> Self {
+        self.remote = Some(spec);
         self
     }
 }
@@ -336,6 +360,12 @@ pub(crate) struct JobInner {
     /// Set only on the synthetic job of a fused dispatch: how to split
     /// the merged report back into the members' reports.
     pub batch: Option<BatchDemux>,
+    /// In-flight-deduplicated repeats of this job: submissions with the
+    /// same `(kernel, plan, seed)` cache key that arrived while this job
+    /// was queued or running. They never entered the admission queue —
+    /// they are delivered this job's shared output (or its failure) in
+    /// the same critical section that makes this job terminal.
+    pub followers: Vec<Arc<JobState>>,
     /// Lifecycle milestones, marked at every scheduler transition and
     /// exported (histograms / Chrome spans / flight recorder) when the
     /// job turns terminal.
@@ -377,6 +407,7 @@ impl JobState {
                 admitted: now,
                 backoff: Duration::ZERO,
                 batch: None,
+                followers: Vec::new(),
                 timeline: JobTimeline::new(id, spec_client, priority.label()),
             }),
             cv: Condvar::new(),
@@ -439,17 +470,26 @@ impl JobState {
 }
 
 /// Fail a job *and* — when it is the synthetic job of a fused dispatch —
-/// every batch member and deduplicated repeat hanging off it. Used on
-/// runtime teardown, where whole shard trees are abandoned at once.
+/// every batch member, deduplicated repeat, and in-flight-dedup follower
+/// hanging off it. Used on runtime teardown, where whole shard trees are
+/// abandoned at once.
 pub(crate) fn fail_tree(state: &JobState, err: JobError) {
-    let batch = state.lock().batch.take();
+    let (batch, followers) = {
+        let mut inner = state.lock();
+        (inner.batch.take(), std::mem::take(&mut inner.followers))
+    };
     if let Some(b) = batch {
         for m in b.members {
-            m.state.finish(Status::Failed(err));
+            fail_tree(&m.state, err);
             for d in m.dupes {
-                d.finish(Status::Failed(err));
+                fail_tree(&d, err);
             }
         }
+    }
+    for f in followers {
+        // Followers never have followers of their own (only a registered
+        // leader accrues them), so this recursion is depth-1.
+        fail_tree(&f, err);
     }
     state.finish(Status::Failed(err));
 }
@@ -536,6 +576,45 @@ impl JobHandle {
             Status::Done(_) => Some(Ok(())),
             Status::Failed(e) => Some(Err(*e)),
             _ => None,
+        }
+    }
+
+    /// Block until the job reaches a terminal state or `timeout` elapses,
+    /// without consuming the handle or the output — the bounded long-poll
+    /// primitive (`GET /v1/jobs/{id}/wait` maps `None` to HTTP 204).
+    /// Returns `None` on expiry with the job still in flight.
+    pub fn wait_ready(&self, timeout: Duration) -> Option<Result<(), JobError>> {
+        let deadline = Instant::now() + timeout;
+        let mut inner = self.state.lock();
+        loop {
+            match &inner.status {
+                Status::Done(_) => return Some(Ok(())),
+                Status::Failed(e) => return Some(Err(*e)),
+                Status::Queued | Status::Running => {}
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (guard, _) = self
+                .state
+                .cv
+                .wait_timeout(inner, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            inner = guard;
+        }
+    }
+
+    /// Take the output of an already-terminal job without blocking or
+    /// consuming the handle: `None` while in flight, `Some(Ok(output))`
+    /// exactly once after completion (a second call panics — callers
+    /// cache the first extraction), `Some(Err)` after failure.
+    pub fn harvest(&self) -> Option<Result<JobOutput, JobError>> {
+        let mut inner = self.state.lock();
+        match &mut inner.status {
+            Status::Done(out) => Some(Ok(out.take().expect("job output already taken"))),
+            Status::Failed(e) => Some(Err(*e)),
+            Status::Queued | Status::Running => None,
         }
     }
 }

@@ -79,19 +79,23 @@ mod cache;
 mod job;
 mod metrics;
 mod queue;
+mod remote;
 mod session;
 mod shard;
 mod timeline;
 mod worker;
 
-pub use job::{JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, SharedKernel};
+pub use job::{
+    JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, RemoteSpec, SharedKernel,
+};
 pub use queue::SubmitRejected;
+pub use remote::{RemoteChannel, RemoteError};
 pub use session::{Completion, Session, Ticket};
 pub use shard::AdaptiveSharding;
 pub use timeline::{JobOutcome, JobTimeline, ShardSpan, PHASES, STAGE_PHASES};
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -104,7 +108,7 @@ use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
 use dwi_trace::{FlightRecorder, TraceSink};
 
 use crate::cache::LruCache;
-use crate::job::{JobState, Status};
+use crate::job::{CacheKey, CachedOutput, JobState, Status};
 use crate::metrics::RuntimeMetrics;
 use crate::queue::{AdmissionQueue, JobWork, QueuedJob};
 use crate::shard::ShardTask;
@@ -216,6 +220,10 @@ pub(crate) struct SchedState {
     /// controller's size-normalized latency feed (0 until the first
     /// kernel shard).
     pub ema_group_secs: f64,
+    /// EMA of remote shard round-trip time in seconds (0 until the first
+    /// remote completion) — the attached pools' own service-time view,
+    /// kept separate so network latency never skews the local feeds.
+    pub ema_remote_secs: f64,
 }
 
 /// Shared scheduler core (workers hold an `Arc` of it).
@@ -236,6 +244,14 @@ pub(crate) struct Core {
     /// Job-id mint, shared with the dispatch path (fused batches get a
     /// synthetic job with its own id).
     pub next_id: AtomicU64,
+    /// Remote worker pools currently attached (drives the gauge and the
+    /// adaptive controller's effective pool width).
+    pub remote_workers: AtomicUsize,
+    /// In-flight dedup index: cache key → the job currently queued or
+    /// running under it. A submission that finds a live, non-terminal
+    /// entry attaches as a follower instead of enqueueing. `Weak` so a
+    /// rejected or torn-down leader never pins the map.
+    pub inflight: Mutex<HashMap<CacheKey, Weak<JobState>>>,
 }
 
 impl Core {
@@ -249,6 +265,52 @@ impl Core {
 
     pub fn wait_for_work<'a>(&self, st: MutexGuard<'a, SchedState>) -> MutexGuard<'a, SchedState> {
         self.work_cv.wait(st).unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub fn lock_inflight(&self) -> MutexGuard<'_, HashMap<CacheKey, Weak<JobState>>> {
+        self.inflight.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Drop `state`'s in-flight dedup registration, if it still owns the
+    /// entry (a later identical submission may have replaced it). Call
+    /// with the job's inner lock **released** — the lock order is always
+    /// inflight-map → job-inner, never reversed.
+    pub(crate) fn unregister_inflight(&self, key: &CacheKey, state: &Arc<JobState>) {
+        let mut map = self.lock_inflight();
+        if let Some(weak) = map.get(key) {
+            let stale = match weak.upgrade() {
+                Some(owner) => Arc::ptr_eq(&owner, state),
+                None => true,
+            };
+            if stale {
+                map.remove(key);
+            }
+        }
+    }
+
+    /// Deliver a finished leader's shared output to its dedup followers:
+    /// each live follower gets the same `Arc`-shared report (abort-checked
+    /// — a follower cancelled or expired while waiting still fails), plus
+    /// its own completion metrics and timeline, exactly as if it had run.
+    pub(crate) fn deliver_followers(&self, followers: Vec<Arc<JobState>>, cached: &CachedOutput) {
+        let now = std::time::Instant::now();
+        for f in followers {
+            if let Some(e) = f.abort_error(now) {
+                self.finalize_failed(&f, e);
+                continue;
+            }
+            let mut inner = f.lock();
+            let latency = inner.admitted.elapsed().as_secs_f64();
+            inner.timeline.cache_hit = true;
+            let tl = inner.timeline.finish(timeline::JobOutcome::Completed);
+            self.export_timeline(tl);
+            inner.status = Status::Done(Some(cached.to_output()));
+            drop(inner);
+            f.cv.notify_all();
+            f.fire_completion();
+            self.metrics.inflight_dedup();
+            self.metrics.job_completed(latency);
+        }
     }
 
     /// Close `state`'s timeline with `outcome`, returning the snapshot
@@ -305,6 +367,11 @@ impl Core {
 pub struct Runtime {
     core: Arc<Core>,
     handles: Vec<JoinHandle<()>>,
+    /// Dispatch threads of attached remote pools ([`attach_remote`]);
+    /// behind a mutex so pools can join a running gateway through `&self`.
+    ///
+    /// [`attach_remote`]: Runtime::attach_remote
+    remote_handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Runtime {
@@ -327,6 +394,7 @@ impl Runtime {
                 shutdown: false,
                 ema_shard_secs: 0.0,
                 ema_group_secs: 0.0,
+                ema_remote_secs: 0.0,
             }),
             work_cv: Condvar::new(),
             sink: config.sink.clone(),
@@ -343,6 +411,8 @@ impl Runtime {
             adaptive: config.adaptive,
             flight: FlightRecorder::new(config.flight_capacity),
             next_id: AtomicU64::new(0),
+            remote_workers: AtomicUsize::new(0),
+            inflight: Mutex::new(HashMap::new()),
         });
         let handles = (0..config.workers)
             .map(|idx| {
@@ -354,7 +424,39 @@ impl Runtime {
                     .expect("spawn worker thread")
             })
             .collect();
-        Self { core, handles }
+        Self {
+            core,
+            handles,
+            remote_handles: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Attach a remote worker pool: spawns a dispatch thread that drains
+    /// remote-eligible shards (jobs submitted with [`JobSpec::remote`])
+    /// through `channel`, one at a time, merging results through the same
+    /// bit-identical shard-merge path the local workers use. The pool is
+    /// pure extra capacity — local workers keep taking those shards too.
+    /// On any channel error the in-flight shard is requeued at the front
+    /// of the shard queue (no job is lost) and the pool detaches.
+    pub fn attach_remote(&self, channel: Box<dyn RemoteChannel>) {
+        let core = self.core.clone();
+        let idx = self.core.remote_workers.load(Ordering::Relaxed);
+        let handle = std::thread::Builder::new()
+            .name(format!("dwi-remote-{idx}"))
+            .spawn(move || remote::remote_loop(core, channel))
+            .expect("spawn remote dispatch thread");
+        self.remote_handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(handle);
+        // A remote-eligible shard may already be parked in the queue.
+        self.core.work_cv.notify_all();
+    }
+
+    /// Remote worker pools currently attached (a detached pool — channel
+    /// error — no longer counts).
+    pub fn remote_workers(&self) -> usize {
+        self.core.remote_workers.load(Ordering::Relaxed)
     }
 
     /// Worker threads in the pool.
@@ -413,6 +515,7 @@ impl Runtime {
                 work: JobWork::Task(f),
                 shards: Some(1),
                 batch_key: None,
+                remote: None,
             },
             payload => {
                 // Kernel submissions become the trivial one-node graph
@@ -447,13 +550,44 @@ impl Runtime {
                     }
                     self.core.metrics.cache_miss();
                 }
+                // In-flight dedup: an identical (kernel, plan, seed)
+                // submission already queued or running becomes the leader
+                // and this one attaches as a follower — it never enters
+                // the admission queue and is delivered the leader's
+                // shared output when the leader turns terminal. The map
+                // lock is taken before the leader's inner lock (the
+                // delivery sites release the inner lock before touching
+                // the map, so the order never inverts).
+                if let Some(key) = &cache_key {
+                    let mut map = self.core.lock_inflight();
+                    let leader = map.get(key).and_then(Weak::upgrade);
+                    if let Some(leader) = leader {
+                        let mut li = leader.lock();
+                        if matches!(li.status, Status::Queued | Status::Running) {
+                            li.followers.push(state.clone());
+                            drop(li);
+                            drop(map);
+                            // Followers count as submissions so the
+                            // conservation identity holds per attempt;
+                            // their completion lands at delivery.
+                            self.core.metrics.job_submitted(spec.priority);
+                            return Ok(state);
+                        }
+                        // Terminal leader that has not unregistered yet
+                        // (delivery races the map cleanup): replace it.
+                    }
+                    map.insert(key.clone(), Arc::downgrade(&state));
+                }
                 // Deadline jobs must not sit out a batch window; explicit
                 // shard overrides are the deterministic dispatch path;
                 // multi-stage graphs have nothing to fuse along the group
-                // axis — all three stay out of the coalescing stage.
+                // axis; remote-eligible jobs keep their wire description
+                // attached to every shard (a fused dispatch would strand
+                // it) — all four stay out of the coalescing stage.
                 let batch_key = (self.core.batch_max > 1
                     && spec.deadline.is_none()
                     && spec.shards.is_none()
+                    && spec.remote.is_none()
                     && graph.is_single())
                 .then(|| FusedJob::batch_key(graph.source().as_ref(), &plan.base));
                 {
@@ -466,6 +600,7 @@ impl Runtime {
                     work: JobWork::Graph { graph, plan },
                     shards: spec.shards,
                     batch_key,
+                    remote: spec.remote,
                 }
             }
         };
@@ -613,6 +748,15 @@ impl Drop for Runtime {
         self.core.lock_state().shutdown = true;
         self.core.work_cv.notify_all();
         for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        let remote = std::mem::take(
+            &mut *self
+                .remote_handles
+                .lock()
+                .unwrap_or_else(|e| e.into_inner()),
+        );
+        for h in remote {
             let _ = h.join();
         }
         // Unblock any waiters on work the pool never reached — including

@@ -151,4 +151,37 @@ impl RuntimeMetrics {
     pub fn graph_edge_high_water(&self, tokens: f64) {
         self.sink.observe(fam::GRAPH_EDGE_HIGH_WATER, &[], tokens);
     }
+
+    /// One submission that attached as a waiter on an identical in-flight
+    /// job instead of re-running it.
+    pub fn inflight_dedup(&self) {
+        self.sink.counter(fam::INFLIGHT_DEDUP, &[]).inc();
+    }
+
+    /// Remote worker pools currently attached.
+    pub fn remote_workers(&self, n: usize) {
+        self.sink.set_gauge(fam::REMOTE_WORKERS, &[], n as f64);
+    }
+
+    /// One shard executed on a remote pool and merged back. `remote` is
+    /// the channel's pre-rendered label.
+    pub fn remote_shard_executed(&self, remote: &str, latency_s: f64) {
+        self.sink
+            .counter(fam::REMOTE_SHARDS_EXECUTED, &[("remote", remote)])
+            .inc();
+        self.sink
+            .observe_histogram(fam::REMOTE_SHARD_LATENCY, &[], latency_s);
+    }
+
+    /// One remote-pool connection loss (send/receive failure or timeout).
+    pub fn remote_disconnect(&self, remote: &str) {
+        self.sink
+            .counter(fam::REMOTE_DISCONNECTS, &[("remote", remote)])
+            .inc();
+    }
+
+    /// One shard requeued to the local pool after a remote failure.
+    pub fn remote_requeued(&self) {
+        self.sink.counter(fam::REMOTE_REQUEUED, &[]).inc();
+    }
 }

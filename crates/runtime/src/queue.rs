@@ -28,6 +28,11 @@ pub(crate) struct QueuedJob {
     ///
     /// [`FusedJob::batch_key`]: dwi_core::backend::FusedJob::batch_key
     pub batch_key: Option<String>,
+    /// Wire-expressible job description carried down to every shard,
+    /// making them eligible for remote dispatch ([`JobSpec::remote`]).
+    ///
+    /// [`JobSpec::remote`]: crate::JobSpec::remote
+    pub remote: Option<crate::job::RemoteSpec>,
 }
 
 /// The work half of a queued job. Kernel submissions are normalized to

@@ -16,6 +16,13 @@ pub(crate) struct ShardTask {
     /// Position in the job's shard order (merge is order-sensitive).
     pub index: usize,
     pub work: ShardWork,
+    /// Wire-expressible job description ([`JobSpec::remote`]): when set
+    /// (graph shards only), an attached remote worker pool may take this
+    /// shard instead of a local worker. Local workers still pop these
+    /// normally — remote pools are *extra* capacity, never a constraint.
+    ///
+    /// [`JobSpec::remote`]: crate::JobSpec::remote
+    pub remote: Option<crate::job::RemoteSpec>,
 }
 
 pub(crate) enum ShardWork {
@@ -151,6 +158,7 @@ pub(crate) fn explode(job: QueuedJob, shards: u32) -> Vec<ShardTask> {
                         graph: graph.clone(),
                         plan,
                     },
+                    remote: job.remote.clone(),
                 })
                 .collect()
         }
@@ -165,6 +173,8 @@ pub(crate) fn explode(job: QueuedJob, shards: u32) -> Vec<ShardTask> {
                 state: job.state,
                 index: 0,
                 work: ShardWork::Task(f),
+                // Task closures cannot cross the wire.
+                remote: None,
             }]
         }
     }

@@ -136,7 +136,7 @@ impl Core {
     /// queued jobs into a fused batch when batching is on, size the split
     /// (explicit override → adaptive controller → static default), and
     /// explode. Called with the scheduler lock held; returns it.
-    fn dispatch<'a>(
+    pub(crate) fn dispatch<'a>(
         &self,
         mut st: MutexGuard<'a, SchedState>,
         mut job: QueuedJob,
@@ -279,6 +279,9 @@ impl Core {
             },
             shards: None,
             batch_key: None,
+            // Remote-eligible jobs never coalesce (see submit_inner), so
+            // a fused dispatch is always local.
+            remote: None,
         }
     }
 
@@ -291,13 +294,13 @@ impl Core {
         match (&self.adaptive, &job.work) {
             (Some(cfg), JobWork::Graph { plan, .. }) => {
                 let backlog = st.queue.len() + st.shards.len();
-                crate::shard::pick_shards(
-                    cfg,
-                    plan.groups(),
-                    self.workers,
-                    backlog,
-                    st.ema_group_secs,
-                )
+                // Attached remote pools are extra workers: a wider split
+                // lets a lone big job spill onto them.
+                let pool = self.workers
+                    + self
+                        .remote_workers
+                        .load(std::sync::atomic::Ordering::Relaxed);
+                crate::shard::pick_shards(cfg, plan.groups(), pool, backlog, st.ema_group_secs)
             }
             _ => self.default_shards,
         }
@@ -325,14 +328,28 @@ impl Core {
     }
 
     /// Terminal failure for a whole job (never exploded, or a task).
+    /// Dedup followers waiting on this job fail with it, each with its
+    /// own terminal metrics.
     pub(crate) fn finalize_failed(&self, state: &Arc<crate::job::JobState>, err: JobError) {
         match err {
             JobError::Cancelled => self.metrics.job_cancelled(),
             JobError::Expired => self.metrics.job_expired(),
         }
+        let (followers, key) = {
+            let mut inner = state.lock();
+            (std::mem::take(&mut inner.followers), inner.cache_key.take())
+        };
+        if let Some(k) = &key {
+            self.unregister_inflight(k, state);
+        }
         let tl = self.close_timeline(state, err.outcome());
         self.export_timeline(tl);
         state.finish(Status::Failed(err));
+        for f in followers {
+            // Followers never have followers of their own, so this
+            // recursion is depth-1.
+            self.finalize_failed(&f, err);
+        }
     }
 
     /// Account one finished (or skipped) graph shard; the last one
@@ -434,9 +451,15 @@ impl Core {
                 // Cache before waking waiters, so a waiter's immediate
                 // resubmit hits. Lock order is always job-inner → cache,
                 // never reversed.
-                if let Some(key) = inner.cache_key.take() {
-                    self.lock_cache().put(key, cached);
+                let key = inner.cache_key.take();
+                if let Some(k) = key.clone() {
+                    self.lock_cache().put(k, cached.clone());
                 }
+                // Followers leave in the same critical section that makes
+                // the leader terminal, so no new follower can attach to a
+                // finished job (the attach path re-checks the status under
+                // this lock).
+                let followers = std::mem::take(&mut inner.followers);
                 let tl = inner.timeline.finish(JobOutcome::Completed);
                 // Export while the completion is not yet observable, so
                 // a waiter that sees Done can immediately flight-dump
@@ -447,6 +470,10 @@ impl Core {
                 state.cv.notify_all();
                 state.fire_completion();
                 self.metrics.job_completed(latency);
+                if let Some(k) = &key {
+                    self.unregister_inflight(k, state);
+                }
+                self.deliver_followers(followers, &cached);
                 if let Some((stalls, high_water)) = graph_obs {
                     self.metrics.graph_job_completed();
                     for (stage, secs) in stalls {
@@ -497,17 +524,23 @@ impl Core {
         }
         let mut inner = state.lock();
         let latency = inner.admitted.elapsed().as_secs_f64();
-        if let Some(key) = inner.cache_key.take() {
+        let key = inner.cache_key.take();
+        if let Some(k) = key.clone() {
             self.lock_cache()
-                .put(key, CachedOutput::Single(report.clone()));
+                .put(k, CachedOutput::Single(report.clone()));
         }
+        let followers = std::mem::take(&mut inner.followers);
         inner.timeline.adopt_batch(batch_tl);
         let tl = inner.timeline.finish(JobOutcome::Completed);
         self.export_timeline(tl);
-        inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report)));
+        inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report.clone())));
         drop(inner);
         state.cv.notify_all();
         state.fire_completion();
         self.metrics.job_completed(latency);
+        if let Some(k) = &key {
+            self.unregister_inflight(k, state);
+        }
+        self.deliver_followers(followers, &CachedOutput::Single(report));
     }
 }

@@ -408,3 +408,59 @@ fn deadlines_and_cancellation_resolve_through_the_completion_queue() {
     assert_eq!(outcomes[&doomed.id()], Err(JobError::Cancelled));
     assert_eq!(outcomes[&survivor.id()], Ok(()));
 }
+
+/// The bounded-wait contract the gateway's long-poll rides on, pinned:
+/// `Session::wait_any` returns empty at its deadline when nothing has
+/// completed (it must never park past the caller's timeout), and
+/// `JobHandle::wait_ready` reports `None` on expiry but `Some` once the
+/// job turns terminal — the primitive `GET /v1/jobs/{id}/wait` maps to
+/// HTTP 204 vs the result body.
+#[test]
+fn bounded_waits_honor_the_caller_deadline() {
+    let rt = Runtime::new(RuntimeConfig::new(1).cache_capacity(0));
+    let (gate, release) = blocker(&rt);
+
+    let mut session = rt.session(4);
+    let ticket = session
+        .try_submit(JobSpec::kernel(4, kernel(64, 1), ExecutionPlan::new(2), 1))
+        .expect("admitted");
+    let t0 = Instant::now();
+    assert!(
+        session.wait_any(Duration::from_millis(30)).is_empty(),
+        "nothing can complete behind the parked worker"
+    );
+    let waited = t0.elapsed();
+    assert!(
+        waited >= Duration::from_millis(30),
+        "returned before the deadline ({waited:?})"
+    );
+    assert!(
+        waited < Duration::from_secs(10),
+        "overshot the deadline pathologically ({waited:?})"
+    );
+
+    let stuck = rt
+        .submit(JobSpec::kernel(4, kernel(64, 2), ExecutionPlan::new(2), 2))
+        .expect("admitted");
+    assert!(
+        stuck.wait_ready(Duration::from_millis(30)).is_none(),
+        "wait_ready must expire, not park"
+    );
+
+    release.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    assert_eq!(
+        stuck.wait_ready(Duration::from_secs(30)),
+        Some(Ok(())),
+        "terminal job reports ready"
+    );
+    stuck.wait().expect("job completed");
+    let done = loop {
+        let mut got = session.wait_any(Duration::from_secs(30));
+        if let Some(d) = got.pop() {
+            break d;
+        }
+    };
+    assert_eq!(done.ticket, ticket);
+    done.result.expect("session job completes");
+}

@@ -10,11 +10,14 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use dwi_core::graph::{GraphPlan, KernelGraph};
+use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
 use dwi_core::{
     ExecutionPlan, SeverityExpMix, SeverityScale, TruncatedNormalKernel, WindowAggregate,
 };
-use dwi_runtime::{JobError, JobSpec, Runtime, RuntimeConfig, SharedKernel};
+use dwi_runtime::{
+    named_backend, JobError, JobSpec, RemoteChannel, RemoteError, RemoteSpec, Runtime,
+    RuntimeConfig, SharedKernel,
+};
 use dwi_trace::metrics::base_name;
 use dwi_trace::{runtime_metrics as fam, Recorder};
 
@@ -38,6 +41,47 @@ fn blocker(rt: &Runtime) -> (dwi_runtime::JobHandle, mpsc::Sender<()>) {
         .recv_timeout(Duration::from_secs(10))
         .expect("a worker picked up the blocker");
     (handle, release_tx)
+}
+
+/// A remote pool whose connection is already dead: every dispatch fails,
+/// requeueing the shard for local fallback and detaching the pool.
+struct DeadRemote {
+    tried: mpsc::Sender<()>,
+}
+
+impl RemoteChannel for DeadRemote {
+    fn label(&self) -> &str {
+        "dead"
+    }
+
+    fn run(
+        &mut self,
+        _spec: &RemoteSpec,
+        _graph: &KernelGraph,
+        _plan: &GraphPlan,
+    ) -> Result<GraphReport, RemoteError> {
+        self.tried.send(()).ok();
+        Err(RemoteError::new("connection lost"))
+    }
+}
+
+/// An in-process "remote" pool: runs the shard on the same backend a
+/// local worker would, standing in for another host.
+struct LoopbackRemote;
+
+impl RemoteChannel for LoopbackRemote {
+    fn label(&self) -> &str {
+        "loopback"
+    }
+
+    fn run(
+        &mut self,
+        _spec: &RemoteSpec,
+        graph: &KernelGraph,
+        plan: &GraphPlan,
+    ) -> Result<GraphReport, RemoteError> {
+        Ok(named_backend("functional-decoupled").run(graph, plan))
+    }
 }
 
 #[test]
@@ -142,6 +186,67 @@ fn mixed_run_conserves_jobs_and_touches_every_family() {
     let report = rt.run_graph(graph, GraphPlan::new(ExecutionPlan::new(2)), 5);
     assert_eq!(report.stages.len(), 3);
 
+    // --- In-flight dedup: a concurrent identical submission attaches as
+    // a follower on the queued leader instead of running twice. ---
+    let (gate, release) = blocker(&rt);
+    let leader = rt
+        .submit(JobSpec::kernel(
+            0,
+            kernel(64, 300),
+            ExecutionPlan::new(2),
+            300,
+        ))
+        .expect("leader admitted");
+    let follower = rt
+        .submit(JobSpec::kernel(
+            0,
+            kernel(64, 300),
+            ExecutionPlan::new(2),
+            300,
+        ))
+        .expect("follower attached");
+    release.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    leader.wait().expect("leader completes");
+    follower
+        .wait()
+        .expect("follower delivered the leader's output");
+
+    // --- Remote dispatch, failure half: the channel dies on first use,
+    // the shard requeues at the front, and the local pool finishes it —
+    // conservation must hold with zero lost or duplicated jobs. ---
+    let (gate, release) = blocker(&rt);
+    let (tried_tx, tried_rx) = mpsc::channel();
+    rt.attach_remote(Box::new(DeadRemote { tried: tried_tx }));
+    let failed_over = rt
+        .submit(
+            JobSpec::kernel(0, kernel(64, 310), ExecutionPlan::new(2), 310)
+                .remote(Arc::new(()) as RemoteSpec),
+        )
+        .expect("admitted");
+    tried_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("the dead channel saw the shard");
+    release.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    failed_over
+        .wait()
+        .expect("requeued shard completed locally");
+
+    // --- Remote dispatch, success half: with the local worker parked,
+    // completion proves the attached pool executed the shard. ---
+    let (gate, release) = blocker(&rt);
+    rt.attach_remote(Box::new(LoopbackRemote));
+    let remoted = rt
+        .submit(
+            JobSpec::kernel(0, kernel(64, 320), ExecutionPlan::new(2), 320)
+                .remote(Arc::new(()) as RemoteSpec),
+        )
+        .expect("admitted");
+    remoted.wait().expect("remote pool executed the shard");
+    release.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+
     // --- A session round trip (in-flight / completion-queue gauges). ---
     let ticket = session.submit_blocking(JobSpec::kernel(
         7,
@@ -187,6 +292,10 @@ fn mixed_run_conserves_jobs_and_touches_every_family() {
          cancelled + {expired} expired"
     );
     assert_eq!(total(fam::CACHE_HITS), 1);
+    assert_eq!(total(fam::INFLIGHT_DEDUP), 1, "one follower attached");
+    assert_eq!(total(fam::REMOTE_DISCONNECTS), 1);
+    assert_eq!(total(fam::REMOTE_REQUEUED), 1);
+    assert_eq!(total(fam::REMOTE_SHARDS_EXECUTED), 1);
 
     let prom = rec.prometheus();
     for family in fam::ALL {

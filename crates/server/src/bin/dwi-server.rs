@@ -1,0 +1,114 @@
+//! The `dwi-server` binary: gateway mode (default) or worker mode.
+//!
+//! Gateway:
+//!
+//! ```text
+//! dwi-server --listen 127.0.0.1:8080 --cluster-listen 127.0.0.1:9090 \
+//!            --workers 4 --tenant s3cret:acme --rate 20 --quota 64
+//! ```
+//!
+//! Worker (joins a gateway's cluster listener and executes shards):
+//!
+//! ```text
+//! dwi-server --worker --join 127.0.0.1:9090 --label rack2
+//! ```
+
+use std::sync::atomic::AtomicBool;
+
+use dwi_server::gateway::{start, GatewayConfig, Tenant};
+use dwi_server::worker::run_worker;
+use dwi_trace::Recorder;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dwi-server [--listen ADDR] [--cluster-listen ADDR] [--workers N]\n\
+         \x20                 [--queue-bound N] [--tenant TOKEN:NAME]... [--rate PER_S]\n\
+         \x20                 [--burst N] [--quota N]\n\
+         \x20      dwi-server --worker --join ADDR [--label NAME]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut listen = "127.0.0.1:8080".to_string();
+    let mut cluster: Option<String> = None;
+    let mut workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut queue_bound = 64usize;
+    let mut tenants: Vec<Tenant> = Vec::new();
+    let mut rate = 20.0f64;
+    let mut burst = 40.0f64;
+    let mut quota = 64usize;
+    let mut worker_mode = false;
+    let mut join: Option<String> = None;
+    let mut label = "worker".to_string();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = || it.next().cloned().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--listen" => listen = value(),
+            "--cluster-listen" => cluster = Some(value()),
+            "--workers" => workers = value().parse().unwrap_or_else(|_| usage()),
+            "--queue-bound" => queue_bound = value().parse().unwrap_or_else(|_| usage()),
+            "--tenant" => {
+                let v = value();
+                let Some((token, name)) = v.split_once(':') else {
+                    usage()
+                };
+                tenants.push(Tenant::new(token, name));
+            }
+            "--rate" => rate = value().parse().unwrap_or_else(|_| usage()),
+            "--burst" => burst = value().parse().unwrap_or_else(|_| usage()),
+            "--quota" => quota = value().parse().unwrap_or_else(|_| usage()),
+            "--worker" => worker_mode = true,
+            "--join" => join = Some(value()),
+            "--label" => label = value(),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+
+    if worker_mode {
+        let Some(addr) = join else { usage() };
+        let rec = Recorder::new();
+        let shutdown = AtomicBool::new(false);
+        eprintln!("dwi-server worker '{label}' joining {addr}");
+        match run_worker(&addr, &label, &rec.sink(), &shutdown) {
+            Ok(()) => eprintln!("coordinator closed the connection; exiting"),
+            Err(e) => {
+                eprintln!("worker connection failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    for t in &mut tenants {
+        t.rate = rate;
+        t.burst = burst;
+        t.quota = quota;
+    }
+    let mut config = GatewayConfig::new(workers);
+    config.queue_bound = queue_bound;
+    config.tenants = tenants;
+
+    match start(config, &listen, cluster.as_deref()) {
+        Ok(running) => {
+            eprintln!("dwi-server listening on http://{}", running.addr);
+            if let Some(c) = running.cluster_addr {
+                eprintln!("cluster listener on {c}");
+            }
+            // Serve until killed.
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to start: {e}");
+            std::process::exit(1);
+        }
+    }
+}

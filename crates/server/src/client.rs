@@ -1,0 +1,131 @@
+//! A minimal HTTP/1.1 client for the gateway: one request per
+//! connection, exactly mirroring the server's `Connection: close`
+//! discipline. Used by the bench front-end (`--http` modes), the CI
+//! smoke, and the e2e tests — all of which need byte-exact bodies, not
+//! convenience.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed response.
+#[derive(Debug)]
+pub struct Response {
+    pub status: u16,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// First value of a header, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Body as UTF-8 (gateway bodies always are).
+    pub fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).unwrap_or("")
+    }
+}
+
+/// Total-exchange timeout: connect + write + read-to-EOF.
+const EXCHANGE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Perform one request. The connection closes after the exchange (the
+/// server always answers `Connection: close`).
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect_timeout(&addr, EXCHANGE_TIMEOUT)?;
+    stream.set_read_timeout(Some(EXCHANGE_TIMEOUT))?;
+    stream.set_write_timeout(Some(EXCHANGE_TIMEOUT))?;
+
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\n");
+    for (k, v) in headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    parse_response(&raw)
+}
+
+fn parse_response(raw: &[u8]) -> std::io::Result<Response> {
+    let bad = |msg: &str| std::io::Error::new(std::io::ErrorKind::InvalidData, msg.to_string());
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| bad("no header terminator"))?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| bad("response head not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().ok_or_else(|| bad("empty response"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| bad("malformed status line"))?;
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| bad("malformed header"))?;
+        headers.push((k.to_string(), v.trim().to_string()));
+    }
+    let body = raw[head_end + 4..].to_vec();
+    // Sanity: body length should match Content-Length when present.
+    if let Some(len) = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+    {
+        if body.len() != len {
+            return Err(bad("short response body"));
+        }
+    }
+    Ok(Response {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Convenience: POST a JSON body.
+pub fn post_json(
+    addr: SocketAddr,
+    path: &str,
+    token: Option<&str>,
+    json: &str,
+) -> std::io::Result<Response> {
+    let auth;
+    let mut headers: Vec<(&str, &str)> = vec![("Content-Type", "application/json")];
+    if let Some(t) = token {
+        auth = format!("Bearer {t}");
+        headers.push(("Authorization", &auth));
+    }
+    request(addr, "POST", path, &headers, json.as_bytes())
+}
+
+/// Convenience: GET a path.
+pub fn get(addr: SocketAddr, path: &str, token: Option<&str>) -> std::io::Result<Response> {
+    let auth;
+    let mut headers: Vec<(&str, &str)> = Vec::new();
+    if let Some(t) = token {
+        auth = format!("Bearer {t}");
+        headers.push(("Authorization", &auth));
+    }
+    request(addr, "GET", path, &headers, b"")
+}

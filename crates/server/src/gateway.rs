@@ -1,0 +1,1033 @@
+//! The HTTP gateway: a network front door over the runtime.
+//!
+//! One [`Gateway`] owns a [`Runtime`], a shared metrics [`Recorder`]
+//! (so `/metrics` exposes the `dwi_runtime_*` and `dwi_server_*`
+//! families in a single scrape), the tenant table, and the job registry
+//! mapping HTTP-visible job ids to live [`JobHandle`]s.
+//!
+//! Routes:
+//!
+//! | Method | Path                  | Action |
+//! |--------|-----------------------|--------|
+//! | POST   | `/v1/jobs`            | submit a JSON job spec → `202` + id |
+//! | GET    | `/v1/jobs/{id}`       | poll → `pending` / `done` + result / `failed` |
+//! | GET    | `/v1/jobs/{id}/wait`  | long-poll (`timeout_ms` query, capped); `204` on expiry |
+//! | DELETE | `/v1/jobs/{id}`       | cancel |
+//! | GET    | `/healthz`            | liveness |
+//! | GET    | `/metrics`            | Prometheus text exposition |
+//!
+//! Admission control happens in layers, cheapest first: bearer-token
+//! auth (`401`), per-tenant token-bucket rate limit (`429` +
+//! `Retry-After`), per-tenant in-flight quota (`429`), spec validation
+//! (`400`), and finally the runtime's own bounded admission queue —
+//! [`dwi_runtime::SubmitRejected::retry_after`] maps to `429` +
+//! `Retry-After`, making
+//! runtime backpressure a first-class HTTP signal.
+//!
+//! The gateway also owns the cluster listener: a remote worker process
+//! (`dwi-server --worker --join <addr>`) connects, sends HELLO, and is
+//! attached to the runtime as a [`RemoteChannel`] — from then on the
+//! scheduler treats it as extra capacity for remote-eligible shards,
+//! falling back to local execution the moment the connection dies.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
+use dwi_core::RunReport;
+use dwi_hls::sim::SimResult;
+use dwi_runtime::{
+    JobError, JobHandle, JobOutput, JobSpec, RemoteChannel, RemoteError, RemoteSpec, Runtime,
+    RuntimeConfig,
+};
+use dwi_trace::json::{escape_str, Json};
+use dwi_trace::server_metrics as sm;
+use dwi_trace::{Recorder, TraceSink};
+
+use crate::http::{read_request, respond, respond_error, HttpError, Request};
+use crate::spec::{parse_job, ParsedJob};
+use crate::wire;
+
+/// Long-poll default and hard cap.
+const WAIT_DEFAULT: Duration = Duration::from_secs(10);
+const WAIT_CAP: Duration = Duration::from_secs(30);
+/// Registry size above which finished jobs are evicted oldest-first.
+const REGISTRY_SOFT_CAP: usize = 4096;
+/// How long the coordinator waits for a remote worker's RESULT before
+/// declaring the connection dead and falling back to local execution.
+const REMOTE_RESPONSE_TIMEOUT: Duration = Duration::from_secs(120);
+/// How long the cluster listener waits for a connecting worker's HELLO.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// One configured tenant.
+#[derive(Clone, Debug)]
+pub struct Tenant {
+    /// Display name (metrics label).
+    pub name: String,
+    /// Bearer token.
+    pub token: String,
+    /// Token-bucket refill rate, submissions per second.
+    pub rate: f64,
+    /// Token-bucket capacity (burst size).
+    pub burst: f64,
+    /// Max in-flight jobs.
+    pub quota: usize,
+}
+
+impl Tenant {
+    /// A tenant with the default limits (20 submissions/s, burst 40,
+    /// 64 in flight).
+    pub fn new(token: impl Into<String>, name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            token: token.into(),
+            rate: 20.0,
+            burst: 40.0,
+            quota: 64,
+        }
+    }
+}
+
+struct Bucket {
+    tokens: f64,
+    last: Instant,
+}
+
+/// What kind of output the registry entry will harvest.
+enum JobKind {
+    Graph,
+    Sim,
+    Transfers,
+}
+
+struct GatewayJob {
+    tenant: String,
+    kind: JobKind,
+    handle: Arc<JobHandle>,
+    /// Rendered terminal response body, cached at first harvest (the
+    /// handle's output can be taken exactly once).
+    done: Option<String>,
+    created: u64,
+}
+
+/// Gateway configuration.
+pub struct GatewayConfig {
+    /// Local worker threads for the embedded runtime.
+    pub workers: usize,
+    /// Admission-queue bound.
+    pub queue_bound: usize,
+    /// Tenant table; empty = anonymous access (no auth, no limits).
+    pub tenants: Vec<Tenant>,
+}
+
+impl GatewayConfig {
+    pub fn new(workers: usize) -> Self {
+        Self {
+            workers,
+            queue_bound: 64,
+            tenants: Vec::new(),
+        }
+    }
+}
+
+/// The shared gateway state. Handler threads hold an `Arc<Gateway>`.
+/// One routed response: (route label, status, extra headers, content
+/// type, body). The label is the route *pattern* — never the raw path —
+/// so the `dwi_server_http_requests_total{route}` label set stays
+/// bounded.
+type Routed = (
+    &'static str,
+    u16,
+    Vec<(&'static str, String)>,
+    &'static str,
+    Vec<u8>,
+);
+
+pub struct Gateway {
+    rt: Runtime,
+    rec: Recorder,
+    tenants: Vec<Tenant>,
+    buckets: Mutex<Vec<Bucket>>,
+    jobs: Mutex<HashMap<u64, GatewayJob>>,
+    seq: std::sync::atomic::AtomicU64,
+    active: AtomicI64,
+    shutdown: AtomicBool,
+}
+
+impl Gateway {
+    /// Build a gateway and its embedded runtime. All metrics — the
+    /// runtime's and the server's — share one recorder.
+    pub fn new(config: GatewayConfig) -> Self {
+        let rec = Recorder::new();
+        let mut rt_cfg = RuntimeConfig::new(config.workers).queue_bound(config.queue_bound);
+        rt_cfg.sink = rec.sink();
+        let rt = Runtime::new(rt_cfg);
+        let buckets = config
+            .tenants
+            .iter()
+            .map(|t| Bucket {
+                tokens: t.burst,
+                last: Instant::now(),
+            })
+            .collect();
+        Self {
+            rt,
+            rec,
+            tenants: config.tenants,
+            buckets: Mutex::new(buckets),
+            jobs: Mutex::new(HashMap::new()),
+            seq: std::sync::atomic::AtomicU64::new(0),
+            active: AtomicI64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The embedded runtime (tests attach probes; the cluster listener
+    /// attaches remote channels).
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// The shared metrics recorder.
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    fn sink(&self) -> TraceSink {
+        self.rec.sink()
+    }
+
+    /// Signal every serving loop to wind down.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    // -----------------------------------------------------------------
+    // Admission layers
+    // -----------------------------------------------------------------
+
+    /// Resolve the tenant a request authenticates as. `Ok(None)` is the
+    /// anonymous tenant (only when no tenants are configured).
+    fn authenticate(&self, req: &Request) -> Result<Option<usize>, HttpError> {
+        if self.tenants.is_empty() {
+            return Ok(None);
+        }
+        let token = req
+            .header("authorization")
+            .and_then(|v| v.strip_prefix("Bearer "))
+            .ok_or(HttpError {
+                status: 401,
+                reason: "missing bearer token",
+            })?;
+        self.tenants
+            .iter()
+            .position(|t| t.token == token)
+            .map(Some)
+            .ok_or(HttpError {
+                status: 401,
+                reason: "unknown bearer token",
+            })
+    }
+
+    fn tenant_name(&self, idx: Option<usize>) -> &str {
+        idx.map(|i| self.tenants[i].name.as_str()).unwrap_or("anon")
+    }
+
+    /// Take one token from the tenant's bucket, or compute the retry
+    /// hint.
+    fn take_rate_token(&self, idx: usize) -> Result<(), Duration> {
+        let t = &self.tenants[idx];
+        let mut buckets = self.buckets.lock().unwrap();
+        let b = &mut buckets[idx];
+        let now = Instant::now();
+        let elapsed = now.duration_since(b.last).as_secs_f64();
+        b.tokens = (b.tokens + elapsed * t.rate).min(t.burst);
+        b.last = now;
+        if b.tokens >= 1.0 {
+            b.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait = (1.0 - b.tokens) / t.rate;
+            Err(Duration::from_secs_f64(wait))
+        }
+    }
+
+    /// Jobs this tenant still has in flight (not yet terminal).
+    fn in_flight(&self, tenant: &str) -> usize {
+        let jobs = self.jobs.lock().unwrap();
+        jobs.values()
+            .filter(|j| j.tenant == tenant && j.done.is_none())
+            .filter(|j| j.handle.wait_ready(Duration::ZERO).is_none())
+            .count()
+    }
+
+    // -----------------------------------------------------------------
+    // Submission
+    // -----------------------------------------------------------------
+
+    /// Client id for the runtime's per-client fairness lanes: tenants
+    /// get stable small ids, anonymous gets 0.
+    fn client_id(idx: Option<usize>) -> u32 {
+        idx.map(|i| i as u32 + 1).unwrap_or(0)
+    }
+
+    fn submit(
+        &self,
+        body: &str,
+        tenant_idx: Option<usize>,
+    ) -> (u16, Vec<(&'static str, String)>, String) {
+        let tenant = self.tenant_name(tenant_idx).to_string();
+        let sink = self.sink();
+
+        if let Some(idx) = tenant_idx {
+            if let Err(wait) = self.take_rate_token(idx) {
+                sink.counter(
+                    sm::JOBS_REJECTED,
+                    &[("tenant", &tenant), ("reason", "rate")],
+                )
+                .inc();
+                return (
+                    429,
+                    vec![("Retry-After", wait.as_secs().max(1).to_string())],
+                    err_body("rate limit exceeded"),
+                );
+            }
+            if self.in_flight(&tenant) >= self.tenants[idx].quota {
+                sink.counter(
+                    sm::JOBS_REJECTED,
+                    &[("tenant", &tenant), ("reason", "quota")],
+                )
+                .inc();
+                return (
+                    429,
+                    vec![("Retry-After", "1".to_string())],
+                    err_body("in-flight quota exceeded"),
+                );
+            }
+        }
+
+        let parsed = match parse_job(body) {
+            Ok(p) => p,
+            Err(msg) => {
+                sink.counter(
+                    sm::JOBS_REJECTED,
+                    &[("tenant", &tenant), ("reason", "bad_request")],
+                )
+                .inc();
+                return (400, Vec::new(), err_body(&msg));
+            }
+        };
+
+        let client = Self::client_id(tenant_idx);
+        let (spec, kind) = match parsed {
+            ParsedJob::Graph {
+                graph,
+                plan,
+                seed,
+                shards,
+                priority,
+                deadline,
+                graph_json,
+            } => {
+                // The runtime's cache/dedup key is (kernel name, plan
+                // fingerprint, seed) — it does NOT cover kernel
+                // constructor params, by contract the submitter's job to
+                // discriminate. Folding the canonical spec hash into the
+                // seed makes collisions impossible across distinct HTTP
+                // specs while keeping identical resubmissions cacheable.
+                let seed = seed ^ fnv64_bytes(graph_json.as_bytes());
+                let mut spec = JobSpec::graph(client, graph, plan, seed)
+                    .priority(priority)
+                    .remote(Arc::new(WireJobSpec {
+                        graph_json,
+                        backend: "functional-decoupled".to_string(),
+                    }) as RemoteSpec);
+                if let Some(s) = shards {
+                    spec = spec.shards(s);
+                }
+                if let Some(d) = deadline {
+                    spec = spec.deadline(d);
+                }
+                (spec, JobKind::Graph)
+            }
+            ParsedJob::Sim(cfg) => (
+                JobSpec::task(client, move || dwi_hls::sim::run(&cfg)),
+                JobKind::Sim,
+            ),
+            ParsedJob::Transfers {
+                channel,
+                total,
+                burst,
+                workitems,
+            } => (
+                JobSpec::task(client, move || {
+                    (
+                        channel.transfers_only_runtime(total, burst, workitems),
+                        channel.effective_bandwidth(burst, workitems),
+                    )
+                }),
+                JobKind::Transfers,
+            ),
+        };
+
+        match self.rt.submit(spec) {
+            Ok(handle) => {
+                let id = handle.id();
+                let created = self.seq.fetch_add(1, Ordering::Relaxed);
+                let mut jobs = self.jobs.lock().unwrap();
+                if jobs.len() >= REGISTRY_SOFT_CAP {
+                    evict_finished(&mut jobs);
+                }
+                jobs.insert(
+                    id,
+                    GatewayJob {
+                        tenant: tenant.clone(),
+                        kind,
+                        handle: Arc::new(handle),
+                        done: None,
+                        created,
+                    },
+                );
+                drop(jobs);
+                sink.counter(sm::JOBS_SUBMITTED, &[("tenant", &tenant)])
+                    .inc();
+                (
+                    202,
+                    Vec::new(),
+                    format!("{{\"id\":{id},\"state\":\"pending\"}}\n"),
+                )
+            }
+            Err(rejected) => {
+                sink.counter(
+                    sm::JOBS_REJECTED,
+                    &[("tenant", &tenant), ("reason", "backpressure")],
+                )
+                .inc();
+                let secs = rejected.retry_after.as_secs_f64().ceil().max(1.0) as u64;
+                (
+                    429,
+                    vec![("Retry-After", secs.to_string())],
+                    err_body("runtime admission queue full"),
+                )
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Poll / wait / cancel
+    // -----------------------------------------------------------------
+
+    /// Render the job's current state, harvesting and caching the
+    /// terminal body on first sight. Must be called with the registry
+    /// lock held by the caller via the jobs mutex (this takes it).
+    fn job_status(&self, id: u64) -> Option<String> {
+        let mut jobs = self.jobs.lock().unwrap();
+        let job = jobs.get_mut(&id)?;
+        if let Some(body) = &job.done {
+            return Some(body.clone());
+        }
+        match job.handle.harvest() {
+            None => Some(format!("{{\"id\":{id},\"state\":\"pending\"}}\n")),
+            Some(Ok(output)) => {
+                let body = render_done(id, &job.kind, output);
+                job.done = Some(body.clone());
+                Some(body)
+            }
+            Some(Err(e)) => {
+                let body = render_failed(id, &e);
+                job.done = Some(body.clone());
+                Some(body)
+            }
+        }
+    }
+
+    fn handle_for(&self, id: u64) -> Option<Arc<JobHandle>> {
+        self.jobs.lock().unwrap().get(&id).map(|j| j.handle.clone())
+    }
+
+    fn cancel(&self, id: u64) -> Option<String> {
+        let handle = self.handle_for(id)?;
+        handle.cancel();
+        // Cancellation is lazy: the runtime finalizes the job when a
+        // worker next dequeues it. Until then, report "cancelling"; once
+        // terminal, report what actually happened (cancel can race a
+        // completion, and the truth wins).
+        match self.job_status(id)? {
+            body if body.contains("\"state\":\"pending\"") => {
+                Some(format!("{{\"id\":{id},\"state\":\"cancelling\"}}\n"))
+            }
+            body => Some(body),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Request dispatch
+    // -----------------------------------------------------------------
+
+    /// Route one parsed request. Returns (route label, status, extra
+    /// headers, content type, body).
+    fn route(&self, req: &Request) -> Routed {
+        let path = req.path();
+        match (req.method.as_str(), path) {
+            ("GET", "/healthz") => (
+                "/healthz",
+                200,
+                Vec::new(),
+                "application/json",
+                b"{\"ok\":true}\n".to_vec(),
+            ),
+            ("GET", "/metrics") => (
+                "/metrics",
+                200,
+                Vec::new(),
+                "text/plain; version=0.0.4",
+                self.rec.prometheus().into_bytes(),
+            ),
+            ("POST", "/v1/jobs") => {
+                let tenant_idx = match self.authenticate(req) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        self.sink()
+                            .counter(
+                                sm::JOBS_REJECTED,
+                                &[("tenant", "unknown"), ("reason", "auth")],
+                            )
+                            .inc();
+                        return (
+                            "/v1/jobs",
+                            e.status,
+                            Vec::new(),
+                            "application/json",
+                            err_body(e.reason).into_bytes(),
+                        );
+                    }
+                };
+                let body = match std::str::from_utf8(&req.body) {
+                    Ok(s) => s,
+                    Err(_) => {
+                        return (
+                            "/v1/jobs",
+                            400,
+                            Vec::new(),
+                            "application/json",
+                            err_body("body is not UTF-8").into_bytes(),
+                        )
+                    }
+                };
+                let (status, headers, body) = self.submit(body, tenant_idx);
+                (
+                    "/v1/jobs",
+                    status,
+                    headers,
+                    "application/json",
+                    body.into_bytes(),
+                )
+            }
+            _ => self.route_job(req, path),
+        }
+    }
+
+    fn route_job(&self, req: &Request, path: &str) -> Routed {
+        let not_found = |route: &'static str| {
+            (
+                route,
+                404,
+                Vec::new(),
+                "application/json",
+                err_body("no such job").into_bytes(),
+            )
+        };
+        if let Some(rest) = path.strip_prefix("/v1/jobs/") {
+            // Auth gates job-state routes too, so one tenant cannot poll
+            // or cancel another's jobs by guessing ids. (Per-tenant
+            // ownership checks ride on the registry's tenant field.)
+            let tenant_idx = match self.authenticate(req) {
+                Ok(t) => t,
+                Err(e) => {
+                    return (
+                        "/v1/jobs/{id}",
+                        e.status,
+                        Vec::new(),
+                        "application/json",
+                        err_body(e.reason).into_bytes(),
+                    )
+                }
+            };
+            let (id_str, is_wait) = match rest.strip_suffix("/wait") {
+                Some(prefix) => (prefix, true),
+                None => (rest, false),
+            };
+            let Ok(id) = id_str.parse::<u64>() else {
+                return (
+                    "/v1/jobs/{id}",
+                    400,
+                    Vec::new(),
+                    "application/json",
+                    err_body("job id must be an integer").into_bytes(),
+                );
+            };
+            // Ownership check.
+            {
+                let jobs = self.jobs.lock().unwrap();
+                match jobs.get(&id) {
+                    None => {
+                        return not_found(if is_wait {
+                            "/v1/jobs/{id}/wait"
+                        } else {
+                            "/v1/jobs/{id}"
+                        })
+                    }
+                    Some(j) => {
+                        if j.tenant != self.tenant_name(tenant_idx) {
+                            return (
+                                if is_wait {
+                                    "/v1/jobs/{id}/wait"
+                                } else {
+                                    "/v1/jobs/{id}"
+                                },
+                                404,
+                                Vec::new(),
+                                "application/json",
+                                err_body("no such job").into_bytes(),
+                            );
+                        }
+                    }
+                }
+            }
+            return match (req.method.as_str(), is_wait) {
+                ("GET", false) => {
+                    let body = self.job_status(id).expect("checked above");
+                    (
+                        "/v1/jobs/{id}",
+                        200,
+                        Vec::new(),
+                        "application/json",
+                        body.into_bytes(),
+                    )
+                }
+                ("GET", true) => {
+                    let timeout = req
+                        .query("timeout_ms")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .map(Duration::from_millis)
+                        .unwrap_or(WAIT_DEFAULT)
+                        .min(WAIT_CAP);
+                    let handle = self.handle_for(id).expect("checked above");
+                    // Block OUTSIDE the registry lock; render under it.
+                    match handle.wait_ready(timeout) {
+                        None => {
+                            self.sink().counter(sm::LONGPOLL_EXPIRED, &[]).inc();
+                            (
+                                "/v1/jobs/{id}/wait",
+                                204,
+                                Vec::new(),
+                                "application/json",
+                                Vec::new(),
+                            )
+                        }
+                        Some(_) => {
+                            let body = self.job_status(id).expect("checked above");
+                            (
+                                "/v1/jobs/{id}/wait",
+                                200,
+                                Vec::new(),
+                                "application/json",
+                                body.into_bytes(),
+                            )
+                        }
+                    }
+                }
+                ("DELETE", false) => {
+                    let body = self.cancel(id).expect("checked above");
+                    (
+                        "/v1/jobs/{id}",
+                        200,
+                        Vec::new(),
+                        "application/json",
+                        body.into_bytes(),
+                    )
+                }
+                _ => (
+                    "/v1/jobs/{id}",
+                    405,
+                    Vec::new(),
+                    "application/json",
+                    err_body("method not allowed").into_bytes(),
+                ),
+            };
+        }
+        not_found("other")
+    }
+
+    /// Serve one connection: parse, route, respond, close.
+    fn handle_connection(&self, mut stream: TcpStream) {
+        let sink = self.sink();
+        let n = self.active.fetch_add(1, Ordering::SeqCst) + 1;
+        sink.set_gauge(sm::ACTIVE_CONNECTIONS, &[], n as f64);
+        let start = Instant::now();
+        match read_request(&mut stream) {
+            Ok(Some(req)) => {
+                let (route, status, headers, ctype, body) = self.route(&req);
+                respond(&mut stream, status, ctype, &headers, &body);
+                let code = status.to_string();
+                sink.counter(sm::HTTP_REQUESTS, &[("route", route), ("code", &code)])
+                    .inc();
+                sink.observe_histogram(
+                    sm::HTTP_REQUEST_SECONDS,
+                    &[("route", route)],
+                    start.elapsed().as_secs_f64(),
+                );
+            }
+            Ok(None) => {}
+            Err(e) => {
+                respond_error(&mut stream, &e);
+                let code = e.status.to_string();
+                sink.counter(
+                    sm::HTTP_REQUESTS,
+                    &[("route", "malformed"), ("code", &code)],
+                )
+                .inc();
+            }
+        }
+        let n = self.active.fetch_sub(1, Ordering::SeqCst) - 1;
+        sink.set_gauge(sm::ACTIVE_CONNECTIONS, &[], n as f64);
+    }
+
+    /// Accept loop for the HTTP listener. Returns when shutdown is
+    /// requested (the requester must poke the listener with a
+    /// self-connection to unblock `accept`; [`RunningGateway::stop`]
+    /// does).
+    pub fn serve_http(self: &Arc<Self>, listener: TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if self.is_shutting_down() {
+                        return;
+                    }
+                    let gw = Arc::clone(self);
+                    std::thread::Builder::new()
+                        .name("dwi-http".into())
+                        .spawn(move || gw.handle_connection(stream))
+                        .ok();
+                }
+                Err(_) => {
+                    if self.is_shutting_down() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Accept loop for the cluster listener: each connecting worker that
+    /// presents a valid HELLO becomes an attached remote channel.
+    pub fn serve_cluster(self: &Arc<Self>, listener: TcpListener) {
+        loop {
+            match listener.accept() {
+                Ok((mut stream, peer)) => {
+                    if self.is_shutting_down() {
+                        return;
+                    }
+                    match wire::read_frame(&mut stream, Some(HELLO_TIMEOUT)) {
+                        Ok(Some((wire::FrameType::Hello, payload))) => {
+                            match wire::decode_hello(&payload) {
+                                Ok(hello) => {
+                                    let label = if hello.label.is_empty() {
+                                        peer.to_string()
+                                    } else {
+                                        hello.label
+                                    };
+                                    self.rt.attach_remote(Box::new(TcpRemoteChannel {
+                                        label,
+                                        stream,
+                                        seq: 0,
+                                    }));
+                                }
+                                Err(_) => drop(stream),
+                            }
+                        }
+                        // Anything but a prompt, valid HELLO: hang up.
+                        _ => drop(stream),
+                    }
+                }
+                Err(_) => {
+                    if self.is_shutting_down() {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn evict_finished(jobs: &mut HashMap<u64, GatewayJob>) {
+    let mut finished: Vec<(u64, u64)> = jobs
+        .iter()
+        .filter(|(_, j)| j.done.is_some())
+        .map(|(id, j)| (j.created, *id))
+        .collect();
+    finished.sort_unstable();
+    for (_, id) in finished.into_iter().take(jobs.len() / 4) {
+        jobs.remove(&id);
+    }
+}
+
+fn err_body(msg: &str) -> String {
+    format!("{{\"error\":{}}}\n", escape_str(msg))
+}
+
+// ---------------------------------------------------------------------
+// Result rendering
+// ---------------------------------------------------------------------
+
+/// FNV-1a over raw bytes.
+fn fnv64_bytes(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a over the bit patterns of a sample stream: a compact,
+/// placement-independent identity for "these are the exact same floats".
+fn fnv64_samples(samples: &[Vec<f32>]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for wi in samples {
+        for v in wi {
+            for b in v.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+    }
+    h
+}
+
+fn report_json(r: &RunReport) -> Json {
+    let mut o = std::collections::BTreeMap::new();
+    o.insert("backend".into(), Json::Str(r.backend.into()));
+    o.insert("kernel".into(), Json::Str(r.kernel.into()));
+    o.insert("workitems".into(), Json::Num(r.workitems as f64));
+    o.insert("quota".into(), Json::Num(r.quota as f64));
+    o.insert("attempts".into(), Json::Num(r.rejection.attempts as f64));
+    o.insert("accepted".into(), Json::Num(r.rejection.accepted as f64));
+    o.insert(
+        "iterations".into(),
+        Json::Num(r.iterations.iter().sum::<u64>() as f64),
+    );
+    o.insert(
+        "samples".into(),
+        Json::Num(r.samples.iter().map(Vec::len).sum::<usize>() as f64),
+    );
+    o.insert(
+        "sample_hash".into(),
+        Json::Str(format!("fnv64:{:016x}", fnv64_samples(&r.samples))),
+    );
+    o.insert("cycles".into(), Json::Num(r.cycles as f64));
+    Json::Obj(o)
+}
+
+fn graph_json(g: &GraphReport) -> Json {
+    let mut o = std::collections::BTreeMap::new();
+    o.insert("graph".into(), Json::Str(g.graph.clone()));
+    o.insert("backend".into(), Json::Str(g.backend.into()));
+    o.insert("cycles".into(), Json::Num(g.cycles as f64));
+    o.insert(
+        "stages".into(),
+        Json::Arr(g.stages.iter().map(report_json).collect()),
+    );
+    o.insert(
+        "edge_depths".into(),
+        Json::Arr(g.edges.iter().map(|e| Json::Num(e.depth as f64)).collect()),
+    );
+    Json::Obj(o)
+}
+
+fn render_done(id: u64, kind: &JobKind, output: JobOutput) -> String {
+    let result = match (kind, output) {
+        (JobKind::Graph, JobOutput::Kernel(r)) => report_json(&r),
+        (JobKind::Graph, JobOutput::Graph(g)) => graph_json(&g),
+        (JobKind::Sim, out) => {
+            let sim: SimResult = out.into_task();
+            let mut o = std::collections::BTreeMap::new();
+            o.insert("cycles".into(), Json::Num(sim.cycles as f64));
+            o.insert("channel_busy".into(), Json::Num(sim.channel_busy as f64));
+            Json::Obj(o)
+        }
+        (JobKind::Transfers, out) => {
+            let (runtime_s, bandwidth): (f64, f64) = out.into_task();
+            let mut o = std::collections::BTreeMap::new();
+            o.insert("runtime_s".into(), Json::Num(runtime_s));
+            o.insert("bandwidth_rns_per_s".into(), Json::Num(bandwidth));
+            Json::Obj(o)
+        }
+        (JobKind::Graph, JobOutput::Task(_)) => unreachable!("graph jobs never deliver tasks"),
+    };
+    format!(
+        "{{\"id\":{id},\"state\":\"done\",\"result\":{}}}\n",
+        crate::spec::render_json(&result)
+    )
+}
+
+fn render_failed(id: u64, e: &JobError) -> String {
+    let reason = match e {
+        JobError::Cancelled => "cancelled",
+        JobError::Expired => "expired",
+    };
+    format!("{{\"id\":{id},\"state\":\"failed\",\"error\":\"{reason}\"}}\n")
+}
+
+// ---------------------------------------------------------------------
+// Remote channel over TCP
+// ---------------------------------------------------------------------
+
+/// The wire-expressible job description a gateway attaches to every
+/// remote-eligible graph job ([`JobSpec::remote`]); the TCP channel
+/// downcasts to this and ships it in a SHARD frame.
+pub struct WireJobSpec {
+    /// Canonical graph spec JSON ([`crate::spec::build_graph`] input).
+    pub graph_json: String,
+    /// Backend name the worker should run (`named_backend` input).
+    pub backend: String,
+}
+
+/// One attached remote worker connection on the coordinator side.
+struct TcpRemoteChannel {
+    label: String,
+    stream: TcpStream,
+    seq: u64,
+}
+
+impl RemoteChannel for TcpRemoteChannel {
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn run(
+        &mut self,
+        spec: &RemoteSpec,
+        _graph: &KernelGraph,
+        plan: &GraphPlan,
+    ) -> Result<GraphReport, RemoteError> {
+        let wire_spec = spec
+            .downcast_ref::<WireJobSpec>()
+            .ok_or_else(|| RemoteError::new("job carries no wire-expressible spec"))?;
+        self.seq += 1;
+        let msg = wire::ShardMsg {
+            seq: self.seq,
+            graph_json: wire_spec.graph_json.clone(),
+            backend: wire_spec.backend.clone(),
+            plan: plan.clone(),
+        };
+        wire::write_frame(
+            &mut self.stream,
+            wire::FrameType::Shard,
+            &wire::encode_shard(&msg),
+        )
+        .map_err(|e| RemoteError::new(e.to_string()))?;
+        match wire::read_frame(&mut self.stream, Some(REMOTE_RESPONSE_TIMEOUT)) {
+            Ok(Some((wire::FrameType::Result, payload))) => {
+                let result =
+                    wire::decode_result(&payload).map_err(|e| RemoteError::new(e.to_string()))?;
+                if result.seq != self.seq {
+                    return Err(RemoteError::new("out-of-order RESULT"));
+                }
+                Ok(result.report)
+            }
+            Ok(Some((wire::FrameType::Error, payload))) => {
+                let err = wire::decode_error(&payload)
+                    .map(|e| e.message)
+                    .unwrap_or_else(|_| "undecodable ERROR frame".to_string());
+                Err(RemoteError::new(format!("worker reported: {err}")))
+            }
+            Ok(Some(_)) => Err(RemoteError::new("unexpected frame type")),
+            Ok(None) => Err(RemoteError::new("worker closed the connection")),
+            Err(e) => Err(RemoteError::new(e.to_string())),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process harness
+// ---------------------------------------------------------------------
+
+/// A gateway serving in background threads — what the binary, the load
+/// generator, and the tests all use.
+pub struct RunningGateway {
+    /// Bound HTTP address.
+    pub addr: SocketAddr,
+    /// Bound cluster address (when a cluster listener was requested).
+    pub cluster_addr: Option<SocketAddr>,
+    gateway: Arc<Gateway>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl RunningGateway {
+    pub fn gateway(&self) -> &Arc<Gateway> {
+        &self.gateway
+    }
+
+    /// Stop serving: flips the shutdown flag and pokes both listeners
+    /// with throwaway connections to unblock their accept loops.
+    pub fn stop(mut self) {
+        self.gateway.request_shutdown();
+        let _ = TcpStream::connect(self.addr);
+        if let Some(c) = self.cluster_addr {
+            let _ = TcpStream::connect(c);
+        }
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+/// Bind the listeners and start the serving threads. `listen`/`cluster`
+/// accept `"host:0"` for OS-assigned ports (tests always do).
+pub fn start(
+    config: GatewayConfig,
+    listen: &str,
+    cluster: Option<&str>,
+) -> io::Result<RunningGateway> {
+    let gateway = Arc::new(Gateway::new(config));
+    let listener = TcpListener::bind(listen)?;
+    let addr = listener.local_addr()?;
+    let mut threads = Vec::new();
+    {
+        let gw = Arc::clone(&gateway);
+        threads.push(
+            std::thread::Builder::new()
+                .name("dwi-gateway".into())
+                .spawn(move || gw.serve_http(listener))?,
+        );
+    }
+    let cluster_addr = match cluster {
+        Some(spec) => {
+            let cl = TcpListener::bind(spec)?;
+            let caddr = cl.local_addr()?;
+            let gw = Arc::clone(&gateway);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("dwi-cluster".into())
+                    .spawn(move || gw.serve_cluster(cl))?,
+            );
+            Some(caddr)
+        }
+        None => None,
+    };
+    Ok(RunningGateway {
+        addr,
+        cluster_addr,
+        gateway,
+        threads,
+    })
+}

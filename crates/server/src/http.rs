@@ -1,0 +1,277 @@
+//! Minimal HTTP/1.1 on `std::net` — the gateway's transport, hand-rolled
+//! the way `dwi-trace` hand-rolls its exporters (the workspace is
+//! offline; no hyper, no tokio). One request per connection
+//! (`Connection: close`), hard caps on every dimension an adversarial
+//! client could grow, and read timeouts so a slow-loris peer costs one
+//! bounded thread, never a wedged worker.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Request-line cap (method + path + version).
+pub const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Per-header-line cap.
+pub const MAX_HEADER_LINE: usize = 8 * 1024;
+/// Header-count cap.
+pub const MAX_HEADERS: usize = 64;
+/// Body cap — job specs are small; anything bigger is abuse.
+pub const MAX_BODY: usize = 1024 * 1024;
+/// Socket read timeout: a peer that cannot produce a full request this
+/// fast is slow-lorising.
+pub const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A parsed request. Headers keep their wire order; lookups are
+/// case-insensitive per RFC 9110.
+#[derive(Debug)]
+pub struct Request {
+    pub method: String,
+    /// Path including any query string, exactly as sent.
+    pub target: String,
+    pub headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The path without the query string.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or(&self.target)
+    }
+
+    /// A query parameter's (percent-decoding-free) value.
+    pub fn query(&self, key: &str) -> Option<&str> {
+        let q = self.target.split_once('?')?.1;
+        q.split('&')
+            .filter_map(|kv| kv.split_once('='))
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v)
+    }
+}
+
+/// A parse failure that maps to one clean HTTP error response.
+#[derive(Debug)]
+pub struct HttpError {
+    pub status: u16,
+    pub reason: &'static str,
+}
+
+impl HttpError {
+    fn new(status: u16, reason: &'static str) -> Self {
+        Self { status, reason }
+    }
+}
+
+/// Read one request off the stream. `Ok(None)` is a clean EOF before any
+/// byte (the peer connected and left); every malformed, oversized, or
+/// timed-out input becomes an [`HttpError`] the caller answers with
+/// [`respond`] before closing — never a panic, never a wedged thread.
+pub fn read_request(stream: &mut TcpStream) -> Result<Option<Request>, HttpError> {
+    stream
+        .set_read_timeout(Some(READ_TIMEOUT))
+        .map_err(|_| HttpError::new(500, "socket configuration failed"))?;
+
+    // Accumulate until the header terminator, under a hard cap covering
+    // the request line plus every header line.
+    let head_cap = MAX_REQUEST_LINE + MAX_HEADERS * MAX_HEADER_LINE;
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    let head_end = loop {
+        if let Some(pos) = find_terminator(&buf) {
+            break pos;
+        }
+        if buf.len() > head_cap {
+            return Err(HttpError::new(431, "request header section too large"));
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                if buf.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::new(400, "connection closed mid-request"));
+            }
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::new(408, "request header read timed out"));
+            }
+            Err(_) => return Err(HttpError::new(400, "request read failed")),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| HttpError::new(400, "request head is not UTF-8"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or_else(|| HttpError::new(400, "empty request"))?;
+    if request_line.len() > MAX_REQUEST_LINE {
+        return Err(HttpError::new(414, "request line too long"));
+    }
+    let mut parts = request_line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && !t.is_empty() => (m, t, v),
+        _ => return Err(HttpError::new(400, "malformed request line")),
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(HttpError::new(505, "unsupported HTTP version"));
+    }
+
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if line.len() > MAX_HEADER_LINE {
+            return Err(HttpError::new(431, "header line too long"));
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(HttpError::new(431, "too many headers"));
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| HttpError::new(400, "malformed header line"))?;
+        if k.is_empty() || k.contains(' ') {
+            return Err(HttpError::new(400, "malformed header name"));
+        }
+        headers.push((k.to_string(), v.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| HttpError::new(400, "unparseable Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(HttpError::new(413, "request body too large"));
+    }
+    if headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("transfer-encoding"))
+    {
+        // No chunked bodies: job specs are small and length-delimited.
+        return Err(HttpError::new(501, "transfer encodings are not supported"));
+    }
+
+    let mut body = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err(HttpError::new(400, "connection closed mid-body")),
+            Ok(n) => body.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                return Err(HttpError::new(408, "request body read timed out"));
+            }
+            Err(_) => return Err(HttpError::new(400, "request body read failed")),
+        }
+    }
+    body.truncate(content_length);
+
+    Ok(Some(Request {
+        method: method.to_string(),
+        target: target.to_string(),
+        headers,
+        body,
+    }))
+}
+
+/// Position of the `\r\n\r\n` header terminator.
+fn find_terminator(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Canonical reason phrase for the statuses the gateway emits.
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        204 => "No Content",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Content Too Large",
+        414 => "URI Too Long",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        505 => "HTTP Version Not Supported",
+        _ => "Unknown",
+    }
+}
+
+/// Write one complete response and flush. `Connection: close` always —
+/// the gateway serves one exchange per connection by design.
+pub fn respond(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n",
+        reason_phrase(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    // The peer may already be gone; nothing useful to do about it.
+    let _ = stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush());
+}
+
+/// Answer an [`HttpError`] with a small JSON body.
+pub fn respond_error(stream: &mut TcpStream, err: &HttpError) {
+    let body = format!(
+        "{{\"error\":{}}}\n",
+        dwi_trace::json::escape_str(err.reason)
+    );
+    respond(stream, err.status, "application/json", &[], body.as_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_lookup_is_case_insensitive() {
+        let r = Request {
+            method: "GET".into(),
+            target: "/x?a=1&b=2".into(),
+            headers: vec![("Authorization".into(), "Bearer t".into())],
+            body: Vec::new(),
+        };
+        assert_eq!(r.header("authorization"), Some("Bearer t"));
+        assert_eq!(r.header("AUTHORIZATION"), Some("Bearer t"));
+        assert_eq!(r.header("missing"), None);
+        assert_eq!(r.path(), "/x");
+        assert_eq!(r.query("b"), Some("2"));
+        assert_eq!(r.query("c"), None);
+    }
+
+    #[test]
+    fn terminator_scan_finds_the_first_blank_line() {
+        assert_eq!(find_terminator(b"GET / HTTP/1.1\r\n\r\nrest"), Some(14));
+        assert_eq!(find_terminator(b"partial\r\n"), None);
+    }
+}

@@ -1,0 +1,30 @@
+//! # dwi-server — the network service tier
+//!
+//! Two halves, both on `std::net` only (the workspace is offline):
+//!
+//! * **Gateway** ([`gateway`]): an HTTP/1.1 front door over the runtime.
+//!   `POST /v1/jobs` submits a JSON job spec ([`spec`]), `GET
+//!   /v1/jobs/{id}` polls, `GET /v1/jobs/{id}/wait` long-polls (204 on
+//!   expiry), `DELETE /v1/jobs/{id}` cancels; `/healthz` and `/metrics`
+//!   (Prometheus text) serve operations. Per-tenant bearer-token auth
+//!   with token-bucket rate limits and in-flight quotas; runtime
+//!   backpressure maps to `429` + `Retry-After`.
+//! * **Remote shard dispatch** ([`wire`], [`worker`]): a framed,
+//!   length-prefixed TCP protocol that ships individual `ShardTask`s to
+//!   worker processes (`dwi-server --worker --join <addr>`) and merges
+//!   the reports back bit-identically. The scheduler treats a connected
+//!   worker as extra capacity with its own service-time estimate and
+//!   falls back to local execution on connection loss — shards requeue,
+//!   no job is ever lost.
+//!
+//! Bit-identity across the wire is by construction: both sides build the
+//! kernel graph from the same canonical JSON spec, and every RNG stream
+//! derives from the global work-item id, so *where* a shard runs cannot
+//! change *what* it computes.
+
+pub mod client;
+pub mod gateway;
+pub mod http;
+pub mod spec;
+pub mod wire;
+pub mod worker;

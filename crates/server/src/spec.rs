@@ -1,0 +1,478 @@
+//! JSON job specifications: the wire-expressible description of every
+//! job the gateway accepts, shared verbatim with remote shard workers.
+//!
+//! The same canonical spec string builds the graph on both sides of the
+//! wire protocol, so a remotely executed shard instantiates *exactly*
+//! the kernels the gateway's runtime would — every RNG stream derives
+//! from the global work-item id, making placement irrelevant to values.
+//! Floats survive the JSON round trip exactly: Rust's `{}` formatting
+//! prints shortest-round-trip decimal strings, and every `f32` parameter
+//! passes through `f64` losslessly.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dwi_core::graph::{GraphPlan, KernelGraph};
+use dwi_core::{
+    calibration_kernel, ExecutionPlan, SeverityExpMix, SeverityScale, TruncatedNormalKernel,
+    WindowAggregate,
+};
+use dwi_hls::memory::BurstChannel;
+use dwi_hls::sim::SimConfig;
+use dwi_rng::{MtParams, NormalMethod, MT19937, MT521};
+use dwi_runtime::Priority;
+use dwi_trace::json::{escape_str, parse, Json};
+
+/// One parsed submission, ready for the runtime's front door.
+pub enum ParsedJob {
+    /// A kernel or multi-stage graph job (the shardable, remote-eligible
+    /// kind).
+    Graph {
+        graph: Arc<KernelGraph>,
+        plan: GraphPlan,
+        seed: u64,
+        shards: Option<u32>,
+        priority: Priority,
+        deadline: Option<Duration>,
+        /// Canonical graph spec (kernel + stages + name + edge depth):
+        /// what the wire protocol ships so a remote worker rebuilds the
+        /// identical graph.
+        graph_json: String,
+    },
+    /// A cycle-level transfer simulation ([`dwi_hls::sim::run`]), riding
+    /// the runtime's task lane.
+    Sim(SimConfig),
+    /// An analytic transfers-only model point
+    /// ([`BurstChannel::transfers_only_runtime`] +
+    /// [`BurstChannel::effective_bandwidth`]), riding the task lane.
+    Transfers {
+        channel: BurstChannel,
+        total: u64,
+        burst: u64,
+        workitems: u64,
+    },
+}
+
+/// Render a [`Json`] value canonically: object keys sorted (the parser's
+/// `BTreeMap` already is), numbers via `f64`'s shortest-round-trip
+/// display, strings escaped. `parse(render(v)) == v`.
+pub fn render_json(v: &Json) -> String {
+    match v {
+        Json::Null => "null".to_string(),
+        Json::Bool(b) => b.to_string(),
+        Json::Num(n) => n.to_string(),
+        Json::Str(s) => escape_str(s),
+        Json::Arr(items) => {
+            let inner: Vec<String> = items.iter().map(render_json).collect();
+            format!("[{}]", inner.join(","))
+        }
+        Json::Obj(map) => {
+            let inner: Vec<String> = map
+                .iter()
+                .map(|(k, v)| format!("{}:{}", escape_str(k), render_json(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+fn num(obj: &Json, key: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing or non-numeric field '{key}'"))
+}
+
+fn num_or(obj: &Json, key: &str, default: f64) -> Result<f64, String> {
+    match obj.get(key) {
+        None | Some(Json::Null) => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| format!("non-numeric field '{key}'")),
+    }
+}
+
+fn uint(obj: &Json, key: &str) -> Result<u64, String> {
+    let v = num(obj, key)?;
+    if v < 0.0 || v.fract() != 0.0 {
+        return Err(format!("field '{key}' must be a non-negative integer"));
+    }
+    Ok(v as u64)
+}
+
+fn str_field<'a>(obj: &'a Json, key: &str) -> Result<&'a str, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing or non-string field '{key}'"))
+}
+
+fn normal_method(name: &str) -> Result<NormalMethod, String> {
+    match name {
+        "marsaglia-bray" => Ok(NormalMethod::MarsagliaBray),
+        "icdf-fpga" => Ok(NormalMethod::IcdfFpga),
+        "icdf-cuda" => Ok(NormalMethod::IcdfCuda),
+        other => Err(format!("unknown normal method '{other}'")),
+    }
+}
+
+fn mt_params(v: &Json) -> Result<MtParams, String> {
+    match v {
+        Json::Str(s) if s == "mt19937" => Ok(MT19937),
+        Json::Str(s) if s == "mt521" => Ok(MT521),
+        Json::Obj(_) => Ok(MtParams {
+            exponent: uint(v, "exponent")? as u32,
+            n: uint(v, "n")? as usize,
+            m: uint(v, "m")? as usize,
+            r: uint(v, "r")? as u32,
+            a: uint(v, "a")? as u32,
+            u: uint(v, "u")? as u32,
+            d: uint(v, "d")? as u32,
+            s: uint(v, "s")? as u32,
+            b: uint(v, "b")? as u32,
+            t: uint(v, "t")? as u32,
+            c: uint(v, "c")? as u32,
+            l: uint(v, "l")? as u32,
+            f: uint(v, "f")? as u32,
+        }),
+        _ => Err("field 'mt' must be \"mt19937\", \"mt521\", or a parameter object".into()),
+    }
+}
+
+/// Serialize an [`MtParams`] back to its spec object — the exact inverse
+/// of the spec parser's `mt_params` on the object form.
+pub fn mt_params_json(mt: &MtParams) -> String {
+    format!(
+        "{{\"a\":{},\"b\":{},\"c\":{},\"d\":{},\"exponent\":{},\"f\":{},\"l\":{},\"m\":{},\"n\":{},\"r\":{},\"s\":{},\"t\":{},\"u\":{}}}",
+        mt.a, mt.b, mt.c, mt.d, mt.exponent, mt.f, mt.l, mt.m, mt.n, mt.r, mt.s, mt.t, mt.u
+    )
+}
+
+/// Build the source kernel a `"kernel"` object describes.
+fn build_source(k: &Json) -> Result<dwi_core::SharedWorkItemKernel, String> {
+    match str_field(k, "type")? {
+        "truncated-normal" => Ok(Arc::new(TruncatedNormalKernel::new(
+            num(k, "a")? as f32,
+            uint(k, "quota")?,
+            uint(k, "seed")? as u32,
+        ))),
+        "severity-exp-mix" => Ok(Arc::new(SeverityExpMix::new(
+            num(k, "w")? as f32,
+            num(k, "lambda1")? as f32,
+            num(k, "lambda2")? as f32,
+            uint(k, "quota")?,
+            uint(k, "seed")? as u32,
+        ))),
+        "calibration" => {
+            let mt = mt_params(
+                k.get("mt")
+                    .ok_or_else(|| "missing field 'mt'".to_string())?,
+            )?;
+            Ok(Arc::new(calibration_kernel(
+                normal_method(str_field(k, "normal")?)?,
+                mt,
+                num(k, "sector_variance")? as f32,
+                uint(k, "samples")? as u32,
+            )))
+        }
+        other => Err(format!("unknown kernel type '{other}'")),
+    }
+}
+
+/// Build the [`KernelGraph`] a graph spec object (`kernel` + optional
+/// `stages` + optional `name`) describes. Shared by the gateway and the
+/// wire worker — both sides of a remote dispatch call exactly this.
+pub fn build_graph(spec: &Json) -> Result<KernelGraph, String> {
+    let kernel = spec
+        .get("kernel")
+        .ok_or_else(|| "missing field 'kernel'".to_string())?;
+    let source = build_source(kernel)?;
+    let stages = match spec.get("stages") {
+        None | Some(Json::Null) => &[][..],
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| "field 'stages' must be an array".to_string())?,
+    };
+    if stages.is_empty() {
+        return Ok(KernelGraph::single(source));
+    }
+    let name = spec
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or("pipeline");
+    let mut graph = KernelGraph::pipeline(name, source);
+    for stage in stages {
+        graph = match str_field(stage, "type")? {
+            "window-aggregate" => {
+                let w = uint(stage, "window")? as u32;
+                if w < 1 {
+                    return Err("window must be at least 1".into());
+                }
+                graph.then(Arc::new(WindowAggregate::new(w)))
+            }
+            "severity-scale" => graph.then(Arc::new(SeverityScale::new(
+                num(stage, "w")? as f32,
+                num(stage, "lambda1")? as f32,
+                num(stage, "lambda2")? as f32,
+                uint(stage, "seed")? as u32,
+            ))),
+            other => return Err(format!("unknown stage type '{other}'")),
+        };
+    }
+    Ok(graph)
+}
+
+fn burst_channel(v: Option<&Json>) -> Result<BurstChannel, String> {
+    match v {
+        None | Some(Json::Null) => Ok(BurstChannel::config12()),
+        Some(Json::Str(s)) if s == "config12" => Ok(BurstChannel::config12()),
+        Some(Json::Str(s)) if s == "config34" => Ok(BurstChannel::config34()),
+        Some(obj @ Json::Obj(_)) => Ok(BurstChannel {
+            freq_hz: num(obj, "freq_hz")?,
+            cycles_per_beat: uint(obj, "cycles_per_beat")?,
+            arb_cycles: uint(obj, "arb_cycles")?,
+            pack_cycles_per_rn: uint(obj, "pack_cycles_per_rn")?,
+        }),
+        _ => Err("field 'channel' must be \"config12\", \"config34\", or an object".into()),
+    }
+}
+
+/// Build the [`ExecutionPlan`] a `"plan"` object describes: `workitems`
+/// required, everything else the library default.
+fn build_plan(p: &Json) -> Result<ExecutionPlan, String> {
+    let workitems = uint(p, "workitems")? as u32;
+    if workitems < 1 {
+        return Err("plan needs at least one work-item".into());
+    }
+    let mut plan = ExecutionPlan::new(workitems);
+    let local_size = num_or(p, "local_size", 1.0)? as u32;
+    if local_size < 1 {
+        return Err("local_size must be at least 1".into());
+    }
+    plan = plan.local_size(local_size);
+    let stream_depth = num_or(p, "stream_depth", 64.0)? as usize;
+    if stream_depth < 1 {
+        return Err("stream_depth must be at least 1".into());
+    }
+    plan = plan.stream_depth(stream_depth);
+    let burst = num_or(p, "burst_rns", 256.0)? as u64;
+    if burst < 16 || !burst.is_multiple_of(16) {
+        return Err("burst_rns must be a multiple of 16, at least 16".into());
+    }
+    plan = plan.burst_rns(burst);
+    if let Some(wb) = p.get("wid_base") {
+        plan = plan.wid_base(
+            wb.as_f64()
+                .ok_or_else(|| "non-numeric field 'wid_base'".to_string())? as u32,
+        );
+    }
+    match p.get("combining").and_then(Json::as_str) {
+        None | Some("device-level") => {}
+        Some("host-level") => plan = plan.combining(dwi_core::Combining::HostLevel),
+        Some(other) => return Err(format!("unknown combining '{other}'")),
+    }
+    if let Some(f) = p.get("freq_hz") {
+        plan = plan.freq_hz(
+            f.as_f64()
+                .ok_or_else(|| "non-numeric field 'freq_hz'".to_string())?,
+        );
+    }
+    plan = plan.channel(burst_channel(p.get("channel"))?);
+    Ok(plan)
+}
+
+fn sim_config(s: &Json) -> Result<SimConfig, String> {
+    Ok(SimConfig {
+        n_workitems: uint(s, "workitems")? as usize,
+        rns_per_workitem: uint(s, "rns_per_workitem")?,
+        reject_prob: num_or(s, "reject_prob", 0.0)?,
+        fifo_depth: num_or(s, "fifo_depth", 64.0)? as usize,
+        burst_rns: num_or(s, "burst_rns", 256.0)? as u64,
+        channel: burst_channel(s.get("channel"))?,
+        compute_enabled: matches!(s.get("compute"), Some(Json::Bool(true))),
+        seed: num_or(s, "seed", 1.0)? as u64,
+        trace: false,
+    })
+}
+
+/// Parse one `POST /v1/jobs` body. Exactly one of `kernel`, `sim`, or
+/// `transfers` selects the job kind; `kernel` takes the shardable path
+/// with optional `stages`, `plan`, `seed`, `shards`, `priority`,
+/// `deadline_ms`, and `edge_depth` (omitted: picked by
+/// [`GraphPlan::auto_edge_depth`] from the dataflow cost model).
+pub fn parse_job(body: &str) -> Result<ParsedJob, String> {
+    let root = parse(body)?;
+    if !matches!(root, Json::Obj(_)) {
+        return Err("job spec must be a JSON object".into());
+    }
+
+    if let Some(s) = root.get("sim") {
+        return Ok(ParsedJob::Sim(sim_config(s)?));
+    }
+    if let Some(t) = root.get("transfers") {
+        return Ok(ParsedJob::Transfers {
+            channel: burst_channel(t.get("channel"))?,
+            total: uint(t, "total")?,
+            burst: uint(t, "burst")?,
+            workitems: uint(t, "workitems")?,
+        });
+    }
+
+    let graph = Arc::new(build_graph(&root)?);
+    let plan_obj = root
+        .get("plan")
+        .ok_or_else(|| "missing field 'plan'".to_string())?;
+    let base = build_plan(plan_obj)?;
+    let mut plan = GraphPlan::new(base);
+    plan = match root.get("edge_depth") {
+        None | Some(Json::Null) => plan.auto_edge_depth(&graph),
+        Some(v) => {
+            let d = v
+                .as_f64()
+                .ok_or_else(|| "non-numeric field 'edge_depth'".to_string())?
+                as usize;
+            if d < 1 {
+                return Err("edge_depth must be at least 1".into());
+            }
+            plan.edge_depth(d)
+        }
+    };
+    let seed = num_or(&root, "seed", 0.0)? as u64;
+    let shards = match root.get("shards") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(
+            v.as_f64()
+                .ok_or_else(|| "non-numeric field 'shards'".to_string())? as u32,
+        ),
+    };
+    let priority = match root.get("priority").and_then(Json::as_str) {
+        None | Some("normal") => Priority::Normal,
+        Some("high") => Priority::High,
+        Some("low") => Priority::Low,
+        Some(other) => return Err(format!("unknown priority '{other}'")),
+    };
+    let deadline = match root.get("deadline_ms") {
+        None | Some(Json::Null) => None,
+        Some(v) => Some(Duration::from_millis(
+            v.as_f64()
+                .ok_or_else(|| "non-numeric field 'deadline_ms'".to_string())? as u64,
+        )),
+    };
+
+    // Canonical wire form of the graph half: only the fields that decide
+    // values, re-rendered with sorted keys. Edge depth rides along so a
+    // remote worker's report carries identical edge accounting.
+    let mut wire = BTreeMap::new();
+    for key in ["kernel", "stages", "name"] {
+        if let Some(v) = root.get(key) {
+            wire.insert(key.to_string(), v.clone());
+        }
+    }
+    wire.insert("edge_depth".to_string(), Json::Num(plan.depth() as f64));
+    let graph_json = render_json(&Json::Obj(wire));
+
+    Ok(ParsedJob::Graph {
+        graph,
+        plan,
+        seed,
+        shards,
+        priority,
+        deadline,
+        graph_json,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_render_round_trips() {
+        let src = r#"{"b": 2, "a": [1.5, "x\"y", null, true], "z": {"k": 256}}"#;
+        let v = parse(src).unwrap();
+        let canon = render_json(&v);
+        assert_eq!(parse(&canon).unwrap(), v);
+        // Canonical form is a fixpoint.
+        assert_eq!(render_json(&parse(&canon).unwrap()), canon);
+        // Keys come out sorted.
+        assert!(canon.find("\"a\"").unwrap() < canon.find("\"b\"").unwrap());
+    }
+
+    #[test]
+    fn kernel_spec_builds_the_same_graph_on_both_sides() {
+        let body = r#"{
+            "kernel": {"type": "severity-exp-mix", "w": 0.5, "lambda1": 2.0,
+                       "lambda2": 0.5, "quota": 32, "seed": 5},
+            "stages": [{"type": "window-aggregate", "window": 4},
+                       {"type": "severity-scale", "w": 0.5, "lambda1": 2.0,
+                        "lambda2": 0.5, "seed": 5}],
+            "name": "credit",
+            "plan": {"workitems": 2},
+            "seed": 5
+        }"#;
+        let ParsedJob::Graph {
+            graph,
+            plan,
+            seed,
+            graph_json,
+            ..
+        } = parse_job(body).expect("valid spec")
+        else {
+            panic!("kernel spec parses to a graph job");
+        };
+        assert_eq!(seed, 5);
+        assert_eq!(graph.len(), 3);
+        assert_eq!(graph.name(), "credit");
+        // Omitted edge_depth went through the auto pick and is pinned in
+        // the wire form, so the worker sees the same effective plan.
+        let remote = build_graph(&parse(&graph_json).unwrap()).expect("wire form rebuilds");
+        assert_eq!(remote.topology(), graph.topology());
+        assert_eq!(
+            parse(&graph_json)
+                .unwrap()
+                .get("edge_depth")
+                .unwrap()
+                .as_f64(),
+            Some(plan.depth() as f64)
+        );
+    }
+
+    #[test]
+    fn calibration_spec_builds() {
+        let body = r#"{
+            "kernel": {"type": "calibration", "normal": "marsaglia-bray",
+                       "mt": "mt19937", "sector_variance": 4.0, "samples": 1000},
+            "plan": {"workitems": 1}
+        }"#;
+        let ParsedJob::Graph { graph, .. } = parse_job(body).expect("valid") else {
+            panic!("calibration is a kernel job");
+        };
+        assert_eq!(graph.source().name(), "gamma-listing2");
+    }
+
+    #[test]
+    fn task_specs_build() {
+        let sim = r#"{"sim": {"workitems": 4, "rns_per_workitem": 4096,
+                              "channel": "config34"}}"#;
+        assert!(matches!(parse_job(sim), Ok(ParsedJob::Sim(_))));
+        let tr = r#"{"transfers": {"total": 1000000, "burst": 256, "workitems": 6}}"#;
+        assert!(matches!(parse_job(tr), Ok(ParsedJob::Transfers { .. })));
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "{",
+            "[]",
+            r#"{"kernel": {"type": "nope"}, "plan": {"workitems": 1}}"#,
+            r#"{"kernel": {"type": "truncated-normal"}, "plan": {"workitems": 1}}"#,
+            r#"{"kernel": {"type": "truncated-normal", "a": 1.5, "quota": 8, "seed": 1}}"#,
+            r#"{"kernel": {"type": "truncated-normal", "a": 1.5, "quota": 8, "seed": 1},
+                "plan": {"workitems": 0}}"#,
+            r#"{"kernel": {"type": "truncated-normal", "a": 1.5, "quota": 8, "seed": 1},
+                "plan": {"workitems": 1, "burst_rns": 7}}"#,
+        ] {
+            assert!(parse_job(bad).is_err(), "accepted: {bad}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Worker mode: join a coordinator and execute shard frames.
+//!
+//! `dwi-server --worker --join <addr>` connects to a gateway's cluster
+//! listener, sends HELLO, and then serves SHARD frames one at a time:
+//! rebuild the kernel graph from the canonical spec JSON (the *same*
+//! [`crate::spec::build_graph`] the gateway used), decode the plan
+//! slice, run it on the named backend, and send the report back
+//! bit-exactly. Any per-shard failure answers with an ERROR frame — the
+//! coordinator falls back to local execution; a connection-level failure
+//! ends the loop (the coordinator notices on its next dispatch).
+
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use dwi_runtime::named_backend;
+use dwi_trace::json::parse;
+use dwi_trace::server_metrics as sm;
+use dwi_trace::TraceSink;
+
+use crate::spec::build_graph;
+use crate::wire::{
+    self, decode_shard, encode_error, encode_hello, encode_result, read_frame, write_frame,
+    FrameType, WireError,
+};
+
+/// Poll interval for the shutdown flag while idle between frames.
+const IDLE_POLL: Duration = Duration::from_millis(500);
+
+/// Execute one decoded shard message. Split out so the loop and the
+/// tests share the exact execution path.
+pub fn execute_shard(msg: &wire::ShardMsg) -> Result<dwi_core::graph::GraphReport, String> {
+    wire::intern_backend(&msg.backend).map_err(|e| e.to_string())?;
+    let spec = parse(&msg.graph_json).map_err(|e| format!("bad graph spec: {e}"))?;
+    let graph = build_graph(&spec)?;
+    let backend = named_backend(&msg.backend);
+    Ok(backend.run(&graph, &msg.plan))
+}
+
+/// Join a coordinator and serve shards until the connection drops or
+/// `shutdown` is set. Returns `Ok(())` on a clean coordinator-side
+/// close, the wire error otherwise.
+pub fn run_worker(
+    join_addr: &str,
+    label: &str,
+    sink: &TraceSink,
+    shutdown: &AtomicBool,
+) -> Result<(), WireError> {
+    let mut stream = TcpStream::connect(join_addr)?;
+    write_frame(&mut stream, FrameType::Hello, &encode_hello(label))?;
+    serve_shards(&mut stream, sink, shutdown)
+}
+
+/// The frame loop over an established, HELLO'd connection.
+pub fn serve_shards(
+    stream: &mut TcpStream,
+    sink: &TraceSink,
+    shutdown: &AtomicBool,
+) -> Result<(), WireError> {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+        let frame = match read_frame(stream, Some(IDLE_POLL)) {
+            Ok(f) => f,
+            Err(WireError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // idle; re-check the shutdown flag
+            }
+            Err(e) => return Err(e),
+        };
+        let Some((ty, payload)) = frame else {
+            return Ok(()); // coordinator closed cleanly
+        };
+        match ty {
+            FrameType::Shard => {
+                let msg = match decode_shard(&payload) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        // Sequence number unknown; 0 tells the
+                        // coordinator "your frame, not your shard".
+                        write_frame(stream, FrameType::Error, &encode_error(0, &e.to_string()))?;
+                        continue;
+                    }
+                };
+                match execute_shard(&msg) {
+                    Ok(report) => {
+                        sink.counter(sm::WORKER_SHARDS, &[("backend", &msg.backend)])
+                            .inc();
+                        write_frame(stream, FrameType::Result, &encode_result(msg.seq, &report))?;
+                    }
+                    Err(reason) => {
+                        write_frame(stream, FrameType::Error, &encode_error(msg.seq, &reason))?;
+                    }
+                }
+            }
+            // Only the coordinator-to-worker direction reaches here;
+            // anything else is a protocol violation worth hanging up on.
+            _ => return Err(WireError::Decode("unexpected frame type from coordinator")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwi_core::graph::GraphPlan;
+    use dwi_core::ExecutionPlan;
+
+    #[test]
+    fn execute_shard_matches_direct_backend_run() {
+        use dwi_core::Backend;
+        let graph_json = r#"{"kernel":{"a":1.5,"quota":24,"seed":9,"type":"truncated-normal"}}"#;
+        let msg = wire::ShardMsg {
+            seq: 1,
+            graph_json: graph_json.to_string(),
+            backend: "functional-decoupled".to_string(),
+            plan: GraphPlan::new(ExecutionPlan::new(4).wid_base(2)),
+        };
+        let remote = execute_shard(&msg).expect("runs");
+        let local_graph = build_graph(&parse(graph_json).unwrap()).unwrap();
+        let local = dwi_core::FunctionalDecoupled.run(&local_graph, &msg.plan);
+        assert_eq!(remote.stages[0].samples, local.stages[0].samples);
+        assert_eq!(remote.stages[0].iterations, local.stages[0].iterations);
+        assert_eq!(remote.cycles, local.cycles);
+    }
+
+    #[test]
+    fn unknown_backend_is_an_error_not_a_panic() {
+        let msg = wire::ShardMsg {
+            seq: 1,
+            graph_json: r#"{"kernel":{"a":1.5,"quota":8,"seed":1,"type":"truncated-normal"}}"#
+                .to_string(),
+            backend: "warp-drive".to_string(),
+            plan: GraphPlan::new(ExecutionPlan::new(1)),
+        };
+        assert!(execute_shard(&msg).is_err());
+    }
+}

@@ -1,0 +1,180 @@
+//! Gateway end-to-end parity: the paper's headline artifacts computed
+//! through the HTTP front door are byte-identical to the inline paths.
+//!
+//! Table III's driver takes a pluggable overhead measurer
+//! ([`table3_with`]); here the measurer POSTs a calibration-kernel spec
+//! to a live gateway and reconstructs [`RejectionStats`] from the
+//! response — attempts and accepted survive JSON exactly (u64 < 2^53),
+//! so the derived overhead, and every model cell downstream of it, is
+//! the same `f64` bit for bit. Fig. 7's points ride the task lane the
+//! same way: cycle counts and analytic `f64`s round-trip losslessly
+//! through shortest-round-trip decimal rendering.
+
+use std::time::{Duration, Instant};
+
+use dwi_core::experiment::{measure_rejection_overhead, table3_with};
+use dwi_core::Workload;
+use dwi_hls::memory::BurstChannel;
+use dwi_hls::sim::{run, SimConfig};
+use dwi_rng::{NormalMethod, RejectionStats};
+use dwi_server::client;
+use dwi_server::gateway::{start, GatewayConfig, RunningGateway};
+use dwi_server::spec::mt_params_json;
+use dwi_trace::json::{parse, Json};
+
+fn start_gateway(workers: usize) -> RunningGateway {
+    start(GatewayConfig::new(workers), "127.0.0.1:0", None).expect("gateway binds")
+}
+
+/// Submit a spec and long-poll the job to its `result` object.
+fn submit_and_wait(gw: &RunningGateway, spec: &str) -> Json {
+    let r = client::post_json(gw.addr, "/v1/jobs", None, spec).expect("post");
+    assert_eq!(r.status, 202, "body: {}", r.text());
+    let id = parse(r.text())
+        .expect("json body")
+        .get("id")
+        .and_then(|v| v.as_f64())
+        .expect("id field") as u64;
+    let deadline = Instant::now() + Duration::from_secs(300);
+    loop {
+        let r = client::get(
+            gw.addr,
+            &format!("/v1/jobs/{id}/wait?timeout_ms=20000"),
+            None,
+        )
+        .expect("wait");
+        if r.status == 200 {
+            let body = parse(r.text()).expect("terminal body");
+            assert_eq!(
+                body.get("state").and_then(|v| v.as_str()),
+                Some("done"),
+                "job failed: {}",
+                r.text()
+            );
+            return body.get("result").expect("result object").clone();
+        }
+        assert_eq!(r.status, 204);
+        assert!(Instant::now() < deadline, "job {id} never completed");
+    }
+}
+
+fn u64_field(result: &Json, key: &str) -> u64 {
+    result
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing numeric field '{key}'")) as u64
+}
+
+#[test]
+fn table3_over_http_is_byte_identical_to_inline() {
+    const SAMPLES: u32 = 20_000;
+    let w = Workload::paper();
+    let gw = start_gateway(2);
+
+    let http_measure = |normal: NormalMethod, mt: dwi_rng::MtParams, sv: f32, samples: u32| {
+        let name = match normal {
+            NormalMethod::MarsagliaBray => "marsaglia-bray",
+            NormalMethod::IcdfFpga => "icdf-fpga",
+            NormalMethod::IcdfCuda => "icdf-cuda",
+        };
+        let spec = format!(
+            r#"{{"kernel":{{"type":"calibration","normal":"{name}","mt":{mt},"sector_variance":{sv},"samples":{samples}}},"plan":{{"workitems":1}}}}"#,
+            mt = mt_params_json(&mt),
+        );
+        let result = submit_and_wait(&gw, &spec);
+        let stats = RejectionStats {
+            attempts: u64_field(&result, "attempts"),
+            accepted: u64_field(&result, "accepted"),
+        };
+        stats.overhead()
+    };
+
+    let over_http = table3_with(&w, SAMPLES, http_measure);
+    let inline = table3_with(&w, SAMPLES, measure_rejection_overhead);
+
+    assert_eq!(over_http.rows.len(), inline.rows.len());
+    for (h, i) in over_http.rows.iter().zip(&inline.rows) {
+        assert_eq!(h.label, i.label);
+        for (hp, ip) in [(h.cpu, i.cpu), (h.gpu, i.gpu), (h.phi, i.phi)] {
+            assert_eq!(hp.ms.to_bits(), ip.ms.to_bits(), "{}: ms differ", h.label);
+            assert_eq!(
+                hp.rejection_overhead.to_bits(),
+                ip.rejection_overhead.to_bits(),
+                "{}: overhead differs",
+                h.label
+            );
+        }
+        match (h.fpga, i.fpga) {
+            (Some(hf), Some(inf)) => {
+                assert_eq!(hf.ms.to_bits(), inf.ms.to_bits(), "{}: fpga ms", h.label);
+                assert_eq!(
+                    hf.rejection_overhead.to_bits(),
+                    inf.rejection_overhead.to_bits()
+                );
+            }
+            (None, None) => {}
+            _ => panic!("{}: fpga presence differs", h.label),
+        }
+    }
+    // The rendered tables — what the CI parity diff pins — match too.
+    assert_eq!(over_http.render(), inline.render());
+    gw.stop();
+}
+
+#[test]
+fn fig7_points_over_http_are_exact() {
+    let gw = start_gateway(2);
+
+    // Analytic transfers-only model points, both bitstream channels.
+    for (channel_name, channel) in [
+        ("config12", BurstChannel::config12()),
+        ("config34", BurstChannel::config34()),
+    ] {
+        for (burst, workitems) in [(64u64, 1u64), (256, 6), (1024, 8)] {
+            let total = 629_145_600u64;
+            let spec = format!(
+                r#"{{"transfers":{{"channel":"{channel_name}","total":{total},"burst":{burst},"workitems":{workitems}}}}}"#
+            );
+            let result = submit_and_wait(&gw, &spec);
+            let runtime_s = result
+                .get("runtime_s")
+                .and_then(Json::as_f64)
+                .expect("runtime_s");
+            let bandwidth = result
+                .get("bandwidth_rns_per_s")
+                .and_then(Json::as_f64)
+                .expect("bandwidth_rns_per_s");
+            assert_eq!(
+                runtime_s.to_bits(),
+                channel
+                    .transfers_only_runtime(total, burst, workitems)
+                    .to_bits(),
+                "{channel_name} burst={burst} n={workitems}: runtime differs"
+            );
+            assert_eq!(
+                bandwidth.to_bits(),
+                channel.effective_bandwidth(burst, workitems).to_bits(),
+                "{channel_name} burst={burst} n={workitems}: bandwidth differs"
+            );
+        }
+    }
+
+    // Cycle-level simulator cross-check at a scaled-down operating point.
+    let cfg = SimConfig {
+        n_workitems: 6,
+        rns_per_workitem: 32_768,
+        reject_prob: 0.0,
+        fifo_depth: 64,
+        burst_rns: 256,
+        channel: BurstChannel::config12(),
+        compute_enabled: false,
+        seed: 1,
+        trace: false,
+    };
+    let spec = r#"{"sim":{"workitems":6,"rns_per_workitem":32768,"channel":"config12","seed":1}}"#;
+    let result = submit_and_wait(&gw, spec);
+    let expect = run(&cfg);
+    assert_eq!(u64_field(&result, "cycles"), expect.cycles);
+    assert_eq!(u64_field(&result, "channel_busy"), expect.channel_busy);
+    gw.stop();
+}

@@ -1,0 +1,284 @@
+//! Remote shard dispatch end-to-end: a worker on the other side of a
+//! real TCP connection executes the gateway's shards and the merged
+//! results are byte-identical to an inline (no-cluster) gateway's — the
+//! paper's placement-independence claim carried across a network hop.
+//! Plus the failure half: a worker that dies mid-shard triggers requeue
+//! and local fallback with exact job conservation.
+
+use std::io::Read;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+use dwi_runtime::JobSpec;
+use dwi_server::client;
+use dwi_server::gateway::{start, GatewayConfig, RunningGateway};
+use dwi_server::spec::render_json;
+use dwi_server::wire;
+use dwi_server::worker::run_worker;
+use dwi_trace::json::parse;
+use dwi_trace::metrics::base_name;
+use dwi_trace::{runtime_metrics as fam, Recorder};
+
+/// Park the gateway's single local worker; returns the release sender.
+fn park_worker(gw: &RunningGateway) -> (dwi_runtime::JobHandle, mpsc::Sender<()>) {
+    let (release_tx, release_rx) = mpsc::channel();
+    let (started_tx, started_rx) = mpsc::channel();
+    let handle = gw
+        .gateway()
+        .runtime()
+        .submit(JobSpec::task(999, move || {
+            started_tx.send(()).ok();
+            release_rx.recv().ok();
+        }))
+        .expect("blocker admitted");
+    started_rx
+        .recv_timeout(Duration::from_secs(10))
+        .expect("worker picked up blocker");
+    (handle, release_tx)
+}
+
+/// Submit a spec, long-poll to completion, and return the canonical
+/// rendering of the `result` sub-object (ids differ between gateways;
+/// results must not).
+fn result_of(gw: &RunningGateway, spec: &str) -> String {
+    let r = client::post_json(gw.addr, "/v1/jobs", None, spec).expect("post");
+    assert_eq!(r.status, 202, "body: {}", r.text());
+    let id = parse(r.text())
+        .expect("json body")
+        .get("id")
+        .and_then(|v| v.as_f64())
+        .expect("id field") as u64;
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let r = client::get(
+            gw.addr,
+            &format!("/v1/jobs/{id}/wait?timeout_ms=10000"),
+            None,
+        )
+        .expect("wait");
+        if r.status == 200 {
+            let body = parse(r.text()).expect("terminal body");
+            assert_eq!(
+                body.get("state").and_then(|v| v.as_str()),
+                Some("done"),
+                "job failed: {}",
+                r.text()
+            );
+            return render_json(body.get("result").expect("result object"));
+        }
+        assert_eq!(r.status, 204, "body: {}", r.text());
+        assert!(Instant::now() < deadline, "job {id} never completed");
+    }
+}
+
+/// Sum a runtime counter family across label sets on a gateway's shared
+/// recorder.
+fn family_total(gw: &RunningGateway, name: &str) -> u64 {
+    gw.gateway()
+        .recorder()
+        .metrics()
+        .counters()
+        .iter()
+        .filter(|(k, _)| base_name(k) == name)
+        .map(|(_, v)| *v)
+        .sum()
+}
+
+fn wait_for(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Run `spec` on a gateway whose only local worker is parked and whose
+/// only capacity is a real-TCP remote worker; compare the result to an
+/// inline gateway's byte-for-byte.
+fn remote_matches_inline(spec: &str) {
+    let gw =
+        start(GatewayConfig::new(1), "127.0.0.1:0", Some("127.0.0.1:0")).expect("gateway binds");
+    let cluster = gw.cluster_addr.expect("cluster listener requested");
+    let (blocker, release) = park_worker(&gw);
+
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let worker_rec = Recorder::new();
+    let worker = {
+        let shutdown = Arc::clone(&shutdown);
+        let sink = worker_rec.sink();
+        std::thread::spawn(move || {
+            run_worker(&cluster.to_string(), "test-worker", &sink, &shutdown)
+        })
+    };
+
+    let remote_result = result_of(&gw, spec);
+    assert!(
+        family_total(&gw, fam::REMOTE_SHARDS_EXECUTED) >= 1,
+        "the remote pool must have executed at least one shard"
+    );
+
+    let inline = start(GatewayConfig::new(2), "127.0.0.1:0", None).expect("inline gateway binds");
+    let inline_result = result_of(&inline, spec);
+    assert_eq!(
+        remote_result, inline_result,
+        "remote execution must be byte-identical to inline"
+    );
+
+    release.send(()).ok();
+    blocker.wait().expect("blocker completes");
+    shutdown.store(true, Ordering::SeqCst);
+    worker
+        .join()
+        .expect("worker thread")
+        .expect("clean worker exit");
+    let worker_shards: u64 = worker_rec
+        .metrics()
+        .counters()
+        .iter()
+        .filter(|(k, _)| base_name(k) == dwi_trace::server_metrics::WORKER_SHARDS)
+        .map(|(_, v)| *v)
+        .sum();
+    assert!(worker_shards >= 1, "the worker counted its shards");
+    gw.stop();
+    inline.stop();
+}
+
+#[test]
+fn single_kernel_job_executes_remotely_bit_identically() {
+    remote_matches_inline(
+        r#"{"kernel":{"type":"truncated-normal","a":1.5,"quota":64,"seed":11},"plan":{"workitems":4,"local_size":2}}"#,
+    );
+}
+
+#[test]
+fn multi_stage_graph_executes_remotely_with_auto_edge_depth() {
+    // No explicit edge_depth: the gateway pins auto_edge_depth() into the
+    // canonical spec it ships, so the worker builds the identical plan.
+    let spec = r#"{"kernel":{"type":"severity-exp-mix","w":0.3,"lambda1":1.0,"lambda2":0.1,"quota":32,"seed":13},"stages":[{"type":"window-aggregate","window":4},{"type":"severity-scale","w":0.3,"lambda1":1.0,"lambda2":0.1,"seed":13}],"name":"remote-credit","plan":{"workitems":4}}"#;
+    remote_matches_inline(spec);
+
+    // The remote result is a full graph report: all three stages ran.
+    let inline = start(GatewayConfig::new(2), "127.0.0.1:0", None).expect("gateway binds");
+    let body = result_of(&inline, spec);
+    let result = parse(&body).expect("graph result parses");
+    assert_eq!(
+        result.get("stages").map(|s| match s {
+            dwi_trace::json::Json::Arr(v) => v.len(),
+            _ => 0,
+        }),
+        Some(3)
+    );
+    inline.stop();
+}
+
+#[test]
+fn dead_worker_triggers_requeue_and_local_fallback_with_conservation() {
+    let spec = r#"{"kernel":{"type":"truncated-normal","a":1.5,"quota":64,"seed":17},"plan":{"workitems":2}}"#;
+    let gw =
+        start(GatewayConfig::new(1), "127.0.0.1:0", Some("127.0.0.1:0")).expect("gateway binds");
+    let cluster = gw.cluster_addr.expect("cluster listener requested");
+    let (blocker, release) = park_worker(&gw);
+
+    // An evil worker: HELLO, swallow the first SHARD frame, drop dead.
+    let evil = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(cluster).expect("evil connects");
+        wire::write_frame(
+            &mut stream,
+            wire::FrameType::Hello,
+            &wire::encode_hello("evil"),
+        )
+        .expect("hello");
+        let mut len = [0u8; 4];
+        stream.read_exact(&mut len).expect("shard frame header");
+        // Connection dropped here with the shard un-answered.
+    });
+
+    let r = client::post_json(gw.addr, "/v1/jobs", None, spec).expect("post");
+    assert_eq!(r.status, 202, "body: {}", r.text());
+    let id = parse(r.text())
+        .expect("json")
+        .get("id")
+        .and_then(|v| v.as_f64())
+        .expect("id") as u64;
+
+    // The coordinator must notice the death and requeue the shard.
+    wait_for(
+        || family_total(&gw, fam::REMOTE_DISCONNECTS) >= 1,
+        "remote disconnect",
+    );
+    assert!(family_total(&gw, fam::REMOTE_REQUEUED) >= 1);
+    evil.join().expect("evil worker thread");
+
+    // Only now release the local worker: completion proves the fallback.
+    release.send(()).ok();
+    blocker.wait().expect("blocker completes");
+    let r = client::get(
+        gw.addr,
+        &format!("/v1/jobs/{id}/wait?timeout_ms=30000"),
+        None,
+    )
+    .expect("wait");
+    assert_eq!(r.status, 200, "body: {}", r.text());
+    let body = parse(r.text()).expect("terminal body");
+    assert_eq!(body.get("state").and_then(|v| v.as_str()), Some("done"));
+
+    // The failed-over result still equals an inline gateway's.
+    let inline = start(GatewayConfig::new(2), "127.0.0.1:0", None).expect("gateway binds");
+    assert_eq!(
+        render_json(body.get("result").expect("result")),
+        result_of(&inline, spec)
+    );
+    inline.stop();
+
+    // Conservation: nothing lost, nothing double-counted — the requeued
+    // shard completed exactly once.
+    wait_for(
+        || {
+            let submitted = family_total(&gw, fam::JOBS_SUBMITTED);
+            let terminal = family_total(&gw, fam::JOBS_COMPLETED)
+                + family_total(&gw, fam::JOBS_REJECTED)
+                + family_total(&gw, fam::JOBS_CANCELLED)
+                + family_total(&gw, fam::JOBS_EXPIRED);
+            submitted >= 2 && submitted == terminal
+        },
+        "conservation identity",
+    );
+    assert_eq!(family_total(&gw, fam::REMOTE_SHARDS_EXECUTED), 0);
+    gw.stop();
+}
+
+#[test]
+fn worker_binary_joins_over_two_processes_and_matches_inline() {
+    let spec = r#"{"kernel":{"type":"truncated-normal","a":1.5,"quota":48,"seed":19},"plan":{"workitems":4,"local_size":2}}"#;
+    let gw =
+        start(GatewayConfig::new(1), "127.0.0.1:0", Some("127.0.0.1:0")).expect("gateway binds");
+    let cluster = gw.cluster_addr.expect("cluster listener requested");
+    let (blocker, release) = park_worker(&gw);
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_dwi-server"))
+        .args([
+            "--worker",
+            "--join",
+            &cluster.to_string(),
+            "--label",
+            "proc",
+        ])
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .expect("worker process spawns");
+
+    let remote_result = result_of(&gw, spec);
+    assert!(family_total(&gw, fam::REMOTE_SHARDS_EXECUTED) >= 1);
+
+    let inline = start(GatewayConfig::new(2), "127.0.0.1:0", None).expect("gateway binds");
+    assert_eq!(remote_result, result_of(&inline, spec));
+    inline.stop();
+
+    release.send(()).ok();
+    blocker.wait().expect("blocker completes");
+    child.kill().ok();
+    child.wait().ok();
+    gw.stop();
+}

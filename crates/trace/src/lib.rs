@@ -45,6 +45,7 @@ pub mod json;
 pub mod metrics;
 pub mod recorder;
 pub mod runtime_metrics;
+pub mod server_metrics;
 
 pub use event::{EventKind, ProcessKind, TraceEvent, TrackId};
 pub use flight::FlightRecorder;

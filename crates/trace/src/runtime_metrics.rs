@@ -117,6 +117,32 @@ pub const GRAPH_STAGE_STALL_SECONDS: &str = "dwi_runtime_graph_stage_stall_secon
 /// starved.
 pub const GRAPH_EDGE_HIGH_WATER: &str = "dwi_runtime_graph_edge_high_water";
 
+/// Counter: submissions that attached as waiters on an identical job
+/// already in flight (same kernel, plan and seed) instead of re-running
+/// it — the open-loop analogue of a cache hit, labelled
+/// `leader="<job id>"`-free (unlabelled) so storms aggregate cheaply.
+pub const INFLIGHT_DEDUP: &str = "dwi_runtime_inflight_dedup_total";
+
+/// Gauge: remote worker pools currently attached to the scheduler (each
+/// connected `dwi-server --worker` counts once).
+pub const REMOTE_WORKERS: &str = "dwi_runtime_remote_workers";
+
+/// Counter: shards executed on a remote worker pool and merged back,
+/// labelled `remote="<label>"`.
+pub const REMOTE_SHARDS_EXECUTED: &str = "dwi_runtime_remote_shards_executed_total";
+
+/// Histogram (log-scale buckets): round-trip seconds one shard spent on a
+/// remote pool — dispatch, remote execution, and the result frame back.
+pub const REMOTE_SHARD_LATENCY: &str = "dwi_runtime_remote_shard_latency_seconds";
+
+/// Counter: remote-pool connection losses (send/receive failure or
+/// response timeout), labelled `remote="<label>"`. Every disconnect
+/// requeues the in-flight shard locally — no job is lost.
+pub const REMOTE_DISCONNECTS: &str = "dwi_runtime_remote_disconnects_total";
+
+/// Counter: shards requeued to the local pool after a remote failure.
+pub const REMOTE_REQUEUED: &str = "dwi_runtime_remote_requeued_shards_total";
+
 /// Every family the runtime exports — the conservation test walks this
 /// list to assert a mixed run leaves no family silent, and the README's
 /// observability table documents exactly these names.
@@ -147,4 +173,10 @@ pub const ALL: &[&str] = &[
     GRAPH_JOBS,
     GRAPH_STAGE_STALL_SECONDS,
     GRAPH_EDGE_HIGH_WATER,
+    INFLIGHT_DEDUP,
+    REMOTE_WORKERS,
+    REMOTE_SHARDS_EXECUTED,
+    REMOTE_SHARD_LATENCY,
+    REMOTE_DISCONNECTS,
+    REMOTE_REQUEUED,
 ];
