@@ -12,8 +12,12 @@
 //!
 //! The throughput knobs ride the same flags the figure binaries use:
 //! `--batch <N> [--batch-window-ms M]` turns on the coalescing stage
-//! (fusing up to N same-shaped queued jobs into one dispatch) and
-//! `--adaptive` the shard-count controller. `--compare` runs the same
+//! (fusing up to N same-shaped queued jobs into one dispatch — and, for
+//! quota-exact kernels, cross-quota near-misses padded up to a common
+//! geometry under the `--max-pad-ratio` waste cap, default from the
+//! dwi-hls cost model) and `--adaptive` the shard-count controller,
+//! whose small-job decision closes on the windowed p99 of per-group
+//! service time once enough shards have completed. `--compare` runs the same
 //! load twice — once with the knobs off, once with them on — and embeds
 //! the untuned pass as a `"baseline"` object in the JSON, so the
 //! before/after throughput, latency and mean batch occupancy land in one
@@ -83,6 +87,7 @@ struct ServeArgs {
     queue_bound: usize,
     batch: Option<usize>,
     batch_window_ms: u64,
+    max_pad_ratio: Option<f64>,
     adaptive: bool,
     compare: bool,
     async_mode: bool,
@@ -108,6 +113,7 @@ impl ServeArgs {
             queue_bound: 64,
             batch: None,
             batch_window_ms: 0,
+            max_pad_ratio: None,
             adaptive: false,
             compare: false,
             async_mode: false,
@@ -137,6 +143,10 @@ impl ServeArgs {
                 "--batch" => out.batch = Some(next("--batch").parse().expect("job count")),
                 "--batch-window-ms" => {
                     out.batch_window_ms = next("--batch-window-ms").parse().expect("milliseconds")
+                }
+                "--max-pad-ratio" => {
+                    out.max_pad_ratio =
+                        Some(next("--max-pad-ratio").parse().expect("ratio in [0, 1)"))
                 }
                 "--adaptive" => out.adaptive = true,
                 "--compare" => out.compare = true,
@@ -185,6 +195,9 @@ impl ServeArgs {
         if tuned {
             if let Some(batch) = self.batch {
                 cfg = cfg.batching(batch, Duration::from_millis(self.batch_window_ms));
+            }
+            if let Some(ratio) = self.max_pad_ratio {
+                cfg = cfg.max_pad_ratio(ratio);
             }
             if self.adaptive {
                 cfg = cfg.adaptive(AdaptiveSharding::new());
@@ -253,6 +266,12 @@ struct Summary {
     rejections: u64,
     batches: u64,
     batched_jobs: u64,
+    /// Idle no-op work-item slots dispatched by cross-quota padding
+    /// (0 while every batch fuses strictly).
+    padded_slots: u64,
+    /// Mean per-batch pad ratio (padded slots / total slots), 0 with no
+    /// fused dispatches.
+    mean_pad_ratio: f64,
     /// Completed multi-stage graph jobs (0 unless `--graph`).
     graph_jobs: u64,
     /// `try_submit` backpressure rejections (0 for closed-loop passes,
@@ -261,8 +280,15 @@ struct Summary {
 }
 
 impl Summary {
+    /// Mean *real* members per fused dispatch. `batched_jobs` counts
+    /// logical jobs only — cross-quota padding adds idle slots, never
+    /// members — so the occupancy a tenant reads is in units of actual
+    /// work, and a run with no batches reads 0 rather than a phantom 1.
     fn mean_batch_occupancy(&self) -> f64 {
-        self.batched_jobs as f64 / self.batches.max(1) as f64
+        if self.batches == 0 {
+            return 0.0;
+        }
+        self.batched_jobs as f64 / self.batches as f64
     }
 }
 
@@ -492,6 +518,8 @@ fn run_load_http(args: &ServeArgs) -> Summary {
         rejections: counter("dwi_runtime_jobs_rejected_total"),
         batches: 0,
         batched_jobs: 0,
+        padded_slots: 0,
+        mean_pad_ratio: 0.0,
         graph_jobs: counter("dwi_runtime_graph_jobs_total"),
         would_blocks,
     };
@@ -511,6 +539,24 @@ fn summarize(
     assert_eq!(latencies_ms.len() as u64, total_jobs, "every job harvested");
     let m = rec.metrics();
     let counter = |key: &str| m.counter_value(key).unwrap_or(0);
+    // The per-batch pad-ratio summary's mean, recovered from the same
+    // exposition the `--metrics` export writes (`_sum` / `_count`).
+    let mean_pad_ratio = {
+        let series = dwi_trace::metrics::parse_prometheus(&rec.prometheus()).unwrap_or_default();
+        let value = |key: &str| {
+            series
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|&(_, v)| v)
+                .unwrap_or(0.0)
+        };
+        let count = value("dwi_runtime_batch_pad_ratio_count");
+        if count > 0.0 {
+            value("dwi_runtime_batch_pad_ratio_sum") / count
+        } else {
+            0.0
+        }
+    };
     Summary {
         wall_s: wall.as_secs_f64(),
         jobs_per_s: total_jobs as f64 / wall.as_secs_f64().max(1e-9),
@@ -520,6 +566,8 @@ fn summarize(
         rejections: counter("dwi_runtime_jobs_rejected_total"),
         batches: counter("dwi_runtime_batches_dispatched_total"),
         batched_jobs: counter("dwi_runtime_batched_jobs_total"),
+        padded_slots: counter("dwi_runtime_padded_slots_total"),
+        mean_pad_ratio,
         graph_jobs: counter("dwi_runtime_graph_jobs_total"),
         would_blocks: counter("dwi_runtime_submit_would_block_total"),
     }
@@ -529,7 +577,7 @@ fn report(label: &str, args: &ServeArgs, s: &Summary) {
     println!(
         "{label}: {} jobs in {:.2}s: {:.1} jobs/s, p50 {:.2} ms, p99 {:.2} ms, \
          {} cache hits, {} rejections, {} would-blocks, {} batches ({} jobs, {:.2} mean \
-         occupancy), {} graph jobs",
+         occupancy, {} padded slots, {:.3} mean pad ratio), {} graph jobs",
         args.clients as u64 * args.jobs as u64,
         s.wall_s,
         s.jobs_per_s,
@@ -541,6 +589,8 @@ fn report(label: &str, args: &ServeArgs, s: &Summary) {
         s.batches,
         s.batched_jobs,
         s.mean_batch_occupancy(),
+        s.padded_slots,
+        s.mean_pad_ratio,
         s.graph_jobs
     );
 }
@@ -551,13 +601,15 @@ fn main() {
 
     println!(
         "serve: {} clients x {} jobs on {} workers (queue bound {}, batch {}, window {} ms, \
-         adaptive {}, async {}, graph {}, inflight {}, rate {})",
+         max pad ratio {:.3}, adaptive {}, async {}, graph {}, inflight {}, rate {})",
         args.clients,
         args.jobs,
         args.workers,
         args.queue_bound,
         args.batch.unwrap_or(1),
         args.batch_window_ms,
+        args.max_pad_ratio
+            .unwrap_or_else(dwi_core::default_max_pad_ratio),
         args.adaptive,
         args.async_mode,
         args.graph,
@@ -701,8 +753,16 @@ fn main() {
             format!(
                 "  \"baseline\": {{\n    \"wall_s\": {:.6},\n    \"jobs_per_s\": {:.3},\n    \
                  \"p50_ms\": {:.4},\n    \"p99_ms\": {:.4},\n    \"cache_hits\": {},\n    \
-                 \"rejections\": {}\n  }},\n",
-                b.wall_s, b.jobs_per_s, b.p50_ms, b.p99_ms, b.cache_hits, b.rejections
+                 \"rejections\": {},\n    \"mean_batch_occupancy\": {:.3},\n    \
+                 \"mean_pad_ratio\": {:.4}\n  }},\n",
+                b.wall_s,
+                b.jobs_per_s,
+                b.p50_ms,
+                b.p99_ms,
+                b.cache_hits,
+                b.rejections,
+                b.mean_batch_occupancy(),
+                b.mean_pad_ratio
             )
         })
         .unwrap_or_default();
@@ -713,6 +773,7 @@ fn main() {
                 "  \"async\": {{\n    \"inflight\": {},\n    \"rate\": {:.3},\n    \
                  \"wall_s\": {:.6},\n    \"jobs_per_s\": {:.3},\n    \"p50_ms\": {:.4},\n    \
                  \"p99_ms\": {:.4},\n    \"would_blocks\": {},\n    \
+                 \"mean_batch_occupancy\": {:.3},\n    \"mean_pad_ratio\": {:.4},\n    \
                  \"speedup_vs_closed_loop\": {:.3}\n  }},\n",
                 args.inflight,
                 args.rate,
@@ -721,6 +782,8 @@ fn main() {
                 a.p50_ms,
                 a.p99_ms,
                 a.would_blocks,
+                a.mean_batch_occupancy(),
+                a.mean_pad_ratio,
                 a.jobs_per_s / tuned.jobs_per_s.max(1e-9)
             )
         })
@@ -728,16 +791,20 @@ fn main() {
     let json = format!(
         "{{\n  \"clients\": {},\n  \"jobs_per_client\": {},\n  \"workers\": {},\n  \
          \"queue_bound\": {},\n  \"batch_max_jobs\": {},\n  \"batch_window_ms\": {},\n  \
-         \"adaptive\": {},\n{}{}  \"total_jobs\": {},\n  \"wall_s\": {:.6},\n  \
+         \"max_pad_ratio\": {:.4},\n  \"adaptive\": {},\n{}{}  \"total_jobs\": {},\n  \
+         \"wall_s\": {:.6},\n  \
          \"jobs_per_s\": {:.3},\n  \"p50_ms\": {:.4},\n  \"p99_ms\": {:.4},\n  \
          \"cache_hits\": {},\n  \"rejections\": {},\n  \"batches_dispatched\": {},\n  \
-         \"batched_jobs\": {},\n  \"mean_batch_occupancy\": {:.3},\n  \"graph_jobs\": {}\n}}\n",
+         \"batched_jobs\": {},\n  \"mean_batch_occupancy\": {:.3},\n  \
+         \"padded_slots\": {},\n  \"mean_pad_ratio\": {:.4},\n  \"graph_jobs\": {}\n}}\n",
         args.clients,
         args.jobs,
         args.workers,
         args.queue_bound,
         args.batch.unwrap_or(1),
         args.batch_window_ms,
+        args.max_pad_ratio
+            .unwrap_or_else(dwi_core::default_max_pad_ratio),
         args.adaptive,
         baseline_json,
         async_json,
@@ -751,6 +818,8 @@ fn main() {
         tuned.batches,
         tuned.batched_jobs,
         tuned.mean_batch_occupancy(),
+        tuned.padded_slots,
+        tuned.mean_pad_ratio,
         tuned.graph_jobs
     );
     let out = args.out_path();

@@ -24,7 +24,9 @@
 //! The same timelines also answer the "why did no batch form" question:
 //! [`diagnose_batching`] attributes a mean-occupancy-of-1 run to one of
 //! three causes (shape mismatch, arrival gap, window too short) from the
-//! batch keys and arrival gaps the timelines carry.
+//! batch keys and arrival gaps the timelines carry — and splits a shape
+//! mismatch into *fusable under padding* (jobs differ only in quota, a
+//! padded batch would take them) vs *truly incompatible*.
 
 use std::collections::BTreeMap;
 use std::time::Duration;
@@ -413,11 +415,12 @@ pub fn timelines_json(timelines: &[JobTimeline]) -> String {
 
 /// Attribute a zero-batches run (batching configured, mean occupancy
 /// stuck at 1) to its cause, from the timelines' batch keys and arrival
-/// gaps: **shape mismatch** (no two jobs ever shared a batch key),
-/// **arrival gap** (compatible jobs arrive further apart than the batch
-/// window), or **window too short** (they arrive within reach, but the
-/// window — possibly zero — doesn't hold the dispatching worker long
-/// enough).
+/// gaps: **shape mismatch** (no two jobs ever shared a batch key —
+/// subdivided into *fusable under padding*, when jobs differ only in
+/// quota and share a pad key, vs *truly incompatible*), **arrival gap**
+/// (compatible jobs arrive further apart than the batch window), or
+/// **window too short** (they arrive within reach, but the window —
+/// possibly zero — doesn't hold the dispatching worker long enough).
 pub fn diagnose_batching(timelines: &[JobTimeline], window: Duration) -> String {
     let mut groups: BTreeMap<&str, Vec<&JobTimeline>> = BTreeMap::new();
     for tl in timelines.iter().filter(|t| !t.cache_hit) {
@@ -432,9 +435,30 @@ pub fn diagnose_batching(timelines: &[JobTimeline], window: Duration) -> String 
     }
     let largest = groups.values().map(Vec::len).max().unwrap_or(0);
     if largest < 2 {
+        // No two jobs shared a strict key. Split the mismatch by the
+        // quota-erased pad key: near-miss shapes (same kernel, phases and
+        // geometry, different quota) can still fuse as a padded batch.
+        let mut pad_groups: BTreeMap<&str, usize> = BTreeMap::new();
+        for tl in timelines.iter().filter(|t| !t.cache_hit) {
+            if let Some(key) = &tl.pad_key {
+                *pad_groups.entry(key).or_default() += 1;
+            }
+        }
+        let fusable: usize = pad_groups.values().filter(|&&n| n >= 2).copied().sum();
+        if fusable >= 2 {
+            return format!(
+                "shape mismatch, fusable under padding: {} distinct batch keys, none shared \
+                 by two jobs, but {} jobs differ only in quota — they can ride one padded \
+                 batch; raise --max-pad-ratio (and make sure arrivals overlap the window) \
+                 so near-miss shapes coalesce",
+                groups.len(),
+                fusable
+            );
+        }
         return format!(
-            "shape mismatch: {} distinct batch keys, none shared by two jobs — only jobs \
-             with identical (kernel, quota, phases, shape) can fuse",
+            "shape mismatch, truly incompatible: {} distinct batch keys, none shared by two \
+             jobs, and no two jobs share even a quota-erased pad key — only jobs with \
+             identical (kernel, phases, shape) geometry can fuse, padded or not",
             groups.len()
         );
     }
@@ -561,6 +585,14 @@ mod tests {
             sleep(Duration::from_millis(1));
             tl.finish(JobOutcome::Completed)
         };
+        let padded = |key: &str, pad: &str| {
+            let mut tl = JobTimeline::new(1, 0, "normal");
+            tl.batch_key = Some(Arc::from(key));
+            tl.pad_key = Some(Arc::from(pad));
+            tl.mark_admitted();
+            sleep(Duration::from_millis(1));
+            tl.finish(JobOutcome::Completed)
+        };
         // No keys at all.
         let plain = JobTimeline::new(1, 0, "normal");
         assert!(diagnose_batching(
@@ -568,9 +600,21 @@ mod tests {
             Duration::from_millis(1)
         )
         .contains("no coalescable jobs"));
-        // Distinct keys only.
+        // Distinct strict keys, no pad keys: nothing could ever fuse.
         let d = diagnose_batching(&[keyed("a"), keyed("b")], Duration::from_millis(1));
         assert!(d.contains("shape mismatch"), "{d}");
+        assert!(d.contains("truly incompatible"), "{d}");
+        // Distinct strict keys that share a quota-erased pad key: a
+        // padded batch would have taken them.
+        let d = diagnose_batching(
+            &[
+                padded("k#q64#p1#s", "k#pad#p1#s"),
+                padded("k#q128#p1#s", "k#pad#p1#s"),
+            ],
+            Duration::from_millis(1),
+        );
+        assert!(d.contains("fusable under padding"), "{d}");
+        assert!(d.contains("--max-pad-ratio"), "{d}");
         // Shared key, zero window.
         let d = diagnose_batching(&[keyed("a"), keyed("a")], Duration::ZERO);
         assert!(d.contains("window too short"), "{d}");

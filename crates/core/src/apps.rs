@@ -62,6 +62,13 @@ impl WorkItemKernel for TruncatedNormalKernel {
         self.quota
     }
 
+    // The instance flips `done` on the exact step that emits sample
+    // `quota` — no delayed loop-exit tail — so padded cross-quota fusion
+    // cannot over-step a lane.
+    fn quota_exact(&self) -> bool {
+        true
+    }
+
     fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance> {
         Box::new(TruncatedNormalInstance {
             app: TruncatedNormal::new(self.a, self.mt, self.seed, wid),
@@ -180,6 +187,12 @@ impl WorkItemKernel for SeverityExpMix {
 
     fn outputs_per_workitem(&self) -> u64 {
         self.quota
+    }
+
+    // `done` fires on the accepting step of the final sample (no tail
+    // iterations), so the mixture sampler is safe to pad across quotas.
+    fn quota_exact(&self) -> bool {
+        true
     }
 
     fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance> {

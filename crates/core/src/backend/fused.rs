@@ -60,6 +60,35 @@ impl FusedJob {
             plan.shape_fingerprint(),
         )
     }
+
+    /// The *relaxed* compatibility key for padded cross-quota fusion:
+    /// the strict [`batch_key`](Self::batch_key) minus the quota — jobs
+    /// agreeing here differ only in how many outputs each work-item
+    /// owes, and [`FusedBatch::fuse_padded`] can level them by padding
+    /// the short members with idle no-op rounds. Only kernels that
+    /// declare [`WorkItemKernel::quota_exact`] are eligible (`None`
+    /// otherwise): a kernel with post-emission tail iterations would be
+    /// over-stepped by the padded dispatch.
+    pub fn pad_key(kernel: &dyn WorkItemKernel, plan: &ExecutionPlan) -> Option<String> {
+        kernel.quota_exact().then(|| {
+            format!(
+                "{}#pad#p{}#{}",
+                kernel.name(),
+                kernel.phases(),
+                plan.shape_fingerprint(),
+            )
+        })
+    }
+}
+
+/// The default waste cap for padded fusion, from the `dwi-hls` cost
+/// model: at the reference micro-job regime one saved dispatch overhead
+/// is worth about one member's service time and batches hold two equal
+/// members, so padding breaks even at
+/// [`fusion_break_even(1.0, 2.0)`](dwi_hls::dataflow::fusion_break_even)
+/// = 1/3 of the fused slots.
+pub fn default_max_pad_ratio() -> f64 {
+    dwi_hls::dataflow::fusion_break_even(1.0, 2.0)
 }
 
 struct Segment {
@@ -67,6 +96,9 @@ struct Segment {
     plan: ExecutionPlan,
     /// First synthetic work-item id of this member in the fused plan.
     offset: u32,
+    /// The member kernel's own per-work-item quota — equal to the fused
+    /// quota for strict fusion, possibly smaller under padded fusion.
+    quota: u64,
 }
 
 /// `N` same-shaped jobs fused into one dispatch, plus the bookkeeping to
@@ -92,10 +124,12 @@ impl FusedBatch {
                 "fused jobs must share kernel shape and plan shape"
             );
             let workitems = job.plan.workitems;
+            let quota = job.kernel.outputs_per_workitem();
             segments.push(Segment {
                 kernel: job.kernel,
                 plan: job.plan,
                 offset,
+                quota,
             });
             offset += workitems;
         }
@@ -108,6 +142,94 @@ impl FusedBatch {
             segments: Arc::new(segments),
             plan,
         }
+    }
+
+    /// Fuse jobs that agree on [`FusedJob::pad_key`] but may differ in
+    /// per-work-item quota: short members are padded up to the longest
+    /// mate's quota with idle no-op rounds (their lanes are already
+    /// `done`, so the padded rounds execute nothing and emit nothing)
+    /// and trimmed back out on [`demux`](Self::demux).
+    ///
+    /// Panics when `jobs` is empty, when any member refuses padding
+    /// (non-[`quota_exact`](WorkItemKernel::quota_exact) kernel or
+    /// mismatched pad key), or when the padding waste exceeds the cap:
+    /// `padded_slots / total_slots ≤ max_pad_ratio`. The caller checks
+    /// the cap *before* draining candidates from the queue; the assert
+    /// here is the backstop that keeps a buggy caller from silently
+    /// burning pipeline rounds.
+    pub fn fuse_padded(jobs: Vec<FusedJob>, max_pad_ratio: f64) -> FusedBatch {
+        assert!(!jobs.is_empty(), "nothing to fuse");
+        let key = FusedJob::pad_key(jobs[0].kernel.as_ref(), &jobs[0].plan)
+            .expect("padded fusion requires a quota-exact kernel");
+        let mut segments = Vec::with_capacity(jobs.len());
+        let mut offset = 0u32;
+        for job in jobs {
+            assert_eq!(
+                FusedJob::pad_key(job.kernel.as_ref(), &job.plan).as_ref(),
+                Some(&key),
+                "padded fusion requires quota-exact kernels sharing kernel and plan shape"
+            );
+            let workitems = job.plan.workitems;
+            let quota = job.kernel.outputs_per_workitem();
+            segments.push(Segment {
+                kernel: job.kernel,
+                plan: job.plan,
+                offset,
+                quota,
+            });
+            offset += workitems;
+        }
+        let plan = ExecutionPlan {
+            workitems: offset,
+            wid_base: 0,
+            ..segments[0].plan.clone()
+        };
+        let batch = FusedBatch {
+            segments: Arc::new(segments),
+            plan,
+        };
+        let ratio = batch.pad_ratio();
+        assert!(
+            ratio <= max_pad_ratio,
+            "padded fusion exceeds the waste cap: pad ratio {ratio:.3} > {max_pad_ratio:.3}"
+        );
+        batch
+    }
+
+    /// The fused per-work-item quota: the largest member quota (all
+    /// equal under strict fusion).
+    pub fn quota(&self) -> u64 {
+        self.segments.iter().map(|s| s.quota).max().unwrap_or(0)
+    }
+
+    /// Slots (work-item × round cells) of the fused dispatch that are
+    /// padding — rounds a short member's lanes sit out, emitting
+    /// nothing. Zero for a strictly fused batch.
+    pub fn padded_slots(&self) -> u64 {
+        let q = self.quota();
+        self.segments
+            .iter()
+            .map(|s| s.plan.workitems as u64 * (q - s.quota))
+            .sum()
+    }
+
+    /// Total slots of the fused dispatch (`work-items × fused quota`).
+    pub fn total_slots(&self) -> u64 {
+        let q = self.quota();
+        self.segments
+            .iter()
+            .map(|s| s.plan.workitems as u64 * q)
+            .sum()
+    }
+
+    /// Fraction of the fused dispatch's slots that are padding —
+    /// `padded_slots / total_slots`, the quantity the waste cap bounds.
+    pub fn pad_ratio(&self) -> f64 {
+        let total = self.total_slots();
+        if total == 0 {
+            return 0.0;
+        }
+        self.padded_slots() as f64 / total as f64
     }
 
     /// Members in this batch.
@@ -133,7 +255,7 @@ impl FusedBatch {
     pub fn kernel(&self) -> SharedWorkItemKernel {
         Arc::new(FusedKernel {
             segments: self.segments.clone(),
-            quota: self.segments[0].kernel.outputs_per_workitem(),
+            quota: self.quota(),
             phases: self.segments[0].kernel.phases(),
         })
     }
@@ -178,7 +300,7 @@ impl FusedBatch {
                 kernel: seg.kernel.name(),
                 workitems: seg.plan.workitems,
                 wid_base: seg.plan.wid_base,
-                quota,
+                quota: seg.quota,
                 samples: m.samples,
                 iterations: m.iterations,
                 divergence: m.divergence,
@@ -203,7 +325,12 @@ struct MemberCommon {
 
 /// Backend-specific half of [`FusedBatch::demux`]: slice the fused detail
 /// per member and recompute each member's runtime-determining cycle
-/// count — the inverse of `merge_details`.
+/// count — the inverse of `merge_details`. `quota` is the *fused*
+/// quota; a padded member (whose own `Segment::quota` is smaller) also
+/// has its padding trimmed here, restoring exactly the detail its
+/// unbatched dispatch would have produced: the padded rounds hold no
+/// attempts (the lane was already `done`) and the oversized host-buffer
+/// regions hold only the member's own writes, zero elsewhere.
 fn split_detail(
     segments: &[Segment],
     quota: u64,
@@ -220,21 +347,37 @@ fn split_detail(
         } => {
             // Fixed-size per-work-item regions: slice the host buffer at
             // region boundaries; a member is as slow as its own slowest
-            // work-item.
-            let region_f32 = (quota as usize).div_ceil(16).max(1) * 16;
+            // work-item. The fused dispatch sized regions for the fused
+            // quota — a padded member's unbatched run would have used the
+            // (smaller) region of its own quota, and since a lane writes
+            // only its emitted values at the region start, truncating
+            // each lane's region recovers the unbatched buffer exactly.
+            let region = |q: u64| (q as usize).div_ceil(16).max(1) * 16;
+            let fused_region = region(quota);
             let mut hb = host_buffer.into_iter();
             let mut tr = transfers.into_iter();
             let mut hw = stream_high_water.into_iter();
             let mut st = stream_stalls.into_iter();
-            sizes
+            segments
                 .iter()
                 .zip(members)
-                .map(|(&n, m)| {
+                .map(|(seg, m)| {
+                    let n = seg.plan.workitems as usize;
+                    let member_region = region(seg.quota);
+                    let mut buffer = Vec::with_capacity(n * member_region);
+                    for _ in 0..n {
+                        let lane: Vec<f32> = hb.by_ref().take(fused_region).collect();
+                        debug_assert!(
+                            lane[member_region..].iter().all(|&v| v == 0.0),
+                            "padded region tail must be untouched"
+                        );
+                        buffer.extend_from_slice(&lane[..member_region]);
+                    }
                     let cycles = m.iterations.iter().copied().max().unwrap_or(0);
                     (
                         cycles,
                         BackendDetail::Decoupled {
-                            host_buffer: hb.by_ref().take(n * region_f32).collect(),
+                            host_buffer: buffer,
                             transfers: tr.by_ref().take(n).collect(),
                             stream_high_water: hw.by_ref().take(n).collect(),
                             stream_stalls: st.by_ref().take(n).collect(),
@@ -244,14 +387,32 @@ fn split_detail(
                 .collect()
         }
         BackendDetail::Lockstep { lane_attempts, .. } => {
+            // The fused dispatch ran every lane for the fused quota's
+            // round count; a padded member's lanes were `done` after its
+            // own quota and idled (zero attempts) through the rest. Trim
+            // each lane back to the member's round count and recompute
+            // its round maxima over its own lanes alone.
             let mut lanes = lane_attempts.into_iter();
-            sizes
+            segments
                 .iter()
-                .map(|&n| {
-                    let lane_attempts: Vec<Vec<u64>> = lanes.by_ref().take(n).collect();
-                    let mut round_max = vec![0u64; quota as usize];
+                .map(|seg| {
+                    let n = seg.plan.workitems as usize;
+                    let rounds = seg.quota as usize;
+                    let lane_attempts: Vec<Vec<u64>> = lanes
+                        .by_ref()
+                        .take(n)
+                        .map(|mut lane| {
+                            assert_eq!(lane.len(), quota as usize, "lane round count");
+                            debug_assert!(
+                                lane[rounds..].iter().all(|&a| a == 0),
+                                "padded rounds must hold no attempts"
+                            );
+                            lane.truncate(rounds);
+                            lane
+                        })
+                        .collect();
+                    let mut round_max = vec![0u64; rounds];
                     for lane in &lane_attempts {
-                        assert_eq!(lane.len(), quota as usize, "lane round count");
                         for (acc, &a) in round_max.iter_mut().zip(lane) {
                             *acc = (*acc).max(a);
                         }
@@ -261,7 +422,7 @@ fn split_detail(
                         lockstep_iterations,
                         BackendDetail::Lockstep {
                             lockstep_iterations,
-                            rounds: quota,
+                            rounds: seg.quota,
                             round_max,
                             lane_attempts,
                         },
@@ -308,8 +469,11 @@ fn split_detail(
                 .zip(&sizes)
                 .map(|(seg, &n)| {
                     let traces: Vec<Vec<bool>> = tr.by_ref().take(n).collect();
+                    // The member's own quota (not the fused one) sizes the
+                    // re-simulation: its unbatched dispatch simulated its
+                    // own transfer geometry.
                     let sim = dwi_hls::sim::run_from_traces(
-                        &cyclesim::sim_config(&seg.plan, n, quota),
+                        &cyclesim::sim_config(&seg.plan, n, seg.quota),
                         &traces,
                     );
                     (sim.cycles, BackendDetail::CycleSim { sim, traces })

@@ -37,7 +37,7 @@ mod simt;
 
 pub use cyclesim::CycleSim;
 pub use functional::FunctionalDecoupled;
-pub use fused::{FusedBatch, FusedJob, SharedWorkItemKernel};
+pub use fused::{default_max_pad_ratio, FusedBatch, FusedJob, SharedWorkItemKernel};
 pub use lockstep::LockstepCoupled;
 pub use ndrange::NdRange;
 pub use simt::SimtTrace;

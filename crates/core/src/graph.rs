@@ -212,14 +212,23 @@ impl KernelGraph {
     }
 
     /// The graph half of a result-cache key: for a one-node graph this is
-    /// **exactly** [`ExecutionPlan::fingerprint`] — single-kernel jobs keep
-    /// their pre-graph cache identity byte-for-byte — while a multi-stage
-    /// graph appends its topology digest and edge depth, so two graphs
-    /// sharing a source but differing anywhere downstream can never
-    /// collide (and can never fuse into one batch).
+    /// [`ExecutionPlan::fingerprint`] plus the source kernel's quota and
+    /// phase count — the plan fingerprint alone carries only geometry, so
+    /// without the kernel half two jobs differing *only* in per-work-item
+    /// quota (same name, seed and plan — exactly what cross-quota batch
+    /// fusion coalesces) would collide in the result cache and the
+    /// in-flight dedup index. A multi-stage graph appends its topology
+    /// digest (which already embeds every node's quota) and edge depth,
+    /// so two graphs sharing a source but differing anywhere downstream
+    /// can never collide (and can never fuse into one batch).
     pub fn fingerprint(&self, plan: &GraphPlan) -> String {
         if self.is_single() {
-            plan.base.fingerprint()
+            format!(
+                "{}|q{}p{}",
+                plan.base.fingerprint(),
+                self.final_quota(),
+                self.source.phases(),
+            )
         } else {
             format!(
                 "{}|g:{}|ed{}",
@@ -972,10 +981,21 @@ mod tests {
     }
 
     #[test]
-    fn fingerprint_single_matches_plan_exactly() {
+    fn fingerprint_single_extends_plan_with_kernel_shape() {
         let g = KernelGraph::single(source());
         let plan = GraphPlan::new(ExecutionPlan::new(4));
-        assert_eq!(g.fingerprint(&plan), plan.base.fingerprint());
+        let fp = g.fingerprint(&plan);
+        assert!(
+            fp.starts_with(&plan.base.fingerprint()),
+            "plan geometry leads the key: {fp}"
+        );
+        // The kernel half matters: the same plan under a different quota
+        // must produce a different cache identity (jobs differing only in
+        // quota are exactly what padded batch fusion coalesces — they must
+        // never collide in the result cache or the in-flight dedup index).
+        let doubled = KernelGraph::single(Arc::new(SeverityExpMix::credit_severity(128, 3)));
+        let halved = KernelGraph::single(Arc::new(SeverityExpMix::credit_severity(64, 3)));
+        assert_ne!(doubled.fingerprint(&plan), halved.fingerprint(&plan));
     }
 
     #[test]

@@ -165,6 +165,21 @@ pub trait WorkItemKernel: Sync {
         1
     }
 
+    /// True when every work-item reports [`Step::done`] on the very step
+    /// that emits its final output — no trailing iterations after the last
+    /// emission. Cross-quota batch fusion relies on this: the lockstep
+    /// engine drives each lane for exactly `quota` emission rounds, so a
+    /// member padded up to a larger mate's quota sits out the extra rounds
+    /// *only if* it is already `done` at its own quota. A kernel with
+    /// delayed loop-exit tail steps (e.g. [`GammaListing2`]'s
+    /// `prevCounter`) would be over-stepped by the padded dispatch —
+    /// executing iterations its unbatched run never executes — so it must
+    /// keep the conservative default `false` and fuse only with
+    /// exact-shape mates.
+    fn quota_exact(&self) -> bool {
+        false
+    }
+
     /// Build the per-work-item state, deriving every RNG stream from `wid`
     /// — the design-time unique id of Listing 1.
     fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance>;

@@ -44,8 +44,9 @@ pub mod validation;
 
 pub use apps::{SeverityExpMix, TruncatedNormalKernel};
 pub use backend::{
-    all_backends, Backend, BackendDetail, CycleSim, ExecutionPlan, FunctionalDecoupled, FusedBatch,
-    FusedJob, LockstepCoupled, NdRange, RunReport, SharedWorkItemKernel, SimtTrace,
+    all_backends, default_max_pad_ratio, Backend, BackendDetail, CycleSim, ExecutionPlan,
+    FunctionalDecoupled, FusedBatch, FusedJob, LockstepCoupled, NdRange, RunReport,
+    SharedWorkItemKernel, SimtTrace,
 };
 pub use config::{IcdfStyle, PaperConfig, Workload};
 pub use coupled::{lockstep_counterfactual, CoupledRun};

@@ -13,9 +13,10 @@
 use std::sync::Arc;
 
 use dwi_core::{
-    all_backends, Backend, ExecutionPlan, FusedBatch, FusedJob, RunReport, SeverityExpMix,
-    SharedWorkItemKernel, TruncatedNormalKernel,
+    all_backends, Backend, ExecutionPlan, FusedBatch, FusedJob, GammaListing2, RunReport,
+    SeverityExpMix, SharedWorkItemKernel, TruncatedNormalKernel,
 };
+use dwi_rng::KernelConfig;
 use dwi_testkit::cases;
 
 /// One logical job: kernel + plan, as the runtime would queue it.
@@ -32,11 +33,27 @@ fn tn(quota: u64, seed: u32) -> SharedWorkItemKernel {
 /// scheduling-dependent and deliberately outside the contract, exactly
 /// as for shard merging).
 fn assert_fused_identical(backend: &dyn Backend, jobs: Vec<FusedJob>) {
+    assert_batch_identical(backend, jobs, FusedBatch::fuse)
+}
+
+/// As [`assert_fused_identical`], but through the relaxed cross-quota
+/// path: members may differ in per-work-item quota, the short ones ride
+/// as padding up to the longest mate, and demux must still restore every
+/// report bit for bit.
+fn assert_padded_identical(backend: &dyn Backend, jobs: Vec<FusedJob>, cap: f64) {
+    assert_batch_identical(backend, jobs, |jobs| FusedBatch::fuse_padded(jobs, cap))
+}
+
+fn assert_batch_identical(
+    backend: &dyn Backend,
+    jobs: Vec<FusedJob>,
+    fuse: impl FnOnce(Vec<FusedJob>) -> FusedBatch,
+) {
     let alone: Vec<RunReport> = jobs
         .iter()
         .map(|j| backend.execute(j.kernel.as_ref(), &j.plan))
         .collect();
-    let batch = FusedBatch::fuse(jobs);
+    let batch = fuse(jobs);
     let fused_kernel = batch.kernel();
     let fused = backend.execute(fused_kernel.as_ref(), batch.plan());
     let demuxed = batch.demux(fused);
@@ -153,6 +170,130 @@ fn randomized_batches_demux_identically_on_every_backend() {
                 jobs.iter()
                     .map(|&(wi, seed)| job(tn(quota, seed), ExecutionPlan::new(wi)))
                     .collect(),
+            );
+        }
+    });
+}
+
+#[test]
+fn padded_mixed_quota_jobs_demux_identically_on_every_backend() {
+    // The serve mix's everyday near-miss: same kernel and plan shape,
+    // quotas 64 vs 128. The short members ride as padding (idle rounds)
+    // and demux must trim them back out bit for bit. Pad ratio here is
+    // 4·64 / 12·128 = 1/6, inside the cost-model default cap.
+    for backend in all_backends() {
+        assert_padded_identical(
+            backend.as_ref(),
+            vec![
+                job(tn(64, 7), ExecutionPlan::new(4)),
+                job(tn(128, 1131), ExecutionPlan::new(2)),
+                job(tn(128, 7), ExecutionPlan::new(6)),
+            ],
+            dwi_core::default_max_pad_ratio(),
+        );
+    }
+}
+
+#[test]
+fn padded_severity_kernel_demuxes_identically() {
+    // The most divergent kernel (40 % acceptance) across a 4× quota
+    // spread — rejection accounting must still split exactly.
+    for backend in all_backends() {
+        assert_padded_identical(
+            backend.as_ref(),
+            vec![
+                job(
+                    Arc::new(SeverityExpMix::credit_severity(25, 11)),
+                    ExecutionPlan::new(3),
+                ),
+                job(
+                    Arc::new(SeverityExpMix::credit_severity(100, 12)),
+                    ExecutionPlan::new(5),
+                ),
+            ],
+            0.5,
+        );
+    }
+}
+
+#[test]
+fn padded_straggler_over_half_waste_still_demuxes_identically() {
+    // A pathological straggler: two quota-16 members padded up to a
+    // quota-512 mate — just under 65 % of the fused slots are padding.
+    // Correctness must not depend on the waste cap (the cap is an
+    // economics knob, not a safety one), so with a permissive cap the
+    // demux is still bit-identical on every backend.
+    let jobs = || {
+        vec![
+            job(tn(16, 41), ExecutionPlan::new(1)),
+            job(tn(16, 43), ExecutionPlan::new(1)),
+            job(tn(512, 47), ExecutionPlan::new(1)),
+        ]
+    };
+    let batch = FusedBatch::fuse_padded(jobs(), 0.7);
+    assert_eq!(batch.padded_slots(), 2 * (512 - 16));
+    assert!(batch.pad_ratio() > 0.5, "ratio {}", batch.pad_ratio());
+    for backend in all_backends() {
+        assert_padded_identical(backend.as_ref(), jobs(), 0.7);
+    }
+}
+
+#[test]
+#[should_panic(expected = "waste cap")]
+fn padded_fusion_beyond_the_cap_is_refused() {
+    // The same straggler under the cost-model default cap (1/3): the
+    // backstop assert refuses rather than silently burning 65 % of the
+    // pipeline's rounds.
+    FusedBatch::fuse_padded(
+        vec![
+            job(tn(16, 41), ExecutionPlan::new(1)),
+            job(tn(16, 43), ExecutionPlan::new(1)),
+            job(tn(512, 47), ExecutionPlan::new(1)),
+        ],
+        dwi_core::default_max_pad_ratio(),
+    );
+}
+
+#[test]
+#[should_panic(expected = "quota-exact")]
+fn non_quota_exact_kernels_refuse_padded_fusion() {
+    // GammaListing2's delayed loop-exit counter runs tail iterations
+    // after the final emission — padding would over-step its lanes, so
+    // it must keep strict fusion only.
+    let gamma = |limit_main: u32, seed: u64| -> SharedWorkItemKernel {
+        Arc::new(GammaListing2::new(KernelConfig {
+            limit_main,
+            limit_sec: 2,
+            seed,
+            ..KernelConfig::default()
+        }))
+    };
+    FusedBatch::fuse_padded(
+        vec![
+            job(gamma(8, 1), ExecutionPlan::new(2)),
+            job(gamma(16, 2), ExecutionPlan::new(2)),
+        ],
+        1.0,
+    );
+}
+
+#[test]
+fn randomized_padded_batches_demux_identically_on_every_backend() {
+    // Property-style sweep with per-member quotas: geometry never leaks
+    // into values, whatever the quota spread.
+    cases(8, |rng| {
+        let members = rng.usize_range(2, 5);
+        let jobs_spec: Vec<(u64, u32, u32)> = (0..members)
+            .map(|_| (rng.u64_range(16, 96), rng.u32_range(1, 4), rng.next_u32()))
+            .collect();
+        for backend in all_backends() {
+            assert_padded_identical(
+                backend.as_ref(),
+                jobs_spec
+                    .iter()
+                    .map(|&(quota, wi, seed)| job(tn(quota, seed), ExecutionPlan::new(wi)))
+                    .collect(),
+                1.0,
             );
         }
     });

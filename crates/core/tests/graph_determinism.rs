@@ -1,9 +1,11 @@
 //! The graph layer's contract, checked as properties over every backend:
 //!
 //! 1. **Degenerate-case identity** — a one-node [`KernelGraph`] is the
-//!    bare kernel: same samples, same cycles, same cache fingerprint, on
-//!    all five backends. The graph spine may therefore carry single-kernel
-//!    jobs without any observable change.
+//!    bare kernel: same samples, same cycles, and a cache fingerprint
+//!    that extends the plan's with the kernel's own quota/phase shape
+//!    (so jobs differing only in quota — the cross-quota fusion case —
+//!    can never collide), on all five backends. The graph spine may
+//!    therefore carry single-kernel jobs without any observable change.
 //! 2. **Composition parity** — a pipe-connected pipeline run produces
 //!    exactly the samples of an explicit host-mediated stage-by-stage
 //!    composition (execute a stage, record its streams, feed the next).
@@ -42,10 +44,15 @@ fn one_node_graph_is_the_bare_kernel_on_every_backend() {
         let plan = ExecutionPlan::new(4);
         let gplan = GraphPlan::new(plan.clone());
         let graph = KernelGraph::single(kernel.clone());
-        assert_eq!(
+        assert!(
+            graph.fingerprint(&gplan).starts_with(&plan.fingerprint()),
+            "one-node graphs extend the plan cache identity"
+        );
+        assert_ne!(
             graph.fingerprint(&gplan),
-            plan.fingerprint(),
-            "one-node graphs must keep the pre-graph cache identity"
+            KernelGraph::single(Arc::new(SeverityExpMix::credit_severity(192, 21)))
+                .fingerprint(&gplan),
+            "jobs differing only in quota must not share a cache identity"
         );
         for backend in all_backends() {
             let bare = backend.execute(kernel.as_ref(), &plan);

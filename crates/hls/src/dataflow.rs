@@ -248,9 +248,49 @@ impl DataflowGraph {
     }
 }
 
+/// Break-even pad ratio for fusing near-miss batch members.
+///
+/// Fusing a short member into a longer mate's dispatch replaces one
+/// dispatch overhead with padded slots that occupy pipeline rounds
+/// without emitting. Let `saved_overhead` be the dispatch overhead a
+/// fusion removes and `real_work` the useful slot-work the padded member
+/// contributes, both in the same unit (e.g. seconds, or slot-rounds at
+/// the pipeline's II). Padding pays for itself while
+///
+/// ```text
+/// padded_slots / total_slots ≤ saved_overhead / (real_work + saved_overhead)
+/// ```
+///
+/// — at the boundary, the padded rounds cost exactly the overhead they
+/// save. The returned ratio is the right default for a waste cap
+/// (`max_pad_ratio`): admit a candidate only while the batch stays at or
+/// under it.
+pub fn fusion_break_even(saved_overhead: f64, real_work: f64) -> f64 {
+    assert!(
+        saved_overhead >= 0.0 && real_work > 0.0,
+        "need non-negative overhead and positive work"
+    );
+    saved_overhead / (real_work + saved_overhead)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn break_even_ratio_brackets_sensibly() {
+        // No overhead saved → padding never pays.
+        assert_eq!(fusion_break_even(0.0, 1.0), 0.0);
+        // Overhead worth one member's service time, two equal members →
+        // a third of the fused slots may be padding (the runtime's
+        // documented default for `max_pad_ratio`).
+        let r = fusion_break_even(1.0, 2.0);
+        assert!((r - 1.0 / 3.0).abs() < 1e-12);
+        // Overhead dominating the work pushes the cap towards (but never
+        // to) 1.
+        assert!(fusion_break_even(100.0, 1.0) > 0.9);
+        assert!(fusion_break_even(100.0, 1.0) < 1.0);
+    }
 
     #[test]
     fn single_source_sink_pipeline() {

@@ -134,6 +134,13 @@ pub struct RuntimeConfig {
     /// Adaptive shard-count controller (`None`: every kernel job without
     /// an explicit override uses [`default_shards`](Self::default_shards)).
     pub adaptive: Option<AdaptiveSharding>,
+    /// Waste cap for cross-quota batch fusion: jobs whose shapes differ
+    /// only in per-work-item quota may fuse by padding the short members
+    /// up to the longest mate, as long as padded slots / total slots
+    /// stays at or under this ratio. 0 restricts the coalescing stage to
+    /// exact-shape fusion; the default is the `dwi-hls` cost model's
+    /// break-even point ([`dwi_core::default_max_pad_ratio`], 1/3).
+    pub max_pad_ratio: f64,
     /// Flight-recorder capacity: the last N completed [`JobTimeline`]s
     /// are kept in an always-on ring (0 disables), dumpable via
     /// [`Runtime::flight_dump`] — the post-hoc answer to "what did the
@@ -155,6 +162,7 @@ impl RuntimeConfig {
             batch_max_jobs: 1,
             batch_window: Duration::ZERO,
             adaptive: None,
+            max_pad_ratio: dwi_core::default_max_pad_ratio(),
             flight_capacity: 256,
             sink: TraceSink::disabled(),
         }
@@ -197,6 +205,17 @@ impl RuntimeConfig {
         self
     }
 
+    /// Set the waste cap for cross-quota (padded) batch fusion, in
+    /// `[0, 1)`. 0 disables padding — only exact-shape jobs fuse.
+    pub fn max_pad_ratio(mut self, ratio: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&ratio),
+            "pad ratio cap must be in [0, 1)"
+        );
+        self.max_pad_ratio = ratio;
+        self
+    }
+
     /// Set the flight-recorder capacity (0 disables it).
     pub fn flight_capacity(mut self, capacity: usize) -> Self {
         self.flight_capacity = capacity;
@@ -224,6 +243,25 @@ pub(crate) struct SchedState {
     /// remote completion) — the attached pools' own service-time view,
     /// kept separate so network latency never skews the local feeds.
     pub ema_remote_secs: f64,
+    /// Sliding window of the last [`SHARD_WINDOW`] per-group shard
+    /// service times — the tail-latency feed the adaptive controller
+    /// steers on (p99 reacts to stragglers the mean-tracking EMA
+    /// smooths away). Empty until the first kernel shard.
+    pub recent_group_secs: VecDeque<f64>,
+}
+
+/// Samples the p99 sketch keeps: enough for a stable tail estimate,
+/// small enough that the O(n log n) quantile under the scheduler lock
+/// stays in the microseconds.
+pub(crate) const SHARD_WINDOW: usize = 256;
+
+impl SchedState {
+    /// p99 of the windowed per-group service times; 0.0 while the window
+    /// holds too few samples for a tail to mean anything (the controller
+    /// then falls back to the EMA prior).
+    pub fn p99_group_secs(&self) -> f64 {
+        crate::shard::quantile(&self.recent_group_secs, 0.99)
+    }
 }
 
 /// Shared scheduler core (workers hold an `Arc` of it).
@@ -239,6 +277,9 @@ pub(crate) struct Core {
     pub batch_max: usize,
     pub batch_window: Duration,
     pub adaptive: Option<AdaptiveSharding>,
+    /// Waste cap for cross-quota padded fusion (see
+    /// [`RuntimeConfig::max_pad_ratio`]).
+    pub max_pad_ratio: f64,
     /// Always-on ring of the last N completed job timelines.
     pub flight: FlightRecorder<JobTimeline>,
     /// Job-id mint, shared with the dispatch path (fused batches get a
@@ -395,6 +436,7 @@ impl Runtime {
                 ema_shard_secs: 0.0,
                 ema_group_secs: 0.0,
                 ema_remote_secs: 0.0,
+                recent_group_secs: VecDeque::with_capacity(SHARD_WINDOW),
             }),
             work_cv: Condvar::new(),
             sink: config.sink.clone(),
@@ -409,6 +451,7 @@ impl Runtime {
             batch_max: config.batch_max_jobs.max(1),
             batch_window: config.batch_window,
             adaptive: config.adaptive,
+            max_pad_ratio: config.max_pad_ratio,
             flight: FlightRecorder::new(config.flight_capacity),
             next_id: AtomicU64::new(0),
             remote_workers: AtomicUsize::new(0),
@@ -514,7 +557,7 @@ impl Runtime {
                 state: state.clone(),
                 work: JobWork::Task(f),
                 shards: Some(1),
-                batch_key: None,
+                batch: None,
                 remote: None,
             },
             payload => {
@@ -584,22 +627,34 @@ impl Runtime {
                 // axis; remote-eligible jobs keep their wire description
                 // attached to every shard (a fused dispatch would strand
                 // it) — all four stay out of the coalescing stage.
-                let batch_key = (self.core.batch_max > 1
+                let batch = (self.core.batch_max > 1
                     && spec.deadline.is_none()
                     && spec.shards.is_none()
                     && spec.remote.is_none()
                     && graph.is_single())
-                .then(|| FusedJob::batch_key(graph.source().as_ref(), &plan.base));
+                .then(|| {
+                    let kernel = graph.source();
+                    queue::BatchShape {
+                        strict: Arc::from(FusedJob::batch_key(kernel.as_ref(), &plan.base)),
+                        // Some only for quota-exact kernels: the relaxed
+                        // key under which this job may ride a padded
+                        // cross-quota batch.
+                        pad: FusedJob::pad_key(kernel.as_ref(), &plan.base).map(Arc::from),
+                        quota: kernel.outputs_per_workitem(),
+                        workitems: plan.base.workitems,
+                    }
+                });
                 {
                     let mut inner = state.lock();
                     inner.cache_key = cache_key;
-                    inner.timeline.batch_key = batch_key.as_deref().map(Arc::from);
+                    inner.timeline.batch_key = batch.as_ref().map(|b| b.strict.clone());
+                    inner.timeline.pad_key = batch.as_ref().and_then(|b| b.pad.clone());
                 }
                 QueuedJob {
                     state: state.clone(),
                     work: JobWork::Graph { graph, plan },
                     shards: spec.shards,
-                    batch_key,
+                    batch,
                     remote: spec.remote,
                 }
             }

@@ -102,6 +102,21 @@ impl RuntimeMetrics {
             .observe(fam::BATCH_OCCUPANCY, &[], occupancy as f64);
     }
 
+    /// Padding accounting for one fused dispatch: `padded_slots` idle
+    /// no-op slots at `pad_ratio` of the batch's total. Recorded for
+    /// every batch — strict batches contribute 0 — so the pad families
+    /// are live whenever batching is.
+    pub fn batch_padding(&self, padded_slots: u64, pad_ratio: f64) {
+        self.sink.counter(fam::PADDED_SLOTS, &[]).add(padded_slots);
+        self.sink.observe(fam::BATCH_PAD_RATIO, &[], pad_ratio);
+    }
+
+    /// Current windowed p99 of per-group shard service time (EMA until
+    /// the window fills).
+    pub fn shard_p99(&self, secs: f64) {
+        self.sink.set_gauge(fam::SHARD_P99, &[], secs);
+    }
+
     /// Shard count chosen for one kernel dispatch.
     pub fn shards_per_job(&self, shards: u32) {
         self.sink.observe(fam::SHARDS_PER_JOB, &[], shards as f64);

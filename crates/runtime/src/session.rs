@@ -293,6 +293,74 @@ impl<'rt> Session<'rt> {
         }
     }
 
+    /// Block until *one specific* submission completes, up to `timeout`:
+    /// the per-ticket combinator for callers that pipeline a burst but
+    /// need one result on the critical path (a closed-loop probe inside
+    /// an open-loop stream, a dependency the next submission's spec
+    /// needs). Parks on the session's completion condvar — no polling —
+    /// and harvests *only* the requested ticket: every other completion
+    /// stays queued, in arrival order, for a later [`poll`] /
+    /// [`wait_any`] to return.
+    ///
+    /// Returns `None` when the timeout elapses first, or when the ticket
+    /// is not in flight on this session (already harvested, or foreign).
+    ///
+    /// ```
+    /// use dwi_runtime::{JobSpec, Runtime, RuntimeConfig};
+    /// use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
+    /// use std::sync::Arc;
+    /// use std::time::Duration;
+    ///
+    /// let rt = Runtime::new(RuntimeConfig::new(2));
+    /// let mut session = rt.session(0);
+    /// let kernel = Arc::new(TruncatedNormalKernel::new(1.5, 64, 9));
+    /// let ticket = session
+    ///     .try_submit(JobSpec::kernel(0, kernel, ExecutionPlan::new(2), 9))
+    ///     .expect("queue has room");
+    /// let done = session
+    ///     .wait_ticket(ticket, Duration::from_secs(30))
+    ///     .expect("completes well within the timeout");
+    /// assert_eq!(done.ticket, ticket);
+    /// ```
+    ///
+    /// [`poll`]: Session::poll
+    /// [`wait_any`]: Session::wait_any
+    pub fn wait_ticket(&mut self, ticket: Ticket, timeout: Duration) -> Option<Completion> {
+        if !self.pending.contains_key(&ticket.0) {
+            return None;
+        }
+        let deadline = Instant::now() + timeout;
+        let mut q = self.shared.ready.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(pos) = q.iter().position(|&id| id == ticket.0) {
+                q.remove(pos);
+                let depth = q.len();
+                drop(q);
+                self.shared
+                    .metrics
+                    .completion_queue_depth(&self.shared.client_label, depth);
+                let state = self
+                    .pending
+                    .remove(&ticket.0)
+                    .expect("ticket membership checked above");
+                self.shared
+                    .metrics
+                    .jobs_in_flight(&self.shared.client_label, self.pending.len());
+                return Some(Self::extract(&state));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            q = self
+                .shared
+                .cv
+                .wait_timeout(q, deadline - now)
+                .unwrap_or_else(|e| e.into_inner())
+                .0;
+        }
+    }
+
     /// Readiness state of one ticket: `true` once the job reached a
     /// terminal state (even if its completion has not been harvested yet),
     /// and for tickets already harvested.

@@ -3,6 +3,7 @@
 //! executes, and deciding *how many* slices pay off given what the pool
 //! is observing right now.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::job::{JobState, Status, TaskFn};
@@ -101,17 +102,42 @@ impl AdaptiveSharding {
     }
 }
 
+/// Samples the shard-completion window must hold before its p99 is
+/// trusted over the EMA prior — below this, an empirical tail quantile
+/// is mostly the sample maximum and over-reacts to a single outlier.
+pub(crate) const MIN_P99_SAMPLES: usize = 16;
+
+/// Nearest-rank quantile of a sliding sample window, `0.0` while the
+/// window holds fewer than [`MIN_P99_SAMPLES`] points (the caller falls
+/// back to its EMA prior — the controller's cold-start behaviour).
+pub(crate) fn quantile(window: &VecDeque<f64>, q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile order must be in [0, 1]");
+    if window.len() < MIN_P99_SAMPLES {
+        return 0.0;
+    }
+    let mut sorted: Vec<f64> = window.iter().copied().collect();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
 /// Pick a shard count for a job of `groups` NDRange groups given the
 /// pool's current state: `backlog` is queued jobs + pending shards,
 /// `ema_group_secs` the observed per-group service-time EMA (0 until the
-/// first shard completes). Pure — the controller's whole policy lives
-/// here so the tests can drive it with synthetic feeds.
+/// first shard completes), and `p99_group_secs` the windowed tail of the
+/// same feed (0 until the window fills — see [`quantile`]). The small-job
+/// decision closes on the *tail*, not the mean, once the tail is
+/// observable: a job is only "small enough not to split" when even its
+/// p99 prediction lands under the cutoff, so a latency mode hiding below
+/// a benign mean still triggers splitting. Pure — the controller's whole
+/// policy lives here so the tests can drive it with synthetic feeds.
 pub(crate) fn pick_shards(
     cfg: &AdaptiveSharding,
     groups: u32,
     workers: usize,
     backlog: usize,
     ema_group_secs: f64,
+    p99_group_secs: f64,
 ) -> u32 {
     let mut shards = if backlog >= workers {
         // Enough independent jobs to feed every worker: don't split.
@@ -120,7 +146,14 @@ pub(crate) fn pick_shards(
         // Spread a lone job across the workers the backlog leaves idle.
         workers.saturating_sub(backlog).max(1) as u32
     };
-    if ema_group_secs > 0.0 && ema_group_secs * groups as f64 <= cfg.small_job_secs {
+    // Tail-closed service-time prediction: p99 once the window holds
+    // enough samples, EMA as the cold-start prior.
+    let group_secs = if p99_group_secs > 0.0 {
+        p99_group_secs
+    } else {
+        ema_group_secs
+    };
+    if group_secs > 0.0 && group_secs * groups as f64 <= cfg.small_job_secs {
         // Predicted to finish before a split would pay for itself.
         shards = 1;
     }
@@ -194,36 +227,36 @@ mod tests {
     fn deep_backlog_collapses_to_one_shard() {
         // Backlog ≥ workers: per-job splitting adds nothing.
         for backlog in POOL..POOL + 8 {
-            assert_eq!(pick_shards(&cfg(), 64, POOL, backlog, 0.01), 1);
+            assert_eq!(pick_shards(&cfg(), 64, POOL, backlog, 0.01, 0.0), 1);
         }
     }
 
     #[test]
     fn idle_pool_splits_a_big_job_wide() {
-        assert_eq!(pick_shards(&cfg(), 64, POOL, 0, 0.01), POOL as u32);
+        assert_eq!(pick_shards(&cfg(), 64, POOL, 0, 0.01, 0.0), POOL as u32);
         // A partial backlog leaves only the idle workers to fill.
-        assert_eq!(pick_shards(&cfg(), 64, POOL, 1, 0.01), 3);
-        assert_eq!(pick_shards(&cfg(), 64, POOL, 3, 0.01), 1);
+        assert_eq!(pick_shards(&cfg(), 64, POOL, 1, 0.01, 0.0), 3);
+        assert_eq!(pick_shards(&cfg(), 64, POOL, 3, 0.01, 0.0), 1);
     }
 
     #[test]
     fn small_jobs_never_split() {
         // 4 groups at 10 µs/group = 40 µs, far under the 200 µs cutoff.
-        assert_eq!(pick_shards(&cfg(), 4, POOL, 0, 10e-6), 1);
+        assert_eq!(pick_shards(&cfg(), 4, POOL, 0, 10e-6, 0.0), 1);
         // Same job with no EMA yet (cold start): width wins.
-        assert_eq!(pick_shards(&cfg(), 4, POOL, 0, 0.0), 4);
+        assert_eq!(pick_shards(&cfg(), 4, POOL, 0, 0.0, 0.0), 4);
     }
 
     #[test]
     fn bounds_are_hard() {
         let c = cfg().bounds(2, 3);
         // Small-job and backlog collapses are raised to the floor...
-        assert_eq!(pick_shards(&c, 64, POOL, POOL, 0.01), 2);
-        assert_eq!(pick_shards(&c, 64, POOL, 0, 1e-9), 2);
+        assert_eq!(pick_shards(&c, 64, POOL, POOL, 0.01, 0.0), 2);
+        assert_eq!(pick_shards(&c, 64, POOL, 0, 1e-9, 0.0), 2);
         // ...and a wide split is capped at the ceiling.
-        assert_eq!(pick_shards(&c, 64, 16, 0, 0.01), 3);
+        assert_eq!(pick_shards(&c, 64, 16, 0, 0.01, 0.0), 3);
         // The group count still caps everything (split() can't exceed it).
-        assert_eq!(pick_shards(&c, 1, 16, 0, 0.01), 1);
+        assert_eq!(pick_shards(&c, 1, 16, 0, 0.01, 0.0), 1);
     }
 
     #[test]
@@ -235,9 +268,49 @@ mod tests {
         let feed = [1e-6, 5e-6, 20e-6, 24e-6, 26e-6, 100e-6, 1e-3];
         let picks: Vec<u32> = feed
             .iter()
-            .map(|&ema| pick_shards(&c, groups, POOL, 0, ema))
+            .map(|&ema| pick_shards(&c, groups, POOL, 0, ema, 0.0))
             .collect();
         // 8 groups × 25 µs crosses the 200 µs cutoff (inclusive below).
         assert_eq!(picks, vec![1, 1, 1, 1, 4, 4, 4]);
+    }
+
+    #[test]
+    fn p99_overrides_a_benign_mean() {
+        // Mean says "small job, don't split" (8 × 10 µs = 80 µs ≤ cutoff)
+        // but the observed tail says one group in a hundred takes 50 µs
+        // (8 × 50 µs = 400 µs > cutoff): the tail-closed controller keeps
+        // splitting, the mean-closed one would collapse to 1.
+        let c = cfg();
+        assert_eq!(pick_shards(&c, 8, POOL, 0, 10e-6, 0.0), 1);
+        assert_eq!(pick_shards(&c, 8, POOL, 0, 10e-6, 50e-6), POOL as u32);
+        // A tight tail confirms the mean's verdict.
+        assert_eq!(pick_shards(&c, 8, POOL, 0, 10e-6, 12e-6), 1);
+    }
+
+    #[test]
+    fn quantile_is_zero_until_the_window_fills() {
+        let mut w = VecDeque::new();
+        for i in 0..MIN_P99_SAMPLES - 1 {
+            w.push_back(i as f64);
+            assert_eq!(quantile(&w, 0.99), 0.0, "at {} samples", w.len());
+        }
+        w.push_back(100.0);
+        assert!(quantile(&w, 0.99) > 0.0);
+    }
+
+    #[test]
+    fn quantile_nearest_rank_brackets_the_tail() {
+        // 100 samples 1..=100: p99 is the 99th order statistic, p50 the
+        // 50th, p100 the max — nearest-rank, no interpolation.
+        let w: VecDeque<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(quantile(&w, 0.99), 99.0);
+        assert_eq!(quantile(&w, 0.5), 50.0);
+        assert_eq!(quantile(&w, 1.0), 100.0);
+        // One outlier among many fast samples moves p99 only once it
+        // crosses the rank — p50 never sees it.
+        let mut w: VecDeque<f64> = std::iter::repeat_n(1e-6, 99).collect();
+        w.push_back(1.0);
+        assert_eq!(quantile(&w, 0.5), 1e-6);
+        assert_eq!(quantile(&w, 1.0), 1.0);
     }
 }

@@ -131,6 +131,10 @@ pub struct JobTimeline {
     /// The job's fusion-compatibility key, when it was eligible for the
     /// coalescing stage (diagnostics: why did batches not form?).
     pub batch_key: Option<Arc<str>>,
+    /// The quota-erased padding key, when the kernel is quota-exact:
+    /// jobs sharing this (but not `batch_key`) fuse only as a padded
+    /// cross-quota batch.
+    pub pad_key: Option<Arc<str>>,
     /// Backpressure backoff included in the `admit` phase.
     pub backoff: Duration,
     /// Per-stage elapsed times of a multi-stage graph job (element-wise
@@ -158,6 +162,7 @@ impl JobTimeline {
             cache_hit: false,
             outcome: JobOutcome::Pending,
             batch_key: None,
+            pad_key: None,
             backoff: Duration::ZERO,
             stage_marks: Vec::new(),
         }

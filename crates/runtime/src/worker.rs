@@ -19,7 +19,7 @@ use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
 use dwi_trace::ProcessKind;
 
 use crate::job::{BatchDemux, BatchMember, CacheKey, CachedOutput, JobError, JobState, Status};
-use crate::queue::{JobWork, QueuedJob};
+use crate::queue::{BatchShape, JobWork, PadBudget, QueuedJob};
 use crate::shard::{ShardTask, ShardWork};
 use crate::timeline::{JobOutcome, JobTimeline};
 use crate::{Core, SchedState};
@@ -141,11 +141,19 @@ impl Core {
         mut st: MutexGuard<'a, SchedState>,
         mut job: QueuedJob,
     ) -> MutexGuard<'a, SchedState> {
-        let job = if let Some(key) = job.batch_key.take() {
-            st = self.await_batch_window(st, &key);
+        let job = if let Some(shape) = job.batch.take() {
+            st = self.await_batch_window(st, &shape);
+            // The leader seeds the waste budget; every drained mate —
+            // exact-shape or quota-relaxed — is admitted through it, so
+            // the formed batch respects `max_pad_ratio` by construction.
+            let mut budget = PadBudget::new(self.max_pad_ratio);
+            budget.seed(shape.workitems, shape.quota);
             let mut members = vec![job];
             let now = Instant::now();
-            for mate in st.queue.drain_compatible(&key, self.batch_max - 1) {
+            for mate in st
+                .queue
+                .drain_compatible(&shape, self.batch_max - 1, &mut budget)
+            {
                 // A mate cancelled while queued fails here instead of
                 // poisoning the batch.
                 if let Some(err) = mate.state.abort_error(now) {
@@ -187,13 +195,13 @@ impl Core {
     fn await_batch_window<'a>(
         &self,
         mut st: MutexGuard<'a, SchedState>,
-        key: &str,
+        shape: &BatchShape,
     ) -> MutexGuard<'a, SchedState> {
         if self.batch_window.is_zero() {
             return st;
         }
         let deadline = Instant::now() + self.batch_window;
-        while st.queue.compatible(key) + 1 < self.batch_max && !st.shutdown {
+        while st.queue.compatible(shape) + 1 < self.batch_max && !st.shutdown {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -249,7 +257,21 @@ impl Core {
         }
         let occupancy = batch_members.iter().map(|m| 1 + m.dupes.len()).sum();
         self.metrics.batch_dispatched(occupancy);
-        let batch = FusedBatch::fuse(jobs);
+        // Exact-shape members fuse for free; a quota spread takes the
+        // padded path (the drain's budget already proved the waste cap).
+        let strict = jobs.windows(2).all(|w| {
+            FusedJob::batch_key(w[0].kernel.as_ref(), &w[0].plan)
+                == FusedJob::batch_key(w[1].kernel.as_ref(), &w[1].plan)
+        });
+        let batch = if strict {
+            FusedBatch::fuse(jobs)
+        } else {
+            FusedBatch::fuse_padded(jobs, self.max_pad_ratio)
+        };
+        // Padding accounting on every batch (zero for strict fusion), so
+        // the pad families are never silent once batching is active.
+        self.metrics
+            .batch_padding(batch.padded_slots(), batch.pad_ratio());
         let kernel = batch.kernel();
         let plan = batch.plan().clone();
         let leader = &batch_members[0].state;
@@ -278,7 +300,7 @@ impl Core {
                 plan: GraphPlan::new(plan),
             },
             shards: None,
-            batch_key: None,
+            batch: None,
             // Remote-eligible jobs never coalesce (see submit_inner), so
             // a fused dispatch is always local.
             remote: None,
@@ -300,15 +322,24 @@ impl Core {
                     + self
                         .remote_workers
                         .load(std::sync::atomic::Ordering::Relaxed);
-                crate::shard::pick_shards(cfg, plan.groups(), pool, backlog, st.ema_group_secs)
+                crate::shard::pick_shards(
+                    cfg,
+                    plan.groups(),
+                    pool,
+                    backlog,
+                    st.ema_group_secs,
+                    st.p99_group_secs(),
+                )
             }
             _ => self.default_shards,
         }
     }
 
-    /// Record one executed shard: latency summary + the two service-time
-    /// EMAs (backpressure retry hint; adaptive controller feed —
-    /// `groups` is 0 for task shards, which carry no NDRange size).
+    /// Record one executed shard: latency summary, the two service-time
+    /// EMAs (backpressure retry hint; adaptive cold-start prior), and the
+    /// sliding per-group window whose p99 closes the adaptive controller
+    /// on the tail (`groups` is 0 for task shards, which carry no NDRange
+    /// size and feed neither the window nor the group EMA).
     pub(crate) fn record_shard(&self, worker: &str, dt_s: f64, groups: u64) {
         self.metrics.shard_executed(worker, dt_s);
         let mut st = self.lock_state();
@@ -324,6 +355,15 @@ impl Core {
             } else {
                 per_group
             };
+            if st.recent_group_secs.len() >= crate::SHARD_WINDOW {
+                st.recent_group_secs.pop_front();
+            }
+            st.recent_group_secs.push_back(per_group);
+            // Publish the controller's live feed: windowed p99 once the
+            // window holds enough samples, the EMA prior until then.
+            let p99 = st.p99_group_secs();
+            self.metrics
+                .shard_p99(if p99 > 0.0 { p99 } else { st.ema_group_secs });
         }
     }
 

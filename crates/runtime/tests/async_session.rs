@@ -409,6 +409,67 @@ fn deadlines_and_cancellation_resolve_through_the_completion_queue() {
     assert_eq!(outcomes[&survivor.id()], Ok(()));
 }
 
+/// The per-ticket combinator: `wait_ticket` parks until *its* job
+/// completes, harvests only that completion, and leaves every other
+/// finished job queued (in arrival order) for a later poll — so a
+/// critical-path wait inside an open-loop stream never swallows or
+/// reorders the rest of the harvest.
+#[test]
+fn wait_ticket_harvests_only_its_job_and_leaves_the_rest_queued() {
+    let rt = Runtime::new(RuntimeConfig::new(1).cache_capacity(0));
+    let (gate, tx) = blocker(&rt);
+    let mut session = rt.session(2);
+    let mut tickets = Vec::new();
+    for i in 0..4u32 {
+        tickets.push(
+            session
+                .try_submit(JobSpec::kernel(
+                    2,
+                    kernel(64, i),
+                    ExecutionPlan::new(2),
+                    i as u64,
+                ))
+                .expect("admitted"),
+        );
+    }
+    // Bounded: behind the parked worker nothing can complete, so the
+    // per-ticket wait must expire, not park forever.
+    let t0 = Instant::now();
+    assert!(
+        session
+            .wait_ticket(tickets[3], Duration::from_millis(30))
+            .is_none(),
+        "nothing completes behind the blocker"
+    );
+    assert!(t0.elapsed() >= Duration::from_millis(30));
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    // Wait for the *last-submitted* job: by the time it completes on the
+    // single FIFO worker, the other three are already in the completion
+    // queue — and must still be there afterwards.
+    let done = session
+        .wait_ticket(tickets[3], Duration::from_secs(30))
+        .expect("completes well within the timeout");
+    assert_eq!(done.ticket, tickets[3]);
+    done.result.expect("no deadline");
+    assert_eq!(session.in_flight(), 3, "other jobs stay tracked");
+    let mut rest = Vec::new();
+    while session.in_flight() > 0 {
+        rest.extend(session.wait_any(Duration::from_secs(30)));
+    }
+    assert_eq!(
+        rest.iter().map(|c| c.ticket).collect::<Vec<_>>(),
+        tickets[..3].to_vec(),
+        "untargeted completions keep their arrival order"
+    );
+    // Already harvested (and foreign) tickets resolve to None at once.
+    let t0 = Instant::now();
+    assert!(session
+        .wait_ticket(tickets[3], Duration::from_secs(30))
+        .is_none());
+    assert!(t0.elapsed() < Duration::from_secs(1), "no pointless park");
+}
+
 /// The bounded-wait contract the gateway's long-poll rides on, pinned:
 /// `Session::wait_any` returns empty at its deadline when nothing has
 /// completed (it must never park past the caller's timeout), and

@@ -162,6 +162,158 @@ fn batched_jobs_with_stragglers_stay_bit_identical_on_every_backend() {
 }
 
 #[test]
+fn padded_cross_quota_jobs_fuse_into_one_dispatch_on_every_backend() {
+    // The serve mix's near-miss: same kernel and plan shape, quotas 96
+    // vs 192. Strict fusion would leave these as three dispatches; the
+    // padded path coalesces them into one (pad ratio 1/6, under the
+    // default cap) and demux must stay bit-identical to inline runs.
+    for backend in [
+        "functional-decoupled",
+        "lockstep-coupled",
+        "ndrange",
+        "cycle-sim",
+        "simt-trace",
+    ] {
+        let rec = Recorder::new();
+        let rt = Runtime::with_backend_factory(
+            RuntimeConfig::new(1)
+                .cache_capacity(0)
+                .batching(8, Duration::ZERO)
+                .trace(rec.sink()),
+            move |_| named_backend(backend),
+        );
+        let (gate, tx) = blocker(&rt);
+        let spec = [(96u64, 4u32, 7u32), (192, 2, 1131), (192, 6, 7)];
+        let batched: Vec<_> = spec
+            .iter()
+            .map(|&(quota, wi, seed)| {
+                rt.submit(JobSpec::kernel(
+                    seed,
+                    kernel(quota, seed),
+                    ExecutionPlan::new(wi),
+                    seed as u64,
+                ))
+                .expect("admitted")
+            })
+            .collect();
+        tx.send(()).unwrap();
+        gate.wait().expect("blocker completes");
+        for (h, &(quota, wi, seed)) in batched.into_iter().zip(&spec) {
+            let got = h.wait().expect("padded mate completes").into_report();
+            let want = inline(backend, quota, seed, &ExecutionPlan::new(wi));
+            assert_identical(
+                &got,
+                &want,
+                &format!("{backend}: padded q{quota}/wi{wi}/s{seed}"),
+            );
+        }
+        let m = rec.metrics();
+        assert_eq!(
+            m.counter_value("dwi_runtime_batches_dispatched_total"),
+            Some(1),
+            "{backend}: the quota spread still coalesced into one dispatch"
+        );
+        assert_eq!(
+            m.counter_value("dwi_runtime_padded_slots_total"),
+            Some(4 * (192 - 96)),
+            "{backend}: the quota-96 member's four lanes padded up to 192"
+        );
+    }
+}
+
+#[test]
+fn over_budget_straggler_is_left_out_of_the_batch() {
+    // Quota 16 vs 512 at equal width busts the default 1/3 waste cap:
+    // the drain's budget must refuse the mate (two solo dispatches, no
+    // batch) rather than burn ~48 % of the pipeline's rounds as padding.
+    let rec = Recorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .cache_capacity(0)
+            .batching(8, Duration::ZERO)
+            .trace(rec.sink()),
+    );
+    let (gate, tx) = blocker(&rt);
+    let short = rt
+        .submit(JobSpec::kernel(0, kernel(16, 1), ExecutionPlan::new(2), 1))
+        .expect("admitted");
+    let long = rt
+        .submit(JobSpec::kernel(1, kernel(512, 2), ExecutionPlan::new(2), 2))
+        .expect("admitted");
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    for (h, quota, seed) in [(short, 16u64, 1u32), (long, 512, 2)] {
+        let got = h.wait().expect("completes").into_report();
+        let want = inline("functional-decoupled", quota, seed, &ExecutionPlan::new(2));
+        assert_identical(&got, &want, &format!("unfused q{quota}"));
+    }
+    let m = rec.metrics();
+    assert_eq!(
+        m.counter_value("dwi_runtime_batches_dispatched_total"),
+        None,
+        "no batch formed over the waste cap"
+    );
+    assert_eq!(m.counter_value("dwi_runtime_padded_slots_total"), None);
+}
+
+#[test]
+fn cancelled_padded_mate_fails_while_the_rest_complete() {
+    // Cancelling the *short* member of a cross-quota batch must fail only
+    // it — the surviving mates (including the long one whose geometry
+    // dominates the fusion) still complete bit-identically.
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .cache_capacity(0)
+            .batching(4, Duration::ZERO),
+    );
+    let (gate, tx) = blocker(&rt);
+    let keep1 = rt
+        .submit(JobSpec::kernel(0, kernel(192, 1), ExecutionPlan::new(2), 1))
+        .expect("admitted");
+    let doomed = rt
+        .submit(JobSpec::kernel(1, kernel(96, 2), ExecutionPlan::new(2), 2))
+        .expect("admitted");
+    let keep2 = rt
+        .submit(JobSpec::kernel(2, kernel(96, 3), ExecutionPlan::new(2), 3))
+        .expect("admitted");
+    doomed.cancel();
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    assert_eq!(
+        doomed.wait().expect_err("cancelled padded mate must fail"),
+        JobError::Cancelled
+    );
+    for (h, quota, seed) in [(keep1, 192u64, 1u32), (keep2, 96, 3)] {
+        let got = h.wait().expect("unaffected mate completes").into_report();
+        let want = inline("functional-decoupled", quota, seed, &ExecutionPlan::new(2));
+        assert_identical(&got, &want, &format!("surviving mate q{quota}/s{seed}"));
+    }
+}
+
+#[test]
+fn cross_quota_jobs_never_collide_in_the_cache() {
+    // Same kernel family, plan, and seed — different quota. Their cache
+    // identities must differ (the graph fingerprint embeds the kernel's
+    // quota/phase shape), so the second run is a miss that returns its
+    // own geometry, never the first job's cached report.
+    let rec = Recorder::new();
+    let rt = Runtime::new(RuntimeConfig::new(1).trace(rec.sink()));
+    let plan = ExecutionPlan::new(2);
+    let short = rt.run_kernel(kernel(64, 5), plan.clone(), 5);
+    let long = rt.run_kernel(kernel(128, 5), plan.clone(), 5);
+    assert_eq!(short.quota, 64);
+    assert_eq!(long.quota, 128, "cross-quota cache collision");
+    assert_ne!(short.samples, long.samples);
+    let m = rec.metrics();
+    assert_eq!(
+        m.counter_value("dwi_runtime_cache_misses_total"),
+        Some(2),
+        "two distinct cache identities"
+    );
+    assert_eq!(m.counter_value("dwi_runtime_cache_hits_total"), None);
+}
+
+#[test]
 fn identical_queued_jobs_deduplicate_into_one_report() {
     let rt = Runtime::new(RuntimeConfig::new(1).batching(4, Duration::ZERO));
     let (gate, tx) = blocker(&rt);

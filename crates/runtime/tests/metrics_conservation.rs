@@ -155,13 +155,17 @@ fn mixed_run_conserves_jobs_and_touches_every_family() {
     let second = rt.run_kernel(kernel(64, 42), ExecutionPlan::new(2), 42);
     assert!(Arc::ptr_eq(&first, &second), "second run is the cached Arc");
 
-    // --- A fused batch: two compatible jobs queued behind the blocker. ---
+    // --- A fused batch: two *cross-quota* jobs queued behind the
+    // blocker. Same kernel and plan shape, quotas 64 vs 128, so the
+    // coalescer takes the padded path (pad ratio 1/4, under the default
+    // cap) and the padding families go live with non-zero values. ---
     let (gate, release) = blocker(&rt);
-    let mates: Vec<_> = (10..12u32)
-        .map(|seed| {
+    let mates: Vec<_> = [(64u64, 10u32), (128, 11)]
+        .into_iter()
+        .map(|(quota, seed)| {
             rt.submit(JobSpec::kernel(
                 0,
-                kernel(64, seed),
+                kernel(quota, seed),
                 ExecutionPlan::new(2),
                 seed as u64,
             ))
@@ -292,6 +296,8 @@ fn mixed_run_conserves_jobs_and_touches_every_family() {
          cancelled + {expired} expired"
     );
     assert_eq!(total(fam::CACHE_HITS), 1);
+    // The cross-quota batch: 2 work-items padded from quota 64 up to 128.
+    assert_eq!(total(fam::PADDED_SLOTS), 2 * (128 - 64));
     assert_eq!(total(fam::INFLIGHT_DEDUP), 1, "one follower attached");
     assert_eq!(total(fam::REMOTE_DISCONNECTS), 1);
     assert_eq!(total(fam::REMOTE_REQUEUED), 1);

@@ -143,6 +143,22 @@ pub const REMOTE_DISCONNECTS: &str = "dwi_runtime_remote_disconnects_total";
 /// Counter: shards requeued to the local pool after a remote failure.
 pub const REMOTE_REQUEUED: &str = "dwi_runtime_remote_requeued_shards_total";
 
+/// Counter: padded (idle no-op) work-item slots dispatched by cross-quota
+/// batch fusion — short members riding a longer mate burn
+/// `workitems · (q_max − q)` slots each. Zero while every batch is
+/// strictly shaped.
+pub const PADDED_SLOTS: &str = "dwi_runtime_padded_slots_total";
+
+/// Summary: padded slots / total slots of one fused dispatch, observed
+/// once per batch (0 for strictly shaped batches). Bounded above by the
+/// runtime's `max_pad_ratio` waste cap.
+pub const BATCH_PAD_RATIO: &str = "dwi_runtime_batch_pad_ratio";
+
+/// Gauge: windowed p99 of per-group shard service time (seconds) over the
+/// last completions — the adaptive sharding controller's tail-latency
+/// feed. Falls back to the EMA until the window holds enough samples.
+pub const SHARD_P99: &str = "dwi_runtime_shard_p99_seconds";
+
 /// Every family the runtime exports — the conservation test walks this
 /// list to assert a mixed run leaves no family silent, and the README's
 /// observability table documents exactly these names.
@@ -179,4 +195,7 @@ pub const ALL: &[&str] = &[
     REMOTE_SHARD_LATENCY,
     REMOTE_DISCONNECTS,
     REMOTE_REQUEUED,
+    PADDED_SLOTS,
+    BATCH_PAD_RATIO,
+    SHARD_P99,
 ];
