@@ -111,10 +111,15 @@ impl RuntimeMetrics {
         self.sink.observe(fam::BATCH_PAD_RATIO, &[], pad_ratio);
     }
 
-    /// Current windowed p99 of per-group shard service time (EMA until
-    /// the window fills).
-    pub fn shard_p99(&self, secs: f64) {
-        self.sink.set_gauge(fam::SHARD_P99, &[], secs);
+    /// Current tail-latency control signal: the windowed p99 of
+    /// per-group shard service time once the window holds enough
+    /// samples (`signal="window"`), the EMA cold-start prior until then
+    /// (`signal="ema-prior"`). Distinct series, so a dashboard never
+    /// mistakes the mean-tracking prior for a real p99.
+    pub fn shard_p99(&self, secs: f64, windowed: bool) {
+        let signal = if windowed { "window" } else { "ema-prior" };
+        self.sink
+            .set_gauge(fam::SHARD_P99, &[("signal", signal)], secs);
     }
 
     /// Shard count chosen for one kernel dispatch.

@@ -199,21 +199,33 @@ impl AdmissionQueue {
         self.lanes[p.index()].len
     }
 
-    /// Queued jobs that could fuse with `shape` right now — strictly or
-    /// under quota padding — what a coalescing worker polls while its
-    /// batch window is open. An optimistic count: the waste cap is
-    /// enforced at drain time, so some counted jobs may still be left
-    /// behind.
-    pub fn compatible(&self, shape: &BatchShape) -> usize {
-        self.lanes
-            .iter()
-            .flat_map(|l| &l.clients)
-            .map(|(_, q)| {
-                q.iter()
-                    .filter(|j| j.batch.as_ref().is_some_and(|b| shape.admits(b)))
-                    .count()
-            })
-            .sum()
+    /// Queued jobs that would join a batch forming around `shape` right
+    /// now — strictly shaped, or quota-relaxed *and* inside the waste
+    /// budget — what a coalescing worker polls while its batch window is
+    /// open. Dry-runs the same [`PadBudget`] admission
+    /// [`drain_compatible`](Self::drain_compatible) applies, scanning in
+    /// the same order, so the window closes as soon as enough genuinely
+    /// admissible mates are queued instead of waiting out the window on
+    /// candidates the drain would refuse.
+    pub fn compatible(&self, shape: &BatchShape, max_pad_ratio: f64) -> usize {
+        let mut budget = PadBudget::new(max_pad_ratio);
+        budget.seed(shape.workitems, shape.quota);
+        let mut n = 0;
+        for lane in &self.lanes {
+            let clients = lane.clients.len();
+            for i in 0..clients {
+                let (_, q) = &lane.clients[(lane.next + i) % clients];
+                n += q
+                    .iter()
+                    .filter(|j| {
+                        j.batch.as_ref().is_some_and(|b| {
+                            shape.admits(b) && budget.try_admit(b.workitems, b.quota)
+                        })
+                    })
+                    .count();
+            }
+        }
+        n
     }
 
     /// Remove up to `max` jobs fusable with `shape`, in dispatch order

@@ -14,8 +14,9 @@
 use std::sync::{Arc, MutexGuard};
 use std::time::Instant;
 
-use dwi_core::backend::{Backend, FusedBatch, FusedJob};
+use dwi_core::backend::{Backend, FusedBatch, FusedJob, SharedWorkItemKernel};
 use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
+use dwi_core::ExecutionPlan;
 use dwi_trace::ProcessKind;
 
 use crate::job::{BatchDemux, BatchMember, CacheKey, CachedOutput, JobError, JobState, Status};
@@ -145,7 +146,9 @@ impl Core {
             st = self.await_batch_window(st, &shape);
             // The leader seeds the waste budget; every drained mate —
             // exact-shape or quota-relaxed — is admitted through it, so
-            // the formed batch respects `max_pad_ratio` by construction.
+            // the *drained* set respects `max_pad_ratio` by
+            // construction (the set that actually fuses may shrink and
+            // is re-proved inside `fuse`).
             let mut budget = PadBudget::new(self.max_pad_ratio);
             budget.seed(shape.workitems, shape.quota);
             let mut members = vec![job];
@@ -162,6 +165,23 @@ impl Core {
                     members.push(mate);
                 }
             }
+            let job = if members.len() == 1 {
+                members.pop().expect("just checked length")
+            } else {
+                // Aborted mates (above) and in-batch dedup (inside
+                // `fuse`) can shrink the admitted set below the cap the
+                // budget proved; fusion re-proves it and hands back any
+                // mates it had to evict for requeueing.
+                let (job, evicted) = self.fuse(members);
+                if !evicted.is_empty() {
+                    for mate in evicted {
+                        st.queue.push(mate);
+                    }
+                    // Evicted mates are dispatchable work again.
+                    self.work_cv.notify_all();
+                }
+                job
+            };
             for lane in [
                 crate::job::Priority::High,
                 crate::job::Priority::Normal,
@@ -169,11 +189,7 @@ impl Core {
             ] {
                 self.metrics.queue_depth(lane, st.queue.lane_depth(lane));
             }
-            if members.len() == 1 {
-                members.pop().expect("just checked length")
-            } else {
-                self.fuse(members)
-            }
+            job
         } else {
             job
         };
@@ -201,7 +217,7 @@ impl Core {
             return st;
         }
         let deadline = Instant::now() + self.batch_window;
-        while st.queue.compatible(shape) + 1 < self.batch_max && !st.shutdown {
+        while st.queue.compatible(shape, self.max_pad_ratio) + 1 < self.batch_max && !st.shutdown {
             let now = Instant::now();
             if now >= deadline {
                 break;
@@ -222,43 +238,111 @@ impl Core {
     /// deduplicated: the repeat executes zero extra work-items and is
     /// delivered the same `Arc<RunReport>` (caching disabled means no
     /// key, so no dedup — every member runs).
-    fn fuse(&self, members: Vec<QueuedJob>) -> QueuedJob {
-        let mut jobs: Vec<FusedJob> = Vec::with_capacity(members.len());
-        let mut batch_members: Vec<BatchMember> = Vec::with_capacity(members.len());
-        let mut keys: Vec<Option<CacheKey>> = Vec::with_capacity(members.len());
+    ///
+    /// The drain's budget proved the waste cap over the *drained* set,
+    /// but the fused set can be smaller — aborted mates are filtered
+    /// out by the caller and duplicates collapse into one segment — and
+    /// removing a member shrinks total slots faster than padded slots,
+    /// so the survivors may exceed the cap the budget proved. The cap
+    /// is therefore re-proved here over the surviving segments, evicting
+    /// the lowest-quota mates (the largest per-slot padding
+    /// contributors) until it holds again; evicted mates are returned
+    /// untouched for the caller to requeue (the leader always stays —
+    /// it was popped for dispatch). This keeps the `fuse_padded`
+    /// backstop assert a true invariant.
+    fn fuse(&self, members: Vec<QueuedJob>) -> (QueuedJob, Vec<QueuedJob>) {
+        struct Entry {
+            member: QueuedJob,
+            dupes: Vec<QueuedJob>,
+            kernel: SharedWorkItemKernel,
+            plan: ExecutionPlan,
+            key: Option<CacheKey>,
+        }
+        // Group by cache key first, *without* touching member state, so
+        // an evicted mate goes back to the queue exactly as drained.
+        let mut entries: Vec<Entry> = Vec::with_capacity(members.len());
         for m in members {
-            let (kernel, plan) = match m.work {
-                JobWork::Graph { graph, plan } => (graph.source().clone(), plan.base),
+            let (kernel, plan) = match &m.work {
+                JobWork::Graph { graph, plan } => (graph.source().clone(), plan.base.clone()),
                 JobWork::Task(_) => unreachable!("tasks never carry a batch key"),
             };
-            let key = {
-                let mut inner = m.state.lock();
+            let key = m.state.lock().cache_key.clone();
+            if let Some(k) = &key {
+                if let Some(e) = entries.iter_mut().find(|e| e.key.as_ref() == Some(k)) {
+                    e.dupes.push(m);
+                    continue;
+                }
+            }
+            entries.push(Entry {
+                member: m,
+                dupes: Vec::new(),
+                kernel,
+                plan,
+                key,
+            });
+        }
+        // Re-prove the waste cap over the surviving unique segments —
+        // dupes occupy no slots, so this mirrors `FusedBatch::pad_ratio`
+        // exactly. A single survivor pads nothing, so the loop always
+        // terminates under the cap.
+        let mut evicted: Vec<QueuedJob> = Vec::new();
+        loop {
+            let q_max = entries
+                .iter()
+                .map(|e| e.kernel.outputs_per_workitem())
+                .max()
+                .unwrap_or(0);
+            let (padded, total) = entries.iter().fold((0u64, 0u64), |(p, t), e| {
+                let wi = e.plan.workitems as u64;
+                (
+                    p + wi * (q_max - e.kernel.outputs_per_workitem()),
+                    t + wi * q_max,
+                )
+            });
+            if total == 0 || padded as f64 / total as f64 <= self.max_pad_ratio {
+                break;
+            }
+            let pos = entries
+                .iter()
+                .enumerate()
+                .skip(1)
+                .min_by_key(|(_, e)| e.kernel.outputs_per_workitem())
+                .map(|(i, _)| i)
+                .expect("an over-cap set holds at least two segments");
+            let e = entries.remove(pos);
+            evicted.push(e.member);
+            evicted.extend(e.dupes);
+        }
+        // A batch shrunk to its leader alone dispatches unfused.
+        if entries.len() == 1 && entries[0].dupes.is_empty() {
+            let e = entries.pop().expect("just checked length");
+            return (e.member, evicted);
+        }
+        // Commit the kept members to the batch.
+        let mut jobs: Vec<FusedJob> = Vec::with_capacity(entries.len());
+        let mut batch_members: Vec<BatchMember> = Vec::with_capacity(entries.len());
+        for e in entries {
+            for state in std::iter::once(&e.member.state).chain(e.dupes.iter().map(|d| &d.state)) {
+                let mut inner = state.lock();
                 inner.status = Status::Running;
                 // Drained mates skip the worker-loop pop path, so their
                 // queue residency ends here, at the batch's formation.
                 inner.timeline.mark_dequeued();
-                inner.cache_key.clone()
-            };
-            if let Some(k) = &key {
-                if let Some(pos) = keys
-                    .iter()
-                    .position(|existing| existing.as_ref() == Some(k))
-                {
-                    batch_members[pos].dupes.push(m.state);
-                    continue;
-                }
             }
-            jobs.push(FusedJob { kernel, plan });
-            batch_members.push(BatchMember {
-                state: m.state,
-                dupes: Vec::new(),
+            jobs.push(FusedJob {
+                kernel: e.kernel,
+                plan: e.plan,
             });
-            keys.push(key);
+            batch_members.push(BatchMember {
+                state: e.member.state,
+                dupes: e.dupes.into_iter().map(|d| d.state).collect(),
+            });
         }
         let occupancy = batch_members.iter().map(|m| 1 + m.dupes.len()).sum();
         self.metrics.batch_dispatched(occupancy);
         // Exact-shape members fuse for free; a quota spread takes the
-        // padded path (the drain's budget already proved the waste cap).
+        // padded path (the eviction pass above re-proved the waste cap
+        // over exactly these segments).
         let strict = jobs.windows(2).all(|w| {
             FusedJob::batch_key(w[0].kernel.as_ref(), &w[0].plan)
                 == FusedJob::batch_key(w[1].kernel.as_ref(), &w[1].plan)
@@ -293,7 +377,7 @@ impl Core {
             inner.timeline.batch_occupancy = occupancy as u32;
             inner.timeline.mark_dequeued();
         }
-        QueuedJob {
+        let fused = QueuedJob {
             state,
             work: JobWork::Graph {
                 graph: Arc::new(KernelGraph::single(kernel)),
@@ -304,7 +388,8 @@ impl Core {
             // Remote-eligible jobs never coalesce (see submit_inner), so
             // a fused dispatch is always local.
             remote: None,
-        }
+        };
+        (fused, evicted)
     }
 
     /// Shard count for one dispatch: explicit override → adaptive
@@ -359,11 +444,15 @@ impl Core {
                 st.recent_group_secs.pop_front();
             }
             st.recent_group_secs.push_back(per_group);
-            // Publish the controller's live feed: windowed p99 once the
-            // window holds enough samples, the EMA prior until then.
+            // Publish the controller's live feed: the windowed p99 once
+            // the window holds enough samples, the EMA prior until then
+            // — labeled apart so the prior never masquerades as a p99.
             let p99 = st.p99_group_secs();
-            self.metrics
-                .shard_p99(if p99 > 0.0 { p99 } else { st.ema_group_secs });
+            if p99 > 0.0 {
+                self.metrics.shard_p99(p99, true);
+            } else {
+                self.metrics.shard_p99(st.ema_group_secs, false);
+            }
         }
     }
 

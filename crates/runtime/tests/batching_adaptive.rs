@@ -257,6 +257,55 @@ fn over_budget_straggler_is_left_out_of_the_batch() {
 }
 
 #[test]
+fn shrunken_batch_re_proves_the_waste_cap_by_evicting_a_mate() {
+    // The drain's budget admits {q6·2wi leader, q6·2wi mate, q2·3wi
+    // mate} at pad ratio 12/42 ≈ 0.29 — under the default 1/3 cap. The
+    // middle mate is cancelled, so the set that actually fuses shrinks
+    // to {q6·2wi, q2·3wi} at ratio 12/30 = 0.4, over the cap the budget
+    // proved: fusion must evict the low-quota mate back to the queue
+    // (both survivors dispatch solo) instead of panicking the worker on
+    // the fuse_padded backstop assert and stranding the batch's jobs.
+    let rec = Recorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::new(1)
+            .cache_capacity(0)
+            .batching(8, Duration::ZERO)
+            .trace(rec.sink()),
+    );
+    let (gate, tx) = blocker(&rt);
+    let leader = rt
+        .submit(JobSpec::kernel(0, kernel(6, 1), ExecutionPlan::new(2), 1))
+        .expect("admitted");
+    let doomed = rt
+        .submit(JobSpec::kernel(1, kernel(6, 2), ExecutionPlan::new(2), 2))
+        .expect("admitted");
+    let evicted = rt
+        .submit(JobSpec::kernel(2, kernel(2, 3), ExecutionPlan::new(3), 3))
+        .expect("admitted");
+    doomed.cancel();
+    tx.send(()).unwrap();
+    gate.wait().expect("blocker completes");
+    assert_eq!(
+        doomed.wait().expect_err("cancelled mate must fail"),
+        JobError::Cancelled
+    );
+    for (h, quota, wi, seed) in [(leader, 6u64, 2u32, 1u32), (evicted, 2, 3, 3)] {
+        let got = h.wait().expect("survivor completes").into_report();
+        let want = inline("functional-decoupled", quota, seed, &ExecutionPlan::new(wi));
+        assert_identical(&got, &want, &format!("survivor q{quota}/s{seed}"));
+    }
+    // The shrunken pair would have fused at 40 % padding: no batch may
+    // form, and no padded slot may be dispatched.
+    let m = rec.metrics();
+    assert_eq!(
+        m.counter_value("dwi_runtime_batches_dispatched_total"),
+        None,
+        "an over-cap remnant must not fuse"
+    );
+    assert_eq!(m.counter_value("dwi_runtime_padded_slots_total"), None);
+}
+
+#[test]
 fn cancelled_padded_mate_fails_while_the_rest_complete() {
     // Cancelling the *short* member of a cross-quota batch must fail only
     // it — the surviving mates (including the long one whose geometry

@@ -154,9 +154,12 @@ pub const PADDED_SLOTS: &str = "dwi_runtime_padded_slots_total";
 /// runtime's `max_pad_ratio` waste cap.
 pub const BATCH_PAD_RATIO: &str = "dwi_runtime_batch_pad_ratio";
 
-/// Gauge: windowed p99 of per-group shard service time (seconds) over the
-/// last completions — the adaptive sharding controller's tail-latency
-/// feed. Falls back to the EMA until the window holds enough samples.
+/// Gauge: the adaptive sharding controller's tail-latency feed, one
+/// series per phase of the signal: `signal="window"` carries the true
+/// windowed p99 of per-group shard service time (seconds) once the
+/// window holds enough samples; `signal="ema-prior"` carries the EMA
+/// cold-start prior published until then (a mean, not a quantile —
+/// labeled apart so dashboards can tell).
 pub const SHARD_P99: &str = "dwi_runtime_shard_p99_seconds";
 
 /// Every family the runtime exports — the conservation test walks this
