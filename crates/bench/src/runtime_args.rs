@@ -12,10 +12,24 @@
 //! (batching demuxes bit-identically, adaptivity only changes split counts
 //! the merge erases, and the async path changes only *how* a result is
 //! harvested), which is exactly what the CI parity diffs pin.
+//!
+//! `--cache-dir <DIR>` turns the result cache on *with a durable disk
+//! tier underneath*: evictions spill to checksummed `.dwic` files and a
+//! rerun over the same directory promotes them back, so a figure sweep
+//! repeated across processes keeps its hit rate. Parameter digests in
+//! the graph fingerprint keep distinct kernel configurations under one
+//! name apart, so caching no longer has to stay off for correctness —
+//! and hits return the *same bytes* a cold run computes, which the CI
+//! warm-restart parity diff pins. `--tuned <STORE>` loads a `dwi-tune`
+//! calibration and applies its knob vector (workers, batching, pad cap,
+//! shard policy) when the store has one, falling back to these flags.
 
 use std::time::Duration;
 
-use dwi_runtime::{AdaptiveSharding, JobError, JobOutput, JobSpec, Runtime, RuntimeConfig};
+use dwi_runtime::{
+    AdaptiveSharding, JobError, JobOutput, JobSpec, Runtime, RuntimeConfig, TunedKnobs,
+};
+use dwi_tune::TuningStore;
 
 /// The scheduler flags of a figure binary.
 #[derive(Debug, Default, Clone)]
@@ -40,6 +54,15 @@ pub struct RuntimeArgs {
     /// this only matters to tools that reuse [`Pool::submit_and_wait`]
     /// from a pipelined loop).
     pub inflight: usize,
+    /// `--cache-dir <DIR>`: enable the result cache with the durable
+    /// disk tier spilling into `DIR` (off by default — without a
+    /// directory the figure binaries keep caching disabled, preserving
+    /// their historical single-pass behaviour).
+    pub cache_dir: Option<std::path::PathBuf>,
+    /// `--tuned <STORE>`: load a `dwi-tune` calibration store and apply
+    /// its knob vector when it has one for the canonical serve shape
+    /// (falling back to the explicit flags on a miss).
+    pub tuned_store: Option<std::path::PathBuf>,
 }
 
 impl RuntimeArgs {
@@ -73,6 +96,8 @@ impl RuntimeArgs {
                 }
                 "--adaptive" => out.adaptive = true,
                 "--async" => out.use_async = true,
+                "--cache-dir" => out.cache_dir = args.next().map(Into::into),
+                "--tuned" => out.tuned_store = args.next().map(Into::into),
                 "--inflight" => {
                     out.inflight = args
                         .next()
@@ -90,18 +115,44 @@ impl RuntimeArgs {
         self.workers.unwrap_or(4)
     }
 
-    /// The pool configuration these flags describe (cache disabled:
-    /// figure binaries submit distinct kernel *configurations* under one
-    /// kernel name and seed, which the `(kernel, plan, seed)` cache key
-    /// cannot tell apart).
+    /// The `--tuned` store's calibration for the canonical serve shape
+    /// (single work-item truncated-normal jobs), when the store has one.
+    /// Explicit `--workers` still wins over the stored width.
+    fn tuned_knobs(&self) -> Option<TunedKnobs> {
+        let path = self.tuned_store.as_ref()?;
+        let key = TuningStore::shape_key(
+            "truncated-normal",
+            &dwi_core::ExecutionPlan::new(1).fingerprint(),
+        );
+        let mut knobs = TuningStore::load(path).get(&key)?.knobs.clone();
+        if let Some(w) = self.workers {
+            knobs.workers = w;
+        }
+        Some(knobs)
+    }
+
+    /// The pool configuration these flags describe. Caching stays off
+    /// unless `--cache-dir` asks for the durable tier: graph-fingerprint
+    /// parameter digests keep distinct kernel configurations apart, so
+    /// this is a single-pass-economy default, not a correctness rule.
     pub fn config(&self) -> RuntimeConfig {
-        let mut cfg = RuntimeConfig::new(self.workers()).cache_capacity(0);
-        if let Some(batch) = self.batch {
-            cfg = cfg.batching(batch, Duration::from_millis(self.batch_window_ms));
-        }
-        if self.adaptive {
-            cfg = cfg.adaptive(AdaptiveSharding::new());
-        }
+        let mut cfg = match self.tuned_knobs() {
+            Some(knobs) => RuntimeConfig::tuned(&knobs),
+            None => {
+                let mut cfg = RuntimeConfig::new(self.workers());
+                if let Some(batch) = self.batch {
+                    cfg = cfg.batching(batch, Duration::from_millis(self.batch_window_ms));
+                }
+                if self.adaptive {
+                    cfg = cfg.adaptive(AdaptiveSharding::new());
+                }
+                cfg
+            }
+        };
+        cfg = match &self.cache_dir {
+            Some(dir) => cfg.disk_cache(dir.clone()),
+            None => cfg.cache_capacity(0),
+        };
         cfg
     }
 
@@ -220,6 +271,79 @@ mod tests {
         let pool = args.build().expect("--runtime --async builds a pool");
         assert!(pool.use_async());
         assert_eq!(on_pool(Some(&pool), || 6 * 7), 42);
+    }
+
+    #[test]
+    fn cache_dir_enables_both_cache_tiers() {
+        let dir = std::env::temp_dir().join(format!("dwi_bench_cache_{}", std::process::id()));
+        let args = RuntimeArgs {
+            enabled: true,
+            cache_dir: Some(dir.clone()),
+            ..Default::default()
+        };
+        let cfg = args.config();
+        assert!(cfg.cache_capacity > 0, "memory tier on with --cache-dir");
+        assert_eq!(cfg.disk_cache_dir.as_deref(), Some(dir.as_path()));
+        // Without the flag the historical single-pass default holds.
+        let cfg = RuntimeArgs::default().config();
+        assert_eq!(cfg.cache_capacity, 0);
+        assert_eq!(cfg.disk_cache_dir, None);
+    }
+
+    #[test]
+    fn tuned_store_applies_its_calibration() {
+        use dwi_tune::StoredTuning;
+        let path =
+            std::env::temp_dir().join(format!("dwi_bench_tuned_{}.json", std::process::id()));
+        let mut store = TuningStore::new();
+        let knobs = TunedKnobs {
+            workers: 3,
+            batch_max_jobs: 16,
+            batch_window: Duration::from_micros(150),
+            max_pad_ratio: 0.25,
+            shard_min: 1,
+            shard_max: 3,
+            adaptive: true,
+        };
+        store.insert(
+            TuningStore::shape_key(
+                "truncated-normal",
+                &dwi_core::ExecutionPlan::new(1).fingerprint(),
+            ),
+            StoredTuning {
+                knobs: knobs.clone(),
+                score: 100.0,
+                trials: 4,
+            },
+        );
+        store.save(&path).unwrap();
+
+        let args = RuntimeArgs {
+            enabled: true,
+            tuned_store: Some(path.clone()),
+            ..Default::default()
+        };
+        let cfg = args.config();
+        assert_eq!(cfg.workers, 3);
+        assert_eq!(cfg.batch_max_jobs, 16);
+        assert_eq!(cfg.batch_window, Duration::from_micros(150));
+        assert_eq!(cfg.max_pad_ratio, 0.25);
+        // Explicit --workers still wins over the stored width.
+        let args = RuntimeArgs {
+            enabled: true,
+            workers: Some(8),
+            tuned_store: Some(path.clone()),
+            ..Default::default()
+        };
+        assert_eq!(args.config().workers, 8);
+        // A missing store falls back to the flags untouched.
+        let args = RuntimeArgs {
+            enabled: true,
+            tuned_store: Some("/nonexistent/store.json".into()),
+            ..Default::default()
+        };
+        assert_eq!(args.config().batch_max_jobs, 1);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -69,6 +69,15 @@ impl WorkItemKernel for TruncatedNormalKernel {
         true
     }
 
+    fn param_digest(&self) -> u64 {
+        crate::digest::Digest::new()
+            .f32(self.a)
+            .mt(&self.mt)
+            .u32(self.seed)
+            .u64(self.quota)
+            .finish()
+    }
+
     fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance> {
         Box::new(TruncatedNormalInstance {
             app: TruncatedNormal::new(self.a, self.mt, self.seed, wid),
@@ -193,6 +202,17 @@ impl WorkItemKernel for SeverityExpMix {
     // iterations), so the mixture sampler is safe to pad across quotas.
     fn quota_exact(&self) -> bool {
         true
+    }
+
+    fn param_digest(&self) -> u64 {
+        crate::digest::Digest::new()
+            .f32(self.w)
+            .f32(self.lambda1)
+            .f32(self.lambda2)
+            .mt(&self.mt)
+            .u32(self.seed)
+            .u64(self.quota)
+            .finish()
     }
 
     fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance> {

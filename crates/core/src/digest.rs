@@ -1,0 +1,152 @@
+//! FNV-1a 64-bit digests — the stable, dependency-free hash behind the
+//! result-cache key machinery.
+//!
+//! Three consumers share this module so their bytes can never drift:
+//!
+//! * [`WorkItemKernel::param_digest`](crate::kernel::WorkItemKernel::param_digest)
+//!   / [`StageKernel::param_digest`](crate::graph::StageKernel::param_digest)
+//!   fold kernel constructor parameters into the graph fingerprint,
+//! * `dwi-runtime`'s `CacheKey` derives disk-spill file names and the
+//!   spec-hash seed fold from it,
+//! * the durable cache's on-disk format uses it as the entry checksum.
+//!
+//! FNV-1a is deliberate: a fixed, published constant-based hash whose
+//! value for given bytes is identical on every platform and every build
+//! — unlike `std::hash::Hasher` defaults, which are allowed to change
+//! between releases. Disk entries written by one build must remain
+//! readable (and *verifiable*) by the next.
+
+use dwi_rng::mt::MtParams;
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Fold `bytes` into an existing FNV-1a state.
+pub fn fnv1a_fold(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// FNV-1a of `bytes` from the standard offset basis.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_fold(FNV_OFFSET, bytes)
+}
+
+/// Builder folding typed fields into one FNV-1a digest. Every field is
+/// folded as its fixed-width little-endian encoding (floats as raw
+/// bits), so the digest is a pure function of the values — no layout,
+/// padding, or platform dependence.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest(u64);
+
+impl Default for Digest {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Digest {
+    /// Start from the FNV offset basis.
+    pub fn new() -> Self {
+        Digest(FNV_OFFSET)
+    }
+
+    pub fn bytes(self, b: &[u8]) -> Self {
+        Digest(fnv1a_fold(self.0, b))
+    }
+
+    pub fn u8(self, v: u8) -> Self {
+        self.bytes(&[v])
+    }
+
+    pub fn u32(self, v: u32) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    pub fn usize(self, v: usize) -> Self {
+        self.u64(v as u64)
+    }
+
+    /// Folds the raw bit pattern: `-0.0` and `0.0` digest differently,
+    /// and every NaN payload is distinct — exactly the bit-identity
+    /// contract the result cache keys on.
+    pub fn f32(self, v: f32) -> Self {
+        self.u32(v.to_bits())
+    }
+
+    pub fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    /// Length-prefixed, so `("ab", "c")` and `("a", "bc")` differ.
+    pub fn str(self, s: &str) -> Self {
+        self.usize(s.len()).bytes(s.as_bytes())
+    }
+
+    /// Fold a full Mersenne-Twister parameter set (all thirteen fields —
+    /// two parameter sets differing anywhere produce different streams,
+    /// so they must produce different digests).
+    pub fn mt(self, p: &MtParams) -> Self {
+        self.u32(p.exponent)
+            .usize(p.n)
+            .usize(p.m)
+            .u32(p.r)
+            .u32(p.a)
+            .u32(p.u)
+            .u32(p.d)
+            .u32(p.s)
+            .u32(p.b)
+            .u32(p.t)
+            .u32(p.c)
+            .u32(p.l)
+            .u32(p.f)
+    }
+
+    /// The accumulated digest.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_matches_published_vectors() {
+        // Canonical FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn typed_fields_are_framed() {
+        // Length prefixes keep adjacent strings from merging.
+        let ab_c = Digest::new().str("ab").str("c").finish();
+        let a_bc = Digest::new().str("a").str("bc").finish();
+        assert_ne!(ab_c, a_bc);
+        // Bit-pattern float folding distinguishes -0.0 from 0.0.
+        assert_ne!(
+            Digest::new().f32(0.0).finish(),
+            Digest::new().f32(-0.0).finish()
+        );
+    }
+
+    #[test]
+    fn mt_param_sets_digest_apart() {
+        use dwi_rng::mt::{MT19937, MT521};
+        let a = Digest::new().mt(&MT19937).finish();
+        let b = Digest::new().mt(&MT521).finish();
+        assert_ne!(a, b);
+    }
+}

@@ -77,6 +77,17 @@ pub trait StageKernel: Send + Sync {
         1
     }
 
+    /// Stable digest of the stage's constructor parameters, mirroring
+    /// [`WorkItemKernel::param_digest`]: everything that changes emitted
+    /// values but is visible neither in [`name`](StageKernel::name) nor
+    /// in the topology quota chain. Folded into
+    /// [`KernelGraph::fingerprint`]. Build with
+    /// [`crate::digest::Digest`]; override whenever the stage carries
+    /// constructor state.
+    fn param_digest(&self) -> u64 {
+        0
+    }
+
     /// Build per-work-item state; all RNG streams derive from `wid` so any
     /// engine instantiating work-item `wid` replays identical values.
     fn instantiate(&self, wid: u32) -> Box<dyn StageInstance>;
@@ -211,6 +222,18 @@ impl KernelGraph {
             .join(">")
     }
 
+    /// Fold of every node's
+    /// [`param_digest`](crate::kernel::WorkItemKernel::param_digest)
+    /// (source first) — the constructor-parameter half of the cache
+    /// fingerprint.
+    fn param_chain(&self) -> u64 {
+        let mut d = crate::digest::Digest::new().u64(self.source.param_digest());
+        for s in &self.stages {
+            d = d.u64(s.param_digest());
+        }
+        d.finish()
+    }
+
     /// The graph half of a result-cache key: for a one-node graph this is
     /// [`ExecutionPlan::fingerprint`] plus the source kernel's quota and
     /// phase count — the plan fingerprint alone carries only geometry, so
@@ -221,20 +244,32 @@ impl KernelGraph {
     /// digest (which already embeds every node's quota) and edge depth,
     /// so two graphs sharing a source but differing anywhere downstream
     /// can never collide (and can never fuse into one batch).
+    ///
+    /// Both forms end with `|k{digest}`: the FNV-1a fold of every node's
+    /// constructor-parameter digest. Name, quota and topology say nothing
+    /// about truncation points, mixture rates, or a kernel's internal
+    /// seed — two *configurations* of one kernel type used to be
+    /// indistinguishable here, which is why the figure binaries had to
+    /// run with caching disabled. With parameters in the fingerprint the
+    /// key is safe to persist: the durable disk cache trusts it across
+    /// process restarts (`fingerprint_is_stable` below pins the exact
+    /// rendering — changing it silently orphans every on-disk entry).
     pub fn fingerprint(&self, plan: &GraphPlan) -> String {
         if self.is_single() {
             format!(
-                "{}|q{}p{}",
+                "{}|q{}p{}|k{:016x}",
                 plan.base.fingerprint(),
                 self.final_quota(),
                 self.source.phases(),
+                self.param_chain(),
             )
         } else {
             format!(
-                "{}|g:{}|ed{}",
+                "{}|g:{}|ed{}|k{:016x}",
                 plan.base.fingerprint(),
                 self.topology(),
-                plan.depth()
+                plan.depth(),
+                self.param_chain(),
             )
         }
     }
@@ -562,6 +597,10 @@ impl WorkItemKernel for StagedKernel {
 
     fn phases(&self) -> u32 {
         self.phases
+    }
+
+    fn param_digest(&self) -> u64 {
+        self.stage.param_digest()
     }
 
     fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance> {
@@ -945,7 +984,7 @@ fn model_dataflow(stages: &[RunReport], depth: usize) -> GraphDataflow {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::apps::SeverityExpMix;
+    use crate::apps::{SeverityExpMix, TruncatedNormalKernel};
     use crate::backend::{all_backends, FunctionalDecoupled};
     use crate::stages::{SeverityScale, WindowAggregate};
 
@@ -1008,6 +1047,45 @@ mod tests {
         assert_ne!(a, b);
         assert!(a.contains("window-aggregate"), "{a}");
         assert_ne!(a, plan.base.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_kernel_configurations() {
+        // Same kernel type, same quota, same plan — different truncation
+        // point. Before parameter digests these collided, which is why
+        // the figure binaries had to disable caching; the durable disk
+        // tier makes the distinction load-bearing across restarts.
+        let plan = GraphPlan::new(ExecutionPlan::new(4));
+        let a = KernelGraph::single(Arc::new(TruncatedNormalKernel::new(1.0, 32, 7)));
+        let b = KernelGraph::single(Arc::new(TruncatedNormalKernel::new(2.0, 32, 7)));
+        assert_ne!(a.fingerprint(&plan), b.fingerprint(&plan));
+        // A different *internal* kernel seed must also split the key —
+        // the job-level seed parameter cannot see it.
+        let c = KernelGraph::single(Arc::new(TruncatedNormalKernel::new(1.0, 32, 8)));
+        assert_ne!(a.fingerprint(&plan), c.fingerprint(&plan));
+        // Downstream stage parameters reach the multi-stage fingerprint.
+        let p1 = KernelGraph::pipeline("p", source())
+            .then(Arc::new(SeverityScale::credit(3)))
+            .fingerprint(&plan);
+        let p2 = KernelGraph::pipeline("p", source())
+            .then(Arc::new(SeverityScale::credit(4)))
+            .fingerprint(&plan);
+        assert_ne!(p1, p2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable() {
+        // Exact-rendering pin: the fingerprint is the durable disk
+        // cache's on-disk key, so any change to its format or to a
+        // param digest silently orphans every persisted entry. If this
+        // test fails because the format changed *deliberately*, bump
+        // the disk-cache format version alongside it.
+        let plan = GraphPlan::new(ExecutionPlan::new(4));
+        let g = KernelGraph::single(Arc::new(TruncatedNormalKernel::new(1.5, 32, 7)));
+        assert_eq!(
+            g.fingerprint(&plan),
+            format!("{}|q32p1|k9639919aa43f9d04", plan.base.fingerprint())
+        );
     }
 
     #[test]

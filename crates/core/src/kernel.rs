@@ -31,7 +31,7 @@
 //! this trait; see [`crate::apps`] for the further applications that prove
 //! the reuse claim.
 
-use dwi_rng::{GammaKernel, IterationTrace, KernelConfig, RejectionStats};
+use dwi_rng::{GammaKernel, IterationTrace, KernelConfig, NormalMethod, RejectionStats};
 
 use crate::config::{PaperConfig, Workload};
 
@@ -180,6 +180,23 @@ pub trait WorkItemKernel: Sync {
         false
     }
 
+    /// Stable digest of the kernel's constructor parameters — everything
+    /// that changes emitted values but is visible neither in
+    /// [`name`](WorkItemKernel::name) nor in the quota/phase shape
+    /// (truncation points, mixture rates, RNG parameter sets, the
+    /// kernel's own base seed). Folded into
+    /// [`KernelGraph::fingerprint`](crate::graph::KernelGraph::fingerprint),
+    /// so two configurations of one kernel type can never collide in the
+    /// result cache — the guarantee the durable disk tier relies on
+    /// across process restarts. Must be a pure function of the
+    /// constructor state, built with [`crate::digest::Digest`] so the
+    /// value is identical on every platform and build. The default 0 is
+    /// only for kernels that genuinely carry no parameters beyond their
+    /// shape; any kernel with constructor state must override it.
+    fn param_digest(&self) -> u64 {
+        0
+    }
+
     /// Build the per-work-item state, deriving every RNG stream from `wid`
     /// — the design-time unique id of Listing 1.
     fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance>;
@@ -240,6 +257,24 @@ impl WorkItemKernel for GammaListing2 {
 
     fn phases(&self) -> u32 {
         self.kcfg.limit_sec
+    }
+
+    fn param_digest(&self) -> u64 {
+        let k = &self.kcfg;
+        crate::digest::Digest::new()
+            .u8(match k.normal {
+                NormalMethod::MarsagliaBray => 0,
+                NormalMethod::IcdfFpga => 1,
+                NormalMethod::IcdfCuda => 2,
+            })
+            .mt(&k.mt)
+            .f32(k.sector_variance)
+            .u32(k.limit_sec)
+            .u32(k.limit_main)
+            .u32(k.limit_max_factor)
+            .u64(k.seed)
+            .u8(k.break_id)
+            .finish()
     }
 
     fn instantiate(&self, wid: u32) -> Box<dyn KernelInstance> {

@@ -31,6 +31,7 @@ pub mod config;
 pub mod coupled;
 pub mod decoupled;
 pub mod device_memory;
+pub mod digest;
 pub mod experiment;
 pub mod generic;
 pub mod graph;
@@ -38,6 +39,7 @@ pub mod icdf_fixed;
 pub mod kernel;
 pub mod model;
 pub mod ndrange_variant;
+pub mod serial;
 pub mod stages;
 pub mod transfer;
 pub mod validation;
@@ -52,6 +54,7 @@ pub use config::{IcdfStyle, PaperConfig, Workload};
 pub use coupled::{lockstep_counterfactual, CoupledRun};
 pub use decoupled::{Combining, DecoupledRun, DecoupledRunner};
 pub use device_memory::DeviceMemory;
+pub use digest::Digest;
 pub use experiment::{
     calibration_kernel, measure_rejection_overhead, table3, table3_with, PlatformRuntime, Table3,
     Table3Row,

@@ -56,6 +56,10 @@ impl StageKernel for WindowAggregate {
         upstream_quota / self.window as u64
     }
 
+    fn param_digest(&self) -> u64 {
+        crate::digest::Digest::new().u32(self.window).finish()
+    }
+
     fn instantiate(&self, _wid: u32) -> Box<dyn StageInstance> {
         Box::new(WindowInstance {
             window: self.window,
@@ -165,6 +169,16 @@ impl StageKernel for SeverityScale {
 
     fn outputs_per_workitem(&self, upstream_quota: u64) -> u64 {
         upstream_quota
+    }
+
+    fn param_digest(&self) -> u64 {
+        crate::digest::Digest::new()
+            .f32(self.w)
+            .f32(self.lambda1)
+            .f32(self.lambda2)
+            .mt(&self.mt)
+            .u32(self.seed)
+            .finish()
     }
 
     fn instantiate(&self, wid: u32) -> Box<dyn StageInstance> {

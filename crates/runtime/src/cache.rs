@@ -41,18 +41,35 @@ impl LruCache {
         Some(self.entries[0].1.clone())
     }
 
-    /// Insert, evicting the least-recently-used entry at capacity.
-    pub fn put(&mut self, key: CacheKey, report: CachedOutput) {
+    /// Insert, evicting least-recently-used entries at capacity. The
+    /// evicted entries are *returned*, not dropped — the caller routes
+    /// them to the durable spill tier (write-behind). With a zero
+    /// capacity the inserted entry itself comes straight back as
+    /// "immediately evicted", which is what lets the disk tier work with
+    /// the memory tier disabled.
+    #[must_use = "evicted entries feed the disk spill tier"]
+    pub fn put(&mut self, key: CacheKey, report: CachedOutput) -> Vec<(CacheKey, CachedOutput)> {
         if self.cap == 0 {
-            return;
+            return vec![(key, report)];
         }
         if let Some(idx) = self.entries.iter().position(|(k, _)| *k == key) {
             self.entries.remove(idx);
         }
         self.entries.push_front((key, report));
+        let mut evicted = Vec::new();
         while self.entries.len() > self.cap {
-            self.entries.pop_back();
+            evicted.push(self.entries.pop_back().expect("len > cap >= 1"));
         }
+        evicted
+    }
+
+    /// Take every entry, oldest first — the shutdown flush to the disk
+    /// tier (short runs never evict, so without this a restart would
+    /// start cold).
+    pub fn drain(&mut self) -> Vec<(CacheKey, CachedOutput)> {
+        let mut out: Vec<_> = std::mem::take(&mut self.entries).into();
+        out.reverse();
+        out
     }
 
     /// Entries currently held.
@@ -81,17 +98,19 @@ mod tests {
     }
 
     fn key(n: u64) -> CacheKey {
-        ("k", "p".to_string(), n)
+        CacheKey::synthetic("k", "p", n)
     }
 
     #[test]
     fn lru_evicts_least_recently_used() {
         let mut c = LruCache::new(2);
         let r = report();
-        c.put(key(1), r.clone());
-        c.put(key(2), r.clone());
+        assert!(c.put(key(1), r.clone()).is_empty());
+        assert!(c.put(key(2), r.clone()).is_empty());
         assert!(c.get(&key(1)).is_some()); // 1 now MRU
-        c.put(key(3), r.clone()); // evicts 2
+        let evicted = c.put(key(3), r.clone()); // evicts 2
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, key(2));
         assert!(c.get(&key(2)).is_none());
         assert!(c.get(&key(1)).is_some());
         assert!(c.get(&key(3)).is_some());
@@ -99,10 +118,27 @@ mod tests {
     }
 
     #[test]
-    fn zero_capacity_disables_the_cache() {
+    fn zero_capacity_returns_entries_as_immediate_evictions() {
         let mut c = LruCache::new(0);
-        c.put(key(1), report());
+        let evicted = c.put(key(1), report());
         assert_eq!(c.len(), 0);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].0, key(1));
         assert!(c.get(&key(1)).is_none());
+    }
+
+    #[test]
+    fn drain_returns_everything_oldest_first() {
+        let mut c = LruCache::new(4);
+        let r = report();
+        for n in 1..=3 {
+            let _ = c.put(key(n), r.clone());
+        }
+        let drained = c.drain();
+        assert_eq!(
+            drained.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>(),
+            vec![key(1), key(2), key(3)]
+        );
+        assert_eq!(c.len(), 0);
     }
 }

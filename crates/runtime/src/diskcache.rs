@@ -1,0 +1,345 @@
+//! Durable spill tier under the in-memory LRU result cache.
+//!
+//! Every backend run is deterministic in its [`CacheKey`] — the key folds
+//! the source kernel id, the graph's plan-extended fingerprint (which in
+//! turn folds every node's constructor-parameter digest), and the seed —
+//! so a result written by one process is exactly the result another
+//! process would compute. That is what makes persisting reports across
+//! restarts sound: a sweep, a serve run, or a restarted gateway reads a
+//! warm directory and keeps its hit rate, bit-identically.
+//!
+//! On-disk format (one file per entry, `<fnv64(key):016x>.dwic`):
+//!
+//! ```text
+//! u32   magic   "DWIC" (0x4457_4943)
+//! u16   version (1)
+//! str   key echo: source kernel id
+//! str   key echo: graph fingerprint
+//! u64   key echo: seed
+//! u8    tag (0 = RunReport, 1 = GraphReport)
+//! ...   payload (dwi_core::serial codec)
+//! u64   FNV-1a checksum over every preceding byte
+//! ```
+//!
+//! Safety rules, in order:
+//!
+//! * the checksum must match — torn or bit-rotted files never decode;
+//! * magic and version must match — a future format bump invalidates old
+//!   entries instead of misreading them;
+//! * the key echo must equal the looked-up key — a digest collision in
+//!   the file name (or a file copied between directories) is detected
+//!   and treated as absent;
+//! * the payload must decode cleanly with no trailing bytes.
+//!
+//! Any failure deletes the file and reports a *reject* — a corrupt entry
+//! is never trusted, and never consulted twice. Writes go through a
+//! temporary file plus atomic rename, so a reader (or a crash) never
+//! observes a half-written entry under a final name.
+
+#[cfg(test)]
+use std::path::Path;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use dwi_core::digest::fnv1a;
+use dwi_core::serial::{
+    decode_graph_report, decode_run_report, encode_graph_report, encode_run_report, Dec, Enc,
+};
+
+use crate::job::{CacheKey, CachedOutput};
+
+/// `"DWIC"` in big-endian byte order.
+const MAGIC: u32 = 0x4457_4943;
+/// Format version; bump on any layout change to invalidate old entries.
+const VERSION: u16 = 1;
+/// Entry file extension (bare digest hex before the dot).
+const EXT: &str = "dwic";
+
+/// Tmp-file disambiguator so concurrent spills of the *same* key from
+/// different threads never clobber each other's half-written bytes.
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// What one durable lookup produced.
+pub(crate) enum DiskLookup {
+    /// Verified entry — *the* result for this key.
+    Hit(CachedOutput),
+    /// No entry on disk.
+    Miss,
+    /// An entry existed but failed verification; it has been deleted.
+    Reject,
+}
+
+/// The durable tier: a directory of per-entry files with an entry-count
+/// capacity, evicted oldest-modified first.
+pub(crate) struct DiskCache {
+    dir: PathBuf,
+    /// Most entry files kept (0 = unbounded).
+    capacity: usize,
+}
+
+impl DiskCache {
+    /// Open (creating if needed) the cache directory.
+    pub fn open(dir: impl Into<PathBuf>, capacity: usize) -> std::io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir, capacity })
+    }
+
+    /// Directory backing this tier.
+    #[cfg(test)]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Look `key` up, verifying the entry end to end. A file that fails
+    /// any check is deleted on the spot and reported as [`DiskLookup::Reject`].
+    pub fn load(&self, key: &CacheKey) -> DiskLookup {
+        let path = self.dir.join(key.file_name());
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(_) => return DiskLookup::Miss,
+        };
+        match decode_entry(key, &bytes) {
+            Some(out) => DiskLookup::Hit(out),
+            None => {
+                let _ = std::fs::remove_file(&path);
+                DiskLookup::Reject
+            }
+        }
+    }
+
+    /// Write-behind `key` → `out`: encode, write to a temporary name,
+    /// atomically rename into place, then enforce the capacity cap.
+    /// Returns `true` when the entry landed (the spill counter's feed).
+    pub fn store(&self, key: &CacheKey, out: &CachedOutput) -> bool {
+        let bytes = encode_entry(key, out);
+        let final_path = self.dir.join(key.file_name());
+        let tmp = self.dir.join(format!(
+            "{}.tmp-{}-{}",
+            key.file_name(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, &bytes).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        if std::fs::rename(&tmp, &final_path).is_err() {
+            let _ = std::fs::remove_file(&tmp);
+            return false;
+        }
+        self.enforce_capacity();
+        true
+    }
+
+    /// Entry files currently on disk (tmp files excluded).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries().len()
+    }
+
+    fn entries(&self) -> Vec<(PathBuf, std::time::SystemTime)> {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for e in rd.flatten() {
+            let path = e.path();
+            if path.extension().and_then(|x| x.to_str()) != Some(EXT) {
+                continue;
+            }
+            let mtime = e
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            out.push((path, mtime));
+        }
+        out
+    }
+
+    /// Delete oldest-modified entries until the cap holds. Ties break on
+    /// the file name so concurrent enforcers converge on the same victims.
+    fn enforce_capacity(&self) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries();
+        if entries.len() <= self.capacity {
+            return;
+        }
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let excess = entries.len() - self.capacity;
+        for (path, _) in entries.into_iter().take(excess) {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// Serialize one durable entry (header, key echo, payload, checksum).
+fn encode_entry(key: &CacheKey, out: &CachedOutput) -> Vec<u8> {
+    let mut e = Enc(Vec::new());
+    e.u32(MAGIC);
+    e.u16(VERSION);
+    e.str(key.kernel());
+    e.str(key.fingerprint());
+    e.u64(key.seed());
+    match out {
+        CachedOutput::Single(r) => {
+            e.u8(0);
+            encode_run_report(&mut e, r);
+        }
+        CachedOutput::Graph(g) => {
+            e.u8(1);
+            encode_graph_report(&mut e, g);
+        }
+    }
+    let checksum = fnv1a(&e.0);
+    e.u64(checksum);
+    e.0
+}
+
+/// Verify and decode one durable entry against the key that looked it
+/// up. `None` on *any* mismatch — checksum, magic, version, key echo,
+/// payload, or trailing garbage.
+fn decode_entry(key: &CacheKey, bytes: &[u8]) -> Option<CachedOutput> {
+    let body_len = bytes.len().checked_sub(8)?;
+    let (body, tail) = bytes.split_at(body_len);
+    let stored = u64::from_le_bytes(tail.try_into().ok()?);
+    if fnv1a(body) != stored {
+        return None;
+    }
+    let mut d = Dec::new(body);
+    if d.u32().ok()? != MAGIC || d.u16().ok()? != VERSION {
+        return None;
+    }
+    if d.str().ok()? != key.kernel() || d.str().ok()? != key.fingerprint() {
+        return None;
+    }
+    if d.u64().ok()? != key.seed() {
+        return None;
+    }
+    let out = match d.u8().ok()? {
+        0 => CachedOutput::Single(Arc::new(decode_run_report(&mut d).ok()?)),
+        1 => CachedOutput::Graph(Arc::new(decode_graph_report(&mut d).ok()?)),
+        _ => return None,
+    };
+    d.done().then_some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwi_core::{Backend, ExecutionPlan, FunctionalDecoupled, TruncatedNormalKernel};
+
+    fn key(seed: u64) -> CacheKey {
+        CacheKey::synthetic("truncated-normal", "fp", seed)
+    }
+
+    fn output() -> CachedOutput {
+        let k = TruncatedNormalKernel::new(1.5, 8, 1);
+        CachedOutput::Single(Arc::new(
+            FunctionalDecoupled.execute(&k, &ExecutionPlan::new(2)),
+        ))
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dwi_diskcache_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_bit_identically() {
+        let cache = DiskCache::open(tmp("rt"), 0).unwrap();
+        let k = key(7);
+        let out = output();
+        assert!(cache.store(&k, &out));
+        match (cache.load(&k), &out) {
+            (DiskLookup::Hit(CachedOutput::Single(a)), CachedOutput::Single(b)) => {
+                assert_eq!(a.samples, b.samples);
+                assert_eq!(a.iterations, b.iterations);
+            }
+            _ => panic!("expected a verified single-report hit"),
+        }
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_and_truncated_entries_are_rejected_and_deleted() {
+        let cache = DiskCache::open(tmp("corrupt"), 0).unwrap();
+        let k = key(9);
+        cache.store(&k, &output());
+        let path = cache.dir().join(k.file_name());
+
+        // Flip one payload byte: checksum fails.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(cache.load(&k), DiskLookup::Reject));
+        assert!(!path.exists(), "reject deletes the file");
+        assert!(matches!(cache.load(&k), DiskLookup::Miss));
+
+        // Truncate: also a reject.
+        cache.store(&k, &output());
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(matches!(cache.load(&k), DiskLookup::Reject));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn key_echo_mismatch_is_rejected() {
+        let cache = DiskCache::open(tmp("echo"), 0).unwrap();
+        let k = key(1);
+        cache.store(&k, &output());
+        // Same digest file read under a different key: simulate by
+        // renaming the entry onto another key's slot.
+        let other = key(2);
+        std::fs::rename(
+            cache.dir().join(k.file_name()),
+            cache.dir().join(other.file_name()),
+        )
+        .unwrap();
+        assert!(matches!(cache.load(&other), DiskLookup::Reject));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn capacity_evicts_oldest_entries() {
+        let cache = DiskCache::open(tmp("cap"), 2).unwrap();
+        let out = output();
+        for seed in 0..4 {
+            cache.store(&key(seed), &out);
+            // mtime granularity: make the write order observable.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        assert_eq!(cache.len(), 2);
+        assert!(matches!(cache.load(&key(0)), DiskLookup::Miss));
+        assert!(matches!(cache.load(&key(1)), DiskLookup::Miss));
+        assert!(matches!(cache.load(&key(2)), DiskLookup::Hit(_)));
+        assert!(matches!(cache.load(&key(3)), DiskLookup::Hit(_)));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn version_bump_invalidates_old_entries() {
+        let cache = DiskCache::open(tmp("ver"), 0).unwrap();
+        let k = key(3);
+        // Hand-build an entry with a future version and a *valid*
+        // checksum: version gating must reject it on its own.
+        let mut e = Enc(Vec::new());
+        e.u32(MAGIC);
+        e.u16(VERSION + 1);
+        e.str(k.kernel());
+        e.str(k.fingerprint());
+        e.u64(k.seed());
+        e.u8(0);
+        let checksum = fnv1a(&e.0);
+        e.u64(checksum);
+        std::fs::write(cache.dir().join(k.file_name()), &e.0).unwrap();
+        assert!(matches!(cache.load(&k), DiskLookup::Reject));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

@@ -289,9 +289,79 @@ impl JobError {
 ///
 /// The fingerprint ([`KernelGraph::fingerprint`]) equals the bare plan
 /// fingerprint for single-node graphs (so pre-graph cache keys are
-/// byte-identical) and appends the stage topology and edge depth for
-/// multi-stage graphs.
-pub(crate) type CacheKey = (&'static str, String, u64);
+/// byte-identical), appends the stage topology and edge depth for
+/// multi-stage graphs, and folds every node's
+/// [`param_digest`](WorkItemKernel::param_digest) so two kernels sharing
+/// a name but built with different constructor parameters never collide.
+///
+/// This is the *one* constructor for the key — the in-memory LRU, the
+/// in-flight dedup map, the disk spill tier, and the server gateway all
+/// key off values built here, which is what makes a warm disk entry
+/// written by one process trustworthy to another.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    kernel: &'static str,
+    fingerprint: String,
+    seed: u64,
+}
+
+impl CacheKey {
+    /// Build the canonical key for a job: source kernel id, the graph's
+    /// plan-extended fingerprint, and the seed.
+    pub fn new(graph: &KernelGraph, plan: &GraphPlan, seed: u64) -> Self {
+        Self {
+            kernel: graph.source().name(),
+            fingerprint: graph.fingerprint(plan),
+            seed,
+        }
+    }
+
+    /// Fold a canonical job-spec byte representation into a seed — the
+    /// server gateway's defense-in-depth for spec fields that reach the
+    /// runtime but not the fingerprint. Identical specs keep identical
+    /// effective seeds (so resubmissions still hit the cache); distinct
+    /// specs can no longer collide on a key.
+    pub fn fold_spec_seed(seed: u64, canonical_spec: &[u8]) -> u64 {
+        seed ^ dwi_core::digest::fnv1a(canonical_spec)
+    }
+
+    /// Source kernel id (echoed into durable cache entries).
+    pub fn kernel(&self) -> &'static str {
+        self.kernel
+    }
+
+    /// Graph fingerprint (echoed into durable cache entries).
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    /// Seed (echoed into durable cache entries).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Raw constructor for unit tests that need synthetic keys.
+    #[cfg(test)]
+    pub(crate) fn synthetic(kernel: &'static str, fingerprint: &str, seed: u64) -> Self {
+        Self {
+            kernel,
+            fingerprint: fingerprint.to_string(),
+            seed,
+        }
+    }
+
+    /// Stable file name for this key's disk-cache entry: the FNV-1a
+    /// digest of all three fields (length-framed, so `("ab", "c")` and
+    /// `("a", "bc")` differ) plus the `.dwic` extension.
+    pub fn file_name(&self) -> String {
+        let digest = dwi_core::Digest::new()
+            .str(self.kernel)
+            .str(&self.fingerprint)
+            .u64(self.seed)
+            .finish();
+        format!("{digest:016x}.dwic")
+    }
+}
 
 /// What the result cache stores: the same report the job delivered.
 #[derive(Clone)]

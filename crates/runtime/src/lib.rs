@@ -76,6 +76,7 @@
 //! ```
 
 mod cache;
+mod diskcache;
 mod job;
 mod metrics;
 mod queue;
@@ -86,7 +87,8 @@ mod timeline;
 mod worker;
 
 pub use job::{
-    JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, RemoteSpec, SharedKernel,
+    CacheKey, JobError, JobHandle, JobOutput, JobPayload, JobSpec, Priority, RemoteSpec,
+    SharedKernel,
 };
 pub use queue::SubmitRejected;
 pub use remote::{RemoteChannel, RemoteError};
@@ -108,7 +110,8 @@ use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
 use dwi_trace::{FlightRecorder, TraceSink};
 
 use crate::cache::LruCache;
-use crate::job::{CacheKey, CachedOutput, JobState, Status};
+use crate::diskcache::{DiskCache, DiskLookup};
+use crate::job::{CachedOutput, JobState, Status};
 use crate::metrics::RuntimeMetrics;
 use crate::queue::{AdmissionQueue, JobWork, QueuedJob};
 use crate::shard::ShardTask;
@@ -146,6 +149,17 @@ pub struct RuntimeConfig {
     /// [`Runtime::flight_dump`] — the post-hoc answer to "what did the
     /// last breaching jobs actually spend their time on".
     pub flight_capacity: usize,
+    /// Durable spill tier under the in-memory result cache: a directory
+    /// of per-entry report files (`None` disables the tier). Entries
+    /// evicted from the LRU are written behind; a memory miss consults
+    /// the directory and promotes a verified hit; the remaining LRU
+    /// contents flush on [`Runtime`] drop — so sweeps, serve runs, and
+    /// gateway restarts keep their hit rate across processes.
+    pub disk_cache_dir: Option<std::path::PathBuf>,
+    /// Most entry files the durable tier keeps (oldest-modified evicted
+    /// first; 0 = unbounded). Ignored without
+    /// [`disk_cache_dir`](Self::disk_cache_dir).
+    pub disk_cache_capacity: usize,
     /// Sink for runtime metrics and worker timeline tracks.
     pub sink: TraceSink,
 }
@@ -164,8 +178,29 @@ impl RuntimeConfig {
             adaptive: None,
             max_pad_ratio: dwi_core::default_max_pad_ratio(),
             flight_capacity: 256,
+            disk_cache_dir: None,
+            disk_cache_capacity: 256,
             sink: TraceSink::disabled(),
         }
+    }
+
+    /// A configuration built from autotuned knobs (`dwi-tune` output):
+    /// every searched axis applied, everything else at defaults. When the
+    /// knobs ask for adaptive sharding the shard bounds configure the
+    /// controller; otherwise `shard_max` becomes the fixed default shard
+    /// count.
+    pub fn tuned(knobs: &TunedKnobs) -> Self {
+        let mut cfg = Self::new(knobs.workers)
+            .batching(knobs.batch_max_jobs.max(1), knobs.batch_window)
+            .max_pad_ratio(knobs.max_pad_ratio.clamp(0.0, 0.99));
+        if knobs.adaptive {
+            cfg = cfg.adaptive(
+                AdaptiveSharding::new().bounds(knobs.shard_min.max(1), knobs.shard_max.max(1)),
+            );
+        } else {
+            cfg = cfg.default_shards(knobs.shard_max.max(1));
+        }
+        cfg
     }
 
     /// Set the admission-queue bound (≥ 1).
@@ -222,10 +257,68 @@ impl RuntimeConfig {
         self
     }
 
+    /// Attach the durable spill tier under the given directory (created
+    /// if absent).
+    pub fn disk_cache(mut self, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.disk_cache_dir = Some(dir.into());
+        self
+    }
+
+    /// Set the durable tier's entry-count cap (0 = unbounded).
+    pub fn disk_cache_capacity(mut self, capacity: usize) -> Self {
+        self.disk_cache_capacity = capacity;
+        self
+    }
+
     /// Attach a trace sink.
     pub fn trace(mut self, sink: TraceSink) -> Self {
         self.sink = sink;
         self
+    }
+}
+
+/// The knob vector the `dwi-tune` autotuner searches over — exactly the
+/// runtime sizing axes that move serve throughput: pool width, batch
+/// coalescing shape, the padded-fusion waste cap, and the shard policy.
+/// [`RuntimeConfig::tuned`] turns a vector into a full configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TunedKnobs {
+    /// Worker threads (virtual devices).
+    pub workers: usize,
+    /// Most logical jobs one fused dispatch may cover (1 disables
+    /// coalescing).
+    pub batch_max_jobs: usize,
+    /// How long a coalescing worker waits for the batch to fill.
+    pub batch_window: Duration,
+    /// Waste cap for cross-quota padded fusion, in `[0, 1)`.
+    pub max_pad_ratio: f64,
+    /// Adaptive controller's lower shard bound (or unused when
+    /// [`adaptive`](Self::adaptive) is off).
+    pub shard_min: u32,
+    /// Adaptive upper bound — or the *fixed* shard count when
+    /// [`adaptive`](Self::adaptive) is off.
+    pub shard_max: u32,
+    /// Whether the p99-closed adaptive shard controller runs.
+    pub adaptive: bool,
+}
+
+impl TunedKnobs {
+    /// The hand-tuned reference vector for a `workers`-wide pool: the
+    /// serve path's documented defaults (batch 8 / 200 µs window, the
+    /// cost model's pad cap, adaptive sharding across `1..=workers`).
+    /// This is the baseline the autotuner must beat — and the fallback
+    /// when no tuning store entry matches.
+    pub fn reference(workers: usize) -> Self {
+        let workers = workers.max(1);
+        Self {
+            workers,
+            batch_max_jobs: 8,
+            batch_window: Duration::from_micros(200),
+            max_pad_ratio: dwi_core::default_max_pad_ratio(),
+            shard_min: 1,
+            shard_max: workers as u32,
+            adaptive: true,
+        }
     }
 }
 
@@ -271,6 +364,8 @@ pub(crate) struct Core {
     pub sink: TraceSink,
     pub metrics: RuntimeMetrics,
     pub cache: Mutex<LruCache>,
+    /// Durable spill tier under the LRU (`None` = memory-only caching).
+    pub disk: Option<Mutex<DiskCache>>,
     pub queue_bound: usize,
     pub workers: usize,
     pub default_shards: u32,
@@ -302,6 +397,56 @@ impl Core {
 
     pub fn lock_cache(&self) -> MutexGuard<'_, LruCache> {
         self.cache.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Two-tier result lookup: the in-memory LRU first, then the durable
+    /// directory. A verified disk hit is promoted into the LRU (whatever
+    /// that displaces spills back — idempotent, the entry is already on
+    /// disk) and counts toward `dwi_runtime_cache_disk_hits_total`; an
+    /// absent or corrupt entry counts a disk miss (plus a reject when
+    /// corrupt). The memory-tier hit/miss counters stay the caller's job,
+    /// so `cache_misses_total` keeps meaning "no result *anywhere*".
+    pub(crate) fn lookup_cached(&self, key: &CacheKey) -> Option<CachedOutput> {
+        if let Some(hit) = self.lock_cache().get(key) {
+            return Some(hit);
+        }
+        let disk = self.disk.as_ref()?;
+        let looked_up = disk.lock().unwrap_or_else(|e| e.into_inner()).load(key);
+        match looked_up {
+            DiskLookup::Hit(out) => {
+                self.metrics.cache_disk_hit();
+                let evicted = self.lock_cache().put(key.clone(), out.clone());
+                self.spill(evicted);
+                Some(out)
+            }
+            DiskLookup::Miss => {
+                self.metrics.cache_disk_miss();
+                None
+            }
+            DiskLookup::Reject => {
+                self.metrics.cache_disk_reject();
+                self.metrics.cache_disk_miss();
+                None
+            }
+        }
+    }
+
+    /// Write-behind evicted (or drained) cache entries to the durable
+    /// tier. Call with no job-inner lock held — disk I/O under a job's
+    /// critical section would serialize completions behind the filesystem.
+    pub(crate) fn spill(&self, entries: Vec<(CacheKey, CachedOutput)>) {
+        let Some(disk) = self.disk.as_ref() else {
+            return;
+        };
+        for (key, out) in entries {
+            let stored = disk
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .store(&key, &out);
+            if stored {
+                self.metrics.cache_disk_spill();
+            }
+        }
     }
 
     pub fn wait_for_work<'a>(&self, st: MutexGuard<'a, SchedState>) -> MutexGuard<'a, SchedState> {
@@ -442,6 +587,12 @@ impl Runtime {
             sink: config.sink.clone(),
             metrics: RuntimeMetrics::new(config.sink),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            disk: config.disk_cache_dir.map(|dir| {
+                Mutex::new(
+                    DiskCache::open(dir, config.disk_cache_capacity)
+                        .expect("create disk cache directory"),
+                )
+            }),
             queue_bound: config.queue_bound,
             workers: config.workers,
             default_shards: config
@@ -572,10 +723,10 @@ impl Runtime {
                     JobPayload::Graph { graph, plan, seed } => (graph, plan, seed),
                     JobPayload::Task(_) => unreachable!("task payloads matched above"),
                 };
-                let cache_key = (self.core.cache_capacity() > 0)
-                    .then(|| (graph.source().name(), graph.fingerprint(&plan), seed));
+                let cache_key = (self.core.cache_capacity() > 0 || self.core.disk.is_some())
+                    .then(|| CacheKey::new(&graph, &plan, seed));
                 if let Some(key) = &cache_key {
-                    let hit = self.core.lock_cache().get(key);
+                    let hit = self.core.lookup_cached(key);
                     if let Some(cached) = hit {
                         self.core.metrics.cache_hit();
                         self.core.metrics.job_submitted(spec.priority);
@@ -822,6 +973,14 @@ impl Drop for Runtime {
         }
         while let Some(shard) = st.shards.pop_front() {
             crate::job::fail_tree(&shard.state, JobError::Cancelled);
+        }
+        drop(st);
+        // Flush the surviving LRU contents to the durable tier: short
+        // runs never evict, so without this a warm restart would find an
+        // empty directory. Workers are already joined — no lock contention.
+        if self.core.disk.is_some() {
+            let remaining = self.core.lock_cache().drain();
+            self.core.spill(remaining);
         }
     }
 }

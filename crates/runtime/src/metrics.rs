@@ -50,6 +50,22 @@ impl RuntimeMetrics {
         self.sink.counter(fam::CACHE_MISSES, &[]).inc();
     }
 
+    pub fn cache_disk_hit(&self) {
+        self.sink.counter(fam::CACHE_DISK_HITS, &[]).inc();
+    }
+
+    pub fn cache_disk_miss(&self) {
+        self.sink.counter(fam::CACHE_DISK_MISSES, &[]).inc();
+    }
+
+    pub fn cache_disk_spill(&self) {
+        self.sink.counter(fam::CACHE_DISK_SPILLS, &[]).inc();
+    }
+
+    pub fn cache_disk_reject(&self) {
+        self.sink.counter(fam::CACHE_DISK_REJECTS, &[]).inc();
+    }
+
     pub fn queue_depth(&self, lane: Priority, depth: usize) {
         self.sink
             .set_gauge(fam::QUEUE_DEPTH, &[("lane", lane.label())], depth as f64);

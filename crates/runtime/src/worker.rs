@@ -579,11 +579,14 @@ impl Core {
                 let latency = inner.admitted.elapsed().as_secs_f64();
                 // Cache before waking waiters, so a waiter's immediate
                 // resubmit hits. Lock order is always job-inner → cache,
-                // never reversed.
+                // never reversed. Evictions spill to disk only after the
+                // job-inner lock drops — file I/O never runs under a
+                // job's critical section.
                 let key = inner.cache_key.take();
-                if let Some(k) = key.clone() {
-                    self.lock_cache().put(k, cached.clone());
-                }
+                let spill = match key.clone() {
+                    Some(k) => self.lock_cache().put(k, cached.clone()),
+                    None => Vec::new(),
+                };
                 // Followers leave in the same critical section that makes
                 // the leader terminal, so no new follower can attach to a
                 // finished job (the attach path re-checks the status under
@@ -596,6 +599,7 @@ impl Core {
                 self.export_timeline(tl);
                 inner.status = Status::Done(Some(output));
                 drop(inner);
+                self.spill(spill);
                 state.cv.notify_all();
                 state.fire_completion();
                 self.metrics.job_completed(latency);
@@ -654,16 +658,19 @@ impl Core {
         let mut inner = state.lock();
         let latency = inner.admitted.elapsed().as_secs_f64();
         let key = inner.cache_key.take();
-        if let Some(k) = key.clone() {
-            self.lock_cache()
-                .put(k, CachedOutput::Single(report.clone()));
-        }
+        let spill = match key.clone() {
+            Some(k) => self
+                .lock_cache()
+                .put(k, CachedOutput::Single(report.clone())),
+            None => Vec::new(),
+        };
         let followers = std::mem::take(&mut inner.followers);
         inner.timeline.adopt_batch(batch_tl);
         let tl = inner.timeline.finish(JobOutcome::Completed);
         self.export_timeline(tl);
         inner.status = Status::Done(Some(crate::job::JobOutput::Kernel(report.clone())));
         drop(inner);
+        self.spill(spill);
         state.cv.notify_all();
         state.fire_completion();
         self.metrics.job_completed(latency);

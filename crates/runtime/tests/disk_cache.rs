@@ -1,0 +1,221 @@
+//! Durable result-cache contract, end to end through the [`Runtime`]:
+//! a warm restart over a populated cache directory serves bit-identical
+//! results from disk; corrupt or truncated entries are rejected (and
+//! deleted) instead of trusted; the entry-count cap holds under load;
+//! and concurrent hits and spills against one directory race safely.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use dwi_core::graph::{GraphPlan, KernelGraph};
+use dwi_core::{ExecutionPlan, TruncatedNormalKernel};
+use dwi_runtime::{CacheKey, JobSpec, Runtime, RuntimeConfig, SharedKernel};
+use dwi_trace::{runtime_metrics as fam, Recorder};
+
+fn kernel(quota: u64, seed: u32) -> SharedKernel {
+    Arc::new(TruncatedNormalKernel::new(1.5, quota, seed))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dwi_rt_disk_{name}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn runtime(dir: &Path, rec: &Recorder) -> Runtime {
+    Runtime::new(
+        RuntimeConfig::new(2)
+            .cache_capacity(2)
+            .disk_cache(dir.to_path_buf())
+            .trace(rec.sink()),
+    )
+}
+
+fn counter(rec: &Recorder, family: &str) -> u64 {
+    rec.metrics().counter_value(family).unwrap_or(0)
+}
+
+/// The on-disk file a kernel submission's result lands in — assembled
+/// through the same [`CacheKey`] constructor the runtime uses.
+fn entry_path(dir: &Path, quota: u64, seed: u32) -> PathBuf {
+    let key = CacheKey::new(
+        &KernelGraph::single(kernel(quota, seed)),
+        &GraphPlan::new(ExecutionPlan::new(2)),
+        seed as u64,
+    );
+    dir.join(key.file_name())
+}
+
+#[test]
+fn warm_restart_serves_bit_identical_results_from_disk() {
+    let dir = tmp_dir("warm");
+    let seeds = [11u32, 12, 13, 14, 15];
+
+    // Cold process: compute, and flush the cache to disk on drop.
+    let cold_rec = Recorder::new();
+    let rt = runtime(&dir, &cold_rec);
+    let cold: Vec<String> = seeds
+        .iter()
+        .map(|&s| {
+            format!(
+                "{:?}",
+                rt.run_kernel(kernel(64, s), ExecutionPlan::new(2), s as u64)
+            )
+        })
+        .collect();
+    drop(rt);
+    assert_eq!(counter(&cold_rec, fam::CACHE_DISK_HITS), 0);
+    assert!(
+        counter(&cold_rec, fam::CACHE_DISK_SPILLS) >= seeds.len() as u64,
+        "every distinct result spilled (eviction or shutdown flush)"
+    );
+
+    // Warm restart: a fresh runtime over the same directory must serve
+    // every job from the durable tier, byte-identical to the cold run.
+    let warm_rec = Recorder::new();
+    let rt = runtime(&dir, &warm_rec);
+    for (&s, cold_report) in seeds.iter().zip(&cold) {
+        let warm = rt.run_kernel(kernel(64, s), ExecutionPlan::new(2), s as u64);
+        assert_eq!(&format!("{warm:?}"), cold_report, "seed {s} diverged");
+    }
+    drop(rt);
+    assert_eq!(
+        counter(&warm_rec, fam::CACHE_DISK_HITS),
+        seeds.len() as u64,
+        "every warm submission promoted from disk"
+    );
+    assert_eq!(
+        counter(&warm_rec, fam::CACHE_HITS),
+        seeds.len() as u64,
+        "disk promotions are cache hits to the submitter"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_and_truncated_entries_recompute_instead_of_trusting() {
+    let dir = tmp_dir("corrupt");
+    let seeds = [21u32, 22];
+
+    let rt = runtime(&dir, &Recorder::new());
+    let clean: Vec<String> = seeds
+        .iter()
+        .map(|&s| {
+            format!(
+                "{:?}",
+                rt.run_kernel(kernel(64, s), ExecutionPlan::new(2), s as u64)
+            )
+        })
+        .collect();
+    drop(rt);
+
+    // Flip bytes in one entry, truncate the other.
+    let corrupt = entry_path(&dir, 64, seeds[0]);
+    let mut bytes = std::fs::read(&corrupt).expect("entry spilled");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&corrupt, &bytes).unwrap();
+    let truncated = entry_path(&dir, 64, seeds[1]);
+    let bytes = std::fs::read(&truncated).expect("entry spilled");
+    std::fs::write(&truncated, &bytes[..bytes.len() / 3]).unwrap();
+
+    let rec = Recorder::new();
+    let rt = runtime(&dir, &rec);
+    for (&s, clean_report) in seeds.iter().zip(&clean) {
+        let again = rt.run_kernel(kernel(64, s), ExecutionPlan::new(2), s as u64);
+        assert_eq!(
+            &format!("{again:?}"),
+            clean_report,
+            "recomputed result matches the original, seed {s}"
+        );
+    }
+    drop(rt);
+    assert_eq!(counter(&rec, fam::CACHE_DISK_REJECTS), 2);
+    assert_eq!(counter(&rec, fam::CACHE_DISK_HITS), 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_capacity_cap_bounds_the_entry_files() {
+    let dir = tmp_dir("cap");
+    let rec = Recorder::new();
+    let rt = Runtime::new(
+        RuntimeConfig::new(2)
+            .cache_capacity(1)
+            .disk_cache(dir.clone())
+            .disk_cache_capacity(3)
+            .trace(rec.sink()),
+    );
+    for s in 31u32..41 {
+        rt.run_kernel(kernel(64, s), ExecutionPlan::new(2), s as u64);
+    }
+    drop(rt);
+    let entries = std::fs::read_dir(&dir)
+        .expect("cache directory exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "dwic"))
+        .count();
+    assert!(
+        entries <= 3,
+        "cap 3 violated: {entries} entry files on disk"
+    );
+    assert!(entries > 0, "something was spilled");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_hits_and_spills_share_one_directory_safely() {
+    let dir = tmp_dir("race");
+    // A tiny memory tier forces constant eviction/spill while the
+    // overlapping seed set forces constant disk promotion — every
+    // interleaving of store and load against the same entries.
+    let rec = Recorder::new();
+    let rt = Arc::new(Runtime::new(
+        RuntimeConfig::new(4)
+            .cache_capacity(1)
+            .disk_cache(dir.clone())
+            .trace(rec.sink()),
+    ));
+    let reference: Vec<String> = (0..4u32)
+        .map(|s| {
+            format!(
+                "{:?}",
+                rt.run_kernel(kernel(32, s), ExecutionPlan::new(2), s as u64)
+            )
+        })
+        .collect();
+    let mut threads = Vec::new();
+    for t in 0..4u32 {
+        let rt = rt.clone();
+        let reference = reference.clone();
+        threads.push(std::thread::spawn(move || {
+            for i in 0..32u32 {
+                let s = (t + i) % 4;
+                let handle = rt
+                    .submit_blocking(JobSpec::kernel(
+                        t,
+                        kernel(32, s),
+                        ExecutionPlan::new(2),
+                        s as u64,
+                    ))
+                    .wait()
+                    .expect("no deadline");
+                let report = handle.into_report();
+                assert_eq!(
+                    format!("{report:?}"),
+                    reference[s as usize],
+                    "seed {s} diverged under concurrency"
+                );
+            }
+        }));
+    }
+    for th in threads {
+        th.join().expect("no client panicked");
+    }
+    drop(Arc::try_unwrap(rt).ok().expect("all clients joined"));
+    assert!(
+        counter(&rec, fam::CACHE_DISK_SPILLS) > 0,
+        "the race exercised the spill path"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,7 +1,8 @@
 //! Metric-accounting contract of the runtime: one mixed run — completions,
 //! rejections, would-block refusals, blocking backoff, cancellations,
 //! deadline expiries, cache hits, fused batches, a multi-stage graph job,
-//! and a session round trip — leaves (a) the conservation identity
+//! durable-tier spills/promotions/rejections, and a session round trip —
+//! leaves (a) the conservation identity
 //! `submitted = completed + rejected + cancelled + expired` holding
 //! exactly, and (b) no family in [`dwi_trace::runtime_metrics::ALL`]
 //! silent in the Prometheus exposition.
@@ -87,10 +88,17 @@ impl RemoteChannel for LoopbackRemote {
 #[test]
 fn mixed_run_conserves_jobs_and_touches_every_family() {
     let rec = Recorder::new();
+    // A one-entry memory tier over a durable directory: every distinct
+    // result evicts (and spills) the previous one, so the disk-tier
+    // families go live from ordinary traffic.
+    let disk_dir = std::env::temp_dir().join(format!("dwi_metrics_disk_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
     let rt = Runtime::new(
         RuntimeConfig::new(1)
             .queue_bound(3)
             .batching(4, Duration::ZERO)
+            .cache_capacity(1)
+            .disk_cache(disk_dir.clone())
             .trace(rec.sink()),
     );
 
@@ -251,6 +259,29 @@ fn mixed_run_conserves_jobs_and_touches_every_family() {
     release.send(()).unwrap();
     gate.wait().expect("blocker completes");
 
+    // --- Durable tier, promote half: seed 42's entry was long since
+    // evicted from the one-slot memory tier (and spilled), so an
+    // identical resubmission is a memory miss served from disk — an
+    // overall cache hit to the submitter. ---
+    let promoted = rt.run_kernel(kernel(64, 42), ExecutionPlan::new(2), 42);
+    assert_eq!(
+        format!("{promoted:?}"),
+        format!("{first:?}"),
+        "the disk promotion replays the original bytes"
+    );
+
+    // --- Durable tier, reject half: a garbage entry file under the key
+    // a submission will look up must be discarded (and the job computed
+    // fresh), never decoded. ---
+    let poisoned_key = dwi_runtime::CacheKey::new(
+        &KernelGraph::single(kernel(64, 555)),
+        &GraphPlan::new(ExecutionPlan::new(2)),
+        555,
+    );
+    std::fs::write(disk_dir.join(poisoned_key.file_name()), b"not a dwic entry")
+        .expect("plant the corrupt entry");
+    rt.run_kernel(kernel(64, 555), ExecutionPlan::new(2), 555);
+
     // --- A session round trip (in-flight / completion-queue gauges). ---
     let ticket = session.submit_blocking(JobSpec::kernel(
         7,
@@ -295,7 +326,19 @@ fn mixed_run_conserves_jobs_and_touches_every_family() {
          {completed} completed + {rejected} rejected + {cancelled} \
          cancelled + {expired} expired"
     );
-    assert_eq!(total(fam::CACHE_HITS), 1);
+    // One memory hit (the back-to-back seed-42 pair) plus one disk
+    // promotion (the post-eviction resubmission).
+    assert_eq!(total(fam::CACHE_HITS), 2);
+    assert_eq!(total(fam::CACHE_DISK_HITS), 1);
+    assert_eq!(total(fam::CACHE_DISK_REJECTS), 1, "the planted garbage");
+    assert!(
+        total(fam::CACHE_DISK_SPILLS) >= 2,
+        "the one-slot memory tier spilled its evictions"
+    );
+    assert!(
+        total(fam::CACHE_DISK_MISSES) >= 1,
+        "cold lookups consulted the directory"
+    );
     // The cross-quota batch: 2 work-items padded from quota 64 up to 128.
     assert_eq!(total(fam::PADDED_SLOTS), 2 * (128 - 64));
     assert_eq!(total(fam::INFLIGHT_DEDUP), 1, "one follower attached");
@@ -310,4 +353,5 @@ fn mixed_run_conserves_jobs_and_touches_every_family() {
             "{family} missing from the exposition after a mixed run:\n{prom}"
         );
     }
+    let _ = std::fs::remove_dir_all(&disk_dir);
 }

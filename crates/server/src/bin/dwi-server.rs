@@ -41,6 +41,7 @@ fn main() {
     let mut rate = 20.0f64;
     let mut burst = 40.0f64;
     let mut quota = 64usize;
+    let mut cache_dir: Option<String> = None;
     let mut worker_mode = false;
     let mut join: Option<String> = None;
     let mut label = "worker".to_string();
@@ -63,6 +64,7 @@ fn main() {
             "--rate" => rate = value().parse().unwrap_or_else(|_| usage()),
             "--burst" => burst = value().parse().unwrap_or_else(|_| usage()),
             "--quota" => quota = value().parse().unwrap_or_else(|_| usage()),
+            "--cache-dir" => cache_dir = Some(value()),
             "--worker" => worker_mode = true,
             "--join" => join = Some(value()),
             "--label" => label = value(),
@@ -94,6 +96,7 @@ fn main() {
     let mut config = GatewayConfig::new(workers);
     config.queue_bound = queue_bound;
     config.tenants = tenants;
+    config.cache_dir = cache_dir.map(std::path::PathBuf::from);
 
     match start(config, &listen, cluster.as_deref()) {
         Ok(running) => {

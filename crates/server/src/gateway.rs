@@ -41,8 +41,8 @@ use dwi_core::graph::{GraphPlan, GraphReport, KernelGraph};
 use dwi_core::RunReport;
 use dwi_hls::sim::SimResult;
 use dwi_runtime::{
-    JobError, JobHandle, JobOutput, JobSpec, RemoteChannel, RemoteError, RemoteSpec, Runtime,
-    RuntimeConfig,
+    CacheKey, JobError, JobHandle, JobOutput, JobSpec, RemoteChannel, RemoteError, RemoteSpec,
+    Runtime, RuntimeConfig,
 };
 use dwi_trace::json::{escape_str, Json};
 use dwi_trace::server_metrics as sm;
@@ -122,6 +122,10 @@ pub struct GatewayConfig {
     pub queue_bound: usize,
     /// Tenant table; empty = anonymous access (no auth, no limits).
     pub tenants: Vec<Tenant>,
+    /// Durable result-cache directory for the embedded runtime: a
+    /// restarted gateway reads its predecessor's spilled reports and
+    /// serves repeat submissions warm (`None` = memory-only cache).
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl GatewayConfig {
@@ -130,6 +134,7 @@ impl GatewayConfig {
             workers,
             queue_bound: 64,
             tenants: Vec::new(),
+            cache_dir: None,
         }
     }
 }
@@ -164,6 +169,9 @@ impl Gateway {
     pub fn new(config: GatewayConfig) -> Self {
         let rec = Recorder::new();
         let mut rt_cfg = RuntimeConfig::new(config.workers).queue_bound(config.queue_bound);
+        if let Some(dir) = config.cache_dir {
+            rt_cfg = rt_cfg.disk_cache(dir);
+        }
         rt_cfg.sink = rec.sink();
         let rt = Runtime::new(rt_cfg);
         let buckets = config
@@ -337,13 +345,13 @@ impl Gateway {
                 deadline,
                 graph_json,
             } => {
-                // The runtime's cache/dedup key is (kernel name, plan
-                // fingerprint, seed) — it does NOT cover kernel
-                // constructor params, by contract the submitter's job to
-                // discriminate. Folding the canonical spec hash into the
-                // seed makes collisions impossible across distinct HTTP
-                // specs while keeping identical resubmissions cacheable.
-                let seed = seed ^ fnv64_bytes(graph_json.as_bytes());
+                // The runtime's cache/dedup key now folds every node's
+                // constructor-parameter digest into the fingerprint;
+                // folding the canonical spec hash into the seed stays as
+                // defense in depth for spec fields outside the
+                // fingerprint, while identical resubmissions keep
+                // identical keys (so they still cache and dedup).
+                let seed = CacheKey::fold_spec_seed(seed, graph_json.as_bytes());
                 let mut spec = JobSpec::graph(client, graph, plan, seed)
                     .priority(priority)
                     .remote(Arc::new(WireJobSpec {
@@ -788,26 +796,15 @@ fn err_body(msg: &str) -> String {
 // Result rendering
 // ---------------------------------------------------------------------
 
-/// FNV-1a over raw bytes.
-fn fnv64_bytes(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
-
 /// FNV-1a over the bit patterns of a sample stream: a compact,
 /// placement-independent identity for "these are the exact same floats".
+/// Raw byte folding (not the framed [`dwi_core::Digest`] builder) so the
+/// rendered `fnv64:` identity is stable across releases.
 fn fnv64_samples(samples: &[Vec<f32>]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = dwi_core::digest::FNV_OFFSET;
     for wi in samples {
         for v in wi {
-            for b in v.to_bits().to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(0x0000_0100_0000_01b3);
-            }
+            h = dwi_core::digest::fnv1a_fold(h, &v.to_bits().to_le_bytes());
         }
     }
     h

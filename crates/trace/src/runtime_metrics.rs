@@ -154,6 +154,25 @@ pub const PADDED_SLOTS: &str = "dwi_runtime_padded_slots_total";
 /// runtime's `max_pad_ratio` waste cap.
 pub const BATCH_PAD_RATIO: &str = "dwi_runtime_batch_pad_ratio";
 
+/// Counter: durable-tier (disk) cache hits — a memory-tier miss rescued
+/// by a verified on-disk entry, promoted back into the LRU. Nonzero on a
+/// warm restart is the "the cache survived the process" signal.
+pub const CACHE_DISK_HITS: &str = "dwi_runtime_cache_disk_hits_total";
+
+/// Counter: durable-tier lookups that produced no usable entry — absent
+/// files *and* entries discarded by verification. With the tier enabled,
+/// `disk_hits + disk_misses` equals the memory tier's miss count.
+pub const CACHE_DISK_MISSES: &str = "dwi_runtime_cache_disk_misses_total";
+
+/// Counter: cache entries written behind to the durable tier (LRU
+/// evictions, zero-capacity pass-through, and the shutdown flush).
+pub const CACHE_DISK_SPILLS: &str = "dwi_runtime_cache_disk_spills_total";
+
+/// Counter: on-disk entries that failed verification (checksum, magic,
+/// version, key echo, or payload decode) and were deleted. Every reject
+/// also counts a disk miss; a reject is never trusted or retried.
+pub const CACHE_DISK_REJECTS: &str = "dwi_runtime_cache_disk_rejects_total";
+
 /// Gauge: the adaptive sharding controller's tail-latency feed, one
 /// series per phase of the signal: `signal="window"` carries the true
 /// windowed p99 of per-group shard service time (seconds) once the
@@ -200,5 +219,9 @@ pub const ALL: &[&str] = &[
     REMOTE_REQUEUED,
     PADDED_SLOTS,
     BATCH_PAD_RATIO,
+    CACHE_DISK_HITS,
+    CACHE_DISK_MISSES,
+    CACHE_DISK_SPILLS,
+    CACHE_DISK_REJECTS,
     SHARD_P99,
 ];

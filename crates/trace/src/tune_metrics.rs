@@ -1,0 +1,21 @@
+//! Canonical metric-family names emitted by the `dwi-tune` autotuner.
+//!
+//! Like [`runtime_metrics`](crate::runtime_metrics), the names live next
+//! to the exporters so the tuner, `serve --autotune`, and the CI smoke
+//! agree on the exposition format without string drift. A tuning pass
+//! shares its [`Registry`](crate::metrics::Registry) with the runtime it
+//! measures, so one scrape shows the trial counters beside the
+//! `dwi_runtime_*` families the trials exercised.
+
+/// Counter: measured trials executed, labelled
+/// `outcome="improved"|"kept"` — whether the trial displaced the best
+/// score so far. Cost-model-pruned candidates never run a trial and are
+/// not counted here.
+pub const TRIALS_TOTAL: &str = "dwi_tune_trials_total";
+
+/// Gauge: best measured score (jobs/s) so far for the active search,
+/// updated whenever a trial improves on it.
+pub const BEST_SCORE: &str = "dwi_tune_best_score";
+
+/// Every family the tuner exports.
+pub const ALL: &[&str] = &[TRIALS_TOTAL, BEST_SCORE];

@@ -1,0 +1,271 @@
+//! # dwi-tune — self-calibrating knob autotuner for the `dwi-runtime`
+//! scheduler
+//!
+//! The runtime's throughput-moving knobs — pool width, batch coalescing
+//! shape, the padded-fusion waste cap, the shard policy — have so far
+//! been hand-tuned per figure binary. This crate closes the loop: an
+//! [`Autotuner`] searches a [`KnobSpace`] grid, **prunes** candidates
+//! with the `dwi-hls` analytic serve model
+//! ([`knob_throughput_bound`]
+//! — cheap enough to score the whole grid), then runs **short measured
+//! trials** on the surviving few and keeps the best measured
+//! configuration. The winner persists per `(kernel, plan-shape)` into a
+//! [`TuningStore`] that `RuntimeConfig::tuned` consumers — `serve
+//! --autotune`, the figure binaries' `--runtime` paths — load on
+//! startup, so calibration survives the process the same way the
+//! durable result cache does.
+//!
+//! The search is honest about its two stages: the cost model only
+//! *ranks*; every score that can win comes from a measured trial. A
+//! store entry records the measured jobs/s and the trial count next to
+//! the knob vector, and the CI autotune smoke gates on the measured
+//! score staying at or above the committed baseline.
+//!
+//! Observability: trials emit `dwi_tune_trials_total`
+//! (`outcome="improved"|"kept"`) and the running `dwi_tune_best_score`
+//! gauge through the shared [`TraceSink`], landing in the same scrape as
+//! the `dwi_runtime_*` families the trials exercised.
+
+pub mod store;
+
+pub use store::{StoredTuning, TuningStore};
+
+use std::time::Duration;
+
+use dwi_hls::dataflow::{knob_throughput_bound, KnobModel, OfferedLoad};
+use dwi_runtime::TunedKnobs;
+use dwi_trace::{tune_metrics as fam, TraceSink};
+
+/// The grid of knob vectors a search enumerates — the cross product of
+/// every axis. Axes the workload cannot exploit are kept single-valued
+/// so the grid stays small enough to score exhaustively.
+#[derive(Clone, Debug)]
+pub struct KnobSpace {
+    /// Worker pool widths to consider.
+    pub workers: Vec<usize>,
+    /// Batch fusion sizes (1 = coalescing off).
+    pub batch_max_jobs: Vec<usize>,
+    /// Coalescing windows, microseconds.
+    pub batch_window_us: Vec<u64>,
+    /// Cross-quota padded-fusion waste caps, in `[0, 1)`.
+    pub max_pad_ratio: Vec<f64>,
+    /// Shard policies: `(min, max, adaptive)` — adaptive bounds when
+    /// `adaptive`, a fixed `max`-way split otherwise.
+    pub shard_policies: Vec<(u32, u32, bool)>,
+}
+
+impl KnobSpace {
+    /// The serve path's default search space around a `max_workers`-wide
+    /// machine: pool widths at 1×/½×, fusion off/moderate/deep, no
+    /// window vs. a short one, the cost model's break-even pad cap vs.
+    /// closed, adaptive vs. fixed sharding — 48–72 candidates, of which
+    /// the cost model keeps a handful for measurement.
+    pub fn serve_default(max_workers: usize) -> Self {
+        let w = max_workers.max(1);
+        let mut workers = vec![w];
+        if w > 1 {
+            workers.push(w.div_ceil(2));
+        }
+        Self {
+            workers,
+            batch_max_jobs: vec![1, 8, 16],
+            batch_window_us: vec![0, 200],
+            max_pad_ratio: vec![0.0, dwi_core::default_max_pad_ratio()],
+            shard_policies: vec![(1, w as u32, true), (1, 1, false)],
+        }
+    }
+
+    /// Every knob vector in the grid, in a deterministic order.
+    pub fn candidates(&self) -> Vec<TunedKnobs> {
+        let mut out = Vec::new();
+        for &workers in &self.workers {
+            for &batch_max_jobs in &self.batch_max_jobs {
+                for &window_us in &self.batch_window_us {
+                    for &max_pad_ratio in &self.max_pad_ratio {
+                        for &(shard_min, shard_max, adaptive) in &self.shard_policies {
+                            out.push(TunedKnobs {
+                                workers,
+                                batch_max_jobs,
+                                batch_window: Duration::from_micros(window_us),
+                                max_pad_ratio,
+                                shard_min,
+                                shard_max,
+                                adaptive,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One search's outcome: the best *measured* configuration plus the
+/// provenance `serve --autotune` reports.
+#[derive(Clone, Debug)]
+pub struct TuningResult {
+    /// The winning knob vector.
+    pub best: TunedKnobs,
+    /// Its measured score (jobs/s — higher is better).
+    pub best_score: f64,
+    /// Measured trials run (= survivors of the pruning stage).
+    pub trials: usize,
+    /// Candidates the cost model scored but never measured.
+    pub pruned: usize,
+}
+
+/// The two-stage searcher: analytic pruning, then measured trials.
+pub struct Autotuner {
+    sink: TraceSink,
+    load: OfferedLoad,
+    keep: usize,
+}
+
+impl Autotuner {
+    /// A tuner emitting its trial metrics through `sink`, pruning to 6
+    /// survivors against a default closed-loop serve load (32 clients,
+    /// ~1 ms jobs with ~0.2 ms dispatch overhead, half the shapes
+    /// fusible only via padding).
+    pub fn new(sink: TraceSink) -> Self {
+        Self {
+            sink,
+            load: OfferedLoad {
+                concurrency: 32.0,
+                job_work_s: 1e-3,
+                dispatch_overhead_s: 2e-4,
+                cross_shape: 0.5,
+            },
+            keep: 6,
+        }
+    }
+
+    /// Score candidates against this offered load instead of the default.
+    pub fn offered_load(mut self, load: OfferedLoad) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Survivors the pruning stage hands to measured trials (≥ 1).
+    pub fn keep(mut self, keep: usize) -> Self {
+        self.keep = keep.max(1);
+        self
+    }
+
+    /// Search `space`: rank every candidate with the analytic bound,
+    /// measure the top [`keep`](Self::keep) with `measure` (jobs/s —
+    /// higher is better), return the best measured vector. The cost
+    /// model only prunes; it can never outvote a measurement.
+    pub fn search(
+        &self,
+        space: &KnobSpace,
+        mut measure: impl FnMut(&TunedKnobs) -> f64,
+    ) -> TuningResult {
+        let mut ranked: Vec<(f64, TunedKnobs)> = space
+            .candidates()
+            .into_iter()
+            .map(|k| {
+                let model = KnobModel {
+                    workers: k.workers as f64,
+                    batch_max_jobs: k.batch_max_jobs as f64,
+                    batch_window_s: k.batch_window.as_secs_f64(),
+                    max_pad_ratio: k.max_pad_ratio,
+                };
+                (knob_throughput_bound(&model, &self.load), k)
+            })
+            .collect();
+        assert!(!ranked.is_empty(), "knob space has no candidates");
+        // Stable ranking: score descending, grid order breaking ties.
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+        let survivors = ranked.len().min(self.keep);
+        let pruned = ranked.len() - survivors;
+
+        let mut best: Option<(f64, TunedKnobs)> = None;
+        for (_, knobs) in ranked.into_iter().take(survivors) {
+            let score = measure(&knobs);
+            let improved = best.as_ref().is_none_or(|(b, _)| score > *b);
+            let outcome = if improved { "improved" } else { "kept" };
+            self.sink
+                .counter(fam::TRIALS_TOTAL, &[("outcome", outcome)])
+                .inc();
+            if improved {
+                self.sink.set_gauge(fam::BEST_SCORE, &[], score);
+                best = Some((score, knobs));
+            }
+        }
+        let (best_score, best) = best.expect("at least one survivor was measured");
+        TuningResult {
+            best,
+            best_score,
+            trials: survivors,
+            pruned,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumerates_the_cross_product() {
+        let space = KnobSpace::serve_default(4);
+        let n = space.workers.len()
+            * space.batch_max_jobs.len()
+            * space.batch_window_us.len()
+            * space.max_pad_ratio.len()
+            * space.shard_policies.len();
+        assert_eq!(space.candidates().len(), n);
+    }
+
+    #[test]
+    fn pruning_bounds_the_measured_trials() {
+        let space = KnobSpace::serve_default(4);
+        let total = space.candidates().len();
+        let mut measured = 0usize;
+        let result = Autotuner::new(TraceSink::disabled())
+            .keep(3)
+            .search(&space, |_| {
+                measured += 1;
+                1.0
+            });
+        assert_eq!(measured, 3);
+        assert_eq!(result.trials, 3);
+        assert_eq!(result.pruned, total - 3);
+    }
+
+    #[test]
+    fn measurement_outranks_the_cost_model() {
+        // Score trials so the measured winner is whichever vector the
+        // cost model ranked *last* among survivors — the tuner must
+        // return it anyway.
+        let space = KnobSpace::serve_default(2);
+        let mut scores = (1..=4).rev().map(|s| s as f64);
+        let result = Autotuner::new(TraceSink::disabled())
+            .keep(4)
+            .search(&space, |_| scores.next().unwrap());
+        // Descending scores 4,3,2,1: the first survivor measured best.
+        assert_eq!(result.best_score, 4.0);
+        assert_eq!(result.trials, 4);
+
+        let mut scores = (1..=4).map(|s| s as f64);
+        let result = Autotuner::new(TraceSink::disabled())
+            .keep(4)
+            .search(&space, |_| scores.next().unwrap());
+        // Ascending scores: the *last* survivor wins on measurement.
+        assert_eq!(result.best_score, 4.0);
+    }
+
+    #[test]
+    fn trial_metrics_land_in_the_registry() {
+        let recorder = dwi_trace::Recorder::new();
+        let space = KnobSpace::serve_default(2);
+        let mut scores = [2.0, 1.0, 3.0].into_iter().cycle();
+        Autotuner::new(recorder.sink())
+            .keep(3)
+            .search(&space, |_| scores.next().unwrap());
+        let prom = recorder.prometheus();
+        assert!(prom.contains(fam::TRIALS_TOTAL));
+        assert!(prom.contains(fam::BEST_SCORE));
+    }
+}

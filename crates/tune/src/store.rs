@@ -1,0 +1,223 @@
+//! The durable tuning store: best measured knob vector per
+//! `(kernel, plan-shape)`, as a small versioned JSON file.
+//!
+//! Safety rules mirror the runtime's durable result cache: a missing,
+//! unparsable, or version-mismatched store loads as *empty* — stale
+//! calibration is never trusted, the consumer just falls back to the
+//! hand-tuned reference knobs. Saves write a temporary file and rename
+//! it into place, so a crashed tuner never leaves a half-written store
+//! for the next run to choke on.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+use std::time::Duration;
+
+use dwi_runtime::TunedKnobs;
+use dwi_trace::json::{escape_str, parse, Json};
+
+/// Store format version; bump on any schema change so old files fall
+/// back to the reference knobs instead of misreading.
+pub const STORE_VERSION: f64 = 1.0;
+
+/// One persisted calibration: the winning knobs plus the measurement
+/// provenance the serve summary reports.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredTuning {
+    /// The winning knob vector.
+    pub knobs: TunedKnobs,
+    /// Measured score at tuning time (jobs/s).
+    pub score: f64,
+    /// Measured trials behind the score.
+    pub trials: usize,
+}
+
+/// Best configuration per workload key, durable as JSON.
+///
+/// The key is [`TuningStore::shape_key`]: the source kernel id plus the
+/// seed-independent plan fingerprint — the same shape axes the runtime's
+/// batch coalescer groups on, so one entry covers every seed of an
+/// experiment sweep.
+#[derive(Default)]
+pub struct TuningStore {
+    entries: BTreeMap<String, StoredTuning>,
+}
+
+impl TuningStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The store key for a workload: `kernel|plan-shape`. `plan_shape`
+    /// should be seed-independent (the plan fingerprint is the intended
+    /// feed) so sweeps share one calibration.
+    pub fn shape_key(kernel: &str, plan_shape: &str) -> String {
+        format!("{kernel}|{plan_shape}")
+    }
+
+    /// Load from `path`. Missing, unreadable, unparsable, or
+    /// version-mismatched files all load as an empty store — corrupt
+    /// calibration is ignored, never trusted.
+    pub fn load(path: &Path) -> Self {
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return Self::new();
+        };
+        Self::from_json(&text).unwrap_or_default()
+    }
+
+    /// Parse the JSON document; `None` on any structural problem.
+    fn from_json(text: &str) -> Option<Self> {
+        let doc = parse(text).ok()?;
+        if doc.get("version")?.as_f64()? != STORE_VERSION {
+            return None;
+        }
+        let mut entries = BTreeMap::new();
+        for e in doc.get("entries")?.as_arr()? {
+            let key = e.get("key")?.as_str()?.to_string();
+            let k = e.get("knobs")?;
+            let field = |name: &str| -> Option<f64> { k.get(name)?.as_f64() };
+            let knobs = TunedKnobs {
+                workers: field("workers")? as usize,
+                batch_max_jobs: field("batch_max_jobs")? as usize,
+                batch_window: Duration::from_micros(field("batch_window_us")? as u64),
+                max_pad_ratio: field("max_pad_ratio")?,
+                shard_min: field("shard_min")? as u32,
+                shard_max: field("shard_max")? as u32,
+                adaptive: matches!(k.get("adaptive")?, Json::Bool(true)),
+            };
+            entries.insert(
+                key,
+                StoredTuning {
+                    knobs,
+                    score: e.get("score")?.as_f64()?,
+                    trials: e.get("trials")?.as_f64()? as usize,
+                },
+            );
+        }
+        Some(Self { entries })
+    }
+
+    /// Render the JSON document.
+    fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"version\": {STORE_VERSION},\n"));
+        out.push_str("  \"entries\": [");
+        for (i, (key, t)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let k = &t.knobs;
+            out.push_str(&format!(
+                "\n    {{\"key\": {}, \"score\": {}, \"trials\": {}, \"knobs\": \
+                 {{\"workers\": {}, \"batch_max_jobs\": {}, \"batch_window_us\": {}, \
+                 \"max_pad_ratio\": {}, \"shard_min\": {}, \"shard_max\": {}, \
+                 \"adaptive\": {}}}}}",
+                escape_str(key),
+                t.score,
+                t.trials,
+                k.workers,
+                k.batch_max_jobs,
+                k.batch_window.as_micros(),
+                k.max_pad_ratio,
+                k.shard_min,
+                k.shard_max,
+                k.adaptive,
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Save to `path` atomically (temporary file + rename).
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+
+    /// The calibration for `key`, if one is stored.
+    pub fn get(&self, key: &str) -> Option<&StoredTuning> {
+        self.entries.get(key)
+    }
+
+    /// Record (or replace) `key`'s calibration.
+    pub fn insert(&mut self, key: impl Into<String>, tuning: StoredTuning) {
+        self.entries.insert(key.into(), tuning);
+    }
+
+    /// Stored calibrations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tuning(score: f64) -> StoredTuning {
+        StoredTuning {
+            knobs: TunedKnobs {
+                workers: 4,
+                batch_max_jobs: 8,
+                batch_window: Duration::from_micros(200),
+                max_pad_ratio: 1.0 / 3.0,
+                shard_min: 1,
+                shard_max: 4,
+                adaptive: true,
+            },
+            score,
+            trials: 6,
+        }
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("dwi_tune_{name}_{}.json", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let mut store = TuningStore::new();
+        let key = TuningStore::shape_key("truncated-normal", "wi64/d64");
+        store.insert(key.clone(), tuning(1234.5));
+        let path = tmp("roundtrip");
+        store.save(&path).unwrap();
+        let loaded = TuningStore::load(&path);
+        assert_eq!(loaded.len(), 1);
+        assert_eq!(loaded.get(&key), Some(&tuning(1234.5)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_and_corrupt_stores_load_empty() {
+        assert!(TuningStore::load(Path::new("/nonexistent/store.json")).is_empty());
+        let path = tmp("corrupt");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(TuningStore::load(&path).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn version_mismatch_loads_empty() {
+        let mut store = TuningStore::new();
+        store.insert("k|s", tuning(1.0));
+        let path = tmp("version");
+        store.save(&path).unwrap();
+        let bumped = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace("\"version\": 1", "\"version\": 99");
+        std::fs::write(&path, bumped).unwrap();
+        assert!(TuningStore::load(&path).is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}
